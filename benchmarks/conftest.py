@@ -1,0 +1,48 @@
+"""Shared helpers for the figure/table benchmarks.
+
+Every benchmark regenerates one paper artifact through the shared
+simulation runner (disk-cached, so the first full run does the sweep and
+reruns are cheap), prints it, saves it under ``benchmarks/output/``, and
+asserts the paper's *shape* claims about it.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.harness.runner import default_runner
+
+OUTPUT_DIR = Path(__file__).parent / "output"
+
+
+@pytest.fixture(scope="session")
+def runner():
+    return default_runner()
+
+
+@pytest.fixture(scope="session")
+def save_result():
+    """Print an ExperimentResult and persist it to benchmarks/output/."""
+    OUTPUT_DIR.mkdir(exist_ok=True)
+
+    def _save(result):
+        text = result.text()
+        print("\n" + text)
+        (OUTPUT_DIR / f"{result.experiment}.txt").write_text(text + "\n")
+        return result
+
+    return _save
+
+
+@pytest.fixture(scope="session")
+def save_text():
+    """Print and persist a plain-text artifact (ablation tables)."""
+    OUTPUT_DIR.mkdir(exist_ok=True)
+
+    def _save(name: str, text: str) -> None:
+        print("\n" + text)
+        (OUTPUT_DIR / f"{name}.txt").write_text(text + "\n")
+
+    return _save

@@ -1,0 +1,43 @@
+"""Ablation: inter-cluster forwarding delay at 8-wide.
+
+The paper's 8-wide machines pay 1 cycle to forward between their two
+clusters, which is why the 8-wide No-1,2 machine loses to the 4-wide one
+in Fig. 14.  This ablation sweeps the cluster hop (0 = a flat 8-wide
+machine) to isolate that cost.
+"""
+
+from dataclasses import replace
+
+from repro.core.presets import ideal
+from repro.utils.stats import mean
+from repro.utils.tables import format_table
+
+WORKLOADS = ["gap", "li", "mcf", "perlbmk", "go"]
+DELAYS = (0, 1, 2, 3)
+
+
+def test_ablation_clustering(benchmark, runner, save_text):
+    def sweep():
+        means = {}
+        for delay in DELAYS:
+            config = replace(
+                ideal(8), name=f"Ideal-cluster{delay}-8w", cluster_delay=delay
+            )
+            means[delay] = mean(
+                runner.run(config, workload).ipc for workload in WORKLOADS
+            )
+        return means
+
+    means = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    save_text(
+        "ablation_clustering",
+        format_table(["cluster delay", "mean IPC"],
+                     [[d, means[d]] for d in DELAYS],
+                     title="Ablation: inter-cluster delay, 8-wide Ideal"),
+    )
+
+    # IPC degrades monotonically with the cluster hop
+    for faster, slower in zip(DELAYS, DELAYS[1:]):
+        assert means[slower] <= means[faster] * 1.001
+    # and the paper's 1-cycle hop costs a measurable amount
+    assert means[1] < means[0]

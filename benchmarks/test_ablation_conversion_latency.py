@@ -1,0 +1,49 @@
+"""Ablation: RB -> TC format-converter depth.
+
+The paper fixes the converter at 2 cycles (a CLA-class subtraction spread
+over two stages).  This ablation sweeps the converter depth on the 8-wide
+RB-full machine: at 0 cycles the RB machine degenerates into the Ideal
+machine; each added cycle widens the gap, quantifying how much of the RB
+design's cost is the conversion itself.
+"""
+
+from dataclasses import replace
+
+from repro.core.presets import ideal, rb_full
+from repro.utils.stats import mean
+from repro.utils.tables import format_table
+
+WORKLOADS = ["gap", "li", "twolf", "go", "crafty"]
+DEPTHS = (0, 1, 2, 3, 4)
+
+
+def test_ablation_conversion_latency(benchmark, runner, save_text):
+    def sweep():
+        means = {}
+        for depth in DEPTHS:
+            config = replace(
+                rb_full(8), name=f"RB-full-conv{depth}-8w", conversion_cycles=depth
+            )
+            means[depth] = mean(
+                runner.run(config, workload).ipc for workload in WORKLOADS
+            )
+        means["ideal"] = mean(
+            runner.run(ideal(8), workload).ipc for workload in WORKLOADS
+        )
+        return means
+
+    means = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    rows = [[f"conv={d}", means[d]] for d in DEPTHS] + [["Ideal", means["ideal"]]]
+    save_text(
+        "ablation_conversion",
+        format_table(["machine", "mean IPC"], rows,
+                     title="Ablation: RB->TC converter depth, 8-wide RB-full"),
+    )
+
+    # IPC is monotonically non-increasing in converter depth
+    for shallower, deeper in zip(DEPTHS, DEPTHS[1:]):
+        assert means[deeper] <= means[shallower] * 1.001
+    # a free converter makes the RB machine the Ideal machine
+    assert means[0] >= means["ideal"] * 0.995
+    # the paper's 2-cycle point costs a real but small fraction
+    assert means[2] > means["ideal"] * 0.90

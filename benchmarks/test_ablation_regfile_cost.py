@@ -1,0 +1,49 @@
+"""Ablation: register-file organization costs (§4.1).
+
+Not a timing sweep — the static storage/complexity tradeoff between the
+TC-only and TC+RB register-file organizations, paired with the measured
+IPC of the two machines built on them (RB-limited uses TC-only files with
+the pruned network; RB-full uses both files).
+"""
+
+from repro.backend.regfile import compare_organizations
+from repro.core.presets import rb_full, rb_limited
+from repro.utils.stats import mean
+from repro.utils.tables import format_table
+from repro.workloads.suite import all_workloads
+
+
+def test_ablation_regfile_cost(benchmark, runner, save_text):
+    def sweep():
+        costs = compare_organizations(entries=128, data_bits=64)
+        workloads = [w.name for w in all_workloads("spec2000")]
+        ipc = {
+            "tc-only": mean(runner.run(rb_limited(8), w).ipc for w in workloads),
+            "tc+rb": mean(runner.run(rb_full(8), w).ipc for w in workloads),
+        }
+        return costs, ipc
+
+    costs, ipc = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    rows = []
+    for name, cost in costs.items():
+        rows.append([
+            name,
+            cost.storage_bits,
+            cost.bypass_levels_rb_alu,
+            cost.mux_fan_in(functional_units=8),
+            ipc[name],
+        ])
+    save_text(
+        "ablation_regfile",
+        format_table(
+            ["organization", "storage bits", "RB-ALU bypass levels",
+             "mux fan-in (8 FU)", "mean IPC (8w, spec2000)"],
+            rows, title="Ablation: register-file organization (§4.1)",
+        ),
+    )
+
+    # the storage-for-wires trade: 3x the state buys fewer bypass paths
+    # and a narrower operand mux, and (with this workload mix) more IPC
+    assert costs["tc+rb"].storage_bits == 3 * costs["tc-only"].storage_bits
+    assert costs["tc+rb"].mux_fan_in(8) < costs["tc-only"].mux_fan_in(8)
+    assert ipc["tc+rb"] >= ipc["tc-only"] * 0.999

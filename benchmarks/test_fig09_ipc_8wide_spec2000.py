@@ -1,0 +1,37 @@
+"""Figure 9: IPC of the four 8-wide machines on the SPECint2000-like suite.
+
+Paper claims checked: RB-full ~7% above Baseline and within ~1.1% of
+Ideal; RB-limited within ~2% of RB-full.  Our kernels are arithmetic-
+heavier than SPEC (see EXPERIMENTS.md), so the tolerances are directional:
+ordering must hold and magnitudes must be in the paper's ballpark.
+"""
+
+from repro.harness.experiments import fig_ipc
+from repro.utils.stats import mean
+
+
+def test_fig09_ipc_8wide_spec2000(benchmark, runner, save_result):
+    result = benchmark.pedantic(
+        lambda: fig_ipc(8, "spec2000", runner), rounds=1, iterations=1
+    )
+    save_result(result)
+    means = result.series["means"]
+    base = means["Baseline-8w"]
+    limited = means["RB-limited-8w"]
+    full = means["RB-full-8w"]
+    ideal = means["Ideal-8w"]
+
+    # machine ordering on suite means
+    assert base < full <= ideal * 1.001
+    assert limited <= full * 1.001
+    # RB buys a real speedup over pipelined TC adders (paper: ~7%)
+    assert full / base > 1.02
+    # and tracks Ideal much more closely than the Baseline does
+    assert (ideal - full) < (ideal - base) * 0.6
+    # RB-limited within a few percent of RB-full (paper: ~2%)
+    assert limited / full > 0.94
+
+    # per-benchmark: Ideal never loses to Baseline
+    ipcs = result.series["ipc"]
+    for b, i in zip(ipcs["Baseline-8w"], ipcs["Ideal-8w"]):
+        assert i >= b * 0.999

@@ -1,0 +1,24 @@
+"""Figure 10: IPC of the four 8-wide machines on the SPECint95-like suite.
+
+Paper: RB machines ~9% above Baseline, within ~2% of Ideal.
+"""
+
+from repro.harness.experiments import fig_ipc
+
+
+def test_fig10_ipc_8wide_spec95(benchmark, runner, save_result):
+    result = benchmark.pedantic(
+        lambda: fig_ipc(8, "spec95", runner), rounds=1, iterations=1
+    )
+    save_result(result)
+    means = result.series["means"]
+    base = means["Baseline-8w"]
+    limited = means["RB-limited-8w"]
+    full = means["RB-full-8w"]
+    ideal = means["Ideal-8w"]
+
+    assert base < full <= ideal * 1.001
+    assert limited <= full * 1.001
+    assert full / base > 1.02
+    assert full / ideal > 0.93
+    assert limited / full > 0.94

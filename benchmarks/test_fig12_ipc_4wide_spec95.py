@@ -1,0 +1,24 @@
+"""Figure 12: IPC of the four 4-wide machines on the SPECint95-like suite.
+
+Paper: RB-full +6% over Baseline, within 1.3% of Ideal; RB-limited within
+~2.3% of RB-full.
+"""
+
+from repro.harness.experiments import fig_ipc
+
+
+def test_fig12_ipc_4wide_spec95(benchmark, runner, save_result):
+    result = benchmark.pedantic(
+        lambda: fig_ipc(4, "spec95", runner), rounds=1, iterations=1
+    )
+    save_result(result)
+    means = result.series["means"]
+    base = means["Baseline-4w"]
+    limited = means["RB-limited-4w"]
+    full = means["RB-full-4w"]
+    ideal = means["Ideal-4w"]
+
+    assert base < full <= ideal * 1.001
+    assert full / base > 1.01
+    assert full / ideal > 0.94
+    assert limited / full > 0.94

@@ -1,0 +1,33 @@
+"""Figure 13: distribution of last-arriving bypass cases (8-wide RB-full).
+
+Paper claims checked: a large fraction of dynamic instructions have at
+least one bypassed source; format conversions (RB result consumed by a
+TC-only operation) are a small minority of the critical bypasses, because
+most last-arriving operands come from loads (TC producers).
+"""
+
+from repro.harness.experiments import fig13_bypass_cases
+from repro.utils.stats import mean
+
+
+def test_fig13_bypass_cases(benchmark, runner, save_result):
+    result = benchmark.pedantic(
+        lambda: fig13_bypass_cases(runner), rounds=1, iterations=1
+    )
+    save_result(result)
+    per_benchmark = result.series
+
+    bypassed = [row["bypassed_fraction"] for row in per_benchmark.values()]
+    conversions = [row["RB_TO_TC"] for row in per_benchmark.values()]
+
+    # most instructions receive at least one operand off the bypass network
+    assert mean(bypassed) > 0.4
+    assert all(0.2 <= fraction <= 1.0 for fraction in bypassed)
+    # conversions are a minority of critical bypasses on every benchmark,
+    # and a small minority on average (paper: a few percent)
+    assert all(fraction < 0.55 for fraction in conversions)
+    assert mean(conversions) < 0.30
+    # the four cases partition the bypasses
+    for name, row in per_benchmark.items():
+        total = row["TC_TO_TC"] + row["TC_TO_RB"] + row["RB_TO_RB"] + row["RB_TO_TC"]
+        assert abs(total - 1.0) < 1e-6 or total == 0.0, name

@@ -1,0 +1,41 @@
+"""Figure 14: harmonic-mean IPC of the Ideal machine with limited bypass.
+
+Paper claims checked:
+
+* configurations that keep the first bypass level (No-2, No-3, No-2,3)
+  stay close to the full network;
+* removing the first level (No-1, No-1,2) costs far more;
+* the 4-wide No-1,2 machine outperforms the 8-wide No-1,2 machine
+  (clustering makes the 8-wide one worse despite its bandwidth).
+"""
+
+from repro.harness.experiments import fig14_limited_bypass
+
+
+def test_fig14_limited_bypass(benchmark, runner, save_result):
+    result = benchmark.pedantic(
+        lambda: fig14_limited_bypass(runner), rounds=1, iterations=1
+    )
+    save_result(result)
+    series = result.series
+
+    for width in (4, 8):
+        full = series["full"][width]
+        no1 = series["No-1"][width]
+        no2 = series["No-2"][width]
+        no3 = series["No-3"][width]
+        no12 = series["No-1,2"][width]
+        no23 = series["No-2,3"][width]
+
+        # keeping level 1 keeps IPC within a few percent of full bypass
+        assert no2 / full > 0.95
+        assert no3 / full > 0.95
+        assert no23 / full > 0.93
+        # removing level 1 hurts much more
+        assert no1 / full < 0.92
+        assert no12 / full < no1 / full
+        # higher levels are used less than lower levels (ordering)
+        assert no3 >= no2 >= no23 > no1 > no12
+
+    # the paper's crossover: 4-wide No-1,2 beats the clustered 8-wide No-1,2
+    assert series["No-1,2"][4] > series["No-1,2"][8]

@@ -1,0 +1,32 @@
+"""The abstract's headline numbers, measured vs paper.
+
+Paper: 8-wide Ideal is ~8% (int2000) / ~11% (int95) over Baseline;
+RB-full comes within ~1% of Ideal; one level of bypass can be removed at
+a 1-3% IPC cost.  Checked as directional bands (see EXPERIMENTS.md for
+the workload-mix caveat).
+"""
+
+from repro.harness.experiments import headline_ratios
+
+
+def test_headline_ratios(benchmark, runner, save_result):
+    result = benchmark.pedantic(
+        lambda: headline_ratios(runner), rounds=1, iterations=1
+    )
+    save_result(result)
+    series = result.series
+
+    for key, measured in series.items():
+        # the 1-cycle adder is worth a real, single-digit-to-low-teens
+        # percentage on suite means
+        assert 1.02 < measured["ideal_over_base"] < 1.30, key
+        # RB-full recovers most of that gap
+        assert measured["rbfull_vs_ideal"] > 0.93, key
+        assert measured["rbfull_over_base"] > 1.0, key
+        # the limited network costs only a few percent
+        assert measured["rblim_vs_rbfull"] > 0.94, key
+
+    # width trend within each suite: 8-wide benefits at least as much
+    for suite in ("spec2000", "spec95"):
+        assert (series[f"8w/{suite}"]["ideal_over_base"]
+                >= series[f"4w/{suite}"]["ideal_over_base"] * 0.98)

@@ -1,0 +1,25 @@
+"""§3.4: adder critical-path delays (RB vs CLA vs carry-select vs ripple)."""
+
+from repro.harness.experiments import sec34_adder_delays
+
+
+def test_sec34_adder_delays(benchmark, save_result):
+    result = benchmark.pedantic(sec34_adder_delays, rounds=1, iterations=1)
+    save_result(result)
+    delays = result.series["delays"]
+    ratios = result.series["ratios_vs_rb"]
+
+    # RB delay is independent of operand width (the paper's central point)
+    assert len(set(delays["rb"].values())) == 1
+    # CLA grows logarithmically: equal increments per width doubling
+    cla = delays["cla"]
+    increments = [cla[16] - cla[8], cla[32] - cla[16], cla[64] - cla[32]]
+    assert len(set(increments)) == 1
+    # ripple grows linearly
+    assert delays["ripple"][64] / delays["ripple"][32] > 1.9
+    # paper: RB ~3x a 64-bit CLA (SPICE); gate-normalized model: >= 2x
+    assert ratios["cla"] >= 2.0
+    # paper: converter ~2.7x the RB adder, i.e. about a CLA
+    assert abs(ratios["rb_to_tc_converter"] - ratios["cla"]) < 0.5
+    # family ordering at 64 bits
+    assert ratios["ripple"] > ratios["carry_select"] > ratios["cla"] > 1.0

@@ -1,0 +1,33 @@
+"""§5.2: where instructions get their operands on the Ideal machine.
+
+Paper: 21-38% of instructions receive no source off the bypass network,
+51-70% take a source from the first-level bypass, 5-14% from another
+bypass path.  Checked as ranges with slack for the kernel-vs-SPEC
+workload difference.
+"""
+
+from repro.harness.experiments import sec52_bypass_levels
+
+
+def test_sec52_bypass_level_usage(benchmark, runner, save_result):
+    result = benchmark.pedantic(
+        lambda: sec52_bypass_levels(runner), rounds=1, iterations=1
+    )
+    save_result(result)
+
+    for width in ("4w", "8w"):
+        ranges = result.series[width]
+        none_lo, none_hi = ranges["NONE"]
+        first_lo, first_hi = ranges["FIRST_LEVEL"]
+        other_lo, other_hi = ranges["OTHER_LEVEL"]
+
+        # first-level bypass dominates every benchmark (paper: 51-70%)
+        assert first_lo > 0.30
+        assert first_hi <= 0.95
+        # a meaningful minority never uses the network (paper: 21-38%)
+        assert none_lo > 0.02
+        assert none_hi < 0.60
+        # the other levels are a small but non-zero share (paper: 5-14%)
+        assert other_hi < 0.35
+        # and the first level always beats the other levels
+        assert first_lo > other_hi

@@ -1,0 +1,25 @@
+"""Simulator performance: cycles and instructions simulated per second.
+
+Not a paper artifact — this is the benchmark that actually measures code
+speed (the figure benchmarks are one-shot regenerations).  It guards
+against performance regressions in the scheduler inner loop.
+"""
+
+from repro.core import ideal
+from repro.core.machine import Machine
+from repro.workloads.suite import build
+
+
+def test_simulator_throughput(benchmark):
+    program = build("ijpeg")
+    machine = Machine(ideal(8))
+
+    stats = benchmark.pedantic(
+        lambda: machine.run(program), rounds=3, iterations=1
+    )
+    assert stats.instructions > 15_000
+
+    # at least 10k simulated instructions per wall second, or something is
+    # badly wrong with the scheduler loop
+    mean_seconds = benchmark.stats.stats.mean
+    assert stats.instructions / mean_seconds > 10_000

@@ -1,0 +1,23 @@
+"""Table 1: dynamic instruction mix by format class."""
+
+from repro.harness.experiments import table1_mix
+
+
+def test_table1_instruction_mix(benchmark, save_result):
+    result = benchmark.pedantic(table1_mix, rounds=1, iterations=1)
+    save_result(result)
+    ours = result.series["ours"]
+
+    # Shape claims from the paper's Table 1 discussion:
+    # every class is populated by the suite,
+    assert all(fraction > 0 for fraction in ours.values())
+    # a substantial share of the stream produces redundant binary results
+    rb_output = (ours["ARITH_RB_RB"] + ours["CMOV_SIGN_RB_RB"]
+                 + ours["CMOV_ZERO_RB_RB"])
+    assert rb_output > 0.15
+    # memory and branches are major classes; cmovs are rare
+    assert ours["MEMORY_RB_TC"] > 0.10
+    assert ours["BRANCH_RB"] > 0.08
+    assert ours["CMOV_SIGN_RB_RB"] + ours["CMOV_ZERO_RB_RB"] < 0.08
+    # TC-only operations are a significant minority (paper: ~25%)
+    assert 0.05 < ours["OTHER_TC_TC"] < 0.45

@@ -1,0 +1,24 @@
+"""Table 3: the latency model must be exactly the paper's table."""
+
+from repro.harness.experiments import table3_latencies
+
+
+def test_table3_latencies(benchmark, save_result):
+    result = benchmark.pedantic(table3_latencies, rounds=1, iterations=1)
+    save_result(result)
+    series = result.series
+
+    paper = {
+        "INT_ARITH": (2, 1, 3, 1),
+        "INT_LOGICAL": (1, 1, 1, 1),
+        "SHIFT_LEFT": (3, 3, 5, 3),
+        "SHIFT_RIGHT": (3, 3, 3, 3),
+        "INT_COMPARE": (2, 1, 3, 1),
+        "BYTE_MANIP": (2, 1, 3, 1),
+        "INT_MUL": (10, 10, 10, 10),
+        "FP_ARITH": (8, 8, 8, 8),
+        "FP_DIV": (32, 32, 32, 32),
+        "MEM": (1, 1, 3, 1),
+    }
+    for name, row in paper.items():
+        assert series[name] == row, name

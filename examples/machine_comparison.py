@@ -1,0 +1,47 @@
+#!/usr/bin/env python3
+"""Run one of the paper's workloads across all machine models (Figs. 9-12).
+
+Picks a benchmark kernel from the suite (default: gap, whose bignum carry
+chains are the redundant binary adder's best case among the kernels) and
+reports IPC, misprediction rate, cache behaviour, and the Fig. 13 bypass
+case distribution for each of the paper's machines at both widths.
+
+Usage:  python examples/machine_comparison.py [workload]
+"""
+
+import sys
+
+from repro.core import all_paper_machines, simulate
+from repro.core.statistics import BypassCase
+from repro.utils.tables import format_table
+from repro.workloads import build, get_workload
+
+
+def main() -> None:
+    name = sys.argv[1] if len(sys.argv) > 1 else "gap"
+    workload = get_workload(name)
+    program = build(name)
+    print(f"workload: {workload.name} ({workload.suite}) — {workload.description}")
+    print(f"{len(program)} static instructions\n")
+
+    for width in (4, 8):
+        rows = []
+        for config in all_paper_machines(width):
+            stats = simulate(config, program)
+            rows.append([
+                config.name,
+                stats.ipc,
+                f"{stats.misprediction_rate:.2%}",
+                f"{stats.dcache_hit_rate:.2%}",
+                f"{stats.bypass_cases.fraction(BypassCase.RB_TO_TC):.2%}",
+            ])
+        print(format_table(
+            ["machine", "IPC", "mispredict", "D$ hit", "RB->TC bypasses"],
+            rows,
+            title=f"{width}-wide machines",
+        ))
+        print()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,98 @@
+#!/usr/bin/env python3
+"""Tour of the redundant binary number system (paper Section 3).
+
+Shows the signed-digit representation, carry-free addition with bogus
+overflow correction, forwarding of intermediate results in redundant
+form, the cost of the RB -> TC conversion at the gate level, and the
+sum-addressed-memory decode that lets loads skip that conversion.
+
+Usage:  python examples/redundant_arithmetic.py
+"""
+
+from repro.circuits import build_cla_adder, build_rb_adder, build_rb_to_tc_converter
+from repro.circuits.sam import sam_match
+from repro.rb import (
+    RBALU,
+    RBNumber,
+    from_twos_complement,
+    rb_add,
+    to_twos_complement,
+)
+
+
+def representation_demo() -> None:
+    print("== signed-digit representation (paper §3.1) ==")
+    three_a = RBNumber.from_msd_digits([0, 1, 0, -1])
+    three_b = RBNumber.from_msd_digits([0, 0, 1, 1])
+    print(f"  {three_a}  and  {three_b}  both encode 3 "
+          f"({three_a.value()} == {three_b.value()})")
+    encoded = from_twos_complement(-5, 8)
+    print(f"  -5 hardwired into RB: {encoded} (plus={encoded.plus:#04x}, "
+          f"minus={encoded.minus:#04x})")
+    print(f"  back via the carry-propagating subtraction: "
+          f"{to_twos_complement(encoded)}\n")
+
+
+def chained_add_demo() -> None:
+    print("== carry-free addition chains (paper §3.3, §3.5) ==")
+    alu = RBALU(width=8)
+    value = alu.encode(1)
+    print("  repeatedly incrementing 1 (watch non-zero digits spread left):")
+    for step in range(5):
+        value = alu.add(value, alu.encode(1)).value
+        print(f"    after +1 x{step + 1}: {value}")
+    # Drive a chain into two's-complement overflow.
+    total = alu.encode(100)
+    result = alu.add(total, alu.encode(100))
+    print(f"  100 + 100 in 8 digits wraps to {result.value.value()} "
+          f"(overflow={result.overflow})\n")
+
+
+def forwarding_demo() -> None:
+    print("== forwarding intermediate results in redundant form (§4.1) ==")
+    alu = RBALU(width=16)
+    # a dependent chain: each result feeds the next without conversion
+    chain = [alu.encode(7)]
+    for addend in (12, -5, 113, -40):
+        chain.append(alu.add(chain[-1], alu.encode(addend)).value)
+    values = [to_twos_complement(v) for v in chain]
+    print(f"  chain values (converted only for display): {values}")
+    dense = chain[-1]
+    print(f"  final value kept redundant: {dense} "
+          f"({dense.nonzero_digit_count()} non-zero digits)\n")
+
+
+def delay_demo() -> None:
+    print("== why this wins: gate-level critical paths (§3.4) ==")
+    for width in (16, 32, 64):
+        rb = build_rb_adder(width).delay()
+        cla = build_cla_adder(width).delay()
+        conv = build_rb_to_tc_converter(width).delay()
+        print(f"  {width:2d} digits: RB adder {rb:5.1f}  CLA {cla:5.1f}  "
+              f"RB->TC converter {conv:5.1f}  (CLA/RB = {cla / rb:.2f}x)")
+    print()
+
+
+def sam_demo() -> None:
+    print("== sum-addressed memory: indexing a cache without an add (§3.6) ==")
+    base, displacement, width = 0b101100, 0b000111, 6
+    target = (base + displacement) % (1 << width)
+    matches = [k for k in range(1 << width) if sam_match(base, displacement, k, width)]
+    print(f"  base={base:#08b} disp={displacement:#08b}: SAM asserts word line(s) "
+          f"{matches} (true sum index: {target})")
+    rb = from_twos_complement(45, width + 1)
+    print(f"  a redundant address {rb} indexes via its components "
+          f"X+={rb.plus} X-={rb.minus}: "
+          f"{sam_match(rb.plus, (-rb.minus) % (1 << width), 45 % (1 << width), width)}")
+
+
+def main() -> None:
+    representation_demo()
+    chained_add_demo()
+    forwarding_demo()
+    delay_demo()
+    sam_demo()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,11 @@
+"""Setuptools shim.
+
+Metadata lives in pyproject.toml; this file exists so that
+``pip install -e .`` also works on minimal/offline environments whose
+setuptools lacks the PEP 660 editable-wheel path (no ``wheel`` package):
+pip falls back to the legacy ``setup.py develop`` route.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,54 @@
+"""repro — reproduction of Brown & Patt (HPCA 2002).
+
+*Using Internal Redundant Representations and Limited Bypass to Support
+Pipelined Adders and Register Files.*
+
+Top-level convenience surface; the subpackages are the real API:
+
+* :mod:`repro.rb` — redundant binary arithmetic (§3);
+* :mod:`repro.circuits` — gate-level adder/SAM netlists and delays (§3.4);
+* :mod:`repro.isa` — the mini Alpha-like ISA, assembler, interpreter,
+  and the redundant-datapath shadow checker;
+* :mod:`repro.frontend` / :mod:`repro.mem` / :mod:`repro.backend` — the
+  simulator substrates (prediction+fetch, memory hierarchy, scheduling
+  and bypass);
+* :mod:`repro.core` — machine configurations and the cycle-level
+  simulator (§4-5);
+* :mod:`repro.workloads` — the 20 SPEC-like kernels and generators;
+* :mod:`repro.harness` — experiments regenerating every table and figure.
+"""
+
+from repro.core import (
+    Machine,
+    MachineConfig,
+    SimStats,
+    all_paper_machines,
+    baseline,
+    ideal,
+    ideal_limited,
+    rb_full,
+    rb_limited,
+    simulate,
+)
+from repro.isa import assemble, run_program
+from repro.rb import RBALU, RBNumber
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    "assemble",
+    "run_program",
+    "simulate",
+    "Machine",
+    "MachineConfig",
+    "SimStats",
+    "baseline",
+    "rb_limited",
+    "rb_full",
+    "ideal",
+    "ideal_limited",
+    "all_paper_machines",
+    "RBALU",
+    "RBNumber",
+]

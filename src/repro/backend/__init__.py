@@ -1,0 +1,33 @@
+"""Execution-core timing components (paper Section 4).
+
+* :mod:`repro.backend.formats` — the two data formats values travel in.
+* :mod:`repro.backend.latency` — Table 3: per-class execution latencies
+  for the Baseline / RB / Ideal adder styles.
+* :mod:`repro.backend.bypass` — availability templates: at which
+  select-relative cycles a producer's result is reachable by a consumer,
+  for full and limited bypass networks (including the paper's holes).
+* :mod:`repro.backend.scheduler` — wakeup-array scheduling with
+  shift-register-style availability (Fig. 8), select-2 per scheduler.
+* :mod:`repro.backend.steering` — round-robin steering of groups of two
+  consecutive instructions to schedulers.
+* :mod:`repro.backend.fu` — functional-unit occupancy bookkeeping.
+"""
+
+from repro.backend.bypass import AvailabilityTemplate, BypassModel, BypassStyle
+from repro.backend.formats import DataFormat
+from repro.backend.latency import AdderStyle, LatencyModel, TABLE3
+from repro.backend.scheduler import Scheduler, SchedulerEntry
+from repro.backend.steering import RoundRobinSteering
+
+__all__ = [
+    "DataFormat",
+    "AdderStyle",
+    "LatencyModel",
+    "TABLE3",
+    "AvailabilityTemplate",
+    "BypassModel",
+    "BypassStyle",
+    "Scheduler",
+    "SchedulerEntry",
+    "RoundRobinSteering",
+]

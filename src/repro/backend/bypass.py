@@ -1,0 +1,225 @@
+"""Bypass-network availability templates (paper §4.2).
+
+All timing is expressed in *select-cycle space*: if a producer is selected
+at cycle ``s_p`` and a consumer at ``s_c``, the consumer reads its operands
+at the start of execution, ``s_c + RF_READ_CYCLES + 1`` cycles later — the
+same pipeline distance for both — so whether a value is reachable depends
+only on the offset ``s_c - s_p``.
+
+With an execution latency of L (in the format the consumer needs) and a
+2-cycle register file, a full bypass network makes the value reachable at
+every offset >= L: offsets L, L+1, L+2 ride bypass levels 1, 2, 3, and
+offsets >= L+3 read the register file (the write-stage-to-read-stage
+forwarding inside the register file counts as part of "the register
+file", as in the paper's figures).  Deleting bypass level k removes
+offset L+k-1, leaving a hole that the Fig. 8 shift-register scheduling
+encodes as a 0 bit between 1s.
+
+An :class:`AvailabilityTemplate` is exactly that shift-register pattern:
+a small set of discrete reachable offsets plus the offset from which the
+value is permanently reachable.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.backend.formats import DataFormat
+from repro.backend.latency import AdderStyle, LatencyModel
+from repro.isa.opcodes import LatencyClass
+
+#: Bypass levels in a full network for a 2-cycle register file (paper §5.2).
+BYPASS_LEVELS = 3
+#: Select-offset distance past the exec latency at which the register file
+#: (including its internal write-to-read forwarding) serves the value.
+RF_DISTANCE = BYPASS_LEVELS
+
+
+class BypassStyle(enum.Enum):
+    """The bypass-network configurations studied in the paper."""
+
+    FULL = "full"              # all levels present
+    RB_LIMITED = "rb-limited"  # §4.2: BYP-2 deleted; BYP-3 not visible to RB inputs
+    LIMITED = "limited"        # Fig. 14: an arbitrary set of deleted levels
+
+
+@dataclass(frozen=True)
+class AvailabilityTemplate:
+    """When a result is reachable, as select-cycle offsets from the producer.
+
+    ``discrete`` lists individually reachable offsets below
+    ``permanent_from``; from ``permanent_from`` onward the value is always
+    reachable.  This is the initial value of the Fig. 8 countdown shift
+    register (interleaved 0s and 1s for holes).
+    """
+
+    discrete: tuple[int, ...]
+    permanent_from: int
+
+    def __post_init__(self) -> None:
+        if any(o >= self.permanent_from for o in self.discrete):
+            raise ValueError(
+                f"discrete offsets {self.discrete} overlap permanent_from "
+                f"{self.permanent_from}"
+            )
+        if list(self.discrete) != sorted(set(self.discrete)):
+            raise ValueError(f"discrete offsets must be sorted unique: {self.discrete}")
+
+    def available(self, offset: int) -> bool:
+        """Is the value reachable at this select offset?"""
+        return offset >= self.permanent_from or offset in self.discrete
+
+    def next_available(self, offset: int) -> int:
+        """The smallest reachable offset >= ``offset``."""
+        if offset >= self.permanent_from:
+            return offset
+        for candidate in self.discrete:
+            if candidate >= offset:
+                return candidate
+        return self.permanent_from
+
+    @property
+    def first_offset(self) -> int:
+        """The earliest reachable offset."""
+        return self.discrete[0] if self.discrete else self.permanent_from
+
+    def has_hole(self) -> bool:
+        """True if there are unreachable offsets after the first reachable one."""
+        reachable = list(self.discrete) + [self.permanent_from]
+        return reachable[-1] - reachable[0] + 1 > len(reachable)
+
+    def shift_register_bits(self, length: int | None = None) -> list[int]:
+        """The Fig. 8 shift-register image: bit i == reachable at offset i+1."""
+        if length is None:
+            length = self.permanent_from
+        return [1 if self.available(i + 1) else 0 for i in range(length)]
+
+
+def template_from_levels(exec_latency: int, removed_levels: frozenset[int]) -> AvailabilityTemplate:
+    """Build a template for a producer of latency L with some levels deleted."""
+    permanent = exec_latency + RF_DISTANCE
+    discrete = tuple(
+        exec_latency + level - 1
+        for level in range(1, BYPASS_LEVELS + 1)
+        if level not in removed_levels
+    )
+    # Fold a contiguous tail of discrete offsets into permanent_from.
+    discrete_list = list(discrete)
+    while discrete_list and discrete_list[-1] == permanent - 1:
+        permanent -= 1
+        discrete_list.pop()
+    return AvailabilityTemplate(tuple(discrete_list), permanent)
+
+
+class BypassModel:
+    """Produces availability templates for one machine configuration.
+
+    Parameters
+    ----------
+    adder_style:
+        Which Table 3 column the machine uses.
+    bypass_style:
+        FULL, RB_LIMITED (the §4.2 network), or LIMITED with
+        ``removed_levels`` (the Fig. 14 study).
+    removed_levels:
+        For LIMITED: which of the 3 bypass levels are deleted (e.g.
+        {1, 2} for the paper's "No-1,2" machine).
+    """
+
+    def __init__(
+        self,
+        adder_style: AdderStyle,
+        bypass_style: BypassStyle = BypassStyle.FULL,
+        removed_levels: frozenset[int] | None = None,
+        conversion_cycles: int = 2,
+    ) -> None:
+        if bypass_style is BypassStyle.LIMITED:
+            if not removed_levels:
+                raise ValueError("LIMITED bypass needs a non-empty removed_levels set")
+            bad = set(removed_levels) - set(range(1, BYPASS_LEVELS + 1))
+            if bad:
+                raise ValueError(f"removed levels out of range: {sorted(bad)}")
+        elif removed_levels:
+            raise ValueError(f"removed_levels only meaningful for LIMITED, got {bypass_style}")
+        if bypass_style is BypassStyle.RB_LIMITED and adder_style is not AdderStyle.RB:
+            raise ValueError("RB_LIMITED bypass requires the RB adder style")
+        self.adder_style = adder_style
+        self.bypass_style = bypass_style
+        self.removed_levels = frozenset(removed_levels or ())
+        self.latency = LatencyModel(adder_style, conversion_cycles)
+        self._cache: dict[tuple[LatencyClass, bool], dict[DataFormat, AvailabilityTemplate]] = {}
+
+    def templates(
+        self, latency_class: LatencyClass, produces_rb: bool
+    ) -> dict[DataFormat, AvailabilityTemplate]:
+        """Availability templates for a producer of this class.
+
+        Keys: the format the *consumer* reads the value in.  ``RB`` maps to
+        when RB-input consumers can get it (in either format — a TC value
+        is trivially RB-consumable); ``TC`` to when TC-input consumers can.
+        """
+        key = (latency_class, produces_rb)
+        cached = self._cache.get(key)
+        if cached is not None:
+            return cached
+        templates = self._build(latency_class, produces_rb)
+        self._cache[key] = templates
+        return templates
+
+    def _build(
+        self, latency_class: LatencyClass, produces_rb: bool
+    ) -> dict[DataFormat, AvailabilityTemplate]:
+        exec_latency = self.latency.exec_latency(latency_class)
+        tc_latency = self.latency.tc_latency(latency_class)
+        if not produces_rb:
+            tc_latency = exec_latency
+
+        if self.bypass_style is BypassStyle.FULL:
+            # Full networks are continuous from the first availability in
+            # each format (the RB-full machine's RB register file plays the
+            # role of BYP-2 and beyond for RB consumers).
+            rb_template = AvailabilityTemplate((), exec_latency)
+            tc_template = AvailabilityTemplate((), tc_latency)
+            return {DataFormat.RB: rb_template, DataFormat.TC: tc_template}
+
+        if self.bypass_style is BypassStyle.RB_LIMITED:
+            if not produces_rb:
+                # TC producers (loads, logicals, ...) keep BYP-1 (their only
+                # level in use is the first one: the paper removes only the
+                # *second* level, and TC results written straight to the TC
+                # register file are continuous past it).
+                template = template_from_levels(exec_latency, frozenset({2}))
+                return {DataFormat.RB: template, DataFormat.TC: template}
+            # RB producers: RB consumers see BYP-1 only, then the (converted)
+            # value from the register file -> a 2-cycle hole.  TC consumers
+            # see BYP-3 (the converter output) and then the register file.
+            rf_from = tc_latency + 1  # register-file write-to-read forwarding
+            rb_template = AvailabilityTemplate((exec_latency,), rf_from)
+            tc_template = AvailabilityTemplate((tc_latency,), rf_from)
+            return {DataFormat.RB: rb_template, DataFormat.TC: tc_template}
+
+        # LIMITED (Fig. 14): same deletion applied to every producer class.
+        template = template_from_levels(exec_latency, self.removed_levels)
+        if produces_rb:
+            tc_template = template_from_levels(tc_latency, self.removed_levels)
+        else:
+            tc_template = template
+        return {DataFormat.RB: template, DataFormat.TC: tc_template}
+
+    def load_template(self, load_latency: int) -> AvailabilityTemplate:
+        """Availability template for a load with a known (dynamic) latency.
+
+        Loads produce two's-complement data out of the cache, so one
+        template serves both consumer formats; the bypass-level deletions
+        apply to the cache-output buses the same way they do to ALU
+        outputs.  ``load_latency`` is the agen + cache latency actually
+        observed (variable on misses), in select-cycle offsets.
+        """
+        if load_latency <= 0:
+            raise ValueError(f"load latency must be positive, got {load_latency}")
+        if self.bypass_style is BypassStyle.FULL:
+            return AvailabilityTemplate((), load_latency)
+        if self.bypass_style is BypassStyle.RB_LIMITED:
+            return template_from_levels(load_latency, frozenset({2}))
+        return template_from_levels(load_latency, self.removed_levels)

@@ -1,0 +1,17 @@
+"""The two in-flight data formats (paper §3, §4.1)."""
+
+from __future__ import annotations
+
+import enum
+
+
+class DataFormat(enum.Enum):
+    """Format a register value is produced in.
+
+    ``TC`` values are usable by every consumer.  ``RB`` values are usable
+    immediately by RB-input functional units and become TC after the
+    2-cycle format conversion.
+    """
+
+    TC = "tc"
+    RB = "rb"

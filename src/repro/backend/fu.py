@@ -1,0 +1,37 @@
+"""Functional-unit bookkeeping.
+
+The paper's functional units are homogeneous and (except for the adders
+under study) pipelined, with two units fed by each select-2 scheduler, so
+structural hazards beyond the select bandwidth do not arise; this module
+tracks issue counts and utilization for the statistics the harness
+reports.
+"""
+
+from __future__ import annotations
+
+
+class FunctionalUnitPool:
+    """Utilization counters for the FUs attached to one scheduler."""
+
+    def __init__(self, units: int, name: str = "fu") -> None:
+        if units <= 0:
+            raise ValueError(f"unit count must be positive, got {units}")
+        self.units = units
+        self.name = name
+        self.issued = 0
+        self.busy_cycles = 0
+
+    def issue(self, count: int, latency: int) -> None:
+        """Record ``count`` issues of operations occupying ``latency`` cycles."""
+        if count > self.units:
+            raise ValueError(
+                f"{self.name}: issued {count} ops to {self.units} units in one cycle"
+            )
+        self.issued += count
+        self.busy_cycles += count * latency
+
+    def utilization(self, cycles: int) -> float:
+        """Average fraction of issue slots used over ``cycles``."""
+        if cycles <= 0:
+            return 0.0
+        return self.issued / (cycles * self.units)

@@ -1,0 +1,137 @@
+"""Table 3: instruction-class execution latencies per machine style.
+
+For each latency class, the table gives the cycle count on the Baseline
+machine (2-cycle pipelined TC adders), on the RB machines (1-cycle RB
+adders; the parenthesised value is when the two's-complement result is
+ready, after the 2-cycle format conversion), and on the Ideal machine
+(1-cycle TC adders).
+
+Loads are the 1-cycle SAM address generation; the 2-cycle (or longer, on
+a miss) data-cache access is added dynamically by the memory hierarchy.
+Branches resolve with the compare latency of their machine.  CTLZ/CTTZ/
+CTPOP are not in Table 3; they are modelled like byte manipulation
+(simple non-carry logic), as documented in DESIGN.md.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.isa.opcodes import LatencyClass
+
+
+class AdderStyle(enum.Enum):
+    """Which column of Table 3 a machine uses.
+
+    ``STAGGERED`` is Figure 1's Configuration C (the Pentium 4's staggered
+    adds, §2): the same 2-cycle pipelined TC adder as the Baseline, but
+    the first stage's low half and carry are forwarded, so a *dependent
+    add* can start one cycle after its producer; every other consumer
+    waits for the full 2-cycle result.
+    """
+
+    BASELINE = "baseline"    # 2-cycle pipelined two's-complement adders
+    STAGGERED = "staggered"  # 2-cycle pipelined, low-half forwarding to adds
+    RB = "rb"                # 1-cycle redundant binary adders + 2-cycle converters
+    IDEAL = "ideal"          # 1-cycle two's-complement adders
+
+
+@dataclass(frozen=True)
+class ClassLatency:
+    """Latencies for one instruction class: (baseline, rb, rb-tc, ideal)."""
+
+    baseline: int
+    rb: int
+    rb_tc: int
+    ideal: int
+
+
+#: Table 3, with the modelling decisions above.
+TABLE3: dict[LatencyClass, ClassLatency] = {
+    LatencyClass.INT_ARITH: ClassLatency(2, 1, 3, 1),
+    LatencyClass.INT_LOGICAL: ClassLatency(1, 1, 1, 1),
+    LatencyClass.SHIFT_LEFT: ClassLatency(3, 3, 5, 3),
+    LatencyClass.SHIFT_RIGHT: ClassLatency(3, 3, 3, 3),
+    LatencyClass.INT_COMPARE: ClassLatency(2, 1, 3, 1),
+    LatencyClass.BYTE_MANIP: ClassLatency(2, 1, 3, 1),
+    LatencyClass.COUNT: ClassLatency(2, 1, 3, 1),
+    LatencyClass.INT_MUL: ClassLatency(10, 10, 10, 10),
+    LatencyClass.FP_ARITH: ClassLatency(8, 8, 8, 8),
+    LatencyClass.FP_DIV: ClassLatency(32, 32, 32, 32),
+    LatencyClass.MEM: ClassLatency(1, 1, 3, 1),       # agen; rb_tc: store data path
+    LatencyClass.BRANCH: ClassLatency(2, 1, 1, 1),    # resolves like a compare
+}
+
+#: Data-cache hit latency added on top of the load agen latency (Table 3's
+#: "dcache latency 2" row).
+DCACHE_LATENCY = 2
+
+
+#: The paper's RB -> TC format converter is pipelined over this many cycles
+#: (§4.1 footnote); sensitivity studies can override it per LatencyModel.
+DEFAULT_CONVERSION_CYCLES = 2
+
+
+class LatencyModel:
+    """Latency lookups for one machine style.
+
+    ``conversion_cycles`` scales the format-conversion penalty: Table 3's
+    parenthesised values are ``rb + 2``; the ablation benchmarks sweep the
+    converter depth to show how sensitive the RB machines are to it.
+    """
+
+    def __init__(
+        self,
+        style: AdderStyle,
+        conversion_cycles: int = DEFAULT_CONVERSION_CYCLES,
+    ) -> None:
+        if conversion_cycles < 0:
+            raise ValueError(f"conversion cycles must be >= 0, got {conversion_cycles}")
+        self.style = style
+        self.conversion_cycles = conversion_cycles
+
+    def exec_latency(self, latency_class: LatencyClass) -> int:
+        """Cycles until the result is first forwardable in its native form.
+
+        On RB machines that is the redundant result; on the staggered
+        machine it is the first pipeline stage's low half + carry (adds
+        only); elsewhere it is the complete result.
+        """
+        row = TABLE3[latency_class]
+        if self.style is AdderStyle.BASELINE:
+            return row.baseline
+        if self.style is AdderStyle.STAGGERED:
+            if latency_class is LatencyClass.INT_ARITH:
+                return row.baseline - 1  # stage 1: low half + carry
+            return row.baseline
+        if self.style is AdderStyle.RB:
+            return row.rb
+        return row.ideal
+
+    def tc_latency(self, latency_class: LatencyClass) -> int:
+        """Cycles until the complete two's-complement result exists.
+
+        Differs from :meth:`exec_latency` on RB machines (the format
+        conversion) and on the staggered machine's adds (the upper half
+        completes one stage later).
+        """
+        row = TABLE3[latency_class]
+        if self.style is AdderStyle.BASELINE or self.style is AdderStyle.STAGGERED:
+            return row.baseline
+        if self.style is AdderStyle.RB:
+            if row.rb_tc != row.rb:
+                return row.rb + self.conversion_cycles
+            return row.rb
+        return row.ideal
+
+    def produces_rb(self, latency_class: LatencyClass) -> bool:
+        """Whether this class's raw result is an internal partial form —
+        redundant binary on RB machines, the staggered low half on the
+        staggered machine — that only some consumers can take early."""
+        if self.style is AdderStyle.RB:
+            row = TABLE3[latency_class]
+            return row.rb_tc != row.rb
+        if self.style is AdderStyle.STAGGERED:
+            return latency_class is LatencyClass.INT_ARITH
+        return False

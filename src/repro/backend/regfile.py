@@ -1,0 +1,93 @@
+"""Register-file organizations and their costs (paper §4.1).
+
+The paper weighs two organizations for the RB machines:
+
+* **TC-only register files** — smallest state, but RB-output ALUs need a
+  third bypass level (the converter output) and RB consumers lose access
+  to in-flight values once they leave the bypass network;
+* **TC + RB register files** — "each entry in a redundant binary register
+  file requires twice as many bits of state", but the machine needs no
+  second-level bypass: the RB file's write-to-read forwarding covers it,
+  keeping the bypass path count equal to a conventional machine's.
+
+This module makes that tradeoff concrete: storage bits, bypass path
+counts, and comparator-input widths per organization, as used by the
+register-file ablation benchmark.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.backend.bypass import BYPASS_LEVELS
+
+
+class RegisterFileOrganization(enum.Enum):
+    """The §4.1 design points."""
+
+    TC_ONLY = "tc-only"
+    TC_AND_RB = "tc+rb"
+
+
+@dataclass(frozen=True)
+class RegisterFileCost:
+    """Static cost summary for one organization."""
+
+    organization: RegisterFileOrganization
+    entries: int
+    data_bits: int
+    storage_bits: int          # total register state
+    bypass_levels_rb_alu: int  # levels feeding an RB-output ALU's inputs
+    bypass_levels_tc_alu: int
+    bypass_paths_per_fu: int   # forwarding sources muxed at one FU input
+
+    def mux_fan_in(self, functional_units: int, rf_read_ports: int = 2) -> int:
+        """Inputs of one operand-select mux: one per bypass path per FU
+        plus the register-file read port(s) — the structure whose growth
+        the paper blames for cycle-time pressure (§1, §2)."""
+        return self.bypass_paths_per_fu * functional_units + rf_read_ports
+
+
+def register_file_cost(
+    organization: RegisterFileOrganization,
+    entries: int = 128,
+    data_bits: int = 64,
+) -> RegisterFileCost:
+    """Cost model for one register-file organization.
+
+    With TC-only files an RB-output ALU needs all three bypass levels
+    visible (two in redundant format plus the converter output); with a
+    redundant register file alongside, level 2 disappears (the RB file
+    covers it) at the price of 2x state per redundant entry.
+    """
+    if entries <= 0 or data_bits <= 0:
+        raise ValueError(f"entries/data_bits must be positive: {entries}, {data_bits}")
+    if organization is RegisterFileOrganization.TC_ONLY:
+        return RegisterFileCost(
+            organization=organization,
+            entries=entries,
+            data_bits=data_bits,
+            storage_bits=entries * data_bits,
+            bypass_levels_rb_alu=BYPASS_LEVELS,
+            bypass_levels_tc_alu=1,
+            bypass_paths_per_fu=BYPASS_LEVELS,
+        )
+    # TC + RB: a redundant entry holds two bit-vectors (X+ and X-).
+    return RegisterFileCost(
+        organization=organization,
+        entries=entries,
+        data_bits=data_bits,
+        storage_bits=entries * data_bits + entries * 2 * data_bits,
+        bypass_levels_rb_alu=1,
+        bypass_levels_tc_alu=1,
+        bypass_paths_per_fu=2,  # first-level RB + converter output
+    )
+
+
+def compare_organizations(entries: int = 128, data_bits: int = 64) -> dict[str, RegisterFileCost]:
+    """Both §4.1 design points side by side."""
+    return {
+        org.value: register_file_cost(org, entries, data_bits)
+        for org in RegisterFileOrganization
+    }

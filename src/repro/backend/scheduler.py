@@ -1,0 +1,96 @@
+"""Wakeup-array scheduling logic with select-2 (paper §4.3, Fig. 8).
+
+Each scheduler holds up to ``capacity`` instructions and selects up to
+``select_width`` (2 in the paper: one per attached functional unit) each
+cycle, oldest first.  Readiness is delegated to a callback supplied by the
+machine, which evaluates every source operand's availability template —
+the software analogue of monitoring RESOURCE AVAILABLE lines driven by
+the producers' countdown shift registers.
+
+Holes in data availability are handled exactly as the paper describes:
+when an instruction's sources are jointly available only at some later
+cycle, the callback returns that cycle and the entry sleeps until then
+(the shift register's interleaved 0s and 1s).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+from typing import Generic, TypeVar
+
+T = TypeVar("T")
+
+#: The readiness callback: (record, cycle) -> (ready_now, next_candidate_cycle).
+#: ``next_candidate_cycle`` is consulted only when not ready; it must be
+#: > the queried cycle (the entry will be re-examined then).
+ReadyFn = Callable[[T, int], tuple[bool, int]]
+
+
+class SchedulerEntry(Generic[T]):
+    """One reservation-station entry."""
+
+    __slots__ = ("record", "next_try")
+
+    def __init__(self, record: T, next_try: int) -> None:
+        self.record = record
+        self.next_try = next_try
+
+    def __repr__(self) -> str:
+        return f"SchedulerEntry({self.record!r}, next_try={self.next_try})"
+
+
+class Scheduler(Generic[T]):
+    """One select-N scheduler over a bounded window of entries."""
+
+    def __init__(self, capacity: int, select_width: int = 2, name: str = "sched") -> None:
+        if capacity <= 0 or select_width <= 0:
+            raise ValueError(
+                f"capacity/select width must be positive: {capacity}, {select_width}"
+            )
+        self.capacity = capacity
+        self.select_width = select_width
+        self.name = name
+        self.entries: list[SchedulerEntry[T]] = []  # oldest first
+        self.selected_total = 0
+        self.full_stall_cycles = 0
+
+    @property
+    def occupancy(self) -> int:
+        return len(self.entries)
+
+    def has_room(self, count: int = 1) -> bool:
+        return len(self.entries) + count <= self.capacity
+
+    def insert(self, record: T, earliest_select: int) -> None:
+        """Place an instruction in the window; selectable from ``earliest_select``."""
+        if not self.has_room():
+            raise RuntimeError(f"{self.name}: insert into full scheduler")
+        self.entries.append(SchedulerEntry(record, earliest_select))
+
+    def select(self, cycle: int, is_ready: ReadyFn) -> list[T]:
+        """One select cycle: grant up to ``select_width`` ready entries, oldest first."""
+        granted: list[T] = []
+        grant_indices: list[int] = []
+        for index, entry in enumerate(self.entries):
+            if len(granted) == self.select_width:
+                break
+            if entry.next_try > cycle:
+                continue
+            ready, next_candidate = is_ready(entry.record, cycle)
+            if ready:
+                granted.append(entry.record)
+                grant_indices.append(index)
+            else:
+                if next_candidate <= cycle:
+                    raise AssertionError(
+                        f"{self.name}: readiness callback returned stale "
+                        f"next_candidate {next_candidate} at cycle {cycle}"
+                    )
+                entry.next_try = next_candidate
+        for index in reversed(grant_indices):
+            del self.entries[index]
+        self.selected_total += len(granted)
+        return granted
+
+    def __repr__(self) -> str:
+        return f"Scheduler({self.name}, {self.occupancy}/{self.capacity})"

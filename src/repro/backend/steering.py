@@ -1,0 +1,73 @@
+"""Instruction steering policies.
+
+The paper's machines steer groups of two consecutive instructions to each
+scheduler round-robin (§5.1).  Its §4.2 closes by noting that *instruction
+steering* could make further bypass restrictions cheap and leaves it as
+future work; :func:`choose_dependence_target` implements that extension —
+send an instruction to the scheduler of its most recent producer, so
+forwarding stays within a cluster and within the cheap bypass levels.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+
+class RoundRobinSteering:
+    """Round-robin steering of fixed-size instruction groups."""
+
+    def __init__(self, num_schedulers: int, group_size: int = 2) -> None:
+        if num_schedulers <= 0 or group_size <= 0:
+            raise ValueError(
+                f"schedulers/group size must be positive: {num_schedulers}, {group_size}"
+            )
+        self.num_schedulers = num_schedulers
+        self.group_size = group_size
+        self._current = 0
+        self._in_group = 0
+
+    def next_scheduler(self) -> int:
+        """Scheduler index for the next instruction in program order."""
+        target = self._current
+        self._in_group += 1
+        if self._in_group == self.group_size:
+            self._in_group = 0
+            self._current = (self._current + 1) % self.num_schedulers
+        return target
+
+    def peek(self) -> int:
+        """The scheduler the next instruction would go to, without advancing."""
+        return self._current
+
+    def reset(self) -> None:
+        self._current = 0
+        self._in_group = 0
+
+
+def choose_dependence_target(
+    producer_schedulers: Sequence[int],
+    occupancies: Sequence[int],
+    capacity: int,
+    round_robin_hint: int,
+) -> int | None:
+    """Pick a scheduler for dependence-aware steering.
+
+    ``producer_schedulers`` lists the schedulers holding this
+    instruction's producers, most recent producer first.  Preference
+    order: the most recent producer's scheduler (dependents selected there
+    forward locally), then any other producer's, then the least-occupied
+    scheduler (starting the search at the round-robin hint so independent
+    code still spreads out).  Returns None when every scheduler is full —
+    the caller stalls dispatch.
+    """
+    for scheduler in producer_schedulers:
+        if 0 <= scheduler < len(occupancies) and occupancies[scheduler] < capacity:
+            return scheduler
+    candidates = [
+        (occupancies[i], (i - round_robin_hint) % len(occupancies), i)
+        for i in range(len(occupancies))
+        if occupancies[i] < capacity
+    ]
+    if not candidates:
+        return None
+    return min(candidates)[2]

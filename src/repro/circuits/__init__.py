@@ -1,0 +1,48 @@
+"""Gate-level netlist models for the paper's delay arguments (§3.4, §3.6).
+
+The paper's case for redundant binary adders is a circuit-level one: an RB
+adder's critical path is a short, *width-independent* chain (seven
+transistors in their design), while a carry-lookahead adder's critical path
+grows logarithmically with width, and the RB->TC format converter costs a
+full carry-propagating subtraction.  This package rebuilds those netlists
+in a small gate framework so the delay comparison can be regenerated:
+
+* :mod:`repro.circuits.gates` — netlist framework: typed gates with
+  normalized delays, functional evaluation, critical-path extraction.
+* :mod:`repro.circuits.ripple` — ripple-carry adder (linear depth).
+* :mod:`repro.circuits.cla` — parallel-prefix carry-lookahead adder
+  (Kogge-Stone form; logarithmic depth).
+* :mod:`repro.circuits.carry_select` — carry-select adder.
+* :mod:`repro.circuits.rb_adder` — the Figure 2 digit slice and full RB
+  adder (constant depth).
+* :mod:`repro.circuits.converter` — RB -> TC format converter (a CLA-class
+  subtraction, hence the 2-cycle conversion latency).
+* :mod:`repro.circuits.sam` — sum-addressed-memory decoder: per-word-line
+  carry-free equality test (§3.6).
+* :mod:`repro.circuits.analysis` — delay sweeps used by the §3.4 benchmark.
+"""
+
+from repro.circuits.analysis import adder_delay_table, critical_path_delay
+from repro.circuits.carry_select import build_carry_select_adder
+from repro.circuits.cla import build_cla_adder
+from repro.circuits.converter import build_rb_to_tc_converter
+from repro.circuits.gates import Circuit, GateKind, Net
+from repro.circuits.rb_adder import build_rb_adder, build_rb_digit_slice
+from repro.circuits.ripple import build_ripple_adder
+from repro.circuits.sam import build_sam_decoder, sam_match
+
+__all__ = [
+    "Circuit",
+    "GateKind",
+    "Net",
+    "build_ripple_adder",
+    "build_cla_adder",
+    "build_carry_select_adder",
+    "build_rb_adder",
+    "build_rb_digit_slice",
+    "build_rb_to_tc_converter",
+    "build_sam_decoder",
+    "sam_match",
+    "critical_path_delay",
+    "adder_delay_table",
+]

@@ -1,0 +1,65 @@
+"""Delay sweeps over the adder netlists — the §3.4 comparison.
+
+The paper cites SPICE results: a redundant binary adder ~3x faster than a
+64-bit CLA and ~2.7x faster than the RB -> TC converter, with RB delay
+independent of width.  These helpers regenerate that table from the gate
+models (normalized inverter-delay units instead of nanoseconds, so only
+the ratios and growth shapes are meaningful).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Sequence
+
+from repro.circuits.carry_select import build_carry_select_adder
+from repro.circuits.cla import build_cla_adder
+from repro.circuits.converter import build_rb_to_tc_converter
+from repro.circuits.gates import Circuit
+from repro.circuits.rb_adder import build_rb_adder
+from repro.circuits.ripple import build_ripple_adder
+
+#: The adder families swept by the §3.4 experiment, in presentation order.
+ADDER_FAMILIES: dict[str, Callable[[int], Circuit]] = {
+    "ripple": build_ripple_adder,
+    "carry_select": build_carry_select_adder,
+    "cla": build_cla_adder,
+    "rb": build_rb_adder,
+    "rb_to_tc_converter": build_rb_to_tc_converter,
+}
+
+
+def critical_path_delay(circuit: Circuit) -> float:
+    """Critical-path delay of a circuit in normalized inverter units."""
+    return circuit.delay()
+
+
+def adder_delay_table(
+    widths: Sequence[int] = (8, 16, 32, 64),
+    families: Sequence[str] | None = None,
+) -> dict[str, dict[int, float]]:
+    """Delay of each adder family at each width.
+
+    Returns ``{family: {width: delay}}``.  The headline ratios the paper
+    quotes fall out as ``table['cla'][64] / table['rb'][64]`` (≈3x) and
+    ``table['rb_to_tc_converter'][64] / table['rb'][64]`` (≈2.7x).
+    """
+    if families is None:
+        families = list(ADDER_FAMILIES)
+    unknown = set(families) - set(ADDER_FAMILIES)
+    if unknown:
+        raise ValueError(f"unknown adder families: {sorted(unknown)}")
+    return {
+        family: {width: ADDER_FAMILIES[family](width).delay() for width in widths}
+        for family in families
+    }
+
+
+def delay_ratios(width: int = 64) -> dict[str, float]:
+    """Speedup of the RB adder over each other family at ``width``."""
+    table = adder_delay_table(widths=(width,))
+    rb_delay = table["rb"][width]
+    return {
+        family: delays[width] / rb_delay
+        for family, delays in table.items()
+        if family != "rb"
+    }

@@ -1,0 +1,63 @@
+"""Carry-select adder: ripple blocks computed for both carries, muxed.
+
+Included because the paper's related work compares redundant binary adders
+against both carry-lookahead and carry-select designs; its depth sits
+between ripple and CLA (O(sqrt N) with balanced blocks).
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.circuits.gates import Circuit
+from repro.circuits.ripple import full_adder
+
+
+def build_carry_select_adder(width: int, block: int | None = None) -> Circuit:
+    """An N-bit carry-select adder with cin.
+
+    ``block`` is the ripple-block size; the default is ~sqrt(N), the
+    delay-balanced choice.  Outputs ``sum[0..N-1]`` and ``cout``.
+    """
+    if width <= 0:
+        raise ValueError(f"width must be positive, got {width}")
+    if block is None:
+        block = max(1, round(math.sqrt(width)))
+    if block <= 0:
+        raise ValueError(f"block size must be positive, got {block}")
+
+    circuit = Circuit(f"carry_select{width}x{block}")
+    a = circuit.input_bus("a", width)
+    b = circuit.input_bus("b", width)
+    carry = circuit.input("cin")
+
+    sums = []
+    low = 0
+    first = True
+    while low < width:
+        high = min(low + block, width)
+        if first:
+            # The first block's carry-in is known; plain ripple.
+            for i in range(low, high):
+                total, carry = full_adder(circuit, a[i], b[i], carry)
+                sums.append(total)
+            first = False
+        else:
+            # Speculative block: compute with carry-in 0 and 1, then select.
+            carry0 = circuit.const(0)
+            carry1 = circuit.const(1)
+            sums0 = []
+            sums1 = []
+            for i in range(low, high):
+                t0, carry0 = full_adder(circuit, a[i], b[i], carry0)
+                t1, carry1 = full_adder(circuit, a[i], b[i], carry1)
+                sums0.append(t0)
+                sums1.append(t1)
+            for t0, t1 in zip(sums0, sums1):
+                sums.append(circuit.mux(carry, t0, t1))
+            carry = circuit.mux(carry, carry0, carry1)
+        low = high
+
+    circuit.output_bus("sum", sums)
+    circuit.output("cout", carry)
+    return circuit

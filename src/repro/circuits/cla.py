@@ -1,0 +1,91 @@
+"""Carry-lookahead adder, parallel-prefix (Kogge-Stone) form.
+
+The paper compares RB adders against "conventional 2's complement
+carry-lookahead adders" whose "critical path grows logarithmically with
+respect to the number of bits" (§2, §3.4).  A Kogge-Stone parallel-prefix
+adder is the canonical log-depth member of the carry-lookahead family and
+is what we sweep against the constant-depth RB adder.
+"""
+
+from __future__ import annotations
+
+from repro.circuits.gates import Circuit, Net
+
+
+def build_cla_adder(width: int) -> Circuit:
+    """An N-bit Kogge-Stone carry-lookahead adder with cin.
+
+    Outputs ``sum[0..N-1]`` and ``cout``.  Depth: one propagate/generate
+    level, ceil(log2 N) prefix levels, one final XOR.
+    """
+    if width <= 0:
+        raise ValueError(f"width must be positive, got {width}")
+    circuit = Circuit(f"cla{width}")
+    a = circuit.input_bus("a", width)
+    b = circuit.input_bus("b", width)
+    cin = circuit.input("cin")
+
+    # Bit-level propagate/generate.  cin is folded into bit 0's generate so
+    # the prefix network handles it uniformly.
+    propagate: list[Net] = [circuit.xor_(a[i], b[i]) for i in range(width)]
+    generate: list[Net] = [circuit.and_(a[i], b[i]) for i in range(width)]
+    generate[0] = circuit.or_(generate[0], circuit.and_(propagate[0], cin))
+
+    # Kogge-Stone prefix tree: after the last level, generate[i] is the
+    # carry out of bit i.
+    group_p = list(propagate)
+    group_g = list(generate)
+    distance = 1
+    while distance < width:
+        new_p = list(group_p)
+        new_g = list(group_g)
+        for i in range(distance, width):
+            new_g[i] = circuit.or_(
+                group_g[i], circuit.and_(group_p[i], group_g[i - distance])
+            )
+            new_p[i] = circuit.and_(group_p[i], group_p[i - distance])
+        group_p, group_g = new_p, new_g
+        distance *= 2
+
+    sums = [circuit.xor_(propagate[0], cin)]
+    for i in range(1, width):
+        sums.append(circuit.xor_(propagate[i], group_g[i - 1]))
+    circuit.output_bus("sum", sums)
+    circuit.output("cout", group_g[width - 1])
+    return circuit
+
+
+def build_cla_subtractor(width: int) -> Circuit:
+    """An N-bit subtractor a - b built on the CLA (invert b, cin = 1)."""
+    if width <= 0:
+        raise ValueError(f"width must be positive, got {width}")
+    circuit = Circuit(f"cla_sub{width}")
+    a = circuit.input_bus("a", width)
+    b = circuit.input_bus("b", width)
+    one = circuit.const(1)
+
+    not_b = [circuit.not_(bit) for bit in b]
+    propagate = [circuit.xor_(a[i], not_b[i]) for i in range(width)]
+    generate = [circuit.and_(a[i], not_b[i]) for i in range(width)]
+    generate[0] = circuit.or_(generate[0], circuit.and_(propagate[0], one))
+
+    group_p = list(propagate)
+    group_g = list(generate)
+    distance = 1
+    while distance < width:
+        new_p = list(group_p)
+        new_g = list(group_g)
+        for i in range(distance, width):
+            new_g[i] = circuit.or_(
+                group_g[i], circuit.and_(group_p[i], group_g[i - distance])
+            )
+            new_p[i] = circuit.and_(group_p[i], group_p[i - distance])
+        group_p, group_g = new_p, new_g
+        distance *= 2
+
+    sums = [circuit.xor_(propagate[0], one)]
+    for i in range(1, width):
+        sums.append(circuit.xor_(propagate[i], group_g[i - 1]))
+    circuit.output_bus("sum", sums)
+    circuit.output("cout", group_g[width - 1])
+    return circuit

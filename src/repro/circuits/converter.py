@@ -1,0 +1,25 @@
+"""RB -> two's-complement format converter (paper §3.2, §3.4).
+
+The conversion is the subtraction ``X+ - X-`` with full carry propagation,
+so the converter is just a CLA-class subtractor over the two component
+words.  Its delay tracks the CLA's — which is exactly why the paper
+charges two pipeline cycles for format conversion while the RB add itself
+takes one.
+"""
+
+from __future__ import annotations
+
+from repro.circuits.cla import build_cla_subtractor
+from repro.circuits.gates import Circuit
+
+
+def build_rb_to_tc_converter(width: int) -> Circuit:
+    """An N-digit RB to N-bit TC converter.
+
+    Inputs: ``a[0..N-1]`` (the X+ component) and ``b[0..N-1]`` (the X-
+    component).  Output: ``sum`` = the two's-complement bit pattern
+    (wrapped modulo 2**N, as the hardware subtractor produces).
+    """
+    circuit = build_cla_subtractor(width)
+    circuit.name = f"rb_to_tc{width}"
+    return circuit

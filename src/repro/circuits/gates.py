@@ -1,0 +1,295 @@
+"""A minimal combinational-netlist framework with delay accounting.
+
+Circuits are DAGs of typed gates.  Each gate kind has a normalized delay
+(roughly in units of an inverter's delay, so results are comparable across
+adders); the critical path of a circuit is the longest
+input-to-output delay.  Netlists are also functionally evaluable so every
+adder model is validated against plain integer arithmetic in the tests.
+"""
+
+from __future__ import annotations
+
+import enum
+from collections.abc import Iterable, Mapping
+
+
+class GateKind(enum.Enum):
+    """Supported gate types and their evaluation rules."""
+
+    INPUT = "input"
+    CONST0 = "const0"
+    CONST1 = "const1"
+    BUF = "buf"
+    NOT = "not"
+    AND = "and"
+    OR = "or"
+    NAND = "nand"
+    NOR = "nor"
+    XOR = "xor"
+    XNOR = "xnor"
+    MUX = "mux"  # operands: (select, if0, if1)
+
+
+#: Normalized gate delays, in inverter-delay units.  Two-level CMOS gates
+#: (XOR/XNOR/MUX) cost roughly two simple-gate delays; wide gates are built
+#: from 2-input trees by :meth:`Circuit.gate_tree`, so fan-in shows up as
+#: tree depth rather than a per-gate penalty.
+GATE_DELAYS: dict[GateKind, float] = {
+    GateKind.INPUT: 0.0,
+    GateKind.CONST0: 0.0,
+    GateKind.CONST1: 0.0,
+    GateKind.BUF: 1.0,
+    GateKind.NOT: 1.0,
+    GateKind.AND: 1.5,
+    GateKind.OR: 1.5,
+    GateKind.NAND: 1.0,
+    GateKind.NOR: 1.0,
+    GateKind.XOR: 2.0,
+    GateKind.XNOR: 2.0,
+    GateKind.MUX: 2.0,
+}
+
+_ARITY = {
+    GateKind.INPUT: 0,
+    GateKind.CONST0: 0,
+    GateKind.CONST1: 0,
+    GateKind.BUF: 1,
+    GateKind.NOT: 1,
+    GateKind.MUX: 3,
+}
+
+
+class Net:
+    """A wire in the circuit: the output of exactly one gate."""
+
+    __slots__ = ("circuit", "index", "kind", "operands", "name")
+
+    def __init__(
+        self,
+        circuit: "Circuit",
+        index: int,
+        kind: GateKind,
+        operands: tuple["Net", ...],
+        name: str | None,
+    ) -> None:
+        self.circuit = circuit
+        self.index = index
+        self.kind = kind
+        self.operands = operands
+        self.name = name
+
+    def __repr__(self) -> str:
+        label = self.name or f"n{self.index}"
+        return f"Net({label}:{self.kind.value})"
+
+
+class Circuit:
+    """A combinational circuit under construction and analysis."""
+
+    def __init__(self, name: str = "circuit") -> None:
+        self.name = name
+        self.nets: list[Net] = []
+        self.inputs: dict[str, Net] = {}
+        self.outputs: dict[str, Net] = {}
+        self._const: dict[GateKind, Net] = {}
+
+    # -- construction --------------------------------------------------------
+
+    def _new_net(
+        self, kind: GateKind, operands: tuple[Net, ...], name: str | None = None
+    ) -> Net:
+        net = Net(self, len(self.nets), kind, operands, name)
+        self.nets.append(net)
+        return net
+
+    def input(self, name: str) -> Net:
+        """Declare a 1-bit primary input."""
+        if name in self.inputs:
+            raise ValueError(f"duplicate input name {name!r}")
+        net = self._new_net(GateKind.INPUT, (), name)
+        self.inputs[name] = net
+        return net
+
+    def input_bus(self, name: str, width: int) -> list[Net]:
+        """Declare a bus of inputs ``name[0] .. name[width-1]`` (LSB first)."""
+        return [self.input(f"{name}[{i}]") for i in range(width)]
+
+    def const(self, value: int) -> Net:
+        """A constant 0 or 1 net (shared per circuit)."""
+        kind = GateKind.CONST1 if value else GateKind.CONST0
+        if kind not in self._const:
+            self._const[kind] = self._new_net(kind, ())
+        return self._const[kind]
+
+    def gate(self, kind: GateKind, *operands: Net, name: str | None = None) -> Net:
+        """Instantiate a gate and return its output net."""
+        expected = _ARITY.get(kind, 2)
+        if len(operands) != expected:
+            raise ValueError(
+                f"{kind.value} expects {expected} operands, got {len(operands)}"
+            )
+        for op in operands:
+            if op.circuit is not self:
+                raise ValueError("operand belongs to a different circuit")
+        return self._new_net(kind, operands, name)
+
+    def gate_tree(self, kind: GateKind, operands: Iterable[Net]) -> Net:
+        """A balanced tree of 2-input gates (for wide AND/OR/XOR)."""
+        if kind not in (GateKind.AND, GateKind.OR, GateKind.XOR,
+                        GateKind.NAND, GateKind.NOR, GateKind.XNOR):
+            raise ValueError(f"cannot build a tree of {kind.value}")
+        level = list(operands)
+        if not level:
+            raise ValueError("gate tree needs at least one operand")
+        if len(level) == 1:
+            return level[0]
+        # NAND/NOR/XNOR trees only invert at the final stage.
+        base = {
+            GateKind.NAND: GateKind.AND,
+            GateKind.NOR: GateKind.OR,
+            GateKind.XNOR: GateKind.XOR,
+        }.get(kind, kind)
+        while len(level) > 2:
+            nxt = []
+            for i in range(0, len(level) - 1, 2):
+                nxt.append(self.gate(base, level[i], level[i + 1]))
+            if len(level) % 2:
+                nxt.append(level[-1])
+            level = nxt
+        return self.gate(kind, level[0], level[1])
+
+    def output(self, name: str, net: Net) -> Net:
+        """Mark ``net`` as the primary output ``name``."""
+        if name in self.outputs:
+            raise ValueError(f"duplicate output name {name!r}")
+        if net.circuit is not self:
+            raise ValueError("output net belongs to a different circuit")
+        self.outputs[name] = net
+        return net
+
+    def output_bus(self, name: str, nets: Iterable[Net]) -> None:
+        """Mark a bus of outputs ``name[0] ..`` (LSB first)."""
+        for i, net in enumerate(nets):
+            self.output(f"{name}[{i}]", net)
+
+    # -- convenience wrappers --------------------------------------------------
+
+    def not_(self, a: Net) -> Net:
+        return self.gate(GateKind.NOT, a)
+
+    def and_(self, *ops: Net) -> Net:
+        return self.gate_tree(GateKind.AND, ops)
+
+    def or_(self, *ops: Net) -> Net:
+        return self.gate_tree(GateKind.OR, ops)
+
+    def nor_(self, *ops: Net) -> Net:
+        return self.gate_tree(GateKind.NOR, ops)
+
+    def nand_(self, *ops: Net) -> Net:
+        return self.gate_tree(GateKind.NAND, ops)
+
+    def xor_(self, *ops: Net) -> Net:
+        return self.gate_tree(GateKind.XOR, ops)
+
+    def mux(self, select: Net, if0: Net, if1: Net) -> Net:
+        return self.gate(GateKind.MUX, select, if0, if1)
+
+    # -- analysis ------------------------------------------------------------------
+
+    def evaluate(self, assignments: Mapping[str, int]) -> dict[str, int]:
+        """Functionally evaluate the circuit for the given input bits."""
+        missing = set(self.inputs) - set(assignments)
+        if missing:
+            raise ValueError(f"missing input assignments: {sorted(missing)}")
+        values: list[int] = [0] * len(self.nets)
+        for net in self.nets:  # nets are created in topological order
+            values[net.index] = self._eval_net(net, values, assignments)
+        return {name: values[net.index] for name, net in self.outputs.items()}
+
+    def _eval_net(
+        self, net: Net, values: list[int], assignments: Mapping[str, int]
+    ) -> int:
+        kind = net.kind
+        ops = net.operands
+        if kind is GateKind.INPUT:
+            return 1 if assignments[net.name] else 0
+        if kind is GateKind.CONST0:
+            return 0
+        if kind is GateKind.CONST1:
+            return 1
+        a = values[ops[0].index]
+        if kind is GateKind.BUF:
+            return a
+        if kind is GateKind.NOT:
+            return a ^ 1
+        if kind is GateKind.MUX:
+            return values[ops[2].index] if a else values[ops[1].index]
+        b = values[ops[1].index]
+        if kind is GateKind.AND:
+            return a & b
+        if kind is GateKind.OR:
+            return a | b
+        if kind is GateKind.NAND:
+            return (a & b) ^ 1
+        if kind is GateKind.NOR:
+            return (a | b) ^ 1
+        if kind is GateKind.XOR:
+            return a ^ b
+        if kind is GateKind.XNOR:
+            return (a ^ b) ^ 1
+        raise AssertionError(f"unhandled gate kind {kind}")
+
+    def arrival_times(self) -> list[float]:
+        """Per-net arrival time (longest path from any input)."""
+        times: list[float] = [0.0] * len(self.nets)
+        for net in self.nets:
+            if net.operands:
+                arrival = max(times[op.index] for op in net.operands)
+            else:
+                arrival = 0.0
+            times[net.index] = arrival + GATE_DELAYS[net.kind]
+        return times
+
+    def critical_path(self) -> tuple[float, list[Net]]:
+        """The circuit delay and one worst input-to-output path."""
+        if not self.outputs:
+            raise ValueError("circuit has no outputs")
+        times = self.arrival_times()
+        worst = max(self.outputs.values(), key=lambda net: times[net.index])
+        path = [worst]
+        node = worst
+        while node.operands:
+            node = max(node.operands, key=lambda op: times[op.index])
+            path.append(node)
+        path.reverse()
+        return times[worst.index], path
+
+    def delay(self) -> float:
+        """The critical-path delay in normalized inverter units."""
+        return self.critical_path()[0]
+
+    def gate_count(self) -> int:
+        """Number of logic gates (inputs and constants excluded)."""
+        skip = (GateKind.INPUT, GateKind.CONST0, GateKind.CONST1)
+        return sum(1 for net in self.nets if net.kind not in skip)
+
+    def __repr__(self) -> str:
+        return (
+            f"Circuit({self.name!r}, gates={self.gate_count()}, "
+            f"inputs={len(self.inputs)}, outputs={len(self.outputs)})"
+        )
+
+
+def bus_value(bits: Mapping[str, int], name: str, width: int) -> int:
+    """Reassemble an output bus into an unsigned integer."""
+    value = 0
+    for i in range(width):
+        value |= (bits[f"{name}[{i}]"] & 1) << i
+    return value
+
+
+def assign_bus(assignments: dict[str, int], name: str, value: int, width: int) -> None:
+    """Spread an unsigned integer over a named input bus (in place)."""
+    for i in range(width):
+        assignments[f"{name}[{i}]"] = (value >> i) & 1

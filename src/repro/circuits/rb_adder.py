@@ -1,0 +1,170 @@
+"""Gate-level redundant binary adder: the Figure 2 digit slice.
+
+Each digit is encoded as a (negative, positive) bit pair.  Per the paper's
+description of Figure 2, each slice computes:
+
+* ``h_i`` — a function of digit i of both inputs only.  Here ``h_i`` is the
+  "both input digits non-negative" indicator, which decides how the digit
+  sum one position above is split into intermediate carry and interim sum
+  (it tells that slice whether a negative intermediate carry can arrive).
+* ``f_i`` — the intermediate carry out of digit i, a function of digit i
+  and ``h_{i-1}``.  Encoded as a (carry-plus, carry-minus) pair.
+* ``z_i`` — the sum digit, a function of digit i, ``h_{i-1}``, and
+  ``f_{i-1}``.
+
+The critical path through one slice — and through the whole adder, since
+no signal crosses more than two digit positions — is a short constant
+chain, independent of operand width (§3.4).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.circuits.gates import Circuit, Net
+
+
+@dataclass(frozen=True)
+class DigitSliceOutputs:
+    """Nets produced by one digit slice."""
+
+    h: Net          # both-inputs-non-negative indicator for this digit
+    carry_plus: Net  # intermediate carry f_i == +1
+    carry_minus: Net  # intermediate carry f_i == -1
+    sum_plus: Net   # final digit z_i == +1
+    sum_minus: Net  # final digit z_i == -1
+
+
+def _digit_slice(
+    circuit: Circuit,
+    xp: Net, xn: Net, yp: Net, yn: Net,
+    h_prev: Net,
+    carry_plus_prev: Net,
+    carry_minus_prev: Net,
+) -> DigitSliceOutputs:
+    """Build one Figure-2-style digit slice.
+
+    Truth table implemented (p = x_i + y_i, h' = h_{i-1}):
+
+    ========  ====  ===========  ==========
+    p         h'    carry f_i    interim s_i
+    ========  ====  ===========  ==========
+    +2        any   +1           0
+    +1        1     +1           -1
+    +1        0     0            +1
+    0         any   0            0
+    -1        1     0            -1
+    -1        0     -1           +1
+    -2        any   -1           0
+    ========  ====  ===========  ==========
+
+    and z_i = s_i + f_{i-1}, which the choice of s_i guarantees stays in
+    {-1, 0, 1}.
+    """
+    # h_i: both digits of this position are non-negative; g_i: both
+    # non-positive.  Single NOR each.
+    h = circuit.nor_(xn, yn)
+    g = circuit.nor_(xp, yp)
+
+    # Digit-sum indicators, each two logic levels from the inputs:
+    #   p == +1  <=>  exactly one positive bit set and no negative bits,
+    #   p == -1  <=>  exactly one negative bit set and no positive bits,
+    #   |p| == 1 <=>  exactly one of the two digits is non-zero.
+    p_pos_one = circuit.and_(circuit.xor_(xp, yp), h)
+    p_neg_one = circuit.and_(circuit.xor_(xn, yn), g)
+    p_one_mag = circuit.xor_(circuit.or_(xp, xn), circuit.or_(yp, yn))
+
+    # Intermediate carry f_i (function of digit i and h_{i-1}).
+    carry_plus = circuit.or_(
+        circuit.and_(xp, yp),                 # p == +2
+        circuit.and_(p_pos_one, h_prev),      # p == +1, no -1 can arrive
+    )
+    carry_minus = circuit.or_(
+        circuit.and_(xn, yn),                          # p == -2
+        circuit.and_(p_neg_one, circuit.not_(h_prev)),  # p == -1, -1 may arrive
+    )
+
+    # Interim sum s_i: non-zero iff |p| == 1; negative iff h_{i-1}.
+    s_plus = circuit.and_(p_one_mag, circuit.not_(h_prev))
+    s_minus = circuit.and_(p_one_mag, h_prev)
+
+    # z_i = s_i + f_{i-1}.  The slice invariant rules out (s, f_{i-1}) being
+    # (+1, +1) or (-1, -1), so z == +1 iff something pulls up and nothing
+    # pulls down (and symmetrically for -1).
+    sum_plus = circuit.and_(
+        circuit.or_(s_plus, carry_plus_prev),
+        circuit.nor_(s_minus, carry_minus_prev),
+    )
+    sum_minus = circuit.and_(
+        circuit.or_(s_minus, carry_minus_prev),
+        circuit.nor_(s_plus, carry_plus_prev),
+    )
+    return DigitSliceOutputs(
+        h=h,
+        carry_plus=carry_plus,
+        carry_minus=carry_minus,
+        sum_plus=sum_plus,
+        sum_minus=sum_minus,
+    )
+
+
+def build_rb_digit_slice() -> Circuit:
+    """A single standalone digit slice (for inspection and slice-level tests).
+
+    Inputs: this digit's four encoding bits (xp, xn, yp, yn), the previous
+    slice's ``h_prev``, and the previous intermediate carry pair.  Outputs:
+    ``h``, ``carry_plus``, ``carry_minus``, ``sum_plus``, ``sum_minus``.
+    """
+    circuit = Circuit("rb_digit_slice")
+    outs = _digit_slice(
+        circuit,
+        circuit.input("xp"), circuit.input("xn"),
+        circuit.input("yp"), circuit.input("yn"),
+        circuit.input("h_prev"),
+        circuit.input("cp_prev"), circuit.input("cn_prev"),
+    )
+    circuit.output("h", outs.h)
+    circuit.output("carry_plus", outs.carry_plus)
+    circuit.output("carry_minus", outs.carry_minus)
+    circuit.output("sum_plus", outs.sum_plus)
+    circuit.output("sum_minus", outs.sum_minus)
+    return circuit
+
+
+def build_rb_adder(width: int) -> Circuit:
+    """An N-digit redundant binary adder.
+
+    Inputs: ``xp/xn/yp/yn[0..N-1]`` (digit encodings, LSD first).  Outputs:
+    ``zp/zn[0..N-1]`` plus the carry-out digit pair ``cout_plus`` /
+    ``cout_minus``.  Critical-path delay is constant in N.
+    """
+    if width <= 0:
+        raise ValueError(f"width must be positive, got {width}")
+    circuit = Circuit(f"rb_adder{width}")
+    xp = circuit.input_bus("xp", width)
+    xn = circuit.input_bus("xn", width)
+    yp = circuit.input_bus("yp", width)
+    yn = circuit.input_bus("yn", width)
+
+    zero = circuit.const(0)
+    h_prev = circuit.const(1)  # below digit 0 counts as non-negative
+    carry_plus_prev = zero
+    carry_minus_prev = zero
+    sum_plus: list[Net] = []
+    sum_minus: list[Net] = []
+    for i in range(width):
+        outs = _digit_slice(
+            circuit, xp[i], xn[i], yp[i], yn[i],
+            h_prev, carry_plus_prev, carry_minus_prev,
+        )
+        sum_plus.append(outs.sum_plus)
+        sum_minus.append(outs.sum_minus)
+        h_prev = outs.h
+        carry_plus_prev = outs.carry_plus
+        carry_minus_prev = outs.carry_minus
+
+    circuit.output_bus("zp", sum_plus)
+    circuit.output_bus("zn", sum_minus)
+    circuit.output("cout_plus", carry_plus_prev)
+    circuit.output("cout_minus", carry_minus_prev)
+    return circuit

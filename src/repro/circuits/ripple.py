@@ -1,0 +1,34 @@
+"""Ripple-carry adder: the linear-depth baseline for the delay sweeps."""
+
+from __future__ import annotations
+
+from repro.circuits.gates import Circuit, Net
+
+
+def full_adder(circuit: Circuit, a: Net, b: Net, cin: Net) -> tuple[Net, Net]:
+    """One full-adder cell; returns (sum, carry-out)."""
+    axb = circuit.xor_(a, b)
+    total = circuit.xor_(axb, cin)
+    carry = circuit.or_(circuit.and_(a, b), circuit.and_(axb, cin))
+    return total, carry
+
+
+def build_ripple_adder(width: int) -> Circuit:
+    """An N-bit ripple-carry adder with inputs a, b and cin.
+
+    Outputs: ``sum[0..N-1]`` and ``cout``.  Critical path grows linearly
+    with width — the worst case the CLA and RB adders are measured against.
+    """
+    if width <= 0:
+        raise ValueError(f"width must be positive, got {width}")
+    circuit = Circuit(f"ripple{width}")
+    a = circuit.input_bus("a", width)
+    b = circuit.input_bus("b", width)
+    carry = circuit.input("cin")
+    sums = []
+    for i in range(width):
+        total, carry = full_adder(circuit, a[i], b[i], carry)
+        sums.append(total)
+    circuit.output_bus("sum", sums)
+    circuit.output("cout", carry)
+    return circuit

@@ -1,0 +1,118 @@
+"""Sum-addressed memory (SAM) decoder (paper §3.6; Heald et al., Lynch et al.).
+
+A conventional cache decoder takes an already-computed index; SAM instead
+takes a base and a displacement and, for every word line k, answers
+"(base + displacement) mod 2**w == k?" *without* a carry-propagating add.
+
+The per-bit recode: assume the sum equals k.  Then the carry into bit i
+must be ``H_i = a_i ^ b_i ^ k_i``, and the carry out of bit i is
+``c_i = (a_i & b_i) | ((a_i ^ b_i) & ~k_i)``.  The assumed sum is correct
+iff every required carry-in matches the produced carry-out one bit below
+(``H_i == c_{i-1}``, with ``c_{-1} == 0``): a constant-depth per-bit check
+followed by a log-depth AND tree — no full adder anywhere.
+
+This lets the machines index the data cache directly with a redundant
+binary address (treating X+ and X- as the two SAM inputs — a subtraction
+is an addition of the complemented component, handled the same way), so
+loads avoid the RB -> TC conversion on their critical path.  That is why
+Table 3 charges loads a 1-cycle address generation on every machine.
+"""
+
+from __future__ import annotations
+
+from repro.circuits.gates import Circuit, GateKind
+
+
+def sam_match(a: int, b: int, k: int, width: int) -> bool:
+    """Reference SAM equality test: does (a + b) mod 2**width == k?
+
+    Pure bit-twiddling (word-level view of the per-bit recode); validated
+    against plain addition in the tests and used by the functional cache
+    model when indexing with redundant addresses.
+    """
+    if width <= 0:
+        raise ValueError(f"width must be positive, got {width}")
+    mask = (1 << width) - 1
+    a &= mask
+    b &= mask
+    k &= mask
+    required_carry_in = a ^ b ^ k
+    carry_out = (a & b) | ((a ^ b) & ~k & mask)
+    return required_carry_in == ((carry_out << 1) & mask)
+
+
+def sam_match3(a: int, b: int, c: int, k: int, width: int) -> bool:
+    """The paper's *modified* SAM: three inputs, still no carry propagate.
+
+    Used when the base register is redundant binary and a two's-complement
+    displacement must be added: the three addends (X+, the complement of
+    X-, and the displacement) are first reduced 3 -> 2 with a carry-save
+    stage (per-bit XOR + majority, constant depth — the paper's "circuit
+    similar to a carry-save adder" whose cost is at worst a 3-input XOR
+    in front of the conventional SAM), then the 2-input equality test runs
+    as usual.
+    """
+    if width <= 0:
+        raise ValueError(f"width must be positive, got {width}")
+    mask = (1 << width) - 1
+    a &= mask
+    b &= mask
+    c &= mask
+    sum_bits = a ^ b ^ c
+    carry_bits = ((a & b) | (a & c) | (b & c)) << 1
+    return sam_match(sum_bits, carry_bits & mask, k, width)
+
+
+def sam_match_redundant(plus: int, minus: int, displacement: int, k: int, width: int) -> bool:
+    """Index check for a redundant-binary address plus a TC displacement.
+
+    The X- component enters as its two's complement (``-X-`` mod 2**width),
+    so ``X+ + (-X-) + displacement == k`` is exactly the §3.6 modified-SAM
+    equation.
+    """
+    mask = (1 << width) - 1
+    return sam_match3(plus, (-minus) & mask, displacement, k, width)
+
+
+def build_sam_decoder(index_bits: int, lines: int | None = None) -> Circuit:
+    """A SAM decoder over ``index_bits`` with one-hot word-line outputs.
+
+    Inputs: buses ``a`` and ``b`` (base and displacement index fields, or
+    the X+ / X- components of a redundant binary address).  Outputs:
+    ``line[k]`` for each word line, asserted iff (a + b) mod 2**index_bits
+    == k.  The word-line constant k is folded into each slice, so per line
+    the cost is one XNOR per bit plus the AND tree.
+    """
+    if index_bits <= 0:
+        raise ValueError(f"index_bits must be positive, got {index_bits}")
+    if lines is None:
+        lines = 1 << index_bits
+    if not 0 < lines <= (1 << index_bits):
+        raise ValueError(f"line count {lines} out of range for {index_bits} bits")
+
+    circuit = Circuit(f"sam{index_bits}x{lines}")
+    a = circuit.input_bus("a", index_bits)
+    b = circuit.input_bus("b", index_bits)
+
+    # Per-bit signals shared by every word line.
+    axb = [circuit.xor_(a[i], b[i]) for i in range(index_bits)]
+    ab = [circuit.and_(a[i], b[i]) for i in range(index_bits)]
+    aob = [circuit.or_(a[i], b[i]) for i in range(index_bits)]
+    not_axb = [circuit.not_(x) for x in axb]
+
+    for k in range(lines):
+        checks = []
+        for i in range(index_bits):
+            k_bit = (k >> i) & 1
+            # Required carry into bit i: H_i = a_i ^ b_i ^ k_i.
+            h = not_axb[i] if k_bit else axb[i]
+            if i == 0:
+                # No carry enters bit 0, so H_0 must be 0.
+                checks.append(circuit.not_(h))
+            else:
+                checks.append(circuit.gate(GateKind.XNOR, h, carry_prev))
+            # Carry out of bit i, with k_i constant:
+            #   k_i == 1 -> (a & b);   k_i == 0 -> (a & b) | (a ^ b) == a | b.
+            carry_prev = ab[i] if k_bit else aob[i]
+        circuit.output(f"line[{k}]", circuit.and_(*checks))
+    return circuit

@@ -1,0 +1,195 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+list
+    Show the available machine models and benchmark kernels.
+run
+    Simulate a suite workload (or an assembly file) on one machine.
+mix
+    Print the Table 1 instruction-mix classification for a workload.
+delays
+    Print the §3.4 adder critical-path comparison.
+shadow
+    Run a workload through the redundant-binary shadow interpreter.
+pipeline
+    Render a Figure 5/7-style pipeline diagram from a traced run.
+report
+    Regenerate EXPERIMENTS.md (the full sweep; cached).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from dataclasses import replace
+from pathlib import Path
+
+from repro.core import simulate
+from repro.core.config import MachineConfig
+from repro.core.presets import baseline, ideal, ideal_limited, rb_full, rb_limited, staggered
+from repro.harness.experiments import dynamic_mix, sec34_adder_delays
+from repro.isa.assembler import assemble
+from repro.isa.classify import TABLE1_ROWS
+from repro.isa.shadow import shadow_check
+from repro.utils.tables import format_table
+from repro.workloads.suite import all_workloads, build, get_workload
+
+_MACHINES = {
+    "baseline": baseline,
+    "staggered": staggered,
+    "rb-limited": rb_limited,
+    "rb-full": rb_full,
+    "ideal": ideal,
+}
+
+
+def _machine_config(args: argparse.Namespace) -> MachineConfig:
+    if args.machine.startswith("ideal-no-"):
+        levels = frozenset(int(x) for x in args.machine[len("ideal-no-"):].split(","))
+        config = ideal_limited(args.width, levels)
+    else:
+        try:
+            config = _MACHINES[args.machine](args.width)
+        except KeyError:
+            choices = sorted(_MACHINES) + ["ideal-no-<levels> (e.g. ideal-no-1,2)"]
+            raise SystemExit(f"unknown machine {args.machine!r}; choices: {choices}")
+    if getattr(args, "steering", None) and args.steering != config.steering_policy:
+        config = replace(config, name=f"{config.name}+{args.steering}",
+                         steering_policy=args.steering)
+    return config
+
+
+def _load_program(target: str):
+    path = Path(target)
+    if path.suffix in (".s", ".asm") or path.exists():
+        return assemble(path.read_text(), path.stem)
+    return build(target)
+
+
+def cmd_list(_args: argparse.Namespace) -> int:
+    print("machines (pass --width 4 or 8):")
+    for name in _MACHINES:
+        print(f"  {name}")
+    print("  ideal-no-<levels>   (Fig. 14 limited-bypass variants, e.g. ideal-no-2,3)")
+    print("\nworkloads:")
+    rows = [[w.name, w.suite, w.description] for w in all_workloads()]
+    print(format_table(["name", "suite", "description"], rows))
+    return 0
+
+
+def cmd_run(args: argparse.Namespace) -> int:
+    config = _machine_config(args)
+    program = _load_program(args.workload)
+    stats = simulate(config, program)
+    print(config.describe())
+    print(stats.summary())
+    if config.num_clusters > 1:
+        print(f"  cross-cluster bypasses {stats.cross_cluster_fraction():.2%}")
+    return 0
+
+
+def cmd_mix(args: argparse.Namespace) -> int:
+    workload = get_workload(args.workload)
+    mix = dynamic_mix(workload.name)
+    rows = [
+        [cls.value, mix.fraction(cls), paper]
+        for cls, paper in TABLE1_ROWS
+    ]
+    print(format_table(["class", workload.name, "paper (SPEC)"], rows,
+                       title=f"Table 1 mix for {workload.name}"))
+    return 0
+
+
+def cmd_delays(_args: argparse.Namespace) -> int:
+    print(sec34_adder_delays().text())
+    return 0
+
+
+def cmd_shadow(args: argparse.Namespace) -> int:
+    program = _load_program(args.workload)
+    report = shadow_check(program)
+    print(f"{program.name}: {report.instructions} instructions, "
+          f"{report.total_checks()} redundant-datapath checks "
+          f"(rb={report.rb_checks} conversions={report.conversion_checks} "
+          f"sam={report.sam_checks} tests={report.test_checks})")
+    if report.clean:
+        print("clean: redundant and integer datapaths agree everywhere")
+        return 0
+    for mismatch in report.mismatches[:10]:
+        print(f"  {mismatch}")
+    return 1
+
+
+def cmd_pipeline(args: argparse.Namespace) -> int:
+    from repro.core.machine import Machine
+    from repro.harness.pipeview import pipeline_diagram
+    config = _machine_config(args)
+    program = _load_program(args.workload)
+    stats = Machine(config).run(program, record_trace=True)
+    print(config.describe())
+    print(pipeline_diagram(
+        stats.trace, first=args.first, count=args.count,
+        include_frontend=args.frontend,
+    ))
+    return 0
+
+
+def cmd_report(args: argparse.Namespace) -> int:
+    from repro.harness.report import write_experiments_md
+    path = write_experiments_md(args.output)
+    print(f"wrote {path}")
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Brown & Patt (HPCA 2002) reproduction: redundant binary "
+                    "adders and limited bypass networks",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="show machines and workloads").set_defaults(fn=cmd_list)
+
+    run = sub.add_parser("run", help="simulate a workload on one machine")
+    run.add_argument("workload", help="suite kernel name or assembly file path")
+    run.add_argument("--machine", default="ideal")
+    run.add_argument("--width", type=int, default=8, choices=(4, 8))
+    run.add_argument("--steering", choices=("round_robin", "dependence"))
+    run.set_defaults(fn=cmd_run)
+
+    mix = sub.add_parser("mix", help="Table 1 classification of a workload")
+    mix.add_argument("workload")
+    mix.set_defaults(fn=cmd_mix)
+
+    sub.add_parser("delays", help="§3.4 adder delay table").set_defaults(fn=cmd_delays)
+
+    shadow = sub.add_parser("shadow", help="redundant-datapath shadow check")
+    shadow.add_argument("workload")
+    shadow.set_defaults(fn=cmd_shadow)
+
+    pipeline = sub.add_parser(
+        "pipeline", help="render a Fig. 5/7-style pipeline diagram"
+    )
+    pipeline.add_argument("workload", help="suite kernel name or assembly file path")
+    pipeline.add_argument("--machine", default="rb-limited")
+    pipeline.add_argument("--width", type=int, default=4, choices=(4, 8))
+    pipeline.add_argument("--steering", choices=("round_robin", "dependence"))
+    pipeline.add_argument("--first", type=int, default=0,
+                          help="first instruction (trace index) to show")
+    pipeline.add_argument("--count", type=int, default=16)
+    pipeline.add_argument("--frontend", action="store_true",
+                          help="include fetch/rename stages")
+    pipeline.set_defaults(fn=cmd_pipeline)
+
+    report = sub.add_parser("report", help="regenerate EXPERIMENTS.md")
+    report.add_argument("output", nargs="?", default=None)
+    report.set_defaults(fn=cmd_report)
+
+    args = parser.parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,39 @@
+"""The out-of-order execution-core simulator (paper Sections 4-5).
+
+:class:`~repro.core.machine.Machine` ties the substrates together: the
+fetch unit drives the correct path through the hybrid predictor and
+I-cache; rename steers groups of two instructions round-robin into
+select-2 schedulers; the wakeup logic evaluates each source against its
+producer's availability template (full or limited bypass, with holes);
+loads walk the cache hierarchy; retirement drains the ROB in order.
+
+:mod:`~repro.core.presets` builds the paper's eight machines (Baseline /
+RB-limited / RB-full / Ideal at 4- and 8-wide) and the Fig. 14
+limited-bypass variants of the Ideal machine.
+"""
+
+from repro.core.config import MachineConfig
+from repro.core.machine import Machine, simulate
+from repro.core.presets import (
+    all_paper_machines,
+    baseline,
+    ideal,
+    ideal_limited,
+    rb_full,
+    rb_limited,
+)
+from repro.core.statistics import BypassCase, SimStats
+
+__all__ = [
+    "MachineConfig",
+    "Machine",
+    "simulate",
+    "SimStats",
+    "BypassCase",
+    "baseline",
+    "rb_limited",
+    "rb_full",
+    "ideal",
+    "ideal_limited",
+    "all_paper_machines",
+]

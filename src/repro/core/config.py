@@ -1,0 +1,93 @@
+"""Machine configuration: Table 2 parameters plus the §4 design choices."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.backend.bypass import BypassStyle
+from repro.backend.latency import AdderStyle
+from repro.mem.hierarchy import MemoryHierarchyConfig
+
+
+@dataclass(frozen=True)
+class MachineConfig:
+    """Everything that defines one simulated machine.
+
+    Defaults follow Table 2: an 8-wide front end (decode/rename/issue
+    width 8) regardless of execution width, a 128-entry instruction
+    window split over select-2 schedulers (two of 64 at 4-wide, four of
+    32 at 8-wide), and two clusters of four functional units at 8-wide
+    with a 1-cycle inter-cluster forwarding delay.
+    """
+
+    name: str
+    width: int                      # execution width: functional units
+    adder_style: AdderStyle
+    bypass_style: BypassStyle = BypassStyle.FULL
+    removed_levels: frozenset[int] = frozenset()
+
+    #: "round_robin" (the paper's policy: groups of 2, rotating) or
+    #: "dependence" (the §4.2 future-work extension: follow your producer).
+    steering_policy: str = "round_robin"
+    #: RB -> TC format converter depth (Table 3's parenthesised latencies
+    #: are exec + this); only meaningful with the RB adder style.
+    conversion_cycles: int = 2
+
+    fetch_width: int = 8
+    max_blocks_per_cycle: int = 2
+    rename_width: int = 8
+    retire_width: int = 8
+    window_size: int = 128          # reservation station entries, total
+    rob_size: int = 128
+    fetch_queue_capacity: int = 16
+
+    frontend_depth: int = 6         # fetch + decode pipeline stages
+    rename_latency: int = 2
+    rf_read_cycles: int = 2
+    cluster_delay: int = 1          # extra cycle crossing clusters
+
+    memory: MemoryHierarchyConfig = field(default_factory=MemoryHierarchyConfig)
+
+    def __post_init__(self) -> None:
+        if self.steering_policy not in ("round_robin", "dependence"):
+            raise ValueError(f"unknown steering policy {self.steering_policy!r}")
+        if self.conversion_cycles < 0:
+            raise ValueError(f"conversion cycles must be >= 0, got {self.conversion_cycles}")
+        if self.width % 2:
+            raise ValueError(f"execution width must be even (select-2), got {self.width}")
+        if self.width <= 0 or self.window_size <= 0:
+            raise ValueError("width and window size must be positive")
+        if self.window_size % self.num_schedulers:
+            raise ValueError(
+                f"window {self.window_size} not divisible over "
+                f"{self.num_schedulers} schedulers"
+            )
+
+    @property
+    def num_schedulers(self) -> int:
+        """One select-2 scheduler per pair of functional units."""
+        return self.width // 2
+
+    @property
+    def scheduler_capacity(self) -> int:
+        return self.window_size // self.num_schedulers
+
+    @property
+    def num_clusters(self) -> int:
+        """Two clusters of 4 FUs at 8-wide; one cluster otherwise (§5.1)."""
+        return 2 if self.width >= 8 else 1
+
+    def cluster_of_scheduler(self, scheduler_index: int) -> int:
+        per_cluster = self.num_schedulers // self.num_clusters
+        return scheduler_index // per_cluster
+
+    def describe(self) -> str:
+        """One-line summary used in reports."""
+        bypass = self.bypass_style.value
+        if self.removed_levels:
+            bypass += f" (no levels {sorted(self.removed_levels)})"
+        return (
+            f"{self.name}: {self.width}-wide, {self.adder_style.value} adders, "
+            f"{bypass} bypass, {self.num_schedulers}x{self.scheduler_capacity} "
+            f"schedulers, {self.num_clusters} cluster(s)"
+        )

@@ -1,0 +1,457 @@
+"""The out-of-order core simulator.
+
+Pipeline (Table 2: minimum 13 cycles end to end):
+
+* fetch + decode: 6 cycles (includes the 2-cycle pipelined I-cache);
+* rename: 2 cycles;
+* schedule: 1 cycle (the select cycle);
+* register read: 2 cycles;
+* execute: >= 1 cycle;
+* retire: 1 cycle.
+
+All dependence timing is done in select-cycle space (see
+:mod:`repro.backend.bypass`): an instruction selected at cycle ``s``
+begins executing at ``s + 3``, so a consumer selected ``L`` cycles after
+a latency-L producer catches the result on the first-level bypass.  The
+scheduler re-evaluates an instruction's sources each candidate cycle, so
+holes left by deleted bypass levels delay it exactly as the paper's
+shift-register wakeup logic would.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+from repro.backend.bypass import AvailabilityTemplate, BypassModel, BypassStyle
+from repro.backend.formats import DataFormat
+from repro.backend.latency import AdderStyle
+from repro.backend.scheduler import Scheduler
+from repro.backend.steering import RoundRobinSteering, choose_dependence_target
+from repro.core.config import MachineConfig
+from repro.core.statistics import BypassCase, BypassLevelUse, SimStats
+from repro.core.window import DynInstr, ReorderBuffer
+from repro.frontend.fetch import FetchUnit
+from repro.isa.instruction import NUM_REGS, ZERO_REG
+from repro.isa.opcodes import LatencyClass, Opcode, OperandFormat, ResultFormat
+from repro.isa.program import Program
+from repro.isa.semantics import ArchState
+from repro.mem.hierarchy import MemoryHierarchy
+
+#: Select-cycle distance from select to the start of execution: one
+#: schedule cycle is the select itself, then the 2-cycle register read.
+SELECT_TO_EXEC = 3
+
+#: Bypass levels before the register file serves a value (§5.2).
+RF_LEVELS = 3
+
+#: A store's "result" for store-to-load ordering: the dependent load may be
+#: selected the cycle after the store (so its address generation follows
+#: the store's execution).
+_STORE_TEMPLATE = AvailabilityTemplate((), 1)
+
+#: On the staggered machine (Fig. 1 Configuration C), only adder-to-adder
+#: edges can use the early low-half forwarding.
+_STAGGERED_FORWARD_OPS = frozenset({
+    Opcode.ADD, Opcode.SUB, Opcode.LDA, Opcode.LDAH,
+    Opcode.S4ADD, Opcode.S8ADD, Opcode.S4SUB, Opcode.S8SUB,
+})
+
+
+class SimulationError(RuntimeError):
+    """The simulation wedged or exceeded its cycle budget."""
+
+
+class Machine:
+    """One configured machine, able to run programs and report statistics."""
+
+    def __init__(self, config: MachineConfig) -> None:
+        self.config = config
+        removed = config.removed_levels or None
+        self.bypass = BypassModel(
+            config.adder_style, config.bypass_style, removed,
+            conversion_cycles=config.conversion_cycles,
+        )
+        self.latency = self.bypass.latency
+        self._store_templates = {
+            DataFormat.RB: _STORE_TEMPLATE, DataFormat.TC: _STORE_TEMPLATE,
+        }
+
+    # -- public API --------------------------------------------------------------
+
+    def run(
+        self,
+        program: Program,
+        max_cycles: int = 20_000_000,
+        progress_window: int = 100_000,
+        record_trace: bool = False,
+    ) -> SimStats:
+        """Simulate ``program`` to completion and return its statistics.
+
+        With ``record_trace`` the returned stats carry a ``trace``
+        attribute: the retired :class:`DynInstr` records in program order,
+        including each instruction's select cycle — used by timing tests
+        and for pipeline debugging.
+        """
+        config = self.config
+        stats = SimStats(machine=config.name, workload=program.name)
+        trace: list[DynInstr] | None = [] if record_trace else None
+
+        state = ArchState(program)
+        hierarchy = MemoryHierarchy(config.memory)
+        fetch = FetchUnit(
+            program, state, hierarchy,
+            fetch_width=config.fetch_width,
+            max_blocks_per_cycle=config.max_blocks_per_cycle,
+        )
+        schedulers = [
+            Scheduler(config.scheduler_capacity, 2, name=f"sched{i}")
+            for i in range(config.num_schedulers)
+        ]
+        steering = RoundRobinSteering(config.num_schedulers)
+        rob = ReorderBuffer(config.rob_size)
+        fetch_queue: deque[DynInstr] = deque()
+
+        last_writer: list[DynInstr | None] = [None] * NUM_REGS
+        reg_is_rb = [False] * NUM_REGS
+        last_store: dict[int, DynInstr] = {}
+
+        self._fetch = fetch
+        self._hierarchy = hierarchy
+        self._stats = stats
+
+        seq = 0
+        cycle = 0
+        last_progress_cycle = 0
+        cluster_delay = config.cluster_delay
+
+        def is_ready(rec: DynInstr, now: int) -> tuple[bool, int]:
+            worst = now
+            for producer, fmt in rec.sources:
+                select_cycle = producer.select_cycle
+                if select_cycle is None:
+                    return False, now + 1
+                adjust = cluster_delay if producer.cluster != rec.cluster else 0
+                offset = now - select_cycle - adjust
+                template = producer.templates[fmt]
+                if not template.available(offset):
+                    next_offset = template.next_available(max(offset + 1, 1))
+                    candidate = select_cycle + adjust + next_offset
+                    if candidate > worst:
+                        worst = candidate
+            dep = rec.store_dep
+            if dep is not None:
+                if dep.select_cycle is None:
+                    return False, now + 1
+                if now - dep.select_cycle < 1:
+                    candidate = dep.select_cycle + 1
+                    if candidate > worst:
+                        worst = candidate
+            if worst > now:
+                return False, worst
+            return True, now
+
+        while True:
+            # ---- retire ------------------------------------------------------
+            retired = rob.retire_ready(cycle, config.retire_width)
+            if retired:
+                stats.instructions += len(retired)
+                last_progress_cycle = cycle
+                if trace is not None:
+                    trace.extend(retired)
+
+            # ---- select + issue ------------------------------------------------
+            for scheduler in schedulers:
+                for rec in scheduler.select(cycle, is_ready):
+                    self._issue(rec, cycle)
+
+            # ---- rename / dispatch ----------------------------------------------
+            dispatched = 0
+            while dispatched < config.rename_width and fetch_queue:
+                rec = fetch_queue[0]
+                if rec.fetch_cycle + config.frontend_depth > cycle:
+                    break
+                if not rob.has_room():
+                    break
+                if config.steering_policy == "dependence":
+                    target = self._dependence_target(
+                        rec, last_writer, schedulers, steering.peek()
+                    )
+                    if target is None:
+                        break
+                else:
+                    target = steering.peek()
+                    if not schedulers[target].has_room():
+                        schedulers[target].full_stall_cycles += 1
+                        break
+                scheduler = schedulers[target]
+                fetch_queue.popleft()
+                steering.next_scheduler()
+                rec.scheduler = target
+                rec.cluster = config.cluster_of_scheduler(target)
+                self._rename(rec, cycle, last_writer, reg_is_rb, last_store)
+                scheduler.insert(rec, cycle + config.rename_latency)
+                rob.push(rec)
+                dispatched += 1
+
+            # ---- fetch ---------------------------------------------------------------
+            if len(fetch_queue) < config.fetch_queue_capacity:
+                for fetched in fetch.fetch_bundle(cycle):
+                    rec = DynInstr(
+                        seq, fetched.instr, fetched.result,
+                        fetched.fetch_cycle, fetched.mispredicted,
+                    )
+                    seq += 1
+                    fetch_queue.append(rec)
+
+            # ---- occupancy sampling ------------------------------------------------------
+            stats.scheduler_occupancy_samples += 1
+            stats.scheduler_occupancy_sum += sum(s.occupancy for s in schedulers)
+
+            # ---- termination --------------------------------------------------------------
+            if (
+                fetch.halted
+                and not fetch_queue
+                and not rob
+                and all(not s.entries for s in schedulers)
+            ):
+                break
+            cycle += 1
+            if cycle - last_progress_cycle > progress_window:
+                raise SimulationError(
+                    f"{config.name} on {program.name}: no retirement progress for "
+                    f"{progress_window} cycles at cycle {cycle} "
+                    f"(ROB {rob.occupancy}, schedulers "
+                    f"{[s.occupancy for s in schedulers]})"
+                )
+            if cycle > max_cycles:
+                raise SimulationError(
+                    f"{config.name} on {program.name}: exceeded {max_cycles} cycles"
+                )
+
+        stats.cycles = cycle + 1
+        stats.branches = fetch.branches
+        stats.mispredictions = fetch.mispredictions
+        stats.fetch_stall_cycles = fetch.fetch_stall_cycles
+        stats.dcache_hits = hierarchy.dcache.hits
+        stats.dcache_misses = hierarchy.dcache.misses
+        stats.icache_misses = hierarchy.icache.misses
+        stats.l2_misses = hierarchy.l2.misses
+        if trace is not None:
+            stats.trace = trace  # dynamic attribute: not part of the cached schema
+        return stats
+
+    # -- steering ----------------------------------------------------------------------
+
+    def _dependence_target(
+        self,
+        rec: DynInstr,
+        last_writer: list[DynInstr | None],
+        schedulers: list[Scheduler],
+        round_robin_hint: int,
+    ) -> int | None:
+        """Dependence-aware steering (§4.2 future work): prefer the most
+        recent producer's scheduler so the dependent's forwarding stays
+        local."""
+        producers = []
+        for operand in rec.instr.sources:
+            if operand.reg is None or operand.reg == ZERO_REG:
+                continue
+            producer = last_writer[operand.reg]
+            if producer is not None and producer.scheduler >= 0:
+                producers.append(producer)
+        producers.sort(key=lambda p: p.seq, reverse=True)
+        return choose_dependence_target(
+            [p.scheduler for p in producers],
+            [s.occupancy for s in schedulers],
+            self.config.scheduler_capacity,
+            round_robin_hint,
+        )
+
+    # -- rename stage ------------------------------------------------------------------
+
+    def _rename(
+        self,
+        rec: DynInstr,
+        cycle: int,
+        last_writer: list[DynInstr | None],
+        reg_is_rb: list[bool],
+        last_store: dict[int, DynInstr],
+    ) -> None:
+        """Resolve dependences, formats, and availability templates."""
+        rec.rename_cycle = cycle
+        instr = rec.instr
+        spec = instr.spec
+        rb_machine = self.config.adder_style is AdderStyle.RB
+        staggered = self.config.adder_style is AdderStyle.STAGGERED
+
+        # The MOVE idiom (bis ra, ra, rc) is format-transparent: it moves an
+        # RB value as RB with add-class timing, or a TC value as a 1-cycle
+        # logical (§3.6).
+        is_move = (
+            instr.opcode is Opcode.BIS
+            and len(instr.sources) == 2
+            and instr.sources[0].is_reg
+            and instr.sources[1].is_reg
+            and instr.sources[0].reg == instr.sources[1].reg
+        )
+        effective_class = spec.latency_class
+        if rb_machine:
+            if is_move and instr.sources[0].reg != ZERO_REG:
+                produces_rb = reg_is_rb[instr.sources[0].reg]
+                if produces_rb:
+                    effective_class = LatencyClass.INT_ARITH
+            else:
+                produces_rb = spec.result is ResultFormat.RB
+        elif staggered:
+            # Only true adds produce an early-forwardable low half.
+            produces_rb = instr.opcode in _STAGGERED_FORWARD_OPS
+        else:
+            produces_rb = False
+        rec.produces_rb = produces_rb
+
+        rec.lat_rb = self.latency.exec_latency(effective_class)
+        rec.lat_tc = (
+            self.latency.tc_latency(effective_class) if produces_rb else rec.lat_rb
+        )
+        if spec.is_load:
+            rec.templates = None  # set at issue, when the cache latency is known
+        elif spec.is_store:
+            rec.templates = self._store_templates
+        else:
+            rec.templates = self.bypass.templates(effective_class, produces_rb)
+
+        # Source dependences: pair each register operand with the format the
+        # consumer reads it in.  A MOVE consumes its source as RB-capable.
+        operand_formats = spec.operand_formats
+        sources: list[tuple[DynInstr, DataFormat]] = []
+        for position, operand in enumerate(instr.sources):
+            if not operand.is_reg or operand.reg == ZERO_REG:
+                continue
+            producer = last_writer[operand.reg]
+            if producer is None:
+                continue
+            if staggered:
+                # Config C: only another adder can consume the early half.
+                can_take_early = (
+                    instr.opcode in _STAGGERED_FORWARD_OPS
+                    and operand_formats[position] is OperandFormat.RB_OK
+                )
+                fmt = DataFormat.RB if can_take_early else DataFormat.TC
+            elif is_move:
+                fmt = DataFormat.RB
+            else:
+                required = operand_formats[position]
+                fmt = DataFormat.TC if required is OperandFormat.TC_ONLY else DataFormat.RB
+            sources.append((producer, fmt))
+        rec.sources = sources
+
+        # Memory ordering: a load after a store to the same 8-byte granule
+        # may not be selected until the store has executed.
+        result = rec.result
+        if spec.is_load and result.mem_address is not None:
+            dep = last_store.get(result.mem_address >> 3)
+            if dep is not None:
+                rec.store_dep = dep
+        elif spec.is_store and result.mem_address is not None:
+            last_store[result.mem_address >> 3] = rec
+
+        if instr.dest is not None and spec.writes_reg and instr.dest != ZERO_REG:
+            last_writer[instr.dest] = rec
+            reg_is_rb[instr.dest] = produces_rb
+
+    # -- issue (the select cycle) -----------------------------------------------------------
+
+    def _issue(self, rec: DynInstr, cycle: int) -> None:
+        """Grant execution: fix the producer timeline and collect statistics."""
+        rec.select_cycle = cycle
+        spec = rec.instr.spec
+
+        if spec.is_load:
+            address = rec.result.mem_address
+            ready = self._hierarchy.data_access(address, cycle + SELECT_TO_EXEC + 1)
+            load_latency = ready - (cycle + SELECT_TO_EXEC)
+            template = self.bypass.load_template(load_latency)
+            rec.templates = {DataFormat.RB: template, DataFormat.TC: template}
+            rec.lat_rb = rec.lat_tc = load_latency
+            rec.complete_cycle = cycle + SELECT_TO_EXEC + load_latency
+        elif spec.is_store:
+            self._hierarchy.data_access(
+                rec.result.mem_address, cycle + SELECT_TO_EXEC + 1, is_write=True
+            )
+            rec.lat_rb = rec.lat_tc = 1
+            rec.complete_cycle = cycle + SELECT_TO_EXEC + 1
+        elif spec.is_branch:
+            resolve = cycle + SELECT_TO_EXEC + self.latency.exec_latency(
+                LatencyClass.BRANCH
+            )
+            rec.complete_cycle = resolve
+            if rec.mispredicted:
+                self._fetch.resolve_branch(resolve)
+        else:
+            rec.complete_cycle = cycle + SELECT_TO_EXEC + rec.lat_tc
+
+        self._record_bypass_stats(rec, cycle)
+
+    # -- statistics --------------------------------------------------------------------------
+
+    def _record_bypass_stats(self, rec: DynInstr, cycle: int) -> None:
+        """Fig. 13 bypass cases and §5.2 bypass-level usage."""
+        stats = self._stats
+        cluster_delay = self.config.cluster_delay
+        any_bypassed = False
+        best_level: int | None = None
+        last_arrival = -1
+        last_case: BypassCase | None = None
+
+        for producer, fmt in rec.sources:
+            adjust = cluster_delay if producer.cluster != rec.cluster else 0
+            offset = cycle - producer.select_cycle - adjust
+            # Which format was actually consumed: RB only if the producer
+            # made an RB value and its TC form was not yet available.
+            consumed_rb = (
+                producer.produces_rb
+                and fmt is DataFormat.RB
+                and offset < producer.lat_tc
+            )
+            exec_latency = producer.lat_rb if consumed_rb else producer.lat_tc
+            level = offset - exec_latency  # 0: BYP-1, 1-2: other levels, >=3: RF
+            bypassed = level < RF_LEVELS
+            if bypassed:
+                any_bypassed = True
+                stats.bypassed_sources += 1
+                if adjust:
+                    stats.cross_cluster_bypasses += 1
+                if best_level is None or level < best_level:
+                    best_level = level
+            arrival = producer.select_cycle + adjust + producer.templates[fmt].first_offset
+            if arrival > last_arrival:
+                last_arrival = arrival
+                if bypassed:
+                    producer_rb = producer.produces_rb
+                    consumer_rb = fmt is DataFormat.RB
+                    if producer_rb and consumer_rb:
+                        last_case = BypassCase.RB_TO_RB
+                    elif producer_rb:
+                        last_case = BypassCase.RB_TO_TC
+                    elif consumer_rb:
+                        last_case = BypassCase.TC_TO_RB
+                    else:
+                        last_case = BypassCase.TC_TO_TC
+                else:
+                    last_case = None
+
+        if any_bypassed:
+            stats.instructions_with_bypass += 1
+            if last_case is not None:
+                stats.bypass_cases.record(last_case)
+        if best_level is None:
+            stats.bypass_levels.record(BypassLevelUse.NONE)
+        elif best_level == 0:
+            stats.bypass_levels.record(BypassLevelUse.FIRST_LEVEL)
+        else:
+            stats.bypass_levels.record(BypassLevelUse.OTHER_LEVEL)
+
+
+def simulate(config: MachineConfig, program: Program, **kwargs) -> SimStats:
+    """Convenience: build a machine and run one program."""
+    return Machine(config).run(program, **kwargs)

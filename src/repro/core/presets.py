@@ -1,0 +1,87 @@
+"""The machine models evaluated in the paper (§5.1).
+
+* ``baseline`` — 2-cycle pipelined two's-complement ALUs, full bypass.
+* ``rb_limited`` — 1-cycle RB adders + 2-cycle converters, TC register
+  files only, the §4.2 limited bypass network (BYP-2 removed; BYP-3 not
+  visible to RB-input units).
+* ``rb_full`` — RB adders with both TC and RB register files: the same
+  bypass path count as the baseline, timing equivalent to a full network.
+* ``ideal`` — 1-cycle two's-complement ALUs, full bypass.
+* ``ideal_limited`` — the Fig. 14 study: the Ideal machine with selected
+  bypass levels deleted (No-1, No-2, No-3, No-1,2, No-2,3).
+"""
+
+from __future__ import annotations
+
+from repro.backend.bypass import BypassStyle
+from repro.backend.latency import AdderStyle
+from repro.core.config import MachineConfig
+
+
+def baseline(width: int) -> MachineConfig:
+    """The Baseline machine: 2-cycle pipelined TC adders."""
+    return MachineConfig(
+        name=f"Baseline-{width}w", width=width, adder_style=AdderStyle.BASELINE
+    )
+
+
+def staggered(width: int) -> MachineConfig:
+    """Figure 1's Configuration C: 2-cycle pipelined adders that forward
+    their first stage's low half and carry to dependent adds (the Pentium
+    4 staggered-add design, §2).  Not one of the paper's four evaluated
+    machines; included for the Figure 1 study."""
+    return MachineConfig(
+        name=f"Staggered-{width}w", width=width, adder_style=AdderStyle.STAGGERED
+    )
+
+
+def rb_limited(width: int) -> MachineConfig:
+    """The RB machine with TC register files and the §4.2 limited bypass."""
+    return MachineConfig(
+        name=f"RB-limited-{width}w",
+        width=width,
+        adder_style=AdderStyle.RB,
+        bypass_style=BypassStyle.RB_LIMITED,
+    )
+
+
+def rb_full(width: int) -> MachineConfig:
+    """The RB machine with TC and RB register files (full-bypass timing)."""
+    return MachineConfig(
+        name=f"RB-full-{width}w", width=width, adder_style=AdderStyle.RB
+    )
+
+
+def ideal(width: int) -> MachineConfig:
+    """The Ideal machine: 1-cycle TC adders."""
+    return MachineConfig(
+        name=f"Ideal-{width}w", width=width, adder_style=AdderStyle.IDEAL
+    )
+
+
+def ideal_limited(width: int, removed_levels: frozenset[int] | set[int]) -> MachineConfig:
+    """The Ideal machine with bypass levels deleted (Fig. 14)."""
+    removed = frozenset(removed_levels)
+    label = ",".join(str(level) for level in sorted(removed))
+    return MachineConfig(
+        name=f"Ideal-No-{label}-{width}w",
+        width=width,
+        adder_style=AdderStyle.IDEAL,
+        bypass_style=BypassStyle.LIMITED,
+        removed_levels=removed,
+    )
+
+
+#: The Fig. 14 bypass-deletion variants, in the paper's order.
+FIG14_VARIANTS: list[frozenset[int]] = [
+    frozenset({1}),
+    frozenset({2}),
+    frozenset({3}),
+    frozenset({1, 2}),
+    frozenset({2, 3}),
+]
+
+
+def all_paper_machines(width: int) -> list[MachineConfig]:
+    """The four machines of Figs. 9-12 at one width, in presentation order."""
+    return [baseline(width), rb_limited(width), rb_full(width), ideal(width)]

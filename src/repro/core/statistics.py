@@ -1,0 +1,119 @@
+"""Simulation statistics: everything the paper's figures report.
+
+* IPC (Figs. 9-12, 14);
+* the four bypass cases of Fig. 13 (which format was forwarded to which
+  kind of consumer, for the last-arriving bypassed source);
+* bypass-level usage (§5.2: none / first level / other level);
+* branch prediction, cache, and occupancy counters for diagnostics.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from repro.utils.stats import Distribution
+
+
+class BypassCase(enum.Enum):
+    """Fig. 13's four forwarding cases (producer format -> consumer kind)."""
+
+    TC_TO_TC = "TC result to TC operation"
+    TC_TO_RB = "TC result to RB operation"
+    RB_TO_RB = "RB result to RB operation"
+    RB_TO_TC = "RB result to TC operation (format conversion)"
+
+
+class BypassLevelUse(enum.Enum):
+    """§5.2's per-instruction source-delivery buckets."""
+
+    NONE = "no source off the bypass network"
+    FIRST_LEVEL = "a source from the first-level bypass"
+    OTHER_LEVEL = "a source from another bypass level"
+
+
+@dataclass
+class SimStats:
+    """Counters filled in by one simulation run."""
+
+    machine: str = ""
+    workload: str = ""
+
+    cycles: int = 0
+    instructions: int = 0
+
+    branches: int = 0
+    mispredictions: int = 0
+    fetch_stall_cycles: int = 0
+
+    dcache_hits: int = 0
+    dcache_misses: int = 0
+    icache_misses: int = 0
+    l2_misses: int = 0
+
+    #: bypassed sources that crossed the cluster boundary (8-wide machines)
+    cross_cluster_bypasses: int = 0
+    #: all bypassed sources observed (denominator for the above)
+    bypassed_sources: int = 0
+
+    #: Fig. 13: last-arriving bypassed source cases.
+    bypass_cases: Distribution = field(default_factory=Distribution)
+    #: Fig. 13 top number: instructions with >= 1 bypassed source.
+    instructions_with_bypass: int = 0
+    #: §5.2 buckets over all retired instructions with register sources.
+    bypass_levels: Distribution = field(default_factory=Distribution)
+
+    #: Dynamic instruction mix over Table 1 classes (set by the harness).
+    scheduler_occupancy_samples: int = 0
+    scheduler_occupancy_sum: int = 0
+
+    @property
+    def ipc(self) -> float:
+        """Retired instructions per cycle."""
+        return self.instructions / self.cycles if self.cycles else 0.0
+
+    @property
+    def misprediction_rate(self) -> float:
+        return self.mispredictions / self.branches if self.branches else 0.0
+
+    @property
+    def dcache_hit_rate(self) -> float:
+        total = self.dcache_hits + self.dcache_misses
+        return self.dcache_hits / total if total else 0.0
+
+    def cross_cluster_fraction(self) -> float:
+        """Fraction of bypassed sources forwarded across clusters."""
+        if not self.bypassed_sources:
+            return 0.0
+        return self.cross_cluster_bypasses / self.bypassed_sources
+
+    def conversion_bypass_fraction(self) -> float:
+        """Fig. 13's bottom number: fraction of bypasses needing RB -> TC."""
+        return self.bypass_cases.fraction(BypassCase.RB_TO_TC)
+
+    def bypassed_instruction_fraction(self) -> float:
+        """Fig. 13's top number."""
+        if not self.instructions:
+            return 0.0
+        return self.instructions_with_bypass / self.instructions
+
+    def mean_scheduler_occupancy(self) -> float:
+        if not self.scheduler_occupancy_samples:
+            return 0.0
+        return self.scheduler_occupancy_sum / self.scheduler_occupancy_samples
+
+    def summary(self) -> str:
+        """Multi-line human-readable digest."""
+        lines = [
+            f"{self.machine} on {self.workload}:",
+            f"  IPC {self.ipc:.3f} ({self.instructions} instructions, {self.cycles} cycles)",
+            f"  branch mispredict {self.misprediction_rate:.2%} "
+            f"({self.mispredictions}/{self.branches})",
+            f"  D-cache hit rate {self.dcache_hit_rate:.2%}",
+        ]
+        if self.bypass_cases.total:
+            lines.append(
+                f"  bypassed-instr fraction {self.bypassed_instruction_fraction():.2%}, "
+                f"RB->TC conversions {self.conversion_bypass_fraction():.2%} of bypasses"
+            )
+        return "\n".join(lines)

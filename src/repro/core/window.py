@@ -1,0 +1,109 @@
+"""In-flight instruction records and the reorder buffer."""
+
+from __future__ import annotations
+
+from collections import deque
+
+from repro.backend.bypass import AvailabilityTemplate
+from repro.backend.formats import DataFormat
+from repro.isa.instruction import Instruction
+from repro.isa.semantics import ExecResult
+
+
+class DynInstr:
+    """One dynamic (in-flight) instruction.
+
+    Producer-side timing lives here: once selected, ``select_cycle`` plus
+    the per-consumer-format availability templates define when dependents
+    can go (the Fig. 8 shift register).  ``lat_rb`` / ``lat_tc`` record the
+    underlying execution latencies so statistics can tell a bypass level
+    from a register-file read.
+    """
+
+    __slots__ = (
+        "seq", "instr", "result", "fetch_cycle", "mispredicted",
+        "scheduler", "cluster", "insert_cycle",
+        "select_cycle", "complete_cycle",
+        "produces_rb", "templates", "lat_rb", "lat_tc",
+        "sources", "store_dep",
+        "rename_cycle",
+    )
+
+    def __init__(
+        self,
+        seq: int,
+        instr: Instruction,
+        result: ExecResult,
+        fetch_cycle: int,
+        mispredicted: bool,
+    ) -> None:
+        self.seq = seq
+        self.instr = instr
+        self.result = result
+        self.fetch_cycle = fetch_cycle
+        self.mispredicted = mispredicted
+
+        self.scheduler = -1
+        self.cluster = 0
+        self.insert_cycle = -1
+        self.rename_cycle = -1
+        self.select_cycle: int | None = None
+        self.complete_cycle: int | None = None
+
+        self.produces_rb = False
+        self.templates: dict[DataFormat, AvailabilityTemplate] | None = None
+        self.lat_rb = 0
+        self.lat_tc = 0
+
+        # (producer, format-the-consumer-reads-in) per register source with
+        # a real in-flight producer dependence.
+        self.sources: list[tuple["DynInstr", DataFormat]] = []
+        self.store_dep: "DynInstr | None" = None
+
+    def __repr__(self) -> str:
+        return f"DynInstr(#{self.seq} {self.instr!r} sel={self.select_cycle})"
+
+
+class ReorderBuffer:
+    """Bounded in-order retirement window."""
+
+    def __init__(self, capacity: int) -> None:
+        if capacity <= 0:
+            raise ValueError(f"ROB capacity must be positive, got {capacity}")
+        self.capacity = capacity
+        self._entries: deque[DynInstr] = deque()
+        self.retired = 0
+
+    def has_room(self) -> bool:
+        return len(self._entries) < self.capacity
+
+    def push(self, record: DynInstr) -> None:
+        if not self.has_room():
+            raise RuntimeError("ROB overflow")
+        self._entries.append(record)
+
+    def retire_ready(self, cycle: int, width: int) -> list[DynInstr]:
+        """Retire up to ``width`` completed instructions, oldest first.
+
+        An instruction retires the cycle after its write-back completes.
+        """
+        retired: list[DynInstr] = []
+        while (
+            len(retired) < width
+            and self._entries
+            and self._entries[0].complete_cycle is not None
+            and self._entries[0].complete_cycle < cycle
+        ):
+            retired.append(self._entries.popleft())
+        self.retired += len(retired)
+        return retired
+
+    @property
+    def occupancy(self) -> int:
+        return len(self._entries)
+
+    def __bool__(self) -> bool:
+        return bool(self._entries)
+
+    def __len__(self) -> int:
+        return len(self._entries)

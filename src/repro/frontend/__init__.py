@@ -1,0 +1,27 @@
+"""Front-end substrate: branch prediction and fetch (Table 2).
+
+The paper's machines fetch two basic blocks per cycle through a 48 KB
+hybrid gshare/PAs predictor with a 4096-entry BTB.  The fetch unit follows
+the correct path (functional-first simulation): a mispredicted branch
+stalls fetch until the branch resolves in the backend, which charges the
+full misprediction penalty without modelling wrong-path instructions
+(see DESIGN.md, "Known deviations").
+"""
+
+from repro.frontend.btb import BranchTargetBuffer
+from repro.frontend.fetch import FetchedInstruction, FetchUnit
+from repro.frontend.gshare import GsharePredictor
+from repro.frontend.hybrid import HybridPredictor, default_hybrid_predictor
+from repro.frontend.pas import PAsPredictor
+from repro.frontend.ras import ReturnAddressStack
+
+__all__ = [
+    "BranchTargetBuffer",
+    "GsharePredictor",
+    "PAsPredictor",
+    "HybridPredictor",
+    "default_hybrid_predictor",
+    "ReturnAddressStack",
+    "FetchUnit",
+    "FetchedInstruction",
+]

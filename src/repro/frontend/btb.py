@@ -1,0 +1,52 @@
+"""Branch target buffer: 4096 entries, 4-way set associative (Table 2)."""
+
+from __future__ import annotations
+
+from repro.isa.program import INSTRUCTION_BYTES
+
+
+class BranchTargetBuffer:
+    """Tagged target storage with per-set LRU replacement."""
+
+    def __init__(self, entries: int = 4096, associativity: int = 4) -> None:
+        if entries <= 0 or associativity <= 0 or entries % associativity:
+            raise ValueError(f"bad BTB geometry: {entries} entries, {associativity}-way")
+        self.entries = entries
+        self.associativity = associativity
+        self.num_sets = entries // associativity
+        if self.num_sets & (self.num_sets - 1):
+            raise ValueError(f"BTB set count {self.num_sets} must be a power of two")
+        # Each set: list of (tag, target), most recently used first.
+        self._sets: list[list[tuple[int, int]]] = [[] for _ in range(self.num_sets)]
+        self.lookups = 0
+        self.hits = 0
+
+    def _locate(self, pc: int) -> tuple[list[tuple[int, int]], int]:
+        word = pc // INSTRUCTION_BYTES
+        return self._sets[word & (self.num_sets - 1)], word // self.num_sets
+
+    def lookup(self, pc: int) -> int | None:
+        """Predicted target for the branch at ``pc`` (None on miss)."""
+        self.lookups += 1
+        ways, tag = self._locate(pc)
+        for i, (entry_tag, target) in enumerate(ways):
+            if entry_tag == tag:
+                if i:
+                    ways.insert(0, ways.pop(i))
+                self.hits += 1
+                return target
+        return None
+
+    def update(self, pc: int, target: int) -> None:
+        """Install/refresh the target for the branch at ``pc``."""
+        ways, tag = self._locate(pc)
+        for i, (entry_tag, _) in enumerate(ways):
+            if entry_tag == tag:
+                ways.pop(i)
+                break
+        ways.insert(0, (tag, target))
+        if len(ways) > self.associativity:
+            ways.pop()
+
+    def hit_rate(self) -> float:
+        return self.hits / self.lookups if self.lookups else 0.0

@@ -1,0 +1,191 @@
+"""The fetch unit: two basic blocks per cycle down the correct path.
+
+The simulator is functional-first: each instruction is executed
+architecturally at fetch time, so its branch outcome, result value, and
+memory address are known exactly (an oracle for the timing model, which
+never needs them early — only the scheduler's availability logic gates
+execution).  Branch predictors are still consulted and trained in fetch
+order; when they disagree with the oracle outcome, the fetched bundle ends
+at the mispredicted branch and fetch stalls until the backend reports the
+branch resolved, charging the full front-end refill penalty.  Wrong-path
+instructions themselves are not simulated (DESIGN.md, deviations).
+
+Per cycle the unit supplies up to ``fetch_width`` instructions spanning at
+most two basic blocks (a block boundary = a taken control transfer whose
+target the front end can produce: direct branches/calls from the decoder,
+returns from the RAS, indirect jumps from the BTB).  Instruction-cache
+misses stall the bundle until the line arrives.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.frontend.btb import BranchTargetBuffer
+from repro.frontend.hybrid import HybridPredictor, default_hybrid_predictor
+from repro.frontend.ras import ReturnAddressStack
+from repro.isa.instruction import Instruction
+from repro.isa.opcodes import Opcode
+from repro.isa.program import INSTRUCTION_BYTES, Program
+from repro.isa.semantics import ArchState, ExecResult
+from repro.mem.hierarchy import MemoryHierarchy
+
+
+@dataclass
+class FetchedInstruction:
+    """One correct-path instruction leaving the fetch stage."""
+
+    instr: Instruction
+    result: ExecResult
+    fetch_cycle: int
+    mispredicted: bool = False
+
+
+class FetchUnit:
+    """Correct-path fetch with prediction, BTB, RAS, and I-cache timing."""
+
+    def __init__(
+        self,
+        program: Program,
+        state: ArchState,
+        hierarchy: MemoryHierarchy,
+        fetch_width: int = 8,
+        max_blocks_per_cycle: int = 2,
+        predictor: HybridPredictor | None = None,
+        btb: BranchTargetBuffer | None = None,
+        ras: ReturnAddressStack | None = None,
+    ) -> None:
+        self.program = program
+        self.state = state
+        self.hierarchy = hierarchy
+        self.fetch_width = fetch_width
+        self.max_blocks_per_cycle = max_blocks_per_cycle
+        self.predictor = predictor if predictor is not None else default_hybrid_predictor()
+        self.btb = btb if btb is not None else BranchTargetBuffer()
+        self.ras = ras if ras is not None else ReturnAddressStack()
+
+        self.halted = False
+        self._stalled_for_branch = False
+        self._resume_cycle: int | None = None
+        self._icache_ready_pc: int | None = None
+        self._icache_ready_cycle = 0
+
+        self.branches = 0
+        self.mispredictions = 0
+        self.fetch_stall_cycles = 0
+
+    # -- backend interface -------------------------------------------------------
+
+    @property
+    def stalled(self) -> bool:
+        """True while waiting for a mispredicted branch to resolve."""
+        return self._stalled_for_branch
+
+    def resolve_branch(self, resolve_cycle: int) -> None:
+        """The backend resolved the mispredicted branch; fetch restarts then."""
+        if not self._stalled_for_branch:
+            raise RuntimeError("resolve_branch with no branch outstanding")
+        self._stalled_for_branch = False
+        self._resume_cycle = resolve_cycle
+
+    # -- per-cycle fetch ------------------------------------------------------------
+
+    def fetch_bundle(self, cycle: int) -> list[FetchedInstruction]:
+        """Fetch up to a bundle of correct-path instructions this cycle."""
+        if self.halted or self._stalled_for_branch:
+            return []
+        if self._resume_cycle is not None and cycle < self._resume_cycle:
+            self.fetch_stall_cycles += 1
+            return []
+        self._resume_cycle = None
+
+        # Instruction cache: one access per bundle, at the current PC.  A
+        # miss stalls fetch until the line is ready.
+        pc = self.state.pc
+        if self._icache_ready_pc == pc:
+            if cycle < self._icache_ready_cycle:
+                self.fetch_stall_cycles += 1
+                return []
+            self._icache_ready_pc = None
+        else:
+            hit_latency = self.hierarchy.config.icache.hit_latency
+            ready = self.hierarchy.fetch_access(pc, cycle)
+            if ready > cycle + hit_latency:
+                # Miss: remember the pending line and stall.  The hit
+                # latency itself is part of the fixed front-end depth.
+                self._icache_ready_pc = pc
+                self._icache_ready_cycle = ready - hit_latency
+                self.fetch_stall_cycles += 1
+                return []
+
+        bundle: list[FetchedInstruction] = []
+        blocks = 0
+        while len(bundle) < self.fetch_width:
+            instr = self.program.at(self.state.pc)
+            if instr is None:
+                raise RuntimeError(
+                    f"fetch walked off the text section at {self.state.pc:#x}"
+                )
+            result = self.state.execute(instr)
+            fetched = FetchedInstruction(instr, result, cycle)
+            bundle.append(fetched)
+
+            if instr.opcode is Opcode.HALT:
+                self.halted = True
+                break
+
+            if instr.spec.is_branch:
+                mispredicted = self._predict_and_train(instr, result)
+                if mispredicted:
+                    fetched.mispredicted = True
+                    self.mispredictions += 1
+                    self._stalled_for_branch = True
+                    break
+                if result.taken:
+                    blocks += 1
+                    if blocks >= self.max_blocks_per_cycle:
+                        break
+        return bundle
+
+    # -- prediction ----------------------------------------------------------------------
+
+    def _predict_and_train(self, instr: Instruction, result: ExecResult) -> bool:
+        """Consult and train the predictors; True if this branch mispredicts."""
+        opcode = instr.opcode
+        pc = instr.address
+        actual_target = result.next_pc
+        fall_through = pc + INSTRUCTION_BYTES
+
+        if opcode is Opcode.BR or opcode is Opcode.JSR:
+            # Direct, unconditional: the decoder extracts the target, so the
+            # front end always follows it correctly.
+            if opcode is Opcode.JSR:
+                self.ras.push(fall_through)
+            return False
+
+        if opcode is Opcode.RET:
+            predicted = self.ras.pop()
+            return predicted != actual_target
+
+        if opcode is Opcode.JMP:
+            self.branches += 1
+            predicted = self.btb.lookup(pc)
+            self.btb.update(pc, actual_target)
+            return predicted != actual_target
+
+        # Conditional branch: direction from the hybrid predictor, target
+        # from the BTB when predicted taken.
+        self.branches += 1
+        taken = bool(result.taken)
+        predicted_taken = self.predictor.predict(pc)
+        self.predictor.update(pc, taken)
+        if predicted_taken:
+            predicted_target = self.btb.lookup(pc)
+            if taken:
+                self.btb.update(pc, actual_target)
+                return predicted_target != actual_target
+            return True  # predicted taken, actually not taken
+        if taken:
+            self.btb.update(pc, actual_target)
+            return True  # predicted not taken, actually taken
+        return False

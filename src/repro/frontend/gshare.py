@@ -1,0 +1,49 @@
+"""Gshare global-history branch predictor (one half of the hybrid)."""
+
+from __future__ import annotations
+
+from repro.isa.program import INSTRUCTION_BYTES
+
+
+class GsharePredictor:
+    """XOR of global history and PC bits indexes a table of 2-bit counters."""
+
+    def __init__(self, history_bits: int = 16) -> None:
+        if not 1 <= history_bits <= 24:
+            raise ValueError(f"history_bits out of range: {history_bits}")
+        self.history_bits = history_bits
+        self._mask = (1 << history_bits) - 1
+        self._history = 0
+        # 2-bit saturating counters, initialized weakly taken.
+        self._counters = bytearray(b"\x02" * (1 << history_bits))
+        self.predictions = 0
+        self.correct = 0
+
+    def _index(self, pc: int) -> int:
+        return ((pc // INSTRUCTION_BYTES) ^ self._history) & self._mask
+
+    def predict(self, pc: int) -> bool:
+        """Predicted direction for the branch at ``pc``."""
+        return self._counters[self._index(pc)] >= 2
+
+    def update(self, pc: int, taken: bool) -> None:
+        """Train the counter and shift the outcome into global history."""
+        index = self._index(pc)
+        counter = self._counters[index]
+        if taken:
+            self.correct += counter >= 2
+            if counter < 3:
+                self._counters[index] = counter + 1
+        else:
+            self.correct += counter < 2
+            if counter > 0:
+                self._counters[index] = counter - 1
+        self.predictions += 1
+        self._history = ((self._history << 1) | int(taken)) & self._mask
+
+    @property
+    def history(self) -> int:
+        return self._history
+
+    def accuracy(self) -> float:
+        return self.correct / self.predictions if self.predictions else 0.0

@@ -1,0 +1,73 @@
+"""Hybrid gshare/PAs predictor with a 2-bit chooser (Table 2: 48 KB).
+
+The chooser table learns, per PC-indexed entry, which component predicts
+the branch better; it trains only when the components disagree.
+"""
+
+from __future__ import annotations
+
+from repro.frontend.gshare import GsharePredictor
+from repro.frontend.pas import PAsPredictor
+from repro.isa.program import INSTRUCTION_BYTES
+
+
+class HybridPredictor:
+    """Tournament predictor over a gshare and a PAs component."""
+
+    def __init__(
+        self,
+        gshare: GsharePredictor,
+        pas: PAsPredictor,
+        chooser_bits: int = 16,
+    ) -> None:
+        self.gshare = gshare
+        self.pas = pas
+        self.chooser_bits = chooser_bits
+        # 2-bit chooser: >= 2 means "trust gshare".
+        self._chooser = bytearray(b"\x02" * (1 << chooser_bits))
+        self.predictions = 0
+        self.correct = 0
+
+    def _chooser_index(self, pc: int) -> int:
+        return (pc // INSTRUCTION_BYTES) & ((1 << self.chooser_bits) - 1)
+
+    def predict(self, pc: int) -> bool:
+        """Predicted direction for the conditional branch at ``pc``."""
+        if self._chooser[self._chooser_index(pc)] >= 2:
+            return self.gshare.predict(pc)
+        return self.pas.predict(pc)
+
+    def update(self, pc: int, taken: bool) -> bool:
+        """Train everything; returns True if the hybrid prediction was correct."""
+        gshare_prediction = self.gshare.predict(pc)
+        pas_prediction = self.pas.predict(pc)
+        index = self._chooser_index(pc)
+        used_gshare = self._chooser[index] >= 2
+        prediction = gshare_prediction if used_gshare else pas_prediction
+
+        if gshare_prediction != pas_prediction:
+            chooser = self._chooser[index]
+            if gshare_prediction == taken and chooser < 3:
+                self._chooser[index] = chooser + 1
+            elif pas_prediction == taken and chooser > 0:
+                self._chooser[index] = chooser - 1
+        self.gshare.update(pc, taken)
+        self.pas.update(pc, taken)
+
+        self.predictions += 1
+        hit = prediction == taken
+        self.correct += hit
+        return hit
+
+    def accuracy(self) -> float:
+        return self.correct / self.predictions if self.predictions else 0.0
+
+
+def default_hybrid_predictor() -> HybridPredictor:
+    """The paper's 48 KB budget: 16 KB gshare + ~10 KB PAs + 16 KB chooser
+    (2-bit counters; the remainder is the BTB and history storage)."""
+    return HybridPredictor(
+        gshare=GsharePredictor(history_bits=16),
+        pas=PAsPredictor(bht_bits=12, history_bits=10, set_bits=4),
+        chooser_bits=16,
+    )

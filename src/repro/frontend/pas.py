@@ -1,0 +1,64 @@
+"""PAs per-address two-level branch predictor (the other half of the hybrid).
+
+First level: a table of per-branch history registers indexed by PC.
+Second level: pattern history tables of 2-bit counters indexed by the
+branch's own history concatenated with low PC bits (the per-set structure
+of PAs).
+"""
+
+from __future__ import annotations
+
+from repro.isa.program import INSTRUCTION_BYTES
+
+
+class PAsPredictor:
+    """Two-level predictor with per-address history (PAs)."""
+
+    def __init__(
+        self,
+        bht_bits: int = 12,
+        history_bits: int = 10,
+        set_bits: int = 4,
+    ) -> None:
+        if not 1 <= history_bits <= 20:
+            raise ValueError(f"history_bits out of range: {history_bits}")
+        self.bht_bits = bht_bits
+        self.history_bits = history_bits
+        self.set_bits = set_bits
+        self._bht = [0] * (1 << bht_bits)
+        self._history_mask = (1 << history_bits) - 1
+        self._pht = bytearray(b"\x02" * (1 << (history_bits + set_bits)))
+        self.predictions = 0
+        self.correct = 0
+
+    def _bht_index(self, pc: int) -> int:
+        return (pc // INSTRUCTION_BYTES) & ((1 << self.bht_bits) - 1)
+
+    def _pht_index(self, pc: int, history: int) -> int:
+        set_index = (pc // INSTRUCTION_BYTES) & ((1 << self.set_bits) - 1)
+        return (history << self.set_bits) | set_index
+
+    def predict(self, pc: int) -> bool:
+        """Predicted direction for the branch at ``pc``."""
+        history = self._bht[self._bht_index(pc)]
+        return self._pht[self._pht_index(pc, history)] >= 2
+
+    def update(self, pc: int, taken: bool) -> None:
+        """Train the pattern counter and the branch's private history."""
+        bht_index = self._bht_index(pc)
+        history = self._bht[bht_index]
+        pht_index = self._pht_index(pc, history)
+        counter = self._pht[pht_index]
+        if taken:
+            self.correct += counter >= 2
+            if counter < 3:
+                self._pht[pht_index] = counter + 1
+        else:
+            self.correct += counter < 2
+            if counter > 0:
+                self._pht[pht_index] = counter - 1
+        self.predictions += 1
+        self._bht[bht_index] = ((history << 1) | int(taken)) & self._history_mask
+
+    def accuracy(self) -> float:
+        return self.correct / self.predictions if self.predictions else 0.0

@@ -1,0 +1,29 @@
+"""Return address stack for JSR/RET prediction."""
+
+from __future__ import annotations
+
+
+class ReturnAddressStack:
+    """A bounded stack of predicted return addresses (overwrites on overflow)."""
+
+    def __init__(self, depth: int = 32) -> None:
+        if depth <= 0:
+            raise ValueError(f"RAS depth must be positive, got {depth}")
+        self.depth = depth
+        self._stack: list[int] = []
+        self.overflows = 0
+
+    def push(self, return_address: int) -> None:
+        if len(self._stack) == self.depth:
+            self._stack.pop(0)
+            self.overflows += 1
+        self._stack.append(return_address)
+
+    def pop(self) -> int | None:
+        """Predicted return address, or None if the stack is empty."""
+        if not self._stack:
+            return None
+        return self._stack.pop()
+
+    def __len__(self) -> int:
+        return len(self._stack)

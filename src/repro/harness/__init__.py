@@ -1,0 +1,34 @@
+"""Experiment harness: regenerates every table and figure in the paper.
+
+:mod:`repro.harness.runner` runs (machine, workload) pairs with a
+persistent on-disk cache so the figure benchmarks can share simulation
+results; :mod:`repro.harness.experiments` defines one entry point per
+paper artifact (Table 1, Table 3, Figures 9-14, the §3.4 delay study and
+the §5.2 bypass-usage numbers); :mod:`repro.harness.report` renders them
+as text tables/bars and writes EXPERIMENTS.md.
+"""
+
+from repro.harness.experiments import (
+    fig13_bypass_cases,
+    fig14_limited_bypass,
+    fig_ipc,
+    headline_ratios,
+    sec34_adder_delays,
+    sec52_bypass_levels,
+    table1_mix,
+    table3_latencies,
+)
+from repro.harness.runner import ResultCache, SimulationRunner
+
+__all__ = [
+    "SimulationRunner",
+    "ResultCache",
+    "fig_ipc",
+    "fig13_bypass_cases",
+    "fig14_limited_bypass",
+    "table1_mix",
+    "table3_latencies",
+    "sec34_adder_delays",
+    "sec52_bypass_levels",
+    "headline_ratios",
+]

@@ -1,0 +1,355 @@
+"""One entry point per paper artifact.
+
+Every function returns an :class:`ExperimentResult` whose ``rows`` are the
+regenerated numbers and whose ``series`` carry the same data for
+programmatic assertions (the benchmark suite checks the paper's *shape*
+claims against them: orderings, approximate ratios, crossovers).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.backend.latency import TABLE3
+from repro.circuits.analysis import adder_delay_table
+from repro.core.config import MachineConfig
+from repro.core.presets import FIG14_VARIANTS, all_paper_machines, ideal, ideal_limited, rb_full
+from repro.core.statistics import BypassCase, BypassLevelUse
+from repro.harness.runner import SimulationRunner, default_runner
+from repro.isa.classify import TABLE1_ROWS, classify
+from repro.isa.opcodes import LatencyClass, Opcode
+from repro.isa.semantics import ArchState
+from repro.utils.stats import Distribution, harmonic_mean, mean
+from repro.utils.tables import format_table
+from repro.workloads.suite import all_workloads, build
+
+
+@dataclass
+class ExperimentResult:
+    """A regenerated table/figure plus machine-readable series."""
+
+    experiment: str
+    title: str
+    headers: list[str]
+    rows: list[list[object]]
+    series: dict = field(default_factory=dict)
+    notes: list[str] = field(default_factory=list)
+
+    def text(self) -> str:
+        out = format_table(self.headers, self.rows, title=self.title)
+        if self.notes:
+            out += "\n" + "\n".join(f"  note: {n}" for n in self.notes)
+        return out
+
+
+# ---------------------------------------------------------------------------
+# Figures 9-12: IPC of the four machines per suite and width
+# ---------------------------------------------------------------------------
+
+_FIGURE_NUMBERS = {(8, "spec2000"): 9, (8, "spec95"): 10, (4, "spec2000"): 11, (4, "spec95"): 12}
+
+
+def fig_ipc(
+    width: int, suite: str, runner: SimulationRunner | None = None
+) -> ExperimentResult:
+    """Figures 9-12: per-benchmark IPC for Baseline/RB-limited/RB-full/Ideal."""
+    runner = runner or default_runner()
+    machines = all_paper_machines(width)
+    workloads = [w.name for w in all_workloads(suite)]
+    series: dict[str, list[float]] = {m.name: [] for m in machines}
+    rows: list[list[object]] = []
+    for workload in workloads:
+        row: list[object] = [workload]
+        for machine in machines:
+            ipc = runner.run(machine, workload).ipc
+            series[machine.name].append(ipc)
+            row.append(ipc)
+        rows.append(row)
+    means = [mean(series[m.name]) for m in machines]
+    rows.append(["MEAN"] + means)
+    figure = _FIGURE_NUMBERS[(width, suite)]
+    return ExperimentResult(
+        experiment=f"fig{figure}",
+        title=f"Figure {figure}: IPC, {width}-wide machines, {suite}",
+        headers=["benchmark"] + [m.name for m in machines],
+        rows=rows,
+        series={"machines": [m.name for m in machines], "ipc": series,
+                "means": dict(zip((m.name for m in machines), means))},
+    )
+
+
+# ---------------------------------------------------------------------------
+# Figure 13: potentially critical bypass cases on the 8-wide RB-full machine
+# ---------------------------------------------------------------------------
+
+def fig13_bypass_cases(runner: SimulationRunner | None = None) -> ExperimentResult:
+    """Figure 13: distribution of last-arriving bypass cases (RB-full, 8-wide)."""
+    runner = runner or default_runner()
+    machine = rb_full(8)
+    rows: list[list[object]] = []
+    series: dict[str, dict[str, float]] = {}
+    for workload in all_workloads("spec2000"):
+        stats = runner.run(machine, workload.name)
+        cases = stats.bypass_cases
+        per = {case.name: cases.fraction(case) for case in BypassCase}
+        per["bypassed_fraction"] = stats.bypassed_instruction_fraction()
+        series[workload.name] = per
+        rows.append([
+            workload.name,
+            stats.bypassed_instruction_fraction(),
+            cases.fraction(BypassCase.TC_TO_TC),
+            cases.fraction(BypassCase.TC_TO_RB),
+            cases.fraction(BypassCase.RB_TO_RB),
+            cases.fraction(BypassCase.RB_TO_TC),
+        ])
+    return ExperimentResult(
+        experiment="fig13",
+        title="Figure 13: last-arriving bypass cases, 8-wide RB-full, spec2000",
+        headers=["benchmark", "frac w/ bypass", "TC->TC", "TC->RB", "RB->RB",
+                 "RB->TC (conversion)"],
+        rows=rows,
+        series=series,
+        notes=["the paper reports RB->TC conversions are a small fraction of "
+               "bypasses because most last-arriving sources are loads (TC)"],
+    )
+
+
+# ---------------------------------------------------------------------------
+# Figure 14: limited bypass networks on the Ideal machine
+# ---------------------------------------------------------------------------
+
+def fig14_limited_bypass(runner: SimulationRunner | None = None) -> ExperimentResult:
+    """Figure 14: harmonic-mean IPC over all 20 benchmarks, limited bypass."""
+    runner = runner or default_runner()
+    workloads = [w.name for w in all_workloads()]
+    variants: list[tuple[str, dict[int, MachineConfig]]] = [
+        ("full", {w: ideal(w) for w in (4, 8)})
+    ]
+    for removed in FIG14_VARIANTS:
+        label = "No-" + ",".join(str(level) for level in sorted(removed))
+        variants.append((label, {w: ideal_limited(w, removed) for w in (4, 8)}))
+
+    rows: list[list[object]] = []
+    series: dict[str, dict[int, float]] = {}
+    for label, configs in variants:
+        hmeans = {}
+        for width, config in configs.items():
+            ipcs = [runner.run(config, workload).ipc for workload in workloads]
+            hmeans[width] = harmonic_mean(ipcs)
+        series[label] = hmeans
+        rows.append([label, hmeans[4], hmeans[8]])
+    return ExperimentResult(
+        experiment="fig14",
+        title="Figure 14: harmonic-mean IPC with limited bypass (all 20 benchmarks)",
+        headers=["bypass network", "4-wide", "8-wide"],
+        rows=rows,
+        series=series,
+        notes=["paper: configurations keeping the first level perform best; "
+               "the 4-wide No-1,2 machine outperforms the clustered 8-wide one"],
+    )
+
+
+# ---------------------------------------------------------------------------
+# Table 1: dynamic instruction mix by format class
+# ---------------------------------------------------------------------------
+
+_MIX_EXCLUDED = {Opcode.BR, Opcode.JSR, Opcode.RET, Opcode.JMP, Opcode.NOP, Opcode.HALT}
+
+
+def dynamic_mix(workload: str, max_instructions: int = 400_000) -> Distribution:
+    """Classify every dynamic instruction of one workload (Table 1 rows)."""
+    program = build(workload)
+    state = ArchState(program)
+    mix = Distribution()
+    while not state.halted:
+        instr = program.at(state.pc)
+        state.execute(instr)
+        if instr.opcode not in _MIX_EXCLUDED:
+            mix.record(classify(instr))
+        if state.instructions_executed > max_instructions:
+            raise RuntimeError(f"workload {workload} ran away during mix collection")
+    return mix
+
+
+def table1_mix() -> ExperimentResult:
+    """Table 1: fraction of the dynamic stream per format class, vs the paper."""
+    total = Distribution()
+    for workload in all_workloads():
+        total.merge(dynamic_mix(workload.name))
+    rows: list[list[object]] = []
+    series: dict[str, dict[str, float]] = {"ours": {}, "paper": {}}
+    for format_class, paper_fraction in TABLE1_ROWS:
+        ours = total.fraction(format_class)
+        series["ours"][format_class.name] = ours
+        series["paper"][format_class.name] = paper_fraction
+        rows.append([format_class.value, ours, paper_fraction])
+    rb_output = sum(
+        series["ours"][fc.name] for fc, _ in TABLE1_ROWS if fc.name.endswith("RB_RB")
+    )
+    rows.append(["total RB-output classes", rb_output, 0.33])
+    return ExperimentResult(
+        experiment="table1",
+        title="Table 1: dynamic instruction mix by format class (all 20 kernels)",
+        headers=["class", "measured", "paper"],
+        rows=rows,
+        series=series,
+        notes=["our kernels are arithmetic-heavier and load-lighter than SPEC "
+               "(documented in EXPERIMENTS.md); class coverage and ordering match"],
+    )
+
+
+# ---------------------------------------------------------------------------
+# Table 3: the latency model itself
+# ---------------------------------------------------------------------------
+
+def table3_latencies() -> ExperimentResult:
+    """Table 3: per-class latencies as configured (definitionally the paper's)."""
+    rows: list[list[object]] = []
+    series: dict[str, tuple[int, int, int, int]] = {}
+    for latency_class, row in TABLE3.items():
+        rb = f"{row.rb} ({row.rb_tc})" if row.rb_tc != row.rb else str(row.rb)
+        rows.append([latency_class.value, row.baseline, rb, row.ideal])
+        series[latency_class.name] = (row.baseline, row.rb, row.rb_tc, row.ideal)
+    return ExperimentResult(
+        experiment="table3",
+        title="Table 3: instruction class latencies (Base / RB (TC result) / Ideal)",
+        headers=["class", "Base", "RB (TC)", "Ideal"],
+        rows=rows,
+        series=series,
+        notes=["loads add the 2-cycle pipelined D-cache on top of the 1-cycle "
+               "SAM address generation; COUNT and BRANCH rows are modelling "
+               "decisions documented in backend/latency.py"],
+    )
+
+
+# ---------------------------------------------------------------------------
+# §3.4: adder delay comparison
+# ---------------------------------------------------------------------------
+
+def sec34_adder_delays(widths: tuple[int, ...] = (8, 16, 32, 64)) -> ExperimentResult:
+    """§3.4: gate-level critical-path delays of the adder families."""
+    table = adder_delay_table(widths=widths)
+    rows: list[list[object]] = []
+    for family, delays in table.items():
+        rows.append([family] + [delays[w] for w in widths])
+    rb64 = table["rb"][64] if 64 in widths else table["rb"][max(widths)]
+    top = max(widths)
+    ratios = {
+        family: table[family][top] / table["rb"][top]
+        for family in table if family != "rb"
+    }
+    return ExperimentResult(
+        experiment="sec34",
+        title="Section 3.4: adder critical-path delays (normalized inverter units)",
+        headers=["adder"] + [f"{w}-bit" for w in widths],
+        rows=rows,
+        series={"delays": table, "ratios_vs_rb": ratios, "rb_delay": rb64},
+        notes=[f"speedup of the RB adder at {top} bits: " +
+               ", ".join(f"{k} {v:.2f}x" for k, v in sorted(ratios.items())),
+               "paper (SPICE, 0.5um): RB ~3x faster than a 64-bit CLA, "
+               "~2.7x faster than the RB->TC converter"],
+    )
+
+
+# ---------------------------------------------------------------------------
+# §5.2: bypass level usage on the Ideal machines
+# ---------------------------------------------------------------------------
+
+def sec52_bypass_levels(runner: SimulationRunner | None = None) -> ExperimentResult:
+    """§5.2: per-benchmark source-delivery buckets on the Ideal machines."""
+    runner = runner or default_runner()
+    rows: list[list[object]] = []
+    series: dict[str, dict[str, tuple[float, float]]] = {}
+    for width in (4, 8):
+        config = ideal(width)
+        fractions = {use: [] for use in BypassLevelUse}
+        for workload in all_workloads():
+            stats = runner.run(config, workload.name)
+            for use in BypassLevelUse:
+                fractions[use].append(stats.bypass_levels.fraction(use))
+        ranges = {
+            use.name: (min(values), max(values))
+            for use, values in fractions.items()
+        }
+        series[f"{width}w"] = ranges
+        for use in BypassLevelUse:
+            low, high = ranges[use.name]
+            rows.append([f"{width}-wide", use.value, low, high])
+    return ExperimentResult(
+        experiment="sec52",
+        title="Section 5.2: bypass-level usage ranges on the Ideal machine",
+        headers=["machine", "bucket", "min", "max"],
+        rows=rows,
+        series=series,
+        notes=["paper: 21-38% no bypassed source, 51-70% first level, "
+               "5-14% another bypass path"],
+    )
+
+
+# ---------------------------------------------------------------------------
+# Headline ratios (abstract and §5.2 prose)
+# ---------------------------------------------------------------------------
+
+def headline_ratios(runner: SimulationRunner | None = None) -> ExperimentResult:
+    """The abstract's claims: Ideal vs Baseline, RB-full vs Ideal, limited vs full."""
+    runner = runner or default_runner()
+    rows: list[list[object]] = []
+    series: dict[str, dict[str, float]] = {}
+    paper = {
+        (8, "spec2000"): {"ideal_over_base": 1.08, "rbfull_vs_ideal": 0.989,
+                          "rblim_vs_rbfull": 0.98},
+        (8, "spec95"): {"ideal_over_base": 1.11, "rbfull_vs_ideal": 0.98,
+                        "rblim_vs_rbfull": 0.98},
+        (4, "spec2000"): {"ideal_over_base": 1.055, "rbfull_vs_ideal": 0.995,
+                          "rblim_vs_rbfull": 0.977},
+        (4, "spec95"): {"ideal_over_base": 1.073, "rbfull_vs_ideal": 0.987,
+                        "rblim_vs_rbfull": 0.977},
+    }
+    for width in (8, 4):
+        for suite in ("spec2000", "spec95"):
+            result = fig_ipc(width, suite, runner)
+            means = result.series["means"]
+            base = means[f"Baseline-{width}w"]
+            limited = means[f"RB-limited-{width}w"]
+            full = means[f"RB-full-{width}w"]
+            ideal_ipc = means[f"Ideal-{width}w"]
+            measured = {
+                "ideal_over_base": ideal_ipc / base,
+                "rbfull_over_base": full / base,
+                "rbfull_vs_ideal": full / ideal_ipc,
+                "rblim_vs_rbfull": limited / full,
+            }
+            series[f"{width}w/{suite}"] = measured
+            expected = paper[(width, suite)]
+            rows.append([
+                f"{width}w {suite}",
+                measured["ideal_over_base"], expected["ideal_over_base"],
+                measured["rbfull_vs_ideal"], expected["rbfull_vs_ideal"],
+                measured["rblim_vs_rbfull"], expected["rblim_vs_rbfull"],
+            ])
+    return ExperimentResult(
+        experiment="headline",
+        title="Headline ratios: measured vs paper (means over each suite)",
+        headers=["config", "Ideal/Base", "paper", "RBfull/Ideal", "paper",
+                 "RBlim/RBfull", "paper"],
+        rows=rows,
+        series=series,
+    )
+
+
+def all_experiments(runner: SimulationRunner | None = None) -> list[ExperimentResult]:
+    """Every paper artifact, in presentation order."""
+    runner = runner or default_runner()
+    return [
+        table1_mix(),
+        table3_latencies(),
+        sec34_adder_delays(),
+        fig_ipc(8, "spec2000", runner),
+        fig_ipc(8, "spec95", runner),
+        fig_ipc(4, "spec2000", runner),
+        fig_ipc(4, "spec95", runner),
+        fig13_bypass_cases(runner),
+        fig14_limited_bypass(runner),
+        sec52_bypass_levels(runner),
+        headline_ratios(runner),
+    ]

@@ -1,0 +1,92 @@
+"""Pipeline diagrams from execution traces — the paper's Figures 5 and 7.
+
+Given a machine run with ``record_trace=True``, renders per-instruction
+stage occupancy over cycles, in the style the paper uses to explain the
+limited bypass network:
+
+.. code-block:: text
+
+    Cycle:            0    1    2    3    4    5
+    sll r1, #2, r2    SCH  RF   RF   EXE  CV   CV
+    add r2, r3, r4    .    SCH  RF   RF   EXE  CV
+
+Stages: ``SCH`` the select cycle, ``RF`` register read, ``EXE`` execution,
+``CV`` format conversion (RB producers only), ``WB`` write-back.  Fetch
+and rename are omitted by default (they are long and uniform); pass
+``include_frontend=True`` for the full pipeline.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+from repro.core.machine import SELECT_TO_EXEC
+from repro.core.window import DynInstr
+
+
+def instruction_stages(rec: DynInstr) -> dict[int, str]:
+    """Map absolute cycle -> stage label for one traced instruction."""
+    if rec.select_cycle is None:
+        return {}
+    stages: dict[int, str] = {rec.select_cycle: "SCH"}
+    for i in range(1, SELECT_TO_EXEC):
+        stages[rec.select_cycle + i] = "RF"
+    exec_start = rec.select_cycle + SELECT_TO_EXEC
+    exec_cycles = max(1, rec.lat_rb)
+    for i in range(exec_cycles):
+        stages[exec_start + i] = "EXE"
+    for i in range(rec.lat_tc - rec.lat_rb):
+        stages[exec_start + exec_cycles + i] = "CV"
+    if rec.complete_cycle is not None:
+        stages[rec.complete_cycle + 1] = "WB"
+    return stages
+
+
+def pipeline_diagram(
+    trace: Sequence[DynInstr],
+    first: int = 0,
+    count: int = 16,
+    include_frontend: bool = False,
+    max_cycles: int = 40,
+) -> str:
+    """Render ``count`` traced instructions starting at index ``first``."""
+    window = [rec for rec in trace[first:first + count] if rec.select_cycle is not None]
+    if not window:
+        raise ValueError("no selected instructions in the requested window")
+
+    all_stages = []
+    for rec in window:
+        stages = instruction_stages(rec)
+        if include_frontend:
+            stages.setdefault(rec.fetch_cycle, "F")
+            if rec.rename_cycle >= 0:
+                stages.setdefault(rec.rename_cycle, "REN")
+        all_stages.append(stages)
+
+    start = min(min(stages) for stages in all_stages)
+    end = max(max(stages) for stages in all_stages)
+    if end - start + 1 > max_cycles:
+        end = start + max_cycles - 1
+
+    label_width = max(len(rec.instr.text) for rec in window) + 2
+    cell = 5
+    header = "Cycle:".ljust(label_width) + "".join(
+        str(cycle - start).ljust(cell) for cycle in range(start, end + 1)
+    )
+    lines = [header.rstrip()]
+    for rec, stages in zip(window, all_stages):
+        row = rec.instr.text.ljust(label_width)
+        for cycle in range(start, end + 1):
+            row += stages.get(cycle, ".").ljust(cell)
+        lines.append(row.rstrip())
+    return "\n".join(lines)
+
+
+def select_offsets(trace: Sequence[DynInstr]) -> list[tuple[str, int]]:
+    """(instruction text, select cycle relative to the first selected one);
+    handy for asserting schedules in tests."""
+    selected = [rec for rec in trace if rec.select_cycle is not None]
+    if not selected:
+        return []
+    origin = min(rec.select_cycle for rec in selected)
+    return [(rec.instr.text, rec.select_cycle - origin) for rec in selected]

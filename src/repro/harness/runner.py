@@ -1,0 +1,145 @@
+"""Simulation runner with a persistent result cache.
+
+A full figure sweep is hundreds of (machine, workload) simulations;
+several figures share the same runs (Figs. 9-12 share machines with the
+§5.2 study, Fig. 14 reuses the Ideal results).  The runner memoizes
+results in memory and, optionally, in a JSON file keyed by machine name,
+workload name, and a schema version, so re-running a benchmark after the
+first sweep is cheap.  Bump ``RESULTS_VERSION`` whenever the timing model
+changes in a way that invalidates old numbers.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.core.config import MachineConfig
+from repro.core.machine import Machine
+from repro.core.statistics import BypassCase, BypassLevelUse, SimStats
+from repro.utils.stats import Distribution
+from repro.workloads.suite import build
+
+RESULTS_VERSION = 4
+
+#: The SimStats fields persisted to disk (Distributions handled separately).
+_SCALAR_FIELDS = (
+    "cycles", "instructions", "branches", "mispredictions",
+    "fetch_stall_cycles", "dcache_hits", "dcache_misses",
+    "icache_misses", "l2_misses", "instructions_with_bypass",
+    "cross_cluster_bypasses", "bypassed_sources",
+    "scheduler_occupancy_samples", "scheduler_occupancy_sum",
+)
+
+
+class ResultCache:
+    """JSON-backed cache of simulation statistics."""
+
+    def __init__(self, path: Path | str | None) -> None:
+        self.path = Path(path) if path is not None else None
+        self._data: dict[str, dict] = {}
+        if self.path is not None and self.path.exists():
+            try:
+                loaded = json.loads(self.path.read_text())
+            except (OSError, json.JSONDecodeError):
+                loaded = {}
+            if loaded.get("version") == RESULTS_VERSION:
+                self._data = loaded.get("results", {})
+
+    @staticmethod
+    def key(machine: str, workload: str) -> str:
+        return f"{machine}::{workload}"
+
+    def get(self, machine: str, workload: str) -> SimStats | None:
+        entry = self._data.get(self.key(machine, workload))
+        if entry is None:
+            return None
+        return _stats_from_dict(entry)
+
+    def put(self, stats: SimStats) -> None:
+        self._data[self.key(stats.machine, stats.workload)] = _stats_to_dict(stats)
+
+    def save(self) -> None:
+        if self.path is None:
+            return
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        payload = {"version": RESULTS_VERSION, "results": self._data}
+        self.path.write_text(json.dumps(payload))
+
+    def __len__(self) -> int:
+        return len(self._data)
+
+
+def _stats_to_dict(stats: SimStats) -> dict:
+    entry = {name: getattr(stats, name) for name in _SCALAR_FIELDS}
+    entry["machine"] = stats.machine
+    entry["workload"] = stats.workload
+    entry["bypass_cases"] = {
+        case.name: stats.bypass_cases.count(case) for case in BypassCase
+    }
+    entry["bypass_levels"] = {
+        use.name: stats.bypass_levels.count(use) for use in BypassLevelUse
+    }
+    return entry
+
+
+def _stats_from_dict(entry: dict) -> SimStats:
+    stats = SimStats(machine=entry["machine"], workload=entry["workload"])
+    for name in _SCALAR_FIELDS:
+        setattr(stats, name, entry[name])
+    cases = Distribution()
+    for name, count in entry["bypass_cases"].items():
+        if count:
+            cases.record(BypassCase[name], count)
+    stats.bypass_cases = cases
+    levels = Distribution()
+    for name, count in entry["bypass_levels"].items():
+        if count:
+            levels.record(BypassLevelUse[name], count)
+    stats.bypass_levels = levels
+    return stats
+
+
+class SimulationRunner:
+    """Runs (machine config, workload name) pairs through the cache."""
+
+    def __init__(self, cache_path: Path | str | None = None) -> None:
+        if cache_path is None:
+            cache_path = Path(__file__).resolve().parents[3] / ".repro_cache" / "results.json"
+        self.cache = ResultCache(cache_path)
+        self._machines: dict[str, Machine] = {}
+
+    def run(self, config: MachineConfig, workload: str) -> SimStats:
+        """One simulation, served from cache when available."""
+        cached = self.cache.get(config.name, workload)
+        if cached is not None:
+            return cached
+        machine = self._machines.get(config.name)
+        if machine is None:
+            machine = Machine(config)
+            self._machines[config.name] = machine
+        stats = machine.run(build(workload))
+        self.cache.put(stats)
+        self.cache.save()
+        return stats
+
+    def run_matrix(
+        self, configs: list[MachineConfig], workloads: list[str]
+    ) -> dict[tuple[str, str], SimStats]:
+        """The full cross product, cached."""
+        return {
+            (config.name, workload): self.run(config, workload)
+            for config in configs
+            for workload in workloads
+        }
+
+
+_default_runner: SimulationRunner | None = None
+
+
+def default_runner() -> SimulationRunner:
+    """A process-wide shared runner (shared cache across experiments)."""
+    global _default_runner
+    if _default_runner is None:
+        _default_runner = SimulationRunner()
+    return _default_runner

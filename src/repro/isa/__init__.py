@@ -1,0 +1,48 @@
+"""A mini Alpha-like 64-bit integer ISA (paper §3.6, Table 1).
+
+This is the workload substrate: the paper runs SPECint on the Alpha ISA;
+we define an Alpha-*like* instruction set with the same fixed-point
+instruction classes, operand formats, and redundant-binary capability
+split (which operations can consume/produce redundant binary values), a
+two-pass assembler for writing benchmark kernels, and an architectural
+interpreter used both standalone and as the functional core of the timing
+simulator.
+"""
+
+from repro.isa.assembler import AssemblyError, assemble
+from repro.isa.classify import FormatClass, TABLE1_ROWS, classify, instruction_mix
+from repro.isa.instruction import Instruction, Operand
+from repro.isa.opcodes import (
+    LatencyClass,
+    Opcode,
+    OperandFormat,
+    OpSpec,
+    ResultFormat,
+    spec_of,
+)
+from repro.isa.program import DATA_BASE, STACK_TOP, TEXT_BASE, Program
+from repro.isa.semantics import ArchState, ExecResult, run_program
+
+__all__ = [
+    "Opcode",
+    "OpSpec",
+    "LatencyClass",
+    "OperandFormat",
+    "ResultFormat",
+    "spec_of",
+    "Instruction",
+    "Operand",
+    "assemble",
+    "AssemblyError",
+    "Program",
+    "TEXT_BASE",
+    "DATA_BASE",
+    "STACK_TOP",
+    "ArchState",
+    "ExecResult",
+    "run_program",
+    "FormatClass",
+    "TABLE1_ROWS",
+    "classify",
+    "instruction_mix",
+]

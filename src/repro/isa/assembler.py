@@ -1,0 +1,386 @@
+"""A two-pass assembler for the mini Alpha-like ISA.
+
+Syntax (one statement per line; ``;`` or ``#`` start a comment):
+
+.. code-block:: text
+
+    .text                     ; section directives
+    main:                     ; labels
+        lda   r1, table       ; label as absolute address (base r31)
+        lda   r2, 64(r31)     ; displacement(base)
+        ldq   r3, 8(r1)
+        add   r3, #5, r3      ; '#' marks an immediate operand
+        mov   r3, r4          ; expands to bis r3, r3, r4 (the MOVE idiom)
+        beq   r3, done
+        jsr   helper          ; writes the return address to r26
+        br    main
+    done:
+        halt
+    helper:
+        ret
+
+    .data
+    table:  .quad 1, 2, 3     ; 64-bit values (labels allowed)
+    buffer: .space 256        ; zero-filled bytes
+            .long 7           ; 32-bit values
+            .byte 1, 2
+            .align 8
+
+Registers are ``r0``-``r31`` with aliases ``zero`` (r31), ``sp`` (r30)
+and ``ra`` (r26).  Text labels resolve to instruction addresses, data
+labels to addresses in the data section.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+
+from repro.isa.instruction import Instruction, Operand
+from repro.isa.opcodes import Opcode, Syntax, opcode_by_mnemonic, spec_of
+from repro.isa.program import DATA_BASE, INSTRUCTION_BYTES, TEXT_BASE, Program
+
+_REG_ALIASES = {"zero": 31, "sp": 30, "ra": 26}
+_REG_RE = re.compile(r"^r(\d{1,2})$")
+_MEM_RE = re.compile(r"^(?P<disp>[^()]*?)\s*\(\s*(?P<base>\w+)\s*\)$")
+_LABEL_RE = re.compile(r"^[A-Za-z_][\w.$]*$")
+
+
+class AssemblyError(ValueError):
+    """A syntax or semantic error in assembly source."""
+
+    def __init__(self, message: str, line_number: int | None = None, line: str = "") -> None:
+        location = f" (line {line_number}: {line.strip()!r})" if line_number else ""
+        super().__init__(f"{message}{location}")
+        self.line_number = line_number
+
+
+@dataclass
+class _Statement:
+    """One instruction statement after pass 1."""
+
+    line_number: int
+    line: str
+    mnemonic: str
+    operands: list[str]
+    address: int
+
+
+def _parse_register(token: str, stmt: _Statement) -> int:
+    token = token.strip().lower()
+    if token in _REG_ALIASES:
+        return _REG_ALIASES[token]
+    match = _REG_RE.match(token)
+    if match:
+        reg = int(match.group(1))
+        if reg < 32:
+            return reg
+    raise AssemblyError(f"bad register {token!r}", stmt.line_number, stmt.line)
+
+
+def _parse_int(token: str) -> int | None:
+    token = token.strip()
+    try:
+        return int(token, 0)
+    except ValueError:
+        return None
+
+
+class _Assembler:
+    def __init__(self, source: str, name: str) -> None:
+        self.source = source
+        self.name = name
+        self.labels: dict[str, int] = {}
+        self.statements: list[_Statement] = []
+        self.data = bytearray()
+
+    # -- pass 1: layout ---------------------------------------------------------
+
+    def _strip(self, line: str) -> str:
+        for comment_char in (";", "#"):
+            index = line.find(comment_char)
+            # '#' also introduces immediates; only treat it as a comment when
+            # it starts the comment-looking tail (preceded by whitespace or BOL
+            # and not followed by a digit or '-').
+            if index >= 0:
+                tail = line[index + 1:index + 2]
+                if comment_char == "#" and tail and (tail.isdigit() or tail == "-"):
+                    continue
+                line = line[:index]
+        return line.strip()
+
+    def first_pass(self) -> None:
+        section = "text"
+        text_cursor = TEXT_BASE
+        pending_data_labels: list[str] = []
+        for line_number, raw in enumerate(self.source.splitlines(), start=1):
+            line = self._strip(raw)
+            if not line:
+                continue
+            # Peel off any leading labels.
+            while True:
+                match = re.match(r"^([A-Za-z_][\w.$]*)\s*:\s*(.*)$", line)
+                if not match:
+                    break
+                label, line = match.groups()
+                if label in self.labels or label in pending_data_labels:
+                    raise AssemblyError(f"duplicate label {label!r}", line_number, raw)
+                if section == "text":
+                    self.labels[label] = text_cursor
+                else:
+                    pending_data_labels.append(label)
+            if not line:
+                if section == "data":
+                    continue  # bare label in data: bound by the next directive
+                continue
+            if line.startswith("."):
+                section, text_cursor = self._directive(
+                    line, section, text_cursor, pending_data_labels, line_number, raw
+                )
+                continue
+            if section != "text":
+                raise AssemblyError("instruction outside .text", line_number, raw)
+            parts = line.split(None, 1)
+            mnemonic = parts[0].lower()
+            operand_str = parts[1] if len(parts) > 1 else ""
+            operands = [tok.strip() for tok in operand_str.split(",")] if operand_str else []
+            self.statements.append(
+                _Statement(line_number, raw, mnemonic, operands, text_cursor)
+            )
+            text_cursor += INSTRUCTION_BYTES
+
+    def _directive(
+        self,
+        line: str,
+        section: str,
+        text_cursor: int,
+        pending_data_labels: list[str],
+        line_number: int,
+        raw: str,
+    ) -> tuple[str, int]:
+        parts = line.split(None, 1)
+        name = parts[0].lower()
+        arg = parts[1].strip() if len(parts) > 1 else ""
+        if name == ".text":
+            return "text", text_cursor
+        if name == ".data":
+            return "data", text_cursor
+        if section != "data":
+            raise AssemblyError(f"directive {name} only valid in .data", line_number, raw)
+        # Bind any labels waiting for a data location.
+        for label in pending_data_labels:
+            self.labels[label] = DATA_BASE + len(self.data)
+        pending_data_labels.clear()
+        if name == ".quad":
+            self._emit_values(arg, 8, line_number, raw)
+        elif name == ".long":
+            self._emit_values(arg, 4, line_number, raw)
+        elif name == ".byte":
+            self._emit_values(arg, 1, line_number, raw)
+        elif name == ".space":
+            count = _parse_int(arg)
+            if count is None or count < 0:
+                raise AssemblyError(f"bad .space size {arg!r}", line_number, raw)
+            self.data.extend(b"\x00" * count)
+        elif name == ".align":
+            align = _parse_int(arg)
+            if align is None or align <= 0:
+                raise AssemblyError(f"bad .align {arg!r}", line_number, raw)
+            while len(self.data) % align:
+                self.data.append(0)
+        else:
+            raise AssemblyError(f"unknown directive {name}", line_number, raw)
+        return section, text_cursor
+
+    def _emit_values(self, arg: str, size: int, line_number: int, raw: str) -> None:
+        if not arg:
+            raise AssemblyError("directive needs at least one value", line_number, raw)
+        for token in arg.split(","):
+            token = token.strip()
+            value = _parse_int(token)
+            if value is None:
+                # Defer label references: record a fixup.
+                self._fixups.append((len(self.data), size, token, line_number, raw))
+                value = 0
+            self.data.extend((value & ((1 << (size * 8)) - 1)).to_bytes(size, "little"))
+
+    # -- pass 2: encode ------------------------------------------------------------
+
+    def second_pass(self) -> list[Instruction]:
+        instructions = []
+        for stmt in self.statements:
+            instructions.append(self._encode(stmt))
+        return instructions
+
+    def _resolve_label(self, token: str, stmt: _Statement) -> int:
+        if token not in self.labels:
+            raise AssemblyError(f"undefined label {token!r}", stmt.line_number, stmt.line)
+        return self.labels[token]
+
+    def _operand(self, token: str, stmt: _Statement) -> Operand:
+        token = token.strip()
+        if token.startswith("#"):
+            value = _parse_int(token[1:])
+            if value is None:
+                raise AssemblyError(f"bad immediate {token!r}", stmt.line_number, stmt.line)
+            return Operand(imm=value)
+        return Operand(reg=_parse_register(token, stmt))
+
+    def _encode(self, stmt: _Statement) -> Instruction:
+        mnemonic = stmt.mnemonic
+        operands = list(stmt.operands)
+        if mnemonic == "mov":
+            # mov ra, rc  ->  bis ra, ra, rc (the RB-transparent MOVE idiom)
+            if len(operands) != 2:
+                raise AssemblyError("mov needs 2 operands", stmt.line_number, stmt.line)
+            operands = [operands[0], operands[0], operands[1]]
+            mnemonic = "bis"
+        try:
+            opcode = opcode_by_mnemonic(mnemonic)
+        except KeyError:
+            raise AssemblyError(
+                f"unknown mnemonic {mnemonic!r}", stmt.line_number, stmt.line
+            ) from None
+        spec = spec_of(opcode)
+        text = f"{mnemonic} {', '.join(stmt.operands)}".strip()
+
+        if spec.syntax is Syntax.RRR:
+            if len(operands) != 3:
+                raise AssemblyError(
+                    f"{mnemonic} needs 3 operands", stmt.line_number, stmt.line
+                )
+            a = self._operand(operands[0], stmt)
+            b = self._operand(operands[1], stmt)
+            dest = _parse_register(operands[2], stmt)
+            sources: tuple[Operand, ...] = (a, b)
+            if len(spec.operand_formats) == 3:  # conditional move: old dest value
+                sources = (a, b, Operand(reg=dest))
+            return Instruction(stmt.address, opcode, dest, sources, text=text)
+
+        if spec.syntax is Syntax.RR:
+            if len(operands) != 2:
+                raise AssemblyError(
+                    f"{mnemonic} needs 2 operands", stmt.line_number, stmt.line
+                )
+            a = self._operand(operands[0], stmt)
+            dest = _parse_register(operands[1], stmt)
+            return Instruction(stmt.address, opcode, dest, (a,), text=text)
+
+        if spec.syntax is Syntax.MEM:
+            if len(operands) != 2:
+                raise AssemblyError(
+                    f"{mnemonic} needs 2 operands", stmt.line_number, stmt.line
+                )
+            value_reg = _parse_register(operands[0], stmt)
+            disp, base = self._parse_mem(operands[1], stmt)
+            base_op = Operand(reg=base)
+            if spec.is_store:
+                return Instruction(
+                    stmt.address, opcode, None,
+                    (Operand(reg=value_reg), base_op), imm=disp, text=text,
+                )
+            return Instruction(
+                stmt.address, opcode, value_reg, (base_op,), imm=disp, text=text
+            )
+
+        if spec.syntax is Syntax.CBR:
+            if len(operands) != 2:
+                raise AssemblyError(
+                    f"{mnemonic} needs 2 operands", stmt.line_number, stmt.line
+                )
+            test = Operand(reg=_parse_register(operands[0], stmt))
+            target = self._resolve_label(operands[1], stmt)
+            return Instruction(
+                stmt.address, opcode, None, (test,), target=target, text=text
+            )
+
+        if spec.syntax is Syntax.BR:
+            if len(operands) != 1:
+                raise AssemblyError(
+                    f"{mnemonic} needs a target label", stmt.line_number, stmt.line
+                )
+            target = self._resolve_label(operands[0], stmt)
+            dest = 26 if opcode is Opcode.JSR else None
+            return Instruction(stmt.address, opcode, dest, (), target=target, text=text)
+
+        if spec.syntax is Syntax.JMP:
+            if len(operands) != 1:
+                raise AssemblyError(
+                    f"{mnemonic} needs (register)", stmt.line_number, stmt.line
+                )
+            match = re.match(r"^\(\s*(\w+)\s*\)$", operands[0])
+            if not match:
+                raise AssemblyError(
+                    f"jmp operand must be (register), got {operands[0]!r}",
+                    stmt.line_number, stmt.line,
+                )
+            reg = _parse_register(match.group(1), stmt)
+            return Instruction(
+                stmt.address, opcode, None, (Operand(reg=reg),), text=text
+            )
+
+        if spec.syntax is Syntax.NONE:
+            if operands:
+                raise AssemblyError(
+                    f"{mnemonic} takes no operands", stmt.line_number, stmt.line
+                )
+            if opcode is Opcode.RET:
+                return Instruction(
+                    stmt.address, opcode, None, (Operand(reg=26),), text=text
+                )
+            return Instruction(stmt.address, opcode, None, (), text=text)
+
+        raise AssemblyError(
+            f"unhandled syntax for {mnemonic}", stmt.line_number, stmt.line
+        )
+
+    def _parse_mem(self, token: str, stmt: _Statement) -> tuple[int, int]:
+        """Parse 'disp(base)', 'label', or 'label(base)'. Returns (disp, base)."""
+        token = token.strip()
+        match = _MEM_RE.match(token)
+        if match:
+            disp_token = match.group("disp").strip()
+            base = _parse_register(match.group("base"), stmt)
+            if not disp_token:
+                return 0, base
+            disp = _parse_int(disp_token)
+            if disp is None:
+                if not _LABEL_RE.match(disp_token):
+                    raise AssemblyError(
+                        f"bad displacement {disp_token!r}", stmt.line_number, stmt.line
+                    )
+                disp = self._resolve_label(disp_token, stmt)
+            return disp, base
+        # Bare label or bare number: absolute address with base r31.
+        disp = _parse_int(token)
+        if disp is None:
+            disp = self._resolve_label(token, stmt)
+        return disp, 31
+
+    # shared fixup list for data label references
+    _fixups: list
+
+    def assemble(self) -> Program:
+        self._fixups = []
+        self.first_pass()
+        instructions = self.second_pass()
+        for offset, size, token, line_number, raw in self._fixups:
+            if token not in self.labels:
+                raise AssemblyError(f"undefined label {token!r}", line_number, raw)
+            value = self.labels[token]
+            self.data[offset:offset + size] = (
+                value & ((1 << (size * 8)) - 1)
+            ).to_bytes(size, "little")
+        entry = self.labels.get("main", TEXT_BASE)
+        return Program(
+            instructions=instructions,
+            labels=dict(self.labels),
+            data=bytes(self.data),
+            entry=entry,
+            name=self.name,
+        )
+
+
+def assemble(source: str, name: str = "program") -> Program:
+    """Assemble source text into a :class:`~repro.isa.program.Program`."""
+    return _Assembler(source, name).assemble()

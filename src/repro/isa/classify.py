@@ -1,0 +1,112 @@
+"""Table 1: classification of the dynamic instruction stream by format.
+
+The paper groups the Alpha fixed-point instructions by which operand
+formats they accept and produce, then reports the fraction of the dynamic
+stream in each class (on average 33% of register-writing instructions
+produce redundant binary results; ~25% of instructions need at least one
+two's-complement input).  :func:`instruction_mix` regenerates that table
+for our workloads.
+"""
+
+from __future__ import annotations
+
+import enum
+from collections.abc import Iterable
+
+from repro.isa.instruction import Instruction
+from repro.isa.opcodes import Opcode
+from repro.utils.stats import Distribution
+
+
+class FormatClass(enum.Enum):
+    """The rows of Table 1."""
+
+    ARITH_RB_RB = "ADD/SUB/MUL/LDA/LDAH/CMOVLBx/SxADD/SxSUB/SLL (RB -> RB)"
+    CMOV_SIGN_RB_RB = "CMOVLT/GE/LE/GT (RB -> RB, sign test)"
+    CMOV_ZERO_RB_RB = "CMOVEQ/NE (RB -> RB, zero test)"
+    MEMORY_RB_TC = "memory access (RB address -> TC)"
+    CMPEQ_RB_TC = "CMPEQ (RB -> TC)"
+    CMP_REL_RB_TC = "CMPLT/CMPLE/CMPULT/CMPULE (RB -> TC)"
+    BRANCH_RB = "conditional branches (RB -> none)"
+    OTHER_TC_TC = "other (TC -> TC)"
+
+
+#: Human-readable Table 1 rows in the paper's order, with the paper's
+#: reported dynamic fractions (SPEC average) for side-by-side comparison.
+TABLE1_ROWS: list[tuple[FormatClass, float]] = [
+    (FormatClass.ARITH_RB_RB, 0.180),
+    (FormatClass.CMOV_SIGN_RB_RB, 0.004),
+    (FormatClass.CMOV_ZERO_RB_RB, 0.005),
+    (FormatClass.MEMORY_RB_TC, 0.366),
+    (FormatClass.CMPEQ_RB_TC, 0.005),
+    (FormatClass.CMP_REL_RB_TC, 0.039),
+    (FormatClass.BRANCH_RB, 0.144),
+    (FormatClass.OTHER_TC_TC, 0.257),
+]
+
+_ARITH_OPS = frozenset({
+    Opcode.ADD, Opcode.SUB, Opcode.MUL, Opcode.LDA, Opcode.LDAH,
+    Opcode.CMOVLBS, Opcode.CMOVLBC,
+    Opcode.S4ADD, Opcode.S8ADD, Opcode.S4SUB, Opcode.S8SUB, Opcode.SLL,
+})
+_CMOV_SIGN_OPS = frozenset({
+    Opcode.CMOVLT, Opcode.CMOVGE, Opcode.CMOVLE, Opcode.CMOVGT,
+})
+_CMOV_ZERO_OPS = frozenset({Opcode.CMOVEQ, Opcode.CMOVNE})
+_MEMORY_OPS = frozenset({Opcode.LDQ, Opcode.LDL, Opcode.STQ, Opcode.STL})
+_CMP_REL_OPS = frozenset({
+    Opcode.CMPLT, Opcode.CMPLE, Opcode.CMPULT, Opcode.CMPULE,
+})
+_BRANCH_OPS = frozenset({
+    Opcode.BEQ, Opcode.BNE, Opcode.BLT, Opcode.BGE, Opcode.BLE, Opcode.BGT,
+    Opcode.BLBC, Opcode.BLBS,
+})
+
+
+def classify(instr: Instruction) -> FormatClass:
+    """Map one instruction to its Table 1 row.
+
+    The same-register MOVE idiom (``bis ra, ra, rc``) is format-transparent
+    (§3.6) and counts with the RB -> RB arithmetic row, matching the
+    paper's note that it is the standard Alpha MOVE.
+    """
+    op = instr.opcode
+    if op in _ARITH_OPS:
+        return FormatClass.ARITH_RB_RB
+    if op in _CMOV_SIGN_OPS:
+        return FormatClass.CMOV_SIGN_RB_RB
+    if op in _CMOV_ZERO_OPS:
+        return FormatClass.CMOV_ZERO_RB_RB
+    if op in _MEMORY_OPS:
+        return FormatClass.MEMORY_RB_TC
+    if op is Opcode.CMPEQ:
+        return FormatClass.CMPEQ_RB_TC
+    if op in _CMP_REL_OPS:
+        return FormatClass.CMP_REL_RB_TC
+    if op in _BRANCH_OPS:
+        return FormatClass.BRANCH_RB
+    if op is Opcode.BIS and _is_move(instr):
+        return FormatClass.ARITH_RB_RB
+    return FormatClass.OTHER_TC_TC
+
+
+def _is_move(instr: Instruction) -> bool:
+    regs = [op.reg for op in instr.sources if op.is_reg]
+    return len(regs) == len(instr.sources) == 2 and regs[0] == regs[1]
+
+
+def instruction_mix(stream: Iterable[Instruction]) -> Distribution:
+    """The Table 1 dynamic-mix distribution over an instruction stream.
+
+    Control transfers without a format class (BR/JSR/RET/JMP), NOP and
+    HALT are excluded, mirroring the paper's table which covers fixed-point
+    instructions with operands.
+    """
+    excluded = {Opcode.BR, Opcode.JSR, Opcode.RET, Opcode.JMP,
+                Opcode.NOP, Opcode.HALT}
+    mix = Distribution()
+    for instr in stream:
+        if instr.opcode in excluded:
+            continue
+        mix.record(classify(instr))
+    return mix

@@ -1,0 +1,67 @@
+"""The decoded instruction record shared by the interpreter and simulator."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.isa.opcodes import Opcode, OpSpec, spec_of
+
+#: Architectural register count; register 31 always reads as zero (Alpha style).
+NUM_REGS = 32
+ZERO_REG = 31
+RETURN_ADDRESS_REG = 26
+STACK_POINTER_REG = 30
+
+
+@dataclass(frozen=True)
+class Operand:
+    """A source operand: either a register or an immediate."""
+
+    reg: int | None = None
+    imm: int | None = None
+
+    def __post_init__(self) -> None:
+        if (self.reg is None) == (self.imm is None):
+            raise ValueError("operand must be exactly one of register or immediate")
+        if self.reg is not None and not 0 <= self.reg < NUM_REGS:
+            raise ValueError(f"register r{self.reg} out of range")
+
+    @property
+    def is_reg(self) -> bool:
+        return self.reg is not None
+
+    def __repr__(self) -> str:
+        return f"r{self.reg}" if self.is_reg else f"#{self.imm}"
+
+
+@dataclass(frozen=True)
+class Instruction:
+    """One decoded instruction at a fixed text address.
+
+    ``sources`` lists the register operands in the order of the opcode's
+    ``operand_formats`` spec (so the timing model can pair each source with
+    its format requirement).  The hardwired zero register is kept in the
+    list for semantics but produces no dependence in the timing model.
+    For conditional moves, the destination appears as the trailing source
+    (old-value semantics).
+    """
+
+    address: int
+    opcode: Opcode
+    dest: int | None = None
+    sources: tuple[Operand, ...] = ()
+    imm: int | None = None          # displacement for MEM syntax
+    target: int | None = None       # resolved branch/call target address
+    text: str = ""                  # original assembly, for diagnostics
+
+    @property
+    def spec(self) -> OpSpec:
+        return spec_of(self.opcode)
+
+    def source_regs(self) -> tuple[int, ...]:
+        """Register numbers of all register sources (zero register included)."""
+        return tuple(op.reg for op in self.sources if op.is_reg)
+
+    def __repr__(self) -> str:
+        body = self.text or self.opcode.value
+        return f"[{self.address:#x}] {body}"

@@ -1,0 +1,284 @@
+"""Opcode definitions: the mini Alpha-like instruction set.
+
+Every opcode carries three orthogonal attributes the paper's machines care
+about:
+
+* its **latency class** — the row of Table 3 that gives its execution
+  latency on each machine model;
+* its **result format** — whether an RB-output functional unit produces it
+  in redundant binary first (Table 1's output column);
+* its **operand formats** — whether each source may arrive in redundant
+  binary or must be two's complement (Table 1's input column).  Stores are
+  the mixed case: the address register may be redundant (SAM indexes the
+  cache from it directly) while the store data must be two's complement.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+
+class LatencyClass(enum.Enum):
+    """Rows of Table 3 (plus control, which the table leaves implicit)."""
+
+    INT_ARITH = "integer arithmetic"
+    INT_LOGICAL = "integer logical"
+    SHIFT_LEFT = "integer shift left"
+    SHIFT_RIGHT = "integer shift right"
+    INT_COMPARE = "integer compare"
+    BYTE_MANIP = "byte manipulation"
+    COUNT = "count (CTLZ/CTTZ/CTPOP)"
+    INT_MUL = "integer multiply"
+    FP_ARITH = "fp arithmetic"
+    FP_DIV = "fp divide"
+    MEM = "loads, stores (SAM decoder)"
+    BRANCH = "conditional branch / jump"
+
+
+class ResultFormat(enum.Enum):
+    """What format an instruction's register result is produced in."""
+
+    NONE = "none"  # no register destination
+    RB = "rb"      # produced redundant binary first, TC after conversion
+    TC = "tc"      # produced directly in two's complement
+
+
+class OperandFormat(enum.Enum):
+    """What format a source operand may arrive in."""
+
+    RB_OK = "rb_ok"        # redundant binary or two's complement
+    TC_ONLY = "tc_only"    # must be two's complement
+
+
+class Syntax(enum.Enum):
+    """Operand syntax shapes understood by the assembler."""
+
+    RRR = "rrr"        # op ra, rb_or_imm, rc
+    RR = "rr"          # op ra, rc            (unary: NOT, CTLZ, ...)
+    MEM = "mem"        # op ra, disp(rb)
+    CBR = "cbr"        # op ra, label
+    BR = "br"          # op label             (also: jsr rd, label)
+    JMP = "jmp"        # op (rb)              (indirect)
+    NONE = "none"      # op                   (halt, nop, ret)
+
+
+@dataclass(frozen=True)
+class OpSpec:
+    """Static properties of one opcode."""
+
+    mnemonic: str
+    latency_class: LatencyClass
+    result: ResultFormat
+    operand_formats: tuple[OperandFormat, ...]
+    syntax: Syntax
+    is_load: bool = False
+    is_store: bool = False
+    is_branch: bool = False
+    is_conditional: bool = False
+    writes_reg: bool = True
+
+
+_RB = OperandFormat.RB_OK
+_TC = OperandFormat.TC_ONLY
+
+
+def _spec(
+    mnemonic: str,
+    latency_class: LatencyClass,
+    result: ResultFormat,
+    operand_formats: tuple[OperandFormat, ...],
+    syntax: Syntax,
+    **flags: bool,
+) -> OpSpec:
+    return OpSpec(mnemonic, latency_class, result, operand_formats, syntax, **flags)
+
+
+class Opcode(enum.Enum):
+    """All mnemonics of the mini ISA."""
+
+    # arithmetic (RB in, RB out — Table 1 row 1)
+    ADD = "add"
+    SUB = "sub"
+    LDA = "lda"        # rc = rb + imm (address/constant generation)
+    LDAH = "ldah"      # rc = rb + (imm << 16)
+    S4ADD = "s4add"
+    S8ADD = "s8add"
+    S4SUB = "s4sub"
+    S8SUB = "s8sub"
+    SLL = "sll"
+    MUL = "mul"
+    # conditional moves (RB in, RB out)
+    CMOVEQ = "cmoveq"
+    CMOVNE = "cmovne"
+    CMOVLT = "cmovlt"
+    CMOVGE = "cmovge"
+    CMOVLE = "cmovle"
+    CMOVGT = "cmovgt"
+    CMOVLBS = "cmovlbs"
+    CMOVLBC = "cmovlbc"
+    # compares (RB in, TC out)
+    CMPEQ = "cmpeq"
+    CMPLT = "cmplt"
+    CMPLE = "cmple"
+    CMPULT = "cmpult"
+    CMPULE = "cmpule"
+    # logicals (TC in, TC out; same-register MOVE idiom is RB-transparent)
+    AND = "and"
+    BIS = "bis"        # OR
+    XOR = "xor"
+    BIC = "bic"
+    ORNOT = "ornot"
+    EQV = "eqv"
+    NOT = "not"
+    # shifts right (TC in)
+    SRL = "srl"
+    SRA = "sra"
+    # byte manipulation (TC in, TC out)
+    EXTB = "extb"
+    INSB = "insb"
+    MSKB = "mskb"
+    ZAP = "zap"
+    # counts
+    CTLZ = "ctlz"      # TC in (needs the unique representation)
+    CTTZ = "cttz"      # RB in (trailing non-zero digits)
+    CTPOP = "ctpop"    # TC in
+    # memory (address RB in via SAM; loads produce TC)
+    LDQ = "ldq"
+    LDL = "ldl"
+    STQ = "stq"
+    STL = "stl"
+    # control
+    BR = "br"
+    JSR = "jsr"
+    RET = "ret"
+    JMP = "jmp"
+    BEQ = "beq"
+    BNE = "bne"
+    BLT = "blt"
+    BGE = "bge"
+    BLE = "ble"
+    BGT = "bgt"
+    BLBC = "blbc"
+    BLBS = "blbs"
+    # fp (fixed-point semantics on the integer registers; exist to exercise
+    # the Table 3 fp latency rows, which SPECint touches only lightly)
+    FADD = "fadd"
+    FMUL = "fmul"
+    FDIV = "fdiv"
+    # misc
+    NOP = "nop"
+    HALT = "halt"
+
+
+_ARITH = LatencyClass.INT_ARITH
+_CMP = LatencyClass.INT_COMPARE
+_LOG = LatencyClass.INT_LOGICAL
+
+OPCODE_SPECS: dict[Opcode, OpSpec] = {
+    # -- RB in, RB out arithmetic --------------------------------------------
+    Opcode.ADD: _spec("add", _ARITH, ResultFormat.RB, (_RB, _RB), Syntax.RRR),
+    Opcode.SUB: _spec("sub", _ARITH, ResultFormat.RB, (_RB, _RB), Syntax.RRR),
+    Opcode.LDA: _spec("lda", _ARITH, ResultFormat.RB, (_RB,), Syntax.MEM),
+    Opcode.LDAH: _spec("ldah", _ARITH, ResultFormat.RB, (_RB,), Syntax.MEM),
+    Opcode.S4ADD: _spec("s4add", _ARITH, ResultFormat.RB, (_RB, _RB), Syntax.RRR),
+    Opcode.S8ADD: _spec("s8add", _ARITH, ResultFormat.RB, (_RB, _RB), Syntax.RRR),
+    Opcode.S4SUB: _spec("s4sub", _ARITH, ResultFormat.RB, (_RB, _RB), Syntax.RRR),
+    Opcode.S8SUB: _spec("s8sub", _ARITH, ResultFormat.RB, (_RB, _RB), Syntax.RRR),
+    Opcode.SLL: _spec("sll", LatencyClass.SHIFT_LEFT, ResultFormat.RB, (_RB, _RB), Syntax.RRR),
+    Opcode.MUL: _spec("mul", LatencyClass.INT_MUL, ResultFormat.RB, (_RB, _RB), Syntax.RRR),
+    # -- conditional moves: dest is also a source (keep-old-value semantics) ----
+    Opcode.CMOVEQ: _spec("cmoveq", _ARITH, ResultFormat.RB, (_RB, _RB, _RB), Syntax.RRR),
+    Opcode.CMOVNE: _spec("cmovne", _ARITH, ResultFormat.RB, (_RB, _RB, _RB), Syntax.RRR),
+    Opcode.CMOVLT: _spec("cmovlt", _ARITH, ResultFormat.RB, (_RB, _RB, _RB), Syntax.RRR),
+    Opcode.CMOVGE: _spec("cmovge", _ARITH, ResultFormat.RB, (_RB, _RB, _RB), Syntax.RRR),
+    Opcode.CMOVLE: _spec("cmovle", _ARITH, ResultFormat.RB, (_RB, _RB, _RB), Syntax.RRR),
+    Opcode.CMOVGT: _spec("cmovgt", _ARITH, ResultFormat.RB, (_RB, _RB, _RB), Syntax.RRR),
+    Opcode.CMOVLBS: _spec("cmovlbs", _ARITH, ResultFormat.RB, (_RB, _RB, _RB), Syntax.RRR),
+    Opcode.CMOVLBC: _spec("cmovlbc", _ARITH, ResultFormat.RB, (_RB, _RB, _RB), Syntax.RRR),
+    # -- compares: RB inputs, TC (0/1) output --------------------------------
+    Opcode.CMPEQ: _spec("cmpeq", _CMP, ResultFormat.RB, (_RB, _RB), Syntax.RRR),
+    Opcode.CMPLT: _spec("cmplt", _CMP, ResultFormat.RB, (_RB, _RB), Syntax.RRR),
+    Opcode.CMPLE: _spec("cmple", _CMP, ResultFormat.RB, (_RB, _RB), Syntax.RRR),
+    Opcode.CMPULT: _spec("cmpult", _CMP, ResultFormat.RB, (_RB, _RB), Syntax.RRR),
+    Opcode.CMPULE: _spec("cmpule", _CMP, ResultFormat.RB, (_RB, _RB), Syntax.RRR),
+    # -- logicals: TC inputs (MOVE idiom handled in the timing model) -----------
+    Opcode.AND: _spec("and", _LOG, ResultFormat.TC, (_TC, _TC), Syntax.RRR),
+    Opcode.BIS: _spec("bis", _LOG, ResultFormat.TC, (_TC, _TC), Syntax.RRR),
+    Opcode.XOR: _spec("xor", _LOG, ResultFormat.TC, (_TC, _TC), Syntax.RRR),
+    Opcode.BIC: _spec("bic", _LOG, ResultFormat.TC, (_TC, _TC), Syntax.RRR),
+    Opcode.ORNOT: _spec("ornot", _LOG, ResultFormat.TC, (_TC, _TC), Syntax.RRR),
+    Opcode.EQV: _spec("eqv", _LOG, ResultFormat.TC, (_TC, _TC), Syntax.RRR),
+    Opcode.NOT: _spec("not", _LOG, ResultFormat.TC, (_TC,), Syntax.RR),
+    # -- right shifts: TC inputs --------------------------------------------------
+    Opcode.SRL: _spec("srl", LatencyClass.SHIFT_RIGHT, ResultFormat.TC, (_TC, _TC), Syntax.RRR),
+    Opcode.SRA: _spec("sra", LatencyClass.SHIFT_RIGHT, ResultFormat.TC, (_TC, _TC), Syntax.RRR),
+    # -- byte manipulation: TC inputs ---------------------------------------------
+    Opcode.EXTB: _spec("extb", LatencyClass.BYTE_MANIP, ResultFormat.TC, (_TC, _TC), Syntax.RRR),
+    Opcode.INSB: _spec("insb", LatencyClass.BYTE_MANIP, ResultFormat.TC, (_TC, _TC), Syntax.RRR),
+    Opcode.MSKB: _spec("mskb", LatencyClass.BYTE_MANIP, ResultFormat.TC, (_TC, _TC), Syntax.RRR),
+    Opcode.ZAP: _spec("zap", LatencyClass.BYTE_MANIP, ResultFormat.TC, (_TC, _TC), Syntax.RRR),
+    # -- counts ---------------------------------------------------------------------
+    Opcode.CTLZ: _spec("ctlz", LatencyClass.COUNT, ResultFormat.TC, (_TC,), Syntax.RR),
+    Opcode.CTTZ: _spec("cttz", LatencyClass.COUNT, ResultFormat.TC, (_RB,), Syntax.RR),
+    Opcode.CTPOP: _spec("ctpop", LatencyClass.COUNT, ResultFormat.TC, (_TC,), Syntax.RR),
+    # -- memory: the address operand may be redundant (SAM); loads return TC ------
+    Opcode.LDQ: _spec("ldq", LatencyClass.MEM, ResultFormat.TC, (_RB,), Syntax.MEM,
+                      is_load=True),
+    Opcode.LDL: _spec("ldl", LatencyClass.MEM, ResultFormat.TC, (_RB,), Syntax.MEM,
+                      is_load=True),
+    Opcode.STQ: _spec("stq", LatencyClass.MEM, ResultFormat.NONE, (_TC, _RB), Syntax.MEM,
+                      is_store=True, writes_reg=False),
+    Opcode.STL: _spec("stl", LatencyClass.MEM, ResultFormat.NONE, (_TC, _RB), Syntax.MEM,
+                      is_store=True, writes_reg=False),
+    # -- control -----------------------------------------------------------------------
+    Opcode.BR: _spec("br", LatencyClass.BRANCH, ResultFormat.NONE, (), Syntax.BR,
+                     is_branch=True, writes_reg=False),
+    Opcode.JSR: _spec("jsr", LatencyClass.BRANCH, ResultFormat.TC, (), Syntax.BR,
+                      is_branch=True),
+    Opcode.RET: _spec("ret", LatencyClass.BRANCH, ResultFormat.NONE, (_RB,), Syntax.NONE,
+                      is_branch=True, writes_reg=False),
+    Opcode.JMP: _spec("jmp", LatencyClass.BRANCH, ResultFormat.NONE, (_RB,), Syntax.JMP,
+                      is_branch=True, writes_reg=False),
+    Opcode.BEQ: _spec("beq", LatencyClass.BRANCH, ResultFormat.NONE, (_RB,), Syntax.CBR,
+                      is_branch=True, is_conditional=True, writes_reg=False),
+    Opcode.BNE: _spec("bne", LatencyClass.BRANCH, ResultFormat.NONE, (_RB,), Syntax.CBR,
+                      is_branch=True, is_conditional=True, writes_reg=False),
+    Opcode.BLT: _spec("blt", LatencyClass.BRANCH, ResultFormat.NONE, (_RB,), Syntax.CBR,
+                      is_branch=True, is_conditional=True, writes_reg=False),
+    Opcode.BGE: _spec("bge", LatencyClass.BRANCH, ResultFormat.NONE, (_RB,), Syntax.CBR,
+                      is_branch=True, is_conditional=True, writes_reg=False),
+    Opcode.BLE: _spec("ble", LatencyClass.BRANCH, ResultFormat.NONE, (_RB,), Syntax.CBR,
+                      is_branch=True, is_conditional=True, writes_reg=False),
+    Opcode.BGT: _spec("bgt", LatencyClass.BRANCH, ResultFormat.NONE, (_RB,), Syntax.CBR,
+                      is_branch=True, is_conditional=True, writes_reg=False),
+    Opcode.BLBC: _spec("blbc", LatencyClass.BRANCH, ResultFormat.NONE, (_RB,), Syntax.CBR,
+                       is_branch=True, is_conditional=True, writes_reg=False),
+    Opcode.BLBS: _spec("blbs", LatencyClass.BRANCH, ResultFormat.NONE, (_RB,), Syntax.CBR,
+                       is_branch=True, is_conditional=True, writes_reg=False),
+    # -- fp ---------------------------------------------------------------------------------
+    Opcode.FADD: _spec("fadd", LatencyClass.FP_ARITH, ResultFormat.TC, (_TC, _TC), Syntax.RRR),
+    Opcode.FMUL: _spec("fmul", LatencyClass.FP_ARITH, ResultFormat.TC, (_TC, _TC), Syntax.RRR),
+    Opcode.FDIV: _spec("fdiv", LatencyClass.FP_DIV, ResultFormat.TC, (_TC, _TC), Syntax.RRR),
+    # -- misc -------------------------------------------------------------------------------
+    Opcode.NOP: _spec("nop", _LOG, ResultFormat.NONE, (), Syntax.NONE, writes_reg=False),
+    Opcode.HALT: _spec("halt", _LOG, ResultFormat.NONE, (), Syntax.NONE, writes_reg=False),
+}
+
+_BY_MNEMONIC = {spec.mnemonic: op for op, spec in OPCODE_SPECS.items()}
+# Friendly aliases.
+_BY_MNEMONIC["or"] = Opcode.BIS
+_BY_MNEMONIC["mov"] = Opcode.BIS  # expanded by the assembler to bis ra, ra, rc
+
+
+def spec_of(opcode: Opcode) -> OpSpec:
+    """The static spec for an opcode."""
+    return OPCODE_SPECS[opcode]
+
+
+def opcode_by_mnemonic(mnemonic: str) -> Opcode:
+    """Look an opcode up by assembly mnemonic (case-insensitive)."""
+    op = _BY_MNEMONIC.get(mnemonic.lower())
+    if op is None:
+        raise KeyError(f"unknown mnemonic {mnemonic!r}")
+    return op

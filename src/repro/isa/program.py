@@ -1,0 +1,56 @@
+"""The assembled program container: text, data, and symbols."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.isa.instruction import Instruction
+
+#: Layout constants.  Instructions are 4 bytes apart (Alpha-style), text and
+#: data live in disjoint regions, and the stack grows down from STACK_TOP.
+TEXT_BASE = 0x1_0000
+DATA_BASE = 0x40_0000
+STACK_TOP = 0x7F_F000
+INSTRUCTION_BYTES = 4
+
+
+@dataclass
+class Program:
+    """An assembled program ready to run or simulate."""
+
+    instructions: list[Instruction]
+    labels: dict[str, int] = field(default_factory=dict)
+    data: bytes = b""
+    data_base: int = DATA_BASE
+    entry: int = TEXT_BASE
+    name: str = "program"
+
+    def __post_init__(self) -> None:
+        self._by_address = {instr.address: instr for instr in self.instructions}
+
+    def at(self, address: int) -> Instruction | None:
+        """The instruction at ``address``, or None if outside the text."""
+        return self._by_address.get(address)
+
+    @property
+    def text_end(self) -> int:
+        """First address past the text section."""
+        if not self.instructions:
+            return TEXT_BASE
+        return self.instructions[-1].address + INSTRUCTION_BYTES
+
+    def label_address(self, label: str) -> int:
+        """Resolve a label to its address."""
+        try:
+            return self.labels[label]
+        except KeyError:
+            raise KeyError(f"no label {label!r} in program {self.name!r}") from None
+
+    def __len__(self) -> int:
+        return len(self.instructions)
+
+    def __repr__(self) -> str:
+        return (
+            f"Program({self.name!r}, {len(self.instructions)} instructions, "
+            f"{len(self.data)} data bytes)"
+        )

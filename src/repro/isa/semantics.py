@@ -1,0 +1,311 @@
+"""Architectural semantics: the functional interpreter.
+
+:class:`ArchState` executes one decoded instruction at a time against the
+register file and memory, returning an :class:`ExecResult` describing the
+outcome (next PC, destination value, memory effects).  The out-of-order
+timing simulator drives the same interpreter instruction-by-instruction
+down the correct path; :func:`run_program` runs a program standalone.
+
+Values are stored as unsigned 64-bit integers; comparisons and branches
+interpret them as signed where the opcode says so.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.isa.instruction import (
+    NUM_REGS,
+    RETURN_ADDRESS_REG,
+    STACK_POINTER_REG,
+    ZERO_REG,
+    Instruction,
+)
+from repro.isa.opcodes import Opcode
+from repro.isa.program import INSTRUCTION_BYTES, STACK_TOP, Program
+from repro.mem.memory import PagedMemory
+from repro.utils.bitops import (
+    MASK64,
+    count_leading_zeros,
+    count_trailing_zeros,
+    popcount,
+    sign_extend,
+    to_signed,
+    wrap64,
+)
+
+
+@dataclass(frozen=True)
+class ExecResult:
+    """Outcome of executing one instruction."""
+
+    next_pc: int
+    dest_value: int | None = None       # unsigned 64-bit, None if no dest
+    mem_address: int | None = None      # effective address for loads/stores
+    store_value: int | None = None
+    store_size: int = 8
+    taken: bool | None = None           # for branches (conditional or not)
+    halted: bool = False
+
+
+class SemanticsError(RuntimeError):
+    """The interpreter hit something it cannot execute."""
+
+
+class ArchState:
+    """Architectural registers + memory + PC."""
+
+    def __init__(self, program: Program, memory: PagedMemory | None = None) -> None:
+        self.program = program
+        self.memory = memory if memory is not None else PagedMemory()
+        self.regs = [0] * NUM_REGS
+        self.regs[STACK_POINTER_REG] = STACK_TOP
+        self.pc = program.entry
+        self.halted = False
+        self.instructions_executed = 0
+        if program.data:
+            self.memory.load_image(program.data_base, program.data)
+
+    # -- operand helpers ------------------------------------------------------
+
+    def read_reg(self, reg: int) -> int:
+        return 0 if reg == ZERO_REG else self.regs[reg]
+
+    def write_reg(self, reg: int, value: int) -> None:
+        if reg != ZERO_REG:
+            self.regs[reg] = value & MASK64
+
+    def _value(self, instr: Instruction, index: int) -> int:
+        op = instr.sources[index]
+        if op.reg is not None:
+            return self.read_reg(op.reg)
+        return wrap64(op.imm)
+
+    # -- the interpreter -------------------------------------------------------
+
+    def execute(self, instr: Instruction) -> ExecResult:
+        """Execute ``instr`` (which must be the instruction at the PC)."""
+        result = self._dispatch(instr)
+        if result.dest_value is not None and instr.dest is not None:
+            self.write_reg(instr.dest, result.dest_value)
+        if result.store_value is not None and result.mem_address is not None:
+            self.memory.write(result.mem_address, result.store_value, result.store_size)
+        self.pc = result.next_pc
+        if result.halted:
+            self.halted = True
+        self.instructions_executed += 1
+        return result
+
+    def _dispatch(self, instr: Instruction) -> ExecResult:
+        op = instr.opcode
+        fall_through = instr.address + INSTRUCTION_BYTES
+        v = self._value
+
+        # -- three-operand arithmetic / logicals -------------------------------
+        if op is Opcode.ADD:
+            return ExecResult(fall_through, wrap64(v(instr, 0) + v(instr, 1)))
+        if op is Opcode.SUB:
+            return ExecResult(fall_through, wrap64(v(instr, 0) - v(instr, 1)))
+        if op is Opcode.MUL:
+            return ExecResult(fall_through, wrap64(v(instr, 0) * v(instr, 1)))
+        if op is Opcode.S4ADD:
+            return ExecResult(fall_through, wrap64((v(instr, 0) << 2) + v(instr, 1)))
+        if op is Opcode.S8ADD:
+            return ExecResult(fall_through, wrap64((v(instr, 0) << 3) + v(instr, 1)))
+        if op is Opcode.S4SUB:
+            return ExecResult(fall_through, wrap64((v(instr, 0) << 2) - v(instr, 1)))
+        if op is Opcode.S8SUB:
+            return ExecResult(fall_through, wrap64((v(instr, 0) << 3) - v(instr, 1)))
+        if op is Opcode.AND:
+            return ExecResult(fall_through, v(instr, 0) & v(instr, 1))
+        if op is Opcode.BIS:
+            return ExecResult(fall_through, v(instr, 0) | v(instr, 1))
+        if op is Opcode.XOR:
+            return ExecResult(fall_through, v(instr, 0) ^ v(instr, 1))
+        if op is Opcode.BIC:
+            return ExecResult(fall_through, v(instr, 0) & ~v(instr, 1) & MASK64)
+        if op is Opcode.ORNOT:
+            return ExecResult(fall_through, (v(instr, 0) | (~v(instr, 1) & MASK64)))
+        if op is Opcode.EQV:
+            return ExecResult(fall_through, (~(v(instr, 0) ^ v(instr, 1))) & MASK64)
+        if op is Opcode.NOT:
+            return ExecResult(fall_through, (~v(instr, 0)) & MASK64)
+
+        # -- shifts --------------------------------------------------------------
+        if op is Opcode.SLL:
+            return ExecResult(fall_through, wrap64(v(instr, 0) << (v(instr, 1) & 63)))
+        if op is Opcode.SRL:
+            return ExecResult(fall_through, v(instr, 0) >> (v(instr, 1) & 63))
+        if op is Opcode.SRA:
+            return ExecResult(
+                fall_through,
+                wrap64(to_signed(v(instr, 0)) >> (v(instr, 1) & 63)),
+            )
+
+        # -- compares -------------------------------------------------------------
+        if op is Opcode.CMPEQ:
+            return ExecResult(fall_through, int(v(instr, 0) == v(instr, 1)))
+        if op is Opcode.CMPLT:
+            return ExecResult(
+                fall_through, int(to_signed(v(instr, 0)) < to_signed(v(instr, 1)))
+            )
+        if op is Opcode.CMPLE:
+            return ExecResult(
+                fall_through, int(to_signed(v(instr, 0)) <= to_signed(v(instr, 1)))
+            )
+        if op is Opcode.CMPULT:
+            return ExecResult(fall_through, int(v(instr, 0) < v(instr, 1)))
+        if op is Opcode.CMPULE:
+            return ExecResult(fall_through, int(v(instr, 0) <= v(instr, 1)))
+
+        # -- conditional moves: sources are (test, new_value, old_dest) -------------
+        if op in _CMOV_CONDITIONS:
+            test = v(instr, 0)
+            keep = _CMOV_CONDITIONS[op](test)
+            return ExecResult(
+                fall_through, v(instr, 1) if keep else v(instr, 2)
+            )
+
+        # -- byte manipulation --------------------------------------------------------
+        if op is Opcode.EXTB:
+            shift = (v(instr, 1) & 7) * 8
+            return ExecResult(fall_through, (v(instr, 0) >> shift) & 0xFF)
+        if op is Opcode.INSB:
+            shift = (v(instr, 1) & 7) * 8
+            return ExecResult(fall_through, (v(instr, 0) & 0xFF) << shift)
+        if op is Opcode.MSKB:
+            shift = (v(instr, 1) & 7) * 8
+            return ExecResult(fall_through, v(instr, 0) & ~(0xFF << shift) & MASK64)
+        if op is Opcode.ZAP:
+            mask = 0
+            zap_bits = v(instr, 1) & 0xFF
+            for byte in range(8):
+                if not (zap_bits >> byte) & 1:
+                    mask |= 0xFF << (byte * 8)
+            return ExecResult(fall_through, v(instr, 0) & mask)
+
+        # -- counts -----------------------------------------------------------------------
+        if op is Opcode.CTLZ:
+            return ExecResult(fall_through, count_leading_zeros(v(instr, 0)))
+        if op is Opcode.CTTZ:
+            return ExecResult(fall_through, count_trailing_zeros(v(instr, 0)))
+        if op is Opcode.CTPOP:
+            return ExecResult(fall_through, popcount(v(instr, 0)))
+
+        # -- address generation -------------------------------------------------------------
+        if op is Opcode.LDA:
+            return ExecResult(fall_through, wrap64(v(instr, 0) + instr.imm))
+        if op is Opcode.LDAH:
+            return ExecResult(fall_through, wrap64(v(instr, 0) + (instr.imm << 16)))
+
+        # -- memory ----------------------------------------------------------------------------
+        if op is Opcode.LDQ:
+            address = wrap64(v(instr, 0) + instr.imm)
+            return ExecResult(
+                fall_through, self.memory.read(address, 8), mem_address=address
+            )
+        if op is Opcode.LDL:
+            address = wrap64(v(instr, 0) + instr.imm)
+            return ExecResult(
+                fall_through,
+                sign_extend(self.memory.read(address, 4), 32),
+                mem_address=address,
+            )
+        if op is Opcode.STQ:
+            address = wrap64(v(instr, 1) + instr.imm)
+            return ExecResult(
+                fall_through,
+                mem_address=address,
+                store_value=v(instr, 0),
+                store_size=8,
+            )
+        if op is Opcode.STL:
+            address = wrap64(v(instr, 1) + instr.imm)
+            return ExecResult(
+                fall_through,
+                mem_address=address,
+                store_value=v(instr, 0) & 0xFFFF_FFFF,
+                store_size=4,
+            )
+
+        # -- control --------------------------------------------------------------------------------
+        if op is Opcode.BR:
+            return ExecResult(instr.target, taken=True)
+        if op is Opcode.JSR:
+            return ExecResult(instr.target, dest_value=fall_through, taken=True)
+        if op is Opcode.RET:
+            return ExecResult(self.read_reg(RETURN_ADDRESS_REG), taken=True)
+        if op is Opcode.JMP:
+            return ExecResult(v(instr, 0), taken=True)
+        if op in _BRANCH_CONDITIONS:
+            taken = _BRANCH_CONDITIONS[op](v(instr, 0))
+            return ExecResult(instr.target if taken else fall_through, taken=taken)
+
+        # -- fp-latency-class ops (fixed-point semantics, see DESIGN.md) --------------------------------
+        if op is Opcode.FADD:
+            return ExecResult(fall_through, wrap64(v(instr, 0) + v(instr, 1)))
+        if op is Opcode.FMUL:
+            return ExecResult(fall_through, wrap64(v(instr, 0) * v(instr, 1)))
+        if op is Opcode.FDIV:
+            divisor = to_signed(v(instr, 1))
+            if divisor == 0:
+                return ExecResult(fall_through, 0)
+            quotient = int(to_signed(v(instr, 0)) / divisor)  # truncate toward zero
+            return ExecResult(fall_through, wrap64(quotient))
+
+        # -- misc ------------------------------------------------------------------------------------------
+        if op is Opcode.NOP:
+            return ExecResult(fall_through)
+        if op is Opcode.HALT:
+            return ExecResult(fall_through, halted=True)
+
+        raise SemanticsError(f"no semantics for opcode {op}")
+
+
+_BRANCH_CONDITIONS = {
+    Opcode.BEQ: lambda value: value == 0,
+    Opcode.BNE: lambda value: value != 0,
+    Opcode.BLT: lambda value: to_signed(value) < 0,
+    Opcode.BGE: lambda value: to_signed(value) >= 0,
+    Opcode.BLE: lambda value: to_signed(value) <= 0,
+    Opcode.BGT: lambda value: to_signed(value) > 0,
+    Opcode.BLBC: lambda value: (value & 1) == 0,
+    Opcode.BLBS: lambda value: (value & 1) == 1,
+}
+
+_CMOV_CONDITIONS = {
+    Opcode.CMOVEQ: lambda value: value == 0,
+    Opcode.CMOVNE: lambda value: value != 0,
+    Opcode.CMOVLT: lambda value: to_signed(value) < 0,
+    Opcode.CMOVGE: lambda value: to_signed(value) >= 0,
+    Opcode.CMOVLE: lambda value: to_signed(value) <= 0,
+    Opcode.CMOVGT: lambda value: to_signed(value) > 0,
+    Opcode.CMOVLBS: lambda value: (value & 1) == 1,
+    Opcode.CMOVLBC: lambda value: (value & 1) == 0,
+}
+
+
+def run_program(
+    program: Program,
+    max_instructions: int = 50_000_000,
+    state: ArchState | None = None,
+) -> ArchState:
+    """Run a program functionally to completion (HALT).
+
+    Raises :class:`SemanticsError` if the PC leaves the text section or the
+    instruction budget is exhausted (runaway loop protection).
+    """
+    if state is None:
+        state = ArchState(program)
+    while not state.halted:
+        instr = program.at(state.pc)
+        if instr is None:
+            raise SemanticsError(
+                f"PC {state.pc:#x} outside text of program {program.name!r}"
+            )
+        state.execute(instr)
+        if state.instructions_executed > max_instructions:
+            raise SemanticsError(
+                f"program {program.name!r} exceeded {max_instructions} instructions"
+            )
+    return state

@@ -1,0 +1,348 @@
+"""Shadow execution: run a whole program through the redundant datapath.
+
+The timing simulator treats formats as metadata for speed; this module is
+the fidelity check behind that shortcut.  :class:`ShadowRBInterpreter`
+executes a program twice in lockstep — once with plain integer semantics
+(authoritative), once carrying every RB-capable value through
+:mod:`repro.rb` in redundant form, forwarding redundant intermediate
+results between dependent operations exactly as the paper's machines do
+(§3.6, §4.1) — and cross-checks every result:
+
+* ADD/SUB/LDA/LDAH/SxADD/SxSUB/MUL results via the carry-free adder
+  (redundant operands in, redundant result out, decoded only to compare);
+* SLL via digit shifting with MSD renormalization;
+* compares (signed and unsigned) via redundant subtraction and the
+  most-significant-non-zero-digit sign test, with a 65-digit zero-extended
+  subtract for the unsigned forms;
+* conditional moves and branches via the redundant zero/sign/LSB tests;
+* CTTZ via trailing-zero-digit counting;
+* every load/store address via the sum-addressed-memory equality test
+  with the redundant base and two's-complement displacement (§3.6's
+  modified SAM) — no address is ever converted;
+* TC-only consumers (logicals, byte ops, right shifts, CTLZ/CTPOP, store
+  data) via the carry-propagating RB -> TC conversion, checking that the
+  converted value matches the integer interpreter.
+
+A mismatch anywhere means the redundant arithmetic and the ISA semantics
+disagree; the suite runs kernels through this with zero tolerance.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.circuits.sam import sam_match_redundant
+from repro.isa.instruction import Instruction, ZERO_REG
+from repro.isa.opcodes import Opcode
+from repro.isa.program import Program
+from repro.isa.semantics import ArchState, ExecResult
+from repro.rb.adder import rb_add, rb_sub
+from repro.rb.convert import from_twos_complement, to_twos_complement_bits
+from repro.rb.number import RBNumber
+from repro.rb.ops import (
+    count_trailing_zero_digits,
+    is_zero,
+    lsb_set,
+    scaled_add,
+    shift_left_digits,
+    sign_of,
+)
+
+WIDTH = 64
+
+#: Classes handled natively in the redundant domain.
+_ADD_LIKE = {Opcode.ADD, Opcode.SUB, Opcode.S4ADD, Opcode.S8ADD,
+             Opcode.S4SUB, Opcode.S8SUB}
+_CMOVS = {
+    Opcode.CMOVEQ: lambda rb: is_zero(rb),
+    Opcode.CMOVNE: lambda rb: not is_zero(rb),
+    Opcode.CMOVLT: lambda rb: sign_of(rb) < 0,
+    Opcode.CMOVGE: lambda rb: sign_of(rb) >= 0,
+    Opcode.CMOVLE: lambda rb: sign_of(rb) <= 0,
+    Opcode.CMOVGT: lambda rb: sign_of(rb) > 0,
+    Opcode.CMOVLBS: lambda rb: lsb_set(rb),
+    Opcode.CMOVLBC: lambda rb: not lsb_set(rb),
+}
+_BRANCH_TESTS = {
+    Opcode.BEQ: lambda rb: is_zero(rb),
+    Opcode.BNE: lambda rb: not is_zero(rb),
+    Opcode.BLT: lambda rb: sign_of(rb) < 0,
+    Opcode.BGE: lambda rb: sign_of(rb) >= 0,
+    Opcode.BLE: lambda rb: sign_of(rb) <= 0,
+    Opcode.BGT: lambda rb: sign_of(rb) > 0,
+    Opcode.BLBS: lambda rb: lsb_set(rb),
+    Opcode.BLBC: lambda rb: not lsb_set(rb),
+}
+
+
+@dataclass
+class Mismatch:
+    """One disagreement between the redundant and integer datapaths."""
+
+    instruction: Instruction
+    kind: str
+    expected: object
+    got: object
+
+    def __repr__(self) -> str:
+        return (f"Mismatch({self.kind} at {self.instruction!r}: "
+                f"expected {self.expected}, got {self.got})")
+
+
+@dataclass
+class ShadowReport:
+    """Outcome of a shadow run."""
+
+    instructions: int = 0
+    rb_checks: int = 0          # results produced and compared in RB form
+    conversion_checks: int = 0  # RB -> TC conversions validated
+    sam_checks: int = 0         # redundant addresses validated via SAM
+    test_checks: int = 0        # sign/zero/LSB condition tests validated
+    mismatches: list[Mismatch] = field(default_factory=list)
+
+    @property
+    def clean(self) -> bool:
+        return not self.mismatches
+
+    def total_checks(self) -> int:
+        return (self.rb_checks + self.conversion_checks
+                + self.sam_checks + self.test_checks)
+
+
+class ShadowRBInterpreter:
+    """Lockstep integer + redundant-binary execution of one program."""
+
+    def __init__(self, program: Program, check_multiplies: bool = False) -> None:
+        self.program = program
+        self.state = ArchState(program)
+        # Redundant mirror of the register file: None = TC-only value
+        # (produced by a load, logical, byte op, ...).
+        self.rb_regs: list[RBNumber | None] = [None] * 32
+        self.report = ShadowReport()
+        #: With True, MULs run through the full partial-product redundant
+        #: multiplier (64 carry-free adds per MUL — thorough but slow);
+        #: otherwise the multiplier's renormalized output is modelled as
+        #: the hardwired re-encoding of the exact product.
+        self.check_multiplies = check_multiplies
+        self._pending_branch: tuple | None = None
+
+    # -- operand plumbing ---------------------------------------------------
+
+    def _rb_source(self, instr: Instruction, index: int) -> RBNumber:
+        """The redundant form of a source operand.
+
+        A forwarded redundant value is used as-is; TC values take the
+        hardwired (free) TC -> RB encoding.
+        """
+        operand = instr.sources[index]
+        if operand.reg is not None:
+            if operand.reg != ZERO_REG:
+                mirrored = self.rb_regs[operand.reg]
+                if mirrored is not None:
+                    return mirrored
+            return from_twos_complement(self.state.read_reg(operand.reg), WIDTH)
+        return from_twos_complement(operand.imm, WIDTH)
+
+    def _flag(self, instr: Instruction, kind: str, expected, got) -> None:
+        self.report.mismatches.append(Mismatch(instr, kind, expected, got))
+
+    def _check_result(self, instr: Instruction, rb_value: RBNumber,
+                      expected_bits: int) -> None:
+        self.report.rb_checks += 1
+        got = to_twos_complement_bits(rb_value)
+        if got != expected_bits:
+            self._flag(instr, "rb-result", expected_bits, got)
+
+    # -- one instruction --------------------------------------------------------
+
+    def step(self) -> bool:
+        """Execute one instruction in both domains; False when halted."""
+        instr = self.program.at(self.state.pc)
+        if instr is None:
+            raise RuntimeError(f"shadow run left text at {self.state.pc:#x}")
+        opcode = instr.opcode
+        spec = instr.spec
+
+        # Gather redundant operands *before* architectural execution.
+        rb_result: RBNumber | None = None
+        dest = instr.dest
+
+        if opcode in _ADD_LIKE:
+            x = self._rb_source(instr, 0)
+            y = self._rb_source(instr, 1)
+            if opcode is Opcode.ADD:
+                rb_result = rb_add(x, y).value
+            elif opcode is Opcode.SUB:
+                rb_result = rb_sub(x, y).value
+            elif opcode is Opcode.S4ADD:
+                rb_result = scaled_add(x, y, 2).value
+            elif opcode is Opcode.S8ADD:
+                rb_result = scaled_add(x, y, 3).value
+            elif opcode is Opcode.S4SUB:
+                rb_result = scaled_add(x, y.negated(), 2).value
+            else:  # S8SUB
+                rb_result = scaled_add(x, y.negated(), 3).value
+        elif opcode in (Opcode.LDA, Opcode.LDAH):
+            base = self._rb_source(instr, 0)
+            shift = 16 if opcode is Opcode.LDAH else 0
+            displacement = from_twos_complement(instr.imm << shift, WIDTH)
+            rb_result = rb_add(base, displacement).value
+        elif opcode is Opcode.SLL:
+            x = self._rb_source(instr, 0)
+            amount = self._tc_value(instr, 1) & 63
+            rb_result, _ = shift_left_digits(x, amount)
+        elif opcode is Opcode.MUL:
+            if self.check_multiplies:
+                from repro.rb.multiply import rb_multiply
+                rb_result = rb_multiply(
+                    self._rb_source(instr, 0), self._rb_source(instr, 1)
+                )
+            # Otherwise the redundant-tree multiplier's renormalized output
+            # is modelled as the hardwired re-encoding of the exact product
+            # (applied after execution below).
+        elif opcode in _CMOVS:
+            test = self._rb_source(instr, 0)
+            keep = _CMOVS[opcode](test)
+            self.report.test_checks += 1
+            rb_result = (self._rb_source(instr, 1) if keep
+                         else self._rb_source(instr, 2))
+        elif opcode in (Opcode.CMPEQ, Opcode.CMPLT, Opcode.CMPLE):
+            rb_result = self._signed_compare(instr, opcode)
+        elif opcode in (Opcode.CMPULT, Opcode.CMPULE):
+            rb_result = self._unsigned_compare(instr, opcode)
+        elif opcode is Opcode.CTTZ:
+            x = self._rb_source(instr, 0)
+            rb_result = from_twos_complement(count_trailing_zero_digits(x), WIDTH)
+        elif opcode in _BRANCH_TESTS:
+            test = self._rb_source(instr, 0)
+            rb_taken = _BRANCH_TESTS[opcode](test)
+            self._pending_branch = (instr, rb_taken)
+        elif spec.is_load or spec.is_store:
+            self._check_sam_address(instr, spec.is_store)
+        elif opcode is Opcode.BIS and self._is_move(instr):
+            source = instr.sources[0].reg
+            rb_result = (self.rb_regs[source] if source != ZERO_REG else None)
+
+        # TC-only consumers force a validated conversion of RB sources.
+        if not spec.is_branch:
+            self._validate_tc_inputs(instr)
+
+        result = self.state.execute(instr)
+        self.report.instructions += 1
+
+        # Post-execution checks and redundant register-file update.
+        if opcode in _BRANCH_TESTS:
+            instr_, rb_taken = self._pending_branch
+            self.report.test_checks += 1
+            if rb_taken != result.taken:
+                self._flag(instr, "branch-test", result.taken, rb_taken)
+        if dest is not None and dest != ZERO_REG and spec.writes_reg:
+            if opcode is Opcode.MUL and rb_result is None:
+                rb_result = from_twos_complement(self.state.regs[dest], WIDTH)
+            if rb_result is not None:
+                self._check_result(instr, rb_result, self.state.regs[dest])
+                self.rb_regs[dest] = rb_result
+            else:
+                self.rb_regs[dest] = None
+
+        return not self.state.halted
+
+    # -- helpers ------------------------------------------------------------------
+
+    @staticmethod
+    def _is_move(instr: Instruction) -> bool:
+        regs = [op.reg for op in instr.sources if op.reg is not None]
+        return len(instr.sources) == 2 and len(regs) == 2 and regs[0] == regs[1]
+
+    def _tc_value(self, instr: Instruction, index: int) -> int:
+        operand = instr.sources[index]
+        if operand.reg is not None:
+            return self.state.read_reg(operand.reg)
+        return operand.imm & ((1 << WIDTH) - 1)
+
+    def _signed_compare(self, instr: Instruction, opcode: Opcode) -> RBNumber:
+        x = self._rb_source(instr, 0)
+        y = self._rb_source(instr, 1)
+        difference = rb_sub(x, y)
+        sign = sign_of(difference.value)
+        if difference.overflow:
+            sign = -sign
+        self.report.test_checks += 1
+        if opcode is Opcode.CMPEQ:
+            flag = is_zero(difference.value)
+        elif opcode is Opcode.CMPLT:
+            flag = sign < 0
+        else:  # CMPLE
+            flag = sign <= 0
+        return from_twos_complement(int(flag), WIDTH)
+
+    def _unsigned_compare(self, instr: Instruction, opcode: Opcode) -> RBNumber:
+        """Unsigned compares via a 65-digit zero-extended subtraction.
+
+        The unsigned value of a wrapped operand is its signed value plus
+        2**64 when negative; the sign test (most significant non-zero
+        digit) supplies that bit without any conversion.
+        """
+        x = self._zero_extend_unsigned(self._rb_source(instr, 0))
+        y = self._zero_extend_unsigned(self._rb_source(instr, 1))
+        difference = rb_sub(x, y)
+        sign = sign_of(difference.value)
+        if difference.overflow:
+            sign = -sign
+        self.report.test_checks += 1
+        flag = sign < 0 if instr.opcode is Opcode.CMPULT else sign <= 0
+        return from_twos_complement(int(flag), WIDTH)
+
+    @staticmethod
+    def _zero_extend_unsigned(value: RBNumber) -> RBNumber:
+        negative = sign_of(value) < 0
+        plus = value.plus | ((1 << WIDTH) if negative else 0)
+        return RBNumber(WIDTH + 2, plus, value.minus)
+
+    def _check_sam_address(self, instr: Instruction, is_store: bool) -> None:
+        """Validate the memory index through the modified SAM (§3.6)."""
+        base_index = 1 if is_store else 0
+        base = self._rb_source(instr, base_index)
+        displacement = instr.imm or 0
+        true_index = (to_twos_complement_bits(base) + displacement) % (1 << WIDTH)
+        self.report.sam_checks += 1
+        if not sam_match_redundant(base.plus, base.minus, displacement,
+                                   true_index, WIDTH):
+            self._flag(instr, "sam-address", true_index, None)
+
+    def _validate_tc_inputs(self, instr: Instruction) -> None:
+        """Every TC-only operand whose register holds a redundant value
+        models the converter: the decoded bits must equal the
+        architectural value."""
+        from repro.isa.opcodes import OperandFormat
+        formats = instr.spec.operand_formats
+        for position, operand in enumerate(instr.sources):
+            if operand.reg is None or operand.reg == ZERO_REG:
+                continue
+            if position >= len(formats):
+                continue
+            if formats[position] is not OperandFormat.TC_ONLY:
+                continue
+            mirrored = self.rb_regs[operand.reg]
+            if mirrored is None:
+                continue
+            self.report.conversion_checks += 1
+            converted = to_twos_complement_bits(mirrored)
+            actual = self.state.read_reg(operand.reg)
+            if converted != actual:
+                self._flag(instr, "conversion", actual, converted)
+
+    # -- whole-program run -----------------------------------------------------------
+
+    def run(self, max_instructions: int = 500_000) -> ShadowReport:
+        while self.step():
+            if self.report.instructions > max_instructions:
+                raise RuntimeError(
+                    f"shadow run exceeded {max_instructions} instructions"
+                )
+        return self.report
+
+
+def shadow_check(program: Program, max_instructions: int = 500_000) -> ShadowReport:
+    """Run a program through the shadow interpreter and return its report."""
+    return ShadowRBInterpreter(program).run(max_instructions)

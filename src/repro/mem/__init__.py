@@ -1,0 +1,22 @@
+"""Memory substrate: functional memory, caches, banks, and the hierarchy.
+
+The functional :class:`~repro.mem.memory.PagedMemory` backs architectural
+state; the timing side (set-associative caches with pipelined access,
+banked L2 and DRAM with contention — Table 2's memory system) lives in
+:mod:`repro.mem.cache`, :mod:`repro.mem.banks`, and
+:mod:`repro.mem.hierarchy`.
+"""
+
+from repro.mem.banks import BankedResource
+from repro.mem.cache import Cache, CacheConfig
+from repro.mem.hierarchy import MemoryHierarchy, MemoryHierarchyConfig
+from repro.mem.memory import PagedMemory
+
+__all__ = [
+    "PagedMemory",
+    "Cache",
+    "CacheConfig",
+    "BankedResource",
+    "MemoryHierarchy",
+    "MemoryHierarchyConfig",
+]

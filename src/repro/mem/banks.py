@@ -1,0 +1,46 @@
+"""Bank contention model for the L2 and main memory (Table 2).
+
+The paper models contention for 2 L2 banks and 32 memory banks.  A
+:class:`BankedResource` tracks, per bank, the next cycle at which the bank
+can start a new access; requests that arrive while the target bank is busy
+are delayed until it frees up (in arrival order, which is how the
+simulator issues them).
+"""
+
+from __future__ import annotations
+
+
+class BankedResource:
+    """N banks, each able to start one access every ``occupancy`` cycles."""
+
+    def __init__(self, banks: int, occupancy: int, name: str = "banks") -> None:
+        if banks <= 0:
+            raise ValueError(f"bank count must be positive, got {banks}")
+        if occupancy <= 0:
+            raise ValueError(f"occupancy must be positive, got {occupancy}")
+        self.banks = banks
+        self.occupancy = occupancy
+        self.name = name
+        self._free_at = [0] * banks
+        self.accesses = 0
+        self.conflict_cycles = 0
+
+    def bank_of(self, address: int, line_shift: int) -> int:
+        """Which bank a line address maps to (line-interleaved)."""
+        return (address >> line_shift) % self.banks
+
+    def schedule(self, bank: int, earliest: int) -> int:
+        """Reserve the bank; returns the cycle the access actually starts."""
+        if not 0 <= bank < self.banks:
+            raise ValueError(f"bank {bank} out of range [0, {self.banks})")
+        start = max(earliest, self._free_at[bank])
+        self.conflict_cycles += start - earliest
+        self._free_at[bank] = start + self.occupancy
+        self.accesses += 1
+        return start
+
+    def reset(self) -> None:
+        """Clear all reservations and statistics."""
+        self._free_at = [0] * self.banks
+        self.accesses = 0
+        self.conflict_cycles = 0

@@ -1,0 +1,109 @@
+"""Set-associative cache timing model with true-LRU replacement.
+
+Caches here are *timing-only*: values always come from the functional
+:class:`~repro.mem.memory.PagedMemory`; the cache tracks which lines would
+be resident to decide hit or miss latency.  Both L1s are pipelined (a new
+access can start every cycle), matching Table 2.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class CacheConfig:
+    """Geometry and latency of one cache level."""
+
+    name: str
+    size_bytes: int
+    associativity: int
+    line_bytes: int
+    hit_latency: int
+
+    def __post_init__(self) -> None:
+        if self.size_bytes <= 0 or self.associativity <= 0 or self.line_bytes <= 0:
+            raise ValueError(f"non-positive cache geometry in {self}")
+        if self.size_bytes % (self.associativity * self.line_bytes):
+            raise ValueError(
+                f"{self.name}: size {self.size_bytes} not divisible by "
+                f"assoc {self.associativity} x line {self.line_bytes}"
+            )
+        if self.line_bytes & (self.line_bytes - 1):
+            raise ValueError(f"{self.name}: line size must be a power of two")
+
+    @property
+    def num_sets(self) -> int:
+        return self.size_bytes // (self.associativity * self.line_bytes)
+
+    @property
+    def line_shift(self) -> int:
+        return self.line_bytes.bit_length() - 1
+
+
+class Cache:
+    """One level of cache: lookup/fill with per-set LRU order."""
+
+    def __init__(self, config: CacheConfig) -> None:
+        self.config = config
+        num_sets = config.num_sets
+        if num_sets & (num_sets - 1):
+            raise ValueError(f"{config.name}: set count {num_sets} must be a power of two")
+        self._set_mask = num_sets - 1
+        self._line_shift = config.line_shift
+        # Each set is a list of tags in LRU order (front = most recent).
+        self._sets: list[list[int]] = [[] for _ in range(num_sets)]
+        self.hits = 0
+        self.misses = 0
+
+    def _locate(self, address: int) -> tuple[list[int], int]:
+        line = address >> self._line_shift
+        return self._sets[line & self._set_mask], line
+
+    def lookup(self, address: int) -> bool:
+        """Probe and update LRU; True on hit.  Does not allocate on miss."""
+        ways, tag = self._locate(address)
+        try:
+            ways.remove(tag)
+        except ValueError:
+            self.misses += 1
+            return False
+        ways.insert(0, tag)
+        self.hits += 1
+        return True
+
+    def fill(self, address: int) -> int | None:
+        """Allocate the line; returns the evicted line address (or None)."""
+        ways, tag = self._locate(address)
+        if tag in ways:
+            return None
+        ways.insert(0, tag)
+        if len(ways) > self.config.associativity:
+            victim = ways.pop()
+            return victim << self._line_shift
+        return None
+
+    def contains(self, address: int) -> bool:
+        """Probe without touching LRU or statistics."""
+        ways, tag = self._locate(address)
+        return tag in ways
+
+    def invalidate_all(self) -> None:
+        """Empty the cache (statistics preserved)."""
+        for ways in self._sets:
+            ways.clear()
+
+    @property
+    def accesses(self) -> int:
+        return self.hits + self.misses
+
+    def hit_rate(self) -> float:
+        total = self.accesses
+        return self.hits / total if total else 0.0
+
+    def __repr__(self) -> str:
+        cfg = self.config
+        return (
+            f"Cache({cfg.name}: {cfg.size_bytes // 1024}KB {cfg.associativity}-way, "
+            f"{cfg.line_bytes}B lines, hits={self.hits}, misses={self.misses})"
+        )

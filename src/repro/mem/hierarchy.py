@@ -1,0 +1,109 @@
+"""The full memory hierarchy of Table 2.
+
+* 64 KB 4-way pipelined instruction cache, 2-cycle access;
+* 8 KB 2-way pipelined data cache, 2-cycle access;
+* unified 1 MB 8-way L2, 8-cycle access, contention for 2 banks;
+* main memory, 100-cycle access, contention for 32 banks.
+
+The hierarchy answers "when is this access's data ready?", given the cycle
+the access starts.  Misses propagate down and fill upward; bank conflicts
+push the start of L2/DRAM service to the next free slot of the target
+bank.  Lines are 64 bytes at every level.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.mem.banks import BankedResource
+from repro.mem.cache import Cache, CacheConfig
+
+LINE_BYTES = 64
+
+
+@dataclass(frozen=True)
+class MemoryHierarchyConfig:
+    """All Table 2 memory parameters, overridable for sensitivity studies."""
+
+    icache: CacheConfig = field(default_factory=lambda: CacheConfig(
+        name="L1I", size_bytes=64 * 1024, associativity=4,
+        line_bytes=LINE_BYTES, hit_latency=2,
+    ))
+    dcache: CacheConfig = field(default_factory=lambda: CacheConfig(
+        name="L1D", size_bytes=8 * 1024, associativity=2,
+        line_bytes=LINE_BYTES, hit_latency=2,
+    ))
+    l2: CacheConfig = field(default_factory=lambda: CacheConfig(
+        name="L2", size_bytes=1024 * 1024, associativity=8,
+        line_bytes=LINE_BYTES, hit_latency=8,
+    ))
+    l2_banks: int = 2
+    l2_bank_occupancy: int = 2
+    memory_latency: int = 100
+    memory_banks: int = 32
+    memory_bank_occupancy: int = 32
+
+
+class MemoryHierarchy:
+    """Timing-only model of the cache/memory system."""
+
+    def __init__(self, config: MemoryHierarchyConfig | None = None) -> None:
+        self.config = config if config is not None else MemoryHierarchyConfig()
+        self.icache = Cache(self.config.icache)
+        self.dcache = Cache(self.config.dcache)
+        self.l2 = Cache(self.config.l2)
+        self.l2_banks = BankedResource(
+            self.config.l2_banks, self.config.l2_bank_occupancy, "L2"
+        )
+        self.memory_banks = BankedResource(
+            self.config.memory_banks, self.config.memory_bank_occupancy, "DRAM"
+        )
+        self._line_shift = self.config.l2.line_shift
+
+    # -- lower levels -----------------------------------------------------------
+
+    def _l2_ready(self, address: int, cycle: int) -> int:
+        """Cycle at which the L2 (or memory below it) returns the line."""
+        bank = self.l2_banks.bank_of(address, self._line_shift)
+        start = self.l2_banks.schedule(bank, cycle)
+        if self.l2.lookup(address):
+            return start + self.config.l2.hit_latency
+        mem_bank = self.memory_banks.bank_of(address, self._line_shift)
+        mem_start = self.memory_banks.schedule(
+            mem_bank, start + self.config.l2.hit_latency
+        )
+        ready = mem_start + self.config.memory_latency
+        self.l2.fill(address)
+        return ready
+
+    # -- public accesses ------------------------------------------------------------
+
+    def data_access(self, address: int, cycle: int, is_write: bool = False) -> int:
+        """Start a data-cache access at ``cycle``; returns the ready cycle.
+
+        Writes allocate like reads (write-allocate; store completion time
+        matters only for store-to-load timing in the simulator).
+        """
+        latency = self.config.dcache.hit_latency
+        if self.dcache.lookup(address):
+            return cycle + latency
+        ready = self._l2_ready(address, cycle + latency)
+        self.dcache.fill(address)
+        return ready
+
+    def fetch_access(self, address: int, cycle: int) -> int:
+        """Start an instruction-cache access at ``cycle``; returns ready cycle."""
+        latency = self.config.icache.hit_latency
+        if self.icache.lookup(address):
+            return cycle + latency
+        ready = self._l2_ready(address, cycle + latency)
+        self.icache.fill(address)
+        return ready
+
+    def reset(self) -> None:
+        """Cold caches and idle banks (statistics cleared)."""
+        self.icache.invalidate_all()
+        self.dcache.invalidate_all()
+        self.l2.invalidate_all()
+        self.l2_banks.reset()
+        self.memory_banks.reset()

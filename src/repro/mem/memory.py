@@ -1,0 +1,80 @@
+"""Functional (value-holding) memory: a sparse, paged 64-bit address space.
+
+Holds the architectural contents the interpreter reads and writes.  Timing
+is modelled separately by the cache hierarchy; this class is purely about
+values, so the same image can back any number of machine models.
+"""
+
+from __future__ import annotations
+
+from repro.utils.bitops import MASK64
+
+PAGE_SHIFT = 12
+PAGE_SIZE = 1 << PAGE_SHIFT
+PAGE_MASK = PAGE_SIZE - 1
+
+
+class PagedMemory:
+    """Sparse byte-addressable memory; untouched pages read as zero."""
+
+    def __init__(self) -> None:
+        self._pages: dict[int, bytearray] = {}
+
+    def _page_for_write(self, address: int) -> bytearray:
+        index = address >> PAGE_SHIFT
+        page = self._pages.get(index)
+        if page is None:
+            page = bytearray(PAGE_SIZE)
+            self._pages[index] = page
+        return page
+
+    def read_byte(self, address: int) -> int:
+        address &= MASK64
+        page = self._pages.get(address >> PAGE_SHIFT)
+        if page is None:
+            return 0
+        return page[address & PAGE_MASK]
+
+    def write_byte(self, address: int, value: int) -> None:
+        address &= MASK64
+        self._page_for_write(address)[address & PAGE_MASK] = value & 0xFF
+
+    def read(self, address: int, size: int) -> int:
+        """Read ``size`` bytes little-endian as an unsigned integer."""
+        address &= MASK64
+        offset = address & PAGE_MASK
+        if offset + size <= PAGE_SIZE:
+            page = self._pages.get(address >> PAGE_SHIFT)
+            if page is None:
+                return 0
+            return int.from_bytes(page[offset:offset + size], "little")
+        return int.from_bytes(
+            bytes(self.read_byte(address + i) for i in range(size)), "little"
+        )
+
+    def write(self, address: int, value: int, size: int) -> None:
+        """Write ``size`` bytes little-endian."""
+        address &= MASK64
+        data = (value & ((1 << (size * 8)) - 1)).to_bytes(size, "little")
+        offset = address & PAGE_MASK
+        if offset + size <= PAGE_SIZE:
+            self._page_for_write(address)[offset:offset + size] = data
+        else:
+            for i, byte in enumerate(data):
+                self.write_byte(address + i, byte)
+
+    def load_image(self, address: int, data: bytes) -> None:
+        """Copy a byte image into memory starting at ``address``."""
+        for i in range(0, len(data), PAGE_SIZE):
+            chunk = data[i:i + PAGE_SIZE]
+            base = address + i
+            offset = base & PAGE_MASK
+            if offset + len(chunk) <= PAGE_SIZE:
+                self._page_for_write(base)[offset:offset + len(chunk)] = chunk
+            else:
+                for j, byte in enumerate(chunk):
+                    self.write_byte(base + j, byte)
+
+    def touched_pages(self) -> int:
+        """Number of pages that have been written (for diagnostics)."""
+        return len(self._pages)

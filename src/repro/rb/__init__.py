@@ -1,0 +1,61 @@
+"""Redundant binary (signed-digit, radix-2) arithmetic — paper Section 3.
+
+Numbers are vectors of digits in ``{-1, 0, 1}``; each digit is encoded as a
+(negative-bit, positive-bit) pair, so an n-digit redundant binary (RB)
+number carries two n-bit words, ``plus`` and ``minus`` (paper §3.1-3.2).
+Addition is carry-free: each sum digit depends only on digits i, i-1, i-2
+of the inputs (§3.3), so add latency is independent of width (§3.4).
+
+Public surface:
+
+* :class:`RBNumber` — immutable signed-digit value with a fixed digit width.
+* :func:`rb_add`, :func:`rb_sub`, :func:`rb_negate` — carry-free arithmetic
+  with two's-complement wrap semantics and overflow detection (§3.5).
+* :mod:`repro.rb.convert` — TC <-> RB conversion (§3.2).
+* :mod:`repro.rb.ops` — the other RB-executable operations (§3.6).
+* :class:`RBALU` — facade that executes instruction-class operations and
+  enforces the paper's format rules (Table 1).
+"""
+
+from repro.rb.adder import AddResult, interim_digit, rb_add, rb_add_digits, rb_negate, rb_sub
+from repro.rb.alu import RBALU, FormatError
+from repro.rb.convert import from_twos_complement, to_twos_complement
+from repro.rb.multiply import partial_products, rb_multiply
+from repro.rb.number import RBNumber
+from repro.rb.ops import (
+    count_trailing_zero_digits,
+    extract_longword,
+    is_negative,
+    is_zero,
+    lsb_set,
+    scaled_add,
+    shift_left_digits,
+    sign_of,
+)
+from repro.rb.overflow import correct_bogus_overflow, normalize_msd
+
+__all__ = [
+    "RBNumber",
+    "AddResult",
+    "rb_add",
+    "rb_add_digits",
+    "rb_sub",
+    "rb_negate",
+    "rb_multiply",
+    "partial_products",
+    "interim_digit",
+    "from_twos_complement",
+    "to_twos_complement",
+    "correct_bogus_overflow",
+    "normalize_msd",
+    "shift_left_digits",
+    "scaled_add",
+    "count_trailing_zero_digits",
+    "extract_longword",
+    "sign_of",
+    "is_zero",
+    "is_negative",
+    "lsb_set",
+    "RBALU",
+    "FormatError",
+]

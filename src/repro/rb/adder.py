@@ -1,0 +1,108 @@
+"""The carry-free redundant binary adder (paper §3.3-§3.5).
+
+Addition is done in two digit-parallel steps.  For each position i the
+digit sum ``p_i = x_i + y_i`` (in [-2, 2]) is split into an intermediate
+carry ``c_i`` and interim sum ``s_i`` with ``p_i = 2*c_i + s_i``.  The split
+is chosen by looking at position i-1 of the *inputs*, so that the incoming
+intermediate carry can never push the final digit ``z_i = s_i + c_{i-1}``
+out of {-1, 0, 1}:
+
+* if both input digits at i-1 are non-negative, the incoming carry is in
+  {0, 1}, so the interim sum is kept in {-1, 0};
+* otherwise the incoming carry is in {-1, 0}, so the interim sum is kept
+  in {0, 1}.
+
+Hence digit i of the sum depends only on digits i, i-1, i-2 of the inputs
+— the two-digit carry propagation the paper cites for its O(1) add latency.
+This module is the functional model; the gate-level structure (Figure 2's
+h/f slice) lives in :mod:`repro.circuits.rb_adder`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.rb.number import RBNumber
+from repro.rb.overflow import normalize_msd
+
+
+@dataclass(frozen=True)
+class AddResult:
+    """Outcome of a fixed-width redundant binary addition."""
+
+    value: RBNumber
+    overflow: bool
+
+
+def interim_digit(p: int, prev_both_nonneg: bool) -> tuple[int, int]:
+    """Split a digit sum ``p`` into (intermediate carry, interim sum).
+
+    ``prev_both_nonneg`` says whether both input digits one position below
+    are non-negative (for position 0 there is no lower position, which
+    counts as non-negative: no negative carry can arrive).
+    """
+    if p == 2:
+        return 1, 0
+    if p == 1:
+        return (1, -1) if prev_both_nonneg else (0, 1)
+    if p == 0:
+        return 0, 0
+    if p == -1:
+        return (0, -1) if prev_both_nonneg else (-1, 1)
+    if p == -2:
+        return -1, 0
+    raise ValueError(f"digit sum {p} out of range [-2, 2]")
+
+
+def rb_add_digits(x: RBNumber, y: RBNumber) -> tuple[list[int], int]:
+    """Raw carry-free addition: returns (sum digits, carry out of the MSD).
+
+    The returned digits plus ``carry * 2**width`` equal ``x.value() +
+    y.value()`` exactly.  Width-wrapping and overflow detection are applied
+    by :func:`rb_add`.
+    """
+    if x.width != y.width:
+        raise ValueError(f"width mismatch: {x.width} vs {y.width}")
+    width = x.width
+    carries = [0] * width
+    interims = [0] * width
+    for i in range(width):
+        p = x.digit(i) + y.digit(i)
+        if i == 0:
+            prev_both_nonneg = True
+        else:
+            prev_both_nonneg = x.digit(i - 1) >= 0 and y.digit(i - 1) >= 0
+        carries[i], interims[i] = interim_digit(p, prev_both_nonneg)
+    digits = [0] * width
+    for i in range(width):
+        incoming = carries[i - 1] if i > 0 else 0
+        z = interims[i] + incoming
+        if z not in (-1, 0, 1):
+            raise AssertionError(
+                f"carry-free invariant violated at digit {i}: {z}"
+            )
+        digits[i] = z
+    return digits, carries[width - 1]
+
+
+def rb_add(x: RBNumber, y: RBNumber) -> AddResult:
+    """Fixed-width RB addition with two's-complement wrap semantics.
+
+    The represented value of the result equals ``(x.value() + y.value())``
+    wrapped into ``[-2**(w-1), 2**(w-1) - 1]``; ``overflow`` is set exactly
+    when the true sum falls outside that range (§3.5).
+    """
+    digits, carry = rb_add_digits(x, y)
+    raw = RBNumber.from_digits(digits)
+    value, overflow = normalize_msd(raw, carry)
+    return AddResult(value=value, overflow=overflow)
+
+
+def rb_negate(x: RBNumber) -> RBNumber:
+    """Digit-wise negation (swap the plus/minus components)."""
+    return x.negated()
+
+
+def rb_sub(x: RBNumber, y: RBNumber) -> AddResult:
+    """Fixed-width RB subtraction: add the digit-wise negation of ``y``."""
+    return rb_add(x, rb_negate(y))

@@ -1,0 +1,149 @@
+"""An ALU facade over the redundant binary primitives.
+
+:class:`RBALU` executes the operation classes of Table 1 on
+:class:`~repro.rb.number.RBNumber` operands and *enforces the paper's
+format rules*: asking it to run a TC-only operation (general logicals, byte
+manipulation, right shift, CTLZ, CTPOP) on an RB operand raises
+:class:`FormatError` — in hardware those inputs simply are not wired to the
+RB functional units, and the scheduler must wait for the format conversion.
+
+The simulator's timing model uses instruction classes, not this ALU, for
+speed; the ALU exists so correctness of the RB data path can be validated
+against plain integer semantics (see tests/rb/test_alu.py) and so examples
+can demonstrate the forwarding of redundant intermediate results.
+"""
+
+from __future__ import annotations
+
+from repro.rb.adder import AddResult, rb_add, rb_sub
+from repro.rb.convert import from_twos_complement, to_twos_complement
+from repro.rb.number import RBNumber
+from repro.rb.ops import (
+    count_trailing_zero_digits,
+    extract_longword,
+    is_zero,
+    lsb_set,
+    scaled_add,
+    shift_left_digits,
+    sign_of,
+)
+
+
+class FormatError(TypeError):
+    """An operation was asked to consume a format it cannot accept."""
+
+
+class RBALU:
+    """Executes RB-class operations on fixed-width redundant binary values."""
+
+    def __init__(self, width: int = 64) -> None:
+        if width <= 0:
+            raise ValueError(f"width must be positive, got {width}")
+        self.width = width
+
+    # -- operand plumbing ---------------------------------------------------
+
+    def encode(self, value: int) -> RBNumber:
+        """Two's complement -> RB (the hardwired, free direction)."""
+        return from_twos_complement(value, self.width)
+
+    def decode(self, number: RBNumber) -> int:
+        """RB -> signed two's complement (the slow, carry-propagating direction)."""
+        self._check_width(number)
+        return to_twos_complement(number)
+
+    def _check_width(self, *numbers: RBNumber) -> None:
+        for n in numbers:
+            if n.width != self.width:
+                raise FormatError(
+                    f"operand width {n.width} does not match ALU width {self.width}"
+                )
+
+    # -- arithmetic (RB in, RB out) -------------------------------------------
+
+    def add(self, x: RBNumber, y: RBNumber) -> AddResult:
+        """Carry-free ADD with wrap semantics and overflow flag."""
+        self._check_width(x, y)
+        return rb_add(x, y)
+
+    def sub(self, x: RBNumber, y: RBNumber) -> AddResult:
+        """Carry-free SUB via digit-wise negation."""
+        self._check_width(x, y)
+        return rb_sub(x, y)
+
+    def mul(self, x: RBNumber, y: RBNumber) -> RBNumber:
+        """Redundant multiplication via partial-product accumulation."""
+        self._check_width(x, y)
+        from repro.rb.multiply import rb_multiply
+        return rb_multiply(x, y)
+
+    def scaled_add(self, x: RBNumber, y: RBNumber, scale: int) -> AddResult:
+        """SxADD: (x << scale) + y with digit shifting."""
+        self._check_width(x, y)
+        return scaled_add(x, y, scale)
+
+    def shift_left(self, x: RBNumber, amount: int) -> RBNumber:
+        """SLL by a constant amount, shifting digits."""
+        self._check_width(x)
+        result, _ = shift_left_digits(x, amount)
+        return result
+
+    def cttz(self, x: RBNumber) -> int:
+        """Count trailing zeros, executable on RB operands."""
+        self._check_width(x)
+        return count_trailing_zero_digits(x)
+
+    # -- conditional tests (RB in) --------------------------------------------
+
+    def compare_zero(self, x: RBNumber) -> int:
+        """Three-way compare against zero: -1, 0, or +1."""
+        self._check_width(x)
+        return sign_of(x)
+
+    def is_zero(self, x: RBNumber) -> bool:
+        self._check_width(x)
+        return is_zero(x)
+
+    def lsb_set(self, x: RBNumber) -> bool:
+        self._check_width(x)
+        return lsb_set(x)
+
+    def compare(self, x: RBNumber, y: RBNumber) -> int:
+        """Three-way compare of two RB operands via subtraction (CMPxx).
+
+        The paper marks CMP/CMOVEQ-style tests as needing a subtraction
+        before the sign/zero test.  As in two's-complement hardware, the
+        wrapped difference's sign is flipped when the subtraction
+        overflowed (the signed-less-than ``N xor V`` rule).
+        """
+        self._check_width(x, y)
+        result = rb_sub(x, y)
+        sign = sign_of(result.value)
+        return -sign if result.overflow else sign
+
+    def extract_longword(self, x: RBNumber, long_width: int = 32) -> RBNumber:
+        """Quadword-to-longword forwarding with MSD renormalization."""
+        self._check_width(x)
+        result, _ = extract_longword(x, long_width)
+        return result
+
+    # -- operations that must not see RB operands -------------------------------
+
+    _TC_ONLY = (
+        "AND", "OR", "XOR", "BIC", "ORNOT", "EQV",
+        "SRL", "SRA", "CTLZ", "CTPOP",
+        "EXTB", "INSB", "MSKB", "ZAP",
+    )
+
+    def require_tc(self, mnemonic: str) -> None:
+        """Raise :class:`FormatError` for operations that need TC inputs.
+
+        Mirrors the hardware restriction: these operations are only wired
+        to TC-input functional units (Table 1's "Other" class).
+        """
+        if mnemonic.upper() in self._TC_ONLY:
+            raise FormatError(
+                f"{mnemonic} requires two's-complement inputs; "
+                "convert the RB operand first (2-cycle format conversion)"
+            )
+        raise ValueError(f"{mnemonic} is not a TC-only operation")

@@ -1,0 +1,45 @@
+"""Conversion between two's complement and redundant binary (paper §3.2).
+
+TC -> RB is free in hardware (hardwired): every bit except the sign bit
+maps to the positive component, and the sign bit maps to the negative
+component's most significant digit, so the value keeps its sign.
+
+RB -> TC needs a full carry-propagating subtraction ``X+ - X-`` — the slow
+direction, and the reason the paper charges a 2-cycle format-conversion
+latency on every RB result consumed by a TC-input instruction.
+"""
+
+from __future__ import annotations
+
+from repro.rb.number import RBNumber
+from repro.utils.bitops import to_signed, to_unsigned
+
+
+def from_twos_complement(value: int, width: int) -> RBNumber:
+    """Encode a two's-complement integer as an RB number of ``width`` digits.
+
+    ``value`` may be given as a signed integer or as its unsigned
+    ``width``-bit pattern; both views of the same bit pattern produce the
+    same RB number.
+    """
+    if width <= 0:
+        raise ValueError(f"width must be positive, got {width}")
+    bits = to_unsigned(value, width)
+    sign_bit = 1 << (width - 1)
+    plus = bits & ~sign_bit
+    minus = bits & sign_bit
+    return RBNumber(width, plus, minus)
+
+
+def to_twos_complement(number: RBNumber) -> int:
+    """Convert an RB number to its signed two's-complement value.
+
+    Computes ``X+ - X-`` and wraps modulo ``2**width``, exactly what the
+    hardware's subtraction circuit produces.
+    """
+    return to_signed(number.plus - number.minus, number.width)
+
+
+def to_twos_complement_bits(number: RBNumber) -> int:
+    """Convert an RB number to its unsigned ``width``-bit TC pattern."""
+    return to_unsigned(number.plus - number.minus, number.width)

@@ -1,0 +1,167 @@
+"""The :class:`RBNumber` signed-digit value type (paper §3.1-3.2).
+
+An n-digit redundant binary number is stored as two n-bit unsigned integers:
+``plus`` holds the positions whose digit is +1, ``minus`` the positions whose
+digit is -1.  This mirrors the paper's hardware encoding where 1, 0, -1 are
+encoded as (neg, pos) = (0,1), (0,0), (1,0); the (1,1) pattern is invalid.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Sequence
+
+
+class RBNumber:
+    """An immutable redundant binary number with a fixed digit width.
+
+    The *represented value* is ``plus - minus`` interpreted as plain integers
+    (each digit i contributes ``digit * 2**i``).  Because the digit set is
+    {-1, 0, 1}, an n-digit number can represent any value in
+    ``[-(2**n - 1), 2**n - 1]``, and most values have several encodings.
+    """
+
+    __slots__ = ("_width", "_plus", "_minus")
+
+    def __init__(self, width: int, plus: int, minus: int) -> None:
+        if width <= 0:
+            raise ValueError(f"width must be positive, got {width}")
+        mask = (1 << width) - 1
+        if plus & ~mask or minus & ~mask:
+            raise ValueError(
+                f"plus/minus have bits beyond width {width}: "
+                f"plus={plus:#x} minus={minus:#x}"
+            )
+        if plus & minus:
+            raise ValueError(
+                f"invalid (1,1) digit encoding at positions {plus & minus:#x}"
+            )
+        self._width = width
+        self._plus = plus
+        self._minus = minus
+
+    # -- construction -----------------------------------------------------
+
+    @classmethod
+    def zero(cls, width: int) -> "RBNumber":
+        """The all-zero-digit number (the unique encoding of 0)."""
+        return cls(width, 0, 0)
+
+    @classmethod
+    def from_digits(cls, digits: Sequence[int]) -> "RBNumber":
+        """Build from a digit sequence, least significant digit first."""
+        plus = 0
+        minus = 0
+        for i, d in enumerate(digits):
+            if d == 1:
+                plus |= 1 << i
+            elif d == -1:
+                minus |= 1 << i
+            elif d != 0:
+                raise ValueError(f"digit {d} at position {i} not in {{-1, 0, 1}}")
+        return cls(len(digits), plus, minus)
+
+    @classmethod
+    def from_msd_digits(cls, digits: Sequence[int]) -> "RBNumber":
+        """Build from a digit sequence written most significant digit first.
+
+        Matches the paper's notation, e.g. ``<0, 1, 0, -1>`` is 3.
+        """
+        return cls.from_digits(list(reversed(digits)))
+
+    # -- accessors ---------------------------------------------------------
+
+    @property
+    def width(self) -> int:
+        """Number of digits."""
+        return self._width
+
+    @property
+    def plus(self) -> int:
+        """Bit i set iff digit i is +1 (the X+ component, §3.2)."""
+        return self._plus
+
+    @property
+    def minus(self) -> int:
+        """Bit i set iff digit i is -1 (the X- component, §3.2)."""
+        return self._minus
+
+    def digit(self, index: int) -> int:
+        """Digit at ``index`` (0 = least significant), in {-1, 0, 1}."""
+        if not 0 <= index < self._width:
+            raise IndexError(f"digit index {index} out of range for width {self._width}")
+        if (self._plus >> index) & 1:
+            return 1
+        if (self._minus >> index) & 1:
+            return -1
+        return 0
+
+    def digits(self) -> list[int]:
+        """All digits, least significant first."""
+        return [self.digit(i) for i in range(self._width)]
+
+    def msd(self) -> int:
+        """The most significant digit."""
+        return self.digit(self._width - 1)
+
+    def value(self) -> int:
+        """The represented integer value (exact, not wrapped)."""
+        return self._plus - self._minus
+
+    def nonzero_digit_count(self) -> int:
+        """How many digits are nonzero (a measure of representation density)."""
+        return (self._plus | self._minus).bit_count()
+
+    # -- simple transforms ---------------------------------------------------
+
+    def with_digit(self, index: int, digit: int) -> "RBNumber":
+        """A copy with digit ``index`` replaced by ``digit``."""
+        if digit not in (-1, 0, 1):
+            raise ValueError(f"digit {digit} not in {{-1, 0, 1}}")
+        if not 0 <= index < self._width:
+            raise IndexError(f"digit index {index} out of range for width {self._width}")
+        bitmask = 1 << index
+        plus = self._plus & ~bitmask
+        minus = self._minus & ~bitmask
+        if digit == 1:
+            plus |= bitmask
+        elif digit == -1:
+            minus |= bitmask
+        return RBNumber(self._width, plus, minus)
+
+    def negated(self) -> "RBNumber":
+        """Digit-wise negation: swap the plus and minus components.
+
+        This is why RB subtraction is as cheap as addition (§3.6).
+        """
+        return RBNumber(self._width, self._minus, self._plus)
+
+    def truncated(self, width: int) -> "RBNumber":
+        """Keep only the low ``width`` digits (value changes by a multiple
+        of ``2**width``)."""
+        if not 0 < width <= self._width:
+            raise ValueError(f"cannot truncate width {self._width} to {width}")
+        mask = (1 << width) - 1
+        return RBNumber(width, self._plus & mask, self._minus & mask)
+
+    # -- dunder ----------------------------------------------------------------
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, RBNumber):
+            return NotImplemented
+        return (
+            self._width == other._width
+            and self._plus == other._plus
+            and self._minus == other._minus
+        )
+
+    def __hash__(self) -> int:
+        return hash((self._width, self._plus, self._minus))
+
+    def __repr__(self) -> str:
+        msd_first = ", ".join(str(d) for d in reversed(self.digits()))
+        return f"RBNumber<{msd_first}> (={self.value()})"
+
+
+def digits_valid(digits: Iterable[int]) -> bool:
+    """True if every digit is in the redundant binary digit set."""
+    return all(d in (-1, 0, 1) for d in digits)

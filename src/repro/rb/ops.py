@@ -1,0 +1,112 @@
+"""The non-add operations that work on redundant binary inputs (paper §3.6).
+
+Shifts left, scaled adds, trailing-zero counts, conditional tests, and
+quadword-to-longword extraction can all run directly on RB operands; byte
+manipulation, general logicals, right shifts, CTLZ and CTPOP cannot and
+must wait for a format conversion (that asymmetry is what Table 1 encodes
+and what the simulator's format rules enforce).
+"""
+
+from __future__ import annotations
+
+from repro.rb.adder import AddResult, rb_add
+from repro.rb.number import RBNumber
+from repro.rb.overflow import normalize_msd
+
+
+def shift_left_digits(number: RBNumber, amount: int) -> tuple[RBNumber, bool]:
+    """Shift left by ``amount`` digit positions (the RB analogue of SLL).
+
+    Digits shifted out the top contribute multiples of ``2**width`` and are
+    dropped; the result is then MSD-normalized so its sign matches the
+    wrapped two's-complement result (the paper's "change a most significant
+    1 to -1" rule, generalized to both signs).  Returns (result, overflow).
+    """
+    if amount < 0:
+        raise ValueError(f"shift amount must be non-negative, got {amount}")
+    width = number.width
+    amount = min(amount, width)
+    mask = (1 << width) - 1
+    shifted = RBNumber(
+        width,
+        (number.plus << amount) & mask,
+        (number.minus << amount) & mask,
+    )
+    return normalize_msd(shifted)
+
+
+def scaled_add(
+    scaled: RBNumber, addend: RBNumber, scale: int
+) -> AddResult:
+    """The Alpha SxADD: shift ``scaled`` left by ``scale`` digits, then add.
+
+    ``scale`` is 2 (S4ADD) or 3 (S8ADD) in the Alpha ISA but any
+    non-negative value is accepted.
+    """
+    shifted, _ = shift_left_digits(scaled, scale)
+    return rb_add(shifted, addend)
+
+
+def count_trailing_zero_digits(number: RBNumber) -> int:
+    """CTTZ on an RB operand: count trailing zero *digits*.
+
+    A digit is zero iff both encoding bits are clear, so this is a simple
+    priority scan of ``plus | minus``.  Matches CTTZ on the TC value
+    because the lowest non-zero digit determines the lowest set TC bit.
+    """
+    nonzero = number.plus | number.minus
+    if nonzero == 0:
+        return number.width
+    return (nonzero & -nonzero).bit_length() - 1
+
+
+def sign_of(number: RBNumber) -> int:
+    """Sign of an RB number: the sign of its most significant non-zero digit.
+
+    Returns -1, 0, or +1.  With digits in {-1, 0, 1} the top non-zero digit
+    always dominates the rest, so this test is exact — the extra circuit the
+    paper notes conditional moves/branches need.
+    """
+    nonzero = number.plus | number.minus
+    if nonzero == 0:
+        return 0
+    top = nonzero.bit_length() - 1
+    return number.digit(top)
+
+
+def is_zero(number: RBNumber) -> bool:
+    """Zero test: all digits zero (a wide OR, same as two's complement).
+
+    Zero has a unique RB representation: the top non-zero digit of any other
+    encoding contributes more than all lower digits can cancel.
+    """
+    return (number.plus | number.minus) == 0
+
+
+def is_negative(number: RBNumber) -> bool:
+    """True if the represented value is negative."""
+    return sign_of(number) < 0
+
+
+def lsb_set(number: RBNumber) -> bool:
+    """Test the least significant bit (for BLBC/BLBS, CMOVLBx).
+
+    The value is odd iff digit 0 is non-zero: a 2-input OR of the two bits
+    encoding the least significant digit (§3.6).
+    """
+    return ((number.plus | number.minus) & 1) != 0
+
+
+def extract_longword(number: RBNumber, long_width: int = 32) -> tuple[RBNumber, bool]:
+    """Quadword-to-longword forwarding (§3.6).
+
+    Truncates to the low ``long_width`` digits (dropping multiples of
+    ``2**long_width``) and applies the same bogus-overflow / MSD
+    normalization used at the full width, now at digit ``long_width``, so
+    the longword keeps the correct two's-complement sign.
+    """
+    if not 0 < long_width < number.width:
+        raise ValueError(
+            f"longword width {long_width} must be inside quadword width {number.width}"
+        )
+    return normalize_msd(number.truncated(long_width))

@@ -1,0 +1,69 @@
+"""Overflow handling for fixed-width redundant binary results (paper §3.5).
+
+Non-zero digits propagate toward the most significant digit faster in RB
+than in two's complement, so a chain of RB adds can produce a carry-out of
+the top digit even when the value still fits ("bogus overflow").  The fix
+exploits the identities <1,-1> == <0,1> and <-1,1> == <0,-1> at the
+(carry-out, MSD) pair.
+
+After bogus correction, genuine two's-complement overflow is detected and
+the most significant digit is adjusted so the stored representation equals
+the wrapped two's-complement result — flipping the MSD between -1 and +1
+changes the represented value by exactly 2**width, so it is the RB analogue
+of two's-complement wrap-around.  Keeping the representation wrapped is what
+makes the §3.6 sign tests (most significant non-zero digit) agree with
+two's-complement semantics.
+"""
+
+from __future__ import annotations
+
+from repro.rb.number import RBNumber
+
+
+def correct_bogus_overflow(carry: int, msd: int) -> tuple[int, int]:
+    """Apply the <1,-1> -> <0,1> / <-1,1> -> <0,-1> identity at the top digit.
+
+    ``carry`` is the carry out of the most significant digit and ``msd`` the
+    most significant digit itself.  Returns the corrected ``(carry, msd)``.
+    """
+    if carry not in (-1, 0, 1) or msd not in (-1, 0, 1):
+        raise ValueError(f"carry/msd must be redundant digits, got {carry}, {msd}")
+    if carry == 1 and msd == -1:
+        return 0, 1
+    if carry == -1 and msd == 1:
+        return 0, -1
+    return carry, msd
+
+
+def normalize_msd(number: RBNumber, carry: int = 0) -> tuple[RBNumber, bool]:
+    """Wrap a fixed-width RB result into two's-complement range.
+
+    Implements the three §3.5 overflow events:
+
+    1. carry out still non-zero after bogus-overflow correction;
+    2. MSD is -1 while the rest of the result is negative (true value below
+       ``-2**(width-1)``): flip the MSD to +1;
+    3. MSD is +1 while the rest is not negative (true value at or above
+       ``2**(width-1)``): flip the MSD to -1.
+
+    Returns ``(normalized, overflowed)``.  The normalized number's
+    represented value is congruent to the input value (+ carry * 2**width)
+    modulo ``2**width`` and always lies in two's-complement range, so its
+    sign matches two's-complement semantics.
+    """
+    width = number.width
+    carry, msd = correct_bogus_overflow(carry, number.msd())
+    number = number.with_digit(width - 1, msd)
+    overflow = carry != 0
+
+    value = number.value()
+    half = 1 << (width - 1)
+    if value >= half:
+        # Event 3: only an MSD of +1 can push the value this high.
+        number = number.with_digit(width - 1, -1)
+        overflow = True
+    elif value < -half:
+        # Event 2: only an MSD of -1 can push the value this low.
+        number = number.with_digit(width - 1, 1)
+        overflow = True
+    return number, overflow

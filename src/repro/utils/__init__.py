@@ -1,0 +1,30 @@
+"""Shared utilities: 64-bit two's-complement helpers, statistics, report tables."""
+
+from repro.utils.bitops import (
+    MASK64,
+    SIGN64,
+    bit,
+    extract_bits,
+    sign_extend,
+    to_signed,
+    to_unsigned,
+    wrap64,
+)
+from repro.utils.stats import Distribution, geometric_mean, harmonic_mean, mean
+from repro.utils.tables import format_table
+
+__all__ = [
+    "MASK64",
+    "SIGN64",
+    "bit",
+    "extract_bits",
+    "sign_extend",
+    "to_signed",
+    "to_unsigned",
+    "wrap64",
+    "Distribution",
+    "geometric_mean",
+    "harmonic_mean",
+    "mean",
+    "format_table",
+]

@@ -1,0 +1,76 @@
+"""Helpers for 64-bit two's-complement arithmetic on Python integers.
+
+The simulator stores architectural register values as unsigned 64-bit
+integers (``0 <= v < 2**64``).  These helpers convert between the signed
+and unsigned views and perform the bit surgery the ISA semantics need.
+"""
+
+from __future__ import annotations
+
+MASK64 = (1 << 64) - 1
+SIGN64 = 1 << 63
+MASK32 = (1 << 32) - 1
+
+
+def wrap64(value: int) -> int:
+    """Reduce an arbitrary Python int to its unsigned 64-bit representation."""
+    return value & MASK64
+
+
+def to_signed(value: int, width: int = 64) -> int:
+    """Interpret the low ``width`` bits of ``value`` as a signed integer."""
+    if width <= 0:
+        raise ValueError(f"width must be positive, got {width}")
+    mask = (1 << width) - 1
+    value &= mask
+    sign = 1 << (width - 1)
+    if value & sign:
+        return value - (1 << width)
+    return value
+
+
+def to_unsigned(value: int, width: int = 64) -> int:
+    """Interpret a signed integer as its unsigned ``width``-bit representation."""
+    if width <= 0:
+        raise ValueError(f"width must be positive, got {width}")
+    return value & ((1 << width) - 1)
+
+
+def sign_extend(value: int, from_width: int, to_width: int = 64) -> int:
+    """Sign-extend the low ``from_width`` bits of ``value`` to ``to_width`` bits."""
+    if not 0 < from_width <= to_width:
+        raise ValueError(f"invalid widths: from {from_width} to {to_width}")
+    return to_unsigned(to_signed(value, from_width), to_width)
+
+
+def bit(value: int, index: int) -> int:
+    """Return bit ``index`` of ``value`` (0 = least significant)."""
+    return (value >> index) & 1
+
+
+def extract_bits(value: int, low: int, count: int) -> int:
+    """Return ``count`` bits of ``value`` starting at bit ``low``."""
+    if count <= 0:
+        raise ValueError(f"count must be positive, got {count}")
+    return (value >> low) & ((1 << count) - 1)
+
+
+def count_leading_zeros(value: int, width: int = 64) -> int:
+    """Number of leading zero bits in the ``width``-bit representation."""
+    value &= (1 << width) - 1
+    if value == 0:
+        return width
+    return width - value.bit_length()
+
+
+def count_trailing_zeros(value: int, width: int = 64) -> int:
+    """Number of trailing zero bits in the ``width``-bit representation."""
+    value &= (1 << width) - 1
+    if value == 0:
+        return width
+    return (value & -value).bit_length() - 1
+
+
+def popcount(value: int, width: int = 64) -> int:
+    """Number of set bits in the ``width``-bit representation."""
+    return (value & ((1 << width) - 1)).bit_count()

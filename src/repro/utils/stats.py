@@ -1,0 +1,93 @@
+"""Statistics helpers used by the experiment harness.
+
+The paper reports arithmetic means of IPC for the per-suite figures and a
+harmonic mean over all 20 benchmarks for the limited-bypass study (Fig. 14).
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from collections.abc import Iterable, Mapping
+
+
+def mean(values: Iterable[float]) -> float:
+    """Arithmetic mean.  Raises ``ValueError`` on an empty sequence."""
+    values = list(values)
+    if not values:
+        raise ValueError("mean of empty sequence")
+    return sum(values) / len(values)
+
+
+def harmonic_mean(values: Iterable[float]) -> float:
+    """Harmonic mean; every value must be strictly positive."""
+    values = list(values)
+    if not values:
+        raise ValueError("harmonic mean of empty sequence")
+    if any(v <= 0 for v in values):
+        raise ValueError("harmonic mean requires strictly positive values")
+    return len(values) / sum(1.0 / v for v in values)
+
+
+def geometric_mean(values: Iterable[float]) -> float:
+    """Geometric mean; every value must be strictly positive."""
+    values = list(values)
+    if not values:
+        raise ValueError("geometric mean of empty sequence")
+    if any(v <= 0 for v in values):
+        raise ValueError("geometric mean requires strictly positive values")
+    product = 1.0
+    for v in values:
+        product *= v
+    return product ** (1.0 / len(values))
+
+
+class Distribution:
+    """A counter over categorical outcomes with fraction reporting.
+
+    Used for e.g. the Figure 13 bypass-case breakdown and the Section 5.2
+    bypass-level usage histogram.
+    """
+
+    def __init__(self) -> None:
+        self._counts: Counter = Counter()
+
+    def record(self, category: object, amount: int = 1) -> None:
+        """Add ``amount`` observations of ``category``."""
+        self._counts[category] += amount
+
+    @property
+    def total(self) -> int:
+        """Total number of observations."""
+        return sum(self._counts.values())
+
+    def count(self, category: object) -> int:
+        """Observations of ``category`` (0 if never seen)."""
+        return self._counts.get(category, 0)
+
+    def fraction(self, category: object) -> float:
+        """Fraction of observations in ``category`` (0.0 if empty)."""
+        total = self.total
+        if total == 0:
+            return 0.0
+        return self._counts.get(category, 0) / total
+
+    def fractions(self) -> dict:
+        """Mapping of category -> fraction, sorted by descending count."""
+        total = self.total
+        if total == 0:
+            return {}
+        return {
+            category: count / total
+            for category, count in self._counts.most_common()
+        }
+
+    def merge(self, other: "Distribution") -> None:
+        """Fold another distribution's counts into this one."""
+        self._counts.update(other._counts)
+
+    def as_dict(self) -> Mapping[object, int]:
+        """Raw counts as a plain dict."""
+        return dict(self._counts)
+
+    def __repr__(self) -> str:
+        return f"Distribution({dict(self._counts.most_common())})"

@@ -1,0 +1,77 @@
+"""Plain-text table rendering for the experiment harness.
+
+All the paper's figures are bar charts of IPC; the harness renders them as
+aligned text tables (one row per benchmark, one column per machine) plus an
+ASCII bar series, so the "figure" can be regenerated and diffed in CI.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    title: str | None = None,
+) -> str:
+    """Render rows as an aligned, pipe-separated text table."""
+    str_rows = [[_cell(value) for value in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        if len(row) != len(headers):
+            raise ValueError(
+                f"row has {len(row)} cells, expected {len(headers)}: {row}"
+            )
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+
+    def line(cells: Sequence[str]) -> str:
+        return " | ".join(cell.ljust(width) for cell, width in zip(cells, widths)).rstrip()
+
+    out = []
+    if title:
+        out.append(title)
+    out.append(line(headers))
+    out.append("-+-".join("-" * width for width in widths))
+    out.extend(line(row) for row in str_rows)
+    return "\n".join(out)
+
+
+def format_bar_chart(
+    labels: Sequence[str],
+    series: dict,
+    width: int = 40,
+    title: str | None = None,
+) -> str:
+    """Render grouped horizontal ASCII bars.
+
+    ``series`` maps a series name (e.g. machine name) to one value per label
+    (e.g. per benchmark).  Bars are scaled to the global maximum.
+    """
+    if not series:
+        raise ValueError("no series to chart")
+    for name, values in series.items():
+        if len(values) != len(labels):
+            raise ValueError(
+                f"series {name!r} has {len(values)} values for {len(labels)} labels"
+            )
+    peak = max(max(values) for values in series.values())
+    if peak <= 0:
+        peak = 1.0
+    label_width = max(len(s) for s in list(labels) + list(series))
+    out = []
+    if title:
+        out.append(title)
+    for i, label in enumerate(labels):
+        out.append(f"{label}:")
+        for name, values in series.items():
+            bar = "#" * max(1, round(values[i] / peak * width))
+            out.append(f"  {name.ljust(label_width)} {bar} {values[i]:.3f}")
+    return "\n".join(out)
+
+
+def _cell(value: object) -> str:
+    if isinstance(value, float):
+        return f"{value:.3f}"
+    return str(value)

@@ -1,0 +1,36 @@
+"""Benchmark kernels standing in for SPECint95 / SPECint2000 (see DESIGN.md §2).
+
+Each workload is a hand-written assembly kernel implementing a real
+algorithm reminiscent of the SPEC program it is named after, so dependence
+chains, branch behaviour and instruction mix arise organically.  The suite
+registry maps names to assembled programs; :mod:`repro.workloads.generators`
+provides synthetic kernels with controlled ILP for targeted studies.
+"""
+
+from repro.workloads.generators import (
+    dependent_chain_program,
+    independent_chains_program,
+    conversion_chain_program,
+    pointer_chase_program,
+)
+from repro.workloads.suite import (
+    Workload,
+    all_workloads,
+    build,
+    get_workload,
+    spec95_names,
+    spec2000_names,
+)
+
+__all__ = [
+    "Workload",
+    "all_workloads",
+    "build",
+    "get_workload",
+    "spec95_names",
+    "spec2000_names",
+    "dependent_chain_program",
+    "independent_chains_program",
+    "conversion_chain_program",
+    "pointer_chase_program",
+]

@@ -1,0 +1,138 @@
+"""Synthetic workload generators with controlled dependence structure.
+
+These are not SPEC stand-ins; they exist to probe single mechanisms:
+
+* :func:`dependent_chain_program` — a serial chain of adds: the pure
+  latency-bound case where redundant binary adders shine most.
+* :func:`independent_chains_program` — many parallel chains: the
+  bandwidth-bound case where the Baseline's pipelined adders keep up.
+* :func:`conversion_chain_program` — alternating add/logical on the
+  critical path: every other edge needs an RB -> TC format conversion.
+* :func:`pointer_chase_program` — a linked-list walk: memory-latency
+  bound, insensitive to ALU latency.
+"""
+
+from __future__ import annotations
+
+from repro.isa.assembler import assemble
+from repro.isa.program import Program
+
+
+def dependent_chain_program(iterations: int = 2000, chain_length: int = 4) -> Program:
+    """One serial add chain of ``chain_length`` per loop iteration."""
+    if iterations <= 0 or chain_length <= 0:
+        raise ValueError("iterations and chain_length must be positive")
+    body = "\n".join(
+        "    add   r2, #1, r2" for _ in range(chain_length)
+    )
+    source = f"""
+    .text
+main:
+    lda   r2, 0(zero)
+    lda   r3, {iterations}(zero)
+loop:
+{body}
+    sub   r3, #1, r3
+    bgt   r3, loop
+    halt
+"""
+    return assemble(source, f"chain{chain_length}x{iterations}")
+
+
+def independent_chains_program(iterations: int = 2000, chains: int = 6) -> Program:
+    """``chains`` independent accumulators per iteration (high ILP)."""
+    if iterations <= 0 or not 1 <= chains <= 20:
+        raise ValueError("iterations positive; chains in [1, 20]")
+    regs = [f"r{4 + i}" for i in range(chains)]
+    setup = "\n".join(f"    lda   {r}, {i}(zero)" for i, r in enumerate(regs))
+    body = "\n".join(f"    add   {r}, #1, {r}" for r in regs)
+    source = f"""
+    .text
+main:
+{setup}
+    lda   r3, {iterations}(zero)
+loop:
+{body}
+    sub   r3, #1, r3
+    bgt   r3, loop
+    halt
+"""
+    return assemble(source, f"ilp{chains}x{iterations}")
+
+
+def conversion_chain_program(iterations: int = 2000) -> Program:
+    """A serial chain alternating RB-producing adds and TC-only logicals."""
+    if iterations <= 0:
+        raise ValueError("iterations must be positive")
+    source = f"""
+    .text
+main:
+    lda   r2, 1(zero)
+    lda   r3, {iterations}(zero)
+loop:
+    add   r2, #3, r2
+    and   r2, #8191, r2
+    add   r2, #5, r2
+    xor   r2, #85, r2
+    sub   r3, #1, r3
+    bgt   r3, loop
+    halt
+"""
+    return assemble(source, f"convchain{iterations}")
+
+
+def pointer_chase_program(nodes: int = 512, laps: int = 20) -> Program:
+    """Walk a ring of linked nodes ``laps`` times (memory-latency bound).
+
+    The ring is built with a stride that defeats spatial locality in the
+    8 KB data cache, so most hops hit the L2.
+    """
+    if not 2 <= nodes <= 4096 or laps <= 0:
+        raise ValueError("nodes in [2, 4096]; laps positive")
+    stride = 136  # not a multiple of the 64B line: spreads over sets
+    source = f"""
+    .data
+ring:   .space {nodes * stride + 8}
+    .text
+main:
+    ; build the ring: node i at ring + (i * 7919 % {nodes}) * {stride}
+    lda   r1, 0(zero)            ; i
+    lda   r2, ring
+    lda   r10, 0(zero)           ; prev node address
+build:
+    mul   r1, #7919, r3
+    lda   r4, {nodes}(zero)
+loop_mod:
+    cmplt r3, r4, r5
+    bne   r5, mod_done
+    sub   r3, r4, r3
+    br    loop_mod
+mod_done:
+    mul   r3, #{stride}, r6
+    add   r2, r6, r7             ; this node's address
+    beq   r1, first
+    stq   r7, 0(r10)             ; prev->next = this
+    br    linked
+first:
+    mov   r7, r8                 ; remember the head
+linked:
+    mov   r7, r10
+    add   r1, #1, r1
+    cmplt r1, #{nodes}, r5
+    bne   r5, build
+    stq   r8, 0(r10)             ; close the ring
+
+    ; chase it
+    lda   r11, {laps}(zero)
+    mov   r8, r12
+    lda   r13, {nodes}(zero)
+chase:
+    ldq   r12, 0(r12)
+    sub   r13, #1, r13
+    bgt   r13, chase
+    lda   r13, {nodes}(zero)
+    sub   r11, #1, r11
+    bgt   r11, chase
+    halt
+"""
+    return assemble(source, f"chase{nodes}x{laps}")

@@ -1,0 +1,1 @@
+"""SPECint2000-like benchmark kernels (see DESIGN.md §2 for the substitution)."""

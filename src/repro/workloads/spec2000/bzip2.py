@@ -1,0 +1,81 @@
+"""bzip2: move-to-front coding of a skewed symbol stream.
+
+Mirrors 256.bzip2's MTF stage: for each input symbol, scan the recency
+list for its position (serial, data-dependent loop), shift the preceding
+entries down, move the symbol to the front, and emit the position.  The
+scan length depends on symbol skew, so branch behaviour is irregular.
+"""
+
+DESCRIPTION = "move-to-front recency-list coding with data-dependent scans (256.bzip2)"
+
+SOURCE = """
+; bzip2-like kernel
+    .data
+mtf:      .space 256             ; 32-entry recency list, one quad each
+syms:     .space 2048            ; 256 symbols x 8
+checksum: .quad 0
+    .text
+main:
+    ; recency list starts as identity
+    lda   r1, 0(zero)
+    lda   r2, mtf
+ident:
+    s8add r1, r2, r3
+    stq   r1, 0(r3)
+    add   r1, #1, r1
+    cmplt r1, #32, r4
+    bne   r4, ident
+
+    ; skewed symbols: AND of two 5-bit LCG fields biases toward 0
+    lda   r1, syms
+    lda   r5, 256(zero)
+    lda   r3, 6502(zero)
+gen:
+    mul   r3, #25173, r3
+    add   r3, #13849, r3
+    srl   r3, #3, r6
+    and   r6, #31, r6
+    srl   r3, #9, r7
+    and   r7, #31, r7
+    and   r6, r7, r6
+    stq   r6, 0(r1)
+    lda   r1, 8(r1)
+    sub   r5, #1, r5
+    bgt   r5, gen
+
+    lda   r1, syms
+    lda   r5, 256(zero)
+    lda   r20, mtf
+    lda   r21, 0(zero)           ; output accumulator
+encode:
+    ldq   r6, 0(r1)              ; symbol
+    ; find its position in the recency list
+    lda   r7, 0(zero)
+scan:
+    s8add r7, r20, r8
+    ldq   r9, 0(r8)
+    cmpeq r9, r6, r10
+    bne   r10, foundpos
+    add   r7, #1, r7
+    br    scan
+foundpos:
+    add   r21, r7, r21           ; emit the position
+    ; shift entries 0..pos-1 down one slot (back to front)
+    beq   r7, placed
+shift:
+    sub   r7, #1, r11
+    s8add r11, r20, r12
+    ldq   r13, 0(r12)
+    s8add r7, r20, r14
+    stq   r13, 0(r14)
+    mov   r11, r7
+    bgt   r7, shift
+placed:
+    stq   r6, 0(r20)             ; symbol moves to the front
+    lda   r1, 8(r1)
+    sub   r5, #1, r5
+    bgt   r5, encode
+
+    stq   r21, checksum
+    halt
+"""

@@ -1,0 +1,54 @@
+"""crafty: bitboard manipulation — population counts and LSB extraction.
+
+Mirrors 186.crafty's move generation: combine 64-bit piece bitboards with
+logicals, score occupancy with CTPOP, and walk set bits with the classic
+CTTZ / clear-lowest-bit loop.  Dominated by the Table 1 "Other" class
+(logicals, counts) — the workload where redundant binary helps least.
+"""
+
+DESCRIPTION = "bitboard logicals, CTPOP scoring, CTTZ set-bit walks (186.crafty)"
+
+SOURCE = """
+; crafty-like kernel
+    .data
+checksum: .quad 0
+    .text
+main:
+    lda   r3, 9731(zero)         ; LCG
+    lda   r2, 400(zero)          ; positions to evaluate
+    lda   r21, 0(zero)           ; score
+position:
+    ; two pseudo-random bitboards
+    mul   r3, #25173, r3
+    add   r3, #13849, r3
+    mov   r3, r5
+    mul   r3, #25173, r3
+    add   r3, #13849, r3
+    mov   r3, r6
+    ; occupancy and attack masks
+    bis   r5, r6, r7             ; occupied
+    and   r5, r6, r8             ; contested
+    xor   r5, r6, r9             ; exclusive
+    sll   r8, #1, r10            ; attack spread (digit shift)
+    bic   r7, r10, r7
+    ; material score
+    ctpop r7, r11
+    add   r21, r11, r21
+    ctpop r8, r11
+    s4add r11, r21, r21
+    ; walk the set bits of the 16-bit windowed exclusive mask
+    and   r9, #65535, r12
+bits:
+    beq   r12, donebits
+    cttz  r12, r13               ; index of lowest set bit
+    add   r21, r13, r21
+    sub   r12, #1, r14           ; clear the lowest set bit:
+    and   r12, r14, r12          ;   b &= b - 1
+    br    bits
+donebits:
+    sub   r2, #1, r2
+    bgt   r2, position
+
+    stq   r21, checksum
+    halt
+"""

@@ -1,0 +1,69 @@
+"""eon: fixed-point ray intersection tests — dot products and minima.
+
+Mirrors 252.eon's geometric inner loops (in fixed point, as our ISA has no
+floating point unit): per ray, a 3-component dot product against a stored
+normal (multiplies feeding an add tree), a scale by shift, and a
+running-minimum update via compare + conditional move.  FADD-class
+operations accumulate the image statistics, exercising the Table 3 fp
+latency rows.
+"""
+
+DESCRIPTION = "fixed-point dot products with cmov running minima (252.eon)"
+
+SOURCE = """
+; eon-like kernel
+    .data
+normals:  .space 18432           ; 768 triangles x 3 components x 8
+checksum: .quad 0
+    .text
+main:
+    lda   r1, normals
+    lda   r2, 2304(zero)         ; quads
+    lda   r3, 1337(zero)
+fill:
+    mul   r3, #25173, r3
+    add   r3, #13849, r3
+    and   r3, #4095, r4
+    sub   r4, #2048, r4          ; signed components
+    stq   r4, 0(r1)
+    lda   r1, 8(r1)
+    sub   r2, #1, r2
+    bgt   r2, fill
+
+    lda   r20, normals
+    lda   r2, 768(zero)          ; rays
+    lda   r21, 32767(zero)       ; best (min) distance so far
+    lda   r22, 0(zero)           ; fp accumulator
+    lda   r5, 100(zero)          ; ray direction x
+    lda   r6, -57(zero)          ; ray direction y
+    lda   r7, 23(zero)           ; ray direction z
+    lda   r23, 0(zero)           ; triangle index
+ray:
+    mul   r23, #24, r8
+    add   r20, r8, r8            ; normal address
+    ldq   r9, 0(r8)
+    ldq   r10, 8(r8)
+    ldq   r11, 16(r8)
+    mul   r9, r5, r12
+    mul   r10, r6, r13
+    mul   r11, r7, r14
+    add   r12, r13, r15
+    add   r15, r14, r15          ; dot product
+    sra   r15, #6, r15           ; fixed-point scale
+    ; distance = |dot| via conditional negate
+    sub   zero, r15, r16
+    cmovlt r15, r16, r15
+    ; track the minimum
+    cmplt r15, r21, r17
+    cmovne r17, r15, r21
+    ; fp-class accumulation of the shading term
+    fadd  r22, r15, r22
+    add   r23, #1, r23
+    and   r23, #767, r23
+    sub   r2, #1, r2
+    bgt   r2, ray
+
+    add   r21, r22, r24
+    stq   r24, checksum
+    halt
+"""

@@ -1,0 +1,63 @@
+"""gap: multi-precision integer addition — the serial carry chain.
+
+Mirrors 254.gap's bignum kernels: 128-digit (64-bit limb) numbers added
+limb by limb with explicit carry propagation.  The carry makes each limb
+depend on the previous one — a long serial add chain, the best case for
+1-cycle redundant binary adders over 2-cycle pipelined ones.
+"""
+
+DESCRIPTION = "128-limb bignum addition with serial carry chains (254.gap)"
+
+SOURCE = """
+; gap-like kernel
+    .data
+biga:     .space 1024            ; 128 limbs
+bigb:     .space 1024
+checksum: .quad 0
+    .text
+main:
+    ; initialize both numbers with large limbs (to force real carries)
+    lda   r1, biga
+    lda   r2, bigb
+    lda   r4, 128(zero)
+    lda   r3, 90210(zero)
+fill:
+    mul   r3, #25173, r3
+    add   r3, #13849, r3
+    stq   r3, 0(r1)
+    mul   r3, #25173, r3
+    add   r3, #13849, r3
+    stq   r3, 0(r2)
+    lda   r1, 8(r1)
+    lda   r2, 8(r2)
+    sub   r4, #1, r4
+    bgt   r4, fill
+
+    lda   r20, 24(zero)          ; passes: a += b, 24 times
+pass:
+    lda   r1, biga
+    lda   r2, bigb
+    lda   r4, 128(zero)
+    lda   r5, 0(zero)            ; carry in
+limb:
+    ldq   r6, 0(r1)
+    ldq   r7, 0(r2)
+    add   r6, r7, r8             ; partial sum
+    cmpult r8, r6, r9            ; carry out of the partial
+    add   r8, r5, r10            ; + incoming carry
+    cmpult r10, r8, r11          ; carry out of the carry add
+    bis   r9, r11, r5            ; next carry
+    stq   r10, 0(r1)
+    lda   r1, 8(r1)
+    lda   r2, 8(r2)
+    sub   r4, #1, r4
+    bgt   r4, limb
+    sub   r20, #1, r20
+    bgt   r20, pass
+
+    ; checksum: the top limb
+    lda   r1, biga
+    ldq   r2, 1016(r1)
+    stq   r2, checksum
+    halt
+"""

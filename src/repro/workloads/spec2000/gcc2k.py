@@ -1,0 +1,90 @@
+"""gcc (SPECint2000): symbol tables with chain surgery.
+
+Like the 126.gcc kernel but with the CSE-style table maintenance of
+176.gcc: denser buckets (32 buckets for 320 symbols, so chains are
+longer), a lookup storm, and a dead-symbol sweep that unlinks every node
+with an odd key — pointer rewrites through the chain.
+"""
+
+DESCRIPTION = "hash chains with lookup storm and unlink sweep (176.gcc)"
+
+SOURCE = """
+; gcc2000-like kernel
+    .data
+buckets:  .space 256             ; 32 buckets x 8
+pool:     .space 8192            ; 512 nodes x 16 (key, next)
+checksum: .quad 0
+    .text
+main:
+    lda   r1, 0(zero)
+    lda   r2, pool
+    lda   r3, 31337(zero)
+    lda   r4, buckets
+insert:
+    mul   r3, #25173, r3
+    add   r3, #13849, r3
+    srl   r3, #3, r5
+    and   r5, #2047, r5          ; key
+    and   r5, #31, r6            ; bucket
+    s8add r6, r4, r7
+    ldq   r8, 0(r7)
+    stq   r5, 0(r2)
+    stq   r8, 8(r2)
+    stq   r2, 0(r7)
+    lda   r2, 16(r2)
+    add   r1, #1, r1
+    cmplt r1, #320, r9
+    bne   r9, insert
+
+    ; lookup storm
+    lda   r1, 0(zero)
+    lda   r10, 0(zero)
+    lda   r11, 2001(zero)
+lookup:
+    mul   r11, #25173, r11
+    add   r11, #13849, r11
+    srl   r11, #3, r5
+    and   r5, #2047, r5
+    and   r5, #31, r6
+    s8add r6, r4, r7
+    ldq   r12, 0(r7)
+walk:
+    beq   r12, miss
+    ldq   r13, 0(r12)
+    cmpeq r13, r5, r14
+    bne   r14, found
+    ldq   r12, 8(r12)
+    br    walk
+found:
+    add   r10, #1, r10
+miss:
+    add   r1, #1, r1
+    cmplt r1, #768, r9
+    bne   r9, lookup
+
+    ; sweep: unlink nodes with odd keys from every bucket
+    lda   r1, 0(zero)            ; bucket index
+sweep:
+    s8add r1, r4, r7             ; address of the link to rewrite
+    ldq   r12, 0(r7)             ; candidate node
+prune:
+    beq   r12, nextbucket
+    ldq   r13, 0(r12)            ; key
+    blbs  r13, unlink
+    lda   r7, 8(r12)             ; the link now lives in this node
+    ldq   r12, 8(r12)
+    br    prune
+unlink:
+    ldq   r14, 8(r12)            ; successor
+    stq   r14, 0(r7)             ; link skips the dead node
+    add   r10, #1, r10
+    mov   r14, r12
+    br    prune
+nextbucket:
+    add   r1, #1, r1
+    cmplt r1, #32, r9
+    bne   r9, sweep
+
+    stq   r10, checksum
+    halt
+"""

@@ -1,0 +1,88 @@
+"""gzip: LZ77 sliding-window match finding.
+
+Mirrors 164.gzip's deflate inner loop: hash the 2-byte prefix at each
+position, look up the most recent earlier occurrence, extend the match
+byte by byte (data-dependent loop length), and update the head table.
+Byte extraction everywhere; the match-extension branch is hard to
+predict.
+"""
+
+DESCRIPTION = "LZ77 hash-head match finding with byte-wise extension (164.gzip)"
+
+SOURCE = """
+; gzip-like kernel
+    .data
+input:    .space 1032            ; 1024 bytes + slack for match probes
+head:     .space 2048            ; 256 hash heads x 8 (position + 1; 0 = none)
+checksum: .quad 0
+    .text
+main:
+    lda   r1, input
+    lda   r2, 129(zero)          ; fill 1032 bytes
+    lda   r3, 77345(zero)
+fill:
+    mul   r3, #25173, r3
+    add   r3, #13849, r3
+    and   r3, #168430090, r4     ; sparse byte alphabet -> real matches
+    stq   r4, 0(r1)
+    lda   r1, 8(r1)
+    sub   r2, #1, r2
+    bgt   r2, fill
+
+    lda   r20, input
+    lda   r21, head
+    lda   r6, 0(zero)            ; position
+    lda   r22, 0(zero)           ; total matched bytes
+pos:
+    ; load byte pair at the current position
+    bic   r6, #7, r9
+    add   r20, r9, r8
+    ldq   r8, 0(r8)
+    and   r6, #7, r9
+    extb  r8, r9, r10            ; b0
+    add   r6, #1, r11
+    bic   r11, #7, r9
+    add   r20, r9, r8
+    ldq   r8, 0(r8)
+    and   r11, #7, r9
+    extb  r8, r9, r12            ; b1
+    ; hash and head lookup
+    sll   r10, #4, r13
+    xor   r13, r12, r13
+    and   r13, #255, r13
+    s8add r13, r21, r14
+    ldq   r15, 0(r14)            ; previous position + 1
+    add   r6, #1, r16
+    stq   r16, 0(r14)            ; update head
+    beq   r15, nomatch
+    ; extend the match up to 4 bytes
+    sub   r15, #1, r15           ; candidate position
+    lda   r17, 0(zero)           ; match length
+extend:
+    add   r15, r17, r9
+    bic   r9, #7, r5
+    add   r20, r5, r8
+    ldq   r8, 0(r8)
+    and   r9, #7, r5
+    extb  r8, r5, r18            ; candidate byte
+    add   r6, r17, r9
+    bic   r9, #7, r5
+    add   r20, r5, r8
+    ldq   r8, 0(r8)
+    and   r9, #7, r5
+    extb  r8, r5, r19            ; current byte
+    cmpeq r18, r19, r5
+    beq   r5, extended
+    add   r17, #1, r17
+    cmplt r17, #4, r5
+    bne   r5, extend
+extended:
+    add   r22, r17, r22
+nomatch:
+    add   r6, #1, r6
+    cmplt r6, #1024, r5
+    bne   r5, pos
+
+    stq   r22, checksum
+    halt
+"""

@@ -1,0 +1,89 @@
+"""mcf: network-simplex arc scanning — reduced costs and sparse updates.
+
+Mirrors 181.mcf's pricing loop: for every arc, load its cost and its two
+node indices, chase the node potentials through a second level of loads
+(load-dependent loads), compute the reduced cost, and conditionally pump
+flow and adjust a potential.  Memory-latency bound with mispredictable
+sign branches.
+"""
+
+DESCRIPTION = "arc pricing with load-dependent potential lookups (181.mcf)"
+
+SOURCE = """
+; mcf-like kernel
+    .data
+arcs:     .space 16384           ; 512 arcs x 32 (cost, flow, src, dst)
+pots:     .space 512             ; 64 node potentials
+checksum: .quad 0
+    .text
+main:
+    ; arcs with random costs and endpoints
+    lda   r1, arcs
+    lda   r2, 512(zero)
+    lda   r3, 18111(zero)
+genarc:
+    mul   r3, #25173, r3
+    add   r3, #13849, r3
+    and   r3, #1023, r4
+    sub   r4, #512, r4           ; signed cost
+    stq   r4, 0(r1)
+    stq   zero, 8(r1)            ; flow = 0
+    srl   r3, #11, r5
+    and   r5, #63, r5
+    stq   r5, 16(r1)             ; source node
+    srl   r3, #17, r6
+    and   r6, #63, r6
+    stq   r6, 24(r1)             ; destination node
+    lda   r1, 32(r1)
+    sub   r2, #1, r2
+    bgt   r2, genarc
+
+    ; potentials
+    lda   r1, pots
+    lda   r2, 64(zero)
+potfill:
+    mul   r3, #25173, r3
+    add   r3, #13849, r3
+    and   r3, #255, r4
+    stq   r4, 0(r1)
+    lda   r1, 8(r1)
+    sub   r2, #1, r2
+    bgt   r2, potfill
+
+    lda   r20, arcs
+    lda   r21, pots
+    lda   r22, 0(zero)           ; pumped flow total
+    lda   r23, 3(zero)           ; passes
+pass:
+    mov   r20, r1                ; arc cursor
+    lda   r2, 512(zero)
+arc:
+    ldq   r4, 0(r1)              ; cost
+    ldq   r5, 16(r1)             ; source index
+    ldq   r6, 24(r1)             ; destination index
+    s8add r5, r21, r7
+    ldq   r7, 0(r7)              ; pot[src]   (load-dependent load)
+    s8add r6, r21, r8
+    ldq   r8, 0(r8)              ; pot[dst]
+    sub   r4, r7, r9
+    add   r9, r8, r9             ; reduced cost
+    bge   r9, nopump
+    ; negative reduced cost: pump one unit and raise the dst potential
+    ldq   r10, 8(r1)
+    add   r10, #1, r10
+    stq   r10, 8(r1)
+    s8add r6, r21, r11
+    ldq   r12, 0(r11)
+    add   r12, #1, r12
+    stq   r12, 0(r11)
+    add   r22, #1, r22
+nopump:
+    lda   r1, 32(r1)
+    sub   r2, #1, r2
+    bgt   r2, arc
+    sub   r23, #1, r23
+    bgt   r23, pass
+
+    stq   r22, checksum
+    halt
+"""

@@ -1,0 +1,69 @@
+"""parser: dictionary word lookup by binary search.
+
+Mirrors 197.parser's dictionary probing: a sorted 256-entry dictionary is
+binary-searched for each of 320 query tokens.  Every comparison branch is
+essentially unpredictable (it depends on the random query), making this
+the most branch-hostile kernel in the suite.
+"""
+
+DESCRIPTION = "binary search over a sorted dictionary, branch-hostile (197.parser)"
+
+SOURCE = """
+; parser-like kernel
+    .data
+dict:     .space 2048            ; 256 sorted keys
+checksum: .quad 0
+    .text
+main:
+    ; strictly increasing keys: key[i] = 16*i + jitter(0..7)
+    lda   r1, dict
+    lda   r2, 0(zero)            ; i
+    lda   r3, 55221(zero)
+builddict:
+    mul   r3, #25173, r3
+    add   r3, #13849, r3
+    and   r3, #7, r4
+    sll   r2, #4, r5
+    add   r5, r4, r5
+    stq   r5, 0(r1)
+    lda   r1, 8(r1)
+    add   r2, #1, r2
+    cmplt r2, #256, r6
+    bne   r6, builddict
+
+    lda   r20, dict
+    lda   r21, 0(zero)           ; found count
+    lda   r2, 320(zero)          ; queries
+query:
+    mul   r3, #25173, r3
+    add   r3, #13849, r3
+    srl   r3, #5, r4
+    and   r4, #4095, r4          ; token in [0, 4096)
+    lda   r5, 0(zero)            ; lo
+    lda   r6, 256(zero)          ; hi
+search:
+    sub   r6, r5, r7
+    cmple r7, #1, r8
+    bne   r8, done
+    srl   r7, #1, r9             ; mid = lo + (hi - lo)/2
+    add   r5, r9, r9             ; mid
+    s8add r9, r20, r10
+    ldq   r11, 0(r10)            ; dict[mid]
+    cmple r11, r4, r12
+    beq   r12, golow
+    mov   r9, r5                 ; lo = mid
+    br    search
+golow:
+    mov   r9, r6                 ; hi = mid
+    br    search
+done:
+    s8add r5, r20, r10
+    ldq   r11, 0(r10)
+    cmpeq r11, r4, r12
+    add   r21, r12, r21
+    sub   r2, #1, r2
+    bgt   r2, query
+
+    stq   r21, checksum
+    halt
+"""

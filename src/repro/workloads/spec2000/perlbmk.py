@@ -1,0 +1,69 @@
+"""perlbmk: regular-expression matching as a table-driven DFA.
+
+Mirrors 253.perlbmk's regex engines: a 32-state x 16-symbol transition
+table drives 2500 input characters through the automaton; accepting
+states bump a counter.  The next-state load depends on the previous one —
+a serial load + address-arithmetic chain.
+"""
+
+DESCRIPTION = "table-driven DFA over a character stream (253.perlbmk)"
+
+SOURCE = """
+; perlbmk-like kernel
+    .data
+dfa:      .space 4096            ; 32 states x 16 symbols x 8
+text:     .space 2504
+checksum: .quad 0
+    .text
+main:
+    ; transition table: pseudo-random next states, state 0 marked accepting
+    lda   r1, dfa
+    lda   r2, 512(zero)
+    lda   r3, 60622(zero)
+gentab:
+    mul   r3, #25173, r3
+    add   r3, #13849, r3
+    srl   r3, #7, r4
+    and   r4, #31, r4            ; next state
+    stq   r4, 0(r1)
+    lda   r1, 8(r1)
+    sub   r2, #1, r2
+    bgt   r2, gentab
+
+    lda   r1, text
+    lda   r2, 313(zero)          ; 2504 bytes
+    lda   r3, 424242(zero)
+gentext:
+    mul   r3, #25173, r3
+    add   r3, #13849, r3
+    stq   r3, 0(r1)
+    lda   r1, 8(r1)
+    sub   r2, #1, r2
+    bgt   r2, gentext
+
+    lda   r20, dfa
+    lda   r21, text
+    lda   r5, 0(zero)            ; state
+    lda   r6, 0(zero)            ; char index
+    lda   r22, 0(zero)           ; accept count
+step:
+    bic   r6, #7, r9
+    add   r21, r9, r8
+    ldq   r8, 0(r8)
+    and   r6, #7, r9
+    extb  r8, r9, r10            ; character
+    and   r10, #15, r10          ; symbol class
+    ; index = (state*16 + symbol) * 8
+    sll   r5, #4, r11
+    add   r11, r10, r11
+    s8add r11, r20, r12
+    ldq   r5, 0(r12)             ; next state (serial dependence)
+    cmpeq r5, #0, r13
+    add   r22, r13, r22          ; accepting state counter
+    add   r6, #1, r6
+    cmplt r6, #2500, r14
+    bne   r14, step
+
+    stq   r22, checksum
+    halt
+"""

@@ -1,0 +1,77 @@
+"""twolf: simulated-annealing placement moves.
+
+Mirrors 300.twolf's inner loop: pick two cells, compute the wirelength
+delta of swapping them (absolute differences via conditional negation),
+accept improving moves and a pseudo-random fraction of worsening ones,
+and commit accepted swaps back to memory.
+"""
+
+DESCRIPTION = "annealing swap evaluation with |dx|+|dy| deltas and cmov (300.twolf)"
+
+SOURCE = """
+; twolf-like kernel
+    .data
+cells:    .space 4096            ; 256 cells x 16 (x, y)
+checksum: .quad 0
+    .text
+main:
+    lda   r1, cells
+    lda   r2, 256(zero)
+    lda   r3, 300300(zero)
+gen:
+    mul   r3, #25173, r3
+    add   r3, #13849, r3
+    and   r3, #1023, r4
+    stq   r4, 0(r1)              ; x
+    srl   r3, #10, r5
+    and   r5, #1023, r5
+    stq   r5, 8(r1)              ; y
+    lda   r1, 16(r1)
+    sub   r2, #1, r2
+    bgt   r2, gen
+
+    lda   r20, cells
+    lda   r21, 0(zero)           ; accepted moves
+    lda   r2, 1024(zero)         ; iterations
+move:
+    mul   r3, #25173, r3
+    add   r3, #13849, r3
+    srl   r3, #3, r4
+    and   r4, #255, r4           ; cell a
+    srl   r3, #12, r5
+    and   r5, #255, r5           ; cell b
+    sll   r4, #4, r6
+    add   r20, r6, r6            ; &cells[a]
+    sll   r5, #4, r7
+    add   r20, r7, r7            ; &cells[b]
+    ldq   r8, 0(r6)              ; ax
+    ldq   r9, 8(r6)              ; ay
+    ldq   r10, 0(r7)             ; bx
+    ldq   r11, 8(r7)             ; by
+    ; delta = |ax-bx| + |ay-by|
+    sub   r8, r10, r12
+    sub   zero, r12, r13
+    cmovlt r12, r13, r12         ; |dx|
+    sub   r9, r11, r14
+    sub   zero, r14, r15
+    cmovlt r14, r15, r14         ; |dy|
+    add   r12, r14, r16          ; move cost
+    ; accept if cost below a cooling threshold or random bit set
+    srl   r3, #20, r17
+    and   r17, #1, r17
+    cmplt r16, #512, r18
+    bis   r17, r18, r18
+    beq   r18, rejectmove
+    ; commit the swap
+    stq   r10, 0(r6)
+    stq   r11, 8(r6)
+    stq   r8, 0(r7)
+    stq   r9, 8(r7)
+    add   r21, #1, r21
+rejectmove:
+    sub   r2, #1, r2
+    bgt   r2, move
+
+    stq   r21, checksum
+    halt
+"""

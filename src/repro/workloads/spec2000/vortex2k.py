@@ -1,0 +1,82 @@
+"""vortex (SPECint2000): smaller records, heavier validation.
+
+A variant of the 147.vortex kernel matching 255.vortex's profile: 512
+records of 32 bytes, three-field validation (two compares and a parity
+test) before each commit, and an index indirection table in front of the
+record store (one more dependent load per transaction).
+"""
+
+DESCRIPTION = "indexed record transactions with multi-field validation (255.vortex)"
+
+SOURCE = """
+; vortex2000-like kernel
+    .data
+index:    .space 4096            ; 512 slots mapping txn -> record number
+records:  .space 16384           ; 512 records x 32
+work:     .space 32
+checksum: .quad 0
+    .text
+main:
+    lda   r1, index
+    lda   r2, 512(zero)
+    lda   r3, 25525(zero)
+genidx:
+    mul   r3, #25173, r3
+    add   r3, #13849, r3
+    srl   r3, #4, r4
+    and   r4, #511, r4
+    stq   r4, 0(r1)
+    lda   r1, 8(r1)
+    sub   r2, #1, r2
+    bgt   r2, genidx
+
+    lda   r1, records
+    lda   r2, 2048(zero)
+genrec:
+    mul   r3, #25173, r3
+    add   r3, #13849, r3
+    and   r3, #65535, r4
+    stq   r4, 0(r1)
+    lda   r1, 8(r1)
+    sub   r2, #1, r2
+    bgt   r2, genrec
+
+    lda   r20, index
+    lda   r21, records
+    lda   r22, work
+    lda   r23, 0(zero)           ; committed
+    lda   r2, 1024(zero)         ; transactions
+    lda   r6, 0(zero)            ; transaction number
+txn:
+    and   r6, #511, r7
+    s8add r7, r20, r8
+    ldq   r9, 0(r8)              ; record number via the index
+    sll   r9, #5, r10
+    add   r21, r10, r11          ; record address
+    ldq   r12, 0(r11)            ; field 0
+    ldq   r13, 8(r11)            ; field 1
+    ; validation: f0 in bounds, f1 >= f0/2, f0 even
+    cmpult r12, #61440, r14
+    beq   r14, bad
+    srl   r12, #1, r15
+    cmpule r15, r13, r16
+    beq   r16, bad
+    blbs  r12, bad
+    ; commit: copy and bump
+    ldq   r17, 16(r11)
+    ldq   r18, 24(r11)
+    stq   r12, 0(r22)
+    stq   r13, 8(r22)
+    stq   r17, 16(r22)
+    stq   r18, 24(r22)
+    add   r12, #2, r12
+    stq   r12, 0(r11)
+    add   r23, #1, r23
+bad:
+    add   r6, #1, r6
+    sub   r2, #1, r2
+    bgt   r2, txn
+
+    stq   r23, checksum
+    halt
+"""

@@ -1,0 +1,132 @@
+"""vpr: greedy maze routing over a cost grid.
+
+Mirrors 175.vpr's router: from a current grid cell, examine the four
+neighbours' congestion costs plus a Manhattan-distance heuristic to the
+sink, step to the cheapest (compare/cmov selection tree), bump the chosen
+cell's congestion, and repeat.  Grid loads, abs-difference arithmetic,
+and a serially dependent position update.
+"""
+
+DESCRIPTION = "greedy grid routing with cmov minimum selection (175.vpr)"
+
+SOURCE = """
+; vpr-like kernel
+    .data
+grid:     .space 8192            ; 32x32 cells x 8 (congestion cost)
+checksum: .quad 0
+    .text
+main:
+    lda   r1, grid
+    lda   r2, 1024(zero)
+    lda   r3, 175175(zero)
+gen:
+    mul   r3, #25173, r3
+    add   r3, #13849, r3
+    and   r3, #63, r4
+    stq   r4, 0(r1)
+    lda   r1, 8(r1)
+    sub   r2, #1, r2
+    bgt   r2, gen
+
+    lda   r20, grid
+    lda   r5, 1(zero)            ; x
+    lda   r6, 1(zero)            ; y
+    lda   r7, 30(zero)           ; sink x
+    lda   r8, 30(zero)           ; sink y
+    lda   r21, 0(zero)           ; accumulated route cost
+    lda   r2, 600(zero)          ; routing steps
+step:
+    ; candidate positions: E, W, S, N (wrapped into the interior 1..30)
+    add   r5, #1, r10
+    and   r10, #31, r10
+    sub   r5, #1, r11
+    and   r11, #31, r11
+    add   r6, #1, r12
+    and   r12, #31, r12
+    sub   r6, #1, r13
+    and   r13, #31, r13
+    ; cost(x, y) = grid[y*32+x] + |x-sinkx| + |y-sinky|
+    ; east
+    sll   r6, #5, r14
+    add   r14, r10, r14
+    s8add r14, r20, r14
+    ldq   r14, 0(r14)
+    sub   r10, r7, r15
+    sub   zero, r15, r16
+    cmovlt r15, r16, r15
+    add   r14, r15, r14
+    sub   r6, r8, r15
+    sub   zero, r15, r16
+    cmovlt r15, r16, r15
+    add   r14, r15, r14          ; east cost
+    ; west
+    sll   r6, #5, r17
+    add   r17, r11, r17
+    s8add r17, r20, r17
+    ldq   r17, 0(r17)
+    sub   r11, r7, r15
+    sub   zero, r15, r16
+    cmovlt r15, r16, r15
+    add   r17, r15, r17
+    sub   r6, r8, r15
+    sub   zero, r15, r16
+    cmovlt r15, r16, r15
+    add   r17, r15, r17          ; west cost
+    ; south
+    sll   r12, #5, r18
+    add   r18, r5, r18
+    s8add r18, r20, r18
+    ldq   r18, 0(r18)
+    sub   r5, r7, r15
+    sub   zero, r15, r16
+    cmovlt r15, r16, r15
+    add   r18, r15, r18
+    sub   r12, r8, r15
+    sub   zero, r15, r16
+    cmovlt r15, r16, r15
+    add   r18, r15, r18          ; south cost
+    ; north
+    sll   r13, #5, r19
+    add   r19, r5, r19
+    s8add r19, r20, r19
+    ldq   r19, 0(r19)
+    sub   r5, r7, r15
+    sub   zero, r15, r16
+    cmovlt r15, r16, r15
+    add   r19, r15, r19
+    sub   r13, r8, r15
+    sub   zero, r15, r16
+    cmovlt r15, r16, r15
+    add   r19, r15, r19          ; north cost
+    ; select the minimum: start with east, fold in the others
+    mov   r14, r22               ; best cost
+    mov   r10, r23               ; best x
+    mov   r6, r24                ; best y
+    cmplt r17, r22, r15
+    cmovne r15, r17, r22
+    cmovne r15, r11, r23
+    cmovne r15, r6, r24
+    cmplt r18, r22, r15
+    cmovne r15, r18, r22
+    cmovne r15, r5, r23
+    cmovne r15, r12, r24
+    cmplt r19, r22, r15
+    cmovne r15, r19, r22
+    cmovne r15, r5, r23
+    cmovne r15, r13, r24
+    ; move there, pay and raise its congestion
+    mov   r23, r5
+    mov   r24, r6
+    add   r21, r22, r21
+    sll   r6, #5, r14
+    add   r14, r5, r14
+    s8add r14, r20, r14
+    ldq   r15, 0(r14)
+    add   r15, #2, r15
+    stq   r15, 0(r14)
+    sub   r2, #1, r2
+    bgt   r2, step
+
+    stq   r21, checksum
+    halt
+"""

@@ -1,0 +1,69 @@
+"""compress: LZW-style dictionary compression of a pseudo-random byte stream.
+
+Mirrors 129.compress's inner loop: per input byte, form a (prefix, byte)
+code, hash it, probe the code table, and either extend the phrase or emit
+the prefix and insert a new entry.  Byte extraction, shifts, multiplies
+for hashing, and a data-dependent hit/miss branch dominate.
+"""
+
+DESCRIPTION = "LZW-style hash-table compression loop (129.compress)"
+
+SOURCE = """
+; compress95-like kernel
+    .data
+input:    .space 1536
+htab:     .space 8192            ; 1024 hash entries x 8 bytes
+output:   .space 16384
+checksum: .quad 0
+    .text
+main:
+    ; fill the input with LCG bytes, a quad at a time
+    lda   r1, input
+    lda   r2, 192(zero)          ; 192 quads = 1536 bytes
+    lda   r3, 12345(zero)
+fill:
+    mul   r3, #25173, r3
+    add   r3, #13849, r3
+    stq   r3, 0(r1)
+    lda   r1, 8(r1)
+    sub   r2, #1, r2
+    bgt   r2, fill
+
+    lda   r5, input
+    lda   r6, 0(zero)            ; byte index
+    lda   r7, 0(zero)            ; prefix code
+    lda   r10, output
+    lda   r20, htab
+    lda   r21, 1536(zero)        ; total bytes
+loop:
+    bic   r6, #7, r9             ; quad-aligned offset
+    add   r5, r9, r8
+    ldq   r8, 0(r8)
+    and   r6, #7, r9
+    extb  r8, r9, r11            ; current byte
+    sll   r7, #8, r12
+    bis   r12, r11, r12          ; code = (prefix << 8) | byte
+    mul   r12, #40503, r13       ; multiplicative hash
+    srl   r13, #5, r13
+    and   r13, #8184, r13        ; entry offset, multiple of 8, < 8192
+    add   r20, r13, r14
+    ldq   r15, 0(r14)
+    cmpeq r15, r12, r16
+    bne   r16, hit
+    stq   r12, 0(r14)            ; install the new code
+    stq   r7, 0(r10)             ; emit the prefix
+    lda   r10, 8(r10)
+    mov   r11, r7                ; restart the phrase at this byte
+    br    next
+hit:
+    mov   r12, r7                ; extend the phrase
+next:
+    add   r6, #1, r6
+    cmplt r6, r21, r16
+    bne   r16, loop
+
+    lda   r22, output
+    sub   r10, r22, r23          ; bytes emitted
+    stq   r23, checksum
+    halt
+"""

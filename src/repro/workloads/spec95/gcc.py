@@ -1,0 +1,66 @@
+"""gcc: compiler symbol-table traffic — chained hash inserts and lookups.
+
+Mirrors 126.gcc's identifier handling: insert a few hundred symbols into
+a bucketed hash table (bump-allocated chain nodes), then perform a storm
+of lookups that walk the collision chains.  Pointer chasing with
+data-dependent branch exits.
+"""
+
+DESCRIPTION = "symbol-table hash insert/lookup with chain walking (126.gcc)"
+
+SOURCE = """
+; gcc95-like kernel
+    .data
+buckets:  .space 512             ; 64 buckets x 8
+pool:     .space 8192            ; 512 nodes x 16 (key, next)
+checksum: .quad 0
+    .text
+main:
+    lda   r1, 0(zero)            ; symbol counter
+    lda   r2, pool               ; bump allocator
+    lda   r3, 999(zero)          ; LCG state
+    lda   r4, buckets
+insert:
+    mul   r3, #25173, r3
+    add   r3, #13849, r3
+    srl   r3, #3, r5
+    and   r5, #4095, r5          ; key
+    and   r5, #63, r6            ; bucket index
+    s8add r6, r4, r7             ; bucket address
+    ldq   r8, 0(r7)              ; old chain head
+    stq   r5, 0(r2)              ; node.key
+    stq   r8, 8(r2)              ; node.next
+    stq   r2, 0(r7)              ; bucket head = node
+    lda   r2, 16(r2)
+    add   r1, #1, r1
+    cmplt r1, #256, r9
+    bne   r9, insert
+
+    lda   r1, 0(zero)            ; lookup counter
+    lda   r10, 0(zero)           ; hits found
+    lda   r11, 777(zero)         ; second LCG
+lookup:
+    mul   r11, #25173, r11
+    add   r11, #13849, r11
+    srl   r11, #3, r5
+    and   r5, #4095, r5          ; probe key
+    and   r5, #63, r6
+    s8add r6, r4, r7
+    ldq   r12, 0(r7)             ; chain head
+walk:
+    beq   r12, miss
+    ldq   r13, 0(r12)
+    cmpeq r13, r5, r14
+    bne   r14, found
+    ldq   r12, 8(r12)
+    br    walk
+found:
+    add   r10, #1, r10
+miss:
+    add   r1, #1, r1
+    cmplt r1, #1024, r9
+    bne   r9, lookup
+
+    stq   r10, checksum
+    halt
+"""

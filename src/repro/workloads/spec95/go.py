@@ -1,0 +1,96 @@
+"""go: board-position evaluation — neighbourhood scans over a 2-D grid.
+
+Mirrors 099.go's evaluation loops: a 32x32 board of 2-bit stone values is
+scanned cell by cell; each interior cell compares itself against its four
+neighbours and accumulates an influence score.  Byte extraction from
+packed quads, short unpredictable branches, and dense compare traffic.
+"""
+
+DESCRIPTION = "board neighbourhood evaluation over a packed 2-D grid (099.go)"
+
+SOURCE = """
+; go95-like kernel
+    .data
+board:    .space 1024            ; 32 x 32 bytes
+checksum: .quad 0
+    .text
+main:
+    ; fill the board with LCG values masked to 0..3
+    lda   r1, board
+    lda   r2, 128(zero)          ; 128 quads
+    lda   r3, 4242(zero)
+fill:
+    mul   r3, #25173, r3
+    add   r3, #13849, r3
+    stq   r3, 0(r1)
+    lda   r1, 8(r1)
+    sub   r2, #1, r2
+    bgt   r2, fill
+
+    lda   r20, board
+    lda   r21, 0(zero)           ; score
+    lda   r5, 1(zero)            ; row (1..30)
+row:
+    lda   r6, 1(zero)            ; col (1..30)
+col:
+    sll   r5, #5, r7             ; index = row*32 + col
+    add   r7, r6, r7
+    ; own stone
+    bic   r7, #7, r8
+    add   r20, r8, r9
+    ldq   r9, 0(r9)
+    and   r7, #7, r8
+    extb  r9, r8, r10
+    and   r10, #3, r10           ; stone value
+    beq   r10, skip              ; empty point: nothing to score
+    ; west neighbour
+    sub   r7, #1, r11
+    bic   r11, #7, r8
+    add   r20, r8, r9
+    ldq   r9, 0(r9)
+    and   r11, #7, r8
+    extb  r9, r8, r12
+    and   r12, #3, r12
+    cmpeq r12, r10, r13
+    add   r21, r13, r21
+    ; east neighbour
+    add   r7, #1, r11
+    bic   r11, #7, r8
+    add   r20, r8, r9
+    ldq   r9, 0(r9)
+    and   r11, #7, r8
+    extb  r9, r8, r12
+    and   r12, #3, r12
+    cmpeq r12, r10, r13
+    add   r21, r13, r21
+    ; north neighbour
+    sub   r7, #32, r11
+    bic   r11, #7, r8
+    add   r20, r8, r9
+    ldq   r9, 0(r9)
+    and   r11, #7, r8
+    extb  r9, r8, r12
+    and   r12, #3, r12
+    cmpeq r12, r10, r13
+    add   r21, r13, r21
+    ; south neighbour
+    add   r7, #32, r11
+    bic   r11, #7, r8
+    add   r20, r8, r9
+    ldq   r9, 0(r9)
+    and   r11, #7, r8
+    extb  r9, r8, r12
+    and   r12, #3, r12
+    cmpeq r12, r10, r13
+    add   r21, r13, r21
+skip:
+    add   r6, #1, r6
+    cmplt r6, #31, r14
+    bne   r14, col
+    add   r5, #1, r5
+    cmplt r5, #31, r14
+    bne   r14, row
+
+    stq   r21, checksum
+    halt
+"""

@@ -1,0 +1,98 @@
+"""ijpeg: blocked integer transform — butterfly adds with scaling.
+
+Mirrors 132.ijpeg's forward DCT: 8-point butterfly passes over the rows
+and columns of 8x8 coefficient blocks, all in fixed point (adds, subs,
+scaled adds, shifts, multiplies by small constants).  Wide independent
+blocks expose abundant ILP — the bandwidth-friendly end of the suite.
+"""
+
+DESCRIPTION = "8x8 integer butterfly transform over coefficient blocks (132.ijpeg)"
+
+SOURCE = """
+; ijpeg95-like kernel
+    .data
+blocks:   .space 12288           ; 24 blocks x 64 coefficients x 8 bytes
+checksum: .quad 0
+    .text
+main:
+    lda   r1, blocks
+    lda   r2, 1536(zero)         ; 24 * 64 quads
+    lda   r3, 31415(zero)
+fill:
+    mul   r3, #25173, r3
+    add   r3, #13849, r3
+    and   r3, #255, r4
+    stq   r4, 0(r1)
+    lda   r1, 8(r1)
+    sub   r2, #1, r2
+    bgt   r2, fill
+
+    lda   r20, blocks
+    lda   r21, 0(zero)           ; block index
+block:
+    lda   r5, 0(zero)            ; row index within the block
+row:
+    ; row address = blocks + block*512 + row*64
+    sll   r21, #9, r6
+    add   r20, r6, r6
+    sll   r5, #6, r7
+    add   r6, r7, r6
+    ; load the 8 coefficients
+    ldq   r8, 0(r6)
+    ldq   r9, 8(r6)
+    ldq   r10, 16(r6)
+    ldq   r11, 24(r6)
+    ldq   r12, 32(r6)
+    ldq   r13, 40(r6)
+    ldq   r14, 48(r6)
+    ldq   r15, 56(r6)
+    ; stage 1 butterflies
+    add   r8, r15, r16
+    sub   r8, r15, r15
+    add   r9, r14, r17
+    sub   r9, r14, r14
+    add   r10, r13, r18
+    sub   r10, r13, r13
+    add   r11, r12, r19
+    sub   r11, r12, r12
+    ; stage 2: even part
+    add   r16, r19, r8
+    sub   r16, r19, r11
+    add   r17, r18, r9
+    sub   r17, r18, r10
+    ; stage 2: odd part, scaled
+    s4add r15, r12, r22
+    s4sub r14, r13, r23
+    mul   r10, #181, r10
+    sra   r10, #8, r10
+    mul   r11, #181, r11
+    sra   r11, #8, r11
+    ; store back
+    stq   r8, 0(r6)
+    stq   r9, 8(r6)
+    stq   r10, 16(r6)
+    stq   r11, 24(r6)
+    stq   r22, 32(r6)
+    stq   r23, 40(r6)
+    stq   r14, 48(r6)
+    stq   r15, 56(r6)
+    add   r5, #1, r5
+    cmplt r5, #8, r24
+    bne   r24, row
+    add   r21, #1, r21
+    cmplt r21, #24, r24
+    bne   r24, block
+
+    ; fold a checksum over the first block
+    lda   r6, blocks
+    lda   r5, 64(zero)
+    lda   r7, 0(zero)
+sum:
+    ldq   r8, 0(r6)
+    add   r7, r8, r7
+    lda   r6, 8(r6)
+    sub   r5, #1, r5
+    bgt   r5, sum
+    stq   r7, checksum
+    halt
+"""

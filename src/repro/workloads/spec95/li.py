@@ -1,0 +1,86 @@
+"""li: lisp-style recursive tree evaluation with a real call stack.
+
+Mirrors 130.li's recursive evaluator: a 511-node binary tree of cons-like
+cells is built in the heap, then summed by a recursive function using
+JSR/RET and stack spills — return-address-stack pressure and pointer
+chasing down the tree.
+"""
+
+DESCRIPTION = "recursive cons-tree evaluation with JSR/RET recursion (130.li)"
+
+SOURCE = """
+; li95-like kernel
+    .data
+pool:     .space 12264           ; 511 nodes x 24 (value, left, right)
+checksum: .quad 0
+    .text
+main:
+    ; build a complete binary tree: node i children at 2i+1, 2i+2
+    lda   r1, 0(zero)            ; node index
+    lda   r2, pool
+    lda   r3, 2718(zero)         ; LCG
+build:
+    mul   r3, #25173, r3
+    add   r3, #13849, r3
+    and   r3, #1023, r4          ; node value
+    mul   r1, #24, r5
+    add   r2, r5, r6             ; this node's address
+    stq   r4, 0(r6)
+    ; children if 2i+2 < 511
+    add   r1, r1, r7             ; 2i
+    add   r7, #2, r8             ; 2i+2
+    cmplt r8, #511, r9
+    beq   r9, leaf
+    add   r7, #1, r10            ; 2i+1
+    mul   r10, #24, r11
+    add   r2, r11, r11
+    stq   r11, 8(r6)             ; left pointer
+    mul   r8, #24, r12
+    add   r2, r12, r12
+    stq   r12, 16(r6)            ; right pointer
+    br    built
+leaf:
+    stq   zero, 8(r6)
+    stq   zero, 16(r6)
+built:
+    add   r1, #1, r1
+    cmplt r1, #511, r9
+    bne   r9, build
+
+    ; sum the tree twice (warm and hot pass)
+    lda   r22, 0(zero)
+    mov   r2, r16
+    jsr   tree_sum
+    add   r22, r17, r22
+    mov   r2, r16
+    jsr   tree_sum
+    add   r22, r17, r22
+    stq   r22, checksum
+    halt
+
+; r16 = node, returns sum in r17; clobbers r18, r19
+tree_sum:
+    lda   sp, -24(sp)
+    stq   ra, 0(sp)
+    stq   r16, 8(sp)
+    ldq   r18, 8(r16)            ; left child
+    beq   r18, leaf_case
+    mov   r18, r16
+    jsr   tree_sum               ; sum(left)
+    stq   r17, 16(sp)
+    ldq   r16, 8(sp)
+    ldq   r16, 16(r16)           ; right child
+    jsr   tree_sum               ; sum(right)
+    ldq   r19, 16(sp)
+    add   r17, r19, r17
+    ldq   r16, 8(sp)
+    ldq   r19, 0(r16)            ; own value
+    add   r17, r19, r17
+    br    unwind
+leaf_case:
+    ldq   r17, 0(r16)
+unwind:
+    ldq   ra, 0(sp)
+    lda   sp, 24(sp)
+    ret
+"""

@@ -1,0 +1,86 @@
+"""m88ksim: an instruction-set interpreter — decode, dispatch, writeback.
+
+Mirrors 124.m88ksim's simulation loop: fetch an encoded word, crack the
+fields with shifts and masks, dispatch through a jump table (indirect
+JMP, exercising the BTB), execute one of four ALU handlers against a
+memory-resident register file, write the result back.
+"""
+
+DESCRIPTION = "CPU-simulator decode/dispatch loop with indirect jumps (124.m88ksim)"
+
+SOURCE = """
+; m88ksim95-like kernel
+    .data
+iprog:    .space 8192            ; 1024 encoded instructions x 8
+regs:     .space 128             ; 16 simulated registers
+jtab:     .quad op_add, op_sub, op_and, op_xor
+checksum: .quad 0
+    .text
+main:
+    ; generate the simulated program
+    lda   r1, iprog
+    lda   r2, 1024(zero)
+    lda   r3, 1969(zero)
+gen:
+    mul   r3, #25173, r3
+    add   r3, #13849, r3
+    srl   r3, #4, r4
+    and   r4, #16383, r4         ; 14 encoded bits
+    stq   r4, 0(r1)
+    lda   r1, 8(r1)
+    sub   r2, #1, r2
+    bgt   r2, gen
+
+    lda   r4, iprog              ; simulated PC
+    lda   r3, 1024(zero)         ; instruction count
+    lda   r20, regs
+    lda   r21, jtab
+loop:
+    ldq   r5, 0(r4)              ; fetch
+    and   r5, #3, r6             ; opcode
+    srl   r5, #2, r7
+    and   r7, #15, r7            ; rd
+    srl   r5, #6, r8
+    and   r8, #15, r8            ; rs
+    srl   r5, #10, r9
+    and   r9, #15, r9            ; rt
+    s8add r8, r20, r10
+    ldq   r10, 0(r10)            ; source value 1
+    s8add r9, r20, r11
+    ldq   r11, 0(r11)            ; source value 2
+    s8add r6, r21, r12
+    ldq   r12, 0(r12)            ; handler address
+    jmp   (r12)
+op_add:
+    add   r10, r11, r13
+    add   r13, #1, r13
+    br    writeback
+op_sub:
+    sub   r10, r11, r13
+    br    writeback
+op_and:
+    and   r10, r11, r13
+    bis   r13, #1, r13
+    br    writeback
+op_xor:
+    xor   r10, r11, r13
+writeback:
+    s8add r7, r20, r14
+    stq   r13, 0(r14)
+    lda   r4, 8(r4)
+    sub   r3, #1, r3
+    bgt   r3, loop
+
+    ; checksum the simulated register file
+    lda   r5, 16(zero)
+    lda   r6, regs
+    lda   r7, 0(zero)
+sum:
+    ldq   r8, 0(r6)
+    add   r7, r8, r7
+    lda   r6, 8(r6)
+    sub   r5, #1, r5
+    bgt   r5, sum
+    stq   r7, checksum
+    halt
+"""

@@ -1,0 +1,83 @@
+"""perl: string hashing into an associative array with linear probing.
+
+Mirrors 134.perl's hash-heavy workloads: a rolling multiply-accumulate
+hash over every character of a pseudo-random text, plus an open-addressed
+(key, count) table updated every fourth character — byte extraction,
+multiplies, and data-dependent probe loops.
+"""
+
+DESCRIPTION = "rolling string hash + open-addressed hash-table updates (134.perl)"
+
+SOURCE = """
+; perl95-like kernel
+    .data
+text:     .space 2048
+table:    .space 4096            ; 256 slots x 16 (key, count)
+checksum: .quad 0
+    .text
+main:
+    lda   r1, text
+    lda   r2, 256(zero)          ; 256 quads
+    lda   r3, 5150(zero)
+fill:
+    mul   r3, #25173, r3
+    add   r3, #13849, r3
+    stq   r3, 0(r1)
+    lda   r1, 8(r1)
+    sub   r2, #1, r2
+    bgt   r2, fill
+
+    lda   r5, text
+    lda   r6, 0(zero)            ; character index
+    lda   r7, 0(zero)            ; rolling hash
+    lda   r20, table
+loop:
+    bic   r6, #7, r9
+    add   r5, r9, r8
+    ldq   r8, 0(r8)
+    and   r6, #7, r9
+    extb  r8, r9, r11            ; character
+    mul   r7, #31, r7
+    add   r7, r11, r7            ; h = h*31 + c
+    and   r6, #3, r12
+    cmpeq r12, #3, r12
+    beq   r12, next              ; only every 4th char updates the table
+    ; probe: slot = h & 255, linear probing capped at 8 slots
+    and   r7, #255, r13
+    lda   r19, 8(zero)
+probe:
+    sll   r13, #4, r14
+    add   r20, r14, r14          ; slot address
+    ldq   r15, 0(r14)            ; stored key
+    beq   r15, empty
+    cmpeq r15, r7, r16
+    bne   r16, hit
+    add   r13, #1, r13
+    and   r13, #255, r13
+    sub   r19, #1, r19
+    bgt   r19, probe
+    br    next                   ; table region saturated: drop the update
+empty:
+    stq   r7, 0(r14)             ; claim the slot
+hit:
+    ldq   r17, 8(r14)
+    add   r17, #1, r17
+    stq   r17, 8(r14)            ; count++
+next:
+    add   r6, #1, r6
+    cmplt r6, #2048, r18
+    bne   r18, loop
+
+    ; fold counts
+    lda   r5, 256(zero)
+    lda   r6, table
+    lda   r7, 0(zero)
+sum:
+    ldq   r8, 8(r6)
+    add   r7, r8, r7
+    lda   r6, 16(r6)
+    sub   r5, #1, r5
+    bgt   r5, sum
+    stq   r7, checksum
+    halt
+"""

@@ -1,0 +1,73 @@
+"""vortex: object-database transactions — validate, copy, update records.
+
+Mirrors 147.vortex's record traffic: 256 fixed-size 64-byte records; each
+transaction selects a pseudo-random record, bounds-checks a header field,
+copies the record into a working buffer (straight-line load/store runs),
+and commits an updated field.  Memory-bandwidth heavy with validation
+branches.
+"""
+
+DESCRIPTION = "object-database record validate/copy/update transactions (147.vortex)"
+
+SOURCE = """
+; vortex95-like kernel
+    .data
+records:  .space 16384           ; 256 records x 64 bytes
+work:     .space 64
+checksum: .quad 0
+    .text
+main:
+    lda   r1, records
+    lda   r2, 2048(zero)         ; 2048 quads
+    lda   r3, 8086(zero)
+fill:
+    mul   r3, #25173, r3
+    add   r3, #13849, r3
+    and   r3, #65535, r4
+    stq   r4, 0(r1)
+    lda   r1, 8(r1)
+    sub   r2, #1, r2
+    bgt   r2, fill
+
+    lda   r20, records
+    lda   r21, work
+    lda   r22, 0(zero)           ; committed count
+    lda   r2, 1024(zero)         ; transactions
+    lda   r3, 4711(zero)         ; LCG
+txn:
+    mul   r3, #25173, r3
+    add   r3, #13849, r3
+    srl   r3, #2, r4
+    and   r4, #255, r4           ; record number
+    sll   r4, #6, r5
+    add   r20, r5, r6            ; record address
+    ldq   r7, 0(r6)              ; header field
+    cmpult r7, #49152, r8        ; bounds check
+    beq   r8, reject
+    ; copy the record to the working buffer
+    ldq   r9, 8(r6)
+    ldq   r10, 16(r6)
+    ldq   r11, 24(r6)
+    ldq   r12, 32(r6)
+    ldq   r13, 40(r6)
+    ldq   r14, 48(r6)
+    ldq   r15, 56(r6)
+    stq   r7, 0(r21)
+    stq   r9, 8(r21)
+    stq   r10, 16(r21)
+    stq   r11, 24(r21)
+    stq   r12, 32(r21)
+    stq   r13, 40(r21)
+    stq   r14, 48(r21)
+    stq   r15, 56(r21)
+    ; commit an updated header
+    add   r7, #1, r7
+    stq   r7, 0(r6)
+    add   r22, #1, r22
+reject:
+    sub   r2, #1, r2
+    bgt   r2, txn
+
+    stq   r22, checksum
+    halt
+"""

@@ -1,0 +1,99 @@
+"""The workload registry: 8 SPECint95-like and 12 SPECint2000-like kernels.
+
+The paper runs all benchmarks to completion with reduced inputs; these
+kernels are likewise sized to complete in tens of thousands of dynamic
+instructions (the "modified input sets to reduce simulation time" of
+§5.1, taken further because the simulator is written in Python).
+"""
+
+from __future__ import annotations
+
+import importlib
+from dataclasses import dataclass
+from functools import lru_cache
+
+from repro.isa.assembler import assemble
+from repro.isa.program import Program
+
+#: (name, module, suite) for every benchmark kernel.
+_SPEC95 = [
+    "compress", "gcc", "go", "ijpeg", "li", "m88ksim", "perl", "vortex",
+]
+_SPEC2000 = [
+    "bzip2", "crafty", "eon", "gap", "gcc2k", "gzip",
+    "mcf", "parser", "perlbmk", "twolf", "vortex2k", "vpr",
+]
+
+
+@dataclass(frozen=True)
+class Workload:
+    """One registered benchmark kernel."""
+
+    name: str
+    suite: str          # "spec95" or "spec2000"
+    module: str
+    description: str
+
+    def source(self) -> str:
+        mod = importlib.import_module(self.module)
+        return mod.SOURCE
+
+    def build(self) -> Program:
+        return _assemble_cached(self.module, self.name)
+
+
+@lru_cache(maxsize=None)
+def _assemble_cached(module: str, name: str) -> Program:
+    mod = importlib.import_module(module)
+    return assemble(mod.SOURCE, name)
+
+
+@lru_cache(maxsize=1)
+def _registry() -> dict[str, Workload]:
+    registry: dict[str, Workload] = {}
+    for suite, names, package in (
+        ("spec95", _SPEC95, "repro.workloads.spec95"),
+        ("spec2000", _SPEC2000, "repro.workloads.spec2000"),
+    ):
+        for name in names:
+            module = f"{package}.{name}"
+            mod = importlib.import_module(module)
+            registry[name] = Workload(
+                name=name,
+                suite=suite,
+                module=module,
+                description=mod.DESCRIPTION,
+            )
+    return registry
+
+
+def all_workloads(suite: str | None = None) -> list[Workload]:
+    """Every registered workload, optionally filtered by suite."""
+    workloads = list(_registry().values())
+    if suite is not None:
+        workloads = [w for w in workloads if w.suite == suite]
+        if not workloads:
+            raise ValueError(f"unknown suite {suite!r}")
+    return workloads
+
+
+def spec95_names() -> list[str]:
+    return list(_SPEC95)
+
+
+def spec2000_names() -> list[str]:
+    return list(_SPEC2000)
+
+
+def get_workload(name: str) -> Workload:
+    try:
+        return _registry()[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown workload {name!r}; known: {sorted(_registry())}"
+        ) from None
+
+
+def build(name: str) -> Program:
+    """Assemble (cached) the named workload."""
+    return get_workload(name).build()

@@ -1,0 +1,183 @@
+"""Tests for availability templates: the paper's §4.2 hole semantics."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.backend.bypass import (
+    AvailabilityTemplate,
+    BypassModel,
+    BypassStyle,
+    template_from_levels,
+)
+from repro.backend.formats import DataFormat
+from repro.backend.latency import AdderStyle
+from repro.isa.opcodes import LatencyClass
+
+
+class TestAvailabilityTemplate:
+    def test_continuous(self):
+        template = AvailabilityTemplate((), 2)
+        assert not template.available(1)
+        assert template.available(2)
+        assert template.available(100)
+        assert not template.has_hole()
+
+    def test_hole_pattern(self):
+        template = AvailabilityTemplate((1,), 4)
+        assert [template.available(i) for i in range(1, 6)] == [
+            True, False, False, True, True
+        ]
+        assert template.has_hole()
+
+    def test_next_available(self):
+        template = AvailabilityTemplate((1,), 4)
+        assert template.next_available(1) == 1
+        assert template.next_available(2) == 4
+        assert template.next_available(10) == 10
+
+    def test_first_offset(self):
+        assert AvailabilityTemplate((2,), 5).first_offset == 2
+        assert AvailabilityTemplate((), 3).first_offset == 3
+
+    def test_shift_register_bits_match_paper_figure(self):
+        """Fig. 8: holes appear as interleaved 0s in the countdown image."""
+        template = AvailabilityTemplate((1,), 4)
+        assert template.shift_register_bits(5) == [1, 0, 0, 1, 1]
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            AvailabilityTemplate((5,), 4)
+        with pytest.raises(ValueError):
+            AvailabilityTemplate((3, 2), 9)
+
+    @given(st.integers(min_value=1, max_value=6),
+           st.sets(st.integers(min_value=1, max_value=3)))
+    def test_template_from_levels_consistent(self, latency, removed):
+        template = template_from_levels(latency, frozenset(removed))
+        # register file always reachable at latency + 3 and beyond
+        assert template.available(latency + 3)
+        assert template.available(latency + 10)
+        # a kept level k is reachable at latency + k - 1
+        for level in {1, 2, 3} - removed:
+            assert template.available(latency + level - 1)
+        # a removed level is not (unless the fold made it permanent)
+        for level in removed:
+            offset = latency + level - 1
+            if offset < template.permanent_from:
+                assert not template.available(offset)
+
+
+class TestFullBypass:
+    @pytest.mark.parametrize("style", [AdderStyle.BASELINE, AdderStyle.IDEAL])
+    def test_tc_machines_continuous_from_latency(self, style):
+        model = BypassModel(style)
+        templates = model.templates(LatencyClass.INT_ARITH, False)
+        latency = model.latency.exec_latency(LatencyClass.INT_ARITH)
+        for fmt in DataFormat:
+            assert templates[fmt].first_offset == latency
+            assert not templates[fmt].has_hole()
+
+    def test_rb_full_machine_split_formats(self):
+        model = BypassModel(AdderStyle.RB)
+        templates = model.templates(LatencyClass.INT_ARITH, True)
+        assert templates[DataFormat.RB].first_offset == 1
+        assert templates[DataFormat.TC].first_offset == 3
+        assert not templates[DataFormat.RB].has_hole()
+        assert not templates[DataFormat.TC].has_hole()
+
+
+class TestRBLimited:
+    """The §4.2 network: the paper's worked example timings."""
+
+    @pytest.fixture(scope="class")
+    def model(self):
+        return BypassModel(AdderStyle.RB, BypassStyle.RB_LIMITED)
+
+    def test_rb_consumer_two_cycle_hole(self, model):
+        """'available ... immediately after it is produced, and then there
+        is a 2-cycle hole in data availability.'"""
+        template = model.templates(LatencyClass.INT_ARITH, True)[DataFormat.RB]
+        assert [template.available(i) for i in (1, 2, 3, 4)] == [
+            True, False, False, True
+        ]
+
+    def test_tc_consumer_no_hole(self, model):
+        """'available from BYP-3, and then from the register file.'"""
+        template = model.templates(LatencyClass.INT_ARITH, True)[DataFormat.TC]
+        assert [template.available(i) for i in (2, 3, 4, 5)] == [
+            False, True, True, True
+        ]
+
+    def test_tc_producer_loses_level_two(self, model):
+        template = model.templates(LatencyClass.INT_LOGICAL, False)[DataFormat.RB]
+        assert template.available(1)
+        assert not template.available(2)
+        assert template.available(3)
+
+    def test_requires_rb_adders(self):
+        with pytest.raises(ValueError):
+            BypassModel(AdderStyle.IDEAL, BypassStyle.RB_LIMITED)
+
+
+class TestFig14Limited:
+    def test_no1_is_uniform_latency_increase(self):
+        """'The difference between the Ideal machine and the No-1 machine is
+        the effect of increasing all execution latencies by one cycle.'"""
+        model = BypassModel(AdderStyle.IDEAL, BypassStyle.LIMITED, frozenset({1}))
+        for cls in (LatencyClass.INT_ARITH, LatencyClass.INT_LOGICAL,
+                    LatencyClass.SHIFT_LEFT):
+            latency = model.latency.exec_latency(cls)
+            template = model.templates(cls, False)[DataFormat.TC]
+            assert template.first_offset == latency + 1
+            assert not template.has_hole()
+
+    def test_no2_hole(self):
+        model = BypassModel(AdderStyle.IDEAL, BypassStyle.LIMITED, frozenset({2}))
+        template = model.templates(LatencyClass.INT_ARITH, False)[DataFormat.TC]
+        assert [template.available(i) for i in (1, 2, 3)] == [True, False, True]
+
+    def test_no23_two_cycle_hole(self):
+        model = BypassModel(AdderStyle.IDEAL, BypassStyle.LIMITED, frozenset({2, 3}))
+        template = model.templates(LatencyClass.INT_ARITH, False)[DataFormat.TC]
+        assert [template.available(i) for i in (1, 2, 3, 4)] == [
+            True, False, False, True
+        ]
+
+    def test_no12_delays_to_third_level(self):
+        model = BypassModel(AdderStyle.IDEAL, BypassStyle.LIMITED, frozenset({1, 2}))
+        template = model.templates(LatencyClass.INT_ARITH, False)[DataFormat.TC]
+        assert template.first_offset == 3
+        assert not template.has_hole()
+
+    def test_limited_needs_levels(self):
+        with pytest.raises(ValueError):
+            BypassModel(AdderStyle.IDEAL, BypassStyle.LIMITED)
+        with pytest.raises(ValueError):
+            BypassModel(AdderStyle.IDEAL, BypassStyle.LIMITED, frozenset({4}))
+        with pytest.raises(ValueError):
+            BypassModel(AdderStyle.IDEAL, removed_levels=frozenset({1}))
+
+
+class TestLoadTemplates:
+    def test_full_continuous(self):
+        model = BypassModel(AdderStyle.IDEAL)
+        template = model.load_template(3)
+        assert template.first_offset == 3
+        assert not template.has_hole()
+
+    def test_rb_limited_load_hole(self):
+        model = BypassModel(AdderStyle.RB, BypassStyle.RB_LIMITED)
+        template = model.load_template(3)
+        assert template.available(3)
+        assert not template.available(4)
+        assert template.available(5)
+
+    def test_miss_latency_shifts_template(self):
+        model = BypassModel(AdderStyle.IDEAL, BypassStyle.LIMITED, frozenset({1}))
+        template = model.load_template(110)
+        assert template.first_offset == 111
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            BypassModel(AdderStyle.IDEAL).load_template(0)

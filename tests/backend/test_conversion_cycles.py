@@ -1,0 +1,50 @@
+"""Tests for the configurable RB -> TC converter depth."""
+
+import pytest
+
+from repro.backend.bypass import BypassModel
+from repro.backend.formats import DataFormat
+from repro.backend.latency import AdderStyle, LatencyModel
+from repro.isa.opcodes import LatencyClass
+
+
+class TestLatencyModelKnob:
+    def test_default_is_paper_table(self):
+        model = LatencyModel(AdderStyle.RB)
+        assert model.tc_latency(LatencyClass.INT_ARITH) == 3
+        assert model.tc_latency(LatencyClass.SHIFT_LEFT) == 5
+
+    @pytest.mark.parametrize("depth", [0, 1, 2, 3])
+    def test_depth_applies_to_every_converting_class(self, depth):
+        model = LatencyModel(AdderStyle.RB, conversion_cycles=depth)
+        for cls in (LatencyClass.INT_ARITH, LatencyClass.INT_COMPARE,
+                    LatencyClass.SHIFT_LEFT, LatencyClass.BYTE_MANIP):
+            assert model.tc_latency(cls) == model.exec_latency(cls) + depth
+
+    def test_non_converting_classes_untouched(self):
+        model = LatencyModel(AdderStyle.RB, conversion_cycles=5)
+        assert model.tc_latency(LatencyClass.INT_LOGICAL) == 1
+        assert model.tc_latency(LatencyClass.INT_MUL) == 10
+
+    def test_ideal_unaffected(self):
+        model = LatencyModel(AdderStyle.IDEAL, conversion_cycles=7)
+        assert model.tc_latency(LatencyClass.INT_ARITH) == 1
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            LatencyModel(AdderStyle.RB, conversion_cycles=-1)
+
+
+class TestBypassModelIntegration:
+    def test_zero_conversion_collapses_formats(self):
+        model = BypassModel(AdderStyle.RB, conversion_cycles=0)
+        templates = model.templates(LatencyClass.INT_ARITH, True)
+        assert templates[DataFormat.RB].first_offset == 1
+        assert templates[DataFormat.TC].first_offset == 1
+
+    def test_deeper_converter_widens_gap(self):
+        shallow = BypassModel(AdderStyle.RB, conversion_cycles=1)
+        deep = BypassModel(AdderStyle.RB, conversion_cycles=4)
+        tc_shallow = shallow.templates(LatencyClass.INT_ARITH, True)[DataFormat.TC]
+        tc_deep = deep.templates(LatencyClass.INT_ARITH, True)[DataFormat.TC]
+        assert tc_deep.first_offset - tc_shallow.first_offset == 3

@@ -1,0 +1,68 @@
+"""Tests that the latency model is exactly Table 3."""
+
+import pytest
+
+from repro.backend.latency import TABLE3, AdderStyle, LatencyModel
+from repro.isa.opcodes import LatencyClass
+
+
+class TestTable3Values:
+    """Pin every paper-specified number; changing one should fail a test."""
+
+    @pytest.mark.parametrize("cls,base,rb,rb_tc,ideal", [
+        (LatencyClass.INT_ARITH, 2, 1, 3, 1),
+        (LatencyClass.INT_LOGICAL, 1, 1, 1, 1),
+        (LatencyClass.SHIFT_LEFT, 3, 3, 5, 3),
+        (LatencyClass.SHIFT_RIGHT, 3, 3, 3, 3),
+        (LatencyClass.INT_COMPARE, 2, 1, 3, 1),
+        (LatencyClass.BYTE_MANIP, 2, 1, 3, 1),
+        (LatencyClass.INT_MUL, 10, 10, 10, 10),
+        (LatencyClass.FP_ARITH, 8, 8, 8, 8),
+        (LatencyClass.FP_DIV, 32, 32, 32, 32),
+        (LatencyClass.MEM, 1, 1, 3, 1),
+    ])
+    def test_row(self, cls, base, rb, rb_tc, ideal):
+        row = TABLE3[cls]
+        assert (row.baseline, row.rb, row.rb_tc, row.ideal) == (base, rb, rb_tc, ideal)
+
+    def test_all_classes_covered(self):
+        assert set(TABLE3) == set(LatencyClass)
+
+
+class TestLatencyModel:
+    def test_baseline_adds_two_cycles(self):
+        model = LatencyModel(AdderStyle.BASELINE)
+        assert model.exec_latency(LatencyClass.INT_ARITH) == 2
+        assert model.tc_latency(LatencyClass.INT_ARITH) == 2
+        assert not model.produces_rb(LatencyClass.INT_ARITH)
+
+    def test_rb_add_one_cycle_tc_three(self):
+        model = LatencyModel(AdderStyle.RB)
+        assert model.exec_latency(LatencyClass.INT_ARITH) == 1
+        assert model.tc_latency(LatencyClass.INT_ARITH) == 3
+        assert model.produces_rb(LatencyClass.INT_ARITH)
+
+    def test_rb_logical_no_conversion(self):
+        model = LatencyModel(AdderStyle.RB)
+        assert model.tc_latency(LatencyClass.INT_LOGICAL) == 1
+        assert not model.produces_rb(LatencyClass.INT_LOGICAL)
+
+    def test_ideal_one_cycle(self):
+        model = LatencyModel(AdderStyle.IDEAL)
+        assert model.exec_latency(LatencyClass.INT_ARITH) == 1
+        assert model.tc_latency(LatencyClass.INT_COMPARE) == 1
+
+    def test_shift_left_conversion_is_two_cycles(self):
+        model = LatencyModel(AdderStyle.RB)
+        assert model.tc_latency(LatencyClass.SHIFT_LEFT) == 5
+
+    def test_non_rb_machines_never_produce_rb(self):
+        for style in (AdderStyle.BASELINE, AdderStyle.IDEAL):
+            model = LatencyModel(style)
+            assert not any(model.produces_rb(cls) for cls in LatencyClass)
+
+    def test_conversion_cost_is_always_two_cycles(self):
+        """Every RB-producing class pays exactly the 2-cycle converter."""
+        for cls, row in TABLE3.items():
+            if row.rb_tc != row.rb:
+                assert row.rb_tc - row.rb == 2, cls

@@ -1,0 +1,40 @@
+"""Tests for the §4.1 register-file cost model."""
+
+import pytest
+
+from repro.backend.regfile import (
+    RegisterFileOrganization,
+    compare_organizations,
+    register_file_cost,
+)
+
+
+class TestCosts:
+    def test_tc_only_storage(self):
+        cost = register_file_cost(RegisterFileOrganization.TC_ONLY, 128, 64)
+        assert cost.storage_bits == 128 * 64
+
+    def test_rb_entries_double_the_state(self):
+        """'each entry in a redundant binary register file requires twice
+        as many bits of state' — so TC+RB is 3x the TC-only storage."""
+        both = compare_organizations(128, 64)
+        assert both["tc+rb"].storage_bits == 3 * both["tc-only"].storage_bits
+
+    def test_rb_file_removes_second_level_bypass(self):
+        """'This configuration requires the same number of bypass paths as
+        a machine with only TC ALUs. There is no second-level bypass.'"""
+        both = compare_organizations()
+        assert both["tc-only"].bypass_levels_rb_alu == 3
+        assert both["tc+rb"].bypass_levels_rb_alu == 1
+        assert both["tc+rb"].bypass_paths_per_fu < both["tc-only"].bypass_paths_per_fu
+
+    def test_mux_fan_in_grows_with_fus(self):
+        cost = register_file_cost(RegisterFileOrganization.TC_ONLY)
+        assert cost.mux_fan_in(8) > cost.mux_fan_in(4)
+        # the paper's complexity argument: TC-only needs wider muxes
+        rb = register_file_cost(RegisterFileOrganization.TC_AND_RB)
+        assert rb.mux_fan_in(8) < cost.mux_fan_in(8)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            register_file_cost(RegisterFileOrganization.TC_ONLY, entries=0)

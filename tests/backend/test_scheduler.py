@@ -1,0 +1,132 @@
+"""Tests for the select-2 wakeup scheduler."""
+
+import pytest
+
+from repro.backend.scheduler import Scheduler
+from repro.backend.steering import RoundRobinSteering
+
+
+def always_ready(record, cycle):
+    return True, cycle
+
+
+def never_ready(record, cycle):
+    return False, cycle + 5
+
+
+class TestScheduler:
+    def test_capacity(self):
+        sched = Scheduler(capacity=2)
+        sched.insert("a", 0)
+        assert sched.has_room()
+        sched.insert("b", 0)
+        assert not sched.has_room()
+        with pytest.raises(RuntimeError):
+            sched.insert("c", 0)
+
+    def test_selects_oldest_first(self):
+        sched = Scheduler(capacity=8, select_width=2)
+        for name in "abcd":
+            sched.insert(name, 0)
+        assert sched.select(0, always_ready) == ["a", "b"]
+        assert sched.select(1, always_ready) == ["c", "d"]
+        assert sched.occupancy == 0
+
+    def test_earliest_select_respected(self):
+        sched = Scheduler(capacity=4)
+        sched.insert("a", earliest_select=3)
+        assert sched.select(2, always_ready) == []
+        assert sched.select(3, always_ready) == ["a"]
+
+    def test_not_ready_sleeps_until_candidate(self):
+        sched = Scheduler(capacity=4)
+        sched.insert("a", 0)
+        calls = []
+
+        def ready_fn(record, cycle):
+            calls.append(cycle)
+            return (cycle >= 5), max(cycle + 1, 5)
+
+        for cycle in range(6):
+            sched.select(cycle, ready_fn)
+        # polled at 0, slept until 5, selected at 5 — not polled at 1-4
+        assert calls == [0, 5]
+
+    def test_stale_candidate_detected(self):
+        sched = Scheduler(capacity=4)
+        sched.insert("a", 0)
+        with pytest.raises(AssertionError):
+            sched.select(3, lambda record, cycle: (False, cycle))
+
+    def test_ready_younger_waits_for_width(self):
+        sched = Scheduler(capacity=8, select_width=2)
+        for name in "abc":
+            sched.insert(name, 0)
+        granted = sched.select(0, always_ready)
+        assert granted == ["a", "b"]
+        assert sched.occupancy == 1
+
+    def test_older_blocked_younger_selected(self):
+        """Out-of-order selection: a stalled old entry does not block ready
+        younger ones (this is a scheduler, not a queue)."""
+        sched = Scheduler(capacity=8, select_width=2)
+        sched.insert("old", 0)
+        sched.insert("young", 0)
+
+        def only_young(record, cycle):
+            return (record == "young"), cycle + 10
+
+        assert sched.select(0, only_young) == ["young"]
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Scheduler(capacity=0)
+        with pytest.raises(ValueError):
+            Scheduler(capacity=4, select_width=0)
+
+    def test_statistics(self):
+        sched = Scheduler(capacity=4)
+        sched.insert("a", 0)
+        sched.select(0, always_ready)
+        assert sched.selected_total == 1
+
+
+class TestSteering:
+    def test_groups_of_two_round_robin(self):
+        steering = RoundRobinSteering(num_schedulers=4, group_size=2)
+        order = [steering.next_scheduler() for _ in range(10)]
+        assert order == [0, 0, 1, 1, 2, 2, 3, 3, 0, 0]
+
+    def test_peek_does_not_advance(self):
+        steering = RoundRobinSteering(2)
+        assert steering.peek() == 0
+        assert steering.peek() == 0
+        steering.next_scheduler()
+        steering.next_scheduler()
+        assert steering.peek() == 1
+
+    def test_reset(self):
+        steering = RoundRobinSteering(3)
+        steering.next_scheduler()
+        steering.reset()
+        assert steering.peek() == 0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            RoundRobinSteering(0)
+        with pytest.raises(ValueError):
+            RoundRobinSteering(2, group_size=0)
+
+
+class TestFunctionalUnits:
+    def test_pool(self):
+        from repro.backend.fu import FunctionalUnitPool
+        pool = FunctionalUnitPool(units=2)
+        pool.issue(2, latency=1)
+        assert pool.issued == 2
+        assert pool.utilization(1) == 1.0
+        with pytest.raises(ValueError):
+            pool.issue(3, latency=1)
+        with pytest.raises(ValueError):
+            FunctionalUnitPool(units=0)
+        assert FunctionalUnitPool(units=1).utilization(0) == 0.0

@@ -1,0 +1,86 @@
+"""Tests for dependence-aware steering (the §4.2 future-work extension)."""
+
+import pytest
+
+from repro.backend.steering import choose_dependence_target
+
+
+class TestChooseDependenceTarget:
+    def test_prefers_most_recent_producer(self):
+        target = choose_dependence_target(
+            producer_schedulers=[2, 0],
+            occupancies=[0, 0, 0, 0],
+            capacity=32,
+            round_robin_hint=0,
+        )
+        assert target == 2
+
+    def test_falls_back_to_next_producer_when_full(self):
+        target = choose_dependence_target(
+            producer_schedulers=[2, 1],
+            occupancies=[0, 3, 32, 0],
+            capacity=32,
+            round_robin_hint=0,
+        )
+        assert target == 1
+
+    def test_no_producers_uses_least_occupied_from_hint(self):
+        target = choose_dependence_target(
+            producer_schedulers=[],
+            occupancies=[5, 5, 2, 5],
+            capacity=32,
+            round_robin_hint=0,
+        )
+        assert target == 2
+
+    def test_ties_broken_by_hint_rotation(self):
+        target = choose_dependence_target(
+            producer_schedulers=[],
+            occupancies=[4, 4, 4, 4],
+            capacity=32,
+            round_robin_hint=3,
+        )
+        assert target == 3
+
+    def test_all_full_returns_none(self):
+        target = choose_dependence_target(
+            producer_schedulers=[0],
+            occupancies=[8, 8],
+            capacity=8,
+            round_robin_hint=0,
+        )
+        assert target is None
+
+    def test_stale_scheduler_index_ignored(self):
+        target = choose_dependence_target(
+            producer_schedulers=[-1, 99, 1],
+            occupancies=[0, 0],
+            capacity=4,
+            round_robin_hint=0,
+        )
+        assert target == 1
+
+
+class TestMachineIntegration:
+    @pytest.fixture(scope="class")
+    def programs(self):
+        from repro.workloads.generators import dependent_chain_program
+        return dependent_chain_program(iterations=400, chain_length=3)
+
+    def test_dependence_keeps_chains_local(self, programs):
+        from dataclasses import replace
+        from repro.core import rb_limited, simulate
+        rr = simulate(rb_limited(8), programs)
+        dep = simulate(
+            replace(rb_limited(8), name="dep", steering_policy="dependence"),
+            programs,
+        )
+        # a serial chain steered to one scheduler never crosses clusters
+        assert dep.cross_cluster_fraction() < rr.cross_cluster_fraction()
+        assert dep.instructions == rr.instructions
+
+    def test_policy_validated(self):
+        from dataclasses import replace
+        from repro.core import ideal
+        with pytest.raises(ValueError, match="steering"):
+            replace(ideal(8), steering_policy="chaotic")

@@ -1,0 +1,81 @@
+"""Functional equivalence of every adder netlist against integer addition."""
+
+import itertools
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.circuits.carry_select import build_carry_select_adder
+from repro.circuits.cla import build_cla_adder, build_cla_subtractor
+from repro.circuits.gates import assign_bus, bus_value
+from repro.circuits.ripple import build_ripple_adder
+
+ADDERS = {
+    "ripple": build_ripple_adder,
+    "cla": build_cla_adder,
+    "carry_select": build_carry_select_adder,
+}
+
+
+def _add(circuit, a, b, cin, width):
+    asg = {}
+    assign_bus(asg, "a", a, width)
+    assign_bus(asg, "b", b, width)
+    asg["cin"] = cin
+    out = circuit.evaluate(asg)
+    return bus_value(out, "sum", width) | (out["cout"] << width)
+
+
+class TestExhaustiveSmall:
+    """Every adder is exhaustively correct at 3 bits."""
+
+    @pytest.mark.parametrize("name", list(ADDERS))
+    def test_exhaustive_3bit(self, name):
+        circuit = ADDERS[name](3)
+        for a, b, cin in itertools.product(range(8), range(8), range(2)):
+            assert _add(circuit, a, b, cin, 3) == a + b + cin
+
+
+class TestRandomWide:
+    @pytest.mark.parametrize("name", list(ADDERS))
+    @given(data=st.data())
+    @settings(max_examples=60, deadline=None)
+    def test_16bit(self, name, data):
+        circuit = _CACHE.setdefault(name, ADDERS[name](16))
+        a = data.draw(st.integers(min_value=0, max_value=65535))
+        b = data.draw(st.integers(min_value=0, max_value=65535))
+        cin = data.draw(st.integers(min_value=0, max_value=1))
+        assert _add(circuit, a, b, cin, 16) == a + b + cin
+
+
+_CACHE: dict = {}
+
+
+class TestSubtractor:
+    @given(a=st.integers(min_value=0, max_value=255),
+           b=st.integers(min_value=0, max_value=255))
+    @settings(max_examples=120, deadline=None)
+    def test_wraps_mod_2n(self, a, b):
+        circuit = _CACHE.setdefault("sub8", build_cla_subtractor(8))
+        asg = {}
+        assign_bus(asg, "a", a, 8)
+        assign_bus(asg, "b", b, 8)
+        out = circuit.evaluate(asg)
+        assert bus_value(out, "sum", 8) == (a - b) % 256
+
+
+class TestValidation:
+    @pytest.mark.parametrize("builder", list(ADDERS.values()) + [build_cla_subtractor])
+    def test_nonpositive_width_rejected(self, builder):
+        with pytest.raises(ValueError):
+            builder(0)
+
+    def test_carry_select_block_validation(self):
+        with pytest.raises(ValueError):
+            build_carry_select_adder(8, block=0)
+
+    def test_carry_select_custom_block(self):
+        circuit = build_carry_select_adder(8, block=2)
+        for a, b in [(255, 1), (170, 85), (3, 200)]:
+            assert _add(circuit, a, b, 0, 8) == a + b

@@ -1,0 +1,53 @@
+"""Delay-shape tests: the §3.4 claims the benchmark regenerates."""
+
+import pytest
+
+from repro.circuits.analysis import ADDER_FAMILIES, adder_delay_table, delay_ratios
+from repro.circuits.converter import build_rb_to_tc_converter
+
+
+class TestDelayShapes:
+    @pytest.fixture(scope="class")
+    def table(self):
+        return adder_delay_table(widths=(8, 16, 32, 64))
+
+    def test_rb_constant_in_width(self, table):
+        delays = set(table["rb"].values())
+        assert len(delays) == 1
+
+    def test_ripple_linear(self, table):
+        d = table["ripple"]
+        # doubling width roughly doubles delay
+        assert d[64] / d[32] == pytest.approx(2.0, rel=0.05)
+
+    def test_cla_logarithmic(self, table):
+        d = table["cla"]
+        # each doubling adds a constant increment
+        inc1 = d[16] - d[8]
+        inc2 = d[32] - d[16]
+        inc3 = d[64] - d[32]
+        assert inc1 == inc2 == inc3
+
+    def test_family_ordering_at_64(self, table):
+        assert (table["rb"][64] < table["cla"][64]
+                < table["carry_select"][64] < table["ripple"][64])
+
+    def test_rb_beats_cla_substantially(self, table):
+        """Paper: ~3x (SPICE).  The gate-normalized model must show at
+        least 2x and the converter must cost about a CLA."""
+        ratio = table["cla"][64] / table["rb"][64]
+        assert ratio >= 2.0
+        converter = table["rb_to_tc_converter"][64]
+        assert converter == pytest.approx(table["cla"][64], rel=0.15)
+
+    def test_converter_is_cla_class(self):
+        assert build_rb_to_tc_converter(32).delay() >= 0
+
+    def test_delay_ratios_helper(self):
+        ratios = delay_ratios(32)
+        assert set(ratios) == set(ADDER_FAMILIES) - {"rb"}
+        assert all(r > 1 for r in ratios.values())
+
+    def test_unknown_family_rejected(self):
+        with pytest.raises(ValueError):
+            adder_delay_table(widths=(8,), families=["nonsense"])

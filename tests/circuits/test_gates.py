@@ -1,0 +1,142 @@
+"""Tests for the netlist framework itself."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.circuits.gates import (
+    Circuit,
+    GateKind,
+    assign_bus,
+    bus_value,
+)
+
+bits = st.integers(min_value=0, max_value=1)
+
+
+class TestConstruction:
+    def test_duplicate_input_rejected(self):
+        c = Circuit()
+        c.input("a")
+        with pytest.raises(ValueError):
+            c.input("a")
+
+    def test_duplicate_output_rejected(self):
+        c = Circuit()
+        a = c.input("a")
+        c.output("y", a)
+        with pytest.raises(ValueError):
+            c.output("y", a)
+
+    def test_arity_checked(self):
+        c = Circuit()
+        a = c.input("a")
+        with pytest.raises(ValueError):
+            c.gate(GateKind.NOT, a, a)
+        with pytest.raises(ValueError):
+            c.gate(GateKind.AND, a)
+
+    def test_cross_circuit_operand_rejected(self):
+        c1, c2 = Circuit(), Circuit()
+        a = c1.input("a")
+        b = c2.input("b")
+        with pytest.raises(ValueError):
+            c2.gate(GateKind.AND, a, b)
+        with pytest.raises(ValueError):
+            c1.output("y", b)
+
+    def test_const_shared(self):
+        c = Circuit()
+        assert c.const(1) is c.const(1)
+        assert c.const(0) is not c.const(1)
+
+    def test_gate_count_excludes_inputs(self):
+        c = Circuit()
+        a = c.input("a")
+        b = c.input("b")
+        c.output("y", c.and_(a, b))
+        assert c.gate_count() == 1
+
+
+class TestEvaluation:
+    @given(a=bits, b=bits)
+    def test_two_input_gates(self, a, b):
+        c = Circuit()
+        na, nb = c.input("a"), c.input("b")
+        c.output("and", c.and_(na, nb))
+        c.output("or", c.or_(na, nb))
+        c.output("xor", c.xor_(na, nb))
+        c.output("nand", c.nand_(na, nb))
+        c.output("nor", c.nor_(na, nb))
+        out = c.evaluate({"a": a, "b": b})
+        assert out["and"] == (a & b)
+        assert out["or"] == (a | b)
+        assert out["xor"] == (a ^ b)
+        assert out["nand"] == 1 - (a & b)
+        assert out["nor"] == 1 - (a | b)
+
+    @given(s=bits, x=bits, y=bits)
+    def test_mux(self, s, x, y):
+        c = Circuit()
+        ns, nx, ny = c.input("s"), c.input("x"), c.input("y")
+        c.output("m", c.mux(ns, nx, ny))
+        assert c.evaluate({"s": s, "x": x, "y": y})["m"] == (y if s else x)
+
+    def test_missing_input_rejected(self):
+        c = Circuit()
+        c.output("y", c.input("a"))
+        with pytest.raises(ValueError):
+            c.evaluate({})
+
+    @given(st.integers(min_value=0, max_value=255))
+    def test_wide_and_tree(self, value):
+        c = Circuit()
+        ins = c.input_bus("v", 8)
+        c.output("all", c.gate_tree(GateKind.AND, ins))
+        asg = {}
+        assign_bus(asg, "v", value, 8)
+        assert c.evaluate(asg)["all"] == (1 if value == 255 else 0)
+
+    @given(st.integers(min_value=0, max_value=255))
+    def test_wide_nor_tree(self, value):
+        c = Circuit()
+        ins = c.input_bus("v", 8)
+        c.output("none", c.gate_tree(GateKind.NOR, ins))
+        asg = {}
+        assign_bus(asg, "v", value, 8)
+        assert c.evaluate(asg)["none"] == (1 if value == 0 else 0)
+
+    def test_tree_validation(self):
+        c = Circuit()
+        with pytest.raises(ValueError):
+            c.gate_tree(GateKind.AND, [])
+        with pytest.raises(ValueError):
+            c.gate_tree(GateKind.MUX, [c.input("a")])
+
+
+class TestTiming:
+    def test_critical_path_simple(self):
+        c = Circuit()
+        a = c.input("a")
+        y = c.not_(c.not_(a))
+        c.output("y", y)
+        delay, path = c.critical_path()
+        assert delay == 2.0
+        assert path[0].kind is GateKind.INPUT
+        assert len(path) == 3
+
+    def test_tree_depth_is_logarithmic(self):
+        c = Circuit()
+        ins = c.input_bus("v", 16)
+        c.output("y", c.gate_tree(GateKind.AND, ins))
+        assert c.delay() == pytest.approx(1.5 * 4)  # 4 levels of AND
+
+    def test_no_outputs_rejected(self):
+        with pytest.raises(ValueError):
+            Circuit().critical_path()
+
+    def test_bus_helpers_round_trip(self):
+        asg = {}
+        assign_bus(asg, "x", 0b1010, 4)
+        assert asg == {"x[0]": 0, "x[1]": 1, "x[2]": 0, "x[3]": 1}
+        assert bus_value({"y[0]": 1, "y[1]": 0, "y[2]": 1}, "y", 3) == 0b101

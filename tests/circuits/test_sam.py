@@ -1,0 +1,76 @@
+"""Tests for the sum-addressed-memory decoder (§3.6)."""
+
+import itertools
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.circuits.gates import assign_bus
+from repro.circuits.sam import build_sam_decoder, sam_match
+from repro.rb.convert import from_twos_complement
+
+
+class TestSamMatch:
+    @given(st.integers(min_value=1, max_value=12), st.data())
+    @settings(max_examples=300)
+    def test_matches_addition(self, width, data):
+        top = (1 << width) - 1
+        a = data.draw(st.integers(min_value=0, max_value=top))
+        b = data.draw(st.integers(min_value=0, max_value=top))
+        k = data.draw(st.integers(min_value=0, max_value=top))
+        assert sam_match(a, b, k, width) == (((a + b) % (1 << width)) == k)
+
+    def test_width_validated(self):
+        with pytest.raises(ValueError):
+            sam_match(0, 0, 0, 0)
+
+    @given(st.integers(min_value=0, max_value=255), st.integers(min_value=0, max_value=255))
+    def test_exactly_one_line_matches(self, a, b):
+        matches = [k for k in range(256) if sam_match(a, b, k, 8)]
+        assert matches == [(a + b) % 256]
+
+    def test_redundant_address_indexing(self):
+        """An RB address indexes via X+ + (2^w - X-) mod 2^w == X+ - X-."""
+        width = 8
+        for value in (0, 1, 45, 127, -3, -128):
+            rb = from_twos_complement(value, width)
+            index = value % (1 << width)
+            complement = (-rb.minus) % (1 << width)
+            assert sam_match(rb.plus, complement, index, width)
+
+
+class TestSamDecoder:
+    def test_exhaustive_4bit(self):
+        decoder = build_sam_decoder(4)
+        for a, b in itertools.product(range(16), range(16)):
+            asg = {}
+            assign_bus(asg, "a", a, 4)
+            assign_bus(asg, "b", b, 4)
+            out = decoder.evaluate(asg)
+            hot = [k for k in range(16) if out[f"line[{k}]"]]
+            assert hot == [(a + b) % 16]
+
+    def test_partial_lines(self):
+        decoder = build_sam_decoder(4, lines=4)
+        asg = {}
+        assign_bus(asg, "a", 1, 4)
+        assign_bus(asg, "b", 2, 4)
+        out = decoder.evaluate(asg)
+        assert out["line[3]"] == 1
+        assert sum(out.values()) == 1
+
+    def test_geometry_validated(self):
+        with pytest.raises(ValueError):
+            build_sam_decoder(0)
+        with pytest.raises(ValueError):
+            build_sam_decoder(3, lines=9)
+
+    def test_constant_depth_before_and_tree(self):
+        """Widening the index only grows the final AND tree (log depth),
+        never a carry chain (linear depth)."""
+        d4 = build_sam_decoder(4, lines=2).delay()
+        d8 = build_sam_decoder(8, lines=2).delay()
+        d16 = build_sam_decoder(16, lines=2).delay()
+        assert d8 - d4 <= 2.0
+        assert d16 - d8 <= 2.0

@@ -1,0 +1,54 @@
+"""Tests for the modified (3-input) SAM used with redundant addresses."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+import pytest
+
+from repro.circuits.sam import sam_match3, sam_match_redundant
+from repro.rb.convert import from_twos_complement
+from repro.rb.number import RBNumber
+
+
+class TestSamMatch3:
+    @given(st.integers(min_value=1, max_value=12), st.data())
+    @settings(max_examples=300)
+    def test_matches_three_way_addition(self, width, data):
+        top = (1 << width) - 1
+        a = data.draw(st.integers(min_value=0, max_value=top))
+        b = data.draw(st.integers(min_value=0, max_value=top))
+        c = data.draw(st.integers(min_value=0, max_value=top))
+        k = data.draw(st.integers(min_value=0, max_value=top))
+        assert sam_match3(a, b, c, k, width) == (((a + b + c) % (1 << width)) == k)
+
+    def test_width_validated(self):
+        with pytest.raises(ValueError):
+            sam_match3(0, 0, 0, 0, 0)
+
+
+class TestRedundantAddressing:
+    @given(
+        value=st.integers(min_value=-(1 << 15), max_value=(1 << 15) - 1),
+        displacement=st.integers(min_value=-512, max_value=512),
+    )
+    @settings(max_examples=300)
+    def test_encoded_base_plus_displacement(self, value, displacement):
+        width = 16
+        base = from_twos_complement(value, width)
+        index = (value + displacement) % (1 << width)
+        assert sam_match_redundant(base.plus, base.minus, displacement, index, width)
+        # and only that line matches
+        assert not sam_match_redundant(
+            base.plus, base.minus, displacement, (index + 1) % (1 << width), width
+        )
+
+    @given(st.lists(st.sampled_from([-1, 0, 1]), min_size=10, max_size=10),
+           st.integers(min_value=-100, max_value=100))
+    @settings(max_examples=300)
+    def test_any_redundant_encoding(self, digits, displacement):
+        """Addresses stay redundant after chains of adds; any encoding of
+        the base must index the same line."""
+        width = 10
+        base = RBNumber.from_digits(digits)
+        index = (base.value() + displacement) % (1 << width)
+        assert sam_match_redundant(base.plus, base.minus, displacement, index, width)

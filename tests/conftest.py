@@ -1,0 +1,9 @@
+"""Shared pytest configuration."""
+
+import pytest
+
+
+def pytest_configure(config):
+    config.addinivalue_line(
+        "markers", "slow: full-suite experiments (run by default; deselect with -m 'not slow')"
+    )

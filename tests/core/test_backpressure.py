@@ -1,0 +1,114 @@
+"""Backpressure and failure-injection tests: the machine under stress.
+
+Shrunk structures (tiny windows, ROBs, queues) force every stall path to
+fire; the invariants must hold anyway and the architectural results must
+not change.
+"""
+
+from dataclasses import replace
+
+import pytest
+
+from repro.core import ideal, simulate
+from repro.core.machine import Machine
+from repro.isa.assembler import assemble
+from repro.isa.semantics import run_program
+from repro.mem.hierarchy import MemoryHierarchyConfig
+from repro.workloads.generators import dependent_chain_program
+from repro.workloads.suite import build
+
+
+def tiny(config, **overrides):
+    return replace(config, **overrides)
+
+
+class TestWindowPressure:
+    def test_tiny_scheduler_window_still_correct(self):
+        program = build("ijpeg")
+        reference = run_program(program)
+        config = tiny(ideal(4), name="tiny-window", window_size=8, rob_size=16)
+        stats = simulate(config, program)
+        assert stats.instructions == reference.instructions_executed
+
+    def test_tiny_window_costs_ipc(self):
+        program = build("ijpeg")
+        big = simulate(ideal(4), program).ipc
+        small = simulate(
+            tiny(ideal(4), name="tiny-window2", window_size=8, rob_size=16), program
+        ).ipc
+        assert small < big
+
+    def test_rob_of_one_serializes(self):
+        """ROB=1 degenerates to one instruction in flight at a time; it
+        must still finish, slowly."""
+        program = dependent_chain_program(iterations=30, chain_length=2)
+        config = tiny(ideal(4), name="rob1", rob_size=1, window_size=8)
+        stats = simulate(config, program)
+        assert stats.instructions == run_program(program).instructions_executed
+        assert stats.ipc < 0.2
+
+    def test_tiny_fetch_queue(self):
+        program = dependent_chain_program(iterations=100)
+        config = tiny(ideal(8), name="fq1", fetch_queue_capacity=1)
+        stats = simulate(config, program)
+        assert stats.instructions == run_program(program).instructions_executed
+
+
+class TestLongLatencyPressure:
+    def test_serial_fdiv_chain_fills_window(self):
+        """32-cycle divides back to back: retirement stalls, the window
+        fills, rename stalls — and the machine drains cleanly."""
+        source = """
+    .text
+main:
+    lda r1, 20(zero)
+    lda r2, 1000(zero)
+loop:
+    fdiv r2, #3, r2
+    fdiv r2, #3, r2
+    sub r1, #1, r1
+    bgt r1, loop
+    halt
+"""
+        program = assemble(source, "divchain")
+        config = tiny(ideal(4), name="divpress", window_size=8, rob_size=8)
+        stats = simulate(config, program)
+        assert stats.instructions == run_program(program).instructions_executed
+        # each iteration carries two serial 32-cycle divides
+        assert stats.cycles > 20 * 2 * 32
+
+    def test_slow_memory_pressure(self):
+        """500-cycle DRAM under a dependent pointer chase: the machine
+        must tolerate (not deadlock on) repeated full-window stalls."""
+        from repro.workloads.generators import pointer_chase_program
+        program = pointer_chase_program(nodes=48, laps=1)
+        memory = MemoryHierarchyConfig(memory_latency=500)
+        config = tiny(ideal(4), name="slowmem", memory=memory,
+                      window_size=16, rob_size=16)
+        stats = simulate(config, program)
+        assert stats.instructions == run_program(program).instructions_executed
+        assert stats.dcache_misses > 0
+
+
+class TestDegenerateConfigs:
+    def test_two_wide_machine(self):
+        """width=2: one scheduler, select-2 — the narrowest legal machine."""
+        config = replace(ideal(4), name="narrow", width=2)
+        program = build("ijpeg")
+        stats = simulate(config, program)
+        assert stats.instructions == run_program(program).instructions_executed
+
+    def test_single_blocks_per_cycle(self):
+        config = replace(ideal(8), name="oneblock", max_blocks_per_cycle=1)
+        program = build("li")
+        stats = simulate(config, program)
+        assert stats.instructions == run_program(program).instructions_executed
+
+    def test_retire_width_one(self):
+        program = dependent_chain_program(iterations=100, chain_length=1)
+        config = replace(ideal(4), name="ret1", retire_width=1)
+        stats = simulate(config, program)
+        reference = run_program(program).instructions_executed
+        assert stats.instructions == reference
+        # retirement itself becomes the bottleneck: >= 1 cycle/instruction
+        assert stats.cycles >= reference

@@ -1,0 +1,77 @@
+"""Tests for machine configuration and presets."""
+
+import pytest
+
+from repro.backend.bypass import BypassStyle
+from repro.backend.latency import AdderStyle
+from repro.core.config import MachineConfig
+from repro.core.presets import (
+    FIG14_VARIANTS,
+    all_paper_machines,
+    baseline,
+    ideal,
+    ideal_limited,
+    rb_full,
+    rb_limited,
+)
+
+
+class TestMachineConfig:
+    def test_eight_wide_paper_geometry(self):
+        config = ideal(8)
+        assert config.num_schedulers == 4
+        assert config.scheduler_capacity == 32
+        assert config.num_clusters == 2
+        assert config.fetch_width == 8
+        assert config.window_size == 128
+
+    def test_four_wide_paper_geometry(self):
+        config = ideal(4)
+        assert config.num_schedulers == 2
+        assert config.scheduler_capacity == 64
+        assert config.num_clusters == 1
+
+    def test_cluster_assignment(self):
+        config = ideal(8)
+        assert [config.cluster_of_scheduler(i) for i in range(4)] == [0, 0, 1, 1]
+
+    def test_odd_width_rejected(self):
+        with pytest.raises(ValueError):
+            MachineConfig("x", width=5, adder_style=AdderStyle.IDEAL)
+
+    def test_indivisible_window_rejected(self):
+        with pytest.raises(ValueError):
+            MachineConfig("x", width=6, adder_style=AdderStyle.IDEAL,
+                          window_size=100)
+
+    def test_describe_mentions_bypass(self):
+        text = ideal_limited(8, {1, 2}).describe()
+        assert "no levels [1, 2]" in text
+
+
+class TestPresets:
+    def test_paper_machines_styles(self):
+        machines = all_paper_machines(8)
+        assert [m.adder_style for m in machines] == [
+            AdderStyle.BASELINE, AdderStyle.RB, AdderStyle.RB, AdderStyle.IDEAL
+        ]
+        assert machines[1].bypass_style is BypassStyle.RB_LIMITED
+        assert machines[2].bypass_style is BypassStyle.FULL
+
+    def test_names_unique(self):
+        names = {m.name for m in all_paper_machines(4) + all_paper_machines(8)}
+        assert len(names) == 8
+
+    def test_fig14_variants(self):
+        assert frozenset({1}) in FIG14_VARIANTS
+        assert frozenset({2, 3}) in FIG14_VARIANTS
+        assert len(FIG14_VARIANTS) == 5
+
+    def test_ideal_limited_name(self):
+        assert ideal_limited(4, {2, 1}).name == "Ideal-No-1,2-4w"
+
+    @pytest.mark.parametrize("factory", [baseline, rb_limited, rb_full, ideal])
+    def test_both_widths_construct(self, factory):
+        for width in (4, 8):
+            config = factory(width)
+            assert config.width == width

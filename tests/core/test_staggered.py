@@ -1,0 +1,77 @@
+"""Tests for the staggered-add machine (Figure 1 Configuration C, §2)."""
+
+import pytest
+
+from repro.backend.bypass import BypassModel
+from repro.backend.formats import DataFormat
+from repro.backend.latency import AdderStyle, LatencyModel
+from repro.core import baseline, ideal, rb_full, simulate
+from repro.core.presets import staggered
+from repro.isa.opcodes import LatencyClass
+from repro.workloads.generators import (
+    conversion_chain_program,
+    dependent_chain_program,
+)
+
+
+class TestLatencyModel:
+    def test_adds_stagger(self):
+        model = LatencyModel(AdderStyle.STAGGERED)
+        assert model.exec_latency(LatencyClass.INT_ARITH) == 1
+        assert model.tc_latency(LatencyClass.INT_ARITH) == 2
+        assert model.produces_rb(LatencyClass.INT_ARITH)
+
+    def test_other_classes_are_baseline(self):
+        model = LatencyModel(AdderStyle.STAGGERED)
+        base = LatencyModel(AdderStyle.BASELINE)
+        for cls in (LatencyClass.INT_LOGICAL, LatencyClass.INT_COMPARE,
+                    LatencyClass.SHIFT_LEFT, LatencyClass.INT_MUL):
+            assert model.exec_latency(cls) == base.exec_latency(cls)
+            assert model.tc_latency(cls) == base.tc_latency(cls)
+            assert not model.produces_rb(cls)
+
+    def test_templates(self):
+        model = BypassModel(AdderStyle.STAGGERED)
+        templates = model.templates(LatencyClass.INT_ARITH, True)
+        assert templates[DataFormat.RB].first_offset == 1   # low half to adds
+        assert templates[DataFormat.TC].first_offset == 2   # full result
+
+
+class TestFigure1Configurations:
+    """Figure 1: A = 1-cycle ALUs, B = 2-cycle pipelined, C = staggered."""
+
+    @pytest.fixture(scope="class")
+    def chain_ipc(self):
+        program = dependent_chain_program(iterations=800, chain_length=4)
+        return {
+            "B": simulate(baseline(8), program).ipc,
+            "C": simulate(staggered(8), program).ipc,
+            "A": simulate(ideal(8), program).ipc,
+        }
+
+    def test_config_c_executes_dependent_adds_back_to_back(self, chain_ipc):
+        """'Configuration C ... allows a dependent chain of instructions
+        to execute in consecutive cycles.'"""
+        assert chain_ipc["C"] == pytest.approx(chain_ipc["A"], rel=0.02)
+
+    def test_config_b_cannot(self, chain_ipc):
+        """'Dependent instructions cannot execute in back-to-back cycles
+        in this configuration.'"""
+        assert chain_ipc["B"] < chain_ipc["C"] * 0.7
+
+    def test_intermediate_results_only_help_adds(self):
+        """On an add->logical chain, the staggered forwarding is useless
+        (the logical needs the full result), so C == B; and unlike the RB
+        machine, C pays no conversion, so C beats RB here."""
+        program = conversion_chain_program(iterations=800)
+        b = simulate(baseline(8), program)
+        c = simulate(staggered(8), program)
+        rb = simulate(rb_full(8), program)
+        assert c.cycles == pytest.approx(b.cycles, rel=0.01)
+        assert c.ipc > rb.ipc
+
+    def test_same_architectural_results(self):
+        program = dependent_chain_program(iterations=100, chain_length=2)
+        b = simulate(baseline(4), program)
+        c = simulate(staggered(4), program)
+        assert b.instructions == c.instructions

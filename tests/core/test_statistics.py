@@ -1,0 +1,43 @@
+"""Tests for SimStats bookkeeping and derived metrics."""
+
+import pytest
+
+from repro.core.statistics import BypassCase, BypassLevelUse, SimStats
+
+
+class TestDerivedMetrics:
+    def test_ipc(self):
+        stats = SimStats(cycles=200, instructions=500)
+        assert stats.ipc == 2.5
+
+    def test_ipc_zero_cycles(self):
+        assert SimStats().ipc == 0.0
+
+    def test_misprediction_rate(self):
+        stats = SimStats(branches=100, mispredictions=7)
+        assert stats.misprediction_rate == pytest.approx(0.07)
+        assert SimStats().misprediction_rate == 0.0
+
+    def test_dcache_hit_rate(self):
+        stats = SimStats(dcache_hits=90, dcache_misses=10)
+        assert stats.dcache_hit_rate == pytest.approx(0.9)
+
+    def test_bypass_fractions(self):
+        stats = SimStats(instructions=100, instructions_with_bypass=60)
+        stats.bypass_cases.record(BypassCase.TC_TO_TC, 3)
+        stats.bypass_cases.record(BypassCase.RB_TO_TC, 1)
+        assert stats.bypassed_instruction_fraction() == pytest.approx(0.6)
+        assert stats.conversion_bypass_fraction() == pytest.approx(0.25)
+
+    def test_scheduler_occupancy(self):
+        stats = SimStats(scheduler_occupancy_samples=4, scheduler_occupancy_sum=40)
+        assert stats.mean_scheduler_occupancy() == 10.0
+        assert SimStats().mean_scheduler_occupancy() == 0.0
+
+    def test_summary_renders(self):
+        stats = SimStats(machine="M", workload="W", cycles=10, instructions=20,
+                         branches=4, mispredictions=1)
+        stats.bypass_levels.record(BypassLevelUse.FIRST_LEVEL)
+        text = stats.summary()
+        assert "M on W" in text
+        assert "IPC 2.000" in text

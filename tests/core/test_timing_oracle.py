@@ -1,0 +1,74 @@
+"""Timing oracle: the simulator can never beat the dependence graph.
+
+For any traced run, an independent dataflow lower bound is computed from
+the retired trace: an instruction cannot be selected before each of its
+producers' select cycles plus the *best-case* reachable offset for the
+format it consumed (ignoring select contention, steering, holes, fetch
+and memory stalls).  The simulator's actual select cycles must respect
+that bound everywhere — a strong guard against optimistic-timing bugs
+(e.g. a consumer sneaking a value before its producer made it).
+"""
+
+import pytest
+
+from repro.core import baseline, ideal, ideal_limited, rb_full, rb_limited
+from repro.core.machine import Machine
+from repro.workloads.generators import (
+    conversion_chain_program,
+    dependent_chain_program,
+)
+from repro.workloads.suite import build
+
+CONFIGS = [
+    baseline(8), rb_limited(8), rb_full(8), ideal(8),
+    ideal_limited(8, {1, 2}), rb_limited(4),
+]
+
+PROGRAMS = {
+    "chain": lambda: dependent_chain_program(iterations=150, chain_length=3),
+    "conv": lambda: conversion_chain_program(iterations=150),
+    "ijpeg": lambda: build("ijpeg"),
+}
+
+
+def dataflow_lower_bounds(trace, cluster_delay):
+    """Earliest legal select per instruction, from producers only."""
+    bounds = {}
+    for rec in trace:
+        bound = 0
+        for producer, fmt in rec.sources:
+            adjust = cluster_delay if producer.cluster != rec.cluster else 0
+            earliest = (producer.select_cycle + adjust
+                        + producer.templates[fmt].first_offset)
+            bound = max(bound, earliest)
+        if rec.store_dep is not None:
+            bound = max(bound, rec.store_dep.select_cycle + 1)
+        bounds[rec.seq] = bound
+    return bounds
+
+
+@pytest.mark.parametrize("config", CONFIGS, ids=lambda c: c.name)
+@pytest.mark.parametrize("program_name", sorted(PROGRAMS))
+def test_simulator_never_beats_dataflow(config, program_name):
+    program = PROGRAMS[program_name]()
+    stats = Machine(config).run(program, record_trace=True)
+    bounds = dataflow_lower_bounds(stats.trace, config.cluster_delay)
+    for rec in stats.trace:
+        assert rec.select_cycle >= bounds[rec.seq], rec
+
+    # and the total cycle count can never beat the longest dataflow chain
+    finish = max(rec.select_cycle for rec in stats.trace)
+    critical = max(bounds.values())
+    assert finish >= critical
+
+
+def test_serial_chain_bound_is_tight_on_ideal():
+    """On the Ideal machine with perfect prediction, a pure serial chain
+    should run *at* the dataflow bound (each add exactly 1 apart)."""
+    program = dependent_chain_program(iterations=200, chain_length=4)
+    stats = Machine(ideal(8)).run(program, record_trace=True)
+    adds = [rec for rec in stats.trace if rec.instr.text.startswith("add")]
+    gaps = [b.select_cycle - a.select_cycle for a, b in zip(adds, adds[1:])]
+    # within an iteration the chain is back-to-back
+    assert all(gap >= 1 for gap in gaps)
+    assert sum(gaps) / len(gaps) == pytest.approx(1.25, abs=0.3)

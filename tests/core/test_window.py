@@ -1,0 +1,81 @@
+"""Unit tests for the reorder buffer and in-flight instruction records."""
+
+import pytest
+
+from repro.core.window import DynInstr, ReorderBuffer
+from repro.isa.assembler import assemble
+from repro.isa.semantics import ExecResult
+
+
+def make_record(seq: int, complete: int | None = None) -> DynInstr:
+    program = assemble(".text\nmain:\n    add r1, r2, r3\n    halt\n")
+    rec = DynInstr(seq, program.instructions[0], ExecResult(0), fetch_cycle=0,
+                   mispredicted=False)
+    rec.complete_cycle = complete
+    return rec
+
+
+class TestReorderBuffer:
+    def test_capacity(self):
+        rob = ReorderBuffer(2)
+        rob.push(make_record(0))
+        assert rob.has_room()
+        rob.push(make_record(1))
+        assert not rob.has_room()
+        with pytest.raises(RuntimeError):
+            rob.push(make_record(2))
+
+    def test_invalid_capacity(self):
+        with pytest.raises(ValueError):
+            ReorderBuffer(0)
+
+    def test_retires_in_order_only(self):
+        rob = ReorderBuffer(4)
+        head = make_record(0, complete=None)   # oldest not done
+        done = make_record(1, complete=1)
+        rob.push(head)
+        rob.push(done)
+        assert rob.retire_ready(cycle=10, width=4) == []
+        head.complete_cycle = 5
+        retired = rob.retire_ready(cycle=10, width=4)
+        assert [r.seq for r in retired] == [0, 1]
+
+    def test_retire_after_writeback_cycle(self):
+        rob = ReorderBuffer(4)
+        rob.push(make_record(0, complete=7))
+        assert rob.retire_ready(cycle=7, width=4) == []   # WB this cycle
+        assert len(rob.retire_ready(cycle=8, width=4)) == 1
+
+    def test_retire_width_cap(self):
+        rob = ReorderBuffer(8)
+        for i in range(5):
+            rob.push(make_record(i, complete=0))
+        assert len(rob.retire_ready(cycle=5, width=3)) == 3
+        assert len(rob.retire_ready(cycle=5, width=3)) == 2
+        assert not rob
+
+    def test_counters(self):
+        rob = ReorderBuffer(4)
+        rob.push(make_record(0, complete=0))
+        rob.retire_ready(cycle=1, width=1)
+        assert rob.retired == 1
+        assert rob.occupancy == 0
+        assert len(rob) == 0
+
+
+class TestDynInstr:
+    def test_initial_state(self):
+        rec = make_record(7)
+        assert rec.select_cycle is None
+        assert rec.scheduler == -1
+        assert rec.sources == []
+        assert rec.store_dep is None
+        assert not rec.produces_rb
+
+    def test_repr_mentions_seq(self):
+        assert "#7" in repr(make_record(7))
+
+    def test_slots_reject_arbitrary_attributes(self):
+        rec = make_record(0)
+        with pytest.raises(AttributeError):
+            rec.bogus = 1

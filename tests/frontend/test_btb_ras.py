@@ -1,0 +1,69 @@
+"""Tests for the BTB and return address stack."""
+
+import pytest
+
+from repro.frontend.btb import BranchTargetBuffer
+from repro.frontend.ras import ReturnAddressStack
+
+
+class TestBTB:
+    def test_miss_then_hit(self):
+        btb = BranchTargetBuffer(entries=64, associativity=4)
+        assert btb.lookup(0x1000) is None
+        btb.update(0x1000, 0x2000)
+        assert btb.lookup(0x1000) == 0x2000
+
+    def test_update_replaces_target(self):
+        btb = BranchTargetBuffer(entries=64, associativity=4)
+        btb.update(0x1000, 0x2000)
+        btb.update(0x1000, 0x3000)
+        assert btb.lookup(0x1000) == 0x3000
+
+    def test_lru_within_set(self):
+        btb = BranchTargetBuffer(entries=4, associativity=2)  # 2 sets
+        set_stride = 2 * 4  # same set every num_sets words
+        a, b, c = 0x1000, 0x1000 + set_stride, 0x1000 + 2 * set_stride
+        btb.update(a, 1)
+        btb.update(b, 2)
+        btb.lookup(a)       # refresh a
+        btb.update(c, 3)    # evicts b
+        assert btb.lookup(a) == 1
+        assert btb.lookup(b) is None
+        assert btb.lookup(c) == 3
+
+    def test_hit_rate(self):
+        btb = BranchTargetBuffer(entries=8, associativity=2)
+        btb.lookup(0)
+        btb.update(0, 4)
+        btb.lookup(0)
+        assert btb.hit_rate() == pytest.approx(0.5)
+
+    def test_geometry_validation(self):
+        with pytest.raises(ValueError):
+            BranchTargetBuffer(entries=10, associativity=4)
+        with pytest.raises(ValueError):
+            BranchTargetBuffer(entries=0)
+
+
+class TestRAS:
+    def test_lifo(self):
+        ras = ReturnAddressStack(depth=4)
+        ras.push(1)
+        ras.push(2)
+        assert ras.pop() == 2
+        assert ras.pop() == 1
+        assert ras.pop() is None
+
+    def test_overflow_drops_oldest(self):
+        ras = ReturnAddressStack(depth=2)
+        ras.push(1)
+        ras.push(2)
+        ras.push(3)
+        assert ras.overflows == 1
+        assert ras.pop() == 3
+        assert ras.pop() == 2
+        assert ras.pop() is None
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ReturnAddressStack(depth=0)

@@ -1,0 +1,178 @@
+"""Tests for the fetch unit: bundles, prediction, stalls."""
+
+import pytest
+
+from repro.frontend.fetch import FetchUnit
+from repro.isa.assembler import assemble
+from repro.isa.semantics import ArchState
+from repro.mem.hierarchy import MemoryHierarchy
+
+
+def make_fetch(source, **kwargs):
+    program = assemble(source)
+    state = ArchState(program)
+    hierarchy = MemoryHierarchy()
+    unit = FetchUnit(program, state, hierarchy, **kwargs)
+    return unit, program, hierarchy
+
+
+def drain(unit, max_cycles=10_000):
+    """Fetch everything, skipping stalls; returns fetched records."""
+    records = []
+    cycle = 0
+    while not unit.halted and cycle < max_cycles:
+        bundle = unit.fetch_bundle(cycle)
+        records.extend(bundle)
+        if bundle and bundle[-1].mispredicted:
+            # resolve instantly for these tests
+            unit.resolve_branch(cycle + 1)
+        cycle += 1
+    assert unit.halted, "program never finished fetching"
+    return records
+
+
+STRAIGHT = """
+    .text
+main:
+    nop
+    nop
+    nop
+    halt
+"""
+
+
+class TestBundles:
+    def test_icache_cold_miss_stalls(self):
+        unit, _, _ = make_fetch(STRAIGHT)
+        assert unit.fetch_bundle(0) == []  # cold I-cache miss
+        assert unit.fetch_stall_cycles >= 1
+
+    def test_fetch_width_limits_bundle(self):
+        source = ".text\nmain:\n" + "    nop\n" * 12 + "    halt\n"
+        unit, _, hierarchy = make_fetch(source, fetch_width=8)
+        hierarchy.icache.fill(0x1_0000)
+        hierarchy.icache.fill(0x1_0040)
+        bundle = unit.fetch_bundle(0)
+        assert len(bundle) == 8
+
+    def test_halt_ends_fetching(self):
+        unit, _, hierarchy = make_fetch(STRAIGHT)
+        hierarchy.icache.fill(0x1_0000)
+        bundle = unit.fetch_bundle(0)
+        assert len(bundle) == 4
+        assert unit.halted
+        assert unit.fetch_bundle(1) == []
+
+    def test_two_taken_blocks_per_cycle(self):
+        source = """
+    .text
+main:
+    br a
+a:
+    br b
+b:
+    br c
+c:
+    halt
+"""
+        unit, _, hierarchy = make_fetch(source, max_blocks_per_cycle=2)
+        hierarchy.icache.fill(0x1_0000)
+        bundle = unit.fetch_bundle(0)
+        # stops after the second taken branch
+        assert len(bundle) == 2
+        assert not unit.halted
+
+
+class TestPredictionIntegration:
+    def test_loop_branch_learned(self):
+        source = """
+    .text
+main:
+    lda r1, 50(zero)
+loop:
+    sub r1, #1, r1
+    bgt r1, loop
+    halt
+"""
+        unit, _, _ = make_fetch(source)
+        drain(unit)
+        assert unit.branches == 50
+        # the predictor warms up; most iterations predict correctly
+        assert unit.mispredictions <= 10
+
+    def test_jsr_ret_uses_ras(self):
+        source = """
+    .text
+main:
+    jsr f
+    jsr f
+    jsr f
+    halt
+f:
+    ret
+"""
+        unit, _, _ = make_fetch(source)
+        records = drain(unit)
+        rets = [r for r in records if r.instr.opcode.value == "ret"]
+        assert len(rets) == 3
+        assert all(not r.mispredicted for r in rets)
+
+    def test_indirect_jump_btb_miss_then_hit(self):
+        source = """
+    .text
+main:
+    lda r1, 8(zero)
+    lda r2, t
+    lda r3, 0(zero)
+loop:
+    jmp (r2)
+t:
+    sub r1, #1, r1
+    bgt r1, loop
+    halt
+"""
+        unit, _, _ = make_fetch(source)
+        records = drain(unit)
+        jumps = [r for r in records if r.instr.opcode.value == "jmp"]
+        assert jumps[0].mispredicted          # cold BTB
+        assert not any(r.mispredicted for r in jumps[1:])
+
+    def test_mispredict_stalls_until_resolved(self):
+        # an alternating branch the cold predictor will miss at least once
+        source = """
+    .text
+main:
+    lda r1, 1(zero)
+    beq r1, skip
+    nop
+skip:
+    halt
+"""
+        unit, _, hierarchy = make_fetch(source)
+        hierarchy.icache.fill(0x1_0000)
+        unit.fetch_bundle(0)  # may or may not mispredict the beq
+        if unit.stalled:
+            assert unit.fetch_bundle(1) == []
+            unit.resolve_branch(5)
+            assert unit.fetch_bundle(3) == []  # still before resolve
+            assert unit.fetch_bundle(5) != [] or unit.halted
+
+    def test_resolve_without_stall_rejected(self):
+        unit, _, _ = make_fetch(STRAIGHT)
+        with pytest.raises(RuntimeError):
+            unit.resolve_branch(1)
+
+
+class TestCorrectPathExecution:
+    def test_functional_results_recorded(self):
+        source = """
+    .text
+main:
+    lda r1, 5(zero)
+    add r1, #2, r2
+    halt
+"""
+        unit, _, _ = make_fetch(source)
+        records = drain(unit)
+        add = records[1]
+        assert add.result.dest_value == 7

@@ -1,0 +1,112 @@
+"""Tests for the branch predictors (gshare, PAs, hybrid chooser)."""
+
+import pytest
+
+from repro.frontend.gshare import GsharePredictor
+from repro.frontend.hybrid import HybridPredictor, default_hybrid_predictor
+from repro.frontend.pas import PAsPredictor
+
+
+class TestGshare:
+    def test_learns_always_taken(self):
+        predictor = GsharePredictor(history_bits=8)
+        pc = 0x1000
+        for _ in range(8):
+            predictor.update(pc, True)
+        assert predictor.predict(pc)
+
+    def test_learns_alternating_with_history(self):
+        """Global history disambiguates a strict T/N alternation."""
+        predictor = GsharePredictor(history_bits=8)
+        outcome = True
+        for _ in range(200):
+            predictor.update(0x4000, outcome)
+            outcome = not outcome
+        hits = 0
+        for _ in range(100):
+            if predictor.predict(0x4000) == outcome:
+                hits += 1
+            predictor.update(0x4000, outcome)
+            outcome = not outcome
+        assert hits >= 95
+
+    def test_counter_saturates(self):
+        predictor = GsharePredictor(history_bits=4)
+        for _ in range(100):
+            predictor.update(0, True)
+        # one not-taken cannot flip a saturated counter
+        predictor.update(0, False)
+        assert predictor.predict(0)
+
+    def test_accuracy_tracking(self):
+        predictor = GsharePredictor(history_bits=4)
+        predictor.update(0, True)
+        assert 0.0 <= predictor.accuracy() <= 1.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            GsharePredictor(history_bits=0)
+
+
+class TestPAs:
+    def test_learns_per_branch_patterns(self):
+        """Two branches with opposite biases must not interfere."""
+        predictor = PAsPredictor(bht_bits=8, history_bits=6, set_bits=2)
+        # adjacent branches: distinct BHT entries and distinct PHT sets
+        for _ in range(50):
+            predictor.update(0x1000, True)
+            predictor.update(0x1004, False)
+        assert predictor.predict(0x1000)
+        assert not predictor.predict(0x1004)
+
+    def test_learns_short_loop_pattern(self):
+        """A loop taken 3x then not-taken once is a classic PAs win."""
+        predictor = PAsPredictor(bht_bits=8, history_bits=8, set_bits=2)
+        pattern = [True, True, True, False]
+        for _ in range(100):
+            for outcome in pattern:
+                predictor.update(0x3000, outcome)
+        hits = 0
+        for outcome in pattern * 5:
+            hits += predictor.predict(0x3000) == outcome
+            predictor.update(0x3000, outcome)
+        assert hits >= 18
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            PAsPredictor(history_bits=0)
+
+
+class TestHybrid:
+    def test_chooser_picks_better_component(self):
+        predictor = default_hybrid_predictor()
+        # a strict alternation at one PC: gshare nails it via history
+        outcome = True
+        for _ in range(300):
+            predictor.update(0x8000, outcome)
+            outcome = not outcome
+        hits = 0
+        for _ in range(100):
+            hits += predictor.predict(0x8000) == outcome
+            predictor.update(0x8000, outcome)
+            outcome = not outcome
+        assert hits >= 90
+
+    def test_biased_branches_predicted(self):
+        predictor = default_hybrid_predictor()
+        for _ in range(20):
+            predictor.update(0x100, True)
+        assert predictor.predict(0x100)
+
+    def test_update_returns_correctness(self):
+        predictor = default_hybrid_predictor()
+        for _ in range(10):
+            predictor.update(0x10, True)
+        assert predictor.update(0x10, True) is True
+
+    def test_accuracy_counts(self):
+        predictor = default_hybrid_predictor()
+        for _ in range(10):
+            predictor.update(0, True)
+        assert predictor.predictions == 10
+        assert predictor.accuracy() > 0.5

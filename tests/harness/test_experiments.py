@@ -1,0 +1,56 @@
+"""Tests for the experiment definitions (cheap ones run live; the IPC
+sweeps are covered by the integration tests and benchmarks)."""
+
+import pytest
+
+from repro.harness.experiments import (
+    dynamic_mix,
+    sec34_adder_delays,
+    table1_mix,
+    table3_latencies,
+)
+from repro.isa.classify import FormatClass
+
+
+class TestTable3Experiment:
+    def test_rows_render(self):
+        result = table3_latencies()
+        text = result.text()
+        assert "integer arithmetic" in text
+        assert "1 (3)" in text
+
+    def test_series_match_paper(self):
+        series = table3_latencies().series
+        assert series["INT_ARITH"] == (2, 1, 3, 1)
+        assert series["SHIFT_LEFT"] == (3, 3, 5, 3)
+        assert series["INT_MUL"] == (10, 10, 10, 10)
+
+
+class TestSec34Experiment:
+    def test_shape_claims(self):
+        result = sec34_adder_delays(widths=(8, 64))
+        ratios = result.series["ratios_vs_rb"]
+        assert ratios["cla"] >= 2.0
+        assert ratios["ripple"] > ratios["carry_select"] > ratios["cla"]
+        delays = result.series["delays"]
+        assert delays["rb"][8] == delays["rb"][64]
+
+
+class TestDynamicMix:
+    def test_single_workload_mix(self):
+        mix = dynamic_mix("ijpeg")
+        assert mix.total > 10_000
+        assert mix.fraction(FormatClass.ARITH_RB_RB) > 0.2
+        assert mix.fraction(FormatClass.MEMORY_RB_TC) > 0.1
+
+    @pytest.mark.slow
+    def test_table1_covers_all_rows(self):
+        result = table1_mix()
+        ours = result.series["ours"]
+        assert all(value > 0 for value in ours.values())
+        assert sum(ours.values()) == pytest.approx(1.0)
+        # the directional Table 1 claims: memory + branches are heavy,
+        # cmovs are rare
+        assert ours["MEMORY_RB_TC"] > 0.10
+        assert ours["BRANCH_RB"] > 0.08
+        assert ours["CMOV_SIGN_RB_RB"] < 0.05

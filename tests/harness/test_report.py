@@ -1,0 +1,58 @@
+"""Tests for the report renderer (the sweep itself is exercised by the
+benchmarks; these cover rendering with synthetic results)."""
+
+from repro.harness.experiments import ExperimentResult
+from repro.harness.report import _bar_chart_for, _render
+
+
+def fig_result():
+    return ExperimentResult(
+        experiment="fig9",
+        title="Figure 9 (synthetic)",
+        headers=["benchmark", "M1", "M2"],
+        rows=[["bzip2", 1.0, 1.2], ["gap", 2.0, 2.4], ["MEAN", 1.5, 1.8]],
+        series={
+            "machines": ["M1", "M2"],
+            "ipc": {"M1": [1.0, 2.0], "M2": [1.2, 2.4]},
+            "means": {"M1": 1.5, "M2": 1.8},
+        },
+    )
+
+
+class TestRender:
+    def test_table_and_chart_in_markdown(self):
+        text = _render(fig_result())
+        assert text.startswith("## Figure 9 (synthetic)")
+        assert "benchmark" in text
+        assert "#" in text            # bars present
+        assert text.count("```") == 4  # table block + chart block
+
+    def test_bar_chart_for_figures(self):
+        chart = _bar_chart_for(fig_result())
+        assert "bzip2" in chart
+        assert "M2" in chart
+        # MEAN row excluded from bars
+        assert "MEAN" not in chart
+
+    def test_fig14_chart(self):
+        result = ExperimentResult(
+            experiment="fig14", title="t", headers=["n", "4", "8"],
+            rows=[["full", 1.2, 1.1]],
+            series={"full": {4: 1.2, 8: 1.1}, "No-1": {4: 1.0, 8: 0.9}},
+        )
+        chart = _bar_chart_for(result)
+        assert "No-1" in chart
+        assert "4-wide" in chart
+
+    def test_non_figure_gets_no_chart(self):
+        result = ExperimentResult(
+            experiment="table3", title="t", headers=["a"], rows=[["x"]],
+        )
+        assert _bar_chart_for(result) is None
+
+    def test_notes_rendered(self):
+        result = ExperimentResult(
+            experiment="x", title="t", headers=["a"], rows=[["v"]],
+            notes=["important caveat"],
+        )
+        assert "important caveat" in result.text()

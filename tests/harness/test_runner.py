@@ -1,0 +1,70 @@
+"""Tests for the result cache and simulation runner."""
+
+from repro.core.presets import ideal
+from repro.core.statistics import BypassCase, SimStats
+from repro.harness.runner import RESULTS_VERSION, ResultCache, SimulationRunner
+
+
+class TestResultCache:
+    def test_round_trip(self, tmp_path):
+        path = tmp_path / "cache.json"
+        cache = ResultCache(path)
+        stats = SimStats(machine="M", workload="W", cycles=10, instructions=20,
+                         branches=3, mispredictions=1)
+        stats.bypass_cases.record(BypassCase.RB_TO_TC, 5)
+        cache.put(stats)
+        cache.save()
+
+        reloaded = ResultCache(path).get("M", "W")
+        assert reloaded is not None
+        assert reloaded.cycles == 10
+        assert reloaded.ipc == 2.0
+        assert reloaded.bypass_cases.count(BypassCase.RB_TO_TC) == 5
+
+    def test_miss_returns_none(self, tmp_path):
+        cache = ResultCache(tmp_path / "cache.json")
+        assert cache.get("M", "W") is None
+
+    def test_version_mismatch_discards(self, tmp_path):
+        path = tmp_path / "cache.json"
+        cache = ResultCache(path)
+        cache.put(SimStats(machine="M", workload="W", cycles=1, instructions=1))
+        cache.save()
+        text = path.read_text().replace(
+            f'"version": {RESULTS_VERSION}', '"version": -1'
+        )
+        path.write_text(text)
+        assert ResultCache(path).get("M", "W") is None
+
+    def test_corrupt_file_ignored(self, tmp_path):
+        path = tmp_path / "cache.json"
+        path.write_text("{not json")
+        cache = ResultCache(path)
+        assert len(cache) == 0
+
+    def test_memory_only(self):
+        cache = ResultCache(None)
+        cache.put(SimStats(machine="M", workload="W", cycles=1, instructions=1))
+        cache.save()  # no-op, must not raise
+        assert cache.get("M", "W") is not None
+
+
+class TestRunner:
+    def test_run_uses_cache(self, tmp_path):
+        runner = SimulationRunner(cache_path=tmp_path / "cache.json")
+        config = ideal(4)
+        first = runner.run(config, "ijpeg")
+        assert first.instructions > 0
+
+        # a second runner sharing the file must not resimulate: poison the
+        # machine table to prove the result comes from disk
+        runner2 = SimulationRunner(cache_path=tmp_path / "cache.json")
+        runner2._machines["poisoned"] = None
+        second = runner2.run(config, "ijpeg")
+        assert second.cycles == first.cycles
+        assert second.ipc == first.ipc
+
+    def test_run_matrix_shape(self, tmp_path):
+        runner = SimulationRunner(cache_path=tmp_path / "cache.json")
+        results = runner.run_matrix([ideal(4)], ["ijpeg"])
+        assert set(results) == {("Ideal-4w", "ijpeg")}

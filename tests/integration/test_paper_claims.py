@@ -1,0 +1,84 @@
+"""Integration tests: the paper's qualitative claims on real kernels.
+
+These run full simulations of suite kernels (seconds each); the complete
+sweeps live in ``benchmarks/``.  Results are shared through the default
+runner's on-disk cache, so a populated cache makes these nearly free.
+"""
+
+import pytest
+
+from repro.core import all_paper_machines
+from repro.core.statistics import BypassCase
+from repro.harness.runner import default_runner
+
+#: A small but diverse probe set: call-heavy, memory-heavy, add-chain,
+#: and bit-twiddling kernels.
+PROBE_WORKLOADS = ["li", "vortex", "gap", "crafty"]
+
+
+@pytest.fixture(scope="module")
+def results():
+    runner = default_runner()
+    return runner.run_matrix(all_paper_machines(8), PROBE_WORKLOADS)
+
+
+class TestMachineOrdering:
+    def test_ideal_at_least_baseline(self, results):
+        for workload in PROBE_WORKLOADS:
+            base = results[("Baseline-8w", workload)].ipc
+            ideal_ipc = results[("Ideal-8w", workload)].ipc
+            assert ideal_ipc >= base * 0.999, workload
+
+    def test_rb_limited_never_beats_rb_full(self, results):
+        for workload in PROBE_WORKLOADS:
+            limited = results[("RB-limited-8w", workload)].ipc
+            full = results[("RB-full-8w", workload)].ipc
+            assert limited <= full * 1.001, workload
+
+    def test_rb_full_never_beats_ideal(self, results):
+        for workload in PROBE_WORKLOADS:
+            full = results[("RB-full-8w", workload)].ipc
+            ideal_ipc = results[("Ideal-8w", workload)].ipc
+            assert full <= ideal_ipc * 1.001, workload
+
+    def test_rb_tracks_ideal_on_add_chains(self, results):
+        """gap's bignum carries are the RB adder's best case: the RB-full
+        machine must recover most of the Ideal machine's advantage."""
+        base = results[("Baseline-8w", "gap")].ipc
+        full = results[("RB-full-8w", "gap")].ipc
+        ideal_ipc = results[("Ideal-8w", "gap")].ipc
+        assert (full - base) >= 0.0
+        assert ideal_ipc > base * 1.1  # the add latency matters here
+
+
+class TestBypassCaseClaims:
+    def test_conversions_are_minority_of_bypasses(self, results):
+        """Fig. 13's point: RB->TC conversions are a small fraction of
+        last-arriving bypasses on the RB-full machine."""
+        for workload in PROBE_WORKLOADS:
+            stats = results[("RB-full-8w", workload)]
+            assert stats.conversion_bypass_fraction() < 0.5, workload
+
+    def test_bypassed_fraction_substantial(self, results):
+        for workload in PROBE_WORKLOADS:
+            stats = results[("RB-full-8w", workload)]
+            assert 0.3 <= stats.bypassed_instruction_fraction() <= 1.0, workload
+
+
+class TestSanity:
+    def test_same_instruction_count_across_machines(self, results):
+        """Machines change timing, never the retired instruction stream."""
+        for workload in PROBE_WORKLOADS:
+            counts = {
+                results[(machine.name, workload)].instructions
+                for machine in all_paper_machines(8)
+            }
+            assert len(counts) == 1, workload
+
+    def test_branch_counts_match(self, results):
+        for workload in PROBE_WORKLOADS:
+            counts = {
+                results[(machine.name, workload)].branches
+                for machine in all_paper_machines(8)
+            }
+            assert len(counts) == 1, workload

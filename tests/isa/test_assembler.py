@@ -1,0 +1,201 @@
+"""Tests for the two-pass assembler."""
+
+import pytest
+
+from repro.isa.assembler import AssemblyError, assemble
+from repro.isa.opcodes import Opcode
+from repro.isa.program import DATA_BASE, TEXT_BASE
+
+
+class TestBasicParsing:
+    def test_addresses_sequential(self):
+        p = assemble("""
+    .text
+main:
+    nop
+    nop
+    halt
+""")
+        assert [i.address for i in p.instructions] == [
+            TEXT_BASE, TEXT_BASE + 4, TEXT_BASE + 8
+        ]
+
+    def test_comments_stripped(self):
+        p = assemble("""
+    .text
+main:
+    add r1, r2, r3   ; semicolon comment
+    halt             # hash comment
+""")
+        assert len(p) == 2
+
+    def test_immediate_with_hash(self):
+        p = assemble("""
+    .text
+main:
+    add r1, #-42, r3
+    halt
+""")
+        instr = p.instructions[0]
+        assert instr.sources[1].imm == -42
+
+    def test_register_aliases(self):
+        p = assemble("""
+    .text
+main:
+    add zero, sp, r1
+    halt
+""")
+        instr = p.instructions[0]
+        assert instr.sources[0].reg == 31
+        assert instr.sources[1].reg == 30
+
+    def test_unknown_mnemonic(self):
+        with pytest.raises(AssemblyError, match="unknown mnemonic"):
+            assemble(".text\nmain:\n    frobnicate r1, r2, r3\n")
+
+    def test_bad_register(self):
+        with pytest.raises(AssemblyError, match="bad register"):
+            assemble(".text\nmain:\n    add r1, r99, r3\n")
+
+    def test_wrong_operand_count(self):
+        with pytest.raises(AssemblyError):
+            assemble(".text\nmain:\n    add r1, r2\n")
+
+    def test_undefined_label(self):
+        with pytest.raises(AssemblyError, match="undefined label"):
+            assemble(".text\nmain:\n    br nowhere\n")
+
+    def test_duplicate_label(self):
+        with pytest.raises(AssemblyError, match="duplicate label"):
+            assemble(".text\na:\n    nop\na:\n    halt\n")
+
+    def test_instruction_outside_text(self):
+        with pytest.raises(AssemblyError, match="outside .text"):
+            assemble(".data\n    add r1, r2, r3\n")
+
+
+class TestOperands:
+    def test_mem_displacement(self):
+        p = assemble(".text\nmain:\n    ldq r1, 16(r2)\n    halt\n")
+        instr = p.instructions[0]
+        assert instr.imm == 16
+        assert instr.sources[0].reg == 2
+        assert instr.dest == 1
+
+    def test_store_operand_order(self):
+        p = assemble(".text\nmain:\n    stq r5, 8(r6)\n    halt\n")
+        instr = p.instructions[0]
+        assert instr.dest is None
+        assert [op.reg for op in instr.sources] == [5, 6]  # data, base
+
+    def test_bare_label_as_address(self):
+        p = assemble("""
+    .data
+buf:    .quad 7
+    .text
+main:
+    lda r1, buf
+    halt
+""")
+        instr = p.instructions[0]
+        assert instr.imm == DATA_BASE
+        assert instr.sources[0].reg == 31
+
+    def test_label_with_base(self):
+        p = assemble("""
+    .data
+buf:    .quad 7
+    .text
+main:
+    ldq r1, buf(r2)
+    halt
+""")
+        assert p.instructions[0].imm == DATA_BASE
+
+    def test_mov_expansion(self):
+        p = assemble(".text\nmain:\n    mov r3, r4\n    halt\n")
+        instr = p.instructions[0]
+        assert instr.opcode is Opcode.BIS
+        assert [op.reg for op in instr.sources] == [3, 3]
+        assert instr.dest == 4
+
+    def test_cmov_has_dest_as_source(self):
+        p = assemble(".text\nmain:\n    cmoveq r1, r2, r3\n    halt\n")
+        instr = p.instructions[0]
+        assert [op.reg for op in instr.sources] == [1, 2, 3]
+
+    def test_jmp_parses_parenthesized_register(self):
+        p = assemble(".text\nmain:\n    jmp (r7)\n    halt\n")
+        assert p.instructions[0].sources[0].reg == 7
+
+    def test_jmp_rejects_bare_register(self):
+        with pytest.raises(AssemblyError):
+            assemble(".text\nmain:\n    jmp r7\n")
+
+    def test_jsr_writes_ra(self):
+        p = assemble(".text\nmain:\n    jsr f\nf:\n    ret\n")
+        assert p.instructions[0].dest == 26
+        assert p.instructions[0].target == TEXT_BASE + 4
+        # ret implicitly reads ra
+        assert p.instructions[1].sources[0].reg == 26
+
+    def test_branch_target_resolved(self):
+        p = assemble(".text\nmain:\n    beq r1, done\ndone:\n    halt\n")
+        assert p.instructions[0].target == TEXT_BASE + 4
+
+
+class TestDataSection:
+    def test_quad_values(self):
+        p = assemble(".data\nx: .quad 1, 2, -1\n.text\nmain:\n    halt\n")
+        assert p.data[:8] == (1).to_bytes(8, "little")
+        assert p.data[16:24] == (2**64 - 1).to_bytes(8, "little")
+
+    def test_quad_label_fixup(self):
+        p = assemble("""
+    .data
+ptr:    .quad target
+target: .quad 99
+    .text
+main:
+    halt
+""")
+        stored = int.from_bytes(p.data[:8], "little")
+        assert stored == DATA_BASE + 8
+
+    def test_space_and_align(self):
+        p = assemble(".data\n    .space 3\n    .align 8\nx: .byte 1\n.text\nmain:\n    halt\n")
+        assert p.labels["x"] == DATA_BASE + 8
+
+    def test_long_and_byte(self):
+        p = assemble(".data\n    .long 258\n    .byte 5\n.text\nmain:\n    halt\n")
+        assert p.data[:4] == (258).to_bytes(4, "little")
+        assert p.data[4] == 5
+
+    def test_bad_space(self):
+        with pytest.raises(AssemblyError):
+            assemble(".data\n  .space nope\n.text\nmain:\n    halt\n")
+
+    def test_unknown_directive(self):
+        with pytest.raises(AssemblyError, match="unknown directive"):
+            assemble(".data\n  .wibble 3\n.text\nmain:\n    halt\n")
+
+
+class TestProgramContainer:
+    def test_entry_is_main(self):
+        p = assemble(".text\nstart:\n    nop\nmain:\n    halt\n")
+        assert p.entry == TEXT_BASE + 4
+
+    def test_entry_defaults_to_text_base(self):
+        p = assemble(".text\nbegin:\n    halt\n")
+        assert p.entry == TEXT_BASE
+
+    def test_at_lookup(self):
+        p = assemble(".text\nmain:\n    nop\n    halt\n")
+        assert p.at(TEXT_BASE).opcode is Opcode.NOP
+        assert p.at(TEXT_BASE + 100) is None
+
+    def test_label_address_error(self):
+        p = assemble(".text\nmain:\n    halt\n")
+        with pytest.raises(KeyError):
+            p.label_address("nope")

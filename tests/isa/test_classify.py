@@ -1,0 +1,102 @@
+"""Tests for the Table 1 classification."""
+
+import pytest
+
+from repro.isa.assembler import assemble
+from repro.isa.classify import TABLE1_ROWS, FormatClass, classify, instruction_mix
+from repro.isa.opcodes import OPCODE_SPECS, Opcode, OperandFormat, ResultFormat, spec_of
+
+
+def _single(body: str):
+    program = assemble(f".text\nmain:\n{body}\n    halt\n")
+    return program.instructions[0]
+
+
+class TestClassify:
+    @pytest.mark.parametrize("body,expected", [
+        ("    add r1, r2, r3", FormatClass.ARITH_RB_RB),
+        ("    sll r1, #2, r3", FormatClass.ARITH_RB_RB),
+        ("    lda r1, 4(r2)", FormatClass.ARITH_RB_RB),
+        ("    cmovlt r1, r2, r3", FormatClass.CMOV_SIGN_RB_RB),
+        ("    cmoveq r1, r2, r3", FormatClass.CMOV_ZERO_RB_RB),
+        ("    ldq r1, 0(r2)", FormatClass.MEMORY_RB_TC),
+        ("    stq r1, 0(r2)", FormatClass.MEMORY_RB_TC),
+        ("    cmpeq r1, r2, r3", FormatClass.CMPEQ_RB_TC),
+        ("    cmpult r1, r2, r3", FormatClass.CMP_REL_RB_TC),
+        ("    beq r1, main", FormatClass.BRANCH_RB),
+        ("    and r1, r2, r3", FormatClass.OTHER_TC_TC),
+        ("    srl r1, #1, r3", FormatClass.OTHER_TC_TC),
+        ("    extb r1, #0, r3", FormatClass.OTHER_TC_TC),
+        ("    ctlz r1, r3", FormatClass.OTHER_TC_TC),
+    ])
+    def test_rows(self, body, expected):
+        assert classify(_single(body)) == expected
+
+    def test_move_idiom_is_rb_transparent(self):
+        assert classify(_single("    mov r1, r2")) == FormatClass.ARITH_RB_RB
+        assert classify(_single("    bis r1, r2, r3")) == FormatClass.OTHER_TC_TC
+
+
+class TestInstructionMix:
+    def test_excludes_unconditional_control(self):
+        program = assemble("""
+    .text
+main:
+    add r1, r2, r3
+    jsr f
+    br end
+f:
+    ret
+end:
+    nop
+    halt
+""")
+        mix = instruction_mix(program.instructions)
+        assert mix.total == 1
+        assert mix.fraction(FormatClass.ARITH_RB_RB) == 1.0
+
+    def test_paper_fractions_sum_to_one(self):
+        assert sum(fraction for _, fraction in TABLE1_ROWS) == pytest.approx(1.0)
+
+
+class TestOpcodeTableConsistency:
+    """The opcode table's formats must be coherent with Table 1."""
+
+    def test_rb_output_classes_marked_rb(self):
+        for opcode in (Opcode.ADD, Opcode.SUB, Opcode.MUL, Opcode.LDA,
+                       Opcode.S4ADD, Opcode.SLL, Opcode.CMOVGT):
+            assert spec_of(opcode).result is ResultFormat.RB
+
+    def test_tc_output_classes(self):
+        for opcode in (Opcode.AND, Opcode.SRL, Opcode.EXTB, Opcode.CTLZ,
+                       Opcode.LDQ, Opcode.LDL):
+            assert spec_of(opcode).result is ResultFormat.TC
+
+    def test_store_operand_formats(self):
+        # store data must be TC; the address register may be redundant (SAM)
+        spec = spec_of(Opcode.STQ)
+        assert spec.operand_formats == (OperandFormat.TC_ONLY, OperandFormat.RB_OK)
+
+    def test_loads_take_redundant_addresses(self):
+        assert spec_of(Opcode.LDQ).operand_formats == (OperandFormat.RB_OK,)
+
+    def test_branches_take_redundant_inputs(self):
+        for opcode in (Opcode.BEQ, Opcode.BLT, Opcode.BLBS):
+            spec = spec_of(opcode)
+            assert spec.operand_formats == (OperandFormat.RB_OK,)
+            assert spec.is_conditional
+
+    def test_logicals_require_tc(self):
+        for opcode in (Opcode.AND, Opcode.XOR, Opcode.BIC, Opcode.EQV):
+            assert all(
+                fmt is OperandFormat.TC_ONLY
+                for fmt in spec_of(opcode).operand_formats
+            )
+
+    def test_every_opcode_has_consistent_flags(self):
+        for opcode, spec in OPCODE_SPECS.items():
+            assert not (spec.is_load and spec.is_store), opcode
+            if spec.is_conditional:
+                assert spec.is_branch, opcode
+            if spec.result is ResultFormat.NONE:
+                assert not spec.writes_reg, opcode

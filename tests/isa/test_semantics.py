@@ -1,0 +1,304 @@
+"""Tests for the architectural interpreter (every opcode)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.isa.assembler import assemble
+from repro.isa.program import STACK_TOP, TEXT_BASE
+from repro.isa.semantics import ArchState, SemanticsError, run_program
+from repro.utils.bitops import MASK64, to_signed, wrap64
+
+u64 = st.integers(min_value=0, max_value=MASK64)
+
+
+def run_snippet(body: str, data: str = "") -> ArchState:
+    source = ""
+    if data:
+        source += "    .data\n" + data
+    source += "    .text\nmain:\n" + body + "    halt\n"
+    return run_program(assemble(source))
+
+
+class TestArithmetic:
+    def test_add_sub_mul(self):
+        st_ = run_snippet("""
+    lda r1, 7(zero)
+    lda r2, 5(zero)
+    add r1, r2, r3
+    sub r1, r2, r4
+    mul r1, r2, r5
+""")
+        assert st_.regs[3] == 12
+        assert st_.regs[4] == 2
+        assert st_.regs[5] == 35
+
+    def test_wraparound(self):
+        st_ = run_snippet("""
+    lda r1, -1(zero)
+    add r1, #1, r2
+""")
+        assert st_.regs[2] == 0
+        assert st_.regs[1] == MASK64
+
+    def test_scaled_ops(self):
+        st_ = run_snippet("""
+    lda r1, 3(zero)
+    s4add r1, #1, r2
+    s8add r1, #1, r3
+    s4sub r1, #1, r4
+    s8sub r1, #1, r5
+""")
+        assert st_.regs[2] == 13
+        assert st_.regs[3] == 25
+        assert st_.regs[4] == 11
+        assert st_.regs[5] == 23
+
+    def test_lda_ldah(self):
+        st_ = run_snippet("""
+    lda  r1, 100(zero)
+    ldah r2, 2(r1)
+""")
+        assert st_.regs[2] == 100 + (2 << 16)
+
+    def test_zero_register_immutable(self):
+        st_ = run_snippet("    lda r31, 99(zero)\n    add zero, #0, r1\n")
+        assert st_.regs[31] == 0
+        assert st_.regs[1] == 0
+
+
+class TestLogicalAndShifts:
+    def test_logicals(self):
+        st_ = run_snippet("""
+    lda r1, 12(zero)
+    lda r2, 10(zero)
+    and r1, r2, r3
+    bis r1, r2, r4
+    xor r1, r2, r5
+    bic r1, r2, r6
+    ornot r1, r2, r7
+    eqv r1, r2, r8
+    not r1, r9
+""")
+        assert st_.regs[3] == 12 & 10
+        assert st_.regs[4] == 12 | 10
+        assert st_.regs[5] == 12 ^ 10
+        assert st_.regs[6] == 12 & ~10 & MASK64
+        assert st_.regs[7] == (12 | ~10) & MASK64
+        assert st_.regs[8] == ~(12 ^ 10) & MASK64
+        assert st_.regs[9] == ~12 & MASK64
+
+    def test_shifts(self):
+        st_ = run_snippet("""
+    lda r1, -8(zero)
+    sll r1, #2, r2
+    srl r1, #2, r3
+    sra r1, #2, r4
+""")
+        assert st_.regs[2] == wrap64(-32)
+        assert st_.regs[3] == wrap64(-8) >> 2
+        assert st_.regs[4] == wrap64(-2)
+
+    def test_shift_amount_masked(self):
+        st_ = run_snippet("""
+    lda r1, 1(zero)
+    sll r1, #65, r2
+""")
+        assert st_.regs[2] == 2  # 65 & 63 == 1
+
+
+class TestCompares:
+    def test_signed_compares(self):
+        st_ = run_snippet("""
+    lda r1, -5(zero)
+    cmplt r1, #3, r2
+    cmple r1, #-5, r3
+    cmpeq r1, #-5, r4
+    cmpult r1, #3, r5
+    cmpule r1, #-5, r6
+""")
+        assert st_.regs[2] == 1      # -5 < 3 signed
+        assert st_.regs[3] == 1
+        assert st_.regs[4] == 1
+        assert st_.regs[5] == 0      # unsigned: huge value not < 3
+        assert st_.regs[6] == 1
+
+
+class TestCmovs:
+    @pytest.mark.parametrize("op,test_value,moves", [
+        ("cmoveq", 0, True), ("cmoveq", 1, False),
+        ("cmovne", 0, False), ("cmovne", 2, True),
+        ("cmovlt", -1, True), ("cmovlt", 1, False),
+        ("cmovge", 0, True), ("cmovge", -1, False),
+        ("cmovle", 0, True), ("cmovgt", 1, True),
+        ("cmovlbs", 3, True), ("cmovlbc", 3, False),
+    ])
+    def test_conditions(self, op, test_value, moves):
+        st_ = run_snippet(f"""
+    lda r1, {test_value}(zero)
+    lda r2, 111(zero)
+    lda r3, 42(zero)
+    {op} r1, r2, r3
+""")
+        assert st_.regs[3] == (111 if moves else 42)
+
+
+class TestByteOps:
+    def test_extb_insb_mskb(self):
+        st_ = run_snippet("""
+    lda r1, 0x4142(zero)
+    extb r1, #1, r2
+    lda r3, 0x77(zero)
+    insb r3, #2, r4
+    mskb r1, #0, r5
+""")
+        assert st_.regs[2] == 0x41
+        assert st_.regs[4] == 0x77 << 16
+        assert st_.regs[5] == 0x4100
+
+    def test_zap(self):
+        st_ = run_snippet("""
+    lda r1, -1(zero)
+    zap r1, #1, r2
+""")
+        assert st_.regs[2] == MASK64 ^ 0xFF
+
+
+class TestCounts:
+    def test_counts(self):
+        st_ = run_snippet("""
+    lda r1, 40(zero)      ; 0b101000
+    ctlz r1, r2
+    cttz r1, r3
+    ctpop r1, r4
+""")
+        assert st_.regs[2] == 64 - 6
+        assert st_.regs[3] == 3
+        assert st_.regs[4] == 2
+
+
+class TestMemory:
+    def test_ldq_stq_round_trip(self):
+        st_ = run_snippet("""
+    lda r1, buf
+    lda r2, -12345(zero)
+    stq r2, 8(r1)
+    ldq r3, 8(r1)
+""", data="buf: .space 32\n")
+        assert st_.regs[3] == wrap64(-12345)
+
+    def test_ldl_sign_extends(self):
+        st_ = run_snippet("""
+    lda r1, buf
+    lda r2, -1(zero)
+    stl r2, 0(r1)
+    stq zero, 8(r1)
+    ldl r3, 0(r1)
+""", data="buf: .space 16\n")
+        assert st_.regs[3] == MASK64
+
+    def test_stl_stores_only_4_bytes(self):
+        st_ = run_snippet("""
+    lda r1, buf
+    lda r2, -1(zero)
+    stq zero, 0(r1)
+    stl r2, 0(r1)
+    ldq r3, 0(r1)
+""", data="buf: .space 16\n")
+        assert st_.regs[3] == 0xFFFF_FFFF
+
+    def test_data_image_loaded(self):
+        st_ = run_snippet("    lda r1, vals\n    ldq r2, 8(r1)\n",
+                          data="vals: .quad 10, 20, 30\n")
+        assert st_.regs[2] == 20
+
+
+class TestControl:
+    def test_conditional_branches(self):
+        st_ = run_snippet("""
+    lda r1, 0(zero)
+    beq r1, taken1
+    lda r9, 1(zero)
+taken1:
+    lda r2, -3(zero)
+    blt r2, taken2
+    lda r9, 2(zero)
+taken2:
+    lda r3, 5(zero)
+    blbs r3, taken3
+    lda r9, 3(zero)
+taken3:
+""")
+        assert st_.regs[9] == 0
+
+    def test_jsr_ret(self):
+        st_ = run_snippet("""
+    jsr helper
+    br end
+helper:
+    lda r5, 77(zero)
+    ret
+end:
+""")
+        assert st_.regs[5] == 77
+        assert st_.regs[26] == TEXT_BASE + 4
+
+    def test_jmp_indirect(self):
+        source = """
+    .text
+main:
+    lda r1, target
+    jmp (r1)
+    lda r9, 1(zero)
+target:
+    halt
+"""
+        program = assemble(source)
+        target = program.labels["target"]
+        state = run_program(program)
+        assert state.regs[9] == 0
+        assert state.regs[1] == target
+
+    def test_stack_pointer_initialized(self):
+        st_ = run_snippet("    add sp, #0, r1\n")
+        assert st_.regs[1] == STACK_TOP
+
+
+class TestFpClass:
+    def test_fadd_fmul_fdiv(self):
+        st_ = run_snippet("""
+    lda r1, 20(zero)
+    lda r2, -6(zero)
+    fadd r1, r2, r3
+    fmul r1, r2, r4
+    fdiv r1, r2, r5
+    fdiv r1, #0, r6
+""")
+        assert st_.regs[3] == 14
+        assert st_.regs[4] == wrap64(-120)
+        assert to_signed(st_.regs[5]) == -3  # truncation toward zero
+        assert st_.regs[6] == 0              # divide by zero yields 0
+
+
+class TestRunner:
+    def test_runaway_protection(self):
+        program = assemble(".text\nmain:\n    br main\n")
+        with pytest.raises(SemanticsError, match="exceeded"):
+            run_program(program, max_instructions=100)
+
+    def test_pc_escape_detected(self):
+        program = assemble(".text\nmain:\n    lda r1, 4096(zero)\n    jmp (r1)\n")
+        with pytest.raises(SemanticsError, match="outside text"):
+            run_program(program)
+
+
+class TestPropertyArithmetic:
+    @given(a=u64, b=u64)
+    @settings(max_examples=100, deadline=None)
+    def test_add_matches_python(self, a, b):
+        program = assemble(".text\nmain:\n    add r1, r2, r3\n    halt\n")
+        state = ArchState(program)
+        state.regs[1] = a
+        state.regs[2] = b
+        state.execute(program.instructions[0])
+        assert state.regs[3] == wrap64(a + b)

@@ -1,0 +1,164 @@
+"""Tests for the shadow RB interpreter: the whole-program fidelity check."""
+
+import pytest
+
+from repro.isa.assembler import assemble
+from repro.isa.shadow import ShadowRBInterpreter, shadow_check
+from repro.workloads.generators import (
+    conversion_chain_program,
+    dependent_chain_program,
+)
+from repro.workloads.suite import build
+
+
+class TestSmallPrograms:
+    def test_add_chain_forwards_redundant(self):
+        report = shadow_check(dependent_chain_program(iterations=50, chain_length=4))
+        assert report.clean
+        assert report.rb_checks >= 200  # every add checked in RB form
+
+    def test_conversion_chain_validates_converter(self):
+        report = shadow_check(conversion_chain_program(iterations=50))
+        assert report.clean
+        assert report.conversion_checks >= 50
+
+    def test_memory_addresses_via_sam(self):
+        source = """
+    .data
+buf:    .space 128
+    .text
+main:
+    lda r1, buf
+    lda r3, 10(zero)
+loop:
+    stq r3, 8(r1)
+    ldq r4, 8(r1)
+    lda r1, 8(r1)
+    sub r3, #1, r3
+    bgt r3, loop
+    halt
+"""
+        report = shadow_check(assemble(source, "mem"))
+        assert report.clean
+        assert report.sam_checks == 20
+
+    def test_negative_displacement_addresses(self):
+        source = """
+    .data
+buf:    .space 64
+    .text
+main:
+    lda r1, buf
+    lda r1, 32(r1)
+    lda r2, 7(zero)
+    stq r2, -8(r1)
+    ldq r3, -8(r1)
+    halt
+"""
+        report = shadow_check(assemble(source, "negdisp"))
+        assert report.clean
+
+    def test_unsigned_compares(self):
+        source = """
+    .text
+main:
+    lda r1, -1(zero)         ; unsigned max
+    cmpult r1, #5, r2        ; 0
+    cmpule r1, #-1, r3       ; 1
+    lda r4, 3(zero)
+    cmpult r4, #5, r5        ; 1
+    halt
+"""
+        interpreter = ShadowRBInterpreter(assemble(source, "ucmp"))
+        report = interpreter.run()
+        assert report.clean
+        assert interpreter.state.regs[2] == 0
+        assert interpreter.state.regs[3] == 1
+        assert interpreter.state.regs[5] == 1
+
+    def test_branch_tests_checked(self):
+        source = """
+    .text
+main:
+    lda r1, -3(zero)
+    blt r1, ok
+    lda r9, 1(zero)
+ok:
+    blbs r1, ok2
+    lda r9, 2(zero)
+ok2:
+    halt
+"""
+        report = shadow_check(assemble(source, "br"))
+        assert report.clean
+        assert report.test_checks >= 2
+
+    def test_move_propagates_redundant_form(self):
+        source = """
+    .text
+main:
+    lda r1, 5(zero)
+    add r1, #2, r2      ; redundant producer
+    mov r2, r3          ; RB-transparent move
+    add r3, #1, r4      ; consumes the forwarded redundant value
+    halt
+"""
+        interpreter = ShadowRBInterpreter(assemble(source, "move"))
+        report = interpreter.run()
+        assert report.clean
+        assert interpreter.rb_regs[3] is not None  # move kept the RB form
+
+    def test_mismatch_reporting_shape(self):
+        """Force a mismatch by corrupting the mirror, and check reporting."""
+        source = """
+    .text
+main:
+    lda r1, 5(zero)
+    add r1, #1, r2
+    and r2, #7, r3
+    halt
+"""
+        interpreter = ShadowRBInterpreter(assemble(source, "corrupt"))
+        interpreter.step()  # lda
+        interpreter.step()  # add: rb_regs[2] now holds 6
+        from repro.rb.convert import from_twos_complement
+        interpreter.rb_regs[2] = from_twos_complement(99, 64)  # corrupt
+        interpreter.step()  # and: converter check must fire
+        report = interpreter.report
+        assert not report.clean
+        assert report.mismatches[0].kind == "conversion"
+
+
+class TestNativeMultiplier:
+    def test_muls_checked_through_partial_products(self):
+        source = """
+    .text
+main:
+    lda r1, -37(zero)
+    lda r2, 113(zero)
+    mul r1, r2, r3        ; redundant multiplier
+    mul r3, r3, r4        ; consumes a redundant product
+    add r4, #1, r5
+    halt
+"""
+        interpreter = ShadowRBInterpreter(
+            assemble(source, "muls"), check_multiplies=True
+        )
+        report = interpreter.run()
+        assert report.clean
+        assert report.rb_checks >= 3
+
+
+class TestKernels:
+    @pytest.mark.parametrize("name", ["ijpeg", "li", "crafty"])
+    def test_kernels_shadow_clean(self, name):
+        report = shadow_check(build(name))
+        assert report.clean, report.mismatches[:3]
+        assert report.total_checks() > 5_000
+
+    @pytest.mark.slow
+    def test_gap_carry_chains_clean(self):
+        """gap's bignum loops are the densest add-chain stress."""
+        report = shadow_check(build("gap"))
+        assert report.clean
+        assert report.rb_checks > 20_000

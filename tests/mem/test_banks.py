@@ -1,0 +1,53 @@
+"""Tests for the bank contention model."""
+
+import pytest
+
+from repro.mem.banks import BankedResource
+
+
+class TestBankedResource:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            BankedResource(0, 1)
+        with pytest.raises(ValueError):
+            BankedResource(2, 0)
+
+    def test_bank_mapping_interleaved(self):
+        banks = BankedResource(2, occupancy=2)
+        assert banks.bank_of(0x000, 6) == 0
+        assert banks.bank_of(0x040, 6) == 1
+        assert banks.bank_of(0x080, 6) == 0
+
+    def test_no_conflict_when_spread(self):
+        banks = BankedResource(2, occupancy=4)
+        assert banks.schedule(0, 10) == 10
+        assert banks.schedule(1, 10) == 10
+        assert banks.conflict_cycles == 0
+
+    def test_conflict_delays_to_bank_free(self):
+        banks = BankedResource(2, occupancy=4)
+        assert banks.schedule(0, 10) == 10
+        assert banks.schedule(0, 11) == 14  # bank busy until 14
+        assert banks.conflict_cycles == 3
+
+    def test_back_to_back_spacing(self):
+        banks = BankedResource(1, occupancy=2)
+        starts = [banks.schedule(0, 0) for _ in range(4)]
+        assert starts == [0, 2, 4, 6]
+
+    def test_idle_gap_no_penalty(self):
+        banks = BankedResource(1, occupancy=2)
+        banks.schedule(0, 0)
+        assert banks.schedule(0, 100) == 100
+
+    def test_out_of_range_bank(self):
+        banks = BankedResource(2, occupancy=1)
+        with pytest.raises(ValueError):
+            banks.schedule(2, 0)
+
+    def test_reset(self):
+        banks = BankedResource(1, occupancy=10)
+        banks.schedule(0, 0)
+        banks.reset()
+        assert banks.schedule(0, 0) == 0
+        assert banks.accesses == 1

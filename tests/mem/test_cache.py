@@ -1,0 +1,86 @@
+"""Tests for the set-associative LRU cache timing model."""
+
+import pytest
+
+from repro.mem.cache import Cache, CacheConfig
+
+
+def make_cache(size=1024, assoc=2, line=64):
+    return Cache(CacheConfig("test", size, assoc, line, hit_latency=2))
+
+
+class TestConfig:
+    def test_geometry(self):
+        config = CacheConfig("c", 8 * 1024, 2, 64, 2)
+        assert config.num_sets == 64
+        assert config.line_shift == 6
+
+    def test_invalid_geometry(self):
+        with pytest.raises(ValueError):
+            CacheConfig("c", 1000, 3, 64, 1)
+        with pytest.raises(ValueError):
+            CacheConfig("c", 0, 1, 64, 1)
+        with pytest.raises(ValueError):
+            CacheConfig("c", 1024, 2, 48, 1)  # line not a power of two
+
+
+class TestLookupFill:
+    def test_cold_miss_then_hit(self):
+        cache = make_cache()
+        assert not cache.lookup(0x1000)
+        cache.fill(0x1000)
+        assert cache.lookup(0x1000)
+        assert cache.misses == 1
+        assert cache.hits == 1
+
+    def test_same_line_same_entry(self):
+        cache = make_cache()
+        cache.fill(0x1000)
+        assert cache.lookup(0x1004)  # same 64B line
+        assert cache.lookup(0x103F)
+
+    def test_lru_eviction(self):
+        cache = make_cache(size=256, assoc=2, line=64)  # 2 sets
+        # set 0 holds lines 0, 2, 4... (line address % 2 == 0)
+        cache.fill(0 * 64)
+        cache.fill(2 * 64)
+        cache.lookup(0 * 64)          # touch line 0: line 2 becomes LRU
+        victim = cache.fill(4 * 64)   # evicts line 2
+        assert victim == 2 * 64
+        assert cache.contains(0 * 64)
+        assert not cache.contains(2 * 64)
+
+    def test_fill_existing_no_eviction(self):
+        cache = make_cache()
+        cache.fill(0x40)
+        assert cache.fill(0x40) is None
+
+    def test_invalidate_all(self):
+        cache = make_cache()
+        cache.fill(0)
+        cache.invalidate_all()
+        assert not cache.contains(0)
+
+    def test_hit_rate(self):
+        cache = make_cache()
+        cache.lookup(0)
+        cache.fill(0)
+        cache.lookup(0)
+        assert cache.hit_rate() == pytest.approx(0.5)
+
+    def test_working_set_within_capacity_all_hits(self):
+        cache = make_cache(size=4096, assoc=4, line=64)
+        lines = [i * 64 for i in range(64)]  # exactly capacity
+        for address in lines:
+            cache.fill(address)
+        for address in lines:
+            assert cache.lookup(address)
+
+    def test_set_conflicts_beyond_associativity(self):
+        cache = make_cache(size=256, assoc=2, line=64)  # 2 sets, 2 ways
+        # three lines in the same set thrash
+        a, b, c = 0, 2 * 64, 4 * 64
+        for address in (a, b, c, a, b, c):
+            cache.lookup(address)
+            cache.fill(address)
+        assert cache.hits == 0

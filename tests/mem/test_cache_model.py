@@ -1,0 +1,62 @@
+"""Property test: the cache against a reference LRU model."""
+
+from collections import OrderedDict
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.mem.cache import Cache, CacheConfig
+
+
+class ReferenceLRU:
+    """Straightforward per-set ordered-dict LRU, the executable spec."""
+
+    def __init__(self, num_sets: int, ways: int, line_shift: int) -> None:
+        self.num_sets = num_sets
+        self.ways = ways
+        self.line_shift = line_shift
+        self.sets = [OrderedDict() for _ in range(num_sets)]
+
+    def _locate(self, address):
+        line = address >> self.line_shift
+        return self.sets[line % self.num_sets], line
+
+    def lookup(self, address) -> bool:
+        ways, tag = self._locate(address)
+        if tag in ways:
+            ways.move_to_end(tag)
+            return True
+        return False
+
+    def fill(self, address):
+        ways, tag = self._locate(address)
+        if tag in ways:
+            return None
+        ways[tag] = True
+        ways.move_to_end(tag)
+        if len(ways) > self.ways:
+            victim, _ = ways.popitem(last=False)
+            return victim << self.line_shift
+        return None
+
+
+@given(st.lists(
+    st.tuples(st.sampled_from(["lookup", "fill"]),
+              st.integers(min_value=0, max_value=4095)),
+    min_size=1, max_size=300,
+))
+@settings(max_examples=150, deadline=None)
+def test_cache_matches_reference_lru(operations):
+    cache = Cache(CacheConfig("dut", size_bytes=512, associativity=2,
+                              line_bytes=64, hit_latency=1))
+    # 512B / (2 ways * 64B) = 4 sets
+    reference = ReferenceLRU(num_sets=4, ways=2, line_shift=6)
+    for op, address in operations:
+        if op == "lookup":
+            assert cache.lookup(address) == reference.lookup(address)
+        else:
+            assert cache.fill(address) == reference.fill(address)
+    # final residency agrees everywhere that was touched
+    for _, address in operations:
+        ways, tag = reference._locate(address)
+        assert cache.contains(address) == (tag in ways)

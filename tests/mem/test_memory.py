@@ -1,0 +1,74 @@
+"""Tests for the functional paged memory."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.mem.memory import PAGE_SIZE, PagedMemory
+
+
+class TestBasics:
+    def test_reads_zero_when_untouched(self):
+        memory = PagedMemory()
+        assert memory.read(0x1234, 8) == 0
+        assert memory.read_byte(99) == 0
+
+    def test_byte_round_trip(self):
+        memory = PagedMemory()
+        memory.write_byte(5, 0xAB)
+        assert memory.read_byte(5) == 0xAB
+
+    def test_little_endian(self):
+        memory = PagedMemory()
+        memory.write(0x100, 0x0102030405060708, 8)
+        assert memory.read_byte(0x100) == 0x08
+        assert memory.read_byte(0x107) == 0x01
+
+    def test_cross_page_access(self):
+        memory = PagedMemory()
+        address = PAGE_SIZE - 3
+        memory.write(address, 0x1122334455667788, 8)
+        assert memory.read(address, 8) == 0x1122334455667788
+        assert memory.touched_pages() == 2
+
+    def test_write_truncates_to_size(self):
+        memory = PagedMemory()
+        memory.write(0, 0x1FF, 1)
+        assert memory.read(0, 1) == 0xFF
+
+    def test_load_image(self):
+        memory = PagedMemory()
+        memory.load_image(PAGE_SIZE - 2, b"\x01\x02\x03\x04")
+        assert memory.read(PAGE_SIZE - 2, 4) == 0x04030201
+
+    def test_address_wraps_64_bits(self):
+        memory = PagedMemory()
+        memory.write(2**64 + 8, 0x55, 1)
+        assert memory.read(8, 1) == 0x55
+
+
+class TestProperties:
+    @given(
+        address=st.integers(min_value=0, max_value=2**20),
+        value=st.integers(min_value=0, max_value=2**64 - 1),
+        size=st.sampled_from([1, 2, 4, 8]),
+    )
+    @settings(max_examples=200)
+    def test_round_trip(self, address, value, size):
+        memory = PagedMemory()
+        memory.write(address, value, size)
+        assert memory.read(address, size) == value & ((1 << (size * 8)) - 1)
+
+    @given(st.lists(
+        st.tuples(st.integers(min_value=0, max_value=4096),
+                  st.integers(min_value=0, max_value=255)),
+        min_size=1, max_size=50,
+    ))
+    def test_model_equivalence(self, writes):
+        """Byte-level writes must match a plain dict model."""
+        memory = PagedMemory()
+        model = {}
+        for address, value in writes:
+            memory.write_byte(address, value)
+            model[address] = value
+        for address, value in model.items():
+            assert memory.read_byte(address) == value

@@ -1,0 +1,131 @@
+"""Property tests for the carry-free adder: the heart of the paper's §3.
+
+The adder's contract: for any two fixed-width RB operands (each already in
+two's-complement range), the result value equals the wrapped TC sum, the
+overflow flag matches TC overflow, and the carry-free digit rule never
+leaves {-1, 0, 1}.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.rb.adder import interim_digit, rb_add, rb_add_digits, rb_negate, rb_sub
+from repro.rb.convert import from_twos_complement
+from repro.rb.number import RBNumber
+from repro.utils.bitops import to_signed
+
+WIDTH = 8
+LO, HI = -(1 << (WIDTH - 1)), (1 << (WIDTH - 1)) - 1
+
+tc_values = st.integers(min_value=LO, max_value=HI)
+digit_lists = st.lists(st.sampled_from([-1, 0, 1]), min_size=WIDTH, max_size=WIDTH)
+
+
+class TestInterimDigit:
+    @pytest.mark.parametrize("p", [-2, -1, 0, 1, 2])
+    @pytest.mark.parametrize("prev_nonneg", [True, False])
+    def test_split_is_exact(self, p, prev_nonneg):
+        carry, interim = interim_digit(p, prev_nonneg)
+        assert 2 * carry + interim == p
+        assert carry in (-1, 0, 1)
+        assert interim in (-1, 0, 1)
+
+    def test_carry_sign_discipline(self):
+        # both-nonneg below => never emit an interim that could collide with
+        # a positive incoming carry; and vice versa.
+        assert interim_digit(1, True) == (1, -1)
+        assert interim_digit(1, False) == (0, 1)
+        assert interim_digit(-1, True) == (0, -1)
+        assert interim_digit(-1, False) == (-1, 1)
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(ValueError):
+            interim_digit(3, True)
+
+
+class TestRawDigitAdd:
+    @given(digit_lists, digit_lists)
+    @settings(max_examples=300)
+    def test_exact_sum_with_carry(self, xd, yd):
+        x = RBNumber.from_digits(xd)
+        y = RBNumber.from_digits(yd)
+        digits, carry = rb_add_digits(x, y)
+        assert all(d in (-1, 0, 1) for d in digits)
+        assert carry in (-1, 0, 1)
+        total = sum(d << i for i, d in enumerate(digits)) + (carry << WIDTH)
+        assert total == x.value() + y.value()
+
+    def test_width_mismatch(self):
+        with pytest.raises(ValueError):
+            rb_add_digits(RBNumber.zero(4), RBNumber.zero(5))
+
+
+class TestWrappedAdd:
+    @given(tc_values, tc_values)
+    @settings(max_examples=500)
+    def test_matches_twos_complement(self, a, b):
+        result = rb_add(from_twos_complement(a, WIDTH), from_twos_complement(b, WIDTH))
+        assert result.value.value() == to_signed(a + b, WIDTH)
+        assert result.overflow == (not LO <= a + b <= HI)
+
+    @given(tc_values, tc_values)
+    @settings(max_examples=300)
+    def test_subtraction(self, a, b):
+        result = rb_sub(from_twos_complement(a, WIDTH), from_twos_complement(b, WIDTH))
+        assert result.value.value() == to_signed(a - b, WIDTH)
+        assert result.overflow == (not LO <= a - b <= HI)
+
+    @given(st.lists(tc_values, min_size=1, max_size=30))
+    @settings(max_examples=200)
+    def test_chained_adds_stay_wrapped(self, addends):
+        """Long chains (the paper's forwarding case) keep the invariant:
+        the representation always equals the wrapped TC accumulator."""
+        accumulator = from_twos_complement(0, WIDTH)
+        expected = 0
+        for addend in addends:
+            accumulator = rb_add(accumulator, from_twos_complement(addend, WIDTH)).value
+            expected = to_signed(expected + addend, WIDTH)
+            assert accumulator.value() == expected
+
+    def test_paper_increment_sequence(self):
+        """§3.5's worked example: 1+1+1... produces exactly these digit
+        patterns with the Figure 2 adder."""
+        one = from_twos_complement(1, 4)
+        value = one
+        expected_patterns = [
+            [0, 0, 1, 0],    # 2
+            [0, 1, 0, -1],   # 3
+            [1, -1, 0, 0],   # 4
+            [1, -1, 1, -1],  # 5
+        ]
+        for pattern in expected_patterns:
+            value = rb_add(value, one).value
+            assert list(reversed(value.digits())) == pattern
+
+    @given(tc_values)
+    def test_negate_is_involution(self, a):
+        n = from_twos_complement(a, WIDTH)
+        assert rb_negate(rb_negate(n)) == n
+
+    @given(tc_values, tc_values)
+    @settings(max_examples=200)
+    def test_commutative(self, a, b):
+        x = from_twos_complement(a, WIDTH)
+        y = from_twos_complement(b, WIDTH)
+        assert rb_add(x, y).value.value() == rb_add(y, x).value.value()
+
+
+class TestWiderWidths:
+    @given(st.integers(min_value=-(1 << 63), max_value=(1 << 63) - 1),
+           st.integers(min_value=-(1 << 63), max_value=(1 << 63) - 1))
+    @settings(max_examples=150)
+    def test_64_digit_add(self, a, b):
+        result = rb_add(from_twos_complement(a, 64), from_twos_complement(b, 64))
+        assert result.value.value() == to_signed(a + b, 64)
+
+    @given(st.integers(min_value=1, max_value=12))
+    def test_add_zero_identity(self, width):
+        zero = RBNumber.zero(width)
+        assert rb_add(zero, zero).value.value() == 0
+        assert not rb_add(zero, zero).overflow

@@ -1,0 +1,76 @@
+"""Tests for the RBALU facade: semantics and format enforcement."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.rb.alu import RBALU, FormatError
+from repro.utils.bitops import to_signed
+
+WIDTH = 16
+values = st.integers(min_value=-(1 << (WIDTH - 1)), max_value=(1 << (WIDTH - 1)) - 1)
+
+
+#: RBALU is stateless, so one shared instance serves every test.
+ALU = RBALU(width=WIDTH)
+
+
+class TestArithmetic:
+    @given(a=values, b=values)
+    @settings(max_examples=200)
+    def test_add_sub(self, a, b):
+        ra, rb_operand = ALU.encode(a), ALU.encode(b)
+        assert ALU.decode(ALU.add(ra, rb_operand).value) == to_signed(a + b, WIDTH)
+        assert ALU.decode(ALU.sub(ra, rb_operand).value) == to_signed(a - b, WIDTH)
+
+    @given(a=values, b=values)
+    @settings(max_examples=150)
+    def test_compare(self, a, b):
+        result = ALU.compare(ALU.encode(a), ALU.encode(b))
+        assert result == (0 if a == b else (1 if a > b else -1))
+
+    @given(a=values)
+    def test_compare_zero(self, a):
+        assert ALU.compare_zero(ALU.encode(a)) == (0 if a == 0 else (1 if a > 0 else -1))
+
+    @given(a=values, k=st.integers(min_value=0, max_value=8))
+    @settings(max_examples=150)
+    def test_shift_left(self, a, k):
+        assert ALU.decode(ALU.shift_left(ALU.encode(a), k)) == to_signed(a << k, WIDTH)
+
+    @given(a=values, b=values, scale=st.sampled_from([2, 3]))
+    @settings(max_examples=150)
+    def test_scaled_add(self, a, b, scale):
+        result = ALU.scaled_add(ALU.encode(a), ALU.encode(b), scale)
+        assert ALU.decode(result.value) == to_signed((a << scale) + b, WIDTH)
+
+    @given(a=values)
+    def test_predicates(self, a):
+        n = ALU.encode(a)
+        assert ALU.is_zero(n) == (a == 0)
+        assert ALU.lsb_set(n) == (a % 2 != 0)
+
+    def test_extract_longword(self):
+        wide = ALU.encode(0x1234)
+        low = ALU.extract_longword(wide, 8)
+        assert low.value() == to_signed(0x34, 8)
+
+
+class TestFormatEnforcement:
+    def test_width_mismatch(self):
+        from repro.rb.number import RBNumber
+        with pytest.raises(FormatError):
+            ALU.add(RBNumber.zero(4), RBNumber.zero(4))
+
+    @pytest.mark.parametrize("mnemonic", ["AND", "xor", "SRL", "ctlz", "EXTB", "CTPOP"])
+    def test_tc_only_operations_rejected(self, mnemonic):
+        with pytest.raises(FormatError):
+            ALU.require_tc(mnemonic)
+
+    def test_non_tc_operation_is_an_error(self):
+        with pytest.raises(ValueError):
+            ALU.require_tc("ADD")
+
+    def test_invalid_width(self):
+        with pytest.raises(ValueError):
+            RBALU(width=0)

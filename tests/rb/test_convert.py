@@ -1,0 +1,60 @@
+"""Tests for TC <-> RB conversion (paper §3.2)."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.rb.convert import (
+    from_twos_complement,
+    to_twos_complement,
+    to_twos_complement_bits,
+)
+from repro.rb.number import RBNumber
+
+
+class TestFromTC:
+    def test_paper_encoding_is_hardwired(self):
+        """All bits except the sign go to X+; the sign bit goes to X-."""
+        n = from_twos_complement(0b0110, 4)
+        assert n.plus == 0b0110
+        assert n.minus == 0
+
+    def test_negative_sign_in_minus(self):
+        n = from_twos_complement(-1, 4)  # bits 1111
+        assert n.plus == 0b0111
+        assert n.minus == 0b1000
+        assert n.value() == -1
+
+    def test_most_negative(self):
+        n = from_twos_complement(-8, 4)
+        assert n.value() == -8
+
+    def test_accepts_unsigned_pattern(self):
+        assert from_twos_complement(0xFF, 8) == from_twos_complement(-1, 8)
+
+    def test_width_validation(self):
+        with pytest.raises(ValueError):
+            from_twos_complement(0, 0)
+
+    @given(st.integers(min_value=-(1 << 15), max_value=(1 << 15) - 1))
+    def test_value_preserved(self, value):
+        assert from_twos_complement(value, 16).value() == value
+
+
+class TestToTC:
+    @given(st.integers(min_value=-(1 << 15), max_value=(1 << 15) - 1))
+    def test_round_trip(self, value):
+        assert to_twos_complement(from_twos_complement(value, 16)) == value
+
+    @given(st.lists(st.sampled_from([-1, 0, 1]), min_size=8, max_size=8))
+    def test_any_encoding_wraps_mod_2n(self, digits):
+        """The hardware subtractor computes X+ - X- mod 2^n; the signed
+        result must be congruent to the true represented value."""
+        n = RBNumber.from_digits(digits)
+        tc = to_twos_complement(n)
+        assert -128 <= tc <= 127
+        assert (tc - n.value()) % 256 == 0
+
+    def test_bits_view(self):
+        n = from_twos_complement(-2, 8)
+        assert to_twos_complement_bits(n) == 0xFE

@@ -1,0 +1,73 @@
+"""Property tests for redundant binary multiplication."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+import pytest
+
+from repro.rb.convert import from_twos_complement
+from repro.rb.multiply import partial_products, rb_multiply
+from repro.rb.number import RBNumber
+from repro.rb.ops import sign_of
+from repro.utils.bitops import to_signed
+
+WIDTH = 12
+values = st.integers(min_value=-(1 << (WIDTH - 1)), max_value=(1 << (WIDTH - 1)) - 1)
+digit_lists = st.lists(st.sampled_from([-1, 0, 1]), min_size=WIDTH, max_size=WIDTH)
+
+
+class TestRbMultiply:
+    @given(a=values, b=values)
+    @settings(max_examples=300, deadline=None)
+    def test_matches_wrapped_product(self, a, b):
+        product = rb_multiply(
+            from_twos_complement(a, WIDTH), from_twos_complement(b, WIDTH)
+        )
+        expected = to_signed(a * b, WIDTH)
+        assert product.value() == expected
+        # sign invariant maintained for downstream RB condition tests
+        assert sign_of(product) == (0 if expected == 0 else
+                                    (1 if expected > 0 else -1))
+
+    @given(xd=digit_lists, yd=digit_lists)
+    @settings(max_examples=200, deadline=None)
+    def test_any_redundant_encodings(self, xd, yd):
+        """Forwarded (non-canonical) operands multiply correctly too."""
+        x = RBNumber.from_digits(xd)
+        y = RBNumber.from_digits(yd)
+        product = rb_multiply(x, y)
+        assert product.value() == to_signed(x.value() * y.value(), WIDTH)
+
+    @given(a=values)
+    def test_identities(self, a):
+        x = from_twos_complement(a, WIDTH)
+        one = from_twos_complement(1, WIDTH)
+        zero = RBNumber.zero(WIDTH)
+        assert rb_multiply(x, one).value() == a
+        assert rb_multiply(x, zero).value() == 0
+
+    @given(a=values, b=values)
+    @settings(max_examples=150, deadline=None)
+    def test_commutative(self, a, b):
+        x = from_twos_complement(a, WIDTH)
+        y = from_twos_complement(b, WIDTH)
+        assert rb_multiply(x, y).value() == rb_multiply(y, x).value()
+
+    def test_width_mismatch(self):
+        with pytest.raises(ValueError):
+            rb_multiply(RBNumber.zero(4), RBNumber.zero(8))
+
+
+class TestPartialProducts:
+    def test_count_matches_nonzero_digits(self):
+        y = RBNumber.from_digits([1, 0, -1, 0])
+        x = from_twos_complement(3, 4)
+        assert len(partial_products(x, y)) == 2
+
+    @given(a=values, b=values)
+    @settings(max_examples=100, deadline=None)
+    def test_partials_sum_to_product(self, a, b):
+        x = from_twos_complement(a, WIDTH)
+        y = from_twos_complement(b, WIDTH)
+        total = sum(p.value() for p in partial_products(x, y))
+        assert (total - a * b) % (1 << WIDTH) == 0

@@ -1,0 +1,121 @@
+"""Tests for the RBNumber value type (paper §3.1)."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.rb.number import RBNumber, digits_valid
+
+digits_lists = st.lists(st.sampled_from([-1, 0, 1]), min_size=1, max_size=16)
+
+
+class TestConstruction:
+    def test_zero(self):
+        z = RBNumber.zero(8)
+        assert z.value() == 0
+        assert z.digits() == [0] * 8
+
+    def test_paper_example_three(self):
+        # <0, 1, 0, -1> represents 2^2 - 2^0 = 3 (paper §3.1)
+        n = RBNumber.from_msd_digits([0, 1, 0, -1])
+        assert n.value() == 3
+        alt = RBNumber.from_msd_digits([0, 0, 1, 1])
+        assert alt.value() == 3
+        assert n != alt  # redundancy: same value, different encodings
+
+    def test_invalid_digit_rejected(self):
+        with pytest.raises(ValueError):
+            RBNumber.from_digits([0, 2])
+
+    def test_conflicting_bits_rejected(self):
+        with pytest.raises(ValueError):
+            RBNumber(4, plus=0b0001, minus=0b0001)
+
+    def test_width_overflow_rejected(self):
+        with pytest.raises(ValueError):
+            RBNumber(2, plus=0b100, minus=0)
+
+    def test_nonpositive_width_rejected(self):
+        with pytest.raises(ValueError):
+            RBNumber(0, 0, 0)
+
+    @given(digits_lists)
+    def test_digits_round_trip(self, digits):
+        n = RBNumber.from_digits(digits)
+        assert n.digits() == digits
+        assert n.width == len(digits)
+
+    @given(digits_lists)
+    def test_value_matches_definition(self, digits):
+        n = RBNumber.from_digits(digits)
+        assert n.value() == sum(d << i for i, d in enumerate(digits))
+
+
+class TestAccessors:
+    def test_digit_indexing(self):
+        n = RBNumber.from_digits([1, 0, -1])
+        assert n.digit(0) == 1
+        assert n.digit(2) == -1
+        with pytest.raises(IndexError):
+            n.digit(3)
+
+    def test_msd(self):
+        assert RBNumber.from_digits([0, 0, -1]).msd() == -1
+
+    def test_nonzero_digit_count(self):
+        assert RBNumber.from_digits([1, 0, -1, 0]).nonzero_digit_count() == 2
+
+    def test_plus_minus_components(self):
+        n = RBNumber.from_digits([1, -1, 0, 1])
+        assert n.plus == 0b1001
+        assert n.minus == 0b0010
+
+
+class TestTransforms:
+    def test_negated(self):
+        n = RBNumber.from_digits([1, 0, -1])
+        assert n.negated().value() == -n.value()
+        assert n.negated().negated() == n
+
+    def test_with_digit(self):
+        n = RBNumber.from_digits([0, 0, 0])
+        assert n.with_digit(1, -1).value() == -2
+        with pytest.raises(ValueError):
+            n.with_digit(0, 5)
+        with pytest.raises(IndexError):
+            n.with_digit(9, 1)
+
+    def test_truncated_preserves_value_mod(self):
+        n = RBNumber.from_digits([1, -1, 1, 1])
+        t = n.truncated(2)
+        assert t.width == 2
+        assert (t.value() - n.value()) % 4 == 0
+
+    def test_truncated_validation(self):
+        with pytest.raises(ValueError):
+            RBNumber.zero(4).truncated(5)
+
+    @given(digits_lists)
+    def test_negation_value(self, digits):
+        n = RBNumber.from_digits(digits)
+        assert n.negated().value() == -n.value()
+
+
+class TestEquality:
+    def test_hashable(self):
+        a = RBNumber.from_digits([1, 0])
+        b = RBNumber.from_digits([1, 0])
+        assert a == b
+        assert hash(a) == hash(b)
+        assert len({a, b}) == 1
+
+    def test_not_equal_other_types(self):
+        assert RBNumber.zero(4) != 0
+
+    def test_repr_msd_first(self):
+        assert "1, 0, -1" in repr(RBNumber.from_digits([-1, 0, 1]))
+
+
+def test_digits_valid():
+    assert digits_valid([1, 0, -1])
+    assert not digits_valid([2])

@@ -1,0 +1,128 @@
+"""Tests for the non-add RB operations (paper §3.6)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.rb.convert import from_twos_complement
+from repro.rb.number import RBNumber
+from repro.rb.ops import (
+    count_trailing_zero_digits,
+    extract_longword,
+    is_negative,
+    is_zero,
+    lsb_set,
+    scaled_add,
+    shift_left_digits,
+    sign_of,
+)
+from repro.utils.bitops import count_trailing_zeros, to_signed
+
+WIDTH = 8
+tc_values = st.integers(min_value=-(1 << (WIDTH - 1)), max_value=(1 << (WIDTH - 1)) - 1)
+digit_lists = st.lists(st.sampled_from([-1, 0, 1]), min_size=WIDTH, max_size=WIDTH)
+
+
+class TestShiftLeft:
+    def test_paper_example(self):
+        # <-1, 1, 0, 1> (-3) shifted left one digit becomes -6
+        n = RBNumber.from_msd_digits([-1, 1, 0, 1])
+        shifted, _ = shift_left_digits(n, 1)
+        assert shifted.value() == -6
+
+    @given(tc_values, st.integers(min_value=0, max_value=10))
+    @settings(max_examples=300)
+    def test_matches_tc_shift(self, value, amount):
+        shifted, _ = shift_left_digits(from_twos_complement(value, WIDTH), amount)
+        assert shifted.value() == to_signed(value << amount, WIDTH)
+
+    @given(digit_lists, st.integers(min_value=0, max_value=9))
+    @settings(max_examples=300)
+    def test_any_encoding_wraps(self, digits, amount):
+        n = RBNumber.from_digits(digits)
+        shifted, _ = shift_left_digits(n, amount)
+        assert (shifted.value() - (n.value() << amount)) % (1 << WIDTH) == 0
+        half = 1 << (WIDTH - 1)
+        assert -half <= shifted.value() < half
+
+    def test_negative_amount_rejected(self):
+        with pytest.raises(ValueError):
+            shift_left_digits(RBNumber.zero(4), -1)
+
+
+class TestScaledAdd:
+    @given(tc_values, tc_values, st.sampled_from([2, 3]))
+    @settings(max_examples=300)
+    def test_sxadd_semantics(self, a, b, scale):
+        result = scaled_add(
+            from_twos_complement(a, WIDTH), from_twos_complement(b, WIDTH), scale
+        )
+        assert result.value.value() == to_signed((a << scale) + b, WIDTH)
+
+
+class TestCTTZ:
+    @given(tc_values)
+    def test_matches_tc_cttz(self, value):
+        n = from_twos_complement(value, WIDTH)
+        expected = count_trailing_zeros(value, WIDTH)
+        assert count_trailing_zero_digits(n) == expected
+
+    @given(digit_lists)
+    def test_any_encoding(self, digits):
+        """Trailing zero digits == trailing zero bits of the value: the
+        lowest non-zero digit sets the lowest non-zero bit weight."""
+        n = RBNumber.from_digits(digits)
+        if n.value() == 0:
+            assert count_trailing_zero_digits(n) == WIDTH
+        else:
+            low = n.value() & -n.value()
+            assert count_trailing_zero_digits(n) == low.bit_length() - 1
+
+
+class TestConditionTests:
+    @given(digit_lists)
+    def test_sign_matches_value(self, digits):
+        n = RBNumber.from_digits(digits)
+        value = n.value()
+        assert sign_of(n) == (0 if value == 0 else (1 if value > 0 else -1))
+
+    @given(digit_lists)
+    def test_zero_unique_representation(self, digits):
+        n = RBNumber.from_digits(digits)
+        assert is_zero(n) == (n.value() == 0)
+        if is_zero(n):
+            assert all(d == 0 for d in n.digits())
+
+    @given(digit_lists)
+    def test_lsb_parity(self, digits):
+        n = RBNumber.from_digits(digits)
+        assert lsb_set(n) == (n.value() % 2 != 0)
+
+    @given(tc_values)
+    def test_is_negative(self, value):
+        assert is_negative(from_twos_complement(value, WIDTH)) == (value < 0)
+
+
+class TestExtractLongword:
+    @given(st.integers(min_value=-(1 << 15), max_value=(1 << 15) - 1))
+    @settings(max_examples=300)
+    def test_quad_to_long(self, value):
+        quad = from_twos_complement(value, 16)
+        long, _ = extract_longword(quad, 8)
+        assert long.width == 8
+        assert long.value() == to_signed(value, 8)
+
+    @given(st.lists(st.sampled_from([-1, 0, 1]), min_size=16, max_size=16))
+    @settings(max_examples=300)
+    def test_any_encoding_keeps_sign(self, digits):
+        quad = RBNumber.from_digits(digits)
+        long, _ = extract_longword(quad, 8)
+        expected = to_signed(quad.value(), 8)
+        assert long.value() == expected
+        assert sign_of(long) == (0 if expected == 0 else (1 if expected > 0 else -1))
+
+    def test_width_validation(self):
+        with pytest.raises(ValueError):
+            extract_longword(RBNumber.zero(8), 8)
+        with pytest.raises(ValueError):
+            extract_longword(RBNumber.zero(8), 0)

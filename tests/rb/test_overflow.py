@@ -1,0 +1,76 @@
+"""Tests for bogus-overflow correction and TC overflow detection (§3.5)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.rb.number import RBNumber
+from repro.rb.overflow import correct_bogus_overflow, normalize_msd
+
+
+class TestBogusOverflow:
+    def test_paper_identities(self):
+        # <1, -1> == <0, 1> and <-1, 1> == <0, -1> at (carry, msd)
+        assert correct_bogus_overflow(1, -1) == (0, 1)
+        assert correct_bogus_overflow(-1, 1) == (0, -1)
+
+    @pytest.mark.parametrize("carry,msd", [
+        (0, 0), (0, 1), (0, -1), (1, 0), (1, 1), (-1, 0), (-1, -1),
+    ])
+    def test_other_patterns_untouched(self, carry, msd):
+        assert correct_bogus_overflow(carry, msd) == (carry, msd)
+
+    @pytest.mark.parametrize("carry,msd", [(2, 0), (0, 2), (-2, 0)])
+    def test_invalid_digits_rejected(self, carry, msd):
+        with pytest.raises(ValueError):
+            correct_bogus_overflow(carry, msd)
+
+    def test_correction_preserves_value(self):
+        # carry*2^n + msd*2^(n-1): 1*16 + (-1)*8 = 8 == 0*16 + 1*8
+        for carry, msd in [(1, -1), (-1, 1)]:
+            fixed_carry, fixed_msd = correct_bogus_overflow(carry, msd)
+            assert carry * 16 + msd * 8 == fixed_carry * 16 + fixed_msd * 8
+
+
+class TestNormalizeMsd:
+    @given(st.lists(st.sampled_from([-1, 0, 1]), min_size=6, max_size=6),
+           st.sampled_from([-1, 0, 1]))
+    @settings(max_examples=400)
+    def test_contract(self, digits, carry):
+        """Output is congruent mod 2^w, in TC range, and the overflow flag
+        fires exactly when the true (carry-included) value was out of range."""
+        n = RBNumber.from_digits(digits)
+        # avoid the invalid bogus precondition combinations being double-handled:
+        normalized, overflow = normalize_msd(n, carry)
+        width = n.width
+        true_value = n.value() + (carry << width)
+        half = 1 << (width - 1)
+        assert (normalized.value() - true_value) % (1 << width) == 0
+        assert -half <= normalized.value() < half
+        assert overflow == (not -half <= true_value < half)
+
+    def test_event_msd_negative_rest_negative(self):
+        # MSD -1 with a negative rest: value < -2^(n-1) -> flip MSD to +1
+        n = RBNumber.from_msd_digits([-1, 0, 0, -1])  # -9 in 4 digits
+        normalized, overflow = normalize_msd(n)
+        assert overflow
+        assert normalized.msd() == 1
+        assert normalized.value() == 7  # -9 + 16
+
+    def test_event_msd_positive_rest_nonneg(self):
+        n = RBNumber.from_msd_digits([1, 0, 0, 0])  # +8 in 4 digits
+        normalized, overflow = normalize_msd(n)
+        assert overflow
+        assert normalized.msd() == -1
+        assert normalized.value() == -8
+
+    def test_residual_carry_is_overflow(self):
+        n = RBNumber.zero(4)
+        _, overflow = normalize_msd(n, carry=1)
+        assert overflow
+
+    def test_in_range_untouched(self):
+        n = RBNumber.from_msd_digits([0, 1, 0, -1])  # 3
+        normalized, overflow = normalize_msd(n)
+        assert normalized == n
+        assert not overflow

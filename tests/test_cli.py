@@ -1,0 +1,70 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import main
+
+
+class TestList:
+    def test_lists_machines_and_workloads(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "rb-full" in out
+        assert "gap" in out
+        assert "spec2000" in out
+
+
+class TestRun:
+    def test_run_suite_workload(self, capsys):
+        assert main(["run", "ijpeg", "--machine", "baseline", "--width", "4"]) == 0
+        out = capsys.readouterr().out
+        assert "IPC" in out
+        assert "Baseline-4w" in out
+
+    def test_run_limited_variant(self, capsys):
+        assert main(["run", "ijpeg", "--machine", "ideal-no-2,3", "--width", "4"]) == 0
+        assert "Ideal-No-2,3-4w" in capsys.readouterr().out
+
+    def test_run_with_steering(self, capsys):
+        assert main(["run", "ijpeg", "--machine", "rb-limited",
+                     "--steering", "dependence"]) == 0
+        out = capsys.readouterr().out
+        assert "dependence" in out
+        assert "cross-cluster" in out
+
+    def test_run_assembly_file(self, tmp_path, capsys):
+        source = ".text\nmain:\n    lda r1, 5(zero)\n    halt\n"
+        path = tmp_path / "tiny.s"
+        path.write_text(source)
+        assert main(["run", str(path), "--machine", "ideal"]) == 0
+        assert "tiny" in capsys.readouterr().out
+
+    def test_unknown_machine(self):
+        with pytest.raises(SystemExit, match="unknown machine"):
+            main(["run", "ijpeg", "--machine", "pentium4"])
+
+
+class TestOtherCommands:
+    def test_mix(self, capsys):
+        assert main(["mix", "crafty"]) == 0
+        assert "TC -> TC" in capsys.readouterr().out
+
+    def test_delays(self, capsys):
+        assert main(["delays"]) == 0
+        out = capsys.readouterr().out
+        assert "rb_to_tc_converter" in out
+
+    def test_shadow_clean(self, capsys):
+        assert main(["shadow", "ijpeg"]) == 0
+        assert "clean" in capsys.readouterr().out
+
+    def test_pipeline(self, capsys):
+        assert main(["pipeline", "ijpeg", "--machine", "rb-full",
+                     "--width", "4", "--count", "6"]) == 0
+        out = capsys.readouterr().out
+        assert "Cycle:" in out
+        assert "SCH" in out
+
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            main([])

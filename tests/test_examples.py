@@ -1,0 +1,62 @@
+"""Smoke tests: every example script runs to completion.
+
+Examples are the adoption surface; they must never rot.  Run as
+subprocesses so import-time and __main__ behaviour are both covered.
+"""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parents[1] / "examples"
+
+
+def run_example(name: str, *args: str) -> str:
+    result = subprocess.run(
+        [sys.executable, str(EXAMPLES / name), *args],
+        capture_output=True, text=True, timeout=300,
+    )
+    assert result.returncode == 0, result.stderr[-2000:]
+    return result.stdout
+
+
+def test_examples_directory_complete():
+    names = {p.name for p in EXAMPLES.glob("*.py")}
+    assert "quickstart.py" in names
+    assert len(names) >= 3
+
+
+@pytest.mark.slow
+def test_quickstart():
+    out = run_example("quickstart.py")
+    assert "speedup over the Baseline" in out
+    assert "Ideal-8w" in out
+
+
+@pytest.mark.slow
+def test_redundant_arithmetic():
+    out = run_example("redundant_arithmetic.py")
+    assert "carry-free addition chains" in out
+    assert "CLA/RB" in out
+
+
+@pytest.mark.slow
+def test_bypass_study():
+    out = run_example("bypass_study.py")
+    assert "RB-limited" in out
+    assert "100111" in out  # the 2-cycle-hole shift register
+
+
+@pytest.mark.slow
+def test_machine_comparison():
+    out = run_example("machine_comparison.py", "ijpeg")
+    assert "8-wide machines" in out
+    assert "RB->TC" in out
+
+
+@pytest.mark.slow
+def test_steering_study():
+    out = run_example("steering_study.py", "ijpeg")
+    assert "dependence IPC" in out

@@ -1,0 +1,127 @@
+"""Unit and property tests for the 64-bit two's-complement helpers."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.utils.bitops import (
+    MASK64,
+    bit,
+    count_leading_zeros,
+    count_trailing_zeros,
+    extract_bits,
+    popcount,
+    sign_extend,
+    to_signed,
+    to_unsigned,
+    wrap64,
+)
+
+
+class TestWrap64:
+    def test_identity_in_range(self):
+        assert wrap64(12345) == 12345
+
+    def test_negative(self):
+        assert wrap64(-1) == MASK64
+
+    def test_overflow_wraps(self):
+        assert wrap64(1 << 64) == 0
+        assert wrap64((1 << 64) + 7) == 7
+
+    @given(st.integers())
+    def test_always_in_range(self, value):
+        assert 0 <= wrap64(value) <= MASK64
+
+
+class TestSignedness:
+    def test_to_signed_positive(self):
+        assert to_signed(5) == 5
+
+    def test_to_signed_negative(self):
+        assert to_signed(MASK64) == -1
+        assert to_signed(1 << 63) == -(1 << 63)
+
+    def test_to_signed_small_width(self):
+        assert to_signed(0xFF, 8) == -1
+        assert to_signed(0x7F, 8) == 127
+
+    def test_to_unsigned_round_trip_negative(self):
+        assert to_unsigned(-1, 8) == 0xFF
+
+    def test_width_validation(self):
+        with pytest.raises(ValueError):
+            to_signed(0, 0)
+        with pytest.raises(ValueError):
+            to_unsigned(0, -3)
+
+    @given(st.integers(min_value=-(1 << 63), max_value=(1 << 63) - 1))
+    def test_round_trip_64(self, value):
+        assert to_signed(to_unsigned(value)) == value
+
+    @given(st.integers(min_value=0, max_value=255), st.integers(min_value=1, max_value=16))
+    def test_round_trip_any_width(self, value, width):
+        masked = value & ((1 << width) - 1)
+        assert to_unsigned(to_signed(masked, width), width) == masked
+
+
+class TestSignExtend:
+    def test_positive_stays(self):
+        assert sign_extend(0x7F, 8) == 0x7F
+
+    def test_negative_extends(self):
+        assert sign_extend(0x80, 8) == wrap64(-128)
+
+    def test_bad_widths(self):
+        with pytest.raises(ValueError):
+            sign_extend(0, 0)
+        with pytest.raises(ValueError):
+            sign_extend(0, 65)
+
+    @given(st.integers(min_value=0, max_value=(1 << 32) - 1))
+    def test_matches_to_signed(self, value):
+        assert sign_extend(value, 32) == wrap64(to_signed(value, 32))
+
+
+class TestBitHelpers:
+    def test_bit(self):
+        assert bit(0b1010, 1) == 1
+        assert bit(0b1010, 0) == 0
+
+    def test_extract_bits(self):
+        assert extract_bits(0xABCD, 4, 8) == 0xBC
+
+    def test_extract_bits_validates_count(self):
+        with pytest.raises(ValueError):
+            extract_bits(1, 0, 0)
+
+
+class TestCounts:
+    def test_clz_zero(self):
+        assert count_leading_zeros(0) == 64
+        assert count_leading_zeros(0, 8) == 8
+
+    def test_clz_msb(self):
+        assert count_leading_zeros(1 << 63) == 0
+
+    def test_ctz_zero(self):
+        assert count_trailing_zeros(0) == 64
+
+    def test_ctz_values(self):
+        assert count_trailing_zeros(0b1000) == 3
+        assert count_trailing_zeros(1) == 0
+
+    def test_popcount(self):
+        assert popcount(0) == 0
+        assert popcount(MASK64) == 64
+        assert popcount(0b1011) == 3
+
+    @given(st.integers(min_value=1, max_value=MASK64))
+    def test_clz_ctz_consistent(self, value):
+        assert count_leading_zeros(value) == 64 - value.bit_length()
+        low = value & -value
+        assert count_trailing_zeros(value) == low.bit_length() - 1
+
+    @given(st.integers(min_value=0, max_value=MASK64))
+    def test_popcount_matches_builtin(self, value):
+        assert popcount(value) == bin(value).count("1")

@@ -1,0 +1,87 @@
+"""Tests for means and the categorical Distribution."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.utils.stats import Distribution, geometric_mean, harmonic_mean, mean
+
+
+class TestMeans:
+    def test_mean(self):
+        assert mean([1, 2, 3]) == 2
+
+    def test_mean_empty_raises(self):
+        with pytest.raises(ValueError):
+            mean([])
+
+    def test_harmonic_mean_known(self):
+        assert harmonic_mean([1, 1, 1]) == pytest.approx(1.0)
+        assert harmonic_mean([2, 2]) == pytest.approx(2.0)
+        assert harmonic_mean([1, 2]) == pytest.approx(4 / 3)
+
+    def test_harmonic_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            harmonic_mean([1.0, 0.0])
+        with pytest.raises(ValueError):
+            harmonic_mean([])
+
+    def test_geometric_mean_known(self):
+        assert geometric_mean([2, 8]) == pytest.approx(4.0)
+
+    def test_geometric_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            geometric_mean([-1.0])
+
+    @given(st.lists(st.floats(min_value=0.1, max_value=100), min_size=1, max_size=20))
+    def test_mean_inequality(self, values):
+        # harmonic <= geometric <= arithmetic
+        h = harmonic_mean(values)
+        g = geometric_mean(values)
+        a = mean(values)
+        assert h <= g + 1e-9
+        assert g <= a + 1e-9
+
+    @given(st.floats(min_value=0.1, max_value=50), st.integers(min_value=1, max_value=10))
+    def test_means_of_constant(self, value, count):
+        values = [value] * count
+        assert harmonic_mean(values) == pytest.approx(value)
+        assert geometric_mean(values) == pytest.approx(value)
+        assert mean(values) == pytest.approx(value)
+
+
+class TestDistribution:
+    def test_empty(self):
+        d = Distribution()
+        assert d.total == 0
+        assert d.fraction("x") == 0.0
+        assert d.fractions() == {}
+
+    def test_record_and_fraction(self):
+        d = Distribution()
+        d.record("a")
+        d.record("b", 3)
+        assert d.total == 4
+        assert d.count("b") == 3
+        assert d.fraction("a") == pytest.approx(0.25)
+
+    def test_fractions_sum_to_one(self):
+        d = Distribution()
+        for category, n in [("x", 5), ("y", 3), ("z", 2)]:
+            d.record(category, n)
+        assert sum(d.fractions().values()) == pytest.approx(1.0)
+
+    def test_merge(self):
+        a = Distribution()
+        a.record("x", 2)
+        b = Distribution()
+        b.record("x")
+        b.record("y")
+        a.merge(b)
+        assert a.count("x") == 3
+        assert a.count("y") == 1
+
+    def test_as_dict(self):
+        d = Distribution()
+        d.record(1, 7)
+        assert d.as_dict() == {1: 7}

@@ -1,0 +1,49 @@
+"""Tests for the text table/bar renderers."""
+
+import pytest
+
+from repro.utils.tables import format_bar_chart, format_table
+
+
+class TestFormatTable:
+    def test_alignment(self):
+        out = format_table(["a", "bb"], [["x", 1], ["longer", 2]])
+        lines = out.splitlines()
+        assert lines[0].startswith("a")
+        assert "-+-" in lines[1]
+        assert len(lines) == 4
+
+    def test_title(self):
+        out = format_table(["h"], [["v"]], title="T")
+        assert out.splitlines()[0] == "T"
+
+    def test_float_formatting(self):
+        out = format_table(["x"], [[1.23456]])
+        assert "1.235" in out
+
+    def test_row_width_mismatch(self):
+        with pytest.raises(ValueError):
+            format_table(["a", "b"], [["only-one"]])
+
+
+class TestBarChart:
+    def test_renders_all_series(self):
+        out = format_bar_chart(["w1"], {"m1": [1.0], "m2": [0.5]})
+        assert "m1" in out and "m2" in out
+        assert out.count("#") > 0
+
+    def test_scaling_to_peak(self):
+        out = format_bar_chart(["w"], {"big": [2.0], "small": [1.0]}, width=10)
+        lines = [line for line in out.splitlines() if "#" in line]
+        big_bar = lines[0].count("#")
+        small_bar = lines[1].count("#")
+        assert big_bar == 10
+        assert small_bar == 5
+
+    def test_empty_series_rejected(self):
+        with pytest.raises(ValueError):
+            format_bar_chart(["w"], {})
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            format_bar_chart(["w1", "w2"], {"m": [1.0]})

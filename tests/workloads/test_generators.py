@@ -1,0 +1,82 @@
+"""Tests for the synthetic workload generators."""
+
+import pytest
+
+from repro.isa.semantics import run_program
+from repro.workloads.generators import (
+    conversion_chain_program,
+    dependent_chain_program,
+    independent_chains_program,
+    pointer_chase_program,
+)
+
+
+class TestDependentChain:
+    def test_terminates_with_expected_count(self):
+        program = dependent_chain_program(iterations=10, chain_length=3)
+        state = run_program(program)
+        # 2 setup + 10 * (3 + 2) + halt
+        assert state.instructions_executed == 2 + 10 * 5 + 1
+
+    def test_accumulator_value(self):
+        program = dependent_chain_program(iterations=10, chain_length=3)
+        state = run_program(program)
+        assert state.regs[2] == 30
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            dependent_chain_program(iterations=0)
+
+
+class TestIndependentChains:
+    def test_each_chain_counts(self):
+        program = independent_chains_program(iterations=5, chains=3)
+        state = run_program(program)
+        for i in range(3):
+            assert state.regs[4 + i] == i + 5
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            independent_chains_program(chains=0)
+        with pytest.raises(ValueError):
+            independent_chains_program(chains=21)
+
+
+class TestConversionChain:
+    def test_terminates(self):
+        program = conversion_chain_program(iterations=5)
+        state = run_program(program)
+        assert state.halted
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            conversion_chain_program(iterations=-1)
+
+
+class TestPointerChase:
+    def test_ring_is_complete(self):
+        """The chase must visit exactly nodes*laps hops and terminate."""
+        program = pointer_chase_program(nodes=16, laps=2)
+        state = run_program(program)
+        assert state.halted
+
+    def test_ring_permutation_covers_all_nodes(self):
+        """Following next pointers from the head returns to the head after
+        exactly `nodes` hops — the ring is a single cycle."""
+        program = pointer_chase_program(nodes=16, laps=1)
+        state = run_program(program)
+        head = state.regs[8]
+        seen = set()
+        node = head
+        for _ in range(16):
+            assert node not in seen
+            seen.add(node)
+            node = state.memory.read(node, 8)
+        assert node == head
+        assert len(seen) == 16
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            pointer_chase_program(nodes=1)
+        with pytest.raises(ValueError):
+            pointer_chase_program(nodes=16, laps=0)

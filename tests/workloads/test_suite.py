@@ -1,0 +1,99 @@
+"""Tests for the 20-kernel workload suite: registration, termination,
+golden checksums, and mix sanity."""
+
+import pytest
+
+from repro.isa.semantics import run_program
+from repro.workloads.suite import (
+    all_workloads,
+    build,
+    get_workload,
+    spec95_names,
+    spec2000_names,
+)
+
+#: Golden results: (dynamic instruction count, checksum) per kernel.  The
+#: kernels are deterministic, so any change to their code or to the
+#: interpreter's semantics shows up here.
+GOLDEN = {
+    "compress": (34901, 12176),
+    "gcc": (38639, 61),
+    "go": (36428, 787),
+    "ijpeg": (19050, 11241),
+    "li": (24015, 540868),
+    "m88ksim": (31068, 30165),
+    "perl": (56830, 256),
+    "vortex": (40082, 804),
+    "bzip2": (35309, 2250),
+    "crafty": (25197, 63277),
+    "eon": (33806, 1458941),
+    "gap": (38297, 635302195893006430),
+    "gcc2k": (58676, 245),
+    "gzip": (82624, 2662),
+    "mcf": (34087, 746),
+    "parser": (35528, 15),
+    "perlbmk": (43487, 97),
+    "twolf": (34655, 683),
+    "vortex2k": (40633, 708),
+    "vpr": (56380, 23676),
+}
+
+
+class TestRegistry:
+    def test_twenty_workloads(self):
+        assert len(all_workloads()) == 20
+        assert len(all_workloads("spec95")) == 8
+        assert len(all_workloads("spec2000")) == 12
+
+    def test_names_match_suites(self):
+        assert set(spec95_names()) == {w.name for w in all_workloads("spec95")}
+        assert set(spec2000_names()) == {w.name for w in all_workloads("spec2000")}
+
+    def test_unknown_suite(self):
+        with pytest.raises(ValueError):
+            all_workloads("spec2017")
+
+    def test_unknown_workload(self):
+        with pytest.raises(KeyError, match="unknown workload"):
+            get_workload("doom")
+
+    def test_build_is_cached(self):
+        assert build("gap") is build("gap")
+
+    def test_descriptions_present(self):
+        for workload in all_workloads():
+            assert workload.description
+            assert workload.source().strip()
+
+
+class TestGoldenResults:
+    @pytest.mark.parametrize("name", sorted(GOLDEN))
+    def test_kernel_golden(self, name):
+        program = build(name)
+        state = run_program(program, max_instructions=300_000)
+        checksum_address = program.labels["checksum"]
+        checksum = state.memory.read(checksum_address, 8)
+        assert (state.instructions_executed, checksum) == GOLDEN[name]
+
+    def test_every_kernel_has_a_checksum_slot(self):
+        for workload in all_workloads():
+            assert "checksum" in build(workload.name).labels
+
+
+class TestSuiteShape:
+    def test_dynamic_sizes_reasonable(self):
+        """Run-to-completion sizes stay in the simulable range."""
+        for name, (count, _) in GOLDEN.items():
+            assert 15_000 <= count <= 100_000, name
+
+    def test_mix_covers_all_format_classes(self):
+        """Across the suite, every Table 1 class must appear."""
+        from repro.harness.experiments import dynamic_mix
+        from repro.isa.classify import FormatClass
+        from repro.utils.stats import Distribution
+        total = Distribution()
+        # three diverse kernels are enough to cover every class
+        for name in ("compress", "eon", "crafty"):
+            total.merge(dynamic_mix(name))
+        present = {cls for cls in FormatClass if total.fraction(cls) > 0}
+        assert present == set(FormatClass)
