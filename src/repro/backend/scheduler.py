@@ -18,6 +18,8 @@ from __future__ import annotations
 from collections.abc import Callable
 from typing import Generic, TypeVar
 
+from repro.obs.metrics import MetricsRegistry
+
 T = TypeVar("T")
 
 #: The readiness callback: (record, cycle) -> (ready_now, next_candidate_cycle).
@@ -42,7 +44,13 @@ class SchedulerEntry(Generic[T]):
 class Scheduler(Generic[T]):
     """One select-N scheduler over a bounded window of entries."""
 
-    def __init__(self, capacity: int, select_width: int = 2, name: str = "sched") -> None:
+    def __init__(
+        self,
+        capacity: int,
+        select_width: int = 2,
+        name: str = "sched",
+        metrics: MetricsRegistry | None = None,
+    ) -> None:
         if capacity <= 0 or select_width <= 0:
             raise ValueError(
                 f"capacity/select width must be positive: {capacity}, {select_width}"
@@ -51,8 +59,24 @@ class Scheduler(Generic[T]):
         self.select_width = select_width
         self.name = name
         self.entries: list[SchedulerEntry[T]] = []  # oldest first
-        self.selected_total = 0
-        self.full_stall_cycles = 0
+        # Counters live in the (shared) metrics registry so they persist
+        # and report without bespoke plumbing; a private registry is used
+        # when the caller does not supply one.
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self._selected = self.metrics.counter(f"scheduler.{name}.selected")
+        self._full_stalls = self.metrics.counter(f"scheduler.{name}.full_stall_cycles")
+
+    @property
+    def selected_total(self) -> int:
+        return self._selected.value
+
+    @property
+    def full_stall_cycles(self) -> int:
+        return self._full_stalls.value
+
+    @full_stall_cycles.setter
+    def full_stall_cycles(self, value: int) -> None:
+        self._full_stalls.value = value
 
     @property
     def occupancy(self) -> int:
@@ -89,7 +113,7 @@ class Scheduler(Generic[T]):
                 entry.next_try = next_candidate
         for index in reversed(grant_indices):
             del self.entries[index]
-        self.selected_total += len(granted)
+        self._selected.inc(len(granted))
         return granted
 
     def __repr__(self) -> str:

@@ -6,6 +6,10 @@ list
     Show the available machine models and benchmark kernels.
 run
     Simulate a suite workload (or an assembly file) on one machine.
+    ``--json`` prints machine-readable statistics.
+trace
+    Capture the cycle-stamped pipeline event stream of a run as JSONL
+    or Chrome ``trace_event`` JSON (opens in Perfetto/chrome://tracing).
 mix
     Print the Table 1 instruction-mix classification for a workload.
 delays
@@ -16,11 +20,14 @@ pipeline
     Render a Figure 5/7-style pipeline diagram from a traced run.
 report
     Regenerate EXPERIMENTS.md (the full sweep; cached).
+
+Every command accepts ``-v``/``-vv`` for INFO/DEBUG progress logging.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from dataclasses import replace
 from pathlib import Path
@@ -32,8 +39,11 @@ from repro.harness.experiments import dynamic_mix, sec34_adder_delays
 from repro.isa.assembler import assemble
 from repro.isa.classify import TABLE1_ROWS
 from repro.isa.shadow import shadow_check
+from repro.obs.log import get_logger, setup_logging
 from repro.utils.tables import format_table
 from repro.workloads.suite import all_workloads, build, get_workload
+
+log = get_logger(__name__)
 
 _MACHINES = {
     "baseline": baseline,
@@ -63,7 +73,9 @@ def _machine_config(args: argparse.Namespace) -> MachineConfig:
 def _load_program(target: str):
     path = Path(target)
     if path.suffix in (".s", ".asm") or path.exists():
+        log.info("assembling %s", path)
         return assemble(path.read_text(), path.stem)
+    log.info("building suite workload %s", target)
     return build(target)
 
 
@@ -79,13 +91,59 @@ def cmd_list(_args: argparse.Namespace) -> int:
 
 
 def cmd_run(args: argparse.Namespace) -> int:
+    import time
+
     config = _machine_config(args)
     program = _load_program(args.workload)
+    log.info("simulating %s on %s ...", config.name, program.name)
+    started = time.perf_counter()
     stats = simulate(config, program)
+    elapsed = time.perf_counter() - started
+    log.info(
+        "simulated %d instructions in %d cycles in %.2fs (%.0f instr/s)",
+        stats.instructions, stats.cycles, elapsed,
+        stats.instructions / elapsed if elapsed else 0.0,
+    )
+    if args.json:
+        entry = stats.to_dict()
+        entry["derived"] = {
+            "ipc": stats.ipc,
+            "misprediction_rate": stats.misprediction_rate,
+            "dcache_hit_rate": stats.dcache_hit_rate,
+            "bypassed_instruction_fraction": stats.bypassed_instruction_fraction(),
+            "conversion_bypass_fraction": stats.conversion_bypass_fraction(),
+            "cross_cluster_fraction": stats.cross_cluster_fraction(),
+            "mean_scheduler_occupancy": stats.mean_scheduler_occupancy(),
+        }
+        print(json.dumps(entry, indent=2))
+        return 0
     print(config.describe())
     print(stats.summary())
     if config.num_clusters > 1:
         print(f"  cross-cluster bypasses {stats.cross_cluster_fraction():.2%}")
+    return 0
+
+
+def cmd_trace(args: argparse.Namespace) -> int:
+    from repro.core.machine import Machine
+    from repro.obs.events import EventBus, ipc_from_events
+    from repro.obs.sinks import ChromeTraceSink, JSONLSink
+
+    config = _machine_config(args)
+    program = _load_program(args.workload)
+    if args.output is not None:
+        path = Path(args.output)
+    else:
+        extension = "json" if args.format == "chrome" else "jsonl"
+        path = Path(f"trace_{program.name}_{config.name}.{extension}")
+    sink = ChromeTraceSink(path) if args.format == "chrome" else JSONLSink(path)
+    bus = EventBus([sink])
+    stats = Machine(config).run(program, bus=bus)
+    print(f"wrote {len(bus.events)} events to {path} ({args.format} format)")
+    print(f"  {stats.instructions} instructions, {stats.cycles} cycles, "
+          f"IPC {stats.ipc:.3f} (from retire events: {ipc_from_events(bus.events):.3f})")
+    if args.format == "chrome":
+        print("  open in https://ui.perfetto.dev or chrome://tracing")
     return 0
 
 
@@ -143,34 +201,66 @@ def cmd_report(args: argparse.Namespace) -> int:
 
 
 def main(argv: list[str] | None = None) -> int:
+    common = argparse.ArgumentParser(add_help=False)
+    common.add_argument(
+        "-v", "--verbose", action="count", default=0,
+        help="show progress logging (-v INFO, -vv DEBUG)",
+    )
+
     parser = argparse.ArgumentParser(
         prog="repro",
         description="Brown & Patt (HPCA 2002) reproduction: redundant binary "
                     "adders and limited bypass networks",
+        parents=[common],
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
-    sub.add_parser("list", help="show machines and workloads").set_defaults(fn=cmd_list)
+    sub.add_parser(
+        "list", help="show machines and workloads", parents=[common]
+    ).set_defaults(fn=cmd_list)
 
-    run = sub.add_parser("run", help="simulate a workload on one machine")
+    run = sub.add_parser("run", help="simulate a workload on one machine",
+                         parents=[common])
     run.add_argument("workload", help="suite kernel name or assembly file path")
     run.add_argument("--machine", default="ideal")
     run.add_argument("--width", type=int, default=8, choices=(4, 8))
     run.add_argument("--steering", choices=("round_robin", "dependence"))
+    run.add_argument("--json", action="store_true",
+                     help="print machine-readable statistics as JSON")
     run.set_defaults(fn=cmd_run)
 
-    mix = sub.add_parser("mix", help="Table 1 classification of a workload")
+    trace = sub.add_parser(
+        "trace", help="capture the pipeline event stream of one run",
+        parents=[common],
+    )
+    trace.add_argument("workload", help="suite kernel name or assembly file path")
+    trace.add_argument("--machine", default="rb-limited")
+    trace.add_argument("--width", type=int, default=4, choices=(4, 8))
+    trace.add_argument("--steering", choices=("round_robin", "dependence"))
+    trace.add_argument("--format", choices=("chrome", "jsonl"), default="chrome",
+                       help="chrome: Perfetto-loadable trace_event JSON; "
+                            "jsonl: one event per line")
+    trace.add_argument("-o", "--output", default=None,
+                       help="output path (default trace_<workload>_<machine>.<ext>)")
+    trace.set_defaults(fn=cmd_trace)
+
+    mix = sub.add_parser("mix", help="Table 1 classification of a workload",
+                         parents=[common])
     mix.add_argument("workload")
     mix.set_defaults(fn=cmd_mix)
 
-    sub.add_parser("delays", help="§3.4 adder delay table").set_defaults(fn=cmd_delays)
+    sub.add_parser(
+        "delays", help="§3.4 adder delay table", parents=[common]
+    ).set_defaults(fn=cmd_delays)
 
-    shadow = sub.add_parser("shadow", help="redundant-datapath shadow check")
+    shadow = sub.add_parser("shadow", help="redundant-datapath shadow check",
+                            parents=[common])
     shadow.add_argument("workload")
     shadow.set_defaults(fn=cmd_shadow)
 
     pipeline = sub.add_parser(
-        "pipeline", help="render a Fig. 5/7-style pipeline diagram"
+        "pipeline", help="render a Fig. 5/7-style pipeline diagram",
+        parents=[common],
     )
     pipeline.add_argument("workload", help="suite kernel name or assembly file path")
     pipeline.add_argument("--machine", default="rb-limited")
@@ -183,11 +273,13 @@ def main(argv: list[str] | None = None) -> int:
                           help="include fetch/rename stages")
     pipeline.set_defaults(fn=cmd_pipeline)
 
-    report = sub.add_parser("report", help="regenerate EXPERIMENTS.md")
+    report = sub.add_parser("report", help="regenerate EXPERIMENTS.md",
+                            parents=[common])
     report.add_argument("output", nargs="?", default=None)
     report.set_defaults(fn=cmd_report)
 
     args = parser.parse_args(argv)
+    setup_logging(args.verbose)
     return args.fn(args)
 
 

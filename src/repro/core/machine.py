@@ -28,7 +28,7 @@ from repro.backend.latency import AdderStyle
 from repro.backend.scheduler import Scheduler
 from repro.backend.steering import RoundRobinSteering, choose_dependence_target
 from repro.core.config import MachineConfig
-from repro.core.statistics import BypassCase, BypassLevelUse, SimStats
+from repro.core.statistics import OCCUPANCY_STRIDE, BypassCase, BypassLevelUse, SimStats
 from repro.core.window import DynInstr, ReorderBuffer
 from repro.frontend.fetch import FetchUnit
 from repro.isa.instruction import NUM_REGS, ZERO_REG
@@ -36,6 +36,10 @@ from repro.isa.opcodes import LatencyClass, Opcode, OperandFormat, ResultFormat
 from repro.isa.program import Program
 from repro.isa.semantics import ArchState
 from repro.mem.hierarchy import MemoryHierarchy
+from repro.obs.events import EventBus, EventKind, TraceEvent, lifecycle_events
+from repro.obs.log import get_logger
+
+log = get_logger(__name__)
 
 #: Select-cycle distance from select to the start of execution: one
 #: schedule cycle is the select itself, then the 2-cycle register read.
@@ -84,6 +88,7 @@ class Machine:
         max_cycles: int = 20_000_000,
         progress_window: int = 100_000,
         record_trace: bool = False,
+        bus: EventBus | None = None,
     ) -> SimStats:
         """Simulate ``program`` to completion and return its statistics.
 
@@ -91,10 +96,16 @@ class Machine:
         attribute: the retired :class:`DynInstr` records in program order,
         including each instruction's select cycle — used by timing tests
         and for pipeline debugging.
+
+        With a ``bus``, every retired instruction's full stage timeline
+        plus per-operand bypass-forward events are emitted as
+        :class:`~repro.obs.events.TraceEvent` records; the bus is closed
+        (sorted, replayed through its sinks) before this method returns.
         """
         config = self.config
         stats = SimStats(machine=config.name, workload=program.name)
         trace: list[DynInstr] | None = [] if record_trace else None
+        log.debug("running %s on %s", config.name, program.name)
 
         state = ArchState(program)
         hierarchy = MemoryHierarchy(config.memory)
@@ -104,7 +115,7 @@ class Machine:
             max_blocks_per_cycle=config.max_blocks_per_cycle,
         )
         schedulers = [
-            Scheduler(config.scheduler_capacity, 2, name=f"sched{i}")
+            Scheduler(config.scheduler_capacity, 2, name=f"sched{i}", metrics=stats.metrics)
             for i in range(config.num_schedulers)
         ]
         steering = RoundRobinSteering(config.num_schedulers)
@@ -118,6 +129,10 @@ class Machine:
         self._fetch = fetch
         self._hierarchy = hierarchy
         self._stats = stats
+        self._bus = bus
+        occupancy_series = stats.metrics.timeseries(
+            "scheduler.occupancy", stride=OCCUPANCY_STRIDE
+        )
 
         seq = 0
         cycle = 0
@@ -156,8 +171,13 @@ class Machine:
             if retired:
                 stats.instructions += len(retired)
                 last_progress_cycle = cycle
+                for rec in retired:
+                    rec.retire_cycle = cycle
                 if trace is not None:
                     trace.extend(retired)
+                if bus is not None:
+                    for rec in retired:
+                        bus.emit_many(lifecycle_events(rec, SELECT_TO_EXEC))
 
             # ---- select + issue ------------------------------------------------
             for scheduler in schedulers:
@@ -204,8 +224,7 @@ class Machine:
                     fetch_queue.append(rec)
 
             # ---- occupancy sampling ------------------------------------------------------
-            stats.scheduler_occupancy_samples += 1
-            stats.scheduler_occupancy_sum += sum(s.occupancy for s in schedulers)
+            occupancy_series.record(cycle, sum(s.occupancy for s in schedulers))
 
             # ---- termination --------------------------------------------------------------
             if (
@@ -236,8 +255,23 @@ class Machine:
         stats.dcache_misses = hierarchy.dcache.misses
         stats.icache_misses = hierarchy.icache.misses
         stats.l2_misses = hierarchy.l2.misses
+        # The exact whole-run accumulators mirror the sampled time-series.
+        stats.scheduler_occupancy_samples = occupancy_series.count
+        stats.scheduler_occupancy_sum = occupancy_series.total
         if trace is not None:
             stats.trace = trace  # dynamic attribute: not part of the cached schema
+        if bus is not None:
+            bus.close(meta={
+                "machine": config.name,
+                "workload": program.name,
+                "cycles": stats.cycles,
+                "instructions": stats.instructions,
+                "ipc": stats.ipc,
+            })
+        log.debug(
+            "finished %s on %s: %d instructions in %d cycles (IPC %.3f)",
+            config.name, program.name, stats.instructions, stats.cycles, stats.ipc,
+        )
         return stats
 
     # -- steering ----------------------------------------------------------------------
@@ -397,6 +431,8 @@ class Machine:
     def _record_bypass_stats(self, rec: DynInstr, cycle: int) -> None:
         """Fig. 13 bypass cases and §5.2 bypass-level usage."""
         stats = self._stats
+        bus = self._bus
+        level_histogram = stats.metrics.histogram("bypass.source_level")
         cluster_delay = self.config.cluster_delay
         any_bypassed = False
         best_level: int | None = None
@@ -416,29 +452,39 @@ class Machine:
             exec_latency = producer.lat_rb if consumed_rb else producer.lat_tc
             level = offset - exec_latency  # 0: BYP-1, 1-2: other levels, >=3: RF
             bypassed = level < RF_LEVELS
+            producer_rb = producer.produces_rb
+            consumer_rb = fmt is DataFormat.RB
+            if producer_rb and consumer_rb:
+                case = BypassCase.RB_TO_RB
+            elif producer_rb:
+                case = BypassCase.RB_TO_TC
+            elif consumer_rb:
+                case = BypassCase.TC_TO_RB
+            else:
+                case = BypassCase.TC_TO_TC
             if bypassed:
                 any_bypassed = True
                 stats.bypassed_sources += 1
+                level_histogram.record(level + 1)  # 1 == BYP-1
                 if adjust:
                     stats.cross_cluster_bypasses += 1
                 if best_level is None or level < best_level:
                     best_level = level
+                if bus is not None:
+                    bus.emit(TraceEvent(
+                        cycle, EventKind.BYPASS, rec.seq, rec.instr.text,
+                        args={
+                            "level": level + 1,
+                            "case": case.name,
+                            "producer_seq": producer.seq,
+                            "format": fmt.name,
+                            "cross_cluster": bool(adjust),
+                        },
+                    ))
             arrival = producer.select_cycle + adjust + producer.templates[fmt].first_offset
             if arrival > last_arrival:
                 last_arrival = arrival
-                if bypassed:
-                    producer_rb = producer.produces_rb
-                    consumer_rb = fmt is DataFormat.RB
-                    if producer_rb and consumer_rb:
-                        last_case = BypassCase.RB_TO_RB
-                    elif producer_rb:
-                        last_case = BypassCase.RB_TO_TC
-                    elif consumer_rb:
-                        last_case = BypassCase.TC_TO_RB
-                    else:
-                        last_case = BypassCase.TC_TO_TC
-                else:
-                    last_case = None
+                last_case = case if bypassed else None
 
         if any_bypassed:
             stats.instructions_with_bypass += 1

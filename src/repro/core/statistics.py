@@ -5,14 +5,25 @@
   kind of consumer, for the last-arriving bypassed source);
 * bypass-level usage (§5.2: none / first level / other level);
 * branch prediction, cache, and occupancy counters for diagnostics.
+
+Backed by :class:`repro.obs.metrics.MetricsRegistry`: the Fig. 13 / §5.2
+distributions, the per-level bypass histogram, the scheduler occupancy
+time-series, and the per-scheduler counters all live in
+``SimStats.metrics`` and serialize generically through
+:meth:`SimStats.to_dict` / :meth:`SimStats.from_dict` — adding a counter
+anywhere in the machine no longer requires touching persistence code.
 """
 
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, fields
 
+from repro.obs.metrics import MetricsRegistry
 from repro.utils.stats import Distribution
+
+#: Sampling stride (cycles) for the scheduler-occupancy time-series.
+OCCUPANCY_STRIDE = 64
 
 
 class BypassCase(enum.Enum):
@@ -55,17 +66,27 @@ class SimStats:
     cross_cluster_bypasses: int = 0
     #: all bypassed sources observed (denominator for the above)
     bypassed_sources: int = 0
-
-    #: Fig. 13: last-arriving bypassed source cases.
-    bypass_cases: Distribution = field(default_factory=Distribution)
     #: Fig. 13 top number: instructions with >= 1 bypassed source.
     instructions_with_bypass: int = 0
-    #: §5.2 buckets over all retired instructions with register sources.
-    bypass_levels: Distribution = field(default_factory=Distribution)
 
-    #: Dynamic instruction mix over Table 1 classes (set by the harness).
+    #: Exact whole-run occupancy accumulators (kept as plain scalars for
+    #: back-compat; mirrored from the registry's sampled time-series).
     scheduler_occupancy_samples: int = 0
     scheduler_occupancy_sum: int = 0
+
+    #: Everything else: distributions, histograms, time-series, counters.
+    metrics: MetricsRegistry = field(
+        default_factory=MetricsRegistry, repr=False, compare=False
+    )
+
+    #: Fig. 13: last-arriving bypassed source cases (registry-backed).
+    bypass_cases: Distribution = field(init=False, repr=False, compare=False)
+    #: §5.2 buckets over all retired instructions (registry-backed).
+    bypass_levels: Distribution = field(init=False, repr=False, compare=False)
+
+    def __post_init__(self) -> None:
+        self.bypass_cases = self.metrics.distribution("bypass.cases", keys=BypassCase)
+        self.bypass_levels = self.metrics.distribution("bypass.levels", keys=BypassLevelUse)
 
     @property
     def ipc(self) -> float:
@@ -101,6 +122,41 @@ class SimStats:
         if not self.scheduler_occupancy_samples:
             return 0.0
         return self.scheduler_occupancy_sum / self.scheduler_occupancy_samples
+
+    # -- serialization -------------------------------------------------------------
+
+    def to_dict(self) -> dict:
+        """JSON-ready snapshot: scalar dataclass fields + the registry.
+
+        The scalar list is derived by introspection, so new counters
+        added to the dataclass (or recorded into ``metrics``) persist
+        without touching this method.
+        """
+        entry: dict = {}
+        for spec in fields(self):
+            if spec.name == "metrics" or not spec.init:
+                continue
+            entry[spec.name] = getattr(self, spec.name)
+        entry["metrics"] = self.metrics.as_dict()
+        return entry
+
+    @classmethod
+    def from_dict(cls, entry: dict) -> "SimStats":
+        """Rebuild from :meth:`to_dict` output.
+
+        Distribution keys decode through the enum classes this class
+        registers in ``__post_init__``; scalar fields absent from the
+        entry keep their defaults (forward compatibility for newly added
+        counters).
+        """
+        stats = cls()
+        for spec in fields(cls):
+            if spec.name == "metrics" or not spec.init:
+                continue
+            if spec.name in entry:
+                setattr(stats, spec.name, entry[spec.name])
+        stats.metrics.load(entry.get("metrics", {}))
+        return stats
 
     def summary(self) -> str:
         """Multi-line human-readable digest."""

@@ -23,7 +23,7 @@ class DynInstr:
     __slots__ = (
         "seq", "instr", "result", "fetch_cycle", "mispredicted",
         "scheduler", "cluster", "insert_cycle",
-        "select_cycle", "complete_cycle",
+        "select_cycle", "complete_cycle", "retire_cycle",
         "produces_rb", "templates", "lat_rb", "lat_tc",
         "sources", "store_dep",
         "rename_cycle",
@@ -49,6 +49,7 @@ class DynInstr:
         self.rename_cycle = -1
         self.select_cycle: int | None = None
         self.complete_cycle: int | None = None
+        self.retire_cycle: int | None = None
 
         self.produces_rb = False
         self.templates: dict[DataFormat, AvailabilityTemplate] | None = None

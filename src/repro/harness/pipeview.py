@@ -1,8 +1,11 @@
-"""Pipeline diagrams from execution traces — the paper's Figures 5 and 7.
+"""Pipeline diagrams from event streams — the paper's Figures 5 and 7.
 
-Given a machine run with ``record_trace=True``, renders per-instruction
-stage occupancy over cycles, in the style the paper uses to explain the
-limited bypass network:
+The renderer consumes the :mod:`repro.obs.events` trace: either events
+captured live from a run (``Machine.run(..., bus=...)``, rendered by
+:func:`pipeline_diagram_from_events`) or the stage timelines derived
+from retired :class:`DynInstr` records (:func:`pipeline_diagram`, which
+routes through the same :func:`~repro.obs.events.lifecycle_events`
+source of truth):
 
 .. code-block:: text
 
@@ -18,28 +21,83 @@ and rename are omitted by default (they are long and uniform); pass
 
 from __future__ import annotations
 
-from collections.abc import Sequence
+from collections.abc import Iterable, Sequence
 
 from repro.core.machine import SELECT_TO_EXEC
 from repro.core.window import DynInstr
+from repro.obs.events import EventKind, TraceEvent, lifecycle_events
+
+#: Stage labels by event kind; bypass/retire events carry no pipe stage.
+_BACKEND_LABELS = {
+    EventKind.SELECT: "SCH",
+    EventKind.REGISTER_READ: "RF",
+    EventKind.EXECUTE: "EXE",
+    EventKind.CONVERT: "CV",
+    EventKind.WRITEBACK: "WB",
+}
+_FRONTEND_LABELS = {
+    EventKind.FETCH: "F",
+    EventKind.RENAME: "REN",
+}
+
+
+def stages_from_events(
+    events: Iterable[TraceEvent], include_frontend: bool = False
+) -> dict[int, str]:
+    """Cycle -> stage label for one instruction's events.
+
+    Backend stages win cycle collisions; frontend stages (fetch, rename)
+    fill in only where requested and unoccupied, matching the original
+    renderer's precedence.
+    """
+    events = list(events)
+    stages: dict[int, str] = {}
+    for event in events:
+        label = _BACKEND_LABELS.get(event.kind)
+        if label is None:
+            continue
+        for i in range(event.dur):
+            stages[event.cycle + i] = label
+    if include_frontend:
+        for event in events:
+            label = _FRONTEND_LABELS.get(event.kind)
+            if label is not None:
+                stages.setdefault(event.cycle, label)
+    return stages
 
 
 def instruction_stages(rec: DynInstr) -> dict[int, str]:
     """Map absolute cycle -> stage label for one traced instruction."""
     if rec.select_cycle is None:
         return {}
-    stages: dict[int, str] = {rec.select_cycle: "SCH"}
-    for i in range(1, SELECT_TO_EXEC):
-        stages[rec.select_cycle + i] = "RF"
-    exec_start = rec.select_cycle + SELECT_TO_EXEC
-    exec_cycles = max(1, rec.lat_rb)
-    for i in range(exec_cycles):
-        stages[exec_start + i] = "EXE"
-    for i in range(rec.lat_tc - rec.lat_rb):
-        stages[exec_start + exec_cycles + i] = "CV"
-    if rec.complete_cycle is not None:
-        stages[rec.complete_cycle + 1] = "WB"
-    return stages
+    return stages_from_events(
+        lifecycle_events(rec, SELECT_TO_EXEC, include_frontend=False)
+    )
+
+
+def _render(
+    rows: Sequence[tuple[str, dict[int, str]]], max_cycles: int
+) -> str:
+    """Shared diagram renderer over (label, stage-map) rows."""
+    if not rows:
+        raise ValueError("no selected instructions in the requested window")
+    start = min(min(stages) for _, stages in rows)
+    end = max(max(stages) for _, stages in rows)
+    if end - start + 1 > max_cycles:
+        end = start + max_cycles - 1
+
+    label_width = max(len(label) for label, _ in rows) + 2
+    cell = 5
+    header = "Cycle:".ljust(label_width) + "".join(
+        str(cycle - start).ljust(cell) for cycle in range(start, end + 1)
+    )
+    lines = [header.rstrip()]
+    for label, stages in rows:
+        row = label.ljust(label_width)
+        for cycle in range(start, end + 1):
+            row += stages.get(cycle, ".").ljust(cell)
+        lines.append(row.rstrip())
+    return "\n".join(lines)
 
 
 def pipeline_diagram(
@@ -50,36 +108,41 @@ def pipeline_diagram(
     max_cycles: int = 40,
 ) -> str:
     """Render ``count`` traced instructions starting at index ``first``."""
-    window = [rec for rec in trace[first:first + count] if rec.select_cycle is not None]
-    if not window:
-        raise ValueError("no selected instructions in the requested window")
+    rows = [
+        (rec.instr.text, stages_from_events(
+            lifecycle_events(rec, SELECT_TO_EXEC, include_frontend=include_frontend),
+            include_frontend=include_frontend,
+        ))
+        for rec in trace[first:first + count]
+        if rec.select_cycle is not None
+    ]
+    return _render(rows, max_cycles)
 
-    all_stages = []
-    for rec in window:
-        stages = instruction_stages(rec)
-        if include_frontend:
-            stages.setdefault(rec.fetch_cycle, "F")
-            if rec.rename_cycle >= 0:
-                stages.setdefault(rec.rename_cycle, "REN")
-        all_stages.append(stages)
 
-    start = min(min(stages) for stages in all_stages)
-    end = max(max(stages) for stages in all_stages)
-    if end - start + 1 > max_cycles:
-        end = start + max_cycles - 1
+def pipeline_diagram_from_events(
+    events: Iterable[TraceEvent],
+    first: int = 0,
+    count: int = 16,
+    include_frontend: bool = False,
+    max_cycles: int = 40,
+) -> str:
+    """Render a diagram straight from a captured event stream.
 
-    label_width = max(len(rec.instr.text) for rec in window) + 2
-    cell = 5
-    header = "Cycle:".ljust(label_width) + "".join(
-        str(cycle - start).ljust(cell) for cycle in range(start, end + 1)
-    )
-    lines = [header.rstrip()]
-    for rec, stages in zip(window, all_stages):
-        row = rec.instr.text.ljust(label_width)
-        for cycle in range(start, end + 1):
-            row += stages.get(cycle, ".").ljust(cell)
-        lines.append(row.rstrip())
-    return "\n".join(lines)
+    ``first``/``count`` index instructions (in ``seq`` order, which is
+    program order), exactly as :func:`pipeline_diagram` indexes the
+    retired-instruction trace.
+    """
+    by_seq: dict[int, list[TraceEvent]] = {}
+    for event in events:
+        by_seq.setdefault(event.seq, []).append(event)
+    rows = []
+    for seq in sorted(by_seq)[first:first + count]:
+        group = by_seq[seq]
+        if not any(e.kind is EventKind.SELECT for e in group):
+            continue
+        text = next((e.text for e in group if e.text), f"#{seq}")
+        rows.append((text, stages_from_events(group, include_frontend=include_frontend)))
+    return _render(rows, max_cycles)
 
 
 def select_offsets(trace: Sequence[DynInstr]) -> list[tuple[str, int]]:

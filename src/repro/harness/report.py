@@ -13,7 +13,10 @@ from pathlib import Path
 
 from repro.harness.experiments import ExperimentResult, all_experiments
 from repro.harness.runner import default_runner
+from repro.obs.log import get_logger
 from repro.utils.tables import format_bar_chart
+
+log = get_logger(__name__)
 
 _HEADER = """# EXPERIMENTS — paper vs. measured
 
@@ -48,6 +51,7 @@ def write_experiments_md(path: Path | str | None = None) -> Path:
     runner = default_runner()
     sections = []
     for result in all_experiments(runner):
+        log.info("rendered %s (%s)", result.experiment, result.title)
         sections.append(_render(result))
     body = _HEADER + "\n\n".join(sections) + "\n"
     path.write_text(body)

@@ -1,4 +1,4 @@
-"""Simulation runner with a persistent result cache.
+"""Simulation runner with a persistent result cache and host profiling.
 
 A full figure sweep is hundreds of (machine, workload) simulations;
 several figures share the same runs (Figs. 9-12 share machines with the
@@ -7,44 +7,67 @@ results in memory and, optionally, in a JSON file keyed by machine name,
 workload name, and a schema version, so re-running a benchmark after the
 first sweep is cheap.  Bump ``RESULTS_VERSION`` whenever the timing model
 changes in a way that invalidates old numbers.
+
+Serialization is :meth:`SimStats.to_dict` / :meth:`SimStats.from_dict`
+(scalar fields by dataclass introspection plus the generic metrics
+registry), so new counters persist without touching this module.
+
+Every uncached simulation is also timed on the host and appended to
+``BENCH_obs.json`` (see :mod:`repro.obs.profile`), giving performance
+work a measured trajectory; cache hits/misses/invalidations are counted
+in the runner's metrics registry.
 """
 
 from __future__ import annotations
 
 import json
+import time
 from pathlib import Path
 
 from repro.core.config import MachineConfig
 from repro.core.machine import Machine
-from repro.core.statistics import BypassCase, BypassLevelUse, SimStats
-from repro.utils.stats import Distribution
+from repro.core.statistics import SimStats
+from repro.obs.log import get_logger
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.profile import BENCH_FILENAME, BenchLog, RunProfile
 from repro.workloads.suite import build
 
-RESULTS_VERSION = 4
+log = get_logger(__name__)
 
-#: The SimStats fields persisted to disk (Distributions handled separately).
-_SCALAR_FIELDS = (
-    "cycles", "instructions", "branches", "mispredictions",
-    "fetch_stall_cycles", "dcache_hits", "dcache_misses",
-    "icache_misses", "l2_misses", "instructions_with_bypass",
-    "cross_cluster_bypasses", "bypassed_sources",
-    "scheduler_occupancy_samples", "scheduler_occupancy_sum",
-)
+RESULTS_VERSION = 5
 
 
 class ResultCache:
     """JSON-backed cache of simulation statistics."""
 
-    def __init__(self, path: Path | str | None) -> None:
+    def __init__(
+        self, path: Path | str | None, metrics: MetricsRegistry | None = None
+    ) -> None:
         self.path = Path(path) if path is not None else None
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self._hits = self.metrics.counter("cache.hits")
+        self._misses = self.metrics.counter("cache.misses")
+        self._invalidations = self.metrics.counter("cache.invalidations")
         self._data: dict[str, dict] = {}
         if self.path is not None and self.path.exists():
             try:
                 loaded = json.loads(self.path.read_text())
-            except (OSError, json.JSONDecodeError):
+            except (OSError, json.JSONDecodeError) as exc:
+                log.warning(
+                    "result cache %s is unreadable (%s); starting with an empty cache",
+                    self.path, exc,
+                )
+                self._invalidations.inc()
                 loaded = {}
             if loaded.get("version") == RESULTS_VERSION:
                 self._data = loaded.get("results", {})
+            elif loaded:
+                log.warning(
+                    "result cache %s has version %r, expected %r; discarding %d entries",
+                    self.path, loaded.get("version"), RESULTS_VERSION,
+                    len(loaded.get("results", {})),
+                )
+                self._invalidations.inc()
 
     @staticmethod
     def key(machine: str, workload: str) -> str:
@@ -53,11 +76,13 @@ class ResultCache:
     def get(self, machine: str, workload: str) -> SimStats | None:
         entry = self._data.get(self.key(machine, workload))
         if entry is None:
+            self._misses.inc()
             return None
-        return _stats_from_dict(entry)
+        self._hits.inc()
+        return SimStats.from_dict(entry)
 
     def put(self, stats: SimStats) -> None:
-        self._data[self.key(stats.machine, stats.workload)] = _stats_to_dict(stats)
+        self._data[self.key(stats.machine, stats.workload)] = stats.to_dict()
 
     def save(self) -> None:
         if self.path is None:
@@ -70,55 +95,46 @@ class ResultCache:
         return len(self._data)
 
 
-def _stats_to_dict(stats: SimStats) -> dict:
-    entry = {name: getattr(stats, name) for name in _SCALAR_FIELDS}
-    entry["machine"] = stats.machine
-    entry["workload"] = stats.workload
-    entry["bypass_cases"] = {
-        case.name: stats.bypass_cases.count(case) for case in BypassCase
-    }
-    entry["bypass_levels"] = {
-        use.name: stats.bypass_levels.count(use) for use in BypassLevelUse
-    }
-    return entry
-
-
-def _stats_from_dict(entry: dict) -> SimStats:
-    stats = SimStats(machine=entry["machine"], workload=entry["workload"])
-    for name in _SCALAR_FIELDS:
-        setattr(stats, name, entry[name])
-    cases = Distribution()
-    for name, count in entry["bypass_cases"].items():
-        if count:
-            cases.record(BypassCase[name], count)
-    stats.bypass_cases = cases
-    levels = Distribution()
-    for name, count in entry["bypass_levels"].items():
-        if count:
-            levels.record(BypassLevelUse[name], count)
-    stats.bypass_levels = levels
-    return stats
-
-
 class SimulationRunner:
     """Runs (machine config, workload name) pairs through the cache."""
 
-    def __init__(self, cache_path: Path | str | None = None) -> None:
+    def __init__(
+        self,
+        cache_path: Path | str | None = None,
+        bench_path: Path | str | None = None,
+    ) -> None:
         if cache_path is None:
             cache_path = Path(__file__).resolve().parents[3] / ".repro_cache" / "results.json"
-        self.cache = ResultCache(cache_path)
+        self.metrics = MetricsRegistry()
+        self.cache = ResultCache(cache_path, metrics=self.metrics)
+        if bench_path is None and self.cache.path is not None:
+            bench_path = self.cache.path.parent / BENCH_FILENAME
+        self.bench = BenchLog(bench_path)
         self._machines: dict[str, Machine] = {}
 
     def run(self, config: MachineConfig, workload: str) -> SimStats:
         """One simulation, served from cache when available."""
         cached = self.cache.get(config.name, workload)
         if cached is not None:
+            log.debug("cache hit: %s on %s", config.name, workload)
             return cached
         machine = self._machines.get(config.name)
         if machine is None:
             machine = Machine(config)
             self._machines[config.name] = machine
+        log.info("simulating %s on %s ...", config.name, workload)
+        started = time.perf_counter()
         stats = machine.run(build(workload))
+        wall = time.perf_counter() - started
+        profile = RunProfile.measure(
+            config.name, workload, wall, stats.cycles, stats.instructions
+        )
+        log.info(
+            "simulated %s on %s in %.2fs (%.0f instr/s, IPC %.3f)",
+            config.name, workload, wall, profile.sim_instr_per_sec, stats.ipc,
+        )
+        self.bench.record(profile)
+        self.bench.save(cache_metrics=self.metrics)
         self.cache.put(stats)
         self.cache.save()
         return stats

@@ -1,0 +1,52 @@
+"""Observability layer: event tracing, metrics, logging, and profiling.
+
+``repro.obs`` is the single measurement substrate for the simulator:
+
+* :mod:`repro.obs.events` — a cycle-stamped event bus fed by
+  :class:`repro.core.machine.Machine`; the trace is the source of truth
+  for the pipeline viewer, the Chrome/Perfetto exporter, and any
+  IPC-style metric recomputed from first principles.
+* :mod:`repro.obs.sinks` — pluggable consumers of the event stream
+  (ring buffer, JSONL, Chrome ``trace_event`` format).
+* :mod:`repro.obs.metrics` — a registry of counters, histograms,
+  distributions, and sampled time-series that :class:`SimStats`, the
+  schedulers, and the result cache record into; the registry serializes
+  generically so new counters need no per-field persistence code.
+* :mod:`repro.obs.log` — ``logging`` setup shared by the CLI and
+  harness (``repro run -v``).
+* :mod:`repro.obs.profile` — host-side wall-clock profiling of
+  simulation runs, written to ``BENCH_obs.json`` so performance work
+  has a trajectory.
+"""
+
+from repro.obs.events import EventBus, EventKind, TraceEvent, ipc_from_events, lifecycle_events
+from repro.obs.log import get_logger, setup_logging
+from repro.obs.metrics import Counter, Histogram, MetricsRegistry, TimeSeries
+from repro.obs.sinks import (
+    ChromeTraceSink,
+    CollectorSink,
+    JSONLSink,
+    RingBufferSink,
+    read_jsonl,
+    validate_chrome_trace,
+)
+
+__all__ = [
+    "EventBus",
+    "EventKind",
+    "TraceEvent",
+    "ipc_from_events",
+    "lifecycle_events",
+    "get_logger",
+    "setup_logging",
+    "Counter",
+    "Histogram",
+    "MetricsRegistry",
+    "TimeSeries",
+    "ChromeTraceSink",
+    "CollectorSink",
+    "JSONLSink",
+    "RingBufferSink",
+    "read_jsonl",
+    "validate_chrome_trace",
+]

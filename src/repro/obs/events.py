@@ -1,0 +1,189 @@
+"""Cycle-stamped pipeline events and the bus that delivers them to sinks.
+
+The machine emits one :class:`TraceEvent` per pipeline stage a dynamic
+instruction occupies (fetch, rename, select, register read, execute,
+format conversion, writeback, retire) plus one ``bypass_forward`` event
+per operand served off the bypass network (carrying the level and the
+Fig. 13 case).  Events are buffered by the :class:`EventBus` and
+delivered to every attached sink in ``(cycle, seq, stage-order)`` order
+when the run closes, so every consumer — the ASCII pipeline viewer, the
+JSONL/Chrome exporters, metric recomputation — sees one deterministic,
+cycle-monotonic stream.
+
+This module deliberately has no dependency on :mod:`repro.core`: events
+are plain data, and :func:`lifecycle_events` duck-types over the
+``DynInstr`` record (the pipeline-shape constant ``SELECT_TO_EXEC`` is
+passed in by the caller).
+"""
+
+from __future__ import annotations
+
+import enum
+from collections.abc import Iterable, Sequence
+from dataclasses import dataclass
+
+
+class EventKind(enum.Enum):
+    """Pipeline event types, in within-cycle presentation order."""
+
+    FETCH = "fetch"
+    RENAME = "rename"
+    SELECT = "select"
+    REGISTER_READ = "register_read"
+    BYPASS = "bypass_forward"
+    EXECUTE = "execute"
+    CONVERT = "convert"
+    WRITEBACK = "writeback"
+    RETIRE = "retire"
+
+
+_KIND_ORDER = {kind: index for index, kind in enumerate(EventKind)}
+_KIND_BY_VALUE = {kind.value: kind for kind in EventKind}
+
+
+@dataclass(frozen=True, slots=True)
+class TraceEvent:
+    """One cycle-stamped pipeline event for one dynamic instruction.
+
+    ``cycle`` is the first cycle the stage occupies and ``dur`` how many
+    cycles it lasts (1 for point events).  ``args`` carries kind-specific
+    detail (e.g. bypass level and case).
+    """
+
+    cycle: int
+    kind: EventKind
+    seq: int
+    text: str = ""
+    dur: int = 1
+    args: dict | None = None
+
+    def sort_key(self) -> tuple[int, int, int]:
+        return (self.cycle, self.seq, _KIND_ORDER[self.kind])
+
+    def to_dict(self) -> dict:
+        entry: dict = {
+            "cycle": self.cycle,
+            "kind": self.kind.value,
+            "seq": self.seq,
+            "text": self.text,
+        }
+        if self.dur != 1:
+            entry["dur"] = self.dur
+        if self.args:
+            entry["args"] = self.args
+        return entry
+
+    @classmethod
+    def from_dict(cls, entry: dict) -> "TraceEvent":
+        return cls(
+            cycle=entry["cycle"],
+            kind=_KIND_BY_VALUE[entry["kind"]],
+            seq=entry["seq"],
+            text=entry.get("text", ""),
+            dur=entry.get("dur", 1),
+            args=entry.get("args"),
+        )
+
+
+class EventBus:
+    """Buffers events during a run and replays them, sorted, to sinks.
+
+    Sorting at close (rather than forcing the machine to emit in cycle
+    order) lets the simulator stamp an instruction's whole lifecycle the
+    moment it retires while still handing every sink a cycle-monotonic
+    stream; it also makes the stream deterministic regardless of
+    emission order.
+    """
+
+    def __init__(self, sinks: Sequence = ()) -> None:
+        self.sinks = list(sinks)
+        self.events: list[TraceEvent] = []
+        self.meta: dict = {}
+        self._closed = False
+
+    def add_sink(self, sink) -> None:
+        self.sinks.append(sink)
+
+    def emit(self, event: TraceEvent) -> None:
+        self.events.append(event)
+
+    def emit_many(self, events: Iterable[TraceEvent]) -> None:
+        self.events.extend(events)
+
+    def close(self, meta: dict | None = None) -> list[TraceEvent]:
+        """Sort the stream, replay it through every sink, return it."""
+        if self._closed:
+            return self.events
+        self._closed = True
+        self.meta = dict(meta or {})
+        self.events.sort(key=TraceEvent.sort_key)
+        for sink in self.sinks:
+            sink.begin(self.meta)
+        for event in self.events:
+            for sink in self.sinks:
+                sink.event(event)
+        for sink in self.sinks:
+            sink.finish()
+        return self.events
+
+
+def lifecycle_events(
+    rec,
+    select_to_exec: int,
+    include_frontend: bool = True,
+) -> list[TraceEvent]:
+    """The full stage timeline of one retired ``DynInstr``-like record.
+
+    This is the single source of the pipeline shape shared by the
+    machine's bus emission and the pipeline viewer: select, a
+    ``select_to_exec - 1``-cycle register read, execution for the
+    redundant-format latency, format conversion for the TC/RB latency
+    gap, writeback the cycle after completion, and retirement.
+    """
+    events: list[TraceEvent] = []
+    seq = rec.seq
+    text = rec.instr.text
+    if include_frontend:
+        events.append(TraceEvent(rec.fetch_cycle, EventKind.FETCH, seq, text))
+        if rec.rename_cycle >= 0:
+            events.append(TraceEvent(rec.rename_cycle, EventKind.RENAME, seq, text))
+    select = rec.select_cycle
+    if select is None:
+        return events
+    events.append(TraceEvent(
+        select, EventKind.SELECT, seq, text,
+        args={"scheduler": rec.scheduler, "cluster": rec.cluster},
+    ))
+    read_cycles = select_to_exec - 1
+    if read_cycles > 0:
+        events.append(TraceEvent(select + 1, EventKind.REGISTER_READ, seq, text, dur=read_cycles))
+    exec_start = select + select_to_exec
+    exec_cycles = max(1, rec.lat_rb)
+    events.append(TraceEvent(exec_start, EventKind.EXECUTE, seq, text, dur=exec_cycles))
+    convert_cycles = rec.lat_tc - rec.lat_rb
+    if convert_cycles > 0:
+        events.append(TraceEvent(
+            exec_start + exec_cycles, EventKind.CONVERT, seq, text, dur=convert_cycles,
+        ))
+    if rec.complete_cycle is not None:
+        events.append(TraceEvent(rec.complete_cycle + 1, EventKind.WRITEBACK, seq, text))
+    retire_cycle = getattr(rec, "retire_cycle", None)
+    if retire_cycle is not None:
+        events.append(TraceEvent(retire_cycle, EventKind.RETIRE, seq, text))
+    return events
+
+
+def ipc_from_events(events: Iterable[TraceEvent]) -> float:
+    """IPC recomputed purely from the retire events of a trace.
+
+    The machine's final cycle is the one retiring the last instruction
+    (the pipeline is empty afterwards, so the run ends that cycle), so
+    the cycle count is ``max retire cycle + 1`` and the instruction
+    count is simply the number of retire events.  Matches
+    :attr:`SimStats.ipc` exactly.
+    """
+    retires = [e for e in events if e.kind is EventKind.RETIRE]
+    if not retires:
+        return 0.0
+    cycles = max(e.cycle for e in retires) + 1
+    return len(retires) / cycles

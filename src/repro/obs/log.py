@@ -1,0 +1,55 @@
+"""Logging setup shared by the CLI and harness.
+
+The whole package logs under the ``repro`` namespace; by default nothing
+below WARNING is shown.  ``repro <command> -v`` turns on INFO (per-phase
+progress: which simulation is running, cache hits, timings) and ``-vv``
+DEBUG (per-run internals).
+"""
+
+from __future__ import annotations
+
+import logging
+import sys
+
+ROOT_LOGGER = "repro"
+
+_LEVELS = {0: logging.WARNING, 1: logging.INFO, 2: logging.DEBUG}
+
+
+def get_logger(name: str = ROOT_LOGGER) -> logging.Logger:
+    """A logger under the ``repro`` namespace.
+
+    Pass ``__name__`` from inside the package (module paths already
+    start with ``repro.``); other names are nested under ``repro.``.
+    """
+    if name != ROOT_LOGGER and not name.startswith(ROOT_LOGGER + "."):
+        name = f"{ROOT_LOGGER}.{name}"
+    return logging.getLogger(name)
+
+
+def setup_logging(verbosity: int = 0, stream=None) -> logging.Logger:
+    """Configure the ``repro`` logger for ``verbosity`` -v flags.
+
+    Idempotent: repeated calls reconfigure the level and reuse the
+    existing handler rather than stacking duplicates.  Returns the root
+    package logger.
+    """
+    logger = logging.getLogger(ROOT_LOGGER)
+    level = _LEVELS.get(min(verbosity, 2), logging.DEBUG)
+    logger.setLevel(level)
+    logger.propagate = False
+
+    handler = next(
+        (h for h in logger.handlers if getattr(h, "_repro_handler", False)), None
+    )
+    if handler is None:
+        handler = logging.StreamHandler(stream or sys.stderr)
+        handler._repro_handler = True
+        handler.setFormatter(logging.Formatter(
+            "%(asctime)s %(levelname)-7s %(name)s: %(message)s", datefmt="%H:%M:%S"
+        ))
+        logger.addHandler(handler)
+    elif stream is not None:
+        handler.setStream(stream)
+    handler.setLevel(level)
+    return logger

@@ -1,0 +1,259 @@
+"""The metrics registry: counters, histograms, distributions, time-series.
+
+Everything that counts something during a simulation records it here
+instead of growing a new hand-maintained field plus matching
+serialization code.  A :class:`MetricsRegistry` serializes itself
+generically (:meth:`MetricsRegistry.as_dict` / :meth:`MetricsRegistry.load`),
+so adding a counter anywhere in the stack automatically persists through
+the result cache and shows up in ``repro run --json`` output.
+
+Categorical distributions reuse :class:`repro.utils.stats.Distribution`;
+when a distribution's categories are an :class:`enum.Enum`, registering
+the enum class lets the registry encode keys by name and decode them on
+load.
+"""
+
+from __future__ import annotations
+
+import enum
+from collections.abc import Mapping
+
+from repro.utils.stats import Distribution
+
+
+class Counter:
+    """A monotonic (but resettable) integer counter."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value = 0
+
+    def inc(self, amount: int = 1) -> None:
+        self.value += amount
+
+    def as_dict(self) -> int:
+        return self.value
+
+    def __repr__(self) -> str:
+        return f"Counter({self.name}={self.value})"
+
+
+class Histogram:
+    """Counts of discrete observed values with running sum/min/max."""
+
+    __slots__ = ("name", "counts", "total", "sum", "min", "max")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.counts: dict[int, int] = {}
+        self.total = 0
+        self.sum = 0
+        self.min: int | None = None
+        self.max: int | None = None
+
+    def record(self, value: int, amount: int = 1) -> None:
+        self.counts[value] = self.counts.get(value, 0) + amount
+        self.total += amount
+        self.sum += value * amount
+        if self.min is None or value < self.min:
+            self.min = value
+        if self.max is None or value > self.max:
+            self.max = value
+
+    def mean(self) -> float:
+        return self.sum / self.total if self.total else 0.0
+
+    def fraction(self, value: int) -> float:
+        return self.counts.get(value, 0) / self.total if self.total else 0.0
+
+    def as_dict(self) -> dict:
+        return {
+            "counts": {str(v): c for v, c in sorted(self.counts.items())},
+            "total": self.total,
+            "sum": self.sum,
+            "min": self.min,
+            "max": self.max,
+        }
+
+    def load(self, entry: Mapping) -> None:
+        for value, count in entry.get("counts", {}).items():
+            self.counts[int(value)] = self.counts.get(int(value), 0) + count
+        self.total += entry.get("total", 0)
+        self.sum += entry.get("sum", 0)
+        for bound, better in (("min", min), ("max", max)):
+            loaded = entry.get(bound)
+            if loaded is not None:
+                current = getattr(self, bound)
+                setattr(self, bound, loaded if current is None else better(current, loaded))
+
+    def __repr__(self) -> str:
+        return f"Histogram({self.name}, n={self.total}, mean={self.mean():.2f})"
+
+
+class TimeSeries:
+    """A per-cycle series sampled every ``stride`` cycles.
+
+    The running ``total``/``count`` cover *every* recorded cycle (so means
+    are exact); ``samples`` keeps one value per ``stride`` cycles for
+    plotting, decimating (stride doubling) past ``max_samples`` so the
+    memory and serialized footprint stay bounded.
+    """
+
+    __slots__ = ("name", "stride", "max_samples", "samples", "count", "total")
+
+    def __init__(self, name: str, stride: int = 64, max_samples: int = 4096) -> None:
+        if stride <= 0:
+            raise ValueError(f"stride must be positive, got {stride}")
+        self.name = name
+        self.stride = stride
+        self.max_samples = max_samples
+        self.samples: list[int] = []
+        self.count = 0
+        self.total = 0
+
+    def record(self, cycle: int, value: int) -> None:
+        self.count += 1
+        self.total += value
+        if cycle % self.stride == 0:
+            self.samples.append(value)
+            if len(self.samples) > self.max_samples:
+                self.samples = self.samples[::2]
+                self.stride *= 2
+
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def as_dict(self) -> dict:
+        return {
+            "stride": self.stride,
+            "count": self.count,
+            "total": self.total,
+            "samples": list(self.samples),
+        }
+
+    def load(self, entry: Mapping) -> None:
+        self.stride = entry.get("stride", self.stride)
+        self.count += entry.get("count", 0)
+        self.total += entry.get("total", 0)
+        self.samples.extend(entry.get("samples", ()))
+
+    def __repr__(self) -> str:
+        return f"TimeSeries({self.name}, n={self.count}, mean={self.mean():.2f})"
+
+
+class MetricsRegistry:
+    """Named metrics with get-or-create access and generic serialization."""
+
+    __slots__ = ("_counters", "_histograms", "_timeseries", "_distributions", "_dist_keys")
+
+    def __init__(self) -> None:
+        self._counters: dict[str, Counter] = {}
+        self._histograms: dict[str, Histogram] = {}
+        self._timeseries: dict[str, TimeSeries] = {}
+        self._distributions: dict[str, Distribution] = {}
+        #: distribution name -> Enum class used to decode serialized keys
+        self._dist_keys: dict[str, type[enum.Enum]] = {}
+
+    # -- get-or-create accessors ---------------------------------------------------
+
+    def counter(self, name: str) -> Counter:
+        metric = self._counters.get(name)
+        if metric is None:
+            metric = self._counters[name] = Counter(name)
+        return metric
+
+    def histogram(self, name: str) -> Histogram:
+        metric = self._histograms.get(name)
+        if metric is None:
+            metric = self._histograms[name] = Histogram(name)
+        return metric
+
+    def timeseries(self, name: str, stride: int = 64, max_samples: int = 4096) -> TimeSeries:
+        metric = self._timeseries.get(name)
+        if metric is None:
+            metric = self._timeseries[name] = TimeSeries(name, stride, max_samples)
+        return metric
+
+    def distribution(self, name: str, keys: type[enum.Enum] | None = None) -> Distribution:
+        metric = self._distributions.get(name)
+        if metric is None:
+            metric = self._distributions[name] = Distribution()
+        if keys is not None:
+            self._dist_keys[name] = keys
+        return metric
+
+    # -- introspection ---------------------------------------------------------------
+
+    def names(self) -> list[str]:
+        return sorted(
+            [*self._counters, *self._histograms, *self._timeseries, *self._distributions]
+        )
+
+    def __contains__(self, name: str) -> bool:
+        return (
+            name in self._counters
+            or name in self._histograms
+            or name in self._timeseries
+            or name in self._distributions
+        )
+
+    # -- serialization ---------------------------------------------------------------
+
+    def _encode_dist(self, name: str, dist: Distribution) -> dict:
+        encoded = {}
+        for key, count in dist.as_dict().items():
+            encoded[key.name if isinstance(key, enum.Enum) else str(key)] = count
+        return encoded
+
+    def _decode_dist_key(self, name: str, key: str) -> object:
+        enum_class = self._dist_keys.get(name)
+        if enum_class is not None:
+            try:
+                return enum_class[key]
+            except KeyError:
+                pass
+        return key
+
+    def as_dict(self) -> dict:
+        """JSON-ready snapshot of every registered metric."""
+        return {
+            "counters": {n: c.as_dict() for n, c in sorted(self._counters.items())},
+            "histograms": {n: h.as_dict() for n, h in sorted(self._histograms.items())},
+            "timeseries": {n: t.as_dict() for n, t in sorted(self._timeseries.items())},
+            "distributions": {
+                n: self._encode_dist(n, d) for n, d in sorted(self._distributions.items())
+            },
+        }
+
+    def load(self, entry: Mapping) -> None:
+        """Merge a serialized snapshot into this registry.
+
+        Distribution keys decode through the enum classes registered via
+        :meth:`distribution`; unknown distributions keep string keys.
+        """
+        for name, value in entry.get("counters", {}).items():
+            self.counter(name).inc(value)
+        for name, sub in entry.get("histograms", {}).items():
+            self.histogram(name).load(sub)
+        for name, sub in entry.get("timeseries", {}).items():
+            self.timeseries(name).load(sub)
+        for name, counts in entry.get("distributions", {}).items():
+            dist = self.distribution(name)
+            dist.merge(Distribution.from_dict(
+                {self._decode_dist_key(name, key): count for key, count in counts.items()}
+            ))
+
+    def merge(self, other: "MetricsRegistry") -> None:
+        """Fold another registry's metrics into this one."""
+        self._dist_keys.update(other._dist_keys)
+        self.load(other.as_dict())
+
+    def __repr__(self) -> str:
+        return (
+            f"MetricsRegistry(counters={len(self._counters)}, "
+            f"histograms={len(self._histograms)}, "
+            f"timeseries={len(self._timeseries)}, "
+            f"distributions={len(self._distributions)})"
+        )

@@ -1,0 +1,98 @@
+"""Host-side profiling of simulation runs -> ``BENCH_obs.json``.
+
+Every uncached simulation the harness performs is timed on the host
+(wall clock, simulated instructions per host-second) and appended to a
+persistent ``BENCH_obs.json`` artifact, together with the result-cache
+hit/miss counters.  Performance PRs read this trajectory to prove a
+speedup; the file is additive, so old entries remain as history.
+"""
+
+from __future__ import annotations
+
+import json
+import platform
+import time
+from dataclasses import asdict, dataclass
+from pathlib import Path
+
+from repro.obs.log import get_logger
+from repro.obs.metrics import MetricsRegistry
+
+log = get_logger(__name__)
+
+BENCH_VERSION = 1
+BENCH_FILENAME = "BENCH_obs.json"
+
+
+@dataclass
+class RunProfile:
+    """Host-side measurements for one (machine, workload) simulation."""
+
+    machine: str
+    workload: str
+    wall_seconds: float
+    cycles: int
+    instructions: int
+    #: simulated instructions retired per host second
+    sim_instr_per_sec: float
+    #: simulated cycles stepped per host second
+    sim_cycles_per_sec: float
+    timestamp: float
+
+    @classmethod
+    def measure(cls, machine: str, workload: str, wall_seconds: float,
+                cycles: int, instructions: int) -> "RunProfile":
+        wall = max(wall_seconds, 1e-9)
+        return cls(
+            machine=machine,
+            workload=workload,
+            wall_seconds=round(wall_seconds, 6),
+            cycles=cycles,
+            instructions=instructions,
+            sim_instr_per_sec=round(instructions / wall, 1),
+            sim_cycles_per_sec=round(cycles / wall, 1),
+            timestamp=time.time(),
+        )
+
+
+class BenchLog:
+    """Appends :class:`RunProfile` entries to a ``BENCH_obs.json`` file."""
+
+    def __init__(self, path: Path | str | None) -> None:
+        self.path = Path(path) if path is not None else None
+        self.runs: list[dict] = []
+        if self.path is not None and self.path.exists():
+            try:
+                loaded = json.loads(self.path.read_text())
+            except (OSError, json.JSONDecodeError) as exc:
+                log.warning("bench log %s unreadable (%s); starting fresh", self.path, exc)
+                loaded = {}
+            if loaded.get("version") == BENCH_VERSION:
+                self.runs = list(loaded.get("runs", []))
+            elif loaded:
+                log.warning(
+                    "bench log %s has version %r, expected %r; starting fresh",
+                    self.path, loaded.get("version"), BENCH_VERSION,
+                )
+
+    def record(self, profile: RunProfile) -> None:
+        self.runs.append(asdict(profile))
+
+    def save(self, cache_metrics: MetricsRegistry | None = None) -> None:
+        if self.path is None:
+            return
+        payload = {
+            "version": BENCH_VERSION,
+            "host": {
+                "python": platform.python_version(),
+                "platform": platform.platform(),
+            },
+            "runs": self.runs,
+        }
+        if cache_metrics is not None:
+            payload["cache"] = {
+                name: cache_metrics.counter(name).value
+                for name in ("cache.hits", "cache.misses", "cache.invalidations")
+            }
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        self.path.write_text(json.dumps(payload, indent=2))

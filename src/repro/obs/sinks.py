@@ -1,0 +1,245 @@
+"""Event-stream sinks: ring buffer, collector, JSONL, Chrome trace.
+
+Sinks receive the sorted event stream from :class:`repro.obs.events.EventBus`
+through a three-call protocol: ``begin(meta)`` once, ``event(e)`` per
+event, ``finish()`` once.  The Chrome sink writes the ``trace_event``
+JSON format, so a ``repro trace --format chrome`` artifact opens
+directly in Perfetto (https://ui.perfetto.dev) or ``chrome://tracing``;
+:func:`validate_chrome_trace` checks that structure and is what CI runs
+against the smoke-test trace.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import deque
+from pathlib import Path
+
+from repro.obs.events import EventKind, TraceEvent
+
+#: Perfetto rows ("threads") instructions are folded onto: enough that
+#: concurrently in-flight instructions rarely share a row, few enough
+#: that the UI stays navigable.
+CHROME_LANES = 32
+
+#: Event kinds rendered as zero-width instants rather than slices.
+_INSTANT_KINDS = frozenset({EventKind.BYPASS, EventKind.RETIRE})
+
+
+class TraceSink:
+    """Base sink: subclasses override any of begin/event/finish."""
+
+    def begin(self, meta: dict) -> None:
+        pass
+
+    def event(self, event: TraceEvent) -> None:
+        pass
+
+    def finish(self) -> None:
+        pass
+
+
+class CollectorSink(TraceSink):
+    """Keeps every event in a list (tests, in-process consumers)."""
+
+    def __init__(self) -> None:
+        self.meta: dict = {}
+        self.events: list[TraceEvent] = []
+
+    def begin(self, meta: dict) -> None:
+        self.meta = meta
+
+    def event(self, event: TraceEvent) -> None:
+        self.events.append(event)
+
+
+class RingBufferSink(TraceSink):
+    """Keeps only the most recent ``capacity`` events."""
+
+    def __init__(self, capacity: int = 65536) -> None:
+        if capacity <= 0:
+            raise ValueError(f"ring capacity must be positive, got {capacity}")
+        self.capacity = capacity
+        self.meta: dict = {}
+        self.events: deque[TraceEvent] = deque(maxlen=capacity)
+        self.dropped = 0
+
+    def begin(self, meta: dict) -> None:
+        self.meta = meta
+
+    def event(self, event: TraceEvent) -> None:
+        if len(self.events) == self.capacity:
+            self.dropped += 1
+        self.events.append(event)
+
+
+class JSONLSink(TraceSink):
+    """One JSON object per line: a ``{"meta": ...}`` header, then events."""
+
+    def __init__(self, path: Path | str) -> None:
+        self.path = Path(path)
+        self._fh = None
+        self.count = 0
+
+    def begin(self, meta: dict) -> None:
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        self._fh = self.path.open("w", encoding="utf-8")
+        self._fh.write(json.dumps({"meta": meta}) + "\n")
+
+    def event(self, event: TraceEvent) -> None:
+        self._fh.write(json.dumps(event.to_dict()) + "\n")
+        self.count += 1
+
+    def finish(self) -> None:
+        if self._fh is not None:
+            self._fh.close()
+            self._fh = None
+
+
+def read_jsonl(path: Path | str) -> tuple[dict, list[TraceEvent]]:
+    """Load a JSONL trace back into ``(meta, events)``."""
+    meta: dict = {}
+    events: list[TraceEvent] = []
+    with Path(path).open(encoding="utf-8") as fh:
+        for line in fh:
+            line = line.strip()
+            if not line:
+                continue
+            entry = json.loads(line)
+            if "meta" in entry and "kind" not in entry:
+                meta = entry["meta"]
+            else:
+                events.append(TraceEvent.from_dict(entry))
+    return meta, events
+
+
+class ChromeTraceSink(TraceSink):
+    """Writes the Chrome ``trace_event`` format (Perfetto-loadable).
+
+    Cycles map one-to-one onto trace microseconds.  Stage events become
+    complete slices (``ph: "X"``); bypass forwards and retires become
+    instants (``ph: "i"``).  Instructions are folded onto
+    ``lanes`` pseudo-threads by ``seq % lanes`` so the timeline stays
+    readable for long runs.
+    """
+
+    def __init__(self, path: Path | str, lanes: int = CHROME_LANES) -> None:
+        if lanes <= 0:
+            raise ValueError(f"lane count must be positive, got {lanes}")
+        self.path = Path(path)
+        self.lanes = lanes
+        self.meta: dict = {}
+        self._events: list[dict] = []
+
+    def begin(self, meta: dict) -> None:
+        self.meta = meta
+
+    def event(self, event: TraceEvent) -> None:
+        args = {"seq": event.seq, "instr": event.text}
+        if event.args:
+            args.update(event.args)
+        entry: dict = {
+            "name": event.kind.value,
+            "cat": "pipeline",
+            "ts": event.cycle,
+            "pid": 0,
+            "tid": event.seq % self.lanes,
+            "args": args,
+        }
+        if event.kind in _INSTANT_KINDS:
+            entry["ph"] = "i"
+            entry["s"] = "t"
+        else:
+            entry["ph"] = "X"
+            entry["dur"] = event.dur
+        self._events.append(entry)
+
+    def finish(self) -> None:
+        label = "repro"
+        machine = self.meta.get("machine")
+        workload = self.meta.get("workload")
+        if machine and workload:
+            label = f"{machine} on {workload}"
+        metadata = [{
+            "name": "process_name", "ph": "M", "pid": 0, "tid": 0,
+            "args": {"name": label},
+        }]
+        metadata += [
+            {
+                "name": "thread_name", "ph": "M", "pid": 0, "tid": lane,
+                "args": {"name": f"lane {lane:02d}"},
+            }
+            for lane in range(self.lanes)
+        ]
+        payload = {
+            "traceEvents": metadata + self._events,
+            "displayTimeUnit": "ms",
+            "otherData": self.meta,
+        }
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        self.path.write_text(json.dumps(payload))
+
+
+def validate_chrome_trace(source: Path | str | dict) -> tuple[int, int]:
+    """Structurally validate a Chrome ``trace_event`` JSON document.
+
+    Accepts a path or an already-parsed document.  Checks the envelope
+    (``traceEvents`` list), every event's required fields per phase, and
+    that the pipeline slices are cycle-monotonic per lane.  Returns
+    ``(total_events, retire_count)``; raises :class:`ValueError` listing
+    every problem found.
+    """
+    if isinstance(source, (str, Path)):
+        document = json.loads(Path(source).read_text())
+    else:
+        document = source
+
+    errors: list[str] = []
+    if not isinstance(document, dict):
+        raise ValueError("chrome trace must be a JSON object")
+    events = document.get("traceEvents")
+    if not isinstance(events, list) or not events:
+        raise ValueError("chrome trace needs a non-empty 'traceEvents' list")
+
+    retires = 0
+    last_ts_per_lane: dict = {}
+    for index, event in enumerate(events):
+        where = f"traceEvents[{index}]"
+        if not isinstance(event, dict):
+            errors.append(f"{where}: not an object")
+            continue
+        phase = event.get("ph")
+        if phase not in ("X", "i", "M"):
+            errors.append(f"{where}: unknown phase {phase!r}")
+            continue
+        if not isinstance(event.get("name"), str) or not event["name"]:
+            errors.append(f"{where}: missing name")
+        if not isinstance(event.get("pid"), int) or not isinstance(event.get("tid"), int):
+            errors.append(f"{where}: pid/tid must be integers")
+        if phase == "M":
+            continue
+        ts = event.get("ts")
+        if not isinstance(ts, (int, float)) or ts < 0:
+            errors.append(f"{where}: bad ts {ts!r}")
+            continue
+        if phase == "X":
+            dur = event.get("dur")
+            if not isinstance(dur, (int, float)) or dur < 0:
+                errors.append(f"{where}: complete event needs a non-negative dur")
+        elif phase == "i":
+            if event.get("s") not in (None, "t", "p", "g"):
+                errors.append(f"{where}: bad instant scope {event.get('s')!r}")
+        lane = (event.get("pid"), event.get("tid"))
+        previous = last_ts_per_lane.get(lane)
+        if previous is not None and ts < previous:
+            errors.append(f"{where}: ts {ts} goes backwards on lane {lane}")
+        last_ts_per_lane[lane] = ts
+        if event.get("name") == EventKind.RETIRE.value:
+            retires += 1
+
+    if retires == 0:
+        errors.append("trace contains no retire events")
+    if errors:
+        preview = "; ".join(errors[:10])
+        raise ValueError(f"invalid chrome trace ({len(errors)} problems): {preview}")
+    return len(events), retires

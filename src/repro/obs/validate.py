@@ -1,0 +1,33 @@
+"""Validate a Chrome ``trace_event`` artifact structurally.
+
+Used by CI's trace smoke job::
+
+    PYTHONPATH=src python -m repro.obs.validate trace.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.obs.sinks import validate_chrome_trace
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro.obs.validate",
+        description="structurally validate a Chrome trace_event JSON file",
+    )
+    parser.add_argument("trace", help="path to a chrome-format trace JSON file")
+    args = parser.parse_args(argv)
+    try:
+        total, retires = validate_chrome_trace(args.trace)
+    except (OSError, ValueError) as exc:
+        print(f"INVALID: {exc}", file=sys.stderr)
+        return 1
+    print(f"OK: {args.trace}: {total} trace events, {retires} retires")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

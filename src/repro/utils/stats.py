@@ -86,8 +86,26 @@ class Distribution:
         self._counts.update(other._counts)
 
     def as_dict(self) -> Mapping[object, int]:
-        """Raw counts as a plain dict."""
+        """Raw counts as a plain dict (the serialization form: round-trips
+        through :meth:`from_dict`)."""
         return dict(self._counts)
+
+    @classmethod
+    def from_dict(cls, counts: Mapping[object, int]) -> "Distribution":
+        """Rebuild a distribution from :meth:`as_dict` output; zero or
+        negative counts are rejected (they cannot be observations)."""
+        dist = cls()
+        for category, count in counts.items():
+            if count < 0:
+                raise ValueError(f"negative count for {category!r}: {count}")
+            if count:
+                dist.record(category, count)
+        return dist
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Distribution):
+            return NotImplemented
+        return self._counts == other._counts
 
     def __repr__(self) -> str:
         return f"Distribution({dict(self._counts.most_common())})"

@@ -1,8 +1,24 @@
 """Tests for the result cache and simulation runner."""
 
+import json
+import logging
+
+import pytest
+
 from repro.core.presets import ideal
 from repro.core.statistics import BypassCase, SimStats
 from repro.harness.runner import RESULTS_VERSION, ResultCache, SimulationRunner
+
+
+@pytest.fixture
+def repro_log_propagates():
+    """Let caplog see ``repro`` records even if setup_logging() disabled
+    propagation earlier in the session."""
+    logger = logging.getLogger("repro")
+    saved = logger.propagate
+    logger.propagate = True
+    yield
+    logger.propagate = saved
 
 
 class TestResultCache:
@@ -48,6 +64,49 @@ class TestResultCache:
         cache.save()  # no-op, must not raise
         assert cache.get("M", "W") is not None
 
+    def test_metrics_round_trip(self, tmp_path):
+        path = tmp_path / "cache.json"
+        cache = ResultCache(path)
+        stats = SimStats(machine="M", workload="W", cycles=5, instructions=5)
+        stats.metrics.counter("scheduler.sched0.selected").inc(9)
+        stats.metrics.histogram("bypass.source_level").record(1, 4)
+        cache.put(stats)
+        cache.save()
+        reloaded = ResultCache(path).get("M", "W")
+        assert reloaded.metrics.counter("scheduler.sched0.selected").value == 9
+        assert reloaded.metrics.histogram("bypass.source_level").counts == {1: 4}
+
+    def test_hit_miss_counters(self, tmp_path):
+        cache = ResultCache(tmp_path / "cache.json")
+        assert cache.get("M", "W") is None
+        cache.put(SimStats(machine="M", workload="W", cycles=1, instructions=1))
+        assert cache.get("M", "W") is not None
+        assert cache.metrics.counter("cache.misses").value == 1
+        assert cache.metrics.counter("cache.hits").value == 1
+
+    def test_corrupt_file_warns_and_counts(self, tmp_path, caplog, repro_log_propagates):
+        path = tmp_path / "cache.json"
+        path.write_text("{not json")
+        with caplog.at_level(logging.WARNING, logger="repro"):
+            cache = ResultCache(path)
+        assert cache.metrics.counter("cache.invalidations").value == 1
+        assert any("unreadable" in r.message for r in caplog.records)
+        assert any(str(path) in r.message for r in caplog.records)
+
+    def test_version_mismatch_warns_and_counts(self, tmp_path, caplog, repro_log_propagates):
+        path = tmp_path / "cache.json"
+        cache = ResultCache(path)
+        cache.put(SimStats(machine="M", workload="W", cycles=1, instructions=1))
+        cache.save()
+        text = path.read_text().replace(
+            f'"version": {RESULTS_VERSION}', '"version": -1'
+        )
+        path.write_text(text)
+        with caplog.at_level(logging.WARNING, logger="repro"):
+            reloaded = ResultCache(path)
+        assert reloaded.metrics.counter("cache.invalidations").value == 1
+        assert any("version" in r.message for r in caplog.records)
+
 
 class TestRunner:
     def test_run_uses_cache(self, tmp_path):
@@ -68,3 +127,21 @@ class TestRunner:
         runner = SimulationRunner(cache_path=tmp_path / "cache.json")
         results = runner.run_matrix([ideal(4)], ["ijpeg"])
         assert set(results) == {("Ideal-4w", "ijpeg")}
+
+    def test_bench_artifact_written(self, tmp_path):
+        runner = SimulationRunner(cache_path=tmp_path / "cache.json")
+        runner.run(ideal(4), "ijpeg")
+        bench_path = tmp_path / "BENCH_obs.json"
+        assert bench_path.exists()
+        payload = json.loads(bench_path.read_text())
+        run = payload["runs"][0]
+        assert run["machine"] == "Ideal-4w"
+        assert run["workload"] == "ijpeg"
+        assert run["wall_seconds"] > 0
+        assert run["sim_instr_per_sec"] > 0
+        assert payload["cache"]["cache.misses"] == 1
+
+        # cached rerun adds no new bench entry but counts the hit
+        runner.run(ideal(4), "ijpeg")
+        assert len(json.loads(bench_path.read_text())["runs"]) == 1
+        assert runner.metrics.counter("cache.hits").value == 1

@@ -1,0 +1,134 @@
+"""Tests for the event bus and the machine's trace emission: monotonic
+cycles, determinism, JSON round-trips, and the acceptance check that IPC
+recomputed purely from retire events matches ``SimStats.ipc`` exactly on
+every paper machine model."""
+
+import pytest
+
+from repro.core.machine import SELECT_TO_EXEC, Machine
+from repro.core.presets import baseline, ideal, rb_full, rb_limited
+from repro.isa.assembler import assemble
+from repro.obs.events import EventBus, EventKind, TraceEvent, ipc_from_events, lifecycle_events
+from repro.obs.sinks import CollectorSink
+from repro.workloads.suite import build
+
+TINY = """
+    .text
+main:
+    lda r1, 3(zero)
+    lda r2, 5(zero)
+    sll r1, #2, r3
+    add r3, r2, r5
+    sub r5, r3, r6
+    halt
+"""
+
+
+def _run_with_bus(config, program):
+    sink = CollectorSink()
+    bus = EventBus([sink])
+    stats = Machine(config).run(program, bus=bus)
+    return stats, bus, sink
+
+
+class TestTraceEvent:
+    def test_dict_round_trip(self):
+        event = TraceEvent(7, EventKind.BYPASS, 3, "add r1, r2, r3",
+                           args={"level": 1, "case": "RB_TO_RB"})
+        assert TraceEvent.from_dict(event.to_dict()) == event
+
+    def test_defaults_omitted_from_dict(self):
+        entry = TraceEvent(1, EventKind.FETCH, 0, "x").to_dict()
+        assert "dur" not in entry and "args" not in entry
+
+
+class TestLifecycleEvents:
+    def test_unselected_record_yields_frontend_only(self):
+        class Rec:
+            seq = 0
+            fetch_cycle = 2
+            rename_cycle = -1
+            select_cycle = None
+
+            class instr:
+                text = "nop"
+
+        kinds = [e.kind for e in lifecycle_events(Rec(), SELECT_TO_EXEC)]
+        assert kinds == [EventKind.FETCH]
+
+
+class TestMachineEmission:
+    @pytest.fixture(scope="class")
+    def run(self):
+        program = assemble(TINY, "tiny")
+        return _run_with_bus(rb_full(4), program)
+
+    def test_events_monotonic_in_cycle(self, run):
+        _, bus, _ = run
+        cycles = [e.cycle for e in bus.events]
+        assert cycles == sorted(cycles)
+        assert all(c >= 0 for c in cycles)
+
+    def test_retires_match_instruction_count(self, run):
+        stats, bus, _ = run
+        retires = [e for e in bus.events if e.kind is EventKind.RETIRE]
+        assert len(retires) == stats.instructions
+
+    def test_every_retired_instruction_has_full_lifecycle(self, run):
+        stats, bus, _ = run
+        by_seq = {}
+        for event in bus.events:
+            by_seq.setdefault(event.seq, set()).add(event.kind)
+        assert len(by_seq) == stats.instructions
+        for kinds in by_seq.values():
+            assert {EventKind.FETCH, EventKind.SELECT, EventKind.EXECUTE,
+                    EventKind.WRITEBACK, EventKind.RETIRE} <= kinds
+
+    def test_bypass_events_present_with_level_and_case(self, run):
+        stats, bus, _ = run
+        bypasses = [e for e in bus.events if e.kind is EventKind.BYPASS]
+        assert len(bypasses) == stats.bypassed_sources
+        for event in bypasses:
+            assert event.args["level"] in (1, 2, 3)
+            assert event.args["case"] in (
+                "TC_TO_TC", "TC_TO_RB", "RB_TO_RB", "RB_TO_TC"
+            )
+            assert event.args["producer_seq"] < event.seq
+
+    def test_sink_meta(self, run):
+        stats, _, sink = run
+        assert sink.meta["machine"] == stats.machine
+        assert sink.meta["ipc"] == stats.ipc
+
+    def test_no_bus_no_events_attribute_change(self):
+        program = assemble(TINY, "tiny")
+        stats = Machine(rb_full(4)).run(program)
+        assert stats.instructions > 0  # plain runs stay unaffected
+
+
+class TestDeterminism:
+    def test_identical_runs_identical_streams(self):
+        program = assemble(TINY, "tiny")
+        _, bus_a, _ = _run_with_bus(rb_limited(4), program)
+        _, bus_b, _ = _run_with_bus(rb_limited(4), program)
+        assert bus_a.events == bus_b.events
+
+    def test_kernel_runs_deterministic(self):
+        program = build("li")
+        _, bus_a, _ = _run_with_bus(ideal(4), program)
+        _, bus_b, _ = _run_with_bus(ideal(4), program)
+        assert bus_a.events == bus_b.events
+
+
+class TestIPCFromRetireEvents:
+    """Acceptance: trace-derived IPC equals SimStats.ipc exactly for all
+    four machine models on three kernels."""
+
+    @pytest.mark.parametrize("preset", [baseline, rb_limited, rb_full, ideal])
+    @pytest.mark.parametrize("kernel", ["ijpeg", "li", "compress"])
+    def test_ipc_exact(self, preset, kernel):
+        stats, bus, _ = _run_with_bus(preset(4), build(kernel))
+        assert ipc_from_events(bus.events) == stats.ipc
+
+    def test_empty_stream(self):
+        assert ipc_from_events([]) == 0.0

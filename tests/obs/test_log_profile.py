@@ -1,0 +1,84 @@
+"""Tests for logging setup and the host-side profiling artifacts."""
+
+import io
+import json
+import logging
+
+from repro.obs.log import get_logger, setup_logging
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.profile import BENCH_VERSION, BenchLog, RunProfile
+
+
+class TestLogging:
+    def test_namespacing(self):
+        assert get_logger().name == "repro"
+        assert get_logger("repro.core.machine").name == "repro.core.machine"
+        assert get_logger("harness").name == "repro.harness"
+
+    def test_levels(self):
+        logger = setup_logging(0)
+        assert logger.level == logging.WARNING
+        assert setup_logging(1).level == logging.INFO
+        assert setup_logging(2).level == logging.DEBUG
+        assert setup_logging(9).level == logging.DEBUG
+
+    def test_idempotent_handler(self):
+        setup_logging(1)
+        logger = setup_logging(1)
+        ours = [h for h in logger.handlers if getattr(h, "_repro_handler", False)]
+        assert len(ours) == 1
+
+    def test_output_goes_to_stream(self):
+        stream = io.StringIO()
+        setup_logging(1, stream=stream)
+        get_logger("test").info("hello from the harness")
+        assert "hello from the harness" in stream.getvalue()
+        setup_logging(0)  # restore default level for other tests
+
+
+class TestRunProfile:
+    def test_measure_rates(self):
+        profile = RunProfile.measure("M", "W", wall_seconds=2.0,
+                                     cycles=1000, instructions=500)
+        assert profile.sim_instr_per_sec == 250.0
+        assert profile.sim_cycles_per_sec == 500.0
+
+    def test_zero_wall_does_not_divide_by_zero(self):
+        profile = RunProfile.measure("M", "W", 0.0, cycles=10, instructions=10)
+        assert profile.sim_instr_per_sec > 0
+
+
+class TestBenchLog:
+    def test_write_and_reload(self, tmp_path):
+        path = tmp_path / "BENCH_obs.json"
+        bench = BenchLog(path)
+        bench.record(RunProfile.measure("M", "W", 1.0, 100, 50))
+        metrics = MetricsRegistry()
+        metrics.counter("cache.hits").inc(2)
+        metrics.counter("cache.misses").inc(1)
+        bench.save(cache_metrics=metrics)
+
+        payload = json.loads(path.read_text())
+        assert payload["version"] == BENCH_VERSION
+        assert payload["runs"][0]["machine"] == "M"
+        assert payload["cache"] == {
+            "cache.hits": 2, "cache.misses": 1, "cache.invalidations": 0,
+        }
+        assert "python" in payload["host"]
+
+        # a second log appends to the existing history
+        bench2 = BenchLog(path)
+        assert len(bench2.runs) == 1
+        bench2.record(RunProfile.measure("M", "W2", 1.0, 100, 70))
+        bench2.save()
+        assert len(json.loads(path.read_text())["runs"]) == 2
+
+    def test_corrupt_file_starts_fresh(self, tmp_path):
+        path = tmp_path / "BENCH_obs.json"
+        path.write_text("{nope")
+        assert BenchLog(path).runs == []
+
+    def test_memory_only(self):
+        bench = BenchLog(None)
+        bench.record(RunProfile.measure("M", "W", 1.0, 1, 1))
+        bench.save()  # no-op, must not raise

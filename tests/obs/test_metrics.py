@@ -1,0 +1,117 @@
+"""Tests for the metrics registry: counters, histograms, time-series,
+registry-level serialization, and enum-keyed distribution round-trips."""
+
+import enum
+import json
+
+import pytest
+
+from repro.obs.metrics import Counter, Histogram, MetricsRegistry, TimeSeries
+
+
+class Color(enum.Enum):
+    RED = "red"
+    BLUE = "blue"
+
+
+class TestCounter:
+    def test_inc(self):
+        c = Counter("x")
+        c.inc()
+        c.inc(4)
+        assert c.value == 5
+
+
+class TestHistogram:
+    def test_record_and_stats(self):
+        h = Histogram("levels")
+        h.record(1, 3)
+        h.record(2)
+        h.record(5)
+        assert h.total == 5
+        assert h.counts == {1: 3, 2: 1, 5: 1}
+        assert h.min == 1 and h.max == 5
+        assert h.mean() == pytest.approx((3 + 2 + 5) / 5)
+        assert h.fraction(1) == pytest.approx(0.6)
+
+    def test_empty(self):
+        h = Histogram("e")
+        assert h.mean() == 0.0
+        assert h.fraction(3) == 0.0
+
+    def test_round_trip(self):
+        h = Histogram("levels")
+        h.record(1, 2)
+        h.record(7)
+        reloaded = Histogram("levels")
+        reloaded.load(json.loads(json.dumps(h.as_dict())))
+        assert reloaded.counts == h.counts
+        assert reloaded.total == h.total
+        assert (reloaded.min, reloaded.max) == (h.min, h.max)
+
+
+class TestTimeSeries:
+    def test_exact_mean_with_sparse_samples(self):
+        ts = TimeSeries("occ", stride=10)
+        for cycle in range(100):
+            ts.record(cycle, cycle)
+        assert ts.count == 100
+        assert ts.mean() == pytest.approx(49.5)  # exact over all cycles
+        assert ts.samples == [0, 10, 20, 30, 40, 50, 60, 70, 80, 90]
+
+    def test_decimation_bounds_memory(self):
+        ts = TimeSeries("occ", stride=1, max_samples=8)
+        for cycle in range(100):
+            ts.record(cycle, cycle)
+        assert len(ts.samples) <= 8
+        assert ts.stride > 1
+        assert ts.count == 100  # running totals stay exact
+
+    def test_bad_stride_rejected(self):
+        with pytest.raises(ValueError):
+            TimeSeries("x", stride=0)
+
+
+class TestRegistry:
+    def test_get_or_create(self):
+        reg = MetricsRegistry()
+        assert reg.counter("a") is reg.counter("a")
+        assert reg.histogram("h") is reg.histogram("h")
+        assert reg.timeseries("t") is reg.timeseries("t")
+        assert reg.distribution("d") is reg.distribution("d")
+        assert "a" in reg and "z" not in reg
+        assert reg.names() == ["a", "d", "h", "t"]
+
+    def test_serialization_round_trip(self):
+        reg = MetricsRegistry()
+        reg.counter("hits").inc(3)
+        reg.histogram("lv").record(2, 4)
+        reg.timeseries("occ", stride=1).record(0, 7)
+        reg.distribution("cases", keys=Color).record(Color.RED, 9)
+
+        snapshot = json.loads(json.dumps(reg.as_dict()))
+        reloaded = MetricsRegistry()
+        reloaded.distribution("cases", keys=Color)  # pre-register the key type
+        reloaded.load(snapshot)
+        assert reloaded.counter("hits").value == 3
+        assert reloaded.histogram("lv").counts == {2: 4}
+        assert reloaded.timeseries("occ").total == 7
+        assert reloaded.distribution("cases").count(Color.RED) == 9
+
+    def test_unknown_distribution_keeps_string_keys(self):
+        reg = MetricsRegistry()
+        reg.distribution("cases", keys=Color).record(Color.BLUE, 2)
+        reloaded = MetricsRegistry()
+        reloaded.load(reg.as_dict())
+        assert reloaded.distribution("cases").count("BLUE") == 2
+
+    def test_merge(self):
+        a = MetricsRegistry()
+        a.counter("n").inc(1)
+        a.distribution("cases", keys=Color).record(Color.RED)
+        b = MetricsRegistry()
+        b.counter("n").inc(2)
+        b.distribution("cases", keys=Color).record(Color.RED, 4)
+        a.merge(b)
+        assert a.counter("n").value == 3
+        assert a.distribution("cases").count(Color.RED) == 5

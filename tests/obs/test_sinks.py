@@ -1,0 +1,170 @@
+"""Tests for the trace sinks: ring buffer, JSONL round-trip, Chrome
+trace structure + validator, and the trace-driven pipeline viewer
+matching the DynInstr-driven golden rendering."""
+
+import json
+
+import pytest
+
+from repro.core.machine import Machine
+from repro.core.presets import rb_full, rb_limited
+from repro.harness.pipeview import pipeline_diagram, pipeline_diagram_from_events
+from repro.isa.assembler import assemble
+from repro.obs.events import EventBus, EventKind, TraceEvent
+from repro.obs.sinks import (
+    ChromeTraceSink,
+    CollectorSink,
+    JSONLSink,
+    RingBufferSink,
+    read_jsonl,
+    validate_chrome_trace,
+)
+
+FIGURE4 = """
+    .text
+main:
+    lda r1, 3(zero)
+    lda r2, 5(zero)
+    sll r1, #2, r3
+    and r3, #15, r4
+    add r3, r2, r5
+    sub r5, r3, r6
+    halt
+"""
+
+
+@pytest.fixture(scope="module")
+def traced_run():
+    program = assemble(FIGURE4, "figure4")
+    collector = CollectorSink()
+    bus = EventBus([collector])
+    stats = Machine(rb_full(4)).run(program, bus=bus, record_trace=True)
+    return stats, bus.events
+
+
+class TestRingBufferSink:
+    def test_keeps_most_recent(self):
+        sink = RingBufferSink(capacity=3)
+        sink.begin({})
+        for cycle in range(10):
+            sink.event(TraceEvent(cycle, EventKind.RETIRE, cycle))
+        sink.finish()
+        assert [e.cycle for e in sink.events] == [7, 8, 9]
+        assert sink.dropped == 7
+
+    def test_bad_capacity(self):
+        with pytest.raises(ValueError):
+            RingBufferSink(0)
+
+
+class TestJSONLSink:
+    def test_round_trip(self, tmp_path, traced_run):
+        stats, events = traced_run
+        path = tmp_path / "trace.jsonl"
+        sink = JSONLSink(path)
+        sink.begin({"machine": stats.machine, "workload": stats.workload})
+        for event in events:
+            sink.event(event)
+        sink.finish()
+
+        meta, reloaded = read_jsonl(path)
+        assert meta["machine"] == stats.machine
+        assert reloaded == list(events)
+
+    def test_via_bus(self, tmp_path):
+        path = tmp_path / "bus.jsonl"
+        bus = EventBus([JSONLSink(path)])
+        program = assemble(FIGURE4, "figure4")
+        stats = Machine(rb_limited(4)).run(program, bus=bus)
+        meta, events = read_jsonl(path)
+        assert meta["cycles"] == stats.cycles
+        assert len([e for e in events if e.kind is EventKind.RETIRE]) == stats.instructions
+
+
+class TestChromeTraceSink:
+    def test_writes_valid_trace(self, tmp_path, traced_run):
+        _, events = traced_run
+        path = tmp_path / "trace.json"
+        sink = ChromeTraceSink(path)
+        sink.begin({"machine": "M", "workload": "W"})
+        for event in events:
+            sink.event(event)
+        sink.finish()
+
+        total, retires = validate_chrome_trace(path)
+        assert retires == len([e for e in events if e.kind is EventKind.RETIRE])
+        document = json.loads(path.read_text())
+        names = {e["name"] for e in document["traceEvents"]}
+        assert {"select", "execute", "retire", "process_name"} <= names
+        assert document["otherData"]["machine"] == "M"
+
+    def test_lanes_bound_tids(self, tmp_path, traced_run):
+        _, events = traced_run
+        path = tmp_path / "trace.json"
+        sink = ChromeTraceSink(path, lanes=4)
+        sink.begin({})
+        for event in events:
+            sink.event(event)
+        sink.finish()
+        document = json.loads(path.read_text())
+        assert all(e["tid"] < 4 for e in document["traceEvents"])
+
+    def test_bad_lanes(self, tmp_path):
+        with pytest.raises(ValueError):
+            ChromeTraceSink(tmp_path / "x.json", lanes=0)
+
+
+class TestChromeValidation:
+    def test_rejects_non_object(self):
+        with pytest.raises(ValueError):
+            validate_chrome_trace([])
+
+    def test_rejects_empty_events(self):
+        with pytest.raises(ValueError):
+            validate_chrome_trace({"traceEvents": []})
+
+    def test_rejects_unknown_phase(self):
+        with pytest.raises(ValueError, match="phase"):
+            validate_chrome_trace({"traceEvents": [
+                {"name": "x", "ph": "Q", "ts": 0, "pid": 0, "tid": 0},
+            ]})
+
+    def test_rejects_missing_dur(self):
+        with pytest.raises(ValueError, match="dur"):
+            validate_chrome_trace({"traceEvents": [
+                {"name": "retire", "ph": "i", "ts": 0, "pid": 0, "tid": 0, "s": "t"},
+                {"name": "execute", "ph": "X", "ts": 1, "pid": 0, "tid": 0},
+            ]})
+
+    def test_rejects_no_retires(self):
+        with pytest.raises(ValueError, match="retire"):
+            validate_chrome_trace({"traceEvents": [
+                {"name": "execute", "ph": "X", "ts": 0, "dur": 1, "pid": 0, "tid": 0},
+            ]})
+
+
+class TestTraceDrivenPipeview:
+    """The event stream is the source of truth: rendering from events
+    must match the golden DynInstr-trace rendering exactly."""
+
+    def test_matches_golden_rendering(self, traced_run):
+        stats, events = traced_run
+        golden = pipeline_diagram(stats.trace)
+        assert pipeline_diagram_from_events(events) == golden
+        assert "SCH" in golden and "EXE" in golden and "CV" in golden
+
+    def test_matches_with_window_and_frontend(self, traced_run):
+        stats, events = traced_run
+        golden = pipeline_diagram(stats.trace, first=1, count=3,
+                                  include_frontend=True)
+        rendered = pipeline_diagram_from_events(events, first=1, count=3,
+                                                include_frontend=True)
+        assert rendered == golden
+
+    def test_kernel_scale_equivalence(self):
+        from repro.workloads.suite import build
+        collector = CollectorSink()
+        bus = EventBus([collector])
+        stats = Machine(rb_limited(4)).run(build("ijpeg"), bus=bus, record_trace=True)
+        golden = pipeline_diagram(stats.trace, first=40, count=12)
+        assert pipeline_diagram_from_events(collector.events, first=40, count=12) == golden

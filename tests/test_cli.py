@@ -1,5 +1,8 @@
 """Tests for the command-line interface."""
 
+import json
+import logging
+
 import pytest
 
 from repro.cli import main
@@ -42,6 +45,59 @@ class TestRun:
     def test_unknown_machine(self):
         with pytest.raises(SystemExit, match="unknown machine"):
             main(["run", "ijpeg", "--machine", "pentium4"])
+
+    def test_run_json_output(self, capsys):
+        assert main(["run", "ijpeg", "--machine", "ideal", "--width", "4",
+                     "--json"]) == 0
+        entry = json.loads(capsys.readouterr().out)
+        assert entry["machine"] == "Ideal-4w"
+        assert entry["instructions"] > 0
+        assert entry["derived"]["ipc"] == pytest.approx(
+            entry["instructions"] / entry["cycles"]
+        )
+        assert "counters" in entry["metrics"]
+        assert "bypass.cases" in entry["metrics"]["distributions"]
+
+    def test_verbose_flag_sets_info_level(self, capsys):
+        try:
+            assert main(["run", "ijpeg", "--machine", "ideal", "--width", "4",
+                         "-v"]) == 0
+            assert logging.getLogger("repro").level == logging.INFO
+        finally:
+            logging.getLogger("repro").setLevel(logging.WARNING)
+
+
+class TestTrace:
+    def test_trace_chrome_validates(self, tmp_path, capsys):
+        from repro.obs.sinks import validate_chrome_trace
+        out = tmp_path / "trace.json"
+        assert main(["trace", "ijpeg", "--machine", "rb-limited", "--width", "4",
+                     "--format", "chrome", "-o", str(out)]) == 0
+        printed = capsys.readouterr().out
+        assert "events" in printed and "Perfetto" in printed or "perfetto" in printed
+        total, retires = validate_chrome_trace(out)
+        assert retires > 0
+
+    def test_trace_jsonl_round_trips(self, tmp_path, capsys):
+        from repro.obs.events import EventKind
+        from repro.obs.sinks import read_jsonl
+        out = tmp_path / "trace.jsonl"
+        assert main(["trace", "li", "--machine", "ideal", "--width", "4",
+                     "--format", "jsonl", "-o", str(out)]) == 0
+        meta, events = read_jsonl(out)
+        assert meta["workload"] == "li"
+        retires = [e for e in events if e.kind is EventKind.RETIRE]
+        assert len(retires) == meta["instructions"]
+
+    def test_trace_validate_module(self, tmp_path, capsys):
+        from repro.obs.validate import main as validate_main
+        out = tmp_path / "trace.json"
+        assert main(["trace", "li", "--machine", "rb-full", "--width", "4",
+                     "-o", str(out)]) == 0
+        capsys.readouterr()
+        assert validate_main([str(out)]) == 0
+        assert "OK" in capsys.readouterr().out
+        assert validate_main([str(tmp_path / "missing.json")]) == 1
 
 
 class TestOtherCommands:

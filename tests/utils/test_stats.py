@@ -85,3 +85,32 @@ class TestDistribution:
         d = Distribution()
         d.record(1, 7)
         assert d.as_dict() == {1: 7}
+
+    def test_from_dict_round_trip(self):
+        d = Distribution()
+        d.record("x", 4)
+        d.record("y")
+        assert Distribution.from_dict(d.as_dict()) == d
+
+    def test_from_dict_skips_zero_counts(self):
+        d = Distribution.from_dict({"x": 0, "y": 2})
+        assert d.as_dict() == {"y": 2}
+        assert d.total == 2
+
+    def test_from_dict_rejects_negative(self):
+        with pytest.raises(ValueError):
+            Distribution.from_dict({"x": -1})
+
+    def test_equality(self):
+        a = Distribution()
+        a.record("x", 2)
+        b = Distribution.from_dict({"x": 2})
+        assert a == b
+        b.record("x")
+        assert a != b
+        assert a != {"x": 2}
+
+    def test_merge_then_as_dict_round_trip(self):
+        a = Distribution.from_dict({"x": 1})
+        a.merge(Distribution.from_dict({"x": 2, "y": 5}))
+        assert Distribution.from_dict(a.as_dict()) == a
