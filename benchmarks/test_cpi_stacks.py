@@ -1,0 +1,91 @@
+"""CPI stacks and critical-path acceptance on the Fig. 12 machine set.
+
+Two claims made measurable by ``repro.obs.explain``:
+
+* the per-cycle stall attribution is *exact* — for every (machine,
+  workload) pair in the 4-wide spec95 sweep the stack components sum to
+  the cycle count (validated inside ``cpi_stack_experiment``), and only
+  the reduced-bypass machine pays a ``bypass-hole`` component;
+* the Fig. 13 shape — over the last-arriving (critical) operand edges,
+  RB->TC conversions are a strictly smaller share than load producers on
+  the suite mean, which is what licenses serving conversions without a
+  dedicated bypass level (§4.2).
+"""
+
+from repro.core.machine import Machine
+from repro.core.presets import rb_full
+from repro.harness.experiments import cpi_stack_experiment
+from repro.obs.critpath import CritPathReport
+from repro.obs.events import EventBus
+from repro.obs.explain import StallCause
+from repro.obs.sinks import CollectorSink
+from repro.workloads.suite import build, spec95_names
+
+
+def test_cpi_stacks_4wide_spec95(benchmark, runner, save_result):
+    result = benchmark.pedantic(
+        lambda: cpi_stack_experiment(runner), rounds=1, iterations=1
+    )
+    save_result(result)
+    series = result.series
+
+    for machine, stack in series.items():
+        components = sum(
+            stack[cause.value] for cause in StallCause
+        )
+        # instruction-weighted components reassemble the suite-mean CPI
+        assert abs(components - stack["total_cpi"]) < 1e-9, machine
+        assert stack["retiring"] > 0, machine
+
+    # only the machine with a deleted bypass level pays for holes
+    assert series["RB-limited-4w"]["bypass-hole"] > 0
+    assert series["RB-full-4w"]["bypass-hole"] == 0
+    assert series["Baseline-4w"]["bypass-hole"] == 0
+    assert series["Ideal-4w"]["bypass-hole"] == 0
+
+    # Ideal computes TC directly: no conversion latency anywhere
+    assert series["Ideal-4w"]["conversion-latency"] == 0
+    for machine in ("RB-full-4w", "RB-limited-4w"):
+        assert series[machine]["conversion-latency"] > 0, machine
+
+    # the stack ordering matches the IPC ordering: Ideal spends the
+    # least non-retiring CPI of the four machines
+    def stalled(machine):
+        return series[machine]["total_cpi"] - series[machine]["retiring"]
+
+    assert stalled("Ideal-4w") <= stalled("RB-full-4w")
+    assert stalled("RB-full-4w") <= stalled("Baseline-4w")
+
+
+def test_critical_path_fig13_shape(benchmark, save_text):
+    """Suite-mean criticality of RB->TC conversions vs loads (rb-full, 4w)."""
+
+    def sweep():
+        reports = {}
+        for name in spec95_names():
+            sink = CollectorSink()
+            Machine(rb_full(4)).run(build(name), bus=EventBus([sink]))
+            reports[name] = CritPathReport.from_events(sink.events)
+        return reports
+
+    reports = benchmark.pedantic(sweep, rounds=1, iterations=1)
+
+    lines = ["critical last-arriving operands, RB-full-4w (fractions)"]
+    lines.append(f"{'kernel':>10}  {'conv':>6}  {'load':>6}  {'zero-slack':>10}")
+    conv_sum = load_sum = 0.0
+    for name, report in reports.items():
+        assert report.bound > 0, name
+        assert sum(report.by_service.values()) == report.bound, name
+        conv_sum += report.conversion_fraction()
+        load_sum += report.load_fraction()
+        lines.append(
+            f"{name:>10}  {report.conversion_fraction():6.1%}  "
+            f"{report.load_fraction():6.1%}  {report.zero_slack_fraction():10.1%}"
+        )
+    n = len(reports)
+    lines.append(f"{'mean':>10}  {conv_sum / n:6.1%}  {load_sum / n:6.1%}")
+    save_text("critpath_fig13_shape", "\n".join(lines))
+
+    # Fig. 13: conversions are a small slice of critical operands, loads
+    # a large one — strictly ordered on the suite mean
+    assert conv_sum / n < load_sum / n

@@ -95,6 +95,16 @@ class AvailabilityTemplate:
             length = self.permanent_from
         return [1 if self.available(i + 1) else 0 for i in range(length)]
 
+    def describe(self) -> str:
+        """The Fig. 8 pattern as text, e.g. ``offsets 1, _, 3+`` for a hole
+        at offset 2."""
+        cells = [
+            str(offset) if self.available(offset) else "_"
+            for offset in range(self.first_offset, self.permanent_from)
+        ]
+        cells.append(f"{self.permanent_from}+")
+        return "offsets " + ", ".join(cells)
+
 
 def template_from_levels(exec_latency: int, removed_levels: frozenset[int]) -> AvailabilityTemplate:
     """Build a template for a producer of latency L with some levels deleted."""
@@ -206,6 +216,25 @@ class BypassModel:
         else:
             tc_template = template
         return {DataFormat.RB: template, DataFormat.TC: tc_template}
+
+    def hole_summary(self) -> list[str]:
+        """Human-readable Fig. 8 availability patterns for the main
+        producer classes; rendered by the ``repro explain`` report."""
+        rb_adds = self.adder_style is not AdderStyle.BASELINE
+        lines: list[str] = []
+        for label, latency_class, produces_rb in (
+            ("add", LatencyClass.INT_ARITH, rb_adds),
+            ("logical", LatencyClass.INT_LOGICAL, False),
+        ):
+            templates = self.templates(latency_class, produces_rb)
+            for fmt in (DataFormat.RB, DataFormat.TC):
+                template = templates[fmt]
+                hole = " (hole)" if template.has_hole() else ""
+                lines.append(
+                    f"{label} -> {fmt.name}-input consumer: "
+                    f"{template.describe()}{hole}"
+                )
+        return lines
 
     def load_template(self, load_latency: int) -> AvailabilityTemplate:
         """Availability template for a load with a known (dynamic) latency.

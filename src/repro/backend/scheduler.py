@@ -18,7 +18,8 @@ from __future__ import annotations
 from collections.abc import Callable
 from typing import Generic, TypeVar
 
-from repro.obs.metrics import MetricsRegistry
+from repro.obs.events import EventKind, TraceEvent
+from repro.obs.metrics import MetricsRegistry, counter_property
 
 T = TypeVar("T")
 
@@ -44,6 +45,13 @@ class SchedulerEntry(Generic[T]):
 class Scheduler(Generic[T]):
     """One select-N scheduler over a bounded window of entries."""
 
+    # Counts live in the shared metrics registry (named per scheduler) so
+    # they persist and report without bespoke property/setter plumbing.
+    selected_total = counter_property("scheduler.{self.name}.selected")
+    full_stall_cycles = counter_property("scheduler.{self.name}.full_stall_cycles")
+    #: cycles where select bandwidth ran out with due entries still waiting
+    contended_cycles = counter_property("scheduler.{self.name}.contended_cycles")
+
     def __init__(
         self,
         capacity: int,
@@ -59,24 +67,26 @@ class Scheduler(Generic[T]):
         self.select_width = select_width
         self.name = name
         self.entries: list[SchedulerEntry[T]] = []  # oldest first
-        # Counters live in the (shared) metrics registry so they persist
-        # and report without bespoke plumbing; a private registry is used
-        # when the caller does not supply one.
+        # A private registry is used when the caller does not supply one.
         self.metrics = metrics if metrics is not None else MetricsRegistry()
-        self._selected = self.metrics.counter(f"scheduler.{name}.selected")
-        self._full_stalls = self.metrics.counter(f"scheduler.{name}.full_stall_cycles")
+        # Touch every counter so it serializes even when it stays zero.
+        self.selected_total = 0
+        self.full_stall_cycles = 0
+        self.contended_cycles = 0
 
-    @property
-    def selected_total(self) -> int:
-        return self._selected.value
+    def note_full_stall(self, cycle: int, bus=None, seq: int = -1) -> None:
+        """Record one dispatch cycle blocked on this scheduler being full.
 
-    @property
-    def full_stall_cycles(self) -> int:
-        return self._full_stalls.value
-
-    @full_stall_cycles.setter
-    def full_stall_cycles(self, value: int) -> None:
-        self._full_stalls.value = value
+        Also emits the cause-tagged ``stall`` event for the cycle when a
+        bus is attached, so window-full cycles are attributed at the
+        point where the back-pressure originates.
+        """
+        self.full_stall_cycles += 1
+        if bus is not None:
+            bus.emit(TraceEvent(
+                cycle, EventKind.STALL, seq,
+                args={"cause": "window-full", "unit": self.name},
+            ))
 
     @property
     def occupancy(self) -> int:
@@ -97,6 +107,8 @@ class Scheduler(Generic[T]):
         grant_indices: list[int] = []
         for index, entry in enumerate(self.entries):
             if len(granted) == self.select_width:
+                if any(e.next_try <= cycle for e in self.entries[index:]):
+                    self.contended_cycles += 1
                 break
             if entry.next_try > cycle:
                 continue
@@ -113,7 +125,8 @@ class Scheduler(Generic[T]):
                 entry.next_try = next_candidate
         for index in reversed(grant_indices):
             del self.entries[index]
-        self._selected.inc(len(granted))
+        if granted:
+            self.selected_total += len(granted)
         return granted
 
     def __repr__(self) -> str:

@@ -10,6 +10,11 @@ run
 trace
     Capture the cycle-stamped pipeline event stream of a run as JSONL
     or Chrome ``trace_event`` JSON (opens in Perfetto/chrome://tracing).
+    Bounded to the newest ``--buffer`` events by default; ``--full``
+    keeps everything.
+explain
+    Side-by-side CPI stacks and critical-path breakdowns for several
+    machine models on one workload (text, ``--json``, ``--markdown``).
 mix
     Print the Table 1 instruction-mix classification for a workload.
 delays
@@ -124,6 +129,11 @@ def cmd_run(args: argparse.Namespace) -> int:
     return 0
 
 
+#: Default event buffer for ``repro trace``: enough for any suite kernel's
+#: tail while keeping long runs bounded (see README, Observability).
+TRACE_BUFFER_EVENTS = 1 << 18
+
+
 def cmd_trace(args: argparse.Namespace) -> int:
     from repro.core.machine import Machine
     from repro.obs.events import EventBus, ipc_from_events
@@ -137,13 +147,72 @@ def cmd_trace(args: argparse.Namespace) -> int:
         extension = "json" if args.format == "chrome" else "jsonl"
         path = Path(f"trace_{program.name}_{config.name}.{extension}")
     sink = ChromeTraceSink(path) if args.format == "chrome" else JSONLSink(path)
-    bus = EventBus([sink])
+    capacity = None if args.full else args.buffer
+    bus = EventBus([sink], capacity=capacity)
     stats = Machine(config).run(program, bus=bus)
     print(f"wrote {len(bus.events)} events to {path} ({args.format} format)")
-    print(f"  {stats.instructions} instructions, {stats.cycles} cycles, "
-          f"IPC {stats.ipc:.3f} (from retire events: {ipc_from_events(bus.events):.3f})")
+    if bus.dropped:
+        print(f"  kept the newest {capacity} events; dropped {bus.dropped} older "
+              f"ones (pass --full or a larger --buffer for everything)")
+        print(f"  {stats.instructions} instructions, {stats.cycles} cycles, "
+              f"IPC {stats.ipc:.3f}")
+    else:
+        print(f"  {stats.instructions} instructions, {stats.cycles} cycles, "
+              f"IPC {stats.ipc:.3f} (from retire events: "
+              f"{ipc_from_events(bus.events):.3f})")
     if args.format == "chrome":
         print("  open in https://ui.perfetto.dev or chrome://tracing")
+    return 0
+
+
+def cmd_explain(args: argparse.Namespace) -> int:
+    from repro.core.machine import Machine
+    from repro.obs.critpath import CritPathReport
+    from repro.obs.explain import (
+        CPIStack,
+        Explanation,
+        explanations_to_json,
+        render_explanations_markdown,
+        render_explanations_text,
+    )
+    from repro.obs.events import EventBus
+    from repro.obs.sinks import CollectorSink
+
+    program = _load_program(args.workload)
+    explanations = []
+    for name in args.machines.split(","):
+        machine_args = argparse.Namespace(
+            machine=name.strip(), width=args.width, steering=None
+        )
+        config = _machine_config(machine_args)
+        machine = Machine(config)
+        sink = CollectorSink()
+        stats = machine.run(program, bus=EventBus([sink]))
+        stack = CPIStack.from_stats(stats)
+        stack.validate()
+        explanations.append(Explanation(
+            machine=config.name,
+            workload=program.name,
+            cycles=stats.cycles,
+            instructions=stats.instructions,
+            ipc=stats.ipc,
+            stack=stack,
+            critpath=CritPathReport.from_events(sink.events),
+            hole_summary=machine.bypass.hole_summary(),
+        ))
+    if args.json:
+        rendered = json.dumps(explanations_to_json(explanations), indent=2)
+    elif args.markdown:
+        rendered = render_explanations_markdown(explanations)
+    else:
+        rendered = render_explanations_text(explanations)
+    if args.output is not None:
+        path = Path(args.output)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(rendered + ("\n" if not rendered.endswith("\n") else ""))
+        print(f"wrote {args.output}")
+    else:
+        print(rendered)
     return 0
 
 
@@ -242,7 +311,29 @@ def main(argv: list[str] | None = None) -> int:
                             "jsonl: one event per line")
     trace.add_argument("-o", "--output", default=None,
                        help="output path (default trace_<workload>_<machine>.<ext>)")
+    trace.add_argument("--buffer", type=int, default=TRACE_BUFFER_EVENTS,
+                       metavar="N",
+                       help="keep only the newest N events (bounded memory; "
+                            f"default {TRACE_BUFFER_EVENTS})")
+    trace.add_argument("--full", action="store_true",
+                       help="buffer every event (unbounded memory on long runs)")
     trace.set_defaults(fn=cmd_trace)
+
+    explain = sub.add_parser(
+        "explain", help="CPI stacks + critical-path differential report",
+        parents=[common],
+    )
+    explain.add_argument("workload", help="suite kernel name or assembly file path")
+    explain.add_argument("--machines", default="baseline,rb-limited,rb-full,ideal",
+                         help="comma-separated machine models to compare")
+    explain.add_argument("--width", type=int, default=4, choices=(4, 8))
+    explain.add_argument("--json", action="store_true",
+                         help="machine-readable report (schemas/explain.schema.json)")
+    explain.add_argument("--markdown", action="store_true",
+                         help="render GitHub-flavored markdown tables")
+    explain.add_argument("-o", "--output", default=None,
+                         help="write the report to a file instead of stdout")
+    explain.set_defaults(fn=cmd_explain)
 
     mix = sub.add_parser("mix", help="Table 1 classification of a workload",
                          parents=[common])

@@ -37,6 +37,7 @@ from repro.isa.program import Program
 from repro.isa.semantics import ArchState
 from repro.mem.hierarchy import MemoryHierarchy
 from repro.obs.events import EventBus, EventKind, TraceEvent, lifecycle_events
+from repro.obs.explain import StallCause, classify_operand_wait, classify_stall_cycle
 from repro.obs.log import get_logger
 
 log = get_logger(__name__)
@@ -141,9 +142,13 @@ class Machine:
 
         def is_ready(rec: DynInstr, now: int) -> tuple[bool, int]:
             worst = now
+            cause: StallCause | None = None
             for producer, fmt in rec.sources:
                 select_cycle = producer.select_cycle
                 if select_cycle is None:
+                    rec.stall_cause = classify_operand_wait(
+                        producer, fmt is DataFormat.TC, 0
+                    )
                     return False, now + 1
                 adjust = cluster_delay if producer.cluster != rec.cluster else 0
                 offset = now - select_cycle - adjust
@@ -153,16 +158,28 @@ class Machine:
                     candidate = select_cycle + adjust + next_offset
                     if candidate > worst:
                         worst = candidate
+                        # Classify at the *last blocked* offset: if the
+                        # value is computed by then, the extra wait is a
+                        # bypass hole, not execution latency.
+                        cause = classify_operand_wait(
+                            producer, fmt is DataFormat.TC, next_offset - 1
+                        )
             dep = rec.store_dep
             if dep is not None:
                 if dep.select_cycle is None:
+                    rec.stall_cause = StallCause.LOAD_LATENCY
                     return False, now + 1
                 if now - dep.select_cycle < 1:
                     candidate = dep.select_cycle + 1
                     if candidate > worst:
                         worst = candidate
+                        # Memory-ordering wait: the load is held for the
+                        # store, so the cycles are memory-access latency.
+                        cause = StallCause.LOAD_LATENCY
             if worst > now:
+                rec.stall_cause = cause
                 return False, worst
+            rec.stall_cause = None
             return True, now
 
         while True:
@@ -186,22 +203,26 @@ class Machine:
 
             # ---- rename / dispatch ----------------------------------------------
             dispatched = 0
+            dispatch_blocked = False
             while dispatched < config.rename_width and fetch_queue:
                 rec = fetch_queue[0]
                 if rec.fetch_cycle + config.frontend_depth > cycle:
                     break
                 if not rob.has_room():
+                    dispatch_blocked = True
                     break
                 if config.steering_policy == "dependence":
                     target = self._dependence_target(
                         rec, last_writer, schedulers, steering.peek()
                     )
                     if target is None:
+                        dispatch_blocked = True
                         break
                 else:
                     target = steering.peek()
                     if not schedulers[target].has_room():
-                        schedulers[target].full_stall_cycles += 1
+                        schedulers[target].note_full_stall(cycle, bus, rec.seq)
+                        dispatch_blocked = True
                         break
                 scheduler = schedulers[target]
                 fetch_queue.popleft()
@@ -225,6 +246,32 @@ class Machine:
 
             # ---- occupancy sampling ------------------------------------------------------
             occupancy_series.record(cycle, sum(s.occupancy for s in schedulers))
+
+            # ---- stall attribution -------------------------------------------------------
+            # Exactly one StallCause per simulated cycle, so the CPI-stack
+            # components sum exactly to cycles.  Each scheduler's entries
+            # are oldest-first, so the select frontier is the min-seq
+            # front entry across schedulers.
+            if retired:
+                stats.stall_causes.record(StallCause.BASE)
+            else:
+                head = rob.head
+                frontier: DynInstr | None = None
+                for scheduler in schedulers:
+                    if scheduler.entries:
+                        front = scheduler.entries[0].record
+                        if frontier is None or front.seq < frontier.seq:
+                            frontier = front
+                cause = classify_stall_cycle(
+                    head, frontier, cycle, SELECT_TO_EXEC, dispatch_blocked
+                )
+                stats.stall_causes.record(cause)
+                if bus is not None:
+                    bus.emit(TraceEvent(
+                        cycle, EventKind.STALL,
+                        head.seq if head is not None else -1,
+                        args={"cause": cause.value},
+                    ))
 
             # ---- termination --------------------------------------------------------------
             if (
@@ -462,6 +509,7 @@ class Machine:
                 case = BypassCase.TC_TO_RB
             else:
                 case = BypassCase.TC_TO_TC
+            arrival = producer.select_cycle + adjust + producer.templates[fmt].first_offset
             if bypassed:
                 any_bypassed = True
                 stats.bypassed_sources += 1
@@ -479,9 +527,24 @@ class Machine:
                             "producer_seq": producer.seq,
                             "format": fmt.name,
                             "cross_cluster": bool(adjust),
+                            "arrival": arrival,
+                            "producer_load": producer.instr.spec.is_load,
                         },
                     ))
-            arrival = producer.select_cycle + adjust + producer.templates[fmt].first_offset
+            elif bus is not None:
+                # Register-file-served source: the critical-path analyzer
+                # needs these edges too (Fig. 13 counts RF deliveries).
+                bus.emit(TraceEvent(
+                    cycle, EventKind.OPERAND, rec.seq, rec.instr.text,
+                    args={
+                        "level": level + 1,
+                        "case": case.name,
+                        "producer_seq": producer.seq,
+                        "format": fmt.name,
+                        "arrival": arrival,
+                        "producer_load": producer.instr.spec.is_load,
+                    },
+                ))
             if arrival > last_arrival:
                 last_arrival = arrival
                 last_case = case if bypassed else None

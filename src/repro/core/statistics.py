@@ -19,6 +19,7 @@ from __future__ import annotations
 import enum
 from dataclasses import dataclass, field, fields
 
+from repro.obs.explain import CPI_STACK_METRIC, CPIStack, StallCause
 from repro.obs.metrics import MetricsRegistry
 from repro.utils.stats import Distribution
 
@@ -83,10 +84,13 @@ class SimStats:
     bypass_cases: Distribution = field(init=False, repr=False, compare=False)
     #: §5.2 buckets over all retired instructions (registry-backed).
     bypass_levels: Distribution = field(init=False, repr=False, compare=False)
+    #: Per-cycle stall attribution (one StallCause per simulated cycle).
+    stall_causes: Distribution = field(init=False, repr=False, compare=False)
 
     def __post_init__(self) -> None:
         self.bypass_cases = self.metrics.distribution("bypass.cases", keys=BypassCase)
         self.bypass_levels = self.metrics.distribution("bypass.levels", keys=BypassLevelUse)
+        self.stall_causes = self.metrics.distribution(CPI_STACK_METRIC, keys=StallCause)
 
     @property
     def ipc(self) -> float:
@@ -117,6 +121,10 @@ class SimStats:
         if not self.instructions:
             return 0.0
         return self.instructions_with_bypass / self.instructions
+
+    def cpi_stack(self) -> CPIStack:
+        """The run's CPI stack (see :mod:`repro.obs.explain`)."""
+        return CPIStack.from_stats(self)
 
     def mean_scheduler_occupancy(self) -> float:
         if not self.scheduler_occupancy_samples:

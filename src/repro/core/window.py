@@ -26,7 +26,7 @@ class DynInstr:
         "select_cycle", "complete_cycle", "retire_cycle",
         "produces_rb", "templates", "lat_rb", "lat_tc",
         "sources", "store_dep",
-        "rename_cycle",
+        "rename_cycle", "stall_cause",
     )
 
     def __init__(
@@ -60,6 +60,10 @@ class DynInstr:
         # a real in-flight producer dependence.
         self.sources: list[tuple["DynInstr", DataFormat]] = []
         self.store_dep: "DynInstr | None" = None
+
+        # Why the scheduler most recently refused this instruction (a
+        # StallCause, set by the readiness callback; None once ready).
+        self.stall_cause = None
 
     def __repr__(self) -> str:
         return f"DynInstr(#{self.seq} {self.instr!r} sel={self.select_cycle})"
@@ -98,6 +102,11 @@ class ReorderBuffer:
             retired.append(self._entries.popleft())
         self.retired += len(retired)
         return retired
+
+    @property
+    def head(self) -> DynInstr | None:
+        """The oldest unretired instruction (None when empty)."""
+        return self._entries[0] if self._entries else None
 
     @property
     def occupancy(self) -> int:

@@ -15,6 +15,7 @@ from repro.circuits.analysis import adder_delay_table
 from repro.core.config import MachineConfig
 from repro.core.presets import FIG14_VARIANTS, all_paper_machines, ideal, ideal_limited, rb_full
 from repro.core.statistics import BypassCase, BypassLevelUse
+from repro.obs.explain import StallCause
 from repro.harness.runner import SimulationRunner, default_runner
 from repro.isa.classify import TABLE1_ROWS, classify
 from repro.isa.opcodes import LatencyClass, Opcode
@@ -287,6 +288,64 @@ def sec52_bypass_levels(runner: SimulationRunner | None = None) -> ExperimentRes
 
 
 # ---------------------------------------------------------------------------
+# CPI stacks: where each machine model's cycles go (repro.obs.explain)
+# ---------------------------------------------------------------------------
+
+def cpi_stack_experiment(
+    runner: SimulationRunner | None = None, width: int = 4, suite: str = "spec95"
+) -> ExperimentResult:
+    """Suite-aggregate CPI stacks for the four paper machines.
+
+    Per-cause cycles are summed over the suite's workloads, then divided
+    by total instructions: an instruction-weighted suite-mean CPI stack
+    whose components sum exactly to the suite's aggregate CPI.
+    """
+    runner = runner or default_runner()
+    machines = all_paper_machines(width)
+    workloads = [w.name for w in all_workloads(suite)]
+    rows: list[list[object]] = []
+    series: dict[str, dict[str, float]] = {}
+    totals: dict[str, dict[StallCause, int]] = {}
+    counts: dict[str, dict[str, int]] = {}
+    for machine in machines:
+        per_cause = {cause: 0 for cause in StallCause}
+        cycles = 0
+        instructions = 0
+        for workload in workloads:
+            stats = runner.run(machine, workload)
+            stack = stats.cpi_stack()
+            stack.validate()
+            for cause in StallCause:
+                per_cause[cause] += stack.cycles_for(cause)
+            cycles += stack.cycles
+            instructions += stack.instructions
+        totals[machine.name] = per_cause
+        counts[machine.name] = {"cycles": cycles, "instructions": instructions}
+        series[machine.name] = {
+            cause.value: (per_cause[cause] / instructions if instructions else 0.0)
+            for cause in StallCause
+        }
+        series[machine.name]["total_cpi"] = cycles / instructions if instructions else 0.0
+    for cause in StallCause:
+        if all(totals[m.name][cause] == 0 for m in machines) \
+                and cause is not StallCause.BASE:
+            continue
+        rows.append([cause.value] + [series[m.name][cause.value] for m in machines])
+    rows.append(["total CPI"] + [series[m.name]["total_cpi"] for m in machines])
+    return ExperimentResult(
+        experiment="cpi",
+        title=f"CPI stacks by machine model ({width}-wide, {suite} suite mean)",
+        headers=["component (cycles/instr)"] + [m.name for m in machines],
+        rows=rows,
+        series=series,
+        notes=["per-cycle stall attribution (repro.obs.explain); components sum "
+               "exactly to total CPI per (machine, workload) pair",
+               "the RB machines' bypass-hole component is the Fig. 8 cost of "
+               "deleted levels; Ideal has no holes and no conversions"],
+    )
+
+
+# ---------------------------------------------------------------------------
 # Headline ratios (abstract and §5.2 prose)
 # ---------------------------------------------------------------------------
 
@@ -351,5 +410,6 @@ def all_experiments(runner: SimulationRunner | None = None) -> list[ExperimentRe
         fig13_bypass_cases(runner),
         fig14_limited_bypass(runner),
         sec52_bypass_levels(runner),
+        cpi_stack_experiment(runner),
         headline_ratios(runner),
     ]

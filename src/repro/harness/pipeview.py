@@ -134,6 +134,8 @@ def pipeline_diagram_from_events(
     """
     by_seq: dict[int, list[TraceEvent]] = {}
     for event in events:
+        if event.seq < 0:
+            continue  # machine-level events (empty-ROB stalls) have no row
         by_seq.setdefault(event.seq, []).append(event)
     rows = []
     for seq in sorted(by_seq)[first:first + count]:

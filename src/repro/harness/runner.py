@@ -34,7 +34,7 @@ from repro.workloads.suite import build
 
 log = get_logger(__name__)
 
-RESULTS_VERSION = 5
+RESULTS_VERSION = 6
 
 
 class ResultCache:

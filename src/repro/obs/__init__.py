@@ -12,6 +12,9 @@
   distributions, and sampled time-series that :class:`SimStats`, the
   schedulers, and the result cache record into; the registry serializes
   generically so new counters need no per-field persistence code.
+* :mod:`repro.obs.explain` / :mod:`repro.obs.critpath` — per-cycle
+  stall attribution folded into CPI stacks, and dependence-graph
+  critical-path analysis over the event stream (``repro explain``).
 * :mod:`repro.obs.log` — ``logging`` setup shared by the CLI and
   harness (``repro run -v``).
 * :mod:`repro.obs.profile` — host-side wall-clock profiling of
@@ -19,9 +22,18 @@
   has a trajectory.
 """
 
+from repro.obs.critpath import CritPathReport, DepEdge, DependenceGraph
 from repro.obs.events import EventBus, EventKind, TraceEvent, ipc_from_events, lifecycle_events
+from repro.obs.explain import (
+    CPI_STACK_METRIC,
+    CPIStack,
+    StallCause,
+    cpi_stack_from_events,
+    render_explanations_markdown,
+    render_explanations_text,
+)
 from repro.obs.log import get_logger, setup_logging
-from repro.obs.metrics import Counter, Histogram, MetricsRegistry, TimeSeries
+from repro.obs.metrics import Counter, Histogram, MetricsRegistry, TimeSeries, counter_property
 from repro.obs.sinks import (
     ChromeTraceSink,
     CollectorSink,
@@ -37,12 +49,22 @@ __all__ = [
     "TraceEvent",
     "ipc_from_events",
     "lifecycle_events",
+    "CPI_STACK_METRIC",
+    "CPIStack",
+    "StallCause",
+    "cpi_stack_from_events",
+    "render_explanations_markdown",
+    "render_explanations_text",
+    "CritPathReport",
+    "DepEdge",
+    "DependenceGraph",
     "get_logger",
     "setup_logging",
     "Counter",
     "Histogram",
     "MetricsRegistry",
     "TimeSeries",
+    "counter_property",
     "ChromeTraceSink",
     "CollectorSink",
     "JSONLSink",

@@ -1,0 +1,234 @@
+"""Dependence-graph critical-path analysis over the event stream.
+
+Reconstructs, purely from a recorded trace, the producer->consumer
+dependence graph with one edge per register source served to a selected
+instruction: ``bypass_forward`` events carry the bypassed edges (levels
+1-3) and ``operand_read`` events the register-file-served ones.  Each
+edge knows its *arrival* — the first select cycle at which the producer's
+value was reachable in the consumed format — so the **last-arriving**
+edge of each instruction (the one the paper's Fig. 13 calls the
+potentially critical bypass) falls out by comparison, and a backward
+walk over last-arriving edges recovers the run's critical dependence
+chain.
+
+This makes the paper's Fig. 13 claim a measured artifact: over the
+last-arriving operand edges, RB->TC format conversions are a small
+fraction while load producers dominate — so serving conversions without
+a dedicated bypass level costs little (§4.2), which is what licenses the
+limited network Fig. 14 evaluates.
+
+No dependency on :mod:`repro.core`: everything is reconstructed from
+:class:`~repro.obs.events.TraceEvent` records.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+from dataclasses import dataclass, field
+
+from repro.obs.events import EventKind, TraceEvent
+
+#: Bypass levels below this are network forwards; at/after it the
+#: register file serves the value (mirrors ``repro.backend.bypass``).
+RF_LEVEL = 4
+
+
+@dataclass(frozen=True)
+class DepEdge:
+    """One register-source dependence served to a selected consumer."""
+
+    consumer_seq: int
+    producer_seq: int
+    #: 1-3: bypass level; >= RF_LEVEL (or None in old traces): register file.
+    level: int | None
+    case: str
+    fmt: str
+    #: First select cycle the value was reachable for this consumer.
+    arrival: int
+    producer_load: bool = False
+    cross_cluster: bool = False
+
+    @property
+    def service(self) -> str:
+        """Which datapath served the value: ``BYP-1``..``BYP-3`` or ``RF``."""
+        if self.level is None or self.level >= RF_LEVEL:
+            return "RF"
+        return f"BYP-{self.level}"
+
+    @property
+    def is_conversion(self) -> bool:
+        """An RB result consumed by a TC-only operation (Fig. 13's RB->TC)."""
+        return self.case == "RB_TO_TC"
+
+
+@dataclass
+class DepNode:
+    """One dynamic instruction reconstructed from its events."""
+
+    seq: int
+    text: str = ""
+    select: int | None = None
+    complete: int | None = None
+    retire: int | None = None
+    edges: list[DepEdge] = field(default_factory=list)
+
+    def last_arriving(self) -> DepEdge | None:
+        """The binding edge: strictly latest arrival, earliest listed wins
+        ties (the same rule the machine uses for Fig. 13)."""
+        best: DepEdge | None = None
+        for edge in self.edges:
+            if best is None or edge.arrival > best.arrival:
+                best = edge
+        return best
+
+
+class DependenceGraph:
+    """All instructions of one trace, with their served source edges."""
+
+    def __init__(self) -> None:
+        self.nodes: dict[int, DepNode] = {}
+
+    def _node(self, seq: int) -> DepNode:
+        node = self.nodes.get(seq)
+        if node is None:
+            node = self.nodes[seq] = DepNode(seq)
+        return node
+
+    @classmethod
+    def from_events(cls, events: Iterable[TraceEvent]) -> "DependenceGraph":
+        graph = cls()
+        for event in events:
+            if event.seq < 0:
+                continue  # machine-level events (e.g. empty-ROB stalls)
+            if event.kind is EventKind.SELECT:
+                node = graph._node(event.seq)
+                node.select = event.cycle
+                node.text = node.text or event.text
+            elif event.kind is EventKind.WRITEBACK:
+                # Write-back happens the cycle after completion.
+                graph._node(event.seq).complete = event.cycle - 1
+            elif event.kind is EventKind.RETIRE:
+                graph._node(event.seq).retire = event.cycle
+            elif event.kind in (EventKind.BYPASS, EventKind.OPERAND):
+                args = event.args or {}
+                node = graph._node(event.seq)
+                node.text = node.text or event.text
+                node.edges.append(DepEdge(
+                    consumer_seq=event.seq,
+                    producer_seq=args.get("producer_seq", -1),
+                    level=args.get("level"),
+                    case=args.get("case", ""),
+                    fmt=args.get("format", ""),
+                    # Old traces carry no arrival; the select cycle (zero
+                    # slack) is the conservative reading.
+                    arrival=args.get("arrival", event.cycle),
+                    producer_load=bool(args.get("producer_load", False)),
+                    cross_cluster=bool(args.get("cross_cluster", False)),
+                ))
+        return graph
+
+    def critical_chain(self, max_length: int = 10_000) -> list[DepEdge]:
+        """Backward walk over last-arriving edges from the last completion.
+
+        Returns the chain's edges, consumer-first (the end of the run
+        backwards towards its data-flow root).
+        """
+        if not self.nodes:
+            return []
+        tail = max(
+            self.nodes.values(),
+            key=lambda n: (
+                n.complete if n.complete is not None else (n.select or -1),
+                n.seq,
+            ),
+        )
+        chain: list[DepEdge] = []
+        node = tail
+        while len(chain) < max_length:
+            edge = node.last_arriving()
+            if edge is None:
+                break
+            chain.append(edge)
+            producer = self.nodes.get(edge.producer_seq)
+            if producer is None:
+                break
+            node = producer
+        return chain
+
+
+@dataclass
+class CritPathReport:
+    """Aggregated criticality of one trace's last-arriving operand edges."""
+
+    SERVICES = ("BYP-1", "BYP-2", "BYP-3", "RF")
+
+    nodes: int = 0
+    #: instructions with at least one in-flight register source
+    bound: int = 0
+    by_service: dict[str, int] = field(default_factory=dict)
+    conversions: int = 0
+    loads: int = 0
+    #: binding edges whose arrival equals the consumer's select cycle —
+    #: the operand demonstrably set the issue time
+    zero_slack: int = 0
+    chain: list[DepEdge] = field(default_factory=list)
+
+    @classmethod
+    def from_events(cls, events: Iterable[TraceEvent]) -> "CritPathReport":
+        return cls.from_graph(DependenceGraph.from_events(events))
+
+    @classmethod
+    def from_graph(cls, graph: DependenceGraph) -> "CritPathReport":
+        report = cls(nodes=len(graph.nodes))
+        for node in graph.nodes.values():
+            edge = node.last_arriving()
+            if edge is None:
+                continue
+            report.bound += 1
+            service = edge.service
+            report.by_service[service] = report.by_service.get(service, 0) + 1
+            if edge.is_conversion:
+                report.conversions += 1
+            if edge.producer_load:
+                report.loads += 1
+            if node.select is not None and edge.arrival >= node.select:
+                report.zero_slack += 1
+        report.chain = graph.critical_chain()
+        return report
+
+    # -- fractions over the binding edges ------------------------------------------
+
+    def service_fraction(self, service: str) -> float:
+        if not self.bound:
+            return 0.0
+        return self.by_service.get(service, 0) / self.bound
+
+    def conversion_fraction(self) -> float:
+        return self.conversions / self.bound if self.bound else 0.0
+
+    def load_fraction(self) -> float:
+        return self.loads / self.bound if self.bound else 0.0
+
+    def zero_slack_fraction(self) -> float:
+        return self.zero_slack / self.bound if self.bound else 0.0
+
+    def chain_services(self) -> dict[str, int]:
+        """Service mix along the critical chain itself."""
+        mix: dict[str, int] = {}
+        for edge in self.chain:
+            mix[edge.service] = mix.get(edge.service, 0) + 1
+        return mix
+
+    def as_dict(self) -> dict:
+        return {
+            "nodes": self.nodes,
+            "bound_operands": self.bound,
+            "by_service": {s: self.by_service.get(s, 0) for s in self.SERVICES},
+            "conversions": self.conversions,
+            "conversion_fraction": self.conversion_fraction(),
+            "loads": self.loads,
+            "load_fraction": self.load_fraction(),
+            "zero_slack_fraction": self.zero_slack_fraction(),
+            "chain_length": len(self.chain),
+            "chain_services": self.chain_services(),
+        }

@@ -19,8 +19,11 @@ passed in by the caller).
 from __future__ import annotations
 
 import enum
+import logging
 from collections.abc import Iterable, Sequence
 from dataclasses import dataclass
+
+logger = logging.getLogger(__name__)
 
 
 class EventKind(enum.Enum):
@@ -30,11 +33,13 @@ class EventKind(enum.Enum):
     RENAME = "rename"
     SELECT = "select"
     REGISTER_READ = "register_read"
+    OPERAND = "operand_read"
     BYPASS = "bypass_forward"
     EXECUTE = "execute"
     CONVERT = "convert"
     WRITEBACK = "writeback"
     RETIRE = "retire"
+    STALL = "stall"
 
 
 _KIND_ORDER = {kind: index for index, kind in enumerate(EventKind)}
@@ -93,12 +98,21 @@ class EventBus:
     moment it retires while still handing every sink a cycle-monotonic
     stream; it also makes the stream deterministic regardless of
     emission order.
+
+    ``capacity`` bounds the buffer: when set, the bus keeps only the
+    newest ``capacity`` events (by cycle order) and counts the rest in
+    :attr:`dropped`.  Compaction runs when the buffer reaches twice the
+    capacity so emission stays amortised O(1) per event.
     """
 
-    def __init__(self, sinks: Sequence = ()) -> None:
+    def __init__(self, sinks: Sequence = (), capacity: int | None = None) -> None:
+        if capacity is not None and capacity <= 0:
+            raise ValueError("EventBus capacity must be positive")
         self.sinks = list(sinks)
         self.events: list[TraceEvent] = []
         self.meta: dict = {}
+        self.capacity = capacity
+        self.dropped = 0
         self._closed = False
 
     def add_sink(self, sink) -> None:
@@ -106,9 +120,21 @@ class EventBus:
 
     def emit(self, event: TraceEvent) -> None:
         self.events.append(event)
+        if self.capacity is not None and len(self.events) >= 2 * self.capacity:
+            self._compact()
 
     def emit_many(self, events: Iterable[TraceEvent]) -> None:
         self.events.extend(events)
+        if self.capacity is not None and len(self.events) >= 2 * self.capacity:
+            self._compact()
+
+    def _compact(self) -> None:
+        """Sort and keep the newest ``capacity`` events."""
+        self.events.sort(key=TraceEvent.sort_key)
+        excess = len(self.events) - self.capacity
+        if excess > 0:
+            del self.events[:excess]
+            self.dropped += excess
 
     def close(self, meta: dict | None = None) -> list[TraceEvent]:
         """Sort the stream, replay it through every sink, return it."""
@@ -116,6 +142,10 @@ class EventBus:
             return self.events
         self._closed = True
         self.meta = dict(meta or {})
+        if self.capacity is not None:
+            self._compact()
+            if self.dropped:
+                self.meta.setdefault("dropped_events", self.dropped)
         self.events.sort(key=TraceEvent.sort_key)
         for sink in self.sinks:
             sink.begin(self.meta)
@@ -184,6 +214,10 @@ def ipc_from_events(events: Iterable[TraceEvent]) -> float:
     """
     retires = [e for e in events if e.kind is EventKind.RETIRE]
     if not retires:
+        logger.warning(
+            "ipc_from_events: no retire events in stream; returning 0.0 "
+            "(was the trace truncated or the bus never closed?)"
+        )
         return 0.0
     cycles = max(e.cycle for e in retires) + 1
     return len(retires) / cycles

@@ -1,0 +1,428 @@
+"""Stall attribution and CPI stacks: *why* each cycle was spent.
+
+The machine classifies every simulated cycle into exactly one
+:class:`StallCause` (top-down CPI-stack accounting, keyed off the
+oldest unretired instruction), records the classification in the
+metrics registry under :data:`CPI_STACK_METRIC`, and — when a bus is
+attached — emits one ``stall`` :class:`~repro.obs.events.TraceEvent`
+per non-retiring cycle.  A :class:`CPIStack` folds either source into
+per-cause cycles-per-instruction components that sum *exactly* to the
+measured CPI, which turns the paper's causal claims into per-cycle
+accounting:
+
+* bypass holes delaying dependent issue (Fig. 8) become the
+  ``bypass-hole`` component;
+* the RB->TC converter's latency (Fig. 13's conversion cases) becomes
+  ``conversion-latency``;
+* the Baseline machine's pipelined 2-cycle adders (Fig. 14's reason for
+  keeping bypass level 1) become ``adder-pipeline``.
+
+Attribution rules (one cause per cycle, first match wins).  Dependence
+stalls are read off the **select frontier** — the oldest unselected
+instruction across the schedulers — not the ROB head: a hole-blocked
+consumer is always selected *before* its producer retires, so the head
+alone can never witness a bypass hole.
+
+1. an instruction retired this cycle -> ``BASE``;
+2. the ROB is empty -> ``FRONTEND_EMPTY``;
+3. the select frontier is waiting on a source operand -> the operand's
+   wait cause (``LOAD_LATENCY`` / ``BYPASS_HOLE`` /
+   ``CONVERSION_LATENCY`` / ``ADDER_PIPELINE``), recorded by the
+   scheduler's readiness callback;
+4. the head has completed and is spending its one write-back-to-retire
+   cycle -> ``RETIRE_BOUND``;
+5. dispatch was blocked this cycle by a full ROB or scheduler ->
+   ``WINDOW_FULL``;
+6. the select frontier has not been evaluated yet (still traversing the
+   rename pipeline) -> ``FRONTEND_EMPTY``;
+7. everything in flight is selected -> the head's occupancy cause
+   (``LOAD_LATENCY`` for loads, ``CONVERSION_LATENCY`` in the
+   converter, ``ADDER_PIPELINE`` otherwise).
+
+``FU_CONTENTION`` exists in the taxonomy (and in every report) but is
+structurally zero on the paper's machines: the select-2 schedulers grant
+oldest-first, so the ROB head is always examined before select bandwidth
+runs out.  The per-scheduler ``contended_cycles`` counter measures the
+bandwidth pressure the head never feels.
+
+This module deliberately has no dependency on :mod:`repro.core`: the
+classifiers duck-type over ``DynInstr``-like records the same way
+:func:`repro.obs.events.lifecycle_events` does.
+"""
+
+from __future__ import annotations
+
+import enum
+from collections.abc import Iterable, Sequence
+from dataclasses import dataclass, field
+
+from repro.obs.critpath import CritPathReport
+from repro.obs.events import EventKind, TraceEvent
+from repro.utils.tables import format_table
+
+#: Name of the per-cycle stall-cause distribution in the metrics registry.
+CPI_STACK_METRIC = "cpi.stack"
+
+
+class StallCause(enum.Enum):
+    """Where one cycle went, in CPI-stack presentation order."""
+
+    BASE = "retiring"
+    FRONTEND_EMPTY = "frontend-empty"
+    WINDOW_FULL = "window-full"
+    LOAD_LATENCY = "load-latency"
+    BYPASS_HOLE = "bypass-hole"
+    CONVERSION_LATENCY = "conversion-latency"
+    ADDER_PIPELINE = "adder-pipeline"
+    FU_CONTENTION = "fu-contention"
+    RETIRE_BOUND = "retire-bound"
+
+
+#: The operand-not-ready sub-causes (rule 3 above).
+OPERAND_WAIT_CAUSES = frozenset({
+    StallCause.LOAD_LATENCY,
+    StallCause.BYPASS_HOLE,
+    StallCause.CONVERSION_LATENCY,
+    StallCause.ADDER_PIPELINE,
+})
+
+
+# ---------------------------------------------------------------------------
+# Classification (called by the machine, duck-typed over DynInstr)
+# ---------------------------------------------------------------------------
+
+def classify_operand_wait(producer, wants_tc: bool, offset: int) -> StallCause:
+    """Why a source operand is not ready at select offset ``offset``.
+
+    ``offset`` is a select-cycle offset from the producer (the space the
+    availability templates live in); callers pass the *last blocked*
+    offset — the one just before the operand becomes reachable — so the
+    wait is attributed to its binding reason.  The value exists in the
+    consumed format from offset ``lat_tc`` (TC consumers of an RB
+    producer) or ``lat_rb``; being blocked *past* that point means the
+    bypass network has a hole there (Fig. 8), being blocked before it
+    means the producer is still computing.
+    """
+    if producer.select_cycle is None:
+        # The producer itself has not issued: inherit its recorded wait
+        # (one level of transitive attribution), else attribute by type.
+        inherited = getattr(producer, "stall_cause", None)
+        if inherited in OPERAND_WAIT_CAUSES:
+            return inherited
+        if producer.instr.spec.is_load:
+            return StallCause.LOAD_LATENCY
+        return StallCause.ADDER_PIPELINE
+    computed_at = producer.lat_tc if wants_tc else producer.lat_rb
+    if offset >= computed_at:
+        return StallCause.BYPASS_HOLE
+    if producer.instr.spec.is_load:
+        return StallCause.LOAD_LATENCY
+    if wants_tc and producer.produces_rb and offset >= producer.lat_rb:
+        return StallCause.CONVERSION_LATENCY
+    return StallCause.ADDER_PIPELINE
+
+
+def classify_stall_cycle(
+    head,
+    oldest_unselected,
+    cycle: int,
+    select_to_exec: int,
+    dispatch_blocked: bool,
+) -> StallCause:
+    """Attribute one non-retiring cycle (rules 2-7 above).
+
+    ``head`` is the oldest unretired instruction (None when the ROB is
+    empty); ``oldest_unselected`` is the select frontier — the oldest
+    instruction still sitting in a scheduler (None when everything in
+    flight has been selected).  Evaluated at the end of the machine's
+    cycle loop, after select and dispatch have run; ``dispatch_blocked``
+    reports whether rename/dispatch was stopped this cycle by a full ROB
+    or scheduler.
+    """
+    if head is None:
+        return StallCause.FRONTEND_EMPTY
+    frontier_cause = (
+        getattr(oldest_unselected, "stall_cause", None)
+        if oldest_unselected is not None else None
+    )
+    if frontier_cause is not None:
+        return frontier_cause
+    if head.complete_cycle is not None and head.complete_cycle <= cycle:
+        return StallCause.RETIRE_BOUND
+    if dispatch_blocked:
+        return StallCause.WINDOW_FULL
+    if oldest_unselected is not None:
+        # Due but never evaluated: still traversing the rename pipeline.
+        return StallCause.FRONTEND_EMPTY
+    select = head.select_cycle
+    if select is None:
+        return StallCause.FRONTEND_EMPTY
+    if head.instr.spec.is_load:
+        return StallCause.LOAD_LATENCY
+    exec_start = select + select_to_exec
+    if head.produces_rb and head.lat_tc > head.lat_rb and cycle >= exec_start + head.lat_rb:
+        return StallCause.CONVERSION_LATENCY
+    return StallCause.ADDER_PIPELINE
+
+
+# ---------------------------------------------------------------------------
+# CPI stacks
+# ---------------------------------------------------------------------------
+
+@dataclass
+class CPIStack:
+    """Per-cause cycle components of one run, summing exactly to cycles."""
+
+    machine: str
+    workload: str
+    cycles: int
+    instructions: int
+    components: dict[StallCause, int]
+
+    @classmethod
+    def from_stats(cls, stats) -> "CPIStack":
+        """Build from a :class:`SimStats` (its ``cpi.stack`` distribution)."""
+        dist = stats.metrics.distribution(CPI_STACK_METRIC)
+        components = {
+            cause: dist.count(cause) for cause in StallCause if dist.count(cause)
+        }
+        return cls(
+            machine=stats.machine,
+            workload=stats.workload,
+            cycles=stats.cycles,
+            instructions=stats.instructions,
+            components=components,
+        )
+
+    def validate(self) -> None:
+        """Raise unless the components account for every cycle exactly."""
+        total = sum(self.components.values())
+        if total != self.cycles:
+            raise ValueError(
+                f"CPI stack for {self.machine} on {self.workload} accounts for "
+                f"{total} of {self.cycles} cycles"
+            )
+
+    @property
+    def total_cpi(self) -> float:
+        return self.cycles / self.instructions if self.instructions else 0.0
+
+    def cycles_for(self, cause: StallCause) -> int:
+        return self.components.get(cause, 0)
+
+    def cpi(self, cause: StallCause) -> float:
+        if not self.instructions:
+            return 0.0
+        return self.components.get(cause, 0) / self.instructions
+
+    def fraction(self, cause: StallCause) -> float:
+        if not self.cycles:
+            return 0.0
+        return self.components.get(cause, 0) / self.cycles
+
+    def as_dict(self) -> dict:
+        return {
+            "machine": self.machine,
+            "workload": self.workload,
+            "cycles": self.cycles,
+            "instructions": self.instructions,
+            "total_cpi": self.total_cpi,
+            "components": {
+                cause.value: {
+                    "cycles": self.cycles_for(cause),
+                    "cpi": self.cpi(cause),
+                    "fraction": self.fraction(cause),
+                }
+                for cause in StallCause
+            },
+        }
+
+
+def cpi_stack_from_events(
+    events: Iterable[TraceEvent], machine: str = "", workload: str = ""
+) -> CPIStack:
+    """Recompute a CPI stack purely from a *complete* event stream.
+
+    Uses the machine's ``stall`` events (one per non-retiring cycle,
+    tagged with the cause) and the retire events (instruction count and
+    the final cycle).  Scheduler-emitted ``stall`` events carry a
+    ``unit`` arg naming the full scheduler; they are back-pressure
+    detail, not per-cycle attribution, and are skipped here.  Matches
+    :meth:`CPIStack.from_stats` exactly on unbounded streams; a bounded
+    bus that dropped events cannot reproduce the stack (the dropped
+    prefix is unaccounted).
+    """
+    by_value = {cause.value: cause for cause in StallCause}
+    stall_counts: dict[StallCause, int] = {}
+    retires = 0
+    last_cycle = -1
+    for event in events:
+        if event.cycle > last_cycle:
+            last_cycle = event.cycle
+        if event.kind is EventKind.RETIRE:
+            retires += 1
+        elif event.kind is EventKind.STALL and "unit" not in (event.args or {}):
+            cause = by_value[event.args["cause"]]
+            stall_counts[cause] = stall_counts.get(cause, 0) + 1
+    cycles = last_cycle + 1 if last_cycle >= 0 else 0
+    components = dict(stall_counts)
+    base = cycles - sum(stall_counts.values())
+    if base:
+        components[StallCause.BASE] = base
+    return CPIStack(
+        machine=machine,
+        workload=workload,
+        cycles=cycles,
+        instructions=retires,
+        components=components,
+    )
+
+
+# ---------------------------------------------------------------------------
+# The differential report behind ``repro explain``
+# ---------------------------------------------------------------------------
+
+@dataclass
+class Explanation:
+    """One machine's full accounting of a run: CPI stack + critical path."""
+
+    machine: str
+    workload: str
+    cycles: int
+    instructions: int
+    ipc: float
+    stack: CPIStack
+    critpath: CritPathReport | None = None
+    hole_summary: list[str] = field(default_factory=list)
+
+    def as_dict(self) -> dict:
+        entry = {
+            "machine": self.machine,
+            "workload": self.workload,
+            "cycles": self.cycles,
+            "instructions": self.instructions,
+            "ipc": self.ipc,
+            "cpi_stack": self.stack.as_dict(),
+        }
+        if self.critpath is not None:
+            entry["critical_path"] = self.critpath.as_dict()
+        if self.hole_summary:
+            entry["bypass_holes"] = list(self.hole_summary)
+        return entry
+
+
+def explanations_to_json(explanations: Sequence[Explanation]) -> dict:
+    """The machine-readable form of ``repro explain --json``.
+
+    The structure is pinned by ``schemas/explain.schema.json`` (CI
+    validates a generated document against it on every push).
+    """
+    first = explanations[0] if explanations else None
+    return {
+        "report": "repro-explain",
+        "version": 1,
+        "workload": first.workload if first else "",
+        "machines": [e.as_dict() for e in explanations],
+    }
+
+
+def _stack_table(explanations: Sequence[Explanation]) -> str:
+    headers = ["component"] + [e.machine for e in explanations]
+    rows: list[list[object]] = []
+    for cause in StallCause:
+        if all(e.stack.cycles_for(cause) == 0 for e in explanations):
+            if cause not in (StallCause.BASE,):
+                continue
+        rows.append(
+            [cause.value]
+            + [f"{e.stack.cpi(cause):.3f} ({e.stack.fraction(cause):5.1%})"
+               for e in explanations]
+        )
+    rows.append(["total CPI"] + [f"{e.stack.total_cpi:.3f}" for e in explanations])
+    rows.append(["IPC"] + [f"{e.ipc:.3f}" for e in explanations])
+    return format_table(headers, rows, title="CPI stack (cycles/instruction, % of cycles)")
+
+
+def _critpath_table(explanations: Sequence[Explanation]) -> str:
+    with_crit = [e for e in explanations if e.critpath is not None]
+    if not with_crit:
+        return ""
+    headers = ["critical last-arriving operand"] + [e.machine for e in with_crit]
+    rows: list[list[object]] = []
+    for service in CritPathReport.SERVICES:
+        rows.append(
+            [f"served by {service}"]
+            + [f"{e.critpath.service_fraction(service):.1%}" for e in with_crit]
+        )
+    rows.append(["RB->TC conversions"]
+                + [f"{e.critpath.conversion_fraction():.1%}" for e in with_crit])
+    rows.append(["load producers"]
+                + [f"{e.critpath.load_fraction():.1%}" for e in with_crit])
+    rows.append(["zero-slack (bound the select)"]
+                + [f"{e.critpath.zero_slack_fraction():.1%}" for e in with_crit])
+    rows.append(["instructions with in-flight sources"]
+                + [str(e.critpath.bound) for e in with_crit])
+    rows.append(["critical-chain length"]
+                + [str(len(e.critpath.chain)) for e in with_crit])
+    return format_table(
+        headers, rows,
+        title="Critical-path report (fractions of last-arriving operand edges)",
+    )
+
+
+def render_explanations_text(explanations: Sequence[Explanation]) -> str:
+    """Side-by-side human-readable differential report."""
+    if not explanations:
+        raise ValueError("nothing to explain")
+    lines = [
+        f"explain: {explanations[0].workload} on "
+        + ", ".join(e.machine for e in explanations),
+        "",
+        _stack_table(explanations),
+    ]
+    crit = _critpath_table(explanations)
+    if crit:
+        lines += ["", crit]
+    holes = [e for e in explanations if e.hole_summary]
+    if holes:
+        lines.append("")
+        lines.append("bypass holes (Fig. 8 availability patterns):")
+        for e in holes:
+            lines.append(f"  {e.machine}:")
+            lines.extend(f"    {line}" for line in e.hole_summary)
+    return "\n".join(lines)
+
+
+def render_explanations_markdown(explanations: Sequence[Explanation]) -> str:
+    """The same differential report as GitHub-flavored markdown tables."""
+    if not explanations:
+        raise ValueError("nothing to explain")
+    out = [f"## CPI stacks: `{explanations[0].workload}`", ""]
+    header = ["component"] + [e.machine for e in explanations]
+    out.append("| " + " | ".join(header) + " |")
+    out.append("|" + "---|" * len(header))
+    for cause in StallCause:
+        if all(e.stack.cycles_for(cause) == 0 for e in explanations) \
+                and cause is not StallCause.BASE:
+            continue
+        cells = [cause.value] + [f"{e.stack.cpi(cause):.3f}" for e in explanations]
+        out.append("| " + " | ".join(cells) + " |")
+    out.append("| **total CPI** | "
+               + " | ".join(f"**{e.stack.total_cpi:.3f}**" for e in explanations) + " |")
+    with_crit = [e for e in explanations if e.critpath is not None]
+    if with_crit:
+        out += ["", "### Critical last-arriving operands", ""]
+        header = ["share"] + [e.machine for e in with_crit]
+        out.append("| " + " | ".join(header) + " |")
+        out.append("|" + "---|" * len(header))
+        for service in CritPathReport.SERVICES:
+            out.append("| " + " | ".join(
+                [service] + [f"{e.critpath.service_fraction(service):.1%}"
+                             for e in with_crit]) + " |")
+        out.append("| " + " | ".join(
+            ["RB->TC conversions"]
+            + [f"{e.critpath.conversion_fraction():.1%}" for e in with_crit]) + " |")
+        out.append("| " + " | ".join(
+            ["load producers"]
+            + [f"{e.critpath.load_fraction():.1%}" for e in with_crit]) + " |")
+    return "\n".join(out) + "\n"

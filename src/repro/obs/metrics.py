@@ -40,6 +40,40 @@ class Counter:
         return f"Counter({self.name}={self.value})"
 
 
+class counter_property:
+    """Expose a registry :class:`Counter` as a plain integer attribute.
+
+    ``template`` is formatted with ``self`` (the owning instance) to name
+    the counter, e.g. ``counter_property("scheduler.{self.name}.selected")``.
+    Reads return the counter's value and writes set it, so call sites keep
+    the ergonomics of an ``int`` field while the count lives in — and
+    serializes through — the instance's ``metrics`` registry.  The bound
+    counter is cached per instance after the first access.
+    """
+
+    def __init__(self, template: str) -> None:
+        self.template = template
+        self._cache_key = ""
+
+    def __set_name__(self, owner, name: str) -> None:
+        self._cache_key = f"_counter_{name}"
+
+    def _counter(self, obj) -> Counter:
+        cached = obj.__dict__.get(self._cache_key)
+        if cached is None:
+            cached = obj.metrics.counter(self.template.format(self=obj))
+            obj.__dict__[self._cache_key] = cached
+        return cached
+
+    def __get__(self, obj, objtype=None):
+        if obj is None:
+            return self
+        return self._counter(obj).value
+
+    def __set__(self, obj, value: int) -> None:
+        self._counter(obj).value = value
+
+
 class Histogram:
     """Counts of discrete observed values with running sum/min/max."""
 

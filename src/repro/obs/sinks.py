@@ -23,7 +23,9 @@ from repro.obs.events import EventKind, TraceEvent
 CHROME_LANES = 32
 
 #: Event kinds rendered as zero-width instants rather than slices.
-_INSTANT_KINDS = frozenset({EventKind.BYPASS, EventKind.RETIRE})
+_INSTANT_KINDS = frozenset({
+    EventKind.BYPASS, EventKind.OPERAND, EventKind.RETIRE, EventKind.STALL,
+})
 
 
 class TraceSink:

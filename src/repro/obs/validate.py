@@ -1,31 +1,114 @@
-"""Validate a Chrome ``trace_event`` artifact structurally.
+"""Validate observability artifacts structurally.
 
-Used by CI's trace smoke job::
+Two modes, both used by CI's trace smoke job::
 
     PYTHONPATH=src python -m repro.obs.validate trace.json
+    PYTHONPATH=src python -m repro.obs.validate --schema schemas/explain.schema.json explain.json
+
+The first checks a Chrome ``trace_event`` document; the second checks
+any JSON document against a checked-in schema using the small
+JSON-Schema subset implemented here (enough to pin a report's shape
+without a jsonschema dependency).
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
+from pathlib import Path
 
 from repro.obs.sinks import validate_chrome_trace
+
+_TYPE_CHECKS = {
+    "object": lambda v: isinstance(v, dict),
+    "array": lambda v: isinstance(v, list),
+    "string": lambda v: isinstance(v, str),
+    "integer": lambda v: isinstance(v, int) and not isinstance(v, bool),
+    "number": lambda v: isinstance(v, (int, float)) and not isinstance(v, bool),
+    "boolean": lambda v: isinstance(v, bool),
+    "null": lambda v: v is None,
+}
+
+
+def _check(instance, schema: dict, path: str, errors: list[str]) -> None:
+    expected = schema.get("type")
+    if expected is not None:
+        types = expected if isinstance(expected, list) else [expected]
+        if not any(_TYPE_CHECKS[t](instance) for t in types):
+            errors.append(f"{path}: expected type {expected}, got {type(instance).__name__}")
+            return
+    if "const" in schema and instance != schema["const"]:
+        errors.append(f"{path}: expected const {schema['const']!r}, got {instance!r}")
+    if "enum" in schema and instance not in schema["enum"]:
+        errors.append(f"{path}: {instance!r} not one of {schema['enum']!r}")
+    if isinstance(instance, (int, float)) and not isinstance(instance, bool):
+        if "minimum" in schema and instance < schema["minimum"]:
+            errors.append(f"{path}: {instance} below minimum {schema['minimum']}")
+        if "maximum" in schema and instance > schema["maximum"]:
+            errors.append(f"{path}: {instance} above maximum {schema['maximum']}")
+    if isinstance(instance, dict):
+        for name in schema.get("required", ()):
+            if name not in instance:
+                errors.append(f"{path}: missing required property {name!r}")
+        properties = schema.get("properties", {})
+        for name, value in instance.items():
+            if name in properties:
+                _check(value, properties[name], f"{path}.{name}", errors)
+            else:
+                extra = schema.get("additionalProperties", True)
+                if extra is False:
+                    errors.append(f"{path}: unexpected property {name!r}")
+                elif isinstance(extra, dict):
+                    _check(value, extra, f"{path}.{name}", errors)
+    if isinstance(instance, list):
+        if "minItems" in schema and len(instance) < schema["minItems"]:
+            errors.append(f"{path}: fewer than {schema['minItems']} items")
+        items = schema.get("items")
+        if isinstance(items, dict):
+            for index, value in enumerate(instance):
+                _check(value, items, f"{path}[{index}]", errors)
+
+
+def validate_json_schema(instance, schema: dict) -> None:
+    """Raise :class:`ValueError` listing every schema violation found.
+
+    Supports the JSON-Schema subset the repo's checked-in schemas use:
+    ``type`` (single or list), ``required``, ``properties``,
+    ``additionalProperties`` (bool or schema), ``items``, ``enum``,
+    ``const``, ``minimum``/``maximum``, ``minItems``.
+    """
+    errors: list[str] = []
+    _check(instance, schema, "$", errors)
+    if errors:
+        preview = "; ".join(errors[:10])
+        raise ValueError(f"schema violations ({len(errors)}): {preview}")
 
 
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
         prog="repro.obs.validate",
-        description="structurally validate a Chrome trace_event JSON file",
+        description="validate a Chrome trace_event file, or any JSON file "
+        "against a checked-in schema",
     )
-    parser.add_argument("trace", help="path to a chrome-format trace JSON file")
+    parser.add_argument("document", help="path to the JSON file to validate")
+    parser.add_argument(
+        "--schema", metavar="PATH", default=None,
+        help="validate against this JSON schema instead of as a chrome trace",
+    )
     args = parser.parse_args(argv)
     try:
-        total, retires = validate_chrome_trace(args.trace)
+        if args.schema is not None:
+            schema = json.loads(Path(args.schema).read_text())
+            instance = json.loads(Path(args.document).read_text())
+            validate_json_schema(instance, schema)
+            print(f"OK: {args.document} matches {args.schema}")
+        else:
+            total, retires = validate_chrome_trace(args.document)
+            print(f"OK: {args.document}: {total} trace events, {retires} retires")
     except (OSError, ValueError) as exc:
         print(f"INVALID: {exc}", file=sys.stderr)
         return 1
-    print(f"OK: {args.trace}: {total} trace events, {retires} retires")
     return 0
 
 

@@ -1,0 +1,134 @@
+"""Tests for the dependence-graph critical-path analyzer
+(``repro.obs.critpath``): synthetic-stream unit tests plus the Fig. 13
+shape check on a real traced run — RB->TC conversions bind a strictly
+smaller share of last-arriving operands than load producers do.
+"""
+
+import pytest
+
+from repro.core.machine import Machine
+from repro.core.presets import rb_full, rb_limited
+from repro.obs.critpath import RF_LEVEL, CritPathReport, DepEdge, DependenceGraph
+from repro.obs.events import EventBus, EventKind, TraceEvent
+from repro.obs.sinks import CollectorSink
+from repro.workloads.suite import build
+
+
+def _bypass(cycle, seq, producer_seq, level, case="RB_TO_RB",
+            arrival=None, producer_load=False):
+    return TraceEvent(cycle, EventKind.BYPASS, seq, args={
+        "level": level, "case": case, "producer_seq": producer_seq,
+        "format": case.split("_TO_")[-1],
+        "arrival": cycle if arrival is None else arrival,
+        "producer_load": producer_load,
+    })
+
+
+def _lifecycle(seq, select, complete):
+    return [
+        TraceEvent(select, EventKind.SELECT, seq, f"i{seq}"),
+        TraceEvent(complete + 1, EventKind.WRITEBACK, seq, f"i{seq}"),
+        TraceEvent(complete + 2, EventKind.RETIRE, seq, f"i{seq}"),
+    ]
+
+
+class TestDepEdge:
+    def test_service_names(self):
+        assert _edge(level=1).service == "BYP-1"
+        assert _edge(level=3).service == "BYP-3"
+        assert _edge(level=RF_LEVEL).service == "RF"
+        assert _edge(level=None).service == "RF"
+
+    def test_conversion_flag(self):
+        assert _edge(case="RB_TO_TC").is_conversion
+        assert not _edge(case="TC_TO_TC").is_conversion
+
+
+def _edge(level=1, case="RB_TO_RB", arrival=5):
+    return DepEdge(consumer_seq=1, producer_seq=0, level=level,
+                   case=case, fmt="RB", arrival=arrival)
+
+
+class TestDependenceGraph:
+    def test_reconstruction_from_synthetic_stream(self):
+        events = (
+            _lifecycle(0, 0, 3)
+            + _lifecycle(1, 4, 7)
+            + [_bypass(4, 1, 0, level=1, arrival=4)]
+        )
+        graph = DependenceGraph.from_events(events)
+        assert set(graph.nodes) == {0, 1}
+        assert graph.nodes[0].select == 0
+        assert graph.nodes[0].complete == 3
+        assert graph.nodes[1].retire == 9
+        (edge,) = graph.nodes[1].edges
+        assert edge.producer_seq == 0 and edge.service == "BYP-1"
+
+    def test_machine_level_events_skipped(self):
+        events = [TraceEvent(3, EventKind.STALL, -1, args={"cause": "frontend-empty"})]
+        assert DependenceGraph.from_events(events).nodes == {}
+
+    def test_last_arriving_prefers_latest_first_wins_ties(self):
+        node_events = _lifecycle(2, 10, 12) + [
+            _bypass(10, 2, 0, level=1, arrival=8),
+            _bypass(10, 2, 1, level=2, arrival=10),
+            _bypass(10, 2, 3, level=3, arrival=10),  # tie: first listed wins
+        ]
+        graph = DependenceGraph.from_events(node_events)
+        binding = graph.nodes[2].last_arriving()
+        assert binding.producer_seq == 1 and binding.level == 2
+
+    def test_critical_chain_walks_backward(self):
+        events = (
+            _lifecycle(0, 0, 2) + _lifecycle(1, 3, 5) + _lifecycle(2, 6, 8)
+            + [_bypass(3, 1, 0, level=1, arrival=3),
+               _bypass(6, 2, 1, level=1, arrival=6)]
+        )
+        chain = DependenceGraph.from_events(events).critical_chain()
+        assert [e.consumer_seq for e in chain] == [2, 1]
+        assert [e.producer_seq for e in chain] == [1, 0]
+
+    def test_chain_bounded(self):
+        # a self-loop must not walk forever
+        events = _lifecycle(0, 0, 2) + [_bypass(0, 0, 0, level=1)]
+        chain = DependenceGraph.from_events(events).critical_chain(max_length=5)
+        assert len(chain) == 5
+
+
+class TestCritPathReport:
+    def test_synthetic_aggregation(self):
+        events = (
+            _lifecycle(0, 0, 2)
+            + _lifecycle(1, 3, 5)
+            + _lifecycle(2, 6, 8)
+            + [_bypass(3, 1, 0, level=1, case="RB_TO_TC", arrival=3),
+               _bypass(6, 2, 1, level=RF_LEVEL, arrival=5, producer_load=True)]
+        )
+        report = CritPathReport.from_events(events)
+        assert report.nodes == 3
+        assert report.bound == 2
+        assert report.by_service == {"BYP-1": 1, "RF": 1}
+        assert report.conversions == 1 and report.conversion_fraction() == 0.5
+        assert report.loads == 1 and report.load_fraction() == 0.5
+        # seq 1's edge arrives exactly at its select cycle -> zero slack;
+        # seq 2's arrives a cycle early -> slack 1.
+        assert report.zero_slack == 1
+
+    def test_as_dict_covers_every_service(self):
+        entry = CritPathReport().as_dict()
+        assert set(entry["by_service"]) == set(CritPathReport.SERVICES)
+        assert entry["bound_operands"] == 0
+        assert entry["conversion_fraction"] == 0.0
+
+    @pytest.mark.parametrize("preset", [rb_full, rb_limited])
+    def test_real_run_fig13_shape(self, preset):
+        """Conversions bind strictly fewer critical operands than loads."""
+        sink = CollectorSink()
+        stats = Machine(preset(4)).run(build("li"), bus=EventBus([sink]))
+        report = CritPathReport.from_events(sink.events)
+        assert report.nodes == stats.instructions
+        assert report.bound > 0
+        assert sum(report.by_service.values()) == report.bound
+        assert report.conversion_fraction() < report.load_fraction()
+        assert 0.0 < report.zero_slack_fraction() <= 1.0
+        assert report.chain, "a real run must have a nonempty critical chain"

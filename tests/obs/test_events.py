@@ -78,6 +78,10 @@ class TestMachineEmission:
         stats, bus, _ = run
         by_seq = {}
         for event in bus.events:
+            # STALL events attribute cycles (seq -1 on an empty window), not
+            # instruction lifecycles; skip them when grouping by instruction.
+            if event.kind is EventKind.STALL or event.seq < 0:
+                continue
             by_seq.setdefault(event.seq, set()).add(event.kind)
         assert len(by_seq) == stats.instructions
         for kinds in by_seq.values():
@@ -120,6 +124,41 @@ class TestDeterminism:
         assert bus_a.events == bus_b.events
 
 
+class TestBoundedBuffer:
+    def test_capacity_keeps_newest_and_counts_dropped(self):
+        bus = EventBus(capacity=10)
+        for cycle in range(35):
+            bus.emit(TraceEvent(cycle, EventKind.FETCH, cycle, "nop"))
+        bus.close()
+        assert len(bus.events) == 10
+        assert [e.cycle for e in bus.events] == list(range(25, 35))
+        assert bus.dropped == 25
+        assert bus.meta["dropped_events"] == 25
+
+    def test_unbounded_by_default(self):
+        bus = EventBus()
+        for cycle in range(1000):
+            bus.emit(TraceEvent(cycle, EventKind.FETCH, cycle, "nop"))
+        bus.close()
+        assert len(bus.events) == 1000
+        assert bus.dropped == 0
+        assert "dropped_events" not in bus.meta
+
+    def test_invalid_capacity_rejected(self):
+        with pytest.raises(ValueError):
+            EventBus(capacity=0)
+
+    def test_bounded_real_run_keeps_tail_of_stream(self):
+        program = assemble(TINY, "tiny")
+        sink = CollectorSink()
+        bus = EventBus([sink], capacity=8)
+        stats = Machine(rb_full(4)).run(program, bus=bus)
+        assert stats.instructions > 0
+        assert len(bus.events) <= 8
+        # the newest events survive: the last retire is always present
+        assert any(e.kind is EventKind.RETIRE for e in bus.events)
+
+
 class TestIPCFromRetireEvents:
     """Acceptance: trace-derived IPC equals SimStats.ipc exactly for all
     four machine models on three kernels."""
@@ -132,3 +171,10 @@ class TestIPCFromRetireEvents:
 
     def test_empty_stream(self):
         assert ipc_from_events([]) == 0.0
+
+    def test_retire_free_stream_warns_and_returns_zero(self, caplog):
+        events = [TraceEvent(0, EventKind.FETCH, 0, "nop"),
+                  TraceEvent(5, EventKind.STALL, -1, args={"cause": "frontend-empty"})]
+        with caplog.at_level("WARNING", logger="repro.obs.events"):
+            assert ipc_from_events(events) == 0.0
+        assert any("no retire events" in rec.message for rec in caplog.records)

@@ -1,0 +1,208 @@
+"""Tests for stall attribution and CPI stacks (``repro.obs.explain``).
+
+The cross-machine invariants here are the PR's acceptance criteria: on
+every paper machine model the per-cause components sum *exactly* to the
+cycle count, the RB-limited machine (deleted BYP-2, Fig. 8 holes) shows
+a nonzero ``bypass-hole`` component, and the full-network machines show
+none.
+"""
+
+import pytest
+
+from repro.core.machine import Machine
+from repro.core.presets import baseline, ideal, rb_full, rb_limited
+from repro.obs.events import EventBus, EventKind
+from repro.obs.explain import (
+    CPI_STACK_METRIC,
+    CPIStack,
+    Explanation,
+    StallCause,
+    classify_operand_wait,
+    cpi_stack_from_events,
+    explanations_to_json,
+    render_explanations_markdown,
+    render_explanations_text,
+)
+from repro.obs.sinks import CollectorSink
+from repro.workloads.suite import build
+
+KERNELS = ["li", "ijpeg", "compress"]
+PRESETS = {
+    "baseline": baseline,
+    "rb-limited": rb_limited,
+    "rb-full": rb_full,
+    "ideal": ideal,
+}
+
+
+@pytest.fixture(scope="module")
+def runs():
+    """One (stats, events) pair per (preset, kernel); simulate once."""
+    out = {}
+    for name, preset in PRESETS.items():
+        for kernel in KERNELS:
+            sink = CollectorSink()
+            bus = EventBus([sink])
+            stats = Machine(preset(4)).run(build(kernel), bus=bus)
+            out[(name, kernel)] = (stats, sink.events)
+    return out
+
+
+class TestClassifyOperandWait:
+    class _Producer:
+        def __init__(self, select_cycle=0, lat_rb=1, lat_tc=2,
+                     produces_rb=True, is_load=False):
+            self.select_cycle = select_cycle
+            self.lat_rb = lat_rb
+            self.lat_tc = lat_tc
+            self.produces_rb = produces_rb
+
+            class spec:
+                pass
+
+            spec.is_load = is_load
+
+            class instr:
+                pass
+
+            instr.spec = spec
+            self.instr = instr
+
+    def test_blocked_past_compute_is_a_hole(self):
+        producer = self._Producer(lat_rb=1, lat_tc=2)
+        assert classify_operand_wait(producer, False, 2) is StallCause.BYPASS_HOLE
+
+    def test_blocked_before_compute_is_the_pipeline(self):
+        producer = self._Producer(lat_rb=2, lat_tc=2, produces_rb=False)
+        assert classify_operand_wait(producer, True, 1) is StallCause.ADDER_PIPELINE
+
+    def test_tc_consumer_in_converter_window(self):
+        producer = self._Producer(lat_rb=1, lat_tc=3)
+        assert classify_operand_wait(producer, True, 1) is StallCause.CONVERSION_LATENCY
+
+    def test_load_producer_wins_before_compute(self):
+        producer = self._Producer(lat_rb=3, lat_tc=3, produces_rb=False, is_load=True)
+        assert classify_operand_wait(producer, False, 1) is StallCause.LOAD_LATENCY
+
+    def test_unselected_producer_inherits_cause(self):
+        producer = self._Producer(select_cycle=None)
+        producer.stall_cause = StallCause.BYPASS_HOLE
+        assert classify_operand_wait(producer, False, 0) is StallCause.BYPASS_HOLE
+
+
+class TestCPIStackInvariants:
+    @pytest.mark.parametrize("machine", list(PRESETS))
+    @pytest.mark.parametrize("kernel", KERNELS)
+    def test_components_sum_exactly_to_cycles(self, runs, machine, kernel):
+        stats, _ = runs[(machine, kernel)]
+        stack = stats.cpi_stack()
+        stack.validate()
+        assert sum(stack.components.values()) == stats.cycles
+        # BASE counts *cycles* with at least one retire, so on a 4-wide
+        # machine it is bounded by (never equal to) the instruction count.
+        assert 0 < stack.cycles_for(StallCause.BASE) <= stats.instructions
+
+    @pytest.mark.parametrize("kernel", KERNELS)
+    def test_rb_limited_has_bypass_holes(self, runs, kernel):
+        stats, _ = runs[("rb-limited", kernel)]
+        stack = stats.cpi_stack()
+        assert stack.cycles_for(StallCause.BYPASS_HOLE) > 0
+
+    @pytest.mark.parametrize("machine", ["baseline", "rb-full", "ideal"])
+    @pytest.mark.parametrize("kernel", KERNELS)
+    def test_full_networks_have_no_bypass_holes(self, runs, machine, kernel):
+        stats, _ = runs[(machine, kernel)]
+        stack = stats.cpi_stack()
+        assert stack.cycles_for(StallCause.BYPASS_HOLE) == 0
+
+    @pytest.mark.parametrize("kernel", KERNELS)
+    def test_ideal_has_no_conversion_component(self, runs, kernel):
+        stats, _ = runs[("ideal", kernel)]
+        stack = stats.cpi_stack()
+        assert stack.cycles_for(StallCause.CONVERSION_LATENCY) == 0
+
+    @pytest.mark.parametrize("machine", list(PRESETS))
+    def test_events_reproduce_the_stack_exactly(self, runs, machine):
+        stats, events = runs[(machine, "li")]
+        from_stats = stats.cpi_stack()
+        from_events = cpi_stack_from_events(events, stats.machine, stats.workload)
+        assert from_events.cycles == from_stats.cycles
+        assert from_events.instructions == from_stats.instructions
+        assert from_events.components == from_stats.components
+
+    def test_one_stall_event_per_non_retiring_cycle(self, runs):
+        stats, events = runs[("rb-limited", "compress")]
+        stalls = [e for e in events
+                  if e.kind is EventKind.STALL and "unit" not in (e.args or {})]
+        retiring = {e.cycle for e in events if e.kind is EventKind.RETIRE}
+        assert len(stalls) == stats.cycles - len(retiring)
+        assert all(e.cycle not in retiring for e in stalls)
+
+
+class TestCPIStackObject:
+    def _stack(self):
+        return CPIStack(
+            machine="m", workload="w", cycles=10, instructions=4,
+            components={StallCause.BASE: 4, StallCause.LOAD_LATENCY: 6},
+        )
+
+    def test_accessors(self):
+        stack = self._stack()
+        assert stack.total_cpi == 2.5
+        assert stack.cpi(StallCause.LOAD_LATENCY) == 1.5
+        assert stack.fraction(StallCause.BASE) == 0.4
+        assert stack.cycles_for(StallCause.BYPASS_HOLE) == 0
+
+    def test_validate_rejects_leaky_accounting(self):
+        stack = self._stack()
+        stack.components[StallCause.BASE] = 3
+        with pytest.raises(ValueError, match="accounts for"):
+            stack.validate()
+
+    def test_as_dict_lists_every_cause(self):
+        entry = self._stack().as_dict()
+        assert set(entry["components"]) == {c.value for c in StallCause}
+        assert entry["components"]["load-latency"]["cycles"] == 6
+
+    def test_from_stats_round_trip(self, runs):
+        stats, _ = runs[("baseline", "li")]
+        stack = CPIStack.from_stats(stats)
+        assert stack == stats.cpi_stack()
+        assert stats.metrics.distribution(CPI_STACK_METRIC).total == stats.cycles
+
+
+class TestRendering:
+    @pytest.fixture()
+    def explanations(self, runs):
+        out = []
+        for machine in ("baseline", "rb-limited"):
+            stats, _ = runs[(machine, "li")]
+            stack = stats.cpi_stack()
+            out.append(Explanation(
+                machine=stats.machine, workload=stats.workload,
+                cycles=stats.cycles, instructions=stats.instructions,
+                ipc=stats.ipc, stack=stack,
+            ))
+        return out
+
+    def test_json_shape(self, explanations):
+        doc = explanations_to_json(explanations)
+        assert doc["report"] == "repro-explain"
+        assert doc["version"] == 1
+        assert len(doc["machines"]) == 2
+        assert "cpi_stack" in doc["machines"][0]
+
+    def test_text_report_names_every_machine(self, explanations):
+        text = render_explanations_text(explanations)
+        for e in explanations:
+            assert e.machine in text
+        assert "total CPI" in text
+
+    def test_markdown_report_is_a_table(self, explanations):
+        md = render_explanations_markdown(explanations)
+        assert md.startswith("## CPI stacks:")
+        assert "| **total CPI** |" in md
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            render_explanations_text([])

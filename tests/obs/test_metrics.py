@@ -6,7 +6,13 @@ import json
 
 import pytest
 
-from repro.obs.metrics import Counter, Histogram, MetricsRegistry, TimeSeries
+from repro.obs.metrics import (
+    Counter,
+    Histogram,
+    MetricsRegistry,
+    TimeSeries,
+    counter_property,
+)
 
 
 class Color(enum.Enum):
@@ -104,6 +110,40 @@ class TestRegistry:
         reloaded = MetricsRegistry()
         reloaded.load(reg.as_dict())
         assert reloaded.distribution("cases").count("BLUE") == 2
+
+    def test_counter_property_reads_and_writes_the_registry(self):
+        class Unit:
+            metrics = None  # set per instance
+            hits = counter_property("unit.{self.name}.hits")
+
+            def __init__(self, name, metrics):
+                self.name = name
+                self.metrics = metrics
+
+        reg = MetricsRegistry()
+        a, b = Unit("a", reg), Unit("b", reg)
+        a.hits += 3
+        b.hits = 7
+        assert a.hits == 3 and b.hits == 7
+        assert reg.counter("unit.a.hits").value == 3
+        assert reg.counter("unit.b.hits").value == 7
+        # class-level access returns the descriptor itself
+        assert isinstance(Unit.hits, counter_property)
+
+    def test_counter_property_serializes_through_the_registry(self):
+        class Unit:
+            total = counter_property("unit.{self.name}.total")
+
+            def __init__(self, name, metrics):
+                self.name = name
+                self.metrics = metrics
+
+        reg = MetricsRegistry()
+        Unit("x", reg).total = 5
+        snapshot = json.loads(json.dumps(reg.as_dict()))
+        reloaded = MetricsRegistry()
+        reloaded.load(snapshot)
+        assert reloaded.counter("unit.x.total").value == 5
 
     def test_merge(self):
         a = MetricsRegistry()

@@ -2,6 +2,7 @@
 
 import json
 import logging
+from pathlib import Path
 
 import pytest
 
@@ -98,6 +99,65 @@ class TestTrace:
         assert validate_main([str(out)]) == 0
         assert "OK" in capsys.readouterr().out
         assert validate_main([str(tmp_path / "missing.json")]) == 1
+
+
+class TestTraceBounding:
+    def test_small_buffer_drops_and_reports(self, tmp_path, capsys):
+        out = tmp_path / "trace.jsonl"
+        assert main(["trace", "li", "--machine", "baseline", "--width", "4",
+                     "--format", "jsonl", "--buffer", "64", "-o", str(out)]) == 0
+        printed = capsys.readouterr().out
+        assert "dropped" in printed
+        from repro.obs.sinks import read_jsonl
+        meta, events = read_jsonl(out)
+        assert len(events) <= 64
+        assert meta["dropped_events"] > 0
+
+    def test_full_keeps_everything(self, tmp_path, capsys):
+        out = tmp_path / "trace.jsonl"
+        assert main(["trace", "li", "--machine", "baseline", "--width", "4",
+                     "--format", "jsonl", "--buffer", "64", "--full",
+                     "-o", str(out)]) == 0
+        assert "dropped" not in capsys.readouterr().out
+
+
+class TestExplain:
+    def test_text_report(self, capsys):
+        assert main(["explain", "li", "--machines", "baseline,rb-limited",
+                     "--width", "4"]) == 0
+        out = capsys.readouterr().out
+        assert "CPI stack" in out
+        assert "bypass-hole" in out
+        assert "Critical-path report" in out
+
+    def test_json_matches_schema(self, tmp_path, capsys):
+        out = tmp_path / "explain.json"
+        assert main(["explain", "li", "--machines", "baseline,rb-limited",
+                     "--width", "4", "--json", "-o", str(out)]) == 0
+        document = json.loads(out.read_text())
+        assert document["report"] == "repro-explain"
+        from repro.obs.validate import validate_json_schema
+        schema = json.loads(
+            Path(__file__).resolve().parents[1].joinpath(
+                "schemas", "explain.schema.json").read_text())
+        validate_json_schema(document, schema)
+
+    def test_markdown_report(self, capsys):
+        assert main(["explain", "li", "--machines", "ideal", "--width", "4",
+                     "--markdown"]) == 0
+        out = capsys.readouterr().out
+        assert out.startswith("## CPI stacks:")
+
+    def test_validate_module_schema_mode(self, tmp_path, capsys):
+        from repro.obs.validate import main as validate_main
+        out = tmp_path / "explain.json"
+        assert main(["explain", "li", "--machines", "ideal", "--width", "4",
+                     "--json", "-o", str(out)]) == 0
+        capsys.readouterr()
+        schema = str(Path(__file__).resolve().parents[1]
+                     / "schemas" / "explain.schema.json")
+        assert validate_main([str(out), "--schema", schema]) == 0
+        assert "OK" in capsys.readouterr().out
 
 
 class TestOtherCommands:
