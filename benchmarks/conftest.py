@@ -19,7 +19,11 @@ OUTPUT_DIR = Path(__file__).parent / "output"
 
 @pytest.fixture(scope="session")
 def runner():
-    return default_runner()
+    shared = default_runner()
+    yield shared
+    # persistence is batched (run() only marks the cache dirty); make sure
+    # a benchmark session that used bare run() still lands on disk once.
+    shared.flush()
 
 
 @pytest.fixture(scope="session")

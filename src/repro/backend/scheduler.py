@@ -42,6 +42,11 @@ class SchedulerEntry(Generic[T]):
         return f"SchedulerEntry({self.record!r}, next_try={self.next_try})"
 
 
+#: Shared result for select cycles that grant nothing.  Returned (never
+#: mutated) so idle cycles allocate nothing; compares equal to ``[]``.
+_NO_GRANTS: list = []
+
+
 class Scheduler(Generic[T]):
     """One select-N scheduler over a bounded window of entries."""
 
@@ -67,6 +72,12 @@ class Scheduler(Generic[T]):
         self.select_width = select_width
         self.name = name
         self.entries: list[SchedulerEntry[T]] = []  # oldest first
+        # Lower bound on min(entry.next_try): lets select() return
+        # immediately on cycles where no entry can possibly be due, and
+        # lets the machine's cycle-skipping ask when to wake this
+        # scheduler.  Always <= the true minimum; tightened to exact by
+        # every full select scan.
+        self._min_next_try = 0
         # A private registry is used when the caller does not supply one.
         self.metrics = metrics if metrics is not None else MetricsRegistry()
         # Touch every counter so it serializes even when it stays zero.
@@ -99,15 +110,30 @@ class Scheduler(Generic[T]):
         """Place an instruction in the window; selectable from ``earliest_select``."""
         if not self.has_room():
             raise RuntimeError(f"{self.name}: insert into full scheduler")
+        if not self.entries or earliest_select < self._min_next_try:
+            self._min_next_try = earliest_select
         self.entries.append(SchedulerEntry(record, earliest_select))
+
+    def next_wake(self) -> int | None:
+        """Earliest cycle at which any entry could be due (None when empty).
+
+        A lower bound: waking the scheduler then and re-running
+        :meth:`select` (which tightens the bound) never misses a due
+        entry, so a cycle-skipping simulator can sleep until this cycle.
+        """
+        return self._min_next_try if self.entries else None
 
     def select(self, cycle: int, is_ready: ReadyFn) -> list[T]:
         """One select cycle: grant up to ``select_width`` ready entries, oldest first."""
+        entries = self.entries
+        if not entries or cycle < self._min_next_try:
+            return _NO_GRANTS
         granted: list[T] = []
         grant_indices: list[int] = []
-        for index, entry in enumerate(self.entries):
-            if len(granted) == self.select_width:
-                if any(e.next_try <= cycle for e in self.entries[index:]):
+        select_width = self.select_width
+        for index, entry in enumerate(entries):
+            if len(granted) == select_width:
+                if any(e.next_try <= cycle for e in entries[index:]):
                     self.contended_cycles += 1
                 break
             if entry.next_try > cycle:
@@ -124,10 +150,16 @@ class Scheduler(Generic[T]):
                     )
                 entry.next_try = next_candidate
         for index in reversed(grant_indices):
-            del self.entries[index]
+            del entries[index]
         if granted:
             self.selected_total += len(granted)
-        return granted
+            return granted
+        if entries:
+            # Fruitless full scan: every entry was examined (an early
+            # break needs select_width grants), so the exact minimum is
+            # known — tighten the bound so idle cycles short-circuit.
+            self._min_next_try = min(e.next_try for e in entries)
+        return _NO_GRANTS
 
     def __repr__(self) -> str:
         return f"Scheduler({self.name}, {self.occupancy}/{self.capacity})"

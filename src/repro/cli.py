@@ -24,7 +24,11 @@ shadow
 pipeline
     Render a Figure 5/7-style pipeline diagram from a traced run.
 report
-    Regenerate EXPERIMENTS.md (the full sweep; cached).
+    Regenerate EXPERIMENTS.md (the full sweep; cached).  ``--jobs N``
+    fans uncached simulations over a process pool.
+bench
+    Measure simulator performance (cycle-skipping throughput and the
+    serial-vs-parallel sweep) and write ``BENCH_perf.json``.
 
 Every command accepts ``-v``/``-vv`` for INFO/DEBUG progress logging.
 """
@@ -102,7 +106,7 @@ def cmd_run(args: argparse.Namespace) -> int:
     program = _load_program(args.workload)
     log.info("simulating %s on %s ...", config.name, program.name)
     started = time.perf_counter()
-    stats = simulate(config, program)
+    stats = simulate(config, program, cycle_skip=not args.no_skip)
     elapsed = time.perf_counter() - started
     log.info(
         "simulated %d instructions in %d cycles in %.2fs (%.0f instr/s)",
@@ -264,8 +268,30 @@ def cmd_pipeline(args: argparse.Namespace) -> int:
 
 def cmd_report(args: argparse.Namespace) -> int:
     from repro.harness.report import write_experiments_md
-    path = write_experiments_md(args.output)
+    path = write_experiments_md(args.output, jobs=args.jobs)
     print(f"wrote {path}")
+    return 0
+
+
+def cmd_bench(args: argparse.Namespace) -> int:
+    from repro.harness.perfbench import write_bench_perf
+
+    payload = write_bench_perf(
+        path=args.output, jobs=args.jobs, kernels=args.kernels
+    )
+    for entry in payload["throughput"]:
+        print(f"{entry['machine']:>14} / {entry['workload']:<8} "
+              f"{entry['skip']['instr_per_sec']:>9.0f} instr/s "
+              f"(no-skip {entry['no_skip']['instr_per_sec']:.0f}, "
+              f"skipped {entry['skipped_cycles']} cycles)")
+    sweep = payload["sweep"]
+    print(f"sweep: {sweep['pairs']} pairs, serial {sweep['serial_seconds']}s, "
+          f"parallel({sweep['jobs']}) {sweep['parallel_seconds']}s, "
+          f"speedup {sweep['speedup']}x, "
+          f"results identical: {sweep['results_identical']}")
+    reference = payload["reference"]
+    print(f"seed reference: {reference['instr_per_sec']} instr/s "
+          f"({reference['machine']} on {reference['workload']})")
     return 0
 
 
@@ -296,6 +322,9 @@ def main(argv: list[str] | None = None) -> int:
     run.add_argument("--steering", choices=("round_robin", "dependence"))
     run.add_argument("--json", action="store_true",
                      help="print machine-readable statistics as JSON")
+    run.add_argument("--no-skip", action="store_true",
+                     help="disable the cycle-skipping fast-forward (slow; "
+                          "results are identical either way)")
     run.set_defaults(fn=cmd_run)
 
     trace = sub.add_parser(
@@ -367,7 +396,23 @@ def main(argv: list[str] | None = None) -> int:
     report = sub.add_parser("report", help="regenerate EXPERIMENTS.md",
                             parents=[common])
     report.add_argument("output", nargs="?", default=None)
+    report.add_argument("--jobs", type=int, default=None, metavar="N",
+                        help="simulate uncached pairs across N worker "
+                             "processes (default: REPRO_JOBS or serial)")
     report.set_defaults(fn=cmd_report)
+
+    bench = sub.add_parser(
+        "bench", help="measure simulator performance -> BENCH_perf.json",
+        parents=[common],
+    )
+    bench.add_argument("-o", "--output", default=None,
+                       help="output path (default BENCH_perf.json at repo root)")
+    bench.add_argument("--jobs", type=int, default=2, metavar="N",
+                       help="worker processes for the sweep benchmark (default 2)")
+    bench.add_argument("--kernels", nargs="+", default=None, metavar="KERNEL",
+                       help="workloads for the sweep benchmark "
+                            "(default ijpeg li compress)")
+    bench.set_defaults(fn=cmd_bench)
 
     args = parser.parse_args(argv)
     setup_logging(args.verbose)

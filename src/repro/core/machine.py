@@ -37,7 +37,7 @@ from repro.isa.program import Program
 from repro.isa.semantics import ArchState
 from repro.mem.hierarchy import MemoryHierarchy
 from repro.obs.events import EventBus, EventKind, TraceEvent, lifecycle_events
-from repro.obs.explain import StallCause, classify_operand_wait, classify_stall_cycle
+from repro.obs.explain import StallCause, classify_stall_cycle
 from repro.obs.log import get_logger
 
 log = get_logger(__name__)
@@ -66,6 +66,61 @@ class SimulationError(RuntimeError):
     """The simulation wedged or exceeded its cycle budget."""
 
 
+#: Sentinel wake cycle meaning "no internally scheduled event" — larger
+#: than any reachable cycle, so the progress/budget caps always bound it.
+_NEVER = 1 << 62
+
+
+def _replay_stall_range(
+    stats: SimStats,
+    bus: EventBus | None,
+    head: DynInstr | None,
+    frontier: DynInstr | None,
+    start: int,
+    stop: int,
+    dispatch_blocked: bool,
+) -> None:
+    """Record the per-cycle stall attribution for skipped cycles [start, stop).
+
+    Every input to :func:`~repro.obs.explain.classify_stall_cycle` is
+    frozen across a skipped range except the cycle number itself, which
+    only matters at two thresholds: the head's completion cycle (rule 4,
+    RETIRE_BOUND) and the head's RB-to-TC conversion point (rule 7,
+    CONVERSION_LATENCY).  Splitting the range there and classifying once
+    per segment reproduces the per-cycle loop's distribution exactly.
+    With a bus attached the per-cycle STALL events must be emitted
+    anyway, so the range is simply walked cycle by cycle.
+    """
+    stall_causes = stats.stall_causes
+    if bus is not None:
+        head_seq = head.seq if head is not None else -1
+        for c in range(start, stop):
+            cause = classify_stall_cycle(
+                head, frontier, c, SELECT_TO_EXEC, dispatch_blocked
+            )
+            stall_causes.record(cause)
+            bus.emit(TraceEvent(
+                c, EventKind.STALL, head_seq, args={"cause": cause.value},
+            ))
+        return
+    marks = {start, stop}
+    if head is not None:
+        complete = head.complete_cycle
+        if complete is not None and start < complete < stop:
+            marks.add(complete)
+        select = head.select_cycle
+        if select is not None:
+            conversion_edge = select + SELECT_TO_EXEC + head.lat_rb
+            if start < conversion_edge < stop:
+                marks.add(conversion_edge)
+    points = sorted(marks)
+    for segment_start, segment_stop in zip(points, points[1:]):
+        cause = classify_stall_cycle(
+            head, frontier, segment_start, SELECT_TO_EXEC, dispatch_blocked
+        )
+        stall_causes.record(cause, segment_stop - segment_start)
+
+
 class Machine:
     """One configured machine, able to run programs and report statistics."""
 
@@ -80,6 +135,10 @@ class Machine:
         self._store_templates = {
             DataFormat.RB: _STORE_TEMPLATE, DataFormat.TC: _STORE_TEMPLATE,
         }
+        #: Cycles fast-forwarded (not executed) by the last run() call.
+        #: Diagnostic only — deliberately not part of SimStats, so cached
+        #: results stay byte-identical whether or not skipping ran.
+        self.skipped_cycles = 0
 
     # -- public API --------------------------------------------------------------
 
@@ -90,6 +149,7 @@ class Machine:
         progress_window: int = 100_000,
         record_trace: bool = False,
         bus: EventBus | None = None,
+        cycle_skip: bool = True,
     ) -> SimStats:
         """Simulate ``program`` to completion and return its statistics.
 
@@ -102,6 +162,14 @@ class Machine:
         plus per-operand bypass-forward events are emitted as
         :class:`~repro.obs.events.TraceEvent` records; the bus is closed
         (sorted, replayed through its sinks) before this method returns.
+
+        ``cycle_skip`` enables the event-driven fast-forward: when every
+        pipeline stage is provably quiescent until some future cycle
+        (DESIGN.md, "Cycle skipping"), the per-cycle bookkeeping for the
+        intervening idle cycles is replayed in bulk and the clock jumps
+        ahead.  Statistics (cycles, CPI stacks, occupancy series, event
+        streams) are bit-identical either way; ``cycle_skip=False`` is
+        the escape hatch that forces the plain per-cycle loop.
         """
         config = self.config
         stats = SimStats(machine=config.name, workload=program.name)
@@ -139,6 +207,21 @@ class Machine:
         cycle = 0
         last_progress_cycle = 0
         cluster_delay = config.cluster_delay
+        self.skipped_cycles = 0
+
+        # The readiness callback below is the simulator's hottest code
+        # (one call per candidate source per select evaluation).  It is a
+        # manual inline of classify_operand_wait() plus
+        # AvailabilityTemplate.available() — same logic, but attribute
+        # loads and identity tests instead of enum-keyed dict lookups and
+        # frozenset hashing.  tests/core/test_machine_invariants.py and
+        # the explain-path equivalence tests pin the behavior to the
+        # out-of-line versions.
+        _TC = DataFormat.TC
+        _LOAD_LATENCY = StallCause.LOAD_LATENCY
+        _BYPASS_HOLE = StallCause.BYPASS_HOLE
+        _CONVERSION = StallCause.CONVERSION_LATENCY
+        _ADDER_PIPE = StallCause.ADDER_PIPELINE
 
         def is_ready(rec: DynInstr, now: int) -> tuple[bool, int]:
             worst = now
@@ -146,41 +229,81 @@ class Machine:
             for producer, fmt in rec.sources:
                 select_cycle = producer.select_cycle
                 if select_cycle is None:
-                    rec.stall_cause = classify_operand_wait(
-                        producer, fmt is DataFormat.TC, 0
-                    )
+                    # The producer itself has not issued: inherit its
+                    # recorded operand wait (one level of transitive
+                    # attribution), else attribute by producer type.
+                    inherited = producer.stall_cause
+                    if (
+                        inherited is _LOAD_LATENCY
+                        or inherited is _ADDER_PIPE
+                        or inherited is _BYPASS_HOLE
+                        or inherited is _CONVERSION
+                    ):
+                        rec.stall_cause = inherited
+                    elif producer.is_load_producer:
+                        rec.stall_cause = _LOAD_LATENCY
+                    else:
+                        rec.stall_cause = _ADDER_PIPE
                     return False, now + 1
+                wants_tc = fmt is _TC
                 adjust = cluster_delay if producer.cluster != rec.cluster else 0
                 offset = now - select_cycle - adjust
-                template = producer.templates[fmt]
-                if not template.available(offset):
-                    next_offset = template.next_available(max(offset + 1, 1))
+                template = producer.tmpl_tc if wants_tc else producer.tmpl_rb
+                if offset < template.permanent_from and offset not in template.discrete:
+                    next_offset = template.next_available(
+                        offset + 1 if offset >= 0 else 1
+                    )
                     candidate = select_cycle + adjust + next_offset
                     if candidate > worst:
                         worst = candidate
                         # Classify at the *last blocked* offset: if the
                         # value is computed by then, the extra wait is a
                         # bypass hole, not execution latency.
-                        cause = classify_operand_wait(
-                            producer, fmt is DataFormat.TC, next_offset - 1
-                        )
+                        blocked = next_offset - 1
+                        computed_at = producer.lat_tc if wants_tc else producer.lat_rb
+                        if blocked >= computed_at:
+                            cause = _BYPASS_HOLE
+                        elif producer.is_load_producer:
+                            cause = _LOAD_LATENCY
+                        elif (
+                            wants_tc
+                            and producer.produces_rb
+                            and blocked >= producer.lat_rb
+                        ):
+                            cause = _CONVERSION
+                        else:
+                            cause = _ADDER_PIPE
             dep = rec.store_dep
             if dep is not None:
-                if dep.select_cycle is None:
-                    rec.stall_cause = StallCause.LOAD_LATENCY
+                dep_select = dep.select_cycle
+                if dep_select is None:
+                    rec.stall_cause = _LOAD_LATENCY
                     return False, now + 1
-                if now - dep.select_cycle < 1:
-                    candidate = dep.select_cycle + 1
+                if now - dep_select < 1:
+                    candidate = dep_select + 1
                     if candidate > worst:
                         worst = candidate
                         # Memory-ordering wait: the load is held for the
                         # store, so the cycles are memory-access latency.
-                        cause = StallCause.LOAD_LATENCY
+                        cause = _LOAD_LATENCY
             if worst > now:
                 rec.stall_cause = cause
                 return False, worst
             rec.stall_cause = None
             return True, now
+
+        def no_progress_error() -> SimulationError:
+            return SimulationError(
+                f"{config.name} on {program.name}: no retirement progress for "
+                f"{progress_window} cycles at cycle {cycle} "
+                f"(ROB {rob.occupancy}, schedulers "
+                f"{[s.occupancy for s in schedulers]})"
+            )
+
+        def budget_error() -> SimulationError:
+            return SimulationError(
+                f"{config.name} on {program.name}: exceeded {max_cycles} cycles"
+            )
 
         while True:
             # ---- retire ------------------------------------------------------
@@ -197,9 +320,13 @@ class Machine:
                         bus.emit_many(lifecycle_events(rec, SELECT_TO_EXEC))
 
             # ---- select + issue ------------------------------------------------
+            selected_any = False
             for scheduler in schedulers:
-                for rec in scheduler.select(cycle, is_ready):
-                    self._issue(rec, cycle)
+                grants = scheduler.select(cycle, is_ready)
+                if grants:
+                    selected_any = True
+                    for rec in grants:
+                        self._issue(rec, cycle)
 
             # ---- rename / dispatch ----------------------------------------------
             dispatched = 0
@@ -283,16 +410,116 @@ class Machine:
                 break
             cycle += 1
             if cycle - last_progress_cycle > progress_window:
-                raise SimulationError(
-                    f"{config.name} on {program.name}: no retirement progress for "
-                    f"{progress_window} cycles at cycle {cycle} "
-                    f"(ROB {rob.occupancy}, schedulers "
-                    f"{[s.occupancy for s in schedulers]})"
-                )
+                raise no_progress_error()
             if cycle > max_cycles:
-                raise SimulationError(
-                    f"{config.name} on {program.name}: exceeded {max_cycles} cycles"
-                )
+                raise budget_error()
+            # Analyzing for a skip only pays off from a backend-idle
+            # cycle: a stage that just made progress usually can act
+            # again next cycle, and an idle stretch runs the analysis on
+            # its first cycle anyway (one per-cycle iteration of
+            # lead-in).  A cycle where only fetch progressed still
+            # qualifies — the frontend pipeline delay before its bundle
+            # becomes dispatch-eligible is a skippable gap.
+            if not cycle_skip or retired or selected_any or dispatched:
+                continue
+
+            # ---- cycle skipping (event-driven fast-forward) ----------------------
+            # Find the earliest future cycle at which any stage could act.
+            # Each candidate below is exact or conservative (never later
+            # than the true wake cycle); if any stage can act at the
+            # current cycle, fall through to the normal per-cycle loop.
+            wake = _NEVER
+            head = rob.head
+            if head is not None:
+                head_complete = head.complete_cycle
+                if head_complete is not None:
+                    # Retirement happens the cycle after completion.
+                    wake = head_complete + 1
+            for scheduler in schedulers:
+                candidate = scheduler.next_wake()
+                if candidate is not None and candidate < wake:
+                    wake = candidate
+            if wake <= cycle:
+                continue
+
+            # Dispatch: with retire and select quiescent until ``wake``,
+            # ROB and scheduler occupancy are frozen, so the head of the
+            # fetch queue either becomes age-eligible at a known cycle or
+            # stays blocked the same way every skipped cycle.
+            dispatch_wait_blocked = False
+            blocked_full_index = -1
+            blocked_seq = -1
+            if fetch_queue:
+                first = fetch_queue[0]
+                eligible = first.fetch_cycle + config.frontend_depth
+                if eligible > cycle:
+                    if eligible < wake:
+                        wake = eligible
+                elif not rob.has_room():
+                    dispatch_wait_blocked = True
+                elif config.steering_policy == "dependence":
+                    if self._dependence_target(
+                        first, last_writer, schedulers, steering.peek()
+                    ) is None:
+                        dispatch_wait_blocked = True
+                    else:
+                        continue  # dispatch can act this cycle
+                else:
+                    target = steering.peek()
+                    if schedulers[target].has_room():
+                        continue  # dispatch can act this cycle
+                    dispatch_wait_blocked = True
+                    blocked_full_index = target
+                    blocked_seq = first.seq
+
+            queue_open = len(fetch_queue) < config.fetch_queue_capacity
+            fetch_counts = False
+            if queue_open:
+                fetch_wake, fetch_counts = fetch.next_event_cycle(cycle)
+                if fetch_wake is not None:
+                    if fetch_wake <= cycle:
+                        continue  # fetch can act this cycle
+                    if fetch_wake < wake:
+                        wake = fetch_wake
+
+            if wake <= cycle:
+                continue
+            # A wedged machine (wake == _NEVER) must still raise at the
+            # same cycle the per-cycle loop would: cap the jump at the
+            # progress/budget limits and re-check after landing.
+            stop = min(wake, last_progress_cycle + progress_window + 1, max_cycles + 1)
+            span = stop - cycle
+
+            # Replay the per-cycle bookkeeping the skipped iterations
+            # would have performed.  No stage acts in [cycle, stop), so
+            # every input below is frozen at its current value.
+            if blocked_full_index >= 0:
+                blocked_scheduler = schedulers[blocked_full_index]
+                if bus is not None:
+                    for c in range(cycle, stop):
+                        blocked_scheduler.note_full_stall(c, bus, blocked_seq)
+                else:
+                    blocked_scheduler.full_stall_cycles += span
+            if fetch_counts:
+                fetch.note_skipped_stalls(span)
+            occupancy_series.record_run(
+                cycle, stop, sum(s.occupancy for s in schedulers)
+            )
+            frontier = None
+            for scheduler in schedulers:
+                if scheduler.entries:
+                    front = scheduler.entries[0].record
+                    if frontier is None or front.seq < frontier.seq:
+                        frontier = front
+            _replay_stall_range(
+                stats, bus, head, frontier, cycle, stop, dispatch_wait_blocked
+            )
+            self.skipped_cycles += span
+            cycle = stop
+            if cycle - last_progress_cycle > progress_window:
+                raise no_progress_error()
+            if cycle > max_cycles:
+                raise budget_error()
 
         stats.cycles = cycle + 1
         stats.branches = fetch.branches
@@ -394,12 +621,13 @@ class Machine:
         rec.lat_tc = (
             self.latency.tc_latency(effective_class) if produces_rb else rec.lat_rb
         )
+        rec.is_load_producer = spec.is_load
         if spec.is_load:
-            rec.templates = None  # set at issue, when the cache latency is known
+            rec.set_templates(None)  # set at issue, when the cache latency is known
         elif spec.is_store:
-            rec.templates = self._store_templates
+            rec.set_templates(self._store_templates)
         else:
-            rec.templates = self.bypass.templates(effective_class, produces_rb)
+            rec.set_templates(self.bypass.templates(effective_class, produces_rb))
 
         # Source dependences: pair each register operand with the format the
         # consumer reads it in.  A MOVE consumes its source as RB-capable.
@@ -452,7 +680,7 @@ class Machine:
             ready = self._hierarchy.data_access(address, cycle + SELECT_TO_EXEC + 1)
             load_latency = ready - (cycle + SELECT_TO_EXEC)
             template = self.bypass.load_template(load_latency)
-            rec.templates = {DataFormat.RB: template, DataFormat.TC: template}
+            rec.set_templates({DataFormat.RB: template, DataFormat.TC: template})
             rec.lat_rb = rec.lat_tc = load_latency
             rec.complete_cycle = cycle + SELECT_TO_EXEC + load_latency
         elif spec.is_store:

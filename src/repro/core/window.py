@@ -24,8 +24,8 @@ class DynInstr:
         "seq", "instr", "result", "fetch_cycle", "mispredicted",
         "scheduler", "cluster", "insert_cycle",
         "select_cycle", "complete_cycle", "retire_cycle",
-        "produces_rb", "templates", "lat_rb", "lat_tc",
-        "sources", "store_dep",
+        "produces_rb", "templates", "tmpl_rb", "tmpl_tc", "lat_rb", "lat_tc",
+        "sources", "store_dep", "is_load_producer",
         "rename_cycle", "stall_cause",
     )
 
@@ -53,6 +53,12 @@ class DynInstr:
 
         self.produces_rb = False
         self.templates: dict[DataFormat, AvailabilityTemplate] | None = None
+        # Per-consumer-format templates flattened to attributes: the
+        # scheduler's readiness callback runs once per candidate source per
+        # cycle, and an attribute load is much cheaper than an enum-keyed
+        # dict lookup.  Kept in sync with ``templates`` by set_templates().
+        self.tmpl_rb: AvailabilityTemplate | None = None
+        self.tmpl_tc: AvailabilityTemplate | None = None
         self.lat_rb = 0
         self.lat_tc = 0
 
@@ -60,10 +66,23 @@ class DynInstr:
         # a real in-flight producer dependence.
         self.sources: list[tuple["DynInstr", DataFormat]] = []
         self.store_dep: "DynInstr | None" = None
+        # ``instr.spec.is_load`` flattened for the readiness hot loop.
+        self.is_load_producer = False
 
         # Why the scheduler most recently refused this instruction (a
         # StallCause, set by the readiness callback; None once ready).
         self.stall_cause = None
+
+    def set_templates(
+        self, templates: dict[DataFormat, AvailabilityTemplate] | None
+    ) -> None:
+        """Install availability templates, mirroring them to attributes."""
+        self.templates = templates
+        if templates is None:
+            self.tmpl_rb = self.tmpl_tc = None
+        else:
+            self.tmpl_rb = templates[DataFormat.RB]
+            self.tmpl_tc = templates[DataFormat.TC]
 
     def __repr__(self) -> str:
         return f"DynInstr(#{self.seq} {self.instr!r} sel={self.select_cycle})"

@@ -88,6 +88,38 @@ class FetchUnit:
         self._stalled_for_branch = False
         self._resume_cycle = resolve_cycle
 
+    # -- cycle-skipping support -----------------------------------------------------
+
+    def next_event_cycle(self, cycle: int) -> tuple[int | None, bool]:
+        """When could :meth:`fetch_bundle` next do real work, from ``cycle``?
+
+        Returns ``(wake, counts_stalls)``:
+
+        * ``wake`` — the earliest cycle >= ``cycle`` at which a
+          ``fetch_bundle`` call might fetch instructions or mutate state,
+          or None when fetch is blocked on an external event (halt, or an
+          unresolved mispredicted branch — the backend's
+          :meth:`resolve_branch` is what unblocks it);
+        * ``counts_stalls`` — whether each skipped ``fetch_bundle`` call
+          strictly before ``wake`` would have incremented
+          ``fetch_stall_cycles`` (the resume/I-cache wait paths count,
+          the halt/branch paths return without counting).
+
+        Used by the machine's cycle-skipping fast-forward; must mirror the
+        early-out structure of :meth:`fetch_bundle` exactly.
+        """
+        if self.halted or self._stalled_for_branch:
+            return None, False
+        if self._resume_cycle is not None and cycle < self._resume_cycle:
+            return self._resume_cycle, True
+        if self._icache_ready_pc == self.state.pc and cycle < self._icache_ready_cycle:
+            return self._icache_ready_cycle, True
+        return cycle, False
+
+    def note_skipped_stalls(self, count: int) -> None:
+        """Account for ``count`` skipped cycles that would have stalled."""
+        self.fetch_stall_cycles += count
+
     # -- per-cycle fetch ------------------------------------------------------------
 
     def fetch_bundle(self, cycle: int) -> list[FetchedInstruction]:

@@ -1,0 +1,182 @@
+"""Simulator performance benchmarks -> ``BENCH_perf.json``.
+
+Two measurements, written to a repo-root artifact by ``repro bench`` (and
+the CI perf-smoke job):
+
+* **throughput** — instructions simulated per host-second for a few
+  representative (machine, workload) pairs, with the cycle-skipping
+  fast-forward on and off.  The two modes are asserted to produce
+  identical statistics, so this doubles as an equivalence smoke test.
+* **sweep** — a cold (uncached) ``run_matrix`` timed serially and through
+  the process-pool path, with the result dictionaries compared for
+  equality.  On multi-core hosts the ratio is the sweep speedup; on a
+  single-core CI box it honestly records ~1x.
+
+The file also carries a fixed ``reference`` block: the throughput of the
+pre-optimization simulator, measured once at the seed commit, so the
+artifact always shows before/after numbers.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import platform
+import tempfile
+import time
+from pathlib import Path
+
+from repro.core.config import MachineConfig
+from repro.core.machine import Machine
+from repro.core.presets import baseline, ideal, rb_limited
+from repro.harness.runner import SimulationRunner
+from repro.obs.log import get_logger
+from repro.utils.files import atomic_write_text
+from repro.workloads.suite import build
+
+log = get_logger(__name__)
+
+PERF_VERSION = 1
+PERF_FILENAME = "BENCH_perf.json"
+
+#: Throughput of the unoptimized simulator, measured at the seed commit
+#: on the same container class CI uses (Ideal-8w on ijpeg: 19050
+#: instructions in ~1.49s).  Kept fixed so BENCH_perf.json always shows
+#: a before/after pair; regenerate only when re-baselining deliberately.
+SEED_REFERENCE = {
+    "machine": "Ideal-8w",
+    "workload": "ijpeg",
+    "instr_per_sec": 12_800,
+    "note": "pre-optimization throughput at the growth seed",
+}
+
+DEFAULT_KERNELS = ["ijpeg", "li", "compress"]
+
+
+def _default_pairs() -> list[tuple[MachineConfig, str]]:
+    return [
+        (ideal(8), "ijpeg"),
+        (baseline(4), "li"),
+        (rb_limited(4), "compress"),
+    ]
+
+
+def throughput_benchmark(
+    pairs: list[tuple[MachineConfig, str]] | None = None, repeats: int = 2
+) -> list[dict]:
+    """Per-pair instructions/second, cycle skipping on vs off.
+
+    Each mode reports the best of ``repeats`` runs; the two modes'
+    statistics must serialize identically (raises otherwise).
+    """
+    results = []
+    for config, workload in pairs if pairs is not None else _default_pairs():
+        program = build(workload)
+        machine = Machine(config)
+        modes: dict[str, dict] = {}
+        serialized: dict[str, str] = {}
+        skipped_cycles = 0
+        for label, cycle_skip in (("skip", True), ("no_skip", False)):
+            best = float("inf")
+            for _ in range(max(1, repeats)):
+                started = time.perf_counter()
+                stats = machine.run(program, cycle_skip=cycle_skip)
+                best = min(best, time.perf_counter() - started)
+            if cycle_skip:
+                skipped_cycles = machine.skipped_cycles
+            serialized[label] = json.dumps(stats.to_dict(), sort_keys=True)
+            modes[label] = {
+                "seconds": round(best, 4),
+                "instr_per_sec": round(stats.instructions / best, 1),
+                "cycles_per_sec": round(stats.cycles / best, 1),
+            }
+        if serialized["skip"] != serialized["no_skip"]:
+            raise AssertionError(
+                f"cycle skipping changed results for {config.name} on {workload}"
+            )
+        results.append({
+            "machine": config.name,
+            "workload": workload,
+            "instructions": stats.instructions,
+            "cycles": stats.cycles,
+            "skipped_cycles": skipped_cycles,
+            "skip": modes["skip"],
+            "no_skip": modes["no_skip"],
+            "skip_speedup": round(
+                modes["no_skip"]["seconds"] / modes["skip"]["seconds"], 3
+            ),
+        })
+        log.info(
+            "throughput %s/%s: %.0f instr/s (skip), %.0f (no-skip)",
+            config.name, workload,
+            modes["skip"]["instr_per_sec"], modes["no_skip"]["instr_per_sec"],
+        )
+    return results
+
+
+def sweep_benchmark(
+    configs: list[MachineConfig] | None = None,
+    workloads: list[str] | None = None,
+    jobs: int = 2,
+) -> dict:
+    """Cold serial vs parallel ``run_matrix``, with results compared."""
+    if configs is None:
+        configs = [baseline(4), ideal(4)]
+    if workloads is None:
+        workloads = DEFAULT_KERNELS
+    timings: dict[str, float] = {}
+    snapshots: dict[str, dict] = {}
+    with tempfile.TemporaryDirectory(prefix="repro-bench-") as tmp:
+        for label, width in (("serial", None), ("parallel", jobs)):
+            runner = SimulationRunner(
+                cache_path=Path(tmp) / f"{label}.json",
+                bench_path=Path(tmp) / f"{label}-bench.json",
+                jobs=width,
+            )
+            started = time.perf_counter()
+            results = runner.run_matrix(configs, workloads)
+            timings[label] = time.perf_counter() - started
+            snapshots[label] = {
+                f"{name}::{workload}": stats.to_dict()
+                for (name, workload), stats in results.items()
+            }
+    identical = json.dumps(snapshots["serial"], sort_keys=True) == json.dumps(
+        snapshots["parallel"], sort_keys=True
+    )
+    if not identical:
+        raise AssertionError("parallel run_matrix diverged from serial results")
+    return {
+        "pairs": len(configs) * len(workloads),
+        "jobs": jobs,
+        "serial_seconds": round(timings["serial"], 3),
+        "parallel_seconds": round(timings["parallel"], 3),
+        "speedup": round(timings["serial"] / timings["parallel"], 3),
+        "results_identical": identical,
+    }
+
+
+def write_bench_perf(
+    path: Path | str | None = None,
+    jobs: int = 2,
+    kernels: list[str] | None = None,
+) -> dict:
+    """Run both benchmarks and write ``BENCH_perf.json``; returns the payload."""
+    if path is None:
+        path = Path(__file__).resolve().parents[3] / PERF_FILENAME
+    path = Path(path)
+    kernels = kernels if kernels else DEFAULT_KERNELS
+    payload = {
+        "version": PERF_VERSION,
+        "host": {
+            "python": platform.python_version(),
+            "platform": platform.platform(),
+            "cpus": os.cpu_count(),
+        },
+        "reference": dict(SEED_REFERENCE),
+        "throughput": throughput_benchmark(),
+        "sweep": sweep_benchmark(workloads=kernels, jobs=jobs),
+        "timestamp": time.time(),
+    }
+    atomic_write_text(path, json.dumps(payload, indent=2))
+    log.info("wrote %s", path)
+    return payload

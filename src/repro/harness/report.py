@@ -43,12 +43,20 @@ asserted by `benchmarks/`:
 """
 
 
-def write_experiments_md(path: Path | str | None = None) -> Path:
-    """Run everything and write EXPERIMENTS.md; returns the path written."""
+def write_experiments_md(
+    path: Path | str | None = None, jobs: int | None = None
+) -> Path:
+    """Run everything and write EXPERIMENTS.md; returns the path written.
+
+    ``jobs`` overrides the runner's process-pool width for this sweep
+    (``None`` keeps the runner default, i.e. ``REPRO_JOBS`` or serial).
+    """
     if path is None:
         path = Path(__file__).resolve().parents[3] / "EXPERIMENTS.md"
     path = Path(path)
     runner = default_runner()
+    if jobs is not None:
+        runner.jobs = jobs if jobs > 1 else None
     sections = []
     for result in all_experiments(runner):
         log.info("rendered %s (%s)", result.experiment, result.title)

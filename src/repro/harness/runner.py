@@ -16,13 +16,30 @@ Every uncached simulation is also timed on the host and appended to
 ``BENCH_obs.json`` (see :mod:`repro.obs.profile`), giving performance
 work a measured trajectory; cache hits/misses/invalidations are counted
 in the runner's metrics registry.
+
+Persistence is batched: :meth:`SimulationRunner.run` only marks the
+cache dirty, and :meth:`SimulationRunner.flush` (called automatically at
+the end of every :meth:`SimulationRunner.run_matrix`, or by using the
+runner as a context manager) writes the cache and bench log once.  Both
+files are written atomically (temp file + rename), so an interrupted
+sweep never leaves a truncated cache behind.
+
+:meth:`SimulationRunner.run_matrix` can fan uncached pairs out over a
+process pool (``jobs=N`` on the call or the runner, or the
+``REPRO_JOBS`` environment variable for the shared default runner);
+workers return serialized stats and profiles, which the parent merges
+into the shared cache and bench log exactly as the serial path would.
 """
 
 from __future__ import annotations
 
-import json
+import os
 import time
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import asdict
 from pathlib import Path
+
+import json
 
 from repro.core.config import MachineConfig
 from repro.core.machine import Machine
@@ -30,6 +47,7 @@ from repro.core.statistics import SimStats
 from repro.obs.log import get_logger
 from repro.obs.metrics import MetricsRegistry
 from repro.obs.profile import BENCH_FILENAME, BenchLog, RunProfile
+from repro.utils.files import atomic_write_text
 from repro.workloads.suite import build
 
 log = get_logger(__name__)
@@ -85,35 +103,85 @@ class ResultCache:
         self._data[self.key(stats.machine, stats.workload)] = stats.to_dict()
 
     def save(self) -> None:
+        """Write the cache atomically: a crash mid-save cannot corrupt it."""
         if self.path is None:
             return
-        self.path.parent.mkdir(parents=True, exist_ok=True)
         payload = {"version": RESULTS_VERSION, "results": self._data}
-        self.path.write_text(json.dumps(payload))
+        atomic_write_text(self.path, json.dumps(payload))
 
     def __len__(self) -> int:
         return len(self._data)
 
 
+def _simulate_for_pool(config: MachineConfig, workload: str) -> tuple[dict, dict]:
+    """Process-pool worker: one simulation, returned in serialized form.
+
+    Runs in a child process, so it must not touch the parent's cache or
+    bench log; the parent merges the returned ``(stats, profile)`` dicts.
+    """
+    started = time.perf_counter()
+    stats = Machine(config).run(build(workload))
+    wall = time.perf_counter() - started
+    profile = RunProfile.measure(
+        config.name, workload, wall, stats.cycles, stats.instructions
+    )
+    return stats.to_dict(), asdict(profile)
+
+
 class SimulationRunner:
-    """Runs (machine config, workload name) pairs through the cache."""
+    """Runs (machine config, workload name) pairs through the cache.
+
+    ``jobs`` sets the default process-pool width for
+    :meth:`run_matrix`; ``None`` or ``1`` keeps everything in-process.
+    The runner can be used as a context manager to guarantee a final
+    :meth:`flush` even when individual :meth:`run` calls were used.
+    """
 
     def __init__(
         self,
         cache_path: Path | str | None = None,
         bench_path: Path | str | None = None,
+        jobs: int | None = None,
     ) -> None:
         if cache_path is None:
             cache_path = Path(__file__).resolve().parents[3] / ".repro_cache" / "results.json"
         self.metrics = MetricsRegistry()
+        self.jobs = jobs
         self.cache = ResultCache(cache_path, metrics=self.metrics)
         if bench_path is None and self.cache.path is not None:
             bench_path = self.cache.path.parent / BENCH_FILENAME
         self.bench = BenchLog(bench_path)
         self._machines: dict[str, Machine] = {}
+        self._dirty = False
+
+    # -- persistence -----------------------------------------------------------
+
+    def flush(self) -> None:
+        """Persist the cache and bench log if anything changed since last save."""
+        if not self._dirty:
+            return
+        self.bench.save(cache_metrics=self.metrics)
+        self.cache.save()
+        self._dirty = False
+
+    def close(self) -> None:
+        self.flush()
+
+    def __enter__(self) -> "SimulationRunner":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.flush()
+
+    # -- running ----------------------------------------------------------------
 
     def run(self, config: MachineConfig, workload: str) -> SimStats:
-        """One simulation, served from cache when available."""
+        """One simulation, served from cache when available.
+
+        New results are kept in memory until :meth:`flush` (or the end of
+        the enclosing :meth:`run_matrix`): saving the whole cache after
+        every run made an N-run sweep O(N^2) in serialization work.
+        """
         cached = self.cache.get(config.name, workload)
         if cached is not None:
             log.debug("cache hit: %s on %s", config.name, workload)
@@ -134,28 +202,96 @@ class SimulationRunner:
             config.name, workload, wall, profile.sim_instr_per_sec, stats.ipc,
         )
         self.bench.record(profile)
-        self.bench.save(cache_metrics=self.metrics)
         self.cache.put(stats)
-        self.cache.save()
+        self._dirty = True
         return stats
 
     def run_matrix(
-        self, configs: list[MachineConfig], workloads: list[str]
+        self,
+        configs: list[MachineConfig],
+        workloads: list[str],
+        jobs: int | None = None,
     ) -> dict[tuple[str, str], SimStats]:
-        """The full cross product, cached."""
-        return {
-            (config.name, workload): self.run(config, workload)
-            for config in configs
-            for workload in workloads
-        }
+        """The full cross product, cached, flushed to disk once at the end.
+
+        With ``jobs`` > 1 (argument, else the runner default), uncached
+        pairs are simulated concurrently in a process pool; results and
+        profiles are merged into the shared cache/bench log by the
+        parent, so the on-disk artifacts are identical to a serial sweep
+        (modulo wall-clock timings).
+        """
+        jobs = self.jobs if jobs is None else jobs
+        pairs = [(config, workload) for config in configs for workload in workloads]
+        if jobs is not None and jobs > 1:
+            results = self._run_matrix_parallel(pairs, jobs)
+        else:
+            results = {
+                (config.name, workload): self.run(config, workload)
+                for config, workload in pairs
+            }
+        self.flush()
+        return results
+
+    def _run_matrix_parallel(
+        self, pairs: list[tuple[MachineConfig, str]], jobs: int
+    ) -> dict[tuple[str, str], SimStats]:
+        """Fan uncached pairs out over a process pool and merge the results."""
+        results: dict[tuple[str, str], SimStats] = {}
+        pending: dict[tuple[str, str], MachineConfig] = {}
+        for config, workload in pairs:
+            key = (config.name, workload)
+            if key in results or key in pending:
+                continue  # deduplicate in-flight keys
+            cached = self.cache.get(config.name, workload)
+            if cached is not None:
+                results[key] = cached
+            else:
+                pending[key] = config
+        if not pending:
+            return results
+        log.info(
+            "simulating %d uncached pairs across %d worker processes ...",
+            len(pending), min(jobs, len(pending)),
+        )
+        started = time.perf_counter()
+        with ProcessPoolExecutor(max_workers=min(jobs, len(pending))) as pool:
+            futures = {
+                key: pool.submit(_simulate_for_pool, config, key[1])
+                for key, config in pending.items()
+            }
+            for key, future in futures.items():
+                stats_entry, profile_entry = future.result()
+                stats = SimStats.from_dict(stats_entry)
+                self.bench.record(RunProfile(**profile_entry))
+                self.cache.put(stats)
+                self._dirty = True
+                results[key] = stats
+        log.info(
+            "parallel sweep of %d pairs finished in %.2fs",
+            len(pending), time.perf_counter() - started,
+        )
+        return results
 
 
 _default_runner: SimulationRunner | None = None
+
+
+def default_jobs() -> int | None:
+    """Process-pool width for the shared runner: the ``REPRO_JOBS`` env var."""
+    value = os.environ.get("REPRO_JOBS", "").strip()
+    if not value:
+        return None
+    try:
+        jobs = int(value)
+    except ValueError:
+        log.warning("ignoring non-integer REPRO_JOBS=%r", value)
+        return None
+    return jobs if jobs > 1 else None
 
 
 def default_runner() -> SimulationRunner:
     """A process-wide shared runner (shared cache across experiments)."""
     global _default_runner
     if _default_runner is None:
-        _default_runner = SimulationRunner()
+        _default_runner = SimulationRunner(jobs=default_jobs())
     return _default_runner

@@ -3,6 +3,7 @@
 from __future__ import annotations
 
 from dataclasses import dataclass
+from functools import cached_property
 
 from repro.isa.opcodes import Opcode, OpSpec, spec_of
 
@@ -54,7 +55,10 @@ class Instruction:
     target: int | None = None       # resolved branch/call target address
     text: str = ""                  # original assembly, for diagnostics
 
-    @property
+    # cached_property writes to the instance __dict__ directly, which a
+    # frozen dataclass permits — instructions are immutable and decoded
+    # once per program, but their spec is consulted on every dynamic use.
+    @cached_property
     def spec(self) -> OpSpec:
         return spec_of(self.opcode)
 

@@ -156,6 +156,28 @@ class TimeSeries:
                 self.samples = self.samples[::2]
                 self.stride *= 2
 
+    def record_run(self, start: int, stop: int, value: int) -> None:
+        """Record ``value`` for every cycle in ``[start, stop)`` at once.
+
+        State-identical to calling :meth:`record` once per cycle —
+        including mid-run decimation — but only touches the cycles that
+        land on a sample point, so a cycle-skipping simulator can account
+        for a long idle stretch in O(samples) instead of O(cycles).
+        """
+        if stop <= start:
+            return
+        span = stop - start
+        self.count += span
+        self.total += value * span
+        cycle = start + (-start) % self.stride
+        while cycle < stop:
+            self.samples.append(value)
+            if len(self.samples) > self.max_samples:
+                self.samples = self.samples[::2]
+                self.stride *= 2
+            cycle += self.stride
+            cycle -= cycle % self.stride
+
     def mean(self) -> float:
         return self.total / self.count if self.count else 0.0
 

@@ -17,6 +17,7 @@ from pathlib import Path
 
 from repro.obs.log import get_logger
 from repro.obs.metrics import MetricsRegistry
+from repro.utils.files import atomic_write_text
 
 log = get_logger(__name__)
 
@@ -94,5 +95,4 @@ class BenchLog:
                 name: cache_metrics.counter(name).value
                 for name in ("cache.hits", "cache.misses", "cache.invalidations")
             }
-        self.path.parent.mkdir(parents=True, exist_ok=True)
-        self.path.write_text(json.dumps(payload, indent=2))
+        atomic_write_text(self.path, json.dumps(payload, indent=2))

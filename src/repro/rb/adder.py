@@ -54,6 +54,51 @@ def interim_digit(p: int, prev_both_nonneg: bool) -> tuple[int, int]:
     raise ValueError(f"digit sum {p} out of range [-2, 2]")
 
 
+def _add_components(x: RBNumber, y: RBNumber) -> tuple[int, int, int, int]:
+    """All digit positions of :func:`interim_digit` at once, bitwise.
+
+    Returns ``(width, zp, zm, carry)`` — the plus/minus bit components of
+    the digit sums plus the carry out of the MSD.  This evaluates the same
+    per-position split as :func:`interim_digit` (kept as the readable
+    single-digit reference, and pinned equivalent by tests/rb/test_adder.py)
+    over whole machine words: the paper's point that digit i depends only
+    on digits i, i-1 of the inputs is exactly what makes the positions
+    independent, so each case is a mask expression.
+    """
+    if x.width != y.width:
+        raise ValueError(f"width mismatch: {x.width} vs {y.width}")
+    width = x.width
+    mask = (1 << width) - 1
+    xp, xm, yp, ym = x.plus, x.minus, y.plus, y.minus
+
+    both_pos = xp & yp                          # p == +2
+    both_neg = xm & ym                          # p == -2
+    one_plus = (xp ^ yp) & ~(xm | ym)           # p == +1
+    one_minus = (xm ^ ym) & ~(xp | yp)          # p == -1
+    # Bit i set when both input digits at position i-1 are non-negative
+    # (position 0 has no lower digits, which counts as non-negative).
+    nonneg_below = ~((xm | ym) << 1) & mask
+
+    carry_plus = both_pos | (one_plus & nonneg_below)
+    carry_minus = both_neg | (one_minus & ~nonneg_below)
+    ones = one_plus | one_minus
+    interim_minus = ones & nonneg_below
+    interim_plus = ones & ~nonneg_below
+
+    in_plus = (carry_plus << 1) & mask
+    in_minus = (carry_minus << 1) & mask
+    clash = (interim_plus & in_plus) | (interim_minus & in_minus)
+    if clash:
+        raise AssertionError(
+            f"carry-free invariant violated at digit {clash.bit_length() - 1}"
+        )
+    zp = (interim_plus | in_plus) & ~(interim_minus | in_minus)
+    zm = (interim_minus | in_minus) & ~(interim_plus | in_plus)
+    top = 1 << (width - 1)
+    carry = 1 if carry_plus & top else (-1 if carry_minus & top else 0)
+    return width, zp, zm, carry
+
+
 def rb_add_digits(x: RBNumber, y: RBNumber) -> tuple[list[int], int]:
     """Raw carry-free addition: returns (sum digits, carry out of the MSD).
 
@@ -61,28 +106,9 @@ def rb_add_digits(x: RBNumber, y: RBNumber) -> tuple[list[int], int]:
     y.value()`` exactly.  Width-wrapping and overflow detection are applied
     by :func:`rb_add`.
     """
-    if x.width != y.width:
-        raise ValueError(f"width mismatch: {x.width} vs {y.width}")
-    width = x.width
-    carries = [0] * width
-    interims = [0] * width
-    for i in range(width):
-        p = x.digit(i) + y.digit(i)
-        if i == 0:
-            prev_both_nonneg = True
-        else:
-            prev_both_nonneg = x.digit(i - 1) >= 0 and y.digit(i - 1) >= 0
-        carries[i], interims[i] = interim_digit(p, prev_both_nonneg)
-    digits = [0] * width
-    for i in range(width):
-        incoming = carries[i - 1] if i > 0 else 0
-        z = interims[i] + incoming
-        if z not in (-1, 0, 1):
-            raise AssertionError(
-                f"carry-free invariant violated at digit {i}: {z}"
-            )
-        digits[i] = z
-    return digits, carries[width - 1]
+    width, zp, zm, carry = _add_components(x, y)
+    digits = [((zp >> i) & 1) - ((zm >> i) & 1) for i in range(width)]
+    return digits, carry
 
 
 def rb_add(x: RBNumber, y: RBNumber) -> AddResult:
@@ -92,9 +118,8 @@ def rb_add(x: RBNumber, y: RBNumber) -> AddResult:
     wrapped into ``[-2**(w-1), 2**(w-1) - 1]``; ``overflow`` is set exactly
     when the true sum falls outside that range (§3.5).
     """
-    digits, carry = rb_add_digits(x, y)
-    raw = RBNumber.from_digits(digits)
-    value, overflow = normalize_msd(raw, carry)
+    width, zp, zm, carry = _add_components(x, y)
+    value, overflow = normalize_msd(RBNumber(width, zp, zm), carry)
     return AddResult(value=value, overflow=overflow)
 
 

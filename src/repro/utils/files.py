@@ -1,0 +1,32 @@
+"""Small filesystem helpers shared by the persistence layers."""
+
+from __future__ import annotations
+
+import os
+import tempfile
+from pathlib import Path
+
+
+def atomic_write_text(path: Path, text: str) -> None:
+    """Write ``text`` to ``path`` atomically (temp file + rename).
+
+    A crash or kill mid-write can never leave a truncated file at
+    ``path``: the content lands in a temporary sibling first and is
+    moved into place with :func:`os.replace`, which is atomic on the
+    same filesystem.  The parent directory is created if needed.
+    """
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    fd, tmp_name = tempfile.mkstemp(
+        dir=path.parent, prefix=path.name + ".", suffix=".tmp"
+    )
+    try:
+        with os.fdopen(fd, "w") as handle:
+            handle.write(text)
+        os.replace(tmp_name, path)
+    except BaseException:
+        try:
+            os.unlink(tmp_name)
+        except OSError:
+            pass
+        raise

@@ -1,0 +1,90 @@
+"""Parallel ``run_matrix`` must be indistinguishable from the serial path.
+
+The process-pool fan-out returns serialized stats/profiles that the
+parent merges into the shared cache and bench log; these tests pin down
+that the merged results, the on-disk cache, and the cache counters all
+match a serial sweep bit for bit.
+"""
+
+import json
+
+import pytest
+
+from repro.core.presets import baseline, ideal, rb_full, rb_limited
+from repro.harness.runner import SimulationRunner, _simulate_for_pool
+
+MACHINES = [baseline(4), rb_limited(4), rb_full(4), ideal(4)]
+KERNELS = ["ijpeg", "li"]
+
+
+@pytest.fixture(scope="module")
+def sweeps(tmp_path_factory):
+    """One serial and one 2-worker parallel cold sweep over the same matrix."""
+    tmp = tmp_path_factory.mktemp("parallel-runner")
+    out = {}
+    for label, jobs in (("serial", None), ("parallel", 2)):
+        runner = SimulationRunner(
+            cache_path=tmp / f"{label}.json",
+            bench_path=tmp / f"{label}-bench.json",
+        )
+        results = runner.run_matrix(MACHINES, KERNELS, jobs=jobs)
+        out[label] = (runner, results)
+    return out
+
+
+class TestParallelEquivalence:
+    def test_same_keys(self, sweeps):
+        _, serial = sweeps["serial"]
+        _, parallel = sweeps["parallel"]
+        assert set(serial) == set(parallel)
+        assert len(serial) == len(MACHINES) * len(KERNELS)
+
+    def test_full_stats_identical(self, sweeps):
+        """Every field of every SimStats, via to_dict, across all 8 pairs."""
+        _, serial = sweeps["serial"]
+        _, parallel = sweeps["parallel"]
+        for key in serial:
+            assert serial[key].to_dict() == parallel[key].to_dict(), key
+
+    def test_on_disk_caches_identical(self, sweeps):
+        serial_runner, _ = sweeps["serial"]
+        parallel_runner, _ = sweeps["parallel"]
+        serial_disk = json.loads(serial_runner.cache.path.read_text())
+        parallel_disk = json.loads(parallel_runner.cache.path.read_text())
+        assert serial_disk == parallel_disk
+
+    def test_cache_counter_parity(self, sweeps):
+        """Parallel counts exactly one miss per uncached pair, no phantom hits."""
+        for label in ("serial", "parallel"):
+            runner, results = sweeps[label]
+            assert runner.metrics.counter("cache.misses").value == len(results)
+            assert runner.metrics.counter("cache.hits").value == 0
+
+    def test_bench_log_covers_every_pair(self, sweeps):
+        for label in ("serial", "parallel"):
+            runner, results = sweeps[label]
+            payload = json.loads(runner.bench.path.read_text())
+            logged = {(r["machine"], r["workload"]) for r in payload["runs"]}
+            assert logged == set(results)
+
+    def test_parallel_warm_rerun_hits_cache(self, sweeps):
+        parallel_runner, first = sweeps["parallel"]
+        rerun = SimulationRunner(cache_path=parallel_runner.cache.path)
+        results = rerun.run_matrix(MACHINES, KERNELS, jobs=2)
+        assert rerun.metrics.counter("cache.misses").value == 0
+        assert rerun.metrics.counter("cache.hits").value == len(results)
+        for key in results:
+            assert results[key].to_dict() == first[key].to_dict()
+
+
+class TestPoolWorker:
+    def test_worker_matches_in_process_run(self, tmp_path):
+        """The pool worker function itself returns what run() would cache."""
+        config = ideal(4)
+        stats_entry, profile_entry = _simulate_for_pool(config, "compress")
+        runner = SimulationRunner(cache_path=tmp_path / "cache.json")
+        direct = runner.run(config, "compress")
+        assert stats_entry == direct.to_dict()
+        assert profile_entry["machine"] == config.name
+        assert profile_entry["workload"] == "compress"
+        assert profile_entry["instructions"] == direct.instructions

@@ -132,6 +132,9 @@ class TestRunner:
         runner = SimulationRunner(cache_path=tmp_path / "cache.json")
         runner.run(ideal(4), "ijpeg")
         bench_path = tmp_path / "BENCH_obs.json"
+        # persistence is batched: nothing hits disk until flush()
+        assert not bench_path.exists()
+        runner.flush()
         assert bench_path.exists()
         payload = json.loads(bench_path.read_text())
         run = payload["runs"][0]
@@ -143,5 +146,49 @@ class TestRunner:
 
         # cached rerun adds no new bench entry but counts the hit
         runner.run(ideal(4), "ijpeg")
+        runner.flush()
         assert len(json.loads(bench_path.read_text())["runs"]) == 1
         assert runner.metrics.counter("cache.hits").value == 1
+
+    def test_run_matrix_flushes_once(self, tmp_path):
+        cache_path = tmp_path / "cache.json"
+        runner = SimulationRunner(cache_path=cache_path)
+        runner.run_matrix([ideal(4)], ["ijpeg"])
+        assert cache_path.exists()
+        assert (tmp_path / "BENCH_obs.json").exists()
+        # clean flush afterwards is a no-op (nothing dirty)
+        mtime = cache_path.stat().st_mtime_ns
+        runner.flush()
+        assert cache_path.stat().st_mtime_ns == mtime
+
+    def test_context_manager_flushes(self, tmp_path):
+        cache_path = tmp_path / "cache.json"
+        with SimulationRunner(cache_path=cache_path) as runner:
+            runner.run(ideal(4), "ijpeg")
+            assert not cache_path.exists()
+        assert cache_path.exists()
+        assert ResultCache(cache_path).get("Ideal-4w", "ijpeg") is not None
+
+    def test_save_is_atomic(self, tmp_path):
+        """save() never leaves temp droppings and replaces in one step."""
+        path = tmp_path / "cache.json"
+        cache = ResultCache(path)
+        cache.put(SimStats(machine="M", workload="W", cycles=1, instructions=1))
+        cache.save()
+        cache.put(SimStats(machine="M2", workload="W", cycles=2, instructions=2))
+        cache.save()
+        assert [p.name for p in tmp_path.iterdir()] == ["cache.json"]
+        reloaded = ResultCache(path)
+        assert len(reloaded) == 2
+
+    def test_truncated_cache_starts_empty(self, tmp_path):
+        """A file cut off mid-write (pre-atomic-save scenario) is survivable."""
+        path = tmp_path / "cache.json"
+        cache = ResultCache(path)
+        cache.put(SimStats(machine="M", workload="W", cycles=1, instructions=1))
+        cache.save()
+        full = path.read_text()
+        path.write_text(full[: len(full) // 2])
+        reloaded = ResultCache(path)
+        assert len(reloaded) == 0
+        assert reloaded.metrics.counter("cache.invalidations").value == 1

@@ -77,6 +77,43 @@ class TestTimeSeries:
         with pytest.raises(ValueError):
             TimeSeries("x", stride=0)
 
+    @pytest.mark.parametrize("start,stop", [(0, 100), (3, 97), (64, 65), (7, 7), (9, 8)])
+    def test_record_run_matches_per_cycle_loop(self, start, stop):
+        """record_run is the cycle-skipper's bulk path; state must be identical."""
+        bulk = TimeSeries("occ", stride=10)
+        loop = TimeSeries("occ", stride=10)
+        bulk.record_run(start, stop, 5)
+        for cycle in range(start, stop):
+            loop.record(cycle, 5)
+        assert bulk.count == loop.count
+        assert bulk.total == loop.total
+        assert bulk.samples == loop.samples
+        assert bulk.stride == loop.stride
+
+    def test_record_run_decimates_like_the_loop(self):
+        """Mid-run stride doubling must land at the same point in both paths."""
+        bulk = TimeSeries("occ", stride=1, max_samples=8)
+        loop = TimeSeries("occ", stride=1, max_samples=8)
+        bulk.record_run(0, 50, 3)
+        for cycle in range(50):
+            loop.record(cycle, 3)
+        assert bulk.samples == loop.samples
+        assert bulk.stride == loop.stride
+        assert bulk.count == loop.count
+
+    def test_record_run_interleaves_with_record(self):
+        bulk = TimeSeries("occ", stride=4)
+        loop = TimeSeries("occ", stride=4)
+        for ts in (bulk, loop):
+            ts.record(0, 2)
+            ts.record(1, 2)
+        bulk.record_run(2, 30, 7)
+        for cycle in range(2, 30):
+            loop.record(cycle, 7)
+        bulk.record(30, 1)
+        loop.record(30, 1)
+        assert bulk.as_dict() == loop.as_dict()
+
 
 class TestRegistry:
     def test_get_or_create(self):
