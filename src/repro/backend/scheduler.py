@@ -42,9 +42,11 @@ class SchedulerEntry(Generic[T]):
         return f"SchedulerEntry({self.record!r}, next_try={self.next_try})"
 
 
-#: Shared result for select cycles that grant nothing.  Returned (never
-#: mutated) so idle cycles allocate nothing; compares equal to ``[]``.
-_NO_GRANTS: list = []
+#: Result for select cycles that grant nothing.  The empty tuple is a
+#: CPython singleton, so idle cycles allocate nothing — and unlike the
+#: shared empty list this module used to return, a caller that mutates
+#: its "result" cannot corrupt every other scheduler's idle selects.
+_NO_GRANTS: tuple = ()
 
 
 class Scheduler(Generic[T]):
@@ -123,8 +125,12 @@ class Scheduler(Generic[T]):
         """
         return self._min_next_try if self.entries else None
 
-    def select(self, cycle: int, is_ready: ReadyFn) -> list[T]:
-        """One select cycle: grant up to ``select_width`` ready entries, oldest first."""
+    def select(self, cycle: int, is_ready: ReadyFn) -> list[T] | tuple[()]:
+        """One select cycle: grant up to ``select_width`` ready entries, oldest first.
+
+        Returns the granted records (a fresh list), or an immutable empty
+        tuple when nothing was granted.
+        """
         entries = self.entries
         if not entries or cycle < self._min_next_try:
             return _NO_GRANTS
@@ -133,8 +139,25 @@ class Scheduler(Generic[T]):
         select_width = self.select_width
         for index, entry in enumerate(entries):
             if len(granted) == select_width:
-                if any(e.next_try <= cycle for e in entries[index:]):
-                    self.contended_cycles += 1
+                # Select bandwidth ran out.  Count the cycle as contended
+                # only if a remaining entry actually lost a grant: being
+                # due (next_try <= cycle) is necessary but not sufficient
+                # — its operands must also be ready.  Probing also lets
+                # the entry sleep until its true candidate cycle, exactly
+                # as examining it in the main scan would.
+                for loser in entries[index:]:
+                    if loser.next_try > cycle:
+                        continue
+                    ready, next_candidate = is_ready(loser.record, cycle)
+                    if ready:
+                        self.contended_cycles += 1
+                        break
+                    if next_candidate <= cycle:
+                        raise AssertionError(
+                            f"{self.name}: readiness callback returned stale "
+                            f"next_candidate {next_candidate} at cycle {cycle}"
+                        )
+                    loser.next_try = next_candidate
                 break
             if entry.next_try > cycle:
                 continue

@@ -29,6 +29,12 @@ report
 bench
     Measure simulator performance (cycle-skipping throughput and the
     serial-vs-parallel sweep) and write ``BENCH_perf.json``.
+check
+    Differential-testing and invariant audit: fuzzed kernels through
+    every "bit-identical" execution-mode pair, plus the paper-shape
+    invariants (CPI conservation, Fig. 14 monotonicity, machine
+    ordering, shadow-state fidelity).  ``--quick`` bounds it for CI;
+    ``-o report.json`` writes the machine-readable report.
 
 Every command accepts ``-v``/``-vv`` for INFO/DEBUG progress logging.
 """
@@ -295,6 +301,28 @@ def cmd_bench(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_check(args: argparse.Namespace) -> int:
+    from repro.utils.files import atomic_write_text
+    from repro.verify.check import run_check
+
+    seeds = range(args.seeds) if args.seeds is not None else None
+    profiles = args.profiles.split(",") if args.profiles else None
+    report = run_check(
+        quick=args.quick,
+        seeds=seeds,
+        profiles=profiles,
+        width=args.width,
+        jobs=args.jobs,
+    )
+    print(report.summary())
+    if args.output is not None:
+        path = Path(args.output)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        atomic_write_text(path, json.dumps(report.as_dict(), indent=2) + "\n")
+        print(f"wrote {path}")
+    return 0 if report.ok else 1
+
+
 def main(argv: list[str] | None = None) -> int:
     common = argparse.ArgumentParser(add_help=False)
     common.add_argument(
@@ -413,6 +441,26 @@ def main(argv: list[str] | None = None) -> int:
                        help="workloads for the sweep benchmark "
                             "(default ijpeg li compress)")
     bench.set_defaults(fn=cmd_bench)
+
+    check = sub.add_parser(
+        "check", help="differential tests + paper-invariant audit",
+        parents=[common],
+    )
+    check.add_argument("--quick", action="store_true",
+                       help="CI-sized run: fewer fuzz seeds, machines, "
+                            "and audit workloads")
+    check.add_argument("--seeds", type=int, default=None, metavar="N",
+                       help="fuzz seeds per profile (default: 2 quick, 8 full)")
+    check.add_argument("--profiles", default=None,
+                       help="comma-separated fuzz profiles "
+                            "(default: all; see repro.verify.fuzz.PROFILES)")
+    check.add_argument("--width", type=int, default=4, choices=(4, 8))
+    check.add_argument("--jobs", type=int, default=2, metavar="N",
+                       help="worker processes for the parallel side of the "
+                            "run-matrix differential (default 2)")
+    check.add_argument("-o", "--output", default=None,
+                       help="write the JSON report to this path")
+    check.set_defaults(fn=cmd_check)
 
     args = parser.parse_args(argv)
     setup_logging(args.verbose)

@@ -139,6 +139,11 @@ class Machine:
         #: Diagnostic only — deliberately not part of SimStats, so cached
         #: results stay byte-identical whether or not skipping ran.
         self.skipped_cycles = 0
+        #: Final architectural state of the last run() call (registers,
+        #: memory, PC).  The timing model drives the same functional
+        #: interpreter down the correct path, so this must match a pure
+        #: functional execution bit for bit — repro.verify audits that.
+        self.last_state: ArchState | None = None
 
     # -- public API --------------------------------------------------------------
 
@@ -177,6 +182,7 @@ class Machine:
         log.debug("running %s on %s", config.name, program.name)
 
         state = ArchState(program)
+        self.last_state = state
         hierarchy = MemoryHierarchy(config.memory)
         fetch = FetchUnit(
             program, state, hierarchy,

@@ -35,7 +35,7 @@ from __future__ import annotations
 
 import os
 import time
-from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures import ProcessPoolExecutor, as_completed
 from dataclasses import asdict
 from pathlib import Path
 
@@ -52,7 +52,24 @@ from repro.workloads.suite import build
 
 log = get_logger(__name__)
 
-RESULTS_VERSION = 6
+RESULTS_VERSION = 7
+
+
+class MatrixWorkerError(RuntimeError):
+    """A process-pool worker crashed while simulating one (machine, workload).
+
+    Raised by :meth:`SimulationRunner.run_matrix` *after* every completed
+    sibling's result has been merged and flushed, so one bad pair never
+    discards the rest of a sweep.  ``machine`` and ``workload`` identify
+    the failing pair; the worker's exception is chained as ``__cause__``.
+    """
+
+    def __init__(self, machine: str, workload: str, cause: BaseException) -> None:
+        super().__init__(
+            f"worker failed simulating {machine} on {workload}: {cause!r}"
+        )
+        self.machine = machine
+        self.workload = workload
 
 
 class ResultCache:
@@ -254,18 +271,35 @@ class SimulationRunner:
             len(pending), min(jobs, len(pending)),
         )
         started = time.perf_counter()
-        with ProcessPoolExecutor(max_workers=min(jobs, len(pending))) as pool:
-            futures = {
-                key: pool.submit(_simulate_for_pool, config, key[1])
-                for key, config in pending.items()
-            }
-            for key, future in futures.items():
-                stats_entry, profile_entry = future.result()
-                stats = SimStats.from_dict(stats_entry)
-                self.bench.record(RunProfile(**profile_entry))
-                self.cache.put(stats)
-                self._dirty = True
-                results[key] = stats
+        # Futures drain in completion order, and every completed sibling's
+        # result is merged and flushed even when a worker crashes: draining
+        # in submission order used to let one bad pair raise out of
+        # run_matrix before flush(), discarding the whole sweep's work.
+        failures: list[tuple[tuple[str, str], BaseException]] = []
+        try:
+            with ProcessPoolExecutor(max_workers=min(jobs, len(pending))) as pool:
+                futures = {
+                    pool.submit(_simulate_for_pool, config, key[1]): key
+                    for key, config in pending.items()
+                }
+                for future in as_completed(futures):
+                    key = futures[future]
+                    try:
+                        stats_entry, profile_entry = future.result()
+                    except Exception as exc:
+                        log.error("worker failed on %s / %s: %r", key[0], key[1], exc)
+                        failures.append((key, exc))
+                        continue
+                    stats = SimStats.from_dict(stats_entry)
+                    self.bench.record(RunProfile(**profile_entry))
+                    self.cache.put(stats)
+                    self._dirty = True
+                    results[key] = stats
+        finally:
+            self.flush()
+        if failures:
+            (machine, workload), cause = failures[0]
+            raise MatrixWorkerError(machine, workload, cause) from cause
         log.info(
             "parallel sweep of %d pairs finished in %.2fs",
             len(pending), time.perf_counter() - started,

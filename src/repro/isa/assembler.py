@@ -384,3 +384,74 @@ class _Assembler:
 def assemble(source: str, name: str = "program") -> Program:
     """Assemble source text into a :class:`~repro.isa.program.Program`."""
     return _Assembler(source, name).assemble()
+
+
+class ProgramBuilder:
+    """Programmatic construction of assembly source (the generator hook).
+
+    Collects text statements and data directives as structured calls and
+    renders them into ordinary assembler syntax; :meth:`build` then runs
+    the result through the same two-pass assembler as hand-written
+    kernels, so everything a generator emits is validated by exactly one
+    code path.  Used by the synthetic-workload generators and the
+    :mod:`repro.verify.fuzz` random-program fuzzer.
+    """
+
+    def __init__(self, name: str = "program") -> None:
+        self.name = name
+        self._text: list[str] = ["    .text"]
+        self._data: list[str] = []
+        self._label_counts: dict[str, int] = {}
+
+    # -- text section -----------------------------------------------------
+
+    def label(self, name: str) -> str:
+        """Place ``name:`` at the current text position and return it."""
+        if not _LABEL_RE.match(name):
+            raise AssemblyError(f"bad label {name!r}")
+        self._text.append(f"{name}:")
+        return name
+
+    def fresh_label(self, stem: str) -> str:
+        """A new unique label derived from ``stem`` (not yet placed)."""
+        count = self._label_counts.get(stem, 0)
+        self._label_counts[stem] = count + 1
+        return f"{stem}_{count}"
+
+    def emit(self, mnemonic: str, *operands: object) -> None:
+        """Append one instruction; operands are rendered with str()."""
+        rendered = ", ".join(str(op) for op in operands)
+        self._text.append(f"    {mnemonic:<6} {rendered}".rstrip())
+
+    def comment(self, text: str) -> None:
+        self._text.append(f"    ; {text}")
+
+    # -- data section -----------------------------------------------------
+
+    def data_label(self, name: str) -> str:
+        if not _LABEL_RE.match(name):
+            raise AssemblyError(f"bad label {name!r}")
+        self._ensure_data()
+        self._data.append(f"{name}:")
+        return name
+
+    def space(self, nbytes: int) -> None:
+        self._ensure_data()
+        self._data.append(f"    .space {nbytes}")
+
+    def quad(self, *values: object) -> None:
+        self._ensure_data()
+        self._data.append("    .quad " + ", ".join(str(v) for v in values))
+
+    def _ensure_data(self) -> None:
+        if not self._data:
+            self._data.append("    .data")
+
+    # -- rendering --------------------------------------------------------
+
+    def source(self) -> str:
+        return "\n".join(self._text + self._data) + "\n"
+
+    def build(self) -> Program:
+        """Assemble the accumulated source into a program."""
+        return assemble(self.source(), self.name)

@@ -78,3 +78,17 @@ class PagedMemory:
     def touched_pages(self) -> int:
         """Number of pages that have been written (for diagnostics)."""
         return len(self._pages)
+
+    def snapshot(self) -> dict[int, bytes]:
+        """Immutable copy of every non-zero page, keyed by page index.
+
+        All-zero pages are dropped, so two memories with the same
+        *contents* snapshot equal even when they touched different pages
+        — which is exactly the comparison the verification layer needs.
+        """
+        zero = bytes(PAGE_SIZE)
+        return {
+            index: bytes(page)
+            for index, page in self._pages.items()
+            if bytes(page) != zero
+        }

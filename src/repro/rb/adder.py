@@ -123,6 +123,40 @@ def rb_add(x: RBNumber, y: RBNumber) -> AddResult:
     return AddResult(value=value, overflow=overflow)
 
 
+def rb_add_reference(x: RBNumber, y: RBNumber) -> AddResult:
+    """Per-digit reference addition: one :func:`interim_digit` call per position.
+
+    Semantically identical to :func:`rb_add` but built digit by digit
+    from the readable single-position split instead of the word-parallel
+    mask expressions of :func:`_add_components`.  The differential
+    harness (:mod:`repro.verify.differential`) drives both over random
+    redundant encodings; any disagreement is a bug in one of them.
+    """
+    if x.width != y.width:
+        raise ValueError(f"width mismatch: {x.width} vs {y.width}")
+    width = x.width
+    x_digits = x.digits()
+    y_digits = y.digits()
+    carry_in = 0
+    digits: list[int] = []
+    for i in range(width):
+        prev_both_nonneg = (
+            i == 0 or (x_digits[i - 1] >= 0 and y_digits[i - 1] >= 0)
+        )
+        carry_out, interim = interim_digit(
+            x_digits[i] + y_digits[i], prev_both_nonneg
+        )
+        digits.append(interim + carry_in)
+        carry_in = carry_out
+    value, overflow = normalize_msd(RBNumber.from_digits(digits), carry_in)
+    return AddResult(value=value, overflow=overflow)
+
+
+def rb_sub_reference(x: RBNumber, y: RBNumber) -> AddResult:
+    """Per-digit reference subtraction (see :func:`rb_add_reference`)."""
+    return rb_add_reference(x, y.negated())
+
+
 def rb_negate(x: RBNumber) -> RBNumber:
     """Digit-wise negation (swap the plus/minus components)."""
     return x.negated()

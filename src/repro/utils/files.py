@@ -8,12 +8,15 @@ from pathlib import Path
 
 
 def atomic_write_text(path: Path, text: str) -> None:
-    """Write ``text`` to ``path`` atomically (temp file + rename).
+    """Write ``text`` to ``path`` atomically and durably (temp + fsync + rename).
 
     A crash or kill mid-write can never leave a truncated file at
     ``path``: the content lands in a temporary sibling first and is
     moved into place with :func:`os.replace`, which is atomic on the
-    same filesystem.  The parent directory is created if needed.
+    same filesystem.  The temp file is fsync'd before the rename, so a
+    power loss right after the replace cannot surface an empty (never
+    flushed) file under the final name.  The parent directory is created
+    if needed.
     """
     path = Path(path)
     path.parent.mkdir(parents=True, exist_ok=True)
@@ -23,6 +26,8 @@ def atomic_write_text(path: Path, text: str) -> None:
     try:
         with os.fdopen(fd, "w") as handle:
             handle.write(text)
+            handle.flush()
+            os.fsync(handle.fileno())
         os.replace(tmp_name, path)
     except BaseException:
         try:

@@ -1,0 +1,40 @@
+"""Differential testing and invariant auditing for the simulator.
+
+PR 3 introduced three pairs of "must be bit-identical" execution modes
+(cycle-skip vs no-skip, serial vs process-pool sweeps, bitwise vs
+per-digit RB addition) plus one implicit pair (a reused
+:class:`~repro.core.machine.Machine` vs a fresh one).  Each was pinned
+by a handful of hand-picked cases; this package verifies them
+systematically:
+
+* :mod:`repro.verify.fuzz` — a seeded random-program generator that
+  emits well-formed, terminating kernels through the regular two-pass
+  assembler, weighted over the Table 1 instruction classes;
+* :mod:`repro.verify.differential` — paired runs of every equivalence
+  pair over fuzzed programs, reporting the first diverging field of
+  :class:`~repro.core.statistics.SimStats` (CPI-stack buckets and
+  metric counters included, not just IPC);
+* :mod:`repro.verify.invariants` — metamorphic properties of real
+  sweeps: CPI stacks sum exactly to cycles, deleting bypass levels
+  never raises IPC (Fig. 14), Ideal is fastest and Baseline slowest of
+  the four machine models (Figs. 9-12), and the timing simulator's
+  final architectural state matches shadow functional execution;
+* :mod:`repro.verify.check` — the ``repro check`` orchestration layer
+  and its JSON report.
+"""
+
+from repro.verify.check import CheckReport, run_check
+from repro.verify.differential import Divergence, first_divergence
+from repro.verify.fuzz import PROFILES, fuzz_program, fuzz_source
+from repro.verify.invariants import Violation
+
+__all__ = [
+    "CheckReport",
+    "Divergence",
+    "PROFILES",
+    "Violation",
+    "first_divergence",
+    "fuzz_program",
+    "fuzz_source",
+    "run_check",
+]

@@ -1,0 +1,298 @@
+"""``repro check``: run the fuzzer, every differential pair, and the audit.
+
+One :func:`run_check` call produces a :class:`CheckReport` with one
+section per verification layer:
+
+* ``fuzz`` — every (profile, seed) program generated and assembled;
+* ``differential:cycle-skip`` / ``differential:machine-reuse`` /
+  ``differential:run-matrix`` / ``differential:rb-adder`` — the four
+  equivalence pairs over the fuzzed programs (first diverging SimStats
+  field reported per case);
+* ``invariant:cpi-conservation`` — every statistics object produced
+  anywhere in the check must have a CPI stack summing exactly to its
+  cycles;
+* ``invariant:machine-ordering`` — Ideal fastest / Baseline slowest on
+  real suite workloads (Figs. 9-12 shape);
+* ``invariant:bypass-monotonicity`` — the Fig. 14 deletion lattice;
+* ``invariant:shadow-state`` — timing-simulator architectural state vs
+  shadow functional execution, plus the redundant-datapath checks.
+
+``quick=True`` bounds the fuzz seeds and workload list for CI; the full
+mode widens everything.
+"""
+
+from __future__ import annotations
+
+import tempfile
+import time
+from collections.abc import Sequence
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.core.presets import (
+    FIG14_VARIANTS,
+    all_paper_machines,
+    baseline,
+    ideal,
+    ideal_limited,
+    rb_limited,
+)
+from repro.core.statistics import SimStats
+from repro.obs.log import get_logger
+from repro.verify import differential, invariants
+from repro.verify.fuzz import PROFILES, fuzz_name, fuzz_program
+from repro.workloads.suite import build
+
+log = get_logger(__name__)
+
+#: Schema version of the JSON report.
+REPORT_VERSION = 1
+
+#: Suite workloads audited for the machine-ordering invariant.
+QUICK_ORDERING_WORKLOADS = ["ijpeg", "li"]
+FULL_ORDERING_WORKLOADS = ["ijpeg", "li", "compress", "gzip", "mcf"]
+
+#: Workload for the Fig. 14 bypass-deletion lattice audit.
+MONOTONICITY_WORKLOAD = "li"
+
+
+@dataclass
+class Section:
+    """One verification layer's outcome."""
+
+    name: str
+    cases: int = 0
+    failures: list[dict] = field(default_factory=list)
+    seconds: float = 0.0
+
+    @property
+    def ok(self) -> bool:
+        return not self.failures
+
+    def as_dict(self) -> dict:
+        return {
+            "name": self.name,
+            "cases": self.cases,
+            "failures": self.failures,
+            "ok": self.ok,
+            "seconds": round(self.seconds, 3),
+        }
+
+
+@dataclass
+class CheckReport:
+    """Outcome of one ``repro check`` invocation."""
+
+    quick: bool
+    sections: list[Section] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return all(section.ok for section in self.sections)
+
+    def total_cases(self) -> int:
+        return sum(section.cases for section in self.sections)
+
+    def total_failures(self) -> int:
+        return sum(len(section.failures) for section in self.sections)
+
+    def as_dict(self) -> dict:
+        return {
+            "version": REPORT_VERSION,
+            "quick": self.quick,
+            "ok": self.ok,
+            "cases": self.total_cases(),
+            "failures": self.total_failures(),
+            "sections": [section.as_dict() for section in self.sections],
+        }
+
+    def summary(self) -> str:
+        lines = []
+        for section in self.sections:
+            status = "ok" if section.ok else f"{len(section.failures)} FAILED"
+            lines.append(
+                f"  {section.name:<34} {section.cases:>5} cases  "
+                f"{section.seconds:>6.1f}s  {status}"
+            )
+            for failure in section.failures[:5]:
+                lines.append(f"      {failure.get('detail') or failure}")
+        verdict = "PASS" if self.ok else "FAIL"
+        lines.append(
+            f"{verdict}: {self.total_cases()} cases, "
+            f"{self.total_failures()} failures"
+        )
+        return "\n".join(lines)
+
+
+class _Timer:
+    def __init__(self, section: Section) -> None:
+        self.section = section
+
+    def __enter__(self) -> Section:
+        self._started = time.perf_counter()
+        return self.section
+
+    def __exit__(self, *exc_info) -> None:
+        self.section.seconds = time.perf_counter() - self._started
+
+
+def run_check(
+    quick: bool = True,
+    seeds: Sequence[int] | None = None,
+    profiles: Sequence[str] | None = None,
+    width: int = 4,
+    jobs: int = 2,
+    workdir: Path | None = None,
+    adder_trials: int | None = None,
+) -> CheckReport:
+    """Run every verification layer and return the combined report."""
+    if seeds is None:
+        seeds = range(2) if quick else range(8)
+    if profiles is None:
+        profiles = sorted(PROFILES)
+    if adder_trials is None:
+        adder_trials = 2_000 if quick else 20_000
+    configs = [rb_limited(width), ideal(width)]
+    if not quick:
+        configs.insert(0, baseline(width))
+    report = CheckReport(quick=quick)
+    all_stats: list[SimStats] = []
+
+    # ---- fuzz: generate + assemble every (profile, seed) kernel ----------
+    fuzz_section = Section("fuzz")
+    report.sections.append(fuzz_section)
+    programs = []
+    with _Timer(fuzz_section):
+        for profile in profiles:
+            for seed in seeds:
+                fuzz_section.cases += 1
+                try:
+                    programs.append(fuzz_program(profile, seed))
+                except Exception as exc:
+                    fuzz_section.failures.append({
+                        "program": fuzz_name(profile, seed),
+                        "detail": f"generation/assembly failed: {exc!r}",
+                    })
+    log.info("fuzz: %d programs generated", len(programs))
+
+    # ---- differential: cycle-skip ----------------------------------------
+    section = Section("differential:cycle-skip")
+    report.sections.append(section)
+    with _Timer(section):
+        for program in programs:
+            for config in configs:
+                section.cases += 1
+                found = differential.diff_cycle_skip(config, program)
+                if found is not None:
+                    section.failures.append(found.as_dict())
+
+    # ---- differential: machine reuse -------------------------------------
+    section = Section("differential:machine-reuse")
+    report.sections.append(section)
+    with _Timer(section):
+        for index, program in enumerate(programs):
+            warmup = programs[(index + 1) % len(programs)]
+            for config in configs:
+                section.cases += 1
+                found = differential.diff_machine_reuse(config, warmup, program)
+                if found is not None:
+                    section.failures.append(found.as_dict())
+
+    # ---- differential: serial vs parallel run_matrix ---------------------
+    section = Section("differential:run-matrix")
+    report.sections.append(section)
+    with _Timer(section):
+        matrix_workloads = [program.name for program in programs]
+        if workdir is None:
+            with tempfile.TemporaryDirectory(prefix="repro-check-") as tmp:
+                found = differential.diff_run_matrix(
+                    configs, matrix_workloads, Path(tmp), jobs=jobs
+                )
+        else:
+            found = differential.diff_run_matrix(
+                configs, matrix_workloads, Path(workdir), jobs=jobs
+            )
+        section.cases = len(configs) * len(matrix_workloads)
+        section.failures.extend(d.as_dict() for d in found)
+
+    # ---- differential: RB adder bitwise vs per-digit ---------------------
+    section = Section("differential:rb-adder")
+    report.sections.append(section)
+    with _Timer(section):
+        section.cases = adder_trials * 2  # one add + one sub per trial
+        for seed in seeds:
+            found = differential.diff_rb_adder(seed, trials=adder_trials)
+            section.failures.extend(d.as_dict() for d in found)
+
+    # ---- invariant: machine ordering on real workloads -------------------
+    section = Section("invariant:machine-ordering")
+    report.sections.append(section)
+    with _Timer(section):
+        from repro.core.machine import Machine
+
+        ordering_workloads = (
+            QUICK_ORDERING_WORKLOADS if quick else FULL_ORDERING_WORKLOADS
+        )
+        machines = all_paper_machines(width)
+        for workload in ordering_workloads:
+            program = build(workload)
+            per_machine = {}
+            for config in machines:
+                stats = Machine(config).run(program)
+                per_machine[config.name] = stats
+                all_stats.append(stats)
+            section.cases += len(per_machine)
+            section.failures.extend(v.as_dict() for v in (
+                invariants.audit_machine_ordering(
+                    per_machine,
+                    ideal_name=ideal(width).name,
+                    baseline_name=baseline(width).name,
+                    workload=workload,
+                )
+            ))
+
+    # ---- invariant: Fig. 14 bypass-deletion monotonicity -----------------
+    section = Section("invariant:bypass-monotonicity")
+    report.sections.append(section)
+    with _Timer(section):
+        from repro.core.machine import Machine
+
+        program = build(MONOTONICITY_WORKLOAD)
+        full = Machine(ideal(width)).run(program)
+        all_stats.append(full)
+        by_removed = {}
+        for removed in FIG14_VARIANTS:
+            stats = Machine(ideal_limited(width, removed)).run(program)
+            by_removed[removed] = stats
+            all_stats.append(stats)
+        section.cases = len(by_removed) + 1
+        section.failures.extend(v.as_dict() for v in (
+            invariants.audit_bypass_monotonicity(
+                by_removed, full, MONOTONICITY_WORKLOAD
+            )
+        ))
+
+    # ---- invariant: shadow functional execution --------------------------
+    section = Section("invariant:shadow-state")
+    report.sections.append(section)
+    with _Timer(section):
+        shadow_config = rb_limited(width)
+        shadow_programs = list(programs)
+        shadow_programs.append(build("compress" if quick else "vortex"))
+        for program in shadow_programs:
+            section.cases += 1
+            section.failures.extend(v.as_dict() for v in (
+                invariants.audit_shadow_state(shadow_config, program)
+            ))
+
+    # ---- invariant: CPI conservation over everything run above -----------
+    section = Section("invariant:cpi-conservation")
+    report.sections.append(section)
+    with _Timer(section):
+        for stats in all_stats:
+            section.cases += 1
+            violation = invariants.audit_cpi_stack(stats)
+            if violation is not None:
+                section.failures.append(violation.as_dict())
+
+    return report

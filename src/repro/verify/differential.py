@@ -1,0 +1,198 @@
+"""Paired-run differential harness over the "bit-identical" execution modes.
+
+Four equivalence pairs are claimed by the simulator:
+
+* ``cycle-skip`` — :meth:`Machine.run` with the event-driven fast-forward
+  on vs off;
+* ``machine-reuse`` — one :class:`Machine` reused across programs (the
+  serial runner's behavior) vs a fresh machine per run (the pool
+  worker's behavior);
+* ``run-matrix`` — :meth:`SimulationRunner.run_matrix` serial vs fanned
+  over a process pool;
+* ``rb-adder`` — the word-parallel bitwise carry-free adder vs the
+  per-digit :func:`~repro.rb.adder.interim_digit` reference.
+
+Each differential runs both sides and reports the **first diverging
+field** of the serialized :class:`~repro.core.statistics.SimStats` —
+which includes every CPI-stack bucket, distribution, histogram, and
+metric counter, not just IPC — as a :class:`Divergence`.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from pathlib import Path
+
+from repro.core.config import MachineConfig
+from repro.core.machine import Machine
+from repro.core.statistics import SimStats
+from repro.isa.program import Program
+from repro.obs.log import get_logger
+from repro.rb.adder import rb_add, rb_add_reference, rb_sub, rb_sub_reference
+from repro.rb.number import RBNumber
+
+log = get_logger(__name__)
+
+
+def first_divergence(left: object, right: object, path: str = "") -> tuple[str, object, object] | None:
+    """Depth-first earliest difference between two JSON-like values.
+
+    Returns ``(path, left_value, right_value)`` for the first diverging
+    leaf (dict keys visited in sorted order, so the answer is stable),
+    or ``None`` when the structures are identical.
+    """
+    if isinstance(left, dict) and isinstance(right, dict):
+        for key in sorted(set(left) | set(right), key=str):
+            where = f"{path}.{key}" if path else str(key)
+            if key not in left:
+                return where, "<absent>", right[key]
+            if key not in right:
+                return where, left[key], "<absent>"
+            found = first_divergence(left[key], right[key], where)
+            if found is not None:
+                return found
+        return None
+    if isinstance(left, (list, tuple)) and isinstance(right, (list, tuple)):
+        for index in range(max(len(left), len(right))):
+            where = f"{path}[{index}]"
+            if index >= len(left):
+                return where, "<absent>", right[index]
+            if index >= len(right):
+                return where, left[index], "<absent>"
+            found = first_divergence(left[index], right[index], where)
+            if found is not None:
+                return found
+        return None
+    if left != right or type(left) is not type(right):
+        return path, left, right
+    return None
+
+
+@dataclass
+class Divergence:
+    """One equivalence-pair violation: the first field that differs."""
+
+    pair: str           # which equivalence pair diverged
+    machine: str
+    workload: str
+    field: str          # dotted path into SimStats.to_dict()
+    left: object
+    right: object
+
+    def describe(self) -> str:
+        return (f"[{self.pair}] {self.machine} on {self.workload}: "
+                f"first divergence at {self.field!r}: "
+                f"{self.left!r} != {self.right!r}")
+
+    def as_dict(self) -> dict:
+        return {
+            "pair": self.pair,
+            "machine": self.machine,
+            "workload": self.workload,
+            "field": self.field,
+            "left": repr(self.left),
+            "right": repr(self.right),
+        }
+
+
+def _compare(pair: str, machine: str, workload: str,
+             left: SimStats, right: SimStats) -> Divergence | None:
+    found = first_divergence(left.to_dict(), right.to_dict())
+    if found is None:
+        return None
+    field, left_value, right_value = found
+    return Divergence(pair, machine, workload, field, left_value, right_value)
+
+
+# ---------------------------------------------------------------------------
+# The four pairs
+# ---------------------------------------------------------------------------
+
+def diff_cycle_skip(config: MachineConfig, program: Program) -> Divergence | None:
+    """Fast-forwarding must not change a single statistic."""
+    skipped = Machine(config).run(program, cycle_skip=True)
+    plain = Machine(config).run(program, cycle_skip=False)
+    return _compare("cycle-skip", config.name, program.name, skipped, plain)
+
+
+def diff_machine_reuse(
+    config: MachineConfig, warmup: Program, program: Program
+) -> Divergence | None:
+    """A machine that already ran ``warmup`` must match a fresh one.
+
+    This is the serial runner's reuse pattern vs the pool worker's
+    fresh-machine pattern — the implicit fourth equivalence pair behind
+    the "parallel sweeps are identical to serial" claim.
+    """
+    reused_machine = Machine(config)
+    reused_machine.run(warmup)
+    reused = reused_machine.run(program)
+    fresh = Machine(config).run(program)
+    return _compare("machine-reuse", config.name, program.name, reused, fresh)
+
+
+def diff_run_matrix(
+    configs: list[MachineConfig],
+    workloads: list[str],
+    workdir: Path,
+    jobs: int = 2,
+) -> list[Divergence]:
+    """Serial vs process-pool ``run_matrix`` over the full cross product."""
+    from repro.harness.runner import SimulationRunner
+
+    results = {}
+    for label, pool_jobs in (("serial", None), ("parallel", jobs)):
+        runner = SimulationRunner(
+            cache_path=workdir / f"{label}.json",
+            bench_path=workdir / f"{label}-bench.json",
+        )
+        results[label] = runner.run_matrix(configs, workloads, jobs=pool_jobs)
+    divergences = []
+    for key in results["serial"]:
+        machine, workload = key
+        found = _compare(
+            "run-matrix", machine, workload,
+            results["serial"][key], results["parallel"][key],
+        )
+        if found is not None:
+            divergences.append(found)
+    return divergences
+
+
+def diff_rb_adder(seed: int, trials: int = 2000) -> list[Divergence]:
+    """Bitwise word-parallel RB addition vs the per-digit reference.
+
+    Operands are random *redundant* encodings (independent plus/minus
+    digit patterns, all widths the machines use), not just canonical
+    TC re-encodings — most values have many encodings and the adder must
+    agree on all of them.
+    """
+    rng = random.Random(f"rb-adder:{seed}")
+    divergences: list[Divergence] = []
+    for trial in range(trials):
+        width = rng.choice((4, 8, 16, 32, 64))
+        plus = rng.getrandbits(width)
+        minus = rng.getrandbits(width) & ~plus
+        x = RBNumber(width, plus, minus)
+        plus = rng.getrandbits(width)
+        minus = rng.getrandbits(width) & ~plus
+        y = RBNumber(width, plus, minus)
+        for op, bitwise, reference in (
+            ("add", rb_add, rb_add_reference),
+            ("sub", rb_sub, rb_sub_reference),
+        ):
+            fast = bitwise(x, y)
+            slow = reference(x, y)
+            left = (fast.value.plus, fast.value.minus, fast.overflow)
+            right = (slow.value.plus, slow.value.minus, slow.overflow)
+            if left != right:
+                divergences.append(Divergence(
+                    pair="rb-adder",
+                    machine=f"{op} width={width}",
+                    workload=f"seed={seed} trial={trial} x={x!r} y={y!r}",
+                    field="(plus, minus, overflow)",
+                    left=left,
+                    right=right,
+                ))
+    return divergences

@@ -1,0 +1,352 @@
+"""Seeded random-program fuzzer: well-formed kernels for differential runs.
+
+Every generated program is
+
+* **well-formed** — emitted through :class:`~repro.isa.assembler.ProgramBuilder`
+  and assembled by the regular two-pass assembler, so the fuzzer cannot
+  construct anything a hand-written kernel could not;
+* **terminating** — the only backward branches are counted loops whose
+  counter registers (r2 outer, r3 inner) no generated instruction ever
+  writes, and every other branch is a data-dependent forward skip;
+* **memory-safe by construction** — loads and stores address a
+  dedicated ``.space`` arena either with literal in-range displacements
+  or through a masked index register, so the cache behavior stays
+  plausible (the functional memory itself is sparse and accepts any
+  address);
+* **deterministic** — a ``(profile, seed)`` pair fully determines the
+  program, so a process-pool worker can rebuild it from its workload
+  name alone (see :func:`build_fuzz` and the ``fuzz:`` hook in
+  :func:`repro.workloads.suite.build`).
+
+Profiles weight the generator over the Table 1 instruction classes:
+``mixed`` approximates the paper's SPECint mix, ``branchy`` leans on
+compares/conditional branches/cmovs, ``memory`` on loads and stores,
+and ``serial`` chains results dependently (the RB adders' best case).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+from repro.isa.assembler import ProgramBuilder
+from repro.isa.program import Program
+
+#: Workload-name prefix understood by :func:`repro.workloads.suite.build`.
+FUZZ_PREFIX = "fuzz:"
+
+#: Size of the load/store arena (bytes); all generated addresses stay inside.
+ARENA_BYTES = 4096
+
+#: Registers the generator may freely read and write.
+_SCRATCH = [f"r{n}" for n in (*range(4, 26), 27, 28, 29)]
+#: r1 holds the arena base; r2/r3 are the loop counters; r26 is the
+#: return-address register (written only by jsr); r30/r31 are sp/zero.
+_BASE = "r1"
+_OUTER = "r2"
+_INNER = "r3"
+
+_ARITH_OPS = ("add", "sub", "s4add", "s8add", "s4sub", "s8sub")
+_CMOV_OPS = ("cmoveq", "cmovne", "cmovlt", "cmovge", "cmovle", "cmovgt",
+             "cmovlbs", "cmovlbc")
+_COMPARE_OPS = ("cmpeq", "cmplt", "cmple", "cmpult", "cmpule")
+_LOGICAL_OPS = ("and", "bis", "xor", "bic", "ornot", "eqv")
+_SHIFT_RIGHT_OPS = ("srl", "sra")
+_BYTE_OPS = ("extb", "insb", "mskb", "zap")
+_COUNT_OPS = ("ctlz", "cttz", "ctpop")
+_COND_BRANCHES = ("beq", "bne", "blt", "bge", "ble", "bgt", "blbc", "blbs")
+_FP_OPS = ("fadd", "fmul")
+
+
+@dataclass(frozen=True)
+class FuzzProfile:
+    """One weighting of the generator over the instruction classes."""
+
+    name: str
+    description: str
+    #: class name -> relative weight (classes: arith, shift_left, mul,
+    #: cmov, compare, logical, shift_right, byte, count, load, store,
+    #: branch, call, fp).
+    weights: dict[str, float] = field(hash=False)
+    body_len: tuple[int, int] = (12, 28)
+    outer_iterations: tuple[int, int] = (15, 35)
+    inner_iterations: tuple[int, int] = (3, 6)
+    inner_loop_chance: float = 0.5
+    helpers: tuple[int, int] = (0, 2)
+    #: Probability that a source operand is the most recent destination
+    #: (dependence-chain bias; 1.0 would be a pure serial chain).
+    serial_bias: float = 0.35
+
+
+PROFILES: dict[str, FuzzProfile] = {
+    "mixed": FuzzProfile(
+        name="mixed",
+        description="Table 1-like SPECint mix: arith-heavy, ~1/4 memory",
+        weights={
+            "arith": 30, "shift_left": 3, "mul": 2, "cmov": 4, "compare": 7,
+            "logical": 12, "shift_right": 4, "byte": 3, "count": 2,
+            "load": 14, "store": 7, "branch": 9, "call": 2, "fp": 1,
+        },
+    ),
+    "branchy": FuzzProfile(
+        name="branchy",
+        description="control-heavy: compares, forward skips, cmovs, calls",
+        weights={
+            "arith": 18, "shift_left": 2, "mul": 1, "cmov": 10, "compare": 14,
+            "logical": 8, "shift_right": 2, "byte": 1, "count": 1,
+            "load": 7, "store": 4, "branch": 26, "call": 5, "fp": 0,
+        },
+        body_len=(10, 20),
+        inner_loop_chance=0.7,
+        helpers=(1, 3),
+    ),
+    "memory": FuzzProfile(
+        name="memory",
+        description="load/store-heavy with masked-index addressing",
+        weights={
+            "arith": 16, "shift_left": 2, "mul": 1, "cmov": 2, "compare": 4,
+            "logical": 8, "shift_right": 2, "byte": 2, "count": 1,
+            "load": 30, "store": 22, "branch": 8, "call": 1, "fp": 0,
+        },
+        serial_bias=0.25,
+    ),
+    "serial": FuzzProfile(
+        name="serial",
+        description="dependence-chained arithmetic: the RB adders' best case",
+        weights={
+            "arith": 52, "shift_left": 4, "mul": 3, "cmov": 5, "compare": 6,
+            "logical": 14, "shift_right": 3, "byte": 2, "count": 2,
+            "load": 4, "store": 2, "branch": 3, "call": 0, "fp": 0,
+        },
+        serial_bias=0.85,
+        inner_loop_chance=0.3,
+    ),
+}
+
+
+def fuzz_name(profile: str, seed: int) -> str:
+    """The workload name of one fuzzed program, e.g. ``fuzz:mixed:42``."""
+    return f"{FUZZ_PREFIX}{profile}:{seed}"
+
+
+def is_fuzz_name(name: str) -> bool:
+    return name.startswith(FUZZ_PREFIX)
+
+
+def parse_fuzz_name(name: str) -> tuple[str, int]:
+    """Split ``fuzz:<profile>:<seed>`` into its parts (ValueError if not)."""
+    if not is_fuzz_name(name):
+        raise ValueError(f"not a fuzz workload name: {name!r}")
+    rest = name[len(FUZZ_PREFIX):]
+    profile, _, seed_text = rest.partition(":")
+    if profile not in PROFILES:
+        raise ValueError(
+            f"unknown fuzz profile {profile!r}; known: {sorted(PROFILES)}"
+        )
+    try:
+        seed = int(seed_text)
+    except ValueError:
+        raise ValueError(f"bad fuzz seed in {name!r}") from None
+    return profile, seed
+
+
+def build_fuzz(name: str) -> Program:
+    """Rebuild the program a fuzz workload name denotes (any process)."""
+    profile, seed = parse_fuzz_name(name)
+    return fuzz_program(profile, seed)
+
+
+class _Generator:
+    """One deterministic program generation (state bundled for the emitters)."""
+
+    def __init__(self, profile: FuzzProfile, seed: int) -> None:
+        self.profile = profile
+        # A string seed hashes identically in every process (unlike
+        # hash(), which PYTHONHASHSEED randomizes), so a pool worker
+        # rebuilding the program from its name gets the same bits.
+        self.rng = random.Random(f"{profile.name}:{seed}")
+        self.pb = ProgramBuilder(fuzz_name(profile.name, seed))
+        self.last_dest: str | None = None
+        self.helper_labels: list[str] = []
+        classes = [name for name, weight in profile.weights.items() if weight > 0]
+        self._classes = classes
+        self._weights = [profile.weights[name] for name in classes]
+
+    # -- operand selection --------------------------------------------------
+
+    def _reg(self) -> str:
+        return self.rng.choice(_SCRATCH)
+
+    def _src(self) -> str:
+        """A source operand: dependence-biased register or an immediate."""
+        rng = self.rng
+        if self.last_dest is not None and rng.random() < self.profile.serial_bias:
+            return self.last_dest
+        if rng.random() < 0.2:
+            return f"#{rng.randint(-255, 255)}"
+        return self._reg()
+
+    def _dest(self) -> str:
+        dest = self._reg()
+        self.last_dest = dest
+        return dest
+
+    # -- per-class emitters -------------------------------------------------
+
+    def _emit_arith(self) -> None:
+        rng, pb = self.rng, self.pb
+        if rng.random() < 0.15:
+            # lda as constant/address generation (also an RB producer).
+            pb.emit("lda", self._dest(), f"{rng.randint(-2048, 2047)}({self._reg()})")
+            return
+        pb.emit(rng.choice(_ARITH_OPS), self._src(), self._src(), self._dest())
+
+    def _emit_shift_left(self) -> None:
+        self.pb.emit("sll", self._src(), f"#{self.rng.randint(0, 63)}", self._dest())
+
+    def _emit_mul(self) -> None:
+        self.pb.emit("mul", self._src(), self._src(), self._dest())
+
+    def _emit_cmov(self) -> None:
+        self.pb.emit(self.rng.choice(_CMOV_OPS), self._src(), self._src(),
+                     self._dest())
+
+    def _emit_compare(self) -> None:
+        self.pb.emit(self.rng.choice(_COMPARE_OPS), self._src(), self._src(),
+                     self._dest())
+
+    def _emit_logical(self) -> None:
+        rng, pb = self.rng, self.pb
+        roll = rng.random()
+        if roll < 0.12:
+            pb.emit("mov", self._reg(), self._dest())   # RB-transparent MOVE
+        elif roll < 0.24:
+            pb.emit("not", self._src(), self._dest())
+        else:
+            pb.emit(rng.choice(_LOGICAL_OPS), self._src(), self._src(),
+                    self._dest())
+
+    def _emit_shift_right(self) -> None:
+        self.pb.emit(self.rng.choice(_SHIFT_RIGHT_OPS), self._src(),
+                     f"#{self.rng.randint(0, 63)}", self._dest())
+
+    def _emit_byte(self) -> None:
+        self.pb.emit(self.rng.choice(_BYTE_OPS), self._src(),
+                     f"#{self.rng.randint(0, 7)}", self._dest())
+
+    def _emit_count(self) -> None:
+        self.pb.emit(self.rng.choice(_COUNT_OPS), self._reg(), self._dest())
+
+    def _arena_address(self) -> str:
+        """An in-arena address operand, literal or via a masked index."""
+        rng, pb = self.rng, self.pb
+        if rng.random() < 0.5:
+            return f"{8 * rng.randint(0, ARENA_BYTES // 8 - 1)}({_BASE})"
+        # Masked computed index: idx & 0x...F8 is 8-aligned and in range.
+        index = self._reg()
+        temp = self._reg()
+        pb.emit("and", index, f"#{(ARENA_BYTES - 8) & ~7}", temp)
+        pb.emit("add", temp, _BASE, temp)
+        return f"0({temp})"
+
+    def _emit_load(self) -> None:
+        address = self._arena_address()
+        self.pb.emit(self.rng.choice(("ldq", "ldl")), self._dest(), address)
+
+    def _emit_store(self) -> None:
+        address = self._arena_address()
+        self.pb.emit(self.rng.choice(("stq", "stl")), self._reg(), address)
+
+    def _emit_branch(self) -> None:
+        """A data-dependent forward skip over 1-3 simple instructions."""
+        rng, pb = self.rng, self.pb
+        skip = pb.fresh_label("skip")
+        if rng.random() < 0.5:
+            test = self._reg()
+            pb.emit(rng.choice(_COMPARE_OPS), self._src(), self._src(), test)
+        else:
+            test = self._reg()
+        pb.emit(rng.choice(_COND_BRANCHES), test, skip)
+        for _ in range(rng.randint(1, 3)):
+            self._emit_class(rng.choice(("arith", "logical", "compare")))
+        pb.label(skip)
+
+    def _emit_call(self) -> None:
+        if not self.helper_labels:
+            self._emit_arith()
+            return
+        self.pb.emit("jsr", self.rng.choice(self.helper_labels))
+
+    def _emit_fp(self) -> None:
+        rng, pb = self.rng, self.pb
+        if rng.random() < 0.15:
+            pb.emit("fdiv", self._src(), self._src(), self._dest())
+        else:
+            pb.emit(rng.choice(_FP_OPS), self._src(), self._src(), self._dest())
+
+    def _emit_class(self, name: str) -> None:
+        getattr(self, f"_emit_{name}")()
+
+    def _emit_body(self, length: int) -> None:
+        for _ in range(length):
+            self._emit_class(
+                self.rng.choices(self._classes, weights=self._weights)[0]
+            )
+
+    # -- whole-program skeleton ---------------------------------------------
+
+    def generate(self) -> str:
+        rng, pb, profile = self.rng, self.pb, self.profile
+        helper_count = rng.randint(*profile.helpers)
+        self.helper_labels = [pb.fresh_label("helper") for _ in range(helper_count)]
+
+        pb.label("main")
+        pb.emit("lda", _BASE, "arena")
+        for reg in rng.sample(_SCRATCH, k=10):
+            pb.emit("lda", reg, f"{rng.randint(-1024, 1023)}(zero)")
+        pb.emit("lda", _OUTER, f"{rng.randint(*profile.outer_iterations)}(zero)")
+
+        outer = pb.label("outer")
+        self._emit_body(rng.randint(*profile.body_len))
+        if rng.random() < profile.inner_loop_chance:
+            inner = pb.fresh_label("inner")
+            pb.emit("lda", _INNER, f"{rng.randint(*profile.inner_iterations)}(zero)")
+            pb.label(inner)
+            self._emit_body(rng.randint(2, 6))
+            pb.emit("sub", _INNER, "#1", _INNER)
+            pb.emit("bgt", _INNER, inner)
+        pb.emit("sub", _OUTER, "#1", _OUTER)
+        pb.emit("bgt", _OUTER, outer)
+        pb.emit("halt")
+
+        # Helpers live after the halt, so fall-through never enters them.
+        # They write only scratch registers, and never call (r26 stays the
+        # caller's return address until the ret consumes it).
+        for label in self.helper_labels:
+            pb.label(label)
+            for _ in range(rng.randint(2, 4)):
+                self._emit_class(rng.choice(("arith", "logical", "shift_right")))
+            pb.emit("ret")
+
+        pb.data_label("arena")
+        pb.quad(*(rng.randint(-(1 << 40), 1 << 40) for _ in range(16)))
+        pb.space(ARENA_BYTES - 16 * 8)
+        return pb.source()
+
+
+def fuzz_source(profile: str = "mixed", seed: int = 0) -> str:
+    """The assembly source of one fuzzed kernel (deterministic)."""
+    try:
+        spec = PROFILES[profile]
+    except KeyError:
+        raise ValueError(
+            f"unknown fuzz profile {profile!r}; known: {sorted(PROFILES)}"
+        ) from None
+    return _Generator(spec, seed).generate()
+
+
+def fuzz_program(profile: str = "mixed", seed: int = 0) -> Program:
+    """One fuzzed kernel, assembled through the regular two-pass assembler."""
+    from repro.isa.assembler import assemble
+
+    return assemble(fuzz_source(profile, seed), fuzz_name(profile, seed))

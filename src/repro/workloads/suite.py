@@ -95,5 +95,15 @@ def get_workload(name: str) -> Workload:
 
 
 def build(name: str) -> Program:
-    """Assemble (cached) the named workload."""
+    """Assemble (cached) the named workload.
+
+    Names starting with ``fuzz:`` denote deterministic fuzzer-generated
+    kernels (``fuzz:<profile>:<seed>``, see :mod:`repro.verify.fuzz`)
+    and are regenerated from the name alone — which is what lets a
+    process-pool worker simulate one without any registry transfer.
+    """
+    if name.startswith("fuzz:"):
+        from repro.verify.fuzz import build_fuzz
+
+        return build_fuzz(name)
     return get_workload(name).build()

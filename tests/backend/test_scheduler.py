@@ -35,8 +35,25 @@ class TestScheduler:
     def test_earliest_select_respected(self):
         sched = Scheduler(capacity=4)
         sched.insert("a", earliest_select=3)
-        assert sched.select(2, always_ready) == []
+        assert sched.select(2, always_ready) == ()
         assert sched.select(3, always_ready) == ["a"]
+
+    def test_idle_select_result_is_immutable(self):
+        """A grantless select must not hand out shared mutable state.
+
+        The scheduler used to return one module-level empty list from
+        every idle select; a caller extending its "result" would corrupt
+        every other scheduler's idle cycles.  The empty result is now an
+        immutable tuple.
+        """
+        sched = Scheduler(capacity=4)
+        grants = sched.select(0, always_ready)
+        assert grants == ()
+        with pytest.raises((AttributeError, TypeError)):
+            grants.append("corruption")
+        other = Scheduler(capacity=4)
+        assert other.select(0, always_ready) == ()
+        assert list(other.select(1, always_ready)) == []
 
     def test_not_ready_sleeps_until_candidate(self):
         sched = Scheduler(capacity=4)
@@ -83,6 +100,60 @@ class TestScheduler:
             Scheduler(capacity=0)
         with pytest.raises(ValueError):
             Scheduler(capacity=4, select_width=0)
+
+    def test_contention_requires_a_ready_loser(self):
+        """An entry that is due but whose operands are not ready did not
+        lose a grant to bandwidth — it could not have issued at any
+        width.  Such cycles must not count as contended."""
+        sched = Scheduler(capacity=8, select_width=1)
+        sched.insert("winner", 0)
+        sched.insert("sleeper", 0)
+
+        def only_winner(record, cycle):
+            return (record == "winner"), cycle + 10
+
+        assert sched.select(0, only_winner) == ["winner"]
+        assert sched.contended_cycles == 0
+
+    def test_contention_counted_when_ready_loser_waits(self):
+        sched = Scheduler(capacity=8, select_width=1)
+        sched.insert("winner", 0)
+        sched.insert("loser", 0)
+        assert sched.select(0, always_ready) == ["winner"]
+        assert sched.contended_cycles == 1
+        assert sched.select(1, always_ready) == ["loser"]
+        assert sched.contended_cycles == 1
+
+    def test_probed_loser_sleeps_until_candidate(self):
+        """Probing a not-ready loser past the bandwidth limit updates its
+        next_try, so it is not re-polled every cycle."""
+        sched = Scheduler(capacity=8, select_width=1)
+        sched.insert("winner", 0)
+        sched.insert("sleeper", 0)
+        polls = []
+
+        def ready_fn(record, cycle):
+            if record == "sleeper":
+                polls.append(cycle)
+                return (cycle >= 5), max(cycle + 1, 5)
+            return True, cycle
+
+        assert sched.select(0, ready_fn) == ["winner"]
+        for cycle in range(1, 6):
+            sched.select(cycle, ready_fn)
+        # probed once at 0 (past the width limit), then slept until 5
+        assert polls == [0, 5]
+
+    def test_stale_candidate_from_probed_loser_detected(self):
+        sched = Scheduler(capacity=8, select_width=1)
+        sched.insert("winner", 0)
+        sched.insert("stale", 0)
+
+        def ready_fn(record, cycle):
+            return (record == "winner"), cycle
+
+        with pytest.raises(AssertionError):
+            sched.select(0, ready_fn)
 
     def test_statistics(self):
         sched = Scheduler(capacity=4)

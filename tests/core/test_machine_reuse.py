@@ -1,0 +1,42 @@
+"""A reused :class:`Machine` must be indistinguishable from a fresh one.
+
+The serial runner reuses one machine across a whole sweep while the pool
+workers build a fresh machine per run; any state leaking across
+:meth:`Machine.run` calls would make "parallel sweeps are identical to
+serial" silently false.  Pinned here directly, and continuously fuzzed
+by ``repro check``'s machine-reuse differential.
+"""
+
+from repro.core.machine import Machine
+from repro.core.presets import all_paper_machines, rb_limited
+from repro.verify.differential import diff_machine_reuse, first_divergence
+from repro.verify.fuzz import fuzz_program
+from repro.workloads.suite import build
+
+
+class TestMachineReuse:
+    def test_reused_machine_matches_fresh_on_suite_kernel(self):
+        program = build("compress")
+        warmup = build("li")
+        for config in all_paper_machines(4):
+            machine = Machine(config)
+            machine.run(warmup)
+            reused = machine.run(program)
+            fresh = Machine(config).run(program)
+            assert first_divergence(reused.to_dict(), fresh.to_dict()) is None, (
+                config.name
+            )
+
+    def test_reuse_differential_on_fuzzed_kernels(self):
+        config = rb_limited(4)
+        programs = [fuzz_program("mixed", seed) for seed in (0, 1)]
+        assert diff_machine_reuse(config, programs[0], programs[1]) is None
+        assert diff_machine_reuse(config, programs[1], programs[0]) is None
+
+    def test_back_to_back_runs_of_same_program_identical(self):
+        config = rb_limited(4)
+        program = build("ijpeg")
+        machine = Machine(config)
+        first = machine.run(program)
+        second = machine.run(program)
+        assert first.to_dict() == second.to_dict()

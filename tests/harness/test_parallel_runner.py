@@ -11,7 +11,11 @@ import json
 import pytest
 
 from repro.core.presets import baseline, ideal, rb_full, rb_limited
-from repro.harness.runner import SimulationRunner, _simulate_for_pool
+from repro.harness.runner import (
+    MatrixWorkerError,
+    SimulationRunner,
+    _simulate_for_pool,
+)
 
 MACHINES = [baseline(4), rb_limited(4), rb_full(4), ideal(4)]
 KERNELS = ["ijpeg", "li"]
@@ -75,6 +79,47 @@ class TestParallelEquivalence:
         assert rerun.metrics.counter("cache.hits").value == len(results)
         for key in results:
             assert results[key].to_dict() == first[key].to_dict()
+
+
+class TestWorkerFaultHandling:
+    def test_failure_identifies_pair_and_keeps_siblings(self, tmp_path):
+        """One crashing worker must not discard the rest of the sweep.
+
+        The bad pair is submitted first; draining in submission order
+        used to raise before any sibling result was merged or flushed.
+        The error must name the failing (machine, workload), chain the
+        worker's exception, and leave every completed sibling on disk.
+        """
+        config = ideal(4)
+        cache_path = tmp_path / "cache.json"
+        runner = SimulationRunner(
+            cache_path=cache_path, bench_path=tmp_path / "bench.json"
+        )
+        with pytest.raises(MatrixWorkerError) as excinfo:
+            runner.run_matrix(
+                [config], ["no-such-kernel", "fuzz:mixed:0"], jobs=2
+            )
+        assert excinfo.value.machine == config.name
+        assert excinfo.value.workload == "no-such-kernel"
+        assert isinstance(excinfo.value.__cause__, KeyError)
+        # the sibling that completed was merged and flushed before raising
+        rerun = SimulationRunner(cache_path=cache_path)
+        results = rerun.run_matrix([config], ["fuzz:mixed:0"])
+        assert rerun.metrics.counter("cache.hits").value == len(results) == 1
+
+    def test_fuzz_names_rebuild_in_pool_workers(self, tmp_path):
+        """``fuzz:<profile>:<seed>`` kernels are regenerated from the name
+        alone, so pool workers simulate them without registry transfer."""
+        config = rb_limited(4)
+        runner = SimulationRunner(
+            cache_path=tmp_path / "cache.json",
+            bench_path=tmp_path / "bench.json",
+        )
+        parallel = runner.run_matrix([config], ["fuzz:serial:0"], jobs=2)
+        fresh = SimulationRunner(cache_path=tmp_path / "serial.json")
+        serial = fresh.run_matrix([config], ["fuzz:serial:0"])
+        key = (config.name, "fuzz:serial:0")
+        assert parallel[key].to_dict() == serial[key].to_dict()
 
 
 class TestPoolWorker:

@@ -199,3 +199,41 @@ class TestProgramContainer:
         p = assemble(".text\nmain:\n    halt\n")
         with pytest.raises(KeyError):
             p.label_address("nope")
+
+
+class TestProgramBuilder:
+    def test_builds_through_the_two_pass_assembler(self):
+        from repro.isa.assembler import ProgramBuilder
+
+        pb = ProgramBuilder("built")
+        pb.label("main")
+        pb.emit("lda", "r1", "table")
+        pb.comment("dependent add chain")
+        pb.emit("add", "r1", "#1", "r2")
+        skip = pb.fresh_label("skip")
+        pb.emit("beq", "r2", skip)
+        pb.emit("add", "r2", "r2", "r3")
+        pb.label(skip)
+        pb.emit("halt")
+        pb.data_label("table")
+        pb.quad(1, 2, 3)
+        pb.space(8)
+        program = pb.build()
+        assert program.name == "built"
+        assert len(program.instructions) == 5
+        assert program.data[:8] == (1).to_bytes(8, "little")
+        assert len(program.data) == 3 * 8 + 8
+
+    def test_fresh_labels_are_unique(self):
+        from repro.isa.assembler import ProgramBuilder
+
+        pb = ProgramBuilder()
+        names = {pb.fresh_label("loop") for _ in range(5)}
+        assert len(names) == 5
+
+    def test_bad_label_rejected(self):
+        from repro.isa.assembler import ProgramBuilder
+
+        pb = ProgramBuilder()
+        with pytest.raises(AssemblyError):
+            pb.label("1bad label")

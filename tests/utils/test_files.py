@@ -1,0 +1,57 @@
+"""Durability contract of :func:`repro.utils.files.atomic_write_text`."""
+
+import os
+
+import pytest
+
+from repro.utils import files
+from repro.utils.files import atomic_write_text
+
+
+class TestAtomicWriteText:
+    def test_roundtrip_and_overwrite(self, tmp_path):
+        path = tmp_path / "nested" / "out.json"
+        atomic_write_text(path, "one")
+        assert path.read_text() == "one"
+        atomic_write_text(path, "two")
+        assert path.read_text() == "two"
+        assert list(path.parent.iterdir()) == [path]  # no stray temp files
+
+    def test_temp_file_fsynced_before_rename(self, tmp_path, monkeypatch):
+        """The temp file must hit stable storage before it is renamed in.
+
+        ``os.replace`` is atomic but says nothing about the *contents*
+        being flushed; without an fsync first, a power loss just after
+        the rename can surface an empty file under the final name — the
+        one failure mode an "atomic" writer exists to prevent.
+        """
+        events = []
+        real_fsync, real_replace = os.fsync, os.replace
+
+        def spy_fsync(fd):
+            events.append(("fsync", fd))
+            return real_fsync(fd)
+
+        def spy_replace(src, dst):
+            events.append(("replace", src, dst))
+            return real_replace(src, dst)
+
+        monkeypatch.setattr(files.os, "fsync", spy_fsync)
+        monkeypatch.setattr(files.os, "replace", spy_replace)
+        path = tmp_path / "durable.json"
+        atomic_write_text(path, "payload")
+        kinds = [event[0] for event in events]
+        assert "fsync" in kinds, "temp file was never fsync'd"
+        assert kinds.index("fsync") < kinds.index("replace")
+        assert path.read_text() == "payload"
+
+    def test_failed_write_leaves_no_temp_file(self, tmp_path, monkeypatch):
+        def exploding_fsync(fd):
+            raise OSError("disk on fire")
+
+        monkeypatch.setattr(files.os, "fsync", exploding_fsync)
+        path = tmp_path / "out.json"
+        with pytest.raises(OSError):
+            atomic_write_text(path, "payload")
+        assert not path.exists()
+        assert list(tmp_path.iterdir()) == []

@@ -1,0 +1,64 @@
+"""The differential harness: finds real divergences, stays quiet otherwise."""
+
+from repro.core.presets import ideal, rb_limited
+from repro.verify.differential import (
+    Divergence,
+    diff_cycle_skip,
+    diff_machine_reuse,
+    diff_rb_adder,
+    first_divergence,
+)
+from repro.verify.fuzz import fuzz_program
+
+
+class TestFirstDivergence:
+    def test_identical(self):
+        value = {"a": [1, {"b": 2}], "c": "x"}
+        assert first_divergence(value, dict(value)) is None
+
+    def test_reports_deepest_path(self):
+        left = {"a": {"b": [1, 2, 3]}}
+        right = {"a": {"b": [1, 9, 3]}}
+        assert first_divergence(left, right) == ("a.b[1]", 2, 9)
+
+    def test_sorted_key_order_is_stable(self):
+        left = {"z": 1, "a": 1}
+        right = {"z": 2, "a": 2}
+        assert first_divergence(left, right) == ("a", 1, 2)
+
+    def test_missing_key(self):
+        assert first_divergence({"a": 1}, {}) == ("a", 1, "<absent>")
+        assert first_divergence({}, {"a": 1}) == ("a", "<absent>", 1)
+
+    def test_length_mismatch(self):
+        assert first_divergence([1], [1, 2]) == ("[1]", "<absent>", 2)
+
+    def test_type_mismatch_is_a_divergence(self):
+        assert first_divergence({"a": 1}, {"a": 1.0}) == ("a", 1, 1.0)
+        assert first_divergence({"a": True}, {"a": 1}) == ("a", True, 1)
+
+
+class TestPairs:
+    def test_cycle_skip_pair_is_clean(self):
+        program = fuzz_program("mixed", 11)
+        for config in (rb_limited(4), ideal(4)):
+            assert diff_cycle_skip(config, program) is None
+
+    def test_machine_reuse_pair_is_clean(self):
+        warmup = fuzz_program("branchy", 11)
+        program = fuzz_program("serial", 11)
+        assert diff_machine_reuse(rb_limited(4), warmup, program) is None
+
+    def test_rb_adder_pair_is_clean(self):
+        assert diff_rb_adder(seed=123, trials=500) == []
+
+    def test_divergence_reporting(self):
+        divergence = Divergence(
+            pair="cycle-skip", machine="Ideal-4w", workload="fuzz:mixed:0",
+            field="cycles", left=100, right=101,
+        )
+        text = divergence.describe()
+        assert "cycle-skip" in text and "'cycles'" in text
+        payload = divergence.as_dict()
+        assert payload["field"] == "cycles"
+        assert payload["left"] == "100"

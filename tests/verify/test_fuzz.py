@@ -1,0 +1,76 @@
+"""The fuzzer's contract: deterministic, well-formed, terminating kernels."""
+
+import pytest
+
+from repro.core.machine import Machine
+from repro.core.presets import rb_limited
+from repro.isa.shadow import shadow_check
+from repro.verify.fuzz import (
+    PROFILES,
+    build_fuzz,
+    fuzz_name,
+    fuzz_program,
+    fuzz_source,
+    is_fuzz_name,
+    parse_fuzz_name,
+)
+from repro.workloads.suite import build
+
+
+class TestNames:
+    def test_roundtrip(self):
+        name = fuzz_name("branchy", 7)
+        assert name == "fuzz:branchy:7"
+        assert is_fuzz_name(name)
+        assert parse_fuzz_name(name) == ("branchy", 7)
+        assert not is_fuzz_name("ijpeg")
+
+    def test_bad_names_rejected(self):
+        with pytest.raises(ValueError):
+            parse_fuzz_name("fuzz:nope:0")
+        with pytest.raises(ValueError):
+            parse_fuzz_name("fuzz:mixed:notanint")
+        with pytest.raises(ValueError):
+            parse_fuzz_name("ijpeg")
+
+
+class TestDeterminism:
+    def test_source_is_a_pure_function_of_profile_and_seed(self):
+        for profile in PROFILES:
+            assert fuzz_source(profile, 3) == fuzz_source(profile, 3)
+
+    def test_seeds_and_profiles_vary_the_program(self):
+        assert fuzz_source("mixed", 0) != fuzz_source("mixed", 1)
+        assert fuzz_source("mixed", 0) != fuzz_source("branchy", 0)
+
+    def test_suite_build_reconstructs_from_name_alone(self):
+        """What lets pool workers simulate fuzz kernels with no transfer."""
+        name = fuzz_name("memory", 2)
+        direct = fuzz_program("memory", 2)
+        via_registry = build(name)
+        via_builder = build_fuzz(name)
+        assert direct.name == via_registry.name == via_builder.name == name
+        assert direct.instructions == via_registry.instructions
+        assert direct.instructions == via_builder.instructions
+
+
+class TestGeneratedPrograms:
+    @pytest.mark.parametrize("profile", sorted(PROFILES))
+    def test_assembles_terminates_and_loops(self, profile):
+        program = fuzz_program(profile, 0)
+        stats = Machine(rb_limited(4)).run(program)
+        assert stats.cycles > 0
+        # outer loop: dynamic count strictly exceeds the static body
+        assert stats.instructions > len(program.instructions) // 2
+
+    def test_shadow_execution_is_clean(self):
+        report = shadow_check(fuzz_program("mixed", 4))
+        assert report.clean
+
+    def test_branchy_profile_is_branch_heavy(self):
+        branchy = fuzz_source("branchy", 0)
+        serial = fuzz_source("serial", 0)
+        count = lambda src: sum(  # noqa: E731
+            1 for line in src.splitlines() if line.strip().startswith(("beq", "bne", "blt", "bge", "bgt", "ble"))
+        )
+        assert count(branchy) > count(serial)
