@@ -35,6 +35,13 @@ check
     invariants (CPI conservation, Fig. 14 monotonicity, machine
     ordering, shadow-state fidelity).  ``--quick`` bounds it for CI;
     ``-o report.json`` writes the machine-readable report.
+serve
+    Long-lived batch-simulation HTTP/JSON service: accepts (machine,
+    workload, config-override) jobs at ``POST /jobs``, coalesces
+    duplicates, batches them onto the process pool with retry and
+    serial degradation, and serves repeats from the sharded result
+    cache.  ``GET /healthz``, ``/metrics``, and ``/events`` expose the
+    service state.
 
 Every command accepts ``-v``/``-vv`` for INFO/DEBUG progress logging.
 """
@@ -44,12 +51,11 @@ from __future__ import annotations
 import argparse
 import json
 import sys
-from dataclasses import replace
 from pathlib import Path
 
 from repro.core import simulate
 from repro.core.config import MachineConfig
-from repro.core.presets import baseline, ideal, ideal_limited, rb_full, rb_limited, staggered
+from repro.core.presets import MACHINE_FACTORIES, resolve_machine
 from repro.harness.experiments import dynamic_mix, sec34_adder_delays
 from repro.isa.assembler import assemble
 from repro.isa.classify import TABLE1_ROWS
@@ -60,29 +66,13 @@ from repro.workloads.suite import all_workloads, build, get_workload
 
 log = get_logger(__name__)
 
-_MACHINES = {
-    "baseline": baseline,
-    "staggered": staggered,
-    "rb-limited": rb_limited,
-    "rb-full": rb_full,
-    "ideal": ideal,
-}
-
-
 def _machine_config(args: argparse.Namespace) -> MachineConfig:
-    if args.machine.startswith("ideal-no-"):
-        levels = frozenset(int(x) for x in args.machine[len("ideal-no-"):].split(","))
-        config = ideal_limited(args.width, levels)
-    else:
-        try:
-            config = _MACHINES[args.machine](args.width)
-        except KeyError:
-            choices = sorted(_MACHINES) + ["ideal-no-<levels> (e.g. ideal-no-1,2)"]
-            raise SystemExit(f"unknown machine {args.machine!r}; choices: {choices}")
-    if getattr(args, "steering", None) and args.steering != config.steering_policy:
-        config = replace(config, name=f"{config.name}+{args.steering}",
-                         steering_policy=args.steering)
-    return config
+    try:
+        return resolve_machine(
+            args.machine, args.width, steering=getattr(args, "steering", None)
+        )
+    except ValueError as exc:
+        raise SystemExit(str(exc))
 
 
 def _load_program(target: str):
@@ -96,7 +86,7 @@ def _load_program(target: str):
 
 def cmd_list(_args: argparse.Namespace) -> int:
     print("machines (pass --width 4 or 8):")
-    for name in _MACHINES:
+    for name in MACHINE_FACTORIES:
         print(f"  {name}")
     print("  ideal-no-<levels>   (Fig. 14 limited-bypass variants, e.g. ideal-no-2,3)")
     print("\nworkloads:")
@@ -301,6 +291,29 @@ def cmd_bench(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_serve(args: argparse.Namespace) -> int:
+    import asyncio
+
+    from repro.serve.server import ServeConfig, run_service
+
+    config = ServeConfig(
+        host=args.host,
+        port=args.port,
+        cache_dir=args.cache_dir,
+        cache_shards=args.shards,
+        pool_jobs=args.jobs,
+        max_batch=args.max_batch,
+        batch_window=args.batch_window,
+        job_timeout=args.job_timeout,
+        max_retries=args.retries,
+    )
+    try:
+        asyncio.run(run_service(config))
+    except KeyboardInterrupt:
+        print("\nrepro serve: shutting down")
+    return 0
+
+
 def cmd_check(args: argparse.Namespace) -> int:
     from repro.utils.files import atomic_write_text
     from repro.verify.check import run_check
@@ -441,6 +454,31 @@ def main(argv: list[str] | None = None) -> int:
                        help="workloads for the sweep benchmark "
                             "(default ijpeg li compress)")
     bench.set_defaults(fn=cmd_bench)
+
+    serve = sub.add_parser(
+        "serve", help="batch-simulation HTTP service (see README, Serving)",
+        parents=[common],
+    )
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=8321,
+                       help="listen port (0 picks an ephemeral port; default 8321)")
+    serve.add_argument("--jobs", type=int, default=2, metavar="N",
+                       help="process-pool width for batch execution (default 2; "
+                            "1 disables the pool entirely)")
+    serve.add_argument("--cache-dir", default=None,
+                       help="sharded result-cache directory "
+                            "(default .repro_cache/serve at the repo root)")
+    serve.add_argument("--shards", type=int, default=16, metavar="N",
+                       help="result-cache shard files (default 16)")
+    serve.add_argument("--max-batch", type=int, default=8, metavar="N",
+                       help="max jobs dispatched per batch (default 8)")
+    serve.add_argument("--batch-window", type=float, default=0.05, metavar="SECONDS",
+                       help="how long to gather a batch before dispatch (default 0.05)")
+    serve.add_argument("--job-timeout", type=float, default=300.0, metavar="SECONDS",
+                       help="wall-clock bound on one pooled batch (default 300)")
+    serve.add_argument("--retries", type=int, default=3, metavar="N",
+                       help="max retry attempts per batch (default 3)")
+    serve.set_defaults(fn=cmd_serve)
 
     check = sub.add_parser(
         "check", help="differential tests + paper-invariant audit",

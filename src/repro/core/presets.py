@@ -13,6 +13,8 @@
 
 from __future__ import annotations
 
+from dataclasses import replace
+
 from repro.backend.bypass import BypassStyle
 from repro.backend.latency import AdderStyle
 from repro.core.config import MachineConfig
@@ -85,3 +87,56 @@ FIG14_VARIANTS: list[frozenset[int]] = [
 def all_paper_machines(width: int) -> list[MachineConfig]:
     """The four machines of Figs. 9-12 at one width, in presentation order."""
     return [baseline(width), rb_limited(width), rb_full(width), ideal(width)]
+
+
+#: User-facing machine names -> preset factory, shared by the CLI and the
+#: batch-simulation service so both resolve request strings identically.
+MACHINE_FACTORIES = {
+    "baseline": baseline,
+    "staggered": staggered,
+    "rb-limited": rb_limited,
+    "rb-full": rb_full,
+    "ideal": ideal,
+}
+
+#: Prefix for the Fig. 14 limited-bypass variants, e.g. ``ideal-no-1,2``.
+IDEAL_LIMITED_PREFIX = "ideal-no-"
+
+
+def machine_choices() -> list[str]:
+    """The accepted machine-name spellings, for error messages and docs."""
+    return sorted(MACHINE_FACTORIES) + [f"{IDEAL_LIMITED_PREFIX}<levels> (e.g. ideal-no-1,2)"]
+
+
+def resolve_machine(
+    name: str, width: int, steering: str | None = None
+) -> MachineConfig:
+    """Resolve a user-facing machine name to a :class:`MachineConfig`.
+
+    ``name`` is a preset key (see :data:`MACHINE_FACTORIES`) or an
+    ``ideal-no-<levels>`` limited-bypass spelling.  A non-default
+    ``steering`` policy is applied with a ``+<policy>`` name suffix so
+    distinct configurations never collide in result caches.  Raises
+    :class:`ValueError` for unknown names or malformed level lists.
+    """
+    if name.startswith(IDEAL_LIMITED_PREFIX):
+        spec = name[len(IDEAL_LIMITED_PREFIX):]
+        try:
+            levels = frozenset(int(x) for x in spec.split(","))
+        except ValueError:
+            raise ValueError(
+                f"bad bypass-level list {spec!r} in machine {name!r}"
+            ) from None
+        config = ideal_limited(width, levels)
+    else:
+        factory = MACHINE_FACTORIES.get(name)
+        if factory is None:
+            raise ValueError(
+                f"unknown machine {name!r}; choices: {machine_choices()}"
+            )
+        config = factory(width)
+    if steering and steering != config.steering_policy:
+        config = replace(
+            config, name=f"{config.name}+{steering}", steering_policy=steering
+        )
+    return config

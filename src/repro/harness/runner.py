@@ -29,14 +29,23 @@ process pool (``jobs=N`` on the call or the runner, or the
 ``REPRO_JOBS`` environment variable for the shared default runner);
 workers return serialized stats and profiles, which the parent merges
 into the shared cache and bench log exactly as the serial path would.
+
+:meth:`SimulationRunner.run_jobs` is the batch-service entry point: it
+takes an explicit list of :class:`SimJob` (heterogeneous machines and
+workloads, not a cross product) plus a wall-clock ``timeout`` and a
+``cancel`` event, and the cache can be sharded across many files
+(``shards=N``) so concurrent flushes never rewrite one giant JSON blob.
 """
 
 from __future__ import annotations
 
 import os
+import threading
 import time
+from collections.abc import Sequence
 from concurrent.futures import ProcessPoolExecutor, as_completed
-from dataclasses import asdict
+from concurrent.futures import TimeoutError as FuturesTimeoutError
+from dataclasses import asdict, dataclass
 from pathlib import Path
 
 import json
@@ -47,7 +56,7 @@ from repro.core.statistics import SimStats
 from repro.obs.log import get_logger
 from repro.obs.metrics import MetricsRegistry
 from repro.obs.profile import BENCH_FILENAME, BenchLog, RunProfile
-from repro.utils.files import atomic_write_text
+from repro.utils.files import atomic_write_text, shard_path, stable_shard
 from repro.workloads.suite import build
 
 log = get_logger(__name__)
@@ -72,41 +81,106 @@ class MatrixWorkerError(RuntimeError):
         self.workload = workload
 
 
+class MatrixCancelled(RuntimeError):
+    """A sweep was cancelled via its ``cancel`` event.
+
+    Raised *after* every already-completed result has been merged and
+    flushed; jobs that never started are simply not in the cache.
+    """
+
+
+@dataclass(frozen=True)
+class SimJob:
+    """One (machine configuration, workload) unit of simulation work.
+
+    The job abstraction lets callers — notably the ``repro.serve`` batch
+    service — hand the runner heterogeneous batches (mixed machines,
+    widths, and workloads) instead of a dense config x workload cross
+    product.  ``key`` is the identity used for result-cache lookups and
+    in-flight deduplication.
+    """
+
+    config: MachineConfig
+    workload: str
+
+    @property
+    def key(self) -> tuple[str, str]:
+        return (self.config.name, self.workload)
+
+
 class ResultCache:
-    """JSON-backed cache of simulation statistics."""
+    """JSON-backed cache of simulation statistics.
+
+    Two on-disk layouts share one API:
+
+    * **single file** (``shards=None``, the default) — the historical
+      layout: one ``results.json`` holding every entry;
+    * **sharded directory** (``shards=N``) — ``path`` is a directory of
+      ``shard-NNN.json`` files and each ``machine::workload`` key maps to
+      one shard by a stable CRC-32 hash.  A save only rewrites *dirty*
+      shards, so concurrent writers (several service processes sharing a
+      cache directory, or interleaved batch flushes) almost never contend
+      on — or rewrite — the same file, and a flush after a small batch is
+      O(batch) instead of O(cache).
+    """
 
     def __init__(
-        self, path: Path | str | None, metrics: MetricsRegistry | None = None
+        self,
+        path: Path | str | None,
+        metrics: MetricsRegistry | None = None,
+        shards: int | None = None,
     ) -> None:
+        if shards is not None and shards <= 0:
+            raise ValueError(f"shards must be positive, got {shards}")
         self.path = Path(path) if path is not None else None
+        self.shards = shards
         self.metrics = metrics if metrics is not None else MetricsRegistry()
         self._hits = self.metrics.counter("cache.hits")
         self._misses = self.metrics.counter("cache.misses")
         self._invalidations = self.metrics.counter("cache.invalidations")
         self._data: dict[str, dict] = {}
-        if self.path is not None and self.path.exists():
-            try:
-                loaded = json.loads(self.path.read_text())
-            except (OSError, json.JSONDecodeError) as exc:
-                log.warning(
-                    "result cache %s is unreadable (%s); starting with an empty cache",
-                    self.path, exc,
-                )
-                self._invalidations.inc()
-                loaded = {}
-            if loaded.get("version") == RESULTS_VERSION:
-                self._data = loaded.get("results", {})
-            elif loaded:
-                log.warning(
-                    "result cache %s has version %r, expected %r; discarding %d entries",
-                    self.path, loaded.get("version"), RESULTS_VERSION,
-                    len(loaded.get("results", {})),
-                )
-                self._invalidations.inc()
+        self._dirty_shards: set[int] = set()
+        if self.path is None:
+            return
+        if self.shards is None:
+            if self.path.exists():
+                self._data = self._load_file(self.path)
+        elif self.path.exists():
+            for index in range(self.shards):
+                file = shard_path(self.path, index)
+                if file.exists():
+                    self._data.update(self._load_file(file))
+
+    def _load_file(self, file: Path) -> dict[str, dict]:
+        try:
+            loaded = json.loads(file.read_text())
+        except (OSError, json.JSONDecodeError) as exc:
+            log.warning(
+                "result cache %s is unreadable (%s); starting with an empty cache",
+                file, exc,
+            )
+            self._invalidations.inc()
+            return {}
+        if loaded.get("version") == RESULTS_VERSION:
+            return loaded.get("results", {})
+        if loaded:
+            log.warning(
+                "result cache %s has version %r, expected %r; discarding %d entries",
+                file, loaded.get("version"), RESULTS_VERSION,
+                len(loaded.get("results", {})),
+            )
+            self._invalidations.inc()
+        return {}
 
     @staticmethod
     def key(machine: str, workload: str) -> str:
         return f"{machine}::{workload}"
+
+    def shard_of(self, key: str) -> int:
+        """The shard index holding ``key`` (sharded layout only)."""
+        if self.shards is None:
+            raise ValueError("shard_of() on an unsharded ResultCache")
+        return stable_shard(key, self.shards)
 
     def get(self, machine: str, workload: str) -> SimStats | None:
         entry = self._data.get(self.key(machine, workload))
@@ -117,14 +191,31 @@ class ResultCache:
         return SimStats.from_dict(entry)
 
     def put(self, stats: SimStats) -> None:
-        self._data[self.key(stats.machine, stats.workload)] = stats.to_dict()
+        key = self.key(stats.machine, stats.workload)
+        self._data[key] = stats.to_dict()
+        if self.shards is not None:
+            self._dirty_shards.add(self.shard_of(key))
 
     def save(self) -> None:
-        """Write the cache atomically: a crash mid-save cannot corrupt it."""
+        """Write the cache atomically: a crash mid-save cannot corrupt it.
+
+        Sharded caches rewrite only the shards touched since the last
+        save; each shard file is itself written atomically.
+        """
         if self.path is None:
             return
-        payload = {"version": RESULTS_VERSION, "results": self._data}
-        atomic_write_text(self.path, json.dumps(payload))
+        if self.shards is None:
+            payload = {"version": RESULTS_VERSION, "results": self._data}
+            atomic_write_text(self.path, json.dumps(payload))
+            return
+        for index in sorted(self._dirty_shards):
+            entries = {
+                key: entry for key, entry in self._data.items()
+                if self.shard_of(key) == index
+            }
+            payload = {"version": RESULTS_VERSION, "results": entries}
+            atomic_write_text(shard_path(self.path, index), json.dumps(payload))
+        self._dirty_shards.clear()
 
     def __len__(self) -> int:
         return len(self._data)
@@ -159,14 +250,16 @@ class SimulationRunner:
         cache_path: Path | str | None = None,
         bench_path: Path | str | None = None,
         jobs: int | None = None,
+        shards: int | None = None,
     ) -> None:
         if cache_path is None:
             cache_path = Path(__file__).resolve().parents[3] / ".repro_cache" / "results.json"
         self.metrics = MetricsRegistry()
         self.jobs = jobs
-        self.cache = ResultCache(cache_path, metrics=self.metrics)
+        self.cache = ResultCache(cache_path, metrics=self.metrics, shards=shards)
         if bench_path is None and self.cache.path is not None:
-            bench_path = self.cache.path.parent / BENCH_FILENAME
+            parent = self.cache.path if shards is not None else self.cache.path.parent
+            bench_path = parent / BENCH_FILENAME
         self.bench = BenchLog(bench_path)
         self._machines: dict[str, Machine] = {}
         self._dirty = False
@@ -237,33 +330,66 @@ class SimulationRunner:
         parent, so the on-disk artifacts are identical to a serial sweep
         (modulo wall-clock timings).
         """
+        sim_jobs = [
+            SimJob(config, workload)
+            for config in configs for workload in workloads
+        ]
+        return self.run_jobs(sim_jobs, jobs=jobs)
+
+    def run_jobs(
+        self,
+        sim_jobs: Sequence[SimJob],
+        jobs: int | None = None,
+        timeout: float | None = None,
+        cancel: threading.Event | None = None,
+    ) -> dict[tuple[str, str], SimStats]:
+        """Run a heterogeneous batch of :class:`SimJob`, cached and flushed.
+
+        The batch-service entry point: unlike :meth:`run_matrix` the jobs
+        need not form a cross product.  Duplicate keys are deduplicated.
+        ``timeout`` bounds the *parallel* batch in wall-clock seconds —
+        on expiry, futures that have not completed are cancelled and
+        reported as a :class:`MatrixWorkerError` (in-process serial runs
+        cannot be preempted, so the timeout is ignored there).
+        ``cancel`` is checked between simulations/completions; once set,
+        no new work starts, everything finished so far is flushed, and
+        :class:`MatrixCancelled` is raised.
+        """
         jobs = self.jobs if jobs is None else jobs
-        pairs = [(config, workload) for config in configs for workload in workloads]
         if jobs is not None and jobs > 1:
-            results = self._run_matrix_parallel(pairs, jobs)
+            results = self._run_jobs_parallel(sim_jobs, jobs, timeout, cancel)
         else:
-            results = {
-                (config.name, workload): self.run(config, workload)
-                for config, workload in pairs
-            }
+            results = {}
+            for job in sim_jobs:
+                if cancel is not None and cancel.is_set():
+                    self.flush()
+                    raise MatrixCancelled(
+                        f"cancelled with {len(results)}/{len(sim_jobs)} jobs done"
+                    )
+                if job.key not in results:
+                    results[job.key] = self.run(job.config, job.workload)
         self.flush()
         return results
 
-    def _run_matrix_parallel(
-        self, pairs: list[tuple[MachineConfig, str]], jobs: int
+    def _run_jobs_parallel(
+        self,
+        sim_jobs: Sequence[SimJob],
+        jobs: int,
+        timeout: float | None = None,
+        cancel: threading.Event | None = None,
     ) -> dict[tuple[str, str], SimStats]:
-        """Fan uncached pairs out over a process pool and merge the results."""
+        """Fan uncached jobs out over a process pool and merge the results."""
         results: dict[tuple[str, str], SimStats] = {}
         pending: dict[tuple[str, str], MachineConfig] = {}
-        for config, workload in pairs:
-            key = (config.name, workload)
+        for job in sim_jobs:
+            key = job.key
             if key in results or key in pending:
                 continue  # deduplicate in-flight keys
-            cached = self.cache.get(config.name, workload)
+            cached = self.cache.get(job.config.name, job.workload)
             if cached is not None:
                 results[key] = cached
             else:
-                pending[key] = config
+                pending[key] = job.config
         if not pending:
             return results
         log.info(
@@ -276,27 +402,57 @@ class SimulationRunner:
         # in submission order used to let one bad pair raise out of
         # run_matrix before flush(), discarding the whole sweep's work.
         failures: list[tuple[tuple[str, str], BaseException]] = []
+        cancelled = False
         try:
             with ProcessPoolExecutor(max_workers=min(jobs, len(pending))) as pool:
                 futures = {
                     pool.submit(_simulate_for_pool, config, key[1]): key
                     for key, config in pending.items()
                 }
-                for future in as_completed(futures):
-                    key = futures[future]
-                    try:
-                        stats_entry, profile_entry = future.result()
-                    except Exception as exc:
-                        log.error("worker failed on %s / %s: %r", key[0], key[1], exc)
-                        failures.append((key, exc))
-                        continue
-                    stats = SimStats.from_dict(stats_entry)
-                    self.bench.record(RunProfile(**profile_entry))
-                    self.cache.put(stats)
-                    self._dirty = True
-                    results[key] = stats
+                try:
+                    for future in as_completed(futures, timeout=timeout):
+                        key = futures[future]
+                        if cancel is not None and cancel.is_set():
+                            cancelled = True
+                            break
+                        try:
+                            stats_entry, profile_entry = future.result()
+                        except Exception as exc:
+                            log.error(
+                                "worker failed on %s / %s: %r", key[0], key[1], exc
+                            )
+                            failures.append((key, exc))
+                            continue
+                        stats = SimStats.from_dict(stats_entry)
+                        self.bench.record(RunProfile(**profile_entry))
+                        self.cache.put(stats)
+                        self._dirty = True
+                        results[key] = stats
+                except FuturesTimeoutError:
+                    for future, key in futures.items():
+                        if not future.done():
+                            future.cancel()
+                            failures.append((
+                                key,
+                                TimeoutError(f"job exceeded the {timeout}s batch timeout"),
+                            ))
+                    log.error(
+                        "batch timeout (%.1fs): %d jobs unfinished",
+                        timeout, len(failures),
+                    )
+                    # A worker stuck mid-simulation would otherwise hang the
+                    # pool's shutdown join indefinitely; terminate instead.
+                    pool.shutdown(wait=False, cancel_futures=True)
+                    for process in list(getattr(pool, "_processes", {}).values()):
+                        process.terminate()
+                if cancelled:
+                    pool.shutdown(wait=False, cancel_futures=True)
         finally:
             self.flush()
+        if cancelled:
+            raise MatrixCancelled(
+                f"cancelled with {len(results)}/{len(pending)} uncached jobs done"
+            )
         if failures:
             (machine, workload), cause = failures[0]
             raise MatrixWorkerError(machine, workload, cause) from cause

@@ -242,7 +242,9 @@ class _Assembler:
                 f"unknown mnemonic {mnemonic!r}", stmt.line_number, stmt.line
             ) from None
         spec = spec_of(opcode)
-        text = f"{mnemonic} {', '.join(stmt.operands)}".strip()
+        # Diagnostic text keeps the *written* statement (pseudo-ops like
+        # mov included), so regenerating source from a Program re-assembles.
+        text = f"{stmt.mnemonic} {', '.join(stmt.operands)}".strip()
 
         if spec.syntax is Syntax.RRR:
             if len(operands) != 3:

@@ -40,6 +40,11 @@ class EventKind(enum.Enum):
     WRITEBACK = "writeback"
     RETIRE = "retire"
     STALL = "stall"
+    #: Service-plane events (repro.serve): requests, batches, retries,
+    #: health transitions.  ``cycle`` carries the service's monotonic
+    #: tick and ``seq`` the request/batch id, so the same bus, sinks,
+    #: and sort order work unchanged for the serving layer.
+    SERVICE = "service"
 
 
 _KIND_ORDER = {kind: index for index, kind in enumerate(EventKind)}

@@ -74,6 +74,36 @@ class counter_property:
         self._counter(obj).value = value
 
 
+class Gauge:
+    """A point-in-time level (queue depth, in-flight batches, health).
+
+    Unlike a :class:`Counter` it can go down, and merging two registries
+    keeps the *latest observed* value rather than summing — the level of
+    a restarted service is not the sum of its incarnations.
+    """
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value = 0
+
+    def set(self, value: int) -> None:
+        self.value = value
+
+    def inc(self, amount: int = 1) -> None:
+        self.value += amount
+
+    def dec(self, amount: int = 1) -> None:
+        self.value -= amount
+
+    def as_dict(self) -> int:
+        return self.value
+
+    def __repr__(self) -> str:
+        return f"Gauge({self.name}={self.value})"
+
+
 class Histogram:
     """Counts of discrete observed values with running sum/min/max."""
 
@@ -202,10 +232,13 @@ class TimeSeries:
 class MetricsRegistry:
     """Named metrics with get-or-create access and generic serialization."""
 
-    __slots__ = ("_counters", "_histograms", "_timeseries", "_distributions", "_dist_keys")
+    __slots__ = (
+        "_counters", "_gauges", "_histograms", "_timeseries", "_distributions", "_dist_keys"
+    )
 
     def __init__(self) -> None:
         self._counters: dict[str, Counter] = {}
+        self._gauges: dict[str, Gauge] = {}
         self._histograms: dict[str, Histogram] = {}
         self._timeseries: dict[str, TimeSeries] = {}
         self._distributions: dict[str, Distribution] = {}
@@ -218,6 +251,12 @@ class MetricsRegistry:
         metric = self._counters.get(name)
         if metric is None:
             metric = self._counters[name] = Counter(name)
+        return metric
+
+    def gauge(self, name: str) -> Gauge:
+        metric = self._gauges.get(name)
+        if metric is None:
+            metric = self._gauges[name] = Gauge(name)
         return metric
 
     def histogram(self, name: str) -> Histogram:
@@ -244,12 +283,14 @@ class MetricsRegistry:
 
     def names(self) -> list[str]:
         return sorted(
-            [*self._counters, *self._histograms, *self._timeseries, *self._distributions]
+            [*self._counters, *self._gauges, *self._histograms,
+             *self._timeseries, *self._distributions]
         )
 
     def __contains__(self, name: str) -> bool:
         return (
             name in self._counters
+            or name in self._gauges
             or name in self._histograms
             or name in self._timeseries
             or name in self._distributions
@@ -274,7 +315,7 @@ class MetricsRegistry:
 
     def as_dict(self) -> dict:
         """JSON-ready snapshot of every registered metric."""
-        return {
+        entry = {
             "counters": {n: c.as_dict() for n, c in sorted(self._counters.items())},
             "histograms": {n: h.as_dict() for n, h in sorted(self._histograms.items())},
             "timeseries": {n: t.as_dict() for n, t in sorted(self._timeseries.items())},
@@ -282,6 +323,12 @@ class MetricsRegistry:
                 n: self._encode_dist(n, d) for n, d in sorted(self._distributions.items())
             },
         }
+        # Gauges are a service-side concept; simulations never register
+        # one, so the key is emitted only when present to keep existing
+        # serialized SimStats (caches, golden corpus) byte-stable.
+        if self._gauges:
+            entry["gauges"] = {n: g.as_dict() for n, g in sorted(self._gauges.items())}
+        return entry
 
     def load(self, entry: Mapping) -> None:
         """Merge a serialized snapshot into this registry.
@@ -291,6 +338,8 @@ class MetricsRegistry:
         """
         for name, value in entry.get("counters", {}).items():
             self.counter(name).inc(value)
+        for name, value in entry.get("gauges", {}).items():
+            self.gauge(name).set(value)
         for name, sub in entry.get("histograms", {}).items():
             self.histogram(name).load(sub)
         for name, sub in entry.get("timeseries", {}).items():
@@ -309,6 +358,7 @@ class MetricsRegistry:
     def __repr__(self) -> str:
         return (
             f"MetricsRegistry(counters={len(self._counters)}, "
+            f"gauges={len(self._gauges)}, "
             f"histograms={len(self._histograms)}, "
             f"timeseries={len(self._timeseries)}, "
             f"distributions={len(self._distributions)})"

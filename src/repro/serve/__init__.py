@@ -1,0 +1,43 @@
+"""``repro.serve`` — the fault-tolerant batch-simulation service.
+
+A long-lived asyncio service that accepts (machine, workload,
+config-override) jobs over a local HTTP/JSON API, coalesces duplicate
+requests, batches work onto the process-pool runner with per-batch
+timeouts and bounded retry, degrades to serial execution when the pool
+is unhealthy, and answers repeat traffic from the sharded result cache.
+See ``DESIGN.md`` §10 and the README's *Serving* section.
+"""
+
+from repro.serve.batch import (
+    HEALTH_DEGRADED,
+    HEALTH_OK,
+    BatchDispatcher,
+    ServiceEvents,
+)
+from repro.serve.client import ServeClient, ServeError
+from repro.serve.queue import JobQueue, QueuedJob
+from repro.serve.server import (
+    MAX_JOBS_PER_REQUEST,
+    SERVE_VERSION,
+    BadRequest,
+    ServeConfig,
+    SimulationService,
+    run_service,
+)
+
+__all__ = [
+    "HEALTH_DEGRADED",
+    "HEALTH_OK",
+    "BatchDispatcher",
+    "ServiceEvents",
+    "ServeClient",
+    "ServeError",
+    "JobQueue",
+    "QueuedJob",
+    "MAX_JOBS_PER_REQUEST",
+    "SERVE_VERSION",
+    "BadRequest",
+    "ServeConfig",
+    "SimulationService",
+    "run_service",
+]

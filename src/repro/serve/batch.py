@@ -1,0 +1,226 @@
+"""Batch dispatch: process-pool execution, retries, and degradation.
+
+The dispatcher drains batches from the :class:`~repro.serve.queue.JobQueue`
+and pushes them through :meth:`SimulationRunner.run_jobs` on a worker
+thread (the runner is synchronous; the event loop must stay free to
+accept requests).  Failure policy, in order:
+
+* a batch failure (worker crash, broken pool, batch timeout) is retried
+  with exponential backoff, up to ``max_retries`` attempts — results
+  that *did* complete before the failure were already merged into the
+  result cache by the runner, so a retry only re-simulates the jobs that
+  actually died;
+* a failure while using the process pool marks the service **degraded**:
+  subsequent batches run serially in-process (slower, but immune to
+  worker death) until a successful serial batch earns a **probe** of the
+  pool, and a successful pool batch marks the service recovered;
+* a batch that exhausts its retries fails its jobs' futures — the
+  service itself never dies with a batch.
+
+Every dispatch, retry, and health transition is counted in the metrics
+registry and emitted on the service event bus.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from collections.abc import Iterable
+
+from repro.harness.runner import MatrixCancelled, SimulationRunner
+from repro.obs.events import EventBus, EventKind, TraceEvent
+from repro.obs.log import get_logger
+from repro.obs.metrics import MetricsRegistry
+from repro.serve.queue import JobQueue, QueuedJob
+
+log = get_logger(__name__)
+
+#: /healthz status strings.
+HEALTH_OK = "ok"
+HEALTH_DEGRADED = "degraded"
+
+
+class ServiceEvents:
+    """Service-plane event emission onto a (optional) trace event bus.
+
+    ``cycle`` carries a monotonic service tick and ``seq`` the batch or
+    request id, so the existing bus, sinks, and sort order apply
+    unchanged; :meth:`snapshot` serves the ``/events`` endpoint.
+    """
+
+    def __init__(self, bus: EventBus | None = None) -> None:
+        self.bus = bus
+        self._tick = 0
+
+    def emit(self, text: str, seq: int = 0, **args: object) -> None:
+        if self.bus is None:
+            return
+        self._tick += 1
+        self.bus.emit(TraceEvent(
+            cycle=self._tick, kind=EventKind.SERVICE, seq=seq,
+            text=text, args=dict(args) if args else None,
+        ))
+
+    def snapshot(self, newest: int | None = None) -> list[dict]:
+        if self.bus is None:
+            return []
+        events = sorted(self.bus.events, key=TraceEvent.sort_key)
+        if newest is not None:
+            events = events[-newest:]
+        return [event.to_dict() for event in events]
+
+
+class BatchDispatcher:
+    """Owns batch execution, retry policy, and pool-health state."""
+
+    def __init__(
+        self,
+        runner: SimulationRunner,
+        queue: JobQueue,
+        metrics: MetricsRegistry | None = None,
+        events: ServiceEvents | None = None,
+        *,
+        pool_jobs: int = 2,
+        max_batch: int = 8,
+        batch_window: float = 0.05,
+        job_timeout: float = 300.0,
+        max_retries: int = 3,
+        backoff_base: float = 0.1,
+        backoff_cap: float = 2.0,
+    ) -> None:
+        self.runner = runner
+        self.queue = queue
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self.events = events if events is not None else ServiceEvents()
+        self.pool_jobs = pool_jobs
+        self.max_batch = max_batch
+        self.batch_window = batch_window
+        self.job_timeout = job_timeout
+        self.max_retries = max_retries
+        self.backoff_base = backoff_base
+        self.backoff_cap = backoff_cap
+
+        self.healthy = True
+        self._probe_pool = False
+        #: health transition history, newest last (starts "ok")
+        self.health_history: list[str] = [HEALTH_OK]
+
+        self._dispatched = self.metrics.counter("serve.batches.dispatched")
+        self._batch_retries = self.metrics.counter("serve.batches.retried")
+        self._batch_failures = self.metrics.counter("serve.batches.failed")
+        self._retries = self.metrics.counter("serve.retries")
+        self._degraded_batches = self.metrics.counter("serve.batches.degraded")
+        self._degradations = self.metrics.counter("serve.health.degradations")
+        self._recoveries = self.metrics.counter("serve.health.recoveries")
+        self._batch_seq = 0
+
+    @property
+    def status(self) -> str:
+        return HEALTH_OK if self.healthy else HEALTH_DEGRADED
+
+    # -- health ------------------------------------------------------------
+
+    def _record_health(self, healthy: bool) -> None:
+        if healthy == self.healthy:
+            return
+        self.healthy = healthy
+        status = self.status
+        self.health_history.append(status)
+        if healthy:
+            self._recoveries.inc()
+        else:
+            self._degradations.inc()
+        self.events.emit(f"health:{status}")
+        log.warning("service health -> %s", status)
+
+    # -- the dispatch loop -------------------------------------------------
+
+    async def run(self) -> None:
+        """Drain and dispatch batches until cancelled."""
+        while True:
+            batch = await self.queue.next_batch(self.max_batch, self.batch_window)
+            if batch:
+                await self.dispatch(batch)
+
+    def backoff(self, attempt: int) -> float:
+        """Exponential backoff delay before retry ``attempt`` (1-based)."""
+        return min(self.backoff_cap, self.backoff_base * (2 ** (attempt - 1)))
+
+    async def dispatch(self, batch: list[QueuedJob]) -> None:
+        """Execute one batch to completion (or exhaustion of retries)."""
+        self._batch_seq += 1
+        batch_id = self._batch_seq
+        self._dispatched.inc()
+        self.events.emit(
+            "batch:dispatch", seq=batch_id,
+            jobs=len(batch), keys=[f"{m}::{w}" for m, w in (j.key for j in batch)],
+        )
+        attempt = 0
+        last_error: BaseException | None = None
+        while True:
+            attempt += 1
+            use_pool = self.pool_jobs > 1 and (self.healthy or self._probe_pool)
+            if not use_pool:
+                self._degraded_batches.inc()
+            for job in batch:
+                job.attempts = attempt
+            try:
+                results = await asyncio.to_thread(
+                    self._execute, [job.sim_job() for job in batch], use_pool
+                )
+            except MatrixCancelled as exc:
+                for job in batch:
+                    self.queue.fail(job, exc)
+                return
+            except Exception as exc:
+                last_error = exc
+                if use_pool:
+                    self._record_health(False)
+                    self._probe_pool = False
+                if attempt > self.max_retries:
+                    self._batch_failures.inc()
+                    self.events.emit(
+                        "batch:failed", seq=batch_id,
+                        attempts=attempt, error=repr(exc),
+                    )
+                    log.error("batch %d failed after %d attempts: %r",
+                              batch_id, attempt, exc)
+                    for job in batch:
+                        self.queue.fail(job, exc)
+                    return
+                self._retries.inc()
+                self._batch_retries.inc()
+                delay = self.backoff(attempt)
+                self.events.emit(
+                    "batch:retry", seq=batch_id,
+                    attempt=attempt, delay=delay, mode="pool" if use_pool else "serial",
+                    error=repr(exc),
+                )
+                log.warning(
+                    "batch %d attempt %d failed (%r); retrying in %.2fs (%s)",
+                    batch_id, attempt, exc, delay,
+                    "serial" if not self.healthy else "pool",
+                )
+                await asyncio.sleep(delay)
+                continue
+            # Success.
+            if use_pool:
+                self._record_health(True)
+                self._probe_pool = False
+            elif not self.healthy:
+                # A clean serial batch earns one probe of the pool.
+                self._probe_pool = True
+            self.events.emit(
+                "batch:done", seq=batch_id, attempts=attempt,
+                mode="pool" if use_pool else "serial",
+            )
+            for job in batch:
+                self.queue.resolve(job, results[job.key])
+            return
+
+    def _execute(self, sim_jobs: Iterable, use_pool: bool):
+        """Synchronous batch execution — runs on a worker thread."""
+        if use_pool:
+            return self.runner.run_jobs(
+                list(sim_jobs), jobs=self.pool_jobs, timeout=self.job_timeout
+            )
+        return self.runner.run_jobs(list(sim_jobs), jobs=None)

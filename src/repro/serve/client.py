@@ -1,0 +1,72 @@
+"""A small blocking client for the ``repro serve`` HTTP/JSON API.
+
+Stdlib-only (:mod:`http.client`), used by the end-to-end tests and as
+the reference for talking to the service from scripts::
+
+    from repro.serve.client import ServeClient
+
+    client = ServeClient("127.0.0.1", 8321)
+    reply = client.submit([{"machine": "ideal", "workload": "ijpeg", "width": 4}])
+    print(reply["results"][0]["ipc"])
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+
+
+class ServeError(RuntimeError):
+    """A non-2xx response from the service."""
+
+    def __init__(self, status: int, payload: object) -> None:
+        super().__init__(f"HTTP {status}: {payload!r}")
+        self.status = status
+        self.payload = payload
+
+
+class ServeClient:
+    """Blocking JSON-over-HTTP client for one service instance."""
+
+    def __init__(self, host: str, port: int, timeout: float = 600.0) -> None:
+        self.host = host
+        self.port = port
+        self.timeout = timeout
+
+    def _request(self, method: str, path: str, payload: dict | None = None) -> dict:
+        connection = http.client.HTTPConnection(
+            self.host, self.port, timeout=self.timeout
+        )
+        try:
+            body = None
+            headers = {}
+            if payload is not None:
+                body = json.dumps(payload).encode()
+                headers["Content-Type"] = "application/json"
+            connection.request(method, path, body=body, headers=headers)
+            response = connection.getresponse()
+            raw = response.read()
+            try:
+                decoded = json.loads(raw.decode() or "null")
+            except (UnicodeDecodeError, json.JSONDecodeError):
+                decoded = raw.decode("latin1")
+            if response.status >= 300:
+                raise ServeError(response.status, decoded)
+            return decoded
+        finally:
+            connection.close()
+
+    # -- API calls ---------------------------------------------------------
+
+    def submit(self, jobs: list[dict]) -> dict:
+        """POST /jobs: simulate a batch; blocks until the reply arrives."""
+        return self._request("POST", "/jobs", {"jobs": jobs})
+
+    def healthz(self) -> dict:
+        return self._request("GET", "/healthz")
+
+    def metrics(self) -> dict:
+        return self._request("GET", "/metrics")
+
+    def events(self) -> dict:
+        return self._request("GET", "/events")

@@ -1,0 +1,129 @@
+"""The service's job queue: submission, coalescing, and batch formation.
+
+Jobs are keyed by ``(machine-config name, workload)`` — the same identity
+the result cache uses — so a request that duplicates work already queued
+or in flight *coalesces* onto the existing job instead of simulating
+twice: both requests await the same :class:`asyncio.Future`.  The queue
+hands the dispatcher batches (up to ``max_batch`` jobs, gathered for a
+short window so near-simultaneous requests share one process-pool
+dispatch) and exposes its depth as a gauge.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from dataclasses import dataclass, field
+
+from repro.core.config import MachineConfig
+from repro.harness.runner import SimJob
+from repro.obs.metrics import MetricsRegistry
+
+
+@dataclass
+class QueuedJob:
+    """One unit of queued simulation work plus its completion future."""
+
+    config: MachineConfig
+    workload: str
+    future: asyncio.Future = field(repr=False)
+    #: requests waiting on this job (1 + coalesced duplicates)
+    waiters: int = 1
+    #: dispatch attempts so far (filled in by the dispatcher)
+    attempts: int = 0
+
+    @property
+    def key(self) -> tuple[str, str]:
+        return (self.config.name, self.workload)
+
+    def sim_job(self) -> SimJob:
+        return SimJob(self.config, self.workload)
+
+
+class JobQueue:
+    """Asyncio job queue with duplicate coalescing and batch draining."""
+
+    def __init__(self, metrics: MetricsRegistry | None = None) -> None:
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self._submitted = self.metrics.counter("serve.jobs.submitted")
+        self._coalesced = self.metrics.counter("serve.jobs.coalesced")
+        self._completed = self.metrics.counter("serve.jobs.completed")
+        self._failed = self.metrics.counter("serve.jobs.failed")
+        self._depth = self.metrics.gauge("serve.queue.depth")
+        self._in_flight = self.metrics.gauge("serve.jobs.in_flight")
+        self._pending: list[QueuedJob] = []
+        #: every live job (queued or dispatched), by key — the coalescing map
+        self._active: dict[tuple[str, str], QueuedJob] = {}
+        self._has_pending = asyncio.Event()
+
+    # -- submission --------------------------------------------------------
+
+    def is_live(self, key: tuple[str, str]) -> bool:
+        """True when a job with this key is queued or in flight."""
+        live = self._active.get(key)
+        return live is not None and not live.future.done()
+
+    def submit(self, config: MachineConfig, workload: str) -> QueuedJob:
+        """Enqueue one job, coalescing onto a live duplicate if present."""
+        key = (config.name, workload)
+        live = self._active.get(key)
+        if live is not None and not live.future.done():
+            live.waiters += 1
+            self._coalesced.inc()
+            return live
+        job = QueuedJob(
+            config=config,
+            workload=workload,
+            future=asyncio.get_running_loop().create_future(),
+        )
+        self._active[key] = job
+        self._pending.append(job)
+        self._submitted.inc()
+        self._depth.set(len(self._pending))
+        self._has_pending.set()
+        return job
+
+    # -- batch draining (dispatcher side) ----------------------------------
+
+    async def next_batch(self, max_batch: int, window: float) -> list[QueuedJob]:
+        """Wait for work, gather it for ``window`` seconds, drain a batch."""
+        await self._has_pending.wait()
+        if window > 0 and len(self._pending) < max_batch:
+            await asyncio.sleep(window)
+        batch = self._pending[:max_batch]
+        del self._pending[:len(batch)]
+        if not self._pending:
+            self._has_pending.clear()
+        self._depth.set(len(self._pending))
+        self._in_flight.set(len(batch))
+        return batch
+
+    def resolve(self, job: QueuedJob, result: object) -> None:
+        """Complete a job successfully and retire it from the live map."""
+        if not job.future.done():
+            job.future.set_result(result)
+        self._completed.inc()
+        self._retire(job)
+
+    def fail(self, job: QueuedJob, error: BaseException) -> None:
+        """Complete a job with an error and retire it from the live map."""
+        if not job.future.done():
+            job.future.set_exception(error)
+        self._failed.inc()
+        self._retire(job)
+
+    def _retire(self, job: QueuedJob) -> None:
+        if self._active.get(job.key) is job:
+            del self._active[job.key]
+        self._in_flight.set(max(0, self._in_flight.value - 1))
+
+    # -- introspection -----------------------------------------------------
+
+    @property
+    def depth(self) -> int:
+        """Jobs queued but not yet dispatched."""
+        return len(self._pending)
+
+    @property
+    def live(self) -> int:
+        """Jobs queued or in flight."""
+        return len(self._active)

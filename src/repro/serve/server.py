@@ -1,0 +1,346 @@
+"""The ``repro serve`` HTTP/JSON batch-simulation service.
+
+A small asyncio HTTP server (stdlib only — the container has no web
+framework, and none is needed for a line-protocol this simple) exposing:
+
+``POST /jobs``
+    Submit a batch of (machine, workload, config-override) jobs; the
+    response carries per-job results once every job completes, fails, or
+    the request timeout expires.  Duplicate jobs — inside one request or
+    across concurrent requests — are coalesced onto one simulation.
+``GET /healthz``
+    Liveness + pool health: ``ok`` or ``degraded``, with the transition
+    history (so a probe can see *degraded-then-recovered*, not just the
+    current state) and queue depth.
+``GET /metrics``
+    The service and runner metrics registries (counters, gauges) as JSON.
+``GET /events``
+    The newest service-plane events (requests, batches, retries, health
+    transitions) from the event bus.
+
+Results are served from — and new results persisted to — the sharded
+:class:`~repro.harness.runner.ResultCache`, so a restarted service
+answers repeat traffic without re-simulating.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.core.config import MachineConfig
+from repro.core.presets import resolve_machine
+from repro.harness.runner import SimulationRunner
+from repro.obs.events import EventBus
+from repro.obs.log import get_logger
+from repro.obs.metrics import MetricsRegistry
+from repro.serve.batch import BatchDispatcher, ServiceEvents
+from repro.serve.queue import JobQueue, QueuedJob
+
+log = get_logger(__name__)
+
+#: Version stamped into every /jobs response (see schemas/serve.schema.json).
+SERVE_VERSION = 1
+
+#: Hard cap on jobs per request: a single request cannot monopolise the
+#: queue (submit several requests instead; duplicates coalesce anyway).
+MAX_JOBS_PER_REQUEST = 64
+
+_REASONS = {
+    200: "OK", 400: "Bad Request", 404: "Not Found",
+    405: "Method Not Allowed", 500: "Internal Server Error",
+    504: "Gateway Timeout",
+}
+
+
+class BadRequest(ValueError):
+    """A request the service refuses, with a client-facing message."""
+
+
+@dataclass
+class ServeConfig:
+    """Everything tunable about one service instance."""
+
+    host: str = "127.0.0.1"
+    port: int = 0                       # 0 = pick an ephemeral port
+    cache_dir: Path | str | None = None  # None = .repro_cache/serve under the repo
+    cache_shards: int = 16
+    pool_jobs: int = 2
+    max_batch: int = 8
+    batch_window: float = 0.05
+    job_timeout: float = 300.0
+    max_retries: int = 3
+    backoff_base: float = 0.1
+    backoff_cap: float = 2.0
+    request_timeout: float = 600.0
+    event_buffer: int = 4096
+    default_width: int = 4
+
+
+def _parse_job(entry: object, index: int, default_width: int) -> tuple[MachineConfig, str]:
+    """Validate one request job entry -> (config, workload)."""
+    if not isinstance(entry, dict):
+        raise BadRequest(f"jobs[{index}]: expected an object, got {type(entry).__name__}")
+    unknown = set(entry) - {"machine", "workload", "width", "steering"}
+    if unknown:
+        raise BadRequest(f"jobs[{index}]: unknown fields {sorted(unknown)}")
+    machine = entry.get("machine")
+    workload = entry.get("workload")
+    if not isinstance(machine, str) or not machine:
+        raise BadRequest(f"jobs[{index}].machine: expected a machine name string")
+    if not isinstance(workload, str) or not workload:
+        raise BadRequest(f"jobs[{index}].workload: expected a workload name string")
+    width = entry.get("width", default_width)
+    if width not in (4, 8):
+        raise BadRequest(f"jobs[{index}].width: expected 4 or 8, got {width!r}")
+    steering = entry.get("steering")
+    if steering is not None and steering not in ("round_robin", "dependence"):
+        raise BadRequest(
+            f"jobs[{index}].steering: expected round_robin or dependence, got {steering!r}"
+        )
+    try:
+        config = resolve_machine(machine, width, steering=steering)
+    except ValueError as exc:
+        raise BadRequest(f"jobs[{index}]: {exc}") from None
+    return config, workload
+
+
+class SimulationService:
+    """One service instance: queue + dispatcher + HTTP frontend."""
+
+    def __init__(self, config: ServeConfig | None = None) -> None:
+        self.config = config if config is not None else ServeConfig()
+        self.metrics = MetricsRegistry()
+        self.bus = EventBus(capacity=self.config.event_buffer)
+        self.events = ServiceEvents(self.bus)
+        cache_dir = self.config.cache_dir
+        if cache_dir is None:
+            cache_dir = Path(__file__).resolve().parents[3] / ".repro_cache" / "serve"
+        self.runner = SimulationRunner(
+            cache_path=cache_dir, shards=self.config.cache_shards
+        )
+        self.queue = JobQueue(self.metrics)
+        self.dispatcher = BatchDispatcher(
+            self.runner, self.queue, self.metrics, self.events,
+            pool_jobs=self.config.pool_jobs,
+            max_batch=self.config.max_batch,
+            batch_window=self.config.batch_window,
+            job_timeout=self.config.job_timeout,
+            max_retries=self.config.max_retries,
+            backoff_base=self.config.backoff_base,
+            backoff_cap=self.config.backoff_cap,
+        )
+        self._requests = self.metrics.counter("serve.requests")
+        self._bad_requests = self.metrics.counter("serve.requests.bad")
+        self._request_seq = 0
+        self._server: asyncio.AbstractServer | None = None
+        self._dispatch_task: asyncio.Task | None = None
+
+    # -- lifecycle ---------------------------------------------------------
+
+    async def start(self) -> None:
+        self._dispatch_task = asyncio.create_task(
+            self.dispatcher.run(), name="repro-serve-dispatch"
+        )
+        self._server = await asyncio.start_server(
+            self._handle_connection, self.config.host, self.config.port
+        )
+        log.info("repro serve listening on %s:%d", self.config.host, self.port)
+        self.events.emit("service:start", port=self.port)
+
+    @property
+    def port(self) -> int:
+        assert self._server is not None and self._server.sockets
+        return self._server.sockets[0].getsockname()[1]
+
+    async def stop(self) -> None:
+        self.events.emit("service:stop")
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+        if self._dispatch_task is not None:
+            self._dispatch_task.cancel()
+            try:
+                await self._dispatch_task
+            except asyncio.CancelledError:
+                pass
+        self.runner.flush()
+
+    async def serve_forever(self) -> None:
+        assert self._server is not None, "call start() first"
+        await self._server.serve_forever()
+
+    # -- HTTP plumbing -----------------------------------------------------
+
+    async def _handle_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        try:
+            request = await self._read_request(reader)
+            if request is None:
+                return
+            method, path, body = request
+            status, payload = await self._route(method, path, body)
+        except BadRequest as exc:
+            self._bad_requests.inc()
+            status, payload = 400, {"error": str(exc)}
+        except Exception as exc:  # the service must outlive any request
+            log.error("request handling failed: %r", exc)
+            status, payload = 500, {"error": repr(exc)}
+        try:
+            body_bytes = json.dumps(payload, indent=2).encode() + b"\n"
+            writer.write(
+                f"HTTP/1.1 {status} {_REASONS.get(status, 'OK')}\r\n"
+                f"Content-Type: application/json\r\n"
+                f"Content-Length: {len(body_bytes)}\r\n"
+                f"Connection: close\r\n\r\n".encode() + body_bytes
+            )
+            await writer.drain()
+        finally:
+            writer.close()
+
+    @staticmethod
+    async def _read_request(
+        reader: asyncio.StreamReader,
+    ) -> tuple[str, str, bytes] | None:
+        line = await reader.readline()
+        if not line:
+            return None
+        parts = line.decode("latin1").split()
+        if len(parts) < 2:
+            raise BadRequest(f"malformed request line {line!r}")
+        method, path = parts[0].upper(), parts[1]
+        content_length = 0
+        while True:
+            header = await reader.readline()
+            if header in (b"\r\n", b"\n", b""):
+                break
+            name, _, value = header.decode("latin1").partition(":")
+            if name.strip().lower() == "content-length":
+                try:
+                    content_length = int(value.strip())
+                except ValueError:
+                    raise BadRequest(f"bad Content-Length {value.strip()!r}") from None
+        body = await reader.readexactly(content_length) if content_length else b""
+        return method, path, body
+
+    async def _route(self, method: str, path: str, body: bytes) -> tuple[int, dict]:
+        self._requests.inc()
+        path = path.split("?", 1)[0]
+        if path in ("/jobs", "/simulate"):
+            if method != "POST":
+                return 405, {"error": f"{path} requires POST"}
+            return await self._handle_jobs(body)
+        if method != "GET":
+            return 405, {"error": f"{path} requires GET"}
+        if path == "/healthz":
+            return 200, self.healthz_payload()
+        if path == "/metrics":
+            return 200, self.metrics_payload()
+        if path == "/events":
+            return 200, {"events": self.events.snapshot(newest=256)}
+        return 404, {"error": f"no route {path!r}; try /jobs /healthz /metrics /events"}
+
+    # -- endpoints ---------------------------------------------------------
+
+    async def _handle_jobs(self, body: bytes) -> tuple[int, dict]:
+        try:
+            payload = json.loads(body.decode() or "{}")
+        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+            raise BadRequest(f"request body is not JSON: {exc}") from None
+        if not isinstance(payload, dict):
+            raise BadRequest("request body must be a JSON object")
+        jobs_spec = payload.get("jobs")
+        if not isinstance(jobs_spec, list) or not jobs_spec:
+            raise BadRequest('request needs a non-empty "jobs" array')
+        if len(jobs_spec) > MAX_JOBS_PER_REQUEST:
+            raise BadRequest(
+                f"too many jobs in one request ({len(jobs_spec)} > {MAX_JOBS_PER_REQUEST})"
+            )
+        parsed = [
+            _parse_job(entry, index, self.config.default_width)
+            for index, entry in enumerate(jobs_spec)
+        ]
+        self._request_seq += 1
+        request_id = self._request_seq
+        self.events.emit("request", seq=request_id, jobs=len(parsed))
+
+        submitted: list[tuple[QueuedJob, bool]] = []
+        for config, workload in parsed:
+            coalesced = self.queue.is_live((config.name, workload))
+            job = self.queue.submit(config, workload)
+            submitted.append((job, coalesced))
+
+        futures = [asyncio.shield(job.future) for job, _ in submitted]
+        try:
+            outcomes = await asyncio.wait_for(
+                asyncio.gather(*futures, return_exceptions=True),
+                timeout=self.config.request_timeout,
+            )
+        except asyncio.TimeoutError:
+            outcomes = [
+                job.future.result() if job.future.done() and not job.future.exception()
+                else TimeoutError(
+                    f"request exceeded the {self.config.request_timeout}s timeout"
+                )
+                for job, _ in submitted
+            ]
+        results = []
+        all_ok = True
+        for (job, coalesced), outcome in zip(submitted, outcomes):
+            entry: dict = {
+                "machine": job.config.name,
+                "workload": job.workload,
+                "attempts": job.attempts,
+                "coalesced": coalesced,
+            }
+            if isinstance(outcome, BaseException):
+                all_ok = False
+                entry["ok"] = False
+                entry["error"] = repr(outcome)
+            else:
+                entry["ok"] = True
+                entry["ipc"] = outcome.ipc
+                entry["stats"] = outcome.to_dict()
+            results.append(entry)
+        response = {
+            "version": SERVE_VERSION,
+            "request_id": request_id,
+            "ok": all_ok,
+            "results": results,
+        }
+        return 200, response
+
+    def healthz_payload(self) -> dict:
+        return {
+            "status": self.dispatcher.status,
+            "history": list(self.dispatcher.health_history),
+            "queue_depth": self.queue.depth,
+            "live_jobs": self.queue.live,
+            "batches_dispatched": self.metrics.counter("serve.batches.dispatched").value,
+        }
+
+    def metrics_payload(self) -> dict:
+        return {
+            "service": self.metrics.as_dict(),
+            "runner": self.runner.metrics.as_dict(),
+        }
+
+
+async def run_service(config: ServeConfig, announce=print) -> None:
+    """Start a service and serve until cancelled (the CLI entry point)."""
+    service = SimulationService(config)
+    await service.start()
+    announce(
+        f"repro serve listening on http://{config.host}:{service.port} "
+        f"(pool_jobs={config.pool_jobs}, shards={config.cache_shards}, "
+        f"cache={service.runner.cache.path})"
+    )
+    try:
+        await service.serve_forever()
+    except asyncio.CancelledError:
+        pass
+    finally:
+        await service.stop()

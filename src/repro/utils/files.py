@@ -4,6 +4,7 @@ from __future__ import annotations
 
 import os
 import tempfile
+import zlib
 from pathlib import Path
 
 
@@ -35,3 +36,21 @@ def atomic_write_text(path: Path, text: str) -> None:
         except OSError:
             pass
         raise
+
+
+def stable_shard(key: str, shards: int) -> int:
+    """Map ``key`` to a shard index in ``[0, shards)``, stably across runs.
+
+    Uses CRC-32 rather than :func:`hash` because the latter is salted per
+    process (``PYTHONHASHSEED``): a key must land in the same shard file
+    no matter which process — service, pool worker, or a later restart —
+    computes the mapping.
+    """
+    if shards <= 0:
+        raise ValueError(f"shards must be positive, got {shards}")
+    return zlib.crc32(key.encode("utf-8")) % shards
+
+
+def shard_path(base_dir: Path | str, index: int) -> Path:
+    """The file that backs shard ``index`` of a sharded store at ``base_dir``."""
+    return Path(base_dir) / f"shard-{index:03d}.json"

@@ -125,6 +125,15 @@ class CheckReport:
 
 
 class _Timer:
+    """Times a section and absorbs an audit crash as a section failure.
+
+    A verification layer that *raises* — instead of returning violations —
+    must not abort the whole check: the remaining sections still run, the
+    report is still returned (so ``repro check -o`` still writes it), and
+    the crashed section reports a failure, which makes the exit code
+    nonzero.  ``KeyboardInterrupt``/``SystemExit`` still propagate.
+    """
+
     def __init__(self, section: Section) -> None:
         self.section = section
 
@@ -132,8 +141,17 @@ class _Timer:
         self._started = time.perf_counter()
         return self.section
 
-    def __exit__(self, *exc_info) -> None:
+    def __exit__(self, exc_type, exc, tb) -> bool:
         self.section.seconds = time.perf_counter() - self._started
+        if exc is None or not isinstance(exc, Exception):
+            return False
+        self.section.cases = max(self.section.cases, 1)
+        self.section.failures.append({
+            "section": self.section.name,
+            "detail": f"audit crashed: {exc!r}",
+        })
+        log.error("section %s crashed: %r", self.section.name, exc)
+        return True
 
 
 def run_check(

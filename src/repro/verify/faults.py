@@ -1,0 +1,135 @@
+"""Deterministic fault injection for resilience tests (``fault:`` workloads).
+
+The service and runner claim to survive worker crashes; proving that in
+a test needs a way to *make* a worker crash, deterministically, inside
+the child process — monkeypatching does not cross the process boundary,
+but workload names do (pool workers rebuild programs from the name via
+:func:`repro.workloads.suite.build`).  A fault workload name
+
+    ``fault:<mode>:<token>:<inner-workload>``
+
+wraps any buildable workload (suite kernels, ``fuzz:...`` programs, even
+another ``fault:``) and injects the fault the *first* time the name is
+built, then behaves exactly like the inner workload on every subsequent
+build.  First-ness is tracked with a marker file named ``<token>``
+inside the directory named by the ``REPRO_FAULT_DIR`` environment
+variable — the environment crosses the process-pool boundary, and a
+marker file survives the killed worker.  When ``REPRO_FAULT_DIR`` is
+unset the fault is disarmed and the inner workload builds normally, so
+a stray fault name in a result cache can never hurt a later run.
+
+Modes
+-----
+``kill-once``
+    SIGKILL the building process (a hard worker death: the process pool
+    sees a vanished worker and breaks, which is exactly the failure the
+    ``repro serve`` degradation path has to absorb).
+``raise-once``
+    Raise :class:`InjectedFault` (a clean in-worker exception: the pool
+    survives, only this job fails).
+``slow-once:<ms>``
+    Sleep ``<ms>`` milliseconds before building (drives batch-timeout
+    paths without killing anything).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import os
+import signal
+import time
+
+from repro.isa.program import Program
+from repro.obs.log import get_logger
+
+log = get_logger(__name__)
+
+FAULT_PREFIX = "fault:"
+
+#: Environment variable naming the armed marker directory.
+FAULT_DIR_ENV = "REPRO_FAULT_DIR"
+
+_MODES = ("kill-once", "raise-once", "slow-once")
+
+
+class InjectedFault(RuntimeError):
+    """The exception raised by ``raise-once`` fault workloads."""
+
+
+def fault_name(mode: str, token: str, workload: str) -> str:
+    """Compose a fault workload name, validating mode and token."""
+    base = mode.split(":", 1)[0]
+    if base not in _MODES:
+        raise ValueError(f"unknown fault mode {mode!r}; choices: {_MODES}")
+    if not token or "/" in token or ":" in token:
+        raise ValueError(f"fault token must be a plain filename, got {token!r}")
+    return f"{FAULT_PREFIX}{mode}:{token}:{workload}"
+
+
+def is_fault_name(name: str) -> bool:
+    return name.startswith(FAULT_PREFIX)
+
+
+def parse_fault_name(name: str) -> tuple[str, str, str]:
+    """Split ``fault:<mode>:<token>:<inner>`` -> (mode, token, inner).
+
+    ``<inner>`` may itself contain colons (``fuzz:mixed:3``), so only the
+    leading fields are split off.  ``slow-once`` carries its millisecond
+    argument in the mode field (``slow-once:250``).
+    """
+    if not is_fault_name(name):
+        raise ValueError(f"not a fault workload name: {name!r}")
+    body = name[len(FAULT_PREFIX):]
+    parts = body.split(":")
+    if parts and parts[0] == "slow-once" and len(parts) >= 2 and parts[1].isdigit():
+        mode = ":".join(parts[:2])
+        rest = parts[2:]
+    else:
+        mode = parts[0] if parts else ""
+        rest = parts[1:]
+    if mode.split(":", 1)[0] not in _MODES or len(rest) < 2:
+        raise ValueError(
+            f"bad fault name {name!r}; expected fault:<mode>:<token>:<workload>"
+        )
+    token, inner = rest[0], ":".join(rest[1:])
+    return mode, token, inner
+
+
+def _fire_once(token: str) -> bool:
+    """True exactly once per (armed directory, token): arms the marker.
+
+    Uses O_CREAT|O_EXCL so the check-and-set is atomic even when several
+    pool workers race to build the same name.
+    """
+    fault_dir = os.environ.get(FAULT_DIR_ENV, "").strip()
+    if not fault_dir:
+        return False  # disarmed
+    marker = os.path.join(fault_dir, token)
+    try:
+        fd = os.open(marker, os.O_CREAT | os.O_EXCL | os.O_WRONLY)
+    except FileExistsError:
+        return False
+    except OSError as exc:
+        log.warning("fault marker %s unusable (%s); fault disarmed", marker, exc)
+        return False
+    os.close(fd)
+    return True
+
+
+def build_fault(name: str) -> Program:
+    """Build a ``fault:`` workload, injecting its fault on first build."""
+    mode, token, inner = parse_fault_name(name)
+    if _fire_once(token):
+        log.warning("injecting fault %s (token %s) in pid %d", mode, token, os.getpid())
+        if mode == "kill-once":
+            os.kill(os.getpid(), signal.SIGKILL)
+        elif mode == "raise-once":
+            raise InjectedFault(f"injected fault for {name!r}")
+        else:  # slow-once:<ms>
+            time.sleep(int(mode.split(":", 1)[1]) / 1000.0)
+    from repro.workloads.suite import build
+
+    program = build(inner)
+    # The program must carry the *fault* name: stats/workload and cache
+    # keys are derived from it, and a retry must hit the same cache slot.
+    return dataclasses.replace(program, name=name)

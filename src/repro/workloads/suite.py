@@ -101,9 +101,15 @@ def build(name: str) -> Program:
     kernels (``fuzz:<profile>:<seed>``, see :mod:`repro.verify.fuzz`)
     and are regenerated from the name alone — which is what lets a
     process-pool worker simulate one without any registry transfer.
+    Names starting with ``fault:`` wrap another workload with one-shot
+    fault injection for resilience tests (:mod:`repro.verify.faults`).
     """
     if name.startswith("fuzz:"):
         from repro.verify.fuzz import build_fuzz
 
         return build_fuzz(name)
+    if name.startswith("fault:"):
+        from repro.verify.faults import build_fault
+
+        return build_fault(name)
     return get_workload(name).build()

@@ -3,6 +3,19 @@
 import pytest
 
 
+def pytest_addoption(parser):
+    parser.addoption(
+        "--update-golden",
+        action="store_true",
+        default=False,
+        help=(
+            "regenerate tests/golden/*.json from the current simulator instead "
+            "of comparing against it (see tests/integration/test_golden_results.py; "
+            "only do this after reviewing RESULTS_VERSION, per EXPERIMENTS.md)"
+        ),
+    )
+
+
 def pytest_configure(config):
     config.addinivalue_line(
         "markers", "slow: full-suite experiments (run by default; deselect with -m 'not slow')"

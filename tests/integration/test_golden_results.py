@@ -1,0 +1,100 @@
+"""Golden-result corpus: the simulator's numbers are frozen on disk.
+
+Every file in ``tests/golden/`` is a full ``SimStats.to_dict()`` for one
+(machine, kernel, width) triple — the paper's four pipelined-adder
+machines crossed with three representative kernels at both issue widths.
+The simulator is deterministic, so *any* divergence from the corpus is a
+behaviour change: either a bug, or an intentional model change that must
+be accompanied by a golden regeneration *and* a ``RESULTS_VERSION`` bump
+in ``harness/runner.py`` (see EXPERIMENTS.md — stale result caches must
+not survive a semantics change).
+
+Regenerating, after that review::
+
+    PYTHONPATH=src python -m pytest tests/integration/test_golden_results.py --update-golden
+
+Failures report the first diverging field via the same recursive walk
+the differential tester uses, not a 400-line JSON dump.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.core.presets import resolve_machine
+from repro.harness.runner import SimulationRunner
+from repro.verify.differential import first_divergence
+
+GOLDEN_DIR = Path(__file__).resolve().parents[1] / "golden"
+
+#: The paper's four machine models (Ideal is the unpipelined reference,
+#: pinned by the differential suite instead).
+MACHINES = ["baseline", "staggered", "rb-limited", "rb-full"]
+
+#: Three kernels spanning the behaviours that matter: dependent integer
+#: arithmetic (ijpeg's butterflies), call/return recursion (li), and
+#: memory-bound hashing (compress).
+KERNELS = ["ijpeg", "li", "compress"]
+
+WIDTHS = [4, 8]
+
+CASES = [
+    (machine, kernel, width)
+    for machine in MACHINES
+    for kernel in KERNELS
+    for width in WIDTHS
+]
+
+
+def golden_path(machine: str, kernel: str, width: int) -> Path:
+    return GOLDEN_DIR / f"{machine}-{width}w-{kernel}.json"
+
+
+def simulate(machine: str, kernel: str, width: int) -> dict:
+    runner = SimulationRunner()  # no cache: goldens pin live behaviour
+    return runner.run(resolve_machine(machine, width), kernel).to_dict()
+
+
+@pytest.mark.slow
+@pytest.mark.parametrize(
+    "machine, kernel, width", CASES,
+    ids=[f"{m}-{w}w-{k}" for m, k, w in CASES],
+)
+def test_simulation_matches_golden(machine, kernel, width, request):
+    path = golden_path(machine, kernel, width)
+    actual = simulate(machine, kernel, width)
+    if request.config.getoption("--update-golden"):
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(json.dumps(actual, indent=2, sort_keys=True) + "\n")
+        return
+    assert path.exists(), (
+        f"golden file {path.name} missing — regenerate with --update-golden "
+        f"(after RESULTS_VERSION review, see EXPERIMENTS.md)"
+    )
+    expected = json.loads(path.read_text())
+    divergence = first_divergence(expected, actual)
+    if divergence is not None:
+        where, want, got = divergence
+        pytest.fail(
+            f"{machine}/{kernel}/{width}w diverges from {path.name} at "
+            f"{where}: golden={want!r} actual={got!r}. If this change is "
+            f"intentional, bump RESULTS_VERSION and rerun with --update-golden."
+        )
+
+
+def test_corpus_is_complete_and_well_formed():
+    """Every expected golden exists, parses, and names its own case."""
+    for machine, kernel, width in CASES:
+        path = golden_path(machine, kernel, width)
+        assert path.exists(), f"missing golden {path.name}"
+        stats = json.loads(path.read_text())
+        assert stats["workload"] == kernel
+        assert stats["machine"] == resolve_machine(machine, width).name
+        assert stats["cycles"] > 0 and stats["instructions"] > 0
+    extras = {p.name for p in GOLDEN_DIR.glob("*.json")} - {
+        golden_path(m, k, w).name for m, k, w in CASES
+    }
+    assert not extras, f"unexpected golden files: {sorted(extras)}"

@@ -1,0 +1,120 @@
+"""Assembler round-trip property: encode → decode → re-encode is a fixpoint.
+
+A :class:`Program` carries everything needed to regenerate assembly
+source — each instruction keeps its original statement text, labels keep
+their resolved addresses, and the data image is plain bytes.  Rendering
+that source and assembling it again must reproduce the program exactly
+(and the rendering itself must be a fixpoint), over programs fuzzed
+through :class:`ProgramBuilder` by every profile of the random-program
+generator.  This pins the encoder and decoder against each other: a
+change that shifts encoding (operand order, displacement handling, label
+resolution) breaks the fixpoint even if both directions stay
+individually self-consistent.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.isa.assembler import assemble
+from repro.isa.program import INSTRUCTION_BYTES, Program
+from repro.verify.fuzz import PROFILES, build_fuzz, fuzz_name
+
+SEEDS = [0, 1, 7, 42]
+
+CASES = [(profile, seed) for profile in sorted(PROFILES) for seed in SEEDS]
+
+
+def render_program(program: Program) -> str:
+    """Regenerate assembly source from an assembled program."""
+    text_labels: dict[int, list[str]] = {}
+    data_labels: dict[int, list[str]] = {}
+    for name, address in program.labels.items():
+        if address >= program.data_base:
+            data_labels.setdefault(address - program.data_base, []).append(name)
+        else:
+            text_labels.setdefault(address, []).append(name)
+
+    lines = ["    .text"]
+    for instruction in program.instructions:
+        for name in sorted(text_labels.pop(instruction.address, [])):
+            lines.append(f"{name}:")
+        lines.append(f"    {instruction.text}")
+    for address in sorted(text_labels):  # labels at/after text end
+        for name in sorted(text_labels[address]):
+            lines.append(f"{name}:")
+
+    if program.data or data_labels:
+        lines.append("    .data")
+        cuts = sorted(set(data_labels) | {0, len(program.data)})
+        for start, end in zip(cuts, cuts[1:] + [len(program.data)]):
+            for name in sorted(data_labels.get(start, [])):
+                lines.append(f"{name}:")
+            chunk = program.data[start:end]
+            for offset in range(0, len(chunk), 16):
+                row = chunk[offset:offset + 16]
+                lines.append("    .byte " + ", ".join(str(b) for b in row))
+    return "\n".join(lines) + "\n"
+
+
+def assert_programs_identical(left: Program, right: Program) -> None:
+    assert len(left.instructions) == len(right.instructions)
+    for a, b in zip(left.instructions, right.instructions):
+        assert a.address == b.address, (a, b)
+        assert a.opcode == b.opcode, (a, b)
+        assert a.dest == b.dest, (a, b)
+        assert a.sources == b.sources, (a, b)
+        assert a.imm == b.imm, (a, b)
+        assert a.target == b.target, (a, b)
+    assert left.labels == right.labels
+    assert left.data == right.data
+    assert left.data_base == right.data_base
+    assert left.entry == right.entry
+
+
+@pytest.mark.parametrize("profile, seed", CASES, ids=[f"{p}-{s}" for p, s in CASES])
+def test_fuzzed_program_round_trips(profile, seed):
+    program = build_fuzz(fuzz_name(profile, seed))
+    rendered = render_program(program)
+    decoded = assemble(rendered, program.name)
+    assert_programs_identical(program, decoded)
+    # Fixpoint: re-rendering the re-assembled program changes nothing.
+    assert render_program(decoded) == rendered
+
+
+@pytest.mark.parametrize("kernel", ["ijpeg", "li", "compress", "mcf", "crafty"])
+def test_suite_kernels_round_trip(kernel):
+    from repro.workloads.suite import build
+
+    program = build(kernel)
+    decoded = assemble(render_program(program), program.name)
+    assert_programs_identical(program, decoded)
+    assert render_program(decoded) == render_program(program)
+
+
+def test_round_trip_catches_a_shifted_displacement():
+    """The fixpoint is a real oracle: a perturbed program fails it."""
+    program = build_fuzz(fuzz_name("memory", 3))
+    rendered = render_program(program)
+    decoded = assemble(rendered, program.name)
+    victim = next(
+        instr for instr in decoded.instructions if instr.imm not in (None, 0)
+    )
+    import dataclasses
+
+    mutated = dataclasses.replace(
+        victim, imm=victim.imm + INSTRUCTION_BYTES,
+        text=victim.text,  # text unchanged: the drift is in the decode
+    )
+    tampered = Program(
+        instructions=[
+            mutated if instr is victim else instr for instr in decoded.instructions
+        ],
+        labels=dict(decoded.labels),
+        data=decoded.data,
+        data_base=decoded.data_base,
+        entry=decoded.entry,
+        name=decoded.name,
+    )
+    with pytest.raises(AssertionError):
+        assert_programs_identical(program, tampered)

@@ -1,0 +1,125 @@
+"""Seeded property tests for the RB↔TC boundary (paper §3.2, §3.5).
+
+The differential suite pins the adders against whole-program behaviour;
+these tests pin the *algebra* directly: for thousands of random 64-bit
+operands and random redundant digit patterns,
+
+    to_tc(to_rb(x) + to_rb(y)) == (x + y) mod 2**64
+
+must hold exactly.  Plain ``random.Random`` with fixed seeds — every
+failure is reproducible from the test source alone, and the suite takes
+no new dependency.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.rb.adder import rb_add, rb_add_reference, rb_negate, rb_sub
+from repro.rb.convert import (
+    from_twos_complement,
+    to_twos_complement,
+    to_twos_complement_bits,
+)
+from repro.rb.number import RBNumber
+
+WIDTH = 64
+MASK = (1 << WIDTH) - 1
+CASES_PER_SEED = 500
+SEEDS = [0, 1, 2, 3]
+
+
+def random_operand(rng: random.Random) -> int:
+    """A 64-bit pattern biased toward carry-hostile shapes."""
+    choice = rng.randrange(4)
+    if choice == 0:
+        return rng.getrandbits(WIDTH)
+    if choice == 1:  # long runs of ones: maximal carry chains in TC
+        start = rng.randrange(WIDTH)
+        length = rng.randrange(1, WIDTH - start + 1)
+        return (((1 << length) - 1) << start) & MASK
+    if choice == 2:  # boundary values
+        return rng.choice([0, 1, MASK, 1 << (WIDTH - 1), (1 << (WIDTH - 1)) - 1])
+    return rng.getrandbits(8)  # small magnitudes
+
+
+def random_rb(rng: random.Random) -> RBNumber:
+    """A random digit pattern — not merely an encoding of a random TC value.
+
+    ``from_twos_complement`` only ever produces one negative digit (the
+    sign), so redundancy-heavy patterns (interleaved +1/-1 digits, many
+    encodings of the same value) need direct construction.
+    """
+    plus = rng.getrandbits(WIDTH)
+    minus = rng.getrandbits(WIDTH) & ~plus  # (1,1) is an invalid encoding
+    return RBNumber(WIDTH, plus, minus)
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_tc_round_trip_through_rb_addition(seed):
+    rng = random.Random(seed)
+    for _ in range(CASES_PER_SEED):
+        x, y = random_operand(rng), random_operand(rng)
+        result = rb_add(from_twos_complement(x, WIDTH), from_twos_complement(y, WIDTH))
+        assert to_twos_complement_bits(result.value) == (x + y) & MASK, (x, y)
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_addition_of_random_digit_patterns(seed):
+    rng = random.Random(seed)
+    for _ in range(CASES_PER_SEED):
+        a, b = random_rb(rng), random_rb(rng)
+        result = rb_add(a, b)
+        expected = (to_twos_complement_bits(a) + to_twos_complement_bits(b)) & MASK
+        assert to_twos_complement_bits(result.value) == expected, (a, b)
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_word_parallel_adder_matches_digit_serial_reference(seed):
+    rng = random.Random(seed)
+    for _ in range(CASES_PER_SEED):
+        a, b = random_rb(rng), random_rb(rng)
+        fast, slow = rb_add(a, b), rb_add_reference(a, b)
+        assert fast.value.plus == slow.value.plus, (a, b)
+        assert fast.value.minus == slow.value.minus, (a, b)
+        assert fast.overflow == slow.overflow, (a, b)
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_overflow_flag_matches_signed_range(seed):
+    rng = random.Random(seed)
+    low, high = -(1 << (WIDTH - 1)), (1 << (WIDTH - 1)) - 1
+    for _ in range(CASES_PER_SEED):
+        x, y = random_operand(rng), random_operand(rng)
+        sx = x - (1 << WIDTH) if x >> (WIDTH - 1) else x
+        sy = y - (1 << WIDTH) if y >> (WIDTH - 1) else y
+        result = rb_add(from_twos_complement(x, WIDTH), from_twos_complement(y, WIDTH))
+        assert result.overflow == (not low <= sx + sy <= high), (x, y)
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_subtraction_and_negation_are_consistent(seed):
+    rng = random.Random(seed)
+    for _ in range(CASES_PER_SEED):
+        a, b = random_rb(rng), random_rb(rng)
+        assert to_twos_complement_bits(rb_negate(b)) == (-to_twos_complement_bits(b)) & MASK, b
+        diff = rb_sub(a, b)
+        expected = (to_twos_complement_bits(a) - to_twos_complement_bits(b)) & MASK
+        assert to_twos_complement_bits(diff.value) == expected, (a, b)
+
+
+def test_every_redundant_encoding_of_a_value_adds_identically():
+    """Redundancy: distinct encodings of x collapse to the same TC sum."""
+    rng = random.Random(99)
+    for _ in range(200):
+        a = random_rb(rng)
+        bits = to_twos_complement_bits(a)
+        canonical = from_twos_complement(bits, WIDTH)
+        other = random_rb(rng)
+        via_pattern = rb_add(a, other)
+        via_canonical = rb_add(canonical, other)
+        assert to_twos_complement_bits(via_pattern.value) == to_twos_complement_bits(
+            via_canonical.value
+        ), (a, other)

@@ -1,0 +1,67 @@
+"""Fixtures for the serve tests: a real service on an ephemeral port.
+
+The service runs its own event loop on a daemon thread (exactly how the
+``repro serve`` CLI hosts it, minus the foreground process), and tests
+talk to it over real sockets with :class:`ServeClient`.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import threading
+
+import pytest
+
+from repro.serve import ServeClient, ServeConfig, SimulationService
+
+
+class ServiceUnderTest:
+    """A SimulationService hosted on a background event-loop thread."""
+
+    def __init__(self, config: ServeConfig) -> None:
+        self.service = SimulationService(config)
+        self.loop = asyncio.new_event_loop()
+        self._thread = threading.Thread(
+            target=self.loop.run_forever, name="serve-test-loop", daemon=True
+        )
+        self.client: ServeClient | None = None
+
+    def start(self) -> "ServiceUnderTest":
+        self._thread.start()
+        asyncio.run_coroutine_threadsafe(self.service.start(), self.loop).result(30)
+        self.client = ServeClient("127.0.0.1", self.service.port, timeout=300)
+        return self
+
+    def stop(self) -> None:
+        asyncio.run_coroutine_threadsafe(self.service.stop(), self.loop).result(30)
+        self.loop.call_soon_threadsafe(self.loop.stop)
+        self._thread.join(10)
+        self.loop.close()
+
+
+@pytest.fixture
+def live_service(tmp_path):
+    """Factory fixture: ``live_service(**overrides)`` -> ServiceUnderTest."""
+    handles: list[ServiceUnderTest] = []
+
+    def factory(**overrides) -> ServiceUnderTest:
+        settings = dict(
+            cache_dir=tmp_path / f"cache-{len(handles)}",
+            cache_shards=8,
+            pool_jobs=2,
+            max_batch=8,
+            batch_window=0.02,
+            job_timeout=120.0,
+            max_retries=3,
+            backoff_base=0.01,
+            backoff_cap=0.05,
+            request_timeout=240.0,
+        )
+        settings.update(overrides)
+        handle = ServiceUnderTest(ServeConfig(**settings)).start()
+        handles.append(handle)
+        return handle
+
+    yield factory
+    for handle in handles:
+        handle.stop()

@@ -1,0 +1,191 @@
+"""Unit tests for the batch dispatcher's retry and degradation policy.
+
+These use a scripted stand-in for the runner so every failure mode is
+deterministic and instant; the real pool is exercised by the end-to-end
+test in ``test_service_e2e.py``.
+"""
+
+from __future__ import annotations
+
+import asyncio
+
+import pytest
+
+from repro.core.presets import resolve_machine
+from repro.harness.runner import MatrixCancelled, MatrixWorkerError
+from repro.obs.events import EventBus
+from repro.obs.metrics import MetricsRegistry
+from repro.serve.batch import HEALTH_DEGRADED, HEALTH_OK, BatchDispatcher, ServiceEvents
+from repro.serve.queue import JobQueue
+
+IDEAL = resolve_machine("ideal", 4)
+
+
+class ScriptedRunner:
+    """run_jobs() plays back a script of results / exceptions, in order."""
+
+    def __init__(self, script):
+        self.script = list(script)
+        self.calls = []  # (keys, mode) per invocation
+
+    def run_jobs(self, sim_jobs, jobs=None, timeout=None):
+        self.calls.append((
+            [job.key for job in sim_jobs],
+            "pool" if jobs is not None else "serial",
+        ))
+        step = self.script.pop(0)
+        if isinstance(step, BaseException):
+            raise step
+        if step == "ok":
+            return {job.key: f"stats:{job.workload}" for job in sim_jobs}
+        raise AssertionError(f"unexpected script step {step!r}")
+
+
+def make_dispatcher(script, *, metrics=None, **overrides):
+    metrics = metrics if metrics is not None else MetricsRegistry()
+    queue = JobQueue(metrics)
+    runner = ScriptedRunner(script)
+    settings = dict(
+        pool_jobs=2, max_batch=8, batch_window=0,
+        job_timeout=5.0, max_retries=2, backoff_base=0.001, backoff_cap=0.002,
+    )
+    settings.update(overrides)
+    dispatcher = BatchDispatcher(
+        runner, queue, metrics, ServiceEvents(EventBus(capacity=64)), **settings
+    )
+    return dispatcher, queue, runner, metrics
+
+
+async def submit_and_dispatch(dispatcher, queue, workloads):
+    jobs = [queue.submit(IDEAL, workload) for workload in workloads]
+    batch = await queue.next_batch(dispatcher.max_batch, 0)
+    await dispatcher.dispatch(batch)
+    return jobs
+
+
+def test_clean_batch_resolves_every_future():
+    async def scenario():
+        dispatcher, queue, runner, _ = make_dispatcher(["ok"])
+        jobs = await submit_and_dispatch(dispatcher, queue, ["a", "b"])
+        assert [await job.future for job in jobs] == ["stats:a", "stats:b"]
+        assert runner.calls == [([(IDEAL.name, "a"), (IDEAL.name, "b")], "pool")]
+        assert dispatcher.status == HEALTH_OK
+        assert jobs[0].attempts == 1
+
+    asyncio.run(scenario())
+
+
+def test_pool_failure_degrades_and_retries_serially():
+    async def scenario():
+        dispatcher, queue, runner, metrics = make_dispatcher(
+            [MatrixWorkerError("Ideal-4w", "a", RuntimeError("worker died")), "ok"]
+        )
+        jobs = await submit_and_dispatch(dispatcher, queue, ["a"])
+        assert await jobs[0].future == "stats:a"
+        assert [mode for _, mode in runner.calls] == ["pool", "serial"]
+        assert dispatcher.status == HEALTH_DEGRADED
+        assert dispatcher.health_history == [HEALTH_OK, HEALTH_DEGRADED]
+        assert jobs[0].attempts == 2
+        assert metrics.counter("serve.retries").value == 1
+        assert metrics.counter("serve.batches.retried").value == 1
+        assert metrics.counter("serve.health.degradations").value == 1
+
+    asyncio.run(scenario())
+
+
+def test_clean_serial_batch_earns_pool_probe_then_recovery():
+    async def scenario():
+        dispatcher, queue, runner, metrics = make_dispatcher(
+            [MatrixWorkerError("Ideal-4w", "a", RuntimeError("worker died")), "ok", "ok"]
+        )
+        await submit_and_dispatch(dispatcher, queue, ["a"])  # degrade + serial retry
+        assert dispatcher._probe_pool is True
+        await submit_and_dispatch(dispatcher, queue, ["b"])  # probe succeeds
+        assert [mode for _, mode in runner.calls] == ["pool", "serial", "pool"]
+        assert dispatcher.status == HEALTH_OK
+        assert dispatcher.health_history == [HEALTH_OK, HEALTH_DEGRADED, HEALTH_OK]
+        assert metrics.counter("serve.health.recoveries").value == 1
+
+    asyncio.run(scenario())
+
+
+def test_failed_probe_degrades_again_without_losing_jobs():
+    async def scenario():
+        dispatcher, queue, runner, _ = make_dispatcher(
+            [
+                MatrixWorkerError("Ideal-4w", "a", RuntimeError("first death")), "ok",   # batch 1: degrade, serial ok
+                MatrixWorkerError("Ideal-4w", "b", RuntimeError("probe death")), "ok",   # batch 2: probe dies, serial ok
+            ]
+        )
+        await submit_and_dispatch(dispatcher, queue, ["a"])
+        jobs = await submit_and_dispatch(dispatcher, queue, ["b"])
+        assert await jobs[0].future == "stats:b"
+        assert [mode for _, mode in runner.calls] == [
+            "pool", "serial", "pool", "serial",
+        ]
+        assert dispatcher.status == HEALTH_DEGRADED
+
+    asyncio.run(scenario())
+
+
+def test_retry_exhaustion_fails_futures_not_the_service():
+    async def scenario():
+        dispatcher, queue, runner, metrics = make_dispatcher(
+            [MatrixWorkerError("Ideal-4w", "a", RuntimeError(f"death {n}")) for n in range(3)], max_retries=2
+        )
+        jobs = await submit_and_dispatch(dispatcher, queue, ["a"])
+        with pytest.raises(MatrixWorkerError, match="death 2"):
+            await jobs[0].future
+        assert len(runner.calls) == 3  # 1 initial + 2 retries
+        assert metrics.counter("serve.batches.failed").value == 1
+        assert metrics.counter("serve.jobs.failed").value == 1
+        assert queue.live == 0  # the key is free for resubmission
+
+    asyncio.run(scenario())
+
+
+def test_cancelled_batch_fails_futures_without_retry():
+    async def scenario():
+        dispatcher, queue, runner, metrics = make_dispatcher(
+            [MatrixCancelled("shutdown")]
+        )
+        jobs = await submit_and_dispatch(dispatcher, queue, ["a"])
+        with pytest.raises(MatrixCancelled):
+            await jobs[0].future
+        assert len(runner.calls) == 1
+        assert metrics.counter("serve.retries").value == 0
+
+    asyncio.run(scenario())
+
+
+def test_pool_jobs_one_always_runs_serially():
+    async def scenario():
+        dispatcher, queue, runner, _ = make_dispatcher(["ok"], pool_jobs=1)
+        await submit_and_dispatch(dispatcher, queue, ["a"])
+        assert runner.calls[0][1] == "serial"
+
+    asyncio.run(scenario())
+
+
+def test_backoff_is_exponential_and_capped():
+    dispatcher, _, _, _ = make_dispatcher([], backoff_base=0.1, backoff_cap=0.5)
+    assert dispatcher.backoff(1) == pytest.approx(0.1)
+    assert dispatcher.backoff(2) == pytest.approx(0.2)
+    assert dispatcher.backoff(3) == pytest.approx(0.4)
+    assert dispatcher.backoff(4) == pytest.approx(0.5)  # capped
+    assert dispatcher.backoff(10) == pytest.approx(0.5)
+
+
+def test_service_events_reach_the_bus():
+    async def scenario():
+        dispatcher, queue, _, _ = make_dispatcher(
+            [MatrixWorkerError("Ideal-4w", "a", RuntimeError("death")), "ok"]
+        )
+        await submit_and_dispatch(dispatcher, queue, ["a"])
+        texts = [event["text"] for event in dispatcher.events.snapshot()]
+        assert "batch:dispatch" in texts
+        assert "batch:retry" in texts
+        assert f"health:{HEALTH_DEGRADED}" in texts
+        assert "batch:done" in texts
+
+    asyncio.run(scenario())

@@ -1,0 +1,119 @@
+"""Unit tests for the job queue: coalescing, batching, retirement."""
+
+from __future__ import annotations
+
+import asyncio
+
+from repro.core.presets import resolve_machine
+from repro.obs.metrics import MetricsRegistry
+from repro.serve.queue import JobQueue
+
+IDEAL = resolve_machine("ideal", 4)
+BASELINE = resolve_machine("baseline", 4)
+
+
+def run(coro):
+    return asyncio.run(coro)
+
+
+def test_submit_and_drain_batch():
+    async def scenario():
+        queue = JobQueue()
+        a = queue.submit(IDEAL, "ijpeg")
+        b = queue.submit(BASELINE, "li")
+        assert queue.depth == 2 and queue.live == 2
+        batch = await queue.next_batch(max_batch=8, window=0)
+        assert batch == [a, b]
+        assert queue.depth == 0 and queue.live == 2  # in flight, not retired
+
+    run(scenario())
+
+
+def test_duplicate_submission_coalesces_onto_one_future():
+    async def scenario():
+        metrics = MetricsRegistry()
+        queue = JobQueue(metrics)
+        first = queue.submit(IDEAL, "ijpeg")
+        dup = queue.submit(IDEAL, "ijpeg")
+        other = queue.submit(IDEAL, "li")
+        assert dup is first and dup.future is first.future
+        assert first.waiters == 2
+        assert other is not first
+        assert queue.depth == 2  # the duplicate added no queue entry
+        assert metrics.counter("serve.jobs.submitted").value == 2
+        assert metrics.counter("serve.jobs.coalesced").value == 1
+
+    run(scenario())
+
+
+def test_is_live_tracks_queue_and_flight_but_not_done():
+    async def scenario():
+        queue = JobQueue()
+        job = queue.submit(IDEAL, "ijpeg")
+        key = (IDEAL.name, "ijpeg")
+        assert queue.is_live(key)
+        await queue.next_batch(max_batch=1, window=0)
+        assert queue.is_live(key)  # dispatched jobs still coalesce
+        queue.resolve(job, "stats")
+        assert not queue.is_live(key)
+        assert await job.future == "stats"
+
+    run(scenario())
+
+
+def test_resubmit_after_completion_creates_fresh_job():
+    async def scenario():
+        queue = JobQueue()
+        first = queue.submit(IDEAL, "ijpeg")
+        await queue.next_batch(max_batch=1, window=0)
+        queue.resolve(first, "old")
+        again = queue.submit(IDEAL, "ijpeg")
+        assert again is not first and not again.future.done()
+
+    run(scenario())
+
+
+def test_next_batch_respects_max_batch():
+    async def scenario():
+        queue = JobQueue()
+        for seed in range(5):
+            queue.submit(IDEAL, f"fuzz:serial:{seed}")
+        batch = await queue.next_batch(max_batch=3, window=0)
+        assert [job.workload for job in batch] == [
+            "fuzz:serial:0", "fuzz:serial:1", "fuzz:serial:2",
+        ]
+        assert queue.depth == 2
+        rest = await queue.next_batch(max_batch=3, window=0)
+        assert len(rest) == 2 and queue.depth == 0
+
+    run(scenario())
+
+
+def test_fail_sets_exception_and_retires():
+    async def scenario():
+        metrics = MetricsRegistry()
+        queue = JobQueue(metrics)
+        job = queue.submit(IDEAL, "ijpeg")
+        await queue.next_batch(max_batch=1, window=0)
+        boom = RuntimeError("boom")
+        queue.fail(job, boom)
+        assert job.future.exception() is boom
+        assert queue.live == 0
+        assert metrics.counter("serve.jobs.failed").value == 1
+        assert metrics.gauge("serve.jobs.in_flight").value == 0
+
+    run(scenario())
+
+
+def test_depth_gauge_follows_queue():
+    async def scenario():
+        metrics = MetricsRegistry()
+        queue = JobQueue(metrics)
+        for seed in range(3):
+            queue.submit(IDEAL, f"fuzz:serial:{seed}")
+        assert metrics.gauge("serve.queue.depth").value == 3
+        await queue.next_batch(max_batch=2, window=0)
+        assert metrics.gauge("serve.queue.depth").value == 1
+        assert metrics.gauge("serve.jobs.in_flight").value == 2
+
+    run(scenario())

@@ -1,0 +1,122 @@
+"""Request validation, routing, and response-schema tests for the server."""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.obs.validate import validate_json_schema
+from repro.serve.client import ServeError
+from repro.serve.server import MAX_JOBS_PER_REQUEST, BadRequest, _parse_job
+
+SCHEMA = json.loads(
+    (Path(__file__).resolve().parents[2] / "schemas" / "serve.schema.json").read_text()
+)
+
+
+# -- _parse_job --------------------------------------------------------------
+
+def test_parse_job_resolves_machine_and_width():
+    config, workload = _parse_job(
+        {"machine": "rb-limited", "workload": "ijpeg", "width": 8}, 0, 4
+    )
+    assert config.name == "RB-limited-8w"
+    assert workload == "ijpeg"
+
+
+def test_parse_job_applies_default_width():
+    config, _ = _parse_job({"machine": "ideal", "workload": "li"}, 0, 4)
+    assert config.name == "Ideal-4w"
+
+
+@pytest.mark.parametrize(
+    "entry, message",
+    [
+        ("not-a-dict", "expected an object"),
+        ({"machine": "ideal", "workload": "li", "bogus": 1}, "unknown fields"),
+        ({"workload": "li"}, "machine"),
+        ({"machine": "ideal"}, "workload"),
+        ({"machine": "ideal", "workload": ""}, "workload"),
+        ({"machine": "ideal", "workload": "li", "width": 16}, "width"),
+        ({"machine": "ideal", "workload": "li", "steering": "magic"}, "steering"),
+        ({"machine": "no-such-machine", "workload": "li"}, "no-such-machine"),
+    ],
+)
+def test_parse_job_rejects_bad_entries(entry, message):
+    with pytest.raises(BadRequest, match=message):
+        _parse_job(entry, 0, 4)
+
+
+# -- live routing ------------------------------------------------------------
+
+def test_unknown_route_is_404_and_wrong_method_is_405(live_service):
+    handle = live_service()
+    with pytest.raises(ServeError) as excinfo:
+        handle.client._request("GET", "/nope")
+    assert excinfo.value.status == 404
+    with pytest.raises(ServeError) as excinfo:
+        handle.client._request("GET", "/jobs")
+    assert excinfo.value.status == 405
+    with pytest.raises(ServeError) as excinfo:
+        handle.client._request("POST", "/healthz", {})
+    assert excinfo.value.status == 405
+
+
+def test_malformed_and_oversized_requests_are_400(live_service):
+    handle = live_service()
+    for payload in (
+        {},                              # no jobs array
+        {"jobs": []},                    # empty jobs array
+        {"jobs": [{"machine": "ideal"}]},  # missing workload
+        {"jobs": [{"machine": "ideal", "workload": "li"}] * (MAX_JOBS_PER_REQUEST + 1)},
+    ):
+        with pytest.raises(ServeError) as excinfo:
+            handle.client._request("POST", "/jobs", payload)
+        assert excinfo.value.status == 400, payload
+    bad = handle.client.metrics()["service"]["counters"]["serve.requests.bad"]
+    assert bad == 4
+
+
+def test_jobs_response_matches_checked_in_schema(live_service):
+    handle = live_service()
+    reply = handle.client.submit(
+        [
+            {"machine": "ideal", "workload": "fuzz:serial:11", "width": 4},
+            {"machine": "ideal", "workload": "fuzz:serial:11", "width": 4},
+        ]
+    )
+    validate_json_schema(reply, SCHEMA)
+    assert reply["ok"] is True
+    first, dup = reply["results"]
+    assert first["coalesced"] is False and dup["coalesced"] is True
+    assert first["ipc"] == dup["ipc"]
+    assert first["stats"]["machine"] == "Ideal-4w"
+
+
+def test_healthz_metrics_and_events_endpoints(live_service):
+    handle = live_service()
+    handle.client.submit([{"machine": "ideal", "workload": "fuzz:serial:12"}])
+    health = handle.client.healthz()
+    assert health["status"] == "ok"
+    assert health["history"][0] == "ok"
+    assert health["batches_dispatched"] >= 1
+    metrics = handle.client.metrics()
+    assert metrics["service"]["counters"]["serve.jobs.completed"] == 1
+    assert "runner" in metrics
+    texts = [event["text"] for event in handle.client.events()["events"]]
+    assert "service:start" in texts and "batch:done" in texts
+
+
+def test_repeat_request_is_served_from_the_sharded_cache(live_service):
+    handle = live_service()
+    first = handle.client.submit([{"machine": "ideal", "workload": "fuzz:serial:13"}])
+    hits_before = handle.client.metrics()["runner"]["counters"]["cache.hits"]
+    second = handle.client.submit([{"machine": "ideal", "workload": "fuzz:serial:13"}])
+    hits_after = handle.client.metrics()["runner"]["counters"]["cache.hits"]
+    assert second["results"][0]["stats"] == first["results"][0]["stats"]
+    assert hits_after > hits_before
+    cache_dir = Path(handle.service.runner.cache.path)
+    assert cache_dir.is_dir()
+    assert list(cache_dir.glob("shard-*.json"))

@@ -1,0 +1,121 @@
+"""End-to-end acceptance test for ``repro serve``.
+
+The scenario from the issue, verbatim: a client submits 20 mixed jobs
+(with duplicates), one process-pool worker is killed mid-batch, and all
+jobs must still complete with correct cached results, with retry
+counters visible at ``/metrics`` and ``/healthz`` reporting
+degraded-then-recovered.
+
+The worker kill is a deterministic ``fault:kill-once`` workload (see
+``repro.verify.faults``): the first worker to build it SIGKILLs itself,
+breaking the pool mid-batch; the retry — serial, because the pool
+failure degraded the service — finds the fault's marker file already
+armed and simulates normally.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.verify import faults
+from repro.verify.faults import fault_name
+
+pytestmark = pytest.mark.slow
+
+# 12 unique jobs + 1 fault job + 7 duplicates = 20 submitted jobs.
+UNIQUE_JOBS = [
+    {"machine": machine, "workload": f"fuzz:{profile}:{seed}", "width": width}
+    for machine, profile, seed, width in [
+        ("ideal", "serial", 21, 4),
+        ("ideal", "mixed", 22, 8),
+        ("baseline", "serial", 23, 4),
+        ("baseline", "branchy", 24, 4),
+        ("staggered", "mixed", 25, 4),
+        ("staggered", "serial", 26, 8),
+        ("rb-limited", "mixed", 27, 4),
+        ("rb-limited", "memory", 28, 4),
+        ("rb-full", "serial", 29, 4),
+        ("rb-full", "mixed", 30, 8),
+        ("ideal-no-1,2", "serial", 31, 4),
+        ("baseline", "mixed", 32, 4),
+    ]
+]
+DUPLICATES = [UNIQUE_JOBS[i] for i in (0, 2, 4, 6, 8, 10, 11)]
+
+
+def test_twenty_mixed_jobs_survive_a_worker_kill(live_service, monkeypatch, tmp_path):
+    fault_dir = tmp_path / "faults"
+    fault_dir.mkdir()
+    monkeypatch.setenv(faults.FAULT_DIR_ENV, str(fault_dir))
+
+    handle = live_service(pool_jobs=2, max_batch=8, batch_window=0.05)
+    kill_job = {
+        "machine": "ideal",
+        "workload": fault_name("kill-once", "e2e-kill", "fuzz:serial:21"),
+        "width": 4,
+    }
+    jobs = [kill_job] + UNIQUE_JOBS + DUPLICATES
+    assert len(jobs) == 20
+
+    reply = handle.client.submit(jobs)
+
+    # Every job completed, despite the mid-batch worker death.
+    assert reply["ok"] is True
+    assert len(reply["results"]) == 20
+    assert all(result["ok"] for result in reply["results"])
+    assert (fault_dir / "e2e-kill").exists()  # the fault really fired
+
+    # Duplicates coalesced onto the first submission's simulation.
+    coalesced = [result for result in reply["results"] if result["coalesced"]]
+    assert len(coalesced) >= len(DUPLICATES)
+    by_key = {}
+    for result in reply["results"]:
+        key = (result["machine"], result["workload"])
+        by_key.setdefault(key, []).append(result)
+    for key, group in by_key.items():
+        assert len({entry["ipc"] for entry in group}) == 1, key
+
+    # The killed batch was retried: its jobs carry attempts > 1, and the
+    # retry counters are visible at /metrics.
+    kill_result = next(
+        result for result in reply["results"]
+        if result["workload"] == kill_job["workload"]
+    )
+    assert kill_result["attempts"] > 1
+    counters = handle.client.metrics()["service"]["counters"]
+    assert counters["serve.retries"] >= 1
+    assert counters["serve.batches.retried"] >= 1
+    assert counters["serve.health.degradations"] >= 1
+    assert counters["serve.jobs.completed"] == 13  # unique jobs incl. the fault
+
+    # /healthz reports degraded-then-recovered: the pool failure flipped
+    # the service to degraded, a clean serial batch earned a pool probe,
+    # and the probe (a later batch) recovered it.
+    health = handle.client.healthz()
+    history = health["history"]
+    assert "degraded" in history
+    assert history[0] == "ok"
+    degraded_at = history.index("degraded")
+    assert "ok" in history[degraded_at + 1:], history
+    assert health["status"] == "ok"
+    assert counters["serve.health.recoveries"] >= 1
+
+    # Results are correct and cached: resubmitting the whole mix (fault
+    # included, now spent) answers from the cache with identical stats.
+    hits_before = handle.client.metrics()["runner"]["counters"]["cache.hits"]
+    again = handle.client.submit(jobs)
+    assert again["ok"] is True
+    hits_after = handle.client.metrics()["runner"]["counters"]["cache.hits"]
+    assert hits_after >= hits_before + 13
+    first_stats = {
+        (result["machine"], result["workload"]): result["stats"]
+        for result in reply["results"]
+    }
+    for result in again["results"]:
+        assert result["stats"] == first_stats[(result["machine"], result["workload"])]
+
+    # The retry events are on the bus for post-mortems.
+    texts = [event["text"] for event in handle.client.events()["events"]]
+    assert "batch:retry" in texts
+    assert "health:degraded" in texts
+    assert "health:ok" in texts

@@ -1,0 +1,92 @@
+"""Tests for the deterministic fault-injection workloads (``fault:``)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.verify import faults
+from repro.verify.faults import (
+    InjectedFault,
+    build_fault,
+    fault_name,
+    is_fault_name,
+    parse_fault_name,
+)
+from repro.workloads import suite
+
+
+# -- name grammar ------------------------------------------------------------
+
+def test_fault_name_round_trips_through_parse():
+    name = fault_name("raise-once", "tok", "fuzz:mixed:3")
+    assert name == "fault:raise-once:tok:fuzz:mixed:3"
+    assert is_fault_name(name)
+    assert parse_fault_name(name) == ("raise-once", "tok", "fuzz:mixed:3")
+
+
+def test_slow_once_carries_its_millisecond_argument_in_the_mode():
+    name = fault_name("slow-once:250", "tok", "li")
+    assert parse_fault_name(name) == ("slow-once:250", "tok", "li")
+
+
+def test_inner_workload_may_contain_colons():
+    mode, token, inner = parse_fault_name("fault:kill-once:t1:fault:raise-once:t2:li")
+    assert (mode, token) == ("kill-once", "t1")
+    assert inner == "fault:raise-once:t2:li"
+
+
+@pytest.mark.parametrize("bad", ["ijpeg", "fault:", "fault:kill-once", "fault:kill-once:tok", "fault:no-such-mode:tok:li"])
+def test_parse_rejects_malformed_names(bad):
+    with pytest.raises(ValueError):
+        parse_fault_name(bad)
+
+
+@pytest.mark.parametrize("mode, token", [("explode", "tok"), ("kill-once", ""), ("kill-once", "a/b"), ("kill-once", "a:b")])
+def test_fault_name_rejects_bad_mode_or_token(mode, token):
+    with pytest.raises(ValueError):
+        fault_name(mode, token, "li")
+
+
+# -- firing semantics --------------------------------------------------------
+
+def test_disarmed_without_fault_dir(monkeypatch):
+    monkeypatch.delenv(faults.FAULT_DIR_ENV, raising=False)
+    name = fault_name("raise-once", "never-fires", "fuzz:serial:1")
+    program = build_fault(name)  # would raise InjectedFault if armed
+    assert program.name == name
+
+
+def test_raise_once_fires_exactly_once_then_builds_inner(monkeypatch, tmp_path):
+    monkeypatch.setenv(faults.FAULT_DIR_ENV, str(tmp_path))
+    name = fault_name("raise-once", "fires-once", "fuzz:serial:1")
+    with pytest.raises(InjectedFault):
+        build_fault(name)
+    assert (tmp_path / "fires-once").exists()
+    program = build_fault(name)  # marker present: behaves as the inner workload
+    assert program.name == name
+    inner = suite.build("fuzz:serial:1")
+    assert program.instructions == inner.instructions
+
+
+def test_suite_build_routes_fault_names(monkeypatch, tmp_path):
+    monkeypatch.setenv(faults.FAULT_DIR_ENV, str(tmp_path))
+    name = fault_name("raise-once", "via-suite", "fuzz:serial:2")
+    with pytest.raises(InjectedFault):
+        suite.build(name)
+    program = suite.build(name)
+    assert program.name == name
+
+
+def test_slow_once_delays_then_builds(monkeypatch, tmp_path):
+    import time
+
+    monkeypatch.setenv(faults.FAULT_DIR_ENV, str(tmp_path))
+    name = fault_name("slow-once:50", "slowpoke", "fuzz:serial:3")
+    started = time.perf_counter()
+    program = build_fault(name)
+    assert time.perf_counter() - started >= 0.05
+    assert program.name == name
+    # Second build skips the sleep.
+    started = time.perf_counter()
+    build_fault(name)
+    assert time.perf_counter() - started < 0.05
