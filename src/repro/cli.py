@@ -28,7 +28,15 @@ report
     fans uncached simulations over a process pool.
 bench
     Measure simulator performance (cycle-skipping throughput and the
-    serial-vs-parallel sweep) and write ``BENCH_perf.json``.
+    serial-vs-parallel sweep), write ``BENCH_perf.json``, and append the
+    run to the ``BENCH_history.jsonl`` longitudinal record.
+    ``--compare`` gates the run against the trailing-window median of
+    prior same-host runs and exits nonzero on a regression.
+profile
+    Run a workload under the opt-in stack sampler and report where the
+    simulator's wall-clock goes per pipeline stage
+    (fetch/schedule/execute/bypass/...); ``-o`` writes collapsed stacks
+    for flamegraph.pl / speedscope.
 check
     Differential-testing and invariant audit: fuzzed kernels through
     every "bit-identical" execution-mode pair, plus the paper-shape
@@ -43,7 +51,8 @@ serve
     cache.  ``GET /healthz``, ``/metrics``, and ``/events`` expose the
     service state.
 
-Every command accepts ``-v``/``-vv`` for INFO/DEBUG progress logging.
+Every command accepts ``-v``/``-vv`` for INFO/DEBUG progress logging and
+``--log-json`` for machine-parseable one-object-per-line log output.
 """
 
 from __future__ import annotations
@@ -149,7 +158,30 @@ def cmd_trace(args: argparse.Namespace) -> int:
     sink = ChromeTraceSink(path) if args.format == "chrome" else JSONLSink(path)
     capacity = None if args.full else args.buffer
     bus = EventBus([sink], capacity=capacity)
+    # The span tracer is deliberately NOT bound to the bus: spans finish
+    # after Machine.run closes the bus, so they are written separately.
+    tracer = root_span = run_span = None
+    if args.spans is not None:
+        from repro.obs.trace import Tracer
+        tracer = Tracer()
+        root_span = tracer.start("cli.trace", attributes={
+            "machine": config.name, "workload": program.name,
+        })
+        run_span = tracer.start("machine.run", parent=root_span)
     stats = Machine(config).run(program, bus=bus)
+    if tracer is not None:
+        from repro.obs.trace import export_spans, validate_span_tree
+        tracer.end(run_span, cycles=stats.cycles, instructions=stats.instructions)
+        tracer.end(root_span)
+        spans = tracer.spans(root_span.trace_id)
+        validate_span_tree(spans)
+        spans_path = Path(args.spans)
+        spans_path.parent.mkdir(parents=True, exist_ok=True)
+        spans_path.write_text(
+            json.dumps(export_spans(root_span.trace_id, spans), indent=2) + "\n"
+        )
+        print(f"wrote {len(spans)} spans to {spans_path} "
+              f"(trace {root_span.trace_id})")
     print(f"wrote {len(bus.events)} events to {path} ({args.format} format)")
     if bus.dropped:
         print(f"  kept the newest {capacity} events; dropped {bus.dropped} older "
@@ -270,10 +302,39 @@ def cmd_report(args: argparse.Namespace) -> int:
 
 
 def cmd_bench(args: argparse.Namespace) -> int:
-    from repro.harness.perfbench import write_bench_perf
+    from repro.harness import perfbench
+    from repro.harness.perfhistory import (
+        HISTORY_FILENAME,
+        compare,
+        history_record,
+        load_history,
+    )
 
-    payload = write_bench_perf(
-        path=args.output, jobs=args.jobs, kernels=args.kernels
+    if args.history is not None:
+        history_path = Path(args.history)
+    elif args.output is not None:
+        history_path = Path(args.output).parent / HISTORY_FILENAME
+    else:
+        history_path = (
+            Path(perfbench.__file__).resolve().parents[3] / HISTORY_FILENAME
+        )
+
+    if args.compare_only:
+        history = load_history(history_path)
+        if not history:
+            print(f"no perf history at {history_path}; run `repro bench` first")
+            return 2
+        report = compare(
+            history[-1], history[:-1],
+            tolerance=args.tolerance, window=args.window,
+        )
+        print(report.summary())
+        return 0 if report.ok else 1
+
+    prior = load_history(history_path)
+    payload = perfbench.write_bench_perf(
+        path=args.output, jobs=args.jobs, kernels=args.kernels,
+        history_path=history_path,
     )
     for entry in payload["throughput"]:
         print(f"{entry['machine']:>14} / {entry['workload']:<8} "
@@ -288,6 +349,64 @@ def cmd_bench(args: argparse.Namespace) -> int:
     reference = payload["reference"]
     print(f"seed reference: {reference['instr_per_sec']} instr/s "
           f"({reference['machine']} on {reference['workload']})")
+    if args.compare:
+        report = compare(
+            history_record(payload), prior,
+            tolerance=args.tolerance, window=args.window,
+        )
+        print(report.summary())
+        return 0 if report.ok else 1
+    return 0
+
+
+def cmd_profile(args: argparse.Namespace) -> int:
+    import time
+
+    from repro.core.machine import Machine
+    from repro.obs.flame import CallStackSampler, SamplingProfiler, open_profiler
+
+    config = _machine_config(args)
+    program = _load_program(args.workload)
+    if args.sampler == "calls":
+        profiler = CallStackSampler(stride=args.stride)
+    elif args.sampler == "signal":
+        profiler = SamplingProfiler(interval=args.interval)
+    else:
+        profiler = open_profiler(interval=args.interval, stride=args.stride)
+    machine = Machine(config)
+    log.info("profiling %s on %s (%s) ...", config.name, program.name,
+             type(profiler).__name__)
+    started = time.perf_counter()
+    with profiler:
+        for _ in range(max(1, args.repeats)):
+            stats = machine.run(program, cycle_skip=not args.no_skip)
+    elapsed = time.perf_counter() - started
+    stages = profiler.stage_report()
+    if args.output is not None:
+        path = profiler.write_collapsed(args.output)
+        print(f"wrote {len(profiler.samples)} unique stacks to {path} "
+              f"(collapsed format: flamegraph.pl / speedscope.app)")
+    if args.json:
+        print(json.dumps({
+            "machine": config.name,
+            "workload": program.name,
+            "sampler": type(profiler).__name__,
+            "seconds": round(elapsed, 3),
+            "instructions": stats.instructions,
+            "samples": profiler.total_samples,
+            "stages": stages,
+        }, indent=2))
+        return 0
+    print(f"{config.name} on {program.name}: {stats.instructions} instructions "
+          f"x{max(1, args.repeats)} in {elapsed:.2f}s, "
+          f"{profiler.total_samples} samples ({type(profiler).__name__})")
+    rows = [
+        [entry["stage"], entry["samples"], f"{entry['fraction']:.1%}"]
+        for entry in stages
+    ]
+    print(format_table(["stage", "samples", "fraction"], rows))
+    if profiler.total_samples == 0:
+        print("no samples captured: raise --repeats or lower --interval")
     return 0
 
 
@@ -342,6 +461,10 @@ def main(argv: list[str] | None = None) -> int:
         "-v", "--verbose", action="count", default=0,
         help="show progress logging (-v INFO, -vv DEBUG)",
     )
+    common.add_argument(
+        "--log-json", action="store_true",
+        help="emit logs as one JSON object per line",
+    )
 
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -387,6 +510,9 @@ def main(argv: list[str] | None = None) -> int:
                             f"default {TRACE_BUFFER_EVENTS})")
     trace.add_argument("--full", action="store_true",
                        help="buffer every event (unbounded memory on long runs)")
+    trace.add_argument("--spans", default=None, metavar="PATH",
+                       help="also write the run's span tree as a span-export "
+                            "document (schemas/trace.schema.json)")
     trace.set_defaults(fn=cmd_trace)
 
     explain = sub.add_parser(
@@ -453,7 +579,50 @@ def main(argv: list[str] | None = None) -> int:
     bench.add_argument("--kernels", nargs="+", default=None, metavar="KERNEL",
                        help="workloads for the sweep benchmark "
                             "(default ijpeg li compress)")
+    bench.add_argument("--history", default=None, metavar="PATH",
+                       help="perf-history JSONL file "
+                            "(default BENCH_history.jsonl next to the snapshot)")
+    bench.add_argument("--compare", action="store_true",
+                       help="gate this run against the trailing-window median "
+                            "of prior same-host runs; exit 1 on regression")
+    bench.add_argument("--compare-only", action="store_true",
+                       help="skip benchmarking; gate the newest history row "
+                            "against its predecessors")
+    bench.add_argument("--tolerance", type=float, default=0.25, metavar="FRAC",
+                       help="regression threshold as a fraction below the "
+                            "baseline median (default 0.25)")
+    bench.add_argument("--window", type=int, default=5, metavar="N",
+                       help="trailing same-host runs forming the baseline "
+                            "median (default 5)")
     bench.set_defaults(fn=cmd_bench)
+
+    profile = sub.add_parser(
+        "profile", help="sample where simulator wall-clock goes per pipeline stage",
+        parents=[common],
+    )
+    profile.add_argument("workload", help="suite kernel name or assembly file path")
+    profile.add_argument("--machine", default="rb-limited")
+    profile.add_argument("--width", type=int, default=4, choices=(4, 8))
+    profile.add_argument("--steering", choices=("round_robin", "dependence"))
+    profile.add_argument("--sampler", choices=("auto", "signal", "calls"),
+                         default="auto",
+                         help="signal: setitimer-based wall/CPU sampling (main "
+                              "thread only); calls: deterministic sys.setprofile "
+                              "stride sampling; auto picks by thread")
+    profile.add_argument("--interval", type=float, default=0.005, metavar="SECONDS",
+                         help="signal-sampler period (default 0.005)")
+    profile.add_argument("--stride", type=int, default=512, metavar="N",
+                         help="call-sampler stride: record every Nth call "
+                              "(default 512)")
+    profile.add_argument("--repeats", type=int, default=1, metavar="N",
+                         help="run the workload N times under the profiler")
+    profile.add_argument("--no-skip", action="store_true",
+                         help="disable the cycle-skipping fast-forward")
+    profile.add_argument("--json", action="store_true",
+                         help="machine-readable per-stage report")
+    profile.add_argument("-o", "--output", default=None, metavar="PATH",
+                         help="write collapsed stacks for flamegraph tools")
+    profile.set_defaults(fn=cmd_profile)
 
     serve = sub.add_parser(
         "serve", help="batch-simulation HTTP service (see README, Serving)",
@@ -501,7 +670,7 @@ def main(argv: list[str] | None = None) -> int:
     check.set_defaults(fn=cmd_check)
 
     args = parser.parse_args(argv)
-    setup_logging(args.verbose)
+    setup_logging(args.verbose, json_lines=args.log_json)
     return args.fn(args)
 
 

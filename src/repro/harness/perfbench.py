@@ -159,8 +159,19 @@ def write_bench_perf(
     path: Path | str | None = None,
     jobs: int = 2,
     kernels: list[str] | None = None,
+    history_path: Path | str | None = None,
 ) -> dict:
-    """Run both benchmarks and write ``BENCH_perf.json``; returns the payload."""
+    """Run both benchmarks and write ``BENCH_perf.json``; returns the payload.
+
+    ``BENCH_perf.json`` is a *snapshot* — each run overwrites it — so
+    every run also appends one condensed row to ``BENCH_history.jsonl``
+    (next to the snapshot unless ``history_path`` says otherwise), the
+    longitudinal record ``repro bench --compare`` gates against.
+    """
+    from repro.harness.perfhistory import (
+        HISTORY_FILENAME, append_history, history_record,
+    )
+
     if path is None:
         path = Path(__file__).resolve().parents[3] / PERF_FILENAME
     path = Path(path)
@@ -179,4 +190,8 @@ def write_bench_perf(
     }
     atomic_write_text(path, json.dumps(payload, indent=2))
     log.info("wrote %s", path)
+    if history_path is None:
+        history_path = path.parent / HISTORY_FILENAME
+    append_history(history_path, history_record(payload))
+    log.info("appended run to %s", history_path)
     return payload

@@ -1,0 +1,235 @@
+"""Append-only perf history and the ``repro bench --compare`` gate.
+
+``repro bench`` snapshots the full benchmark payload to
+``BENCH_perf.json`` — which each run *overwrites*, so the repo only ever
+shows the latest numbers.  This module keeps the longitudinal record:
+every run appends one condensed row (host fingerprint, per-pair
+throughput, sweep speedup) to ``BENCH_history.jsonl``, and
+:func:`compare` turns that history into a regression gate — the current
+run's throughput against the median of the trailing window of prior
+runs *from the same host fingerprint*, failing when any pair falls more
+than ``tolerance`` below its baseline.
+
+Fingerprint filtering matters because the history is committed: CI
+containers, laptops, and other contributors' machines all append rows,
+and comparing across host classes would gate on hardware, not code.  A
+host with no prior rows simply has no baseline yet and passes.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import platform
+import time
+from collections.abc import Mapping, Sequence
+from dataclasses import dataclass, field
+from pathlib import Path
+from statistics import median
+
+from repro.obs.log import get_logger
+
+log = get_logger(__name__)
+
+HISTORY_VERSION = 1
+HISTORY_FILENAME = "BENCH_history.jsonl"
+
+#: Default regression gate: fail when a pair drops >25% below its
+#: trailing-window median.  Generous because wall-clock throughput on
+#: shared CI runners is noisy; tighten per-invocation with --tolerance.
+DEFAULT_TOLERANCE = 0.25
+DEFAULT_WINDOW = 5
+
+
+def host_fingerprint() -> dict:
+    """The host identity stamped on every history row."""
+    return {
+        "python": platform.python_version(),
+        "platform": platform.platform(),
+        "cpus": os.cpu_count(),
+    }
+
+
+def fingerprint_key(host: Mapping) -> str:
+    """The comparison-grouping key for one host fingerprint."""
+    return (
+        f"{host.get('platform', '?')}/py{host.get('python', '?')}"
+        f"/cpu{host.get('cpus', '?')}"
+    )
+
+
+def history_record(payload: Mapping) -> dict:
+    """Condense a ``BENCH_perf.json`` payload into one history row."""
+    throughput = {
+        f"{entry['machine']}::{entry['workload']}": entry["skip"]["instr_per_sec"]
+        for entry in payload.get("throughput", ())
+    }
+    return {
+        "version": HISTORY_VERSION,
+        "timestamp": payload.get("timestamp", time.time()),
+        "host": dict(payload.get("host") or host_fingerprint()),
+        "throughput": throughput,
+        "sweep_speedup": payload.get("sweep", {}).get("speedup"),
+    }
+
+
+def append_history(path: Path | str, record: Mapping) -> Path:
+    """Append one row; plain ``open("a")`` keeps the file append-only."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with path.open("a", encoding="utf-8") as fh:
+        fh.write(json.dumps(record, sort_keys=True) + "\n")
+    return path
+
+
+def load_history(path: Path | str) -> list[dict]:
+    """Every parseable row, oldest first; corrupt lines are skipped.
+
+    A merge conflict or interrupted append must not brick the gate —
+    bad lines are logged and dropped rather than raised.
+    """
+    path = Path(path)
+    if not path.exists():
+        return []
+    records: list[dict] = []
+    skipped = 0
+    with path.open(encoding="utf-8") as fh:
+        for line in fh:
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                entry = json.loads(line)
+            except json.JSONDecodeError:
+                skipped += 1
+                continue
+            if isinstance(entry, dict) and isinstance(entry.get("throughput"), dict):
+                records.append(entry)
+            else:
+                skipped += 1
+    if skipped:
+        log.warning("%s: skipped %d corrupt history line(s)", path, skipped)
+    return records
+
+
+@dataclass
+class PairComparison:
+    """One (machine, workload) pair against its trailing-window median."""
+
+    pair: str
+    current: float
+    baseline: float | None  # None = no prior run on this host fingerprint
+    runs: int               # prior runs the baseline median covers
+    regressed: bool
+
+    @property
+    def ratio(self) -> float | None:
+        if self.baseline is None or self.baseline <= 0:
+            return None
+        return self.current / self.baseline
+
+    def as_dict(self) -> dict:
+        return {
+            "pair": self.pair,
+            "current": self.current,
+            "baseline": self.baseline,
+            "runs": self.runs,
+            "ratio": round(self.ratio, 4) if self.ratio is not None else None,
+            "regressed": self.regressed,
+        }
+
+
+@dataclass
+class RegressionReport:
+    """The full ``--compare`` verdict across every benchmarked pair."""
+
+    tolerance: float
+    window: int
+    fingerprint: str
+    baseline_runs: int
+    comparisons: list[PairComparison] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not any(entry.regressed for entry in self.comparisons)
+
+    def as_dict(self) -> dict:
+        return {
+            "ok": self.ok,
+            "tolerance": self.tolerance,
+            "window": self.window,
+            "fingerprint": self.fingerprint,
+            "baseline_runs": self.baseline_runs,
+            "comparisons": [entry.as_dict() for entry in self.comparisons],
+        }
+
+    def summary(self) -> str:
+        lines = [
+            f"perf compare: trailing-median window {self.window}, "
+            f"tolerance {self.tolerance:.0%}, "
+            f"{self.baseline_runs} prior run(s) on this host"
+        ]
+        for entry in self.comparisons:
+            if entry.baseline is None:
+                lines.append(
+                    f"  {entry.pair:<28} {entry.current:>10.0f} instr/s "
+                    f"(no baseline yet)"
+                )
+                continue
+            verdict = "REGRESSED" if entry.regressed else "ok"
+            lines.append(
+                f"  {entry.pair:<28} {entry.current:>10.0f} instr/s "
+                f"vs median {entry.baseline:.0f} "
+                f"({entry.ratio:.2f}x)  {verdict}"
+            )
+        lines.append(
+            "PASS: no pair regressed" if self.ok
+            else f"FAIL: {sum(e.regressed for e in self.comparisons)} pair(s) "
+                 f"below {1 - self.tolerance:.0%} of baseline"
+        )
+        return "\n".join(lines)
+
+
+def compare(
+    record: Mapping,
+    history: Sequence[Mapping],
+    tolerance: float = DEFAULT_TOLERANCE,
+    window: int = DEFAULT_WINDOW,
+) -> RegressionReport:
+    """Gate ``record`` against the trailing window of ``history``.
+
+    ``history`` must *exclude* the record under test (compare before
+    appending, or slice off the last row).  Only prior rows with the
+    same host fingerprint participate; each pair's baseline is the
+    median of its newest ``window`` observations.
+    """
+    if not 0 < tolerance < 1:
+        raise ValueError(f"tolerance must be in (0, 1), got {tolerance}")
+    if window <= 0:
+        raise ValueError(f"window must be positive, got {window}")
+    key = fingerprint_key(record.get("host", {}))
+    prior = [
+        row for row in history if fingerprint_key(row.get("host", {})) == key
+    ]
+    trailing = prior[-window:]
+    report = RegressionReport(
+        tolerance=tolerance, window=window,
+        fingerprint=key, baseline_runs=len(trailing),
+    )
+    for pair, current in sorted(record.get("throughput", {}).items()):
+        observations = [
+            row["throughput"][pair]
+            for row in trailing
+            if isinstance(row["throughput"].get(pair), (int, float))
+        ]
+        if not observations:
+            report.comparisons.append(
+                PairComparison(pair, current, None, 0, False)
+            )
+            continue
+        baseline = float(median(observations))
+        regressed = baseline > 0 and current < baseline * (1 - tolerance)
+        report.comparisons.append(
+            PairComparison(pair, current, baseline, len(observations), regressed)
+        )
+    return report

@@ -56,6 +56,7 @@ from repro.core.statistics import SimStats
 from repro.obs.log import get_logger
 from repro.obs.metrics import MetricsRegistry
 from repro.obs.profile import BENCH_FILENAME, BenchLog, RunProfile
+from repro.obs.trace import TraceContext, Tracer
 from repro.utils.files import atomic_write_text, shard_path, stable_shard
 from repro.workloads.suite import build
 
@@ -97,11 +98,15 @@ class SimJob:
     service — hand the runner heterogeneous batches (mixed machines,
     widths, and workloads) instead of a dense config x workload cross
     product.  ``key`` is the identity used for result-cache lookups and
-    in-flight deduplication.
+    in-flight deduplication; ``trace`` is deliberately *not* part of it,
+    so tracing never perturbs caching or coalescing.
     """
 
     config: MachineConfig
     workload: str
+    #: parent trace context for request-scoped tracing (picklable; rides
+    #: to pool workers next to the workload name).
+    trace: TraceContext | None = None
 
     @property
     def key(self) -> tuple[str, str]:
@@ -221,19 +226,44 @@ class ResultCache:
         return len(self._data)
 
 
-def _simulate_for_pool(config: MachineConfig, workload: str) -> tuple[dict, dict]:
+def _simulate_for_pool(
+    config: MachineConfig,
+    workload: str,
+    trace_ctx: TraceContext | tuple | None = None,
+) -> tuple[dict, dict, list[dict]]:
     """Process-pool worker: one simulation, returned in serialized form.
 
     Runs in a child process, so it must not touch the parent's cache or
-    bench log; the parent merges the returned ``(stats, profile)`` dicts.
+    bench log; the parent merges the returned ``(stats, profile, spans)``
+    entries.  With a ``trace_ctx`` the worker wraps the simulation in
+    ``pool.worker`` → ``machine.run`` spans parented to the caller's
+    context and hands them back serialized for the parent's tracer to
+    adopt — span context crosses the pool boundary the same way fault
+    and fuzz workload identities do.
     """
+    tracer = worker_span = run_span = None
+    if trace_ctx is not None:
+        tracer = Tracer()
+        worker_span = tracer.start(
+            "pool.worker", parent=TraceContext(*trace_ctx),
+            attributes={"pid": os.getpid()},
+        )
+        run_span = tracer.start(
+            "machine.run", parent=worker_span,
+            attributes={"machine": config.name, "workload": workload},
+        )
     started = time.perf_counter()
     stats = Machine(config).run(build(workload))
     wall = time.perf_counter() - started
     profile = RunProfile.measure(
         config.name, workload, wall, stats.cycles, stats.instructions
     )
-    return stats.to_dict(), asdict(profile)
+    spans: list[dict] = []
+    if tracer is not None:
+        tracer.end(run_span, cycles=stats.cycles, instructions=stats.instructions)
+        tracer.end(worker_span)
+        spans = [span.to_dict() for span in tracer.spans()]
+    return stats.to_dict(), asdict(profile), spans
 
 
 class SimulationRunner:
@@ -251,11 +281,15 @@ class SimulationRunner:
         bench_path: Path | str | None = None,
         jobs: int | None = None,
         shards: int | None = None,
+        tracer: Tracer | None = None,
     ) -> None:
         if cache_path is None:
             cache_path = Path(__file__).resolve().parents[3] / ".repro_cache" / "results.json"
         self.metrics = MetricsRegistry()
         self.jobs = jobs
+        #: optional request-scoped tracer: jobs carrying a trace context
+        #: get cache.hit / machine.run / pool.worker spans recorded here.
+        self.tracer = tracer
         self.cache = ResultCache(cache_path, metrics=self.metrics, shards=shards)
         if bench_path is None and self.cache.path is not None:
             parent = self.cache.path if shards is not None else self.cache.path.parent
@@ -285,25 +319,56 @@ class SimulationRunner:
 
     # -- running ----------------------------------------------------------------
 
-    def run(self, config: MachineConfig, workload: str) -> SimStats:
+    def run(
+        self,
+        config: MachineConfig,
+        workload: str,
+        trace_parent: TraceContext | None = None,
+    ) -> SimStats:
         """One simulation, served from cache when available.
 
         New results are kept in memory until :meth:`flush` (or the end of
         the enclosing :meth:`run_matrix`): saving the whole cache after
         every run made an N-run sweep O(N^2) in serialization work.
+
+        With a ``trace_parent`` (and a runner :attr:`tracer`) the call is
+        wrapped in a ``machine.run`` span — or a ``cache.hit`` span when
+        no simulation happens — parented to the caller's context.
         """
+        tracing = self.tracer is not None and trace_parent is not None
         cached = self.cache.get(config.name, workload)
         if cached is not None:
             log.debug("cache hit: %s on %s", config.name, workload)
+            if tracing:
+                span = self.tracer.start(
+                    "cache.hit", parent=trace_parent,
+                    attributes={"machine": config.name, "workload": workload},
+                )
+                self.tracer.end(span)
             return cached
         machine = self._machines.get(config.name)
         if machine is None:
             machine = Machine(config)
             self._machines[config.name] = machine
         log.info("simulating %s on %s ...", config.name, workload)
-        started = time.perf_counter()
-        stats = machine.run(build(workload))
-        wall = time.perf_counter() - started
+        run_span = None
+        if tracing:
+            run_span = self.tracer.start(
+                "machine.run", parent=trace_parent,
+                attributes={"machine": config.name, "workload": workload},
+            )
+        try:
+            started = time.perf_counter()
+            stats = machine.run(build(workload))
+            wall = time.perf_counter() - started
+        except BaseException as exc:
+            if run_span is not None:
+                self.tracer.end(run_span, error=repr(exc))
+            raise
+        if run_span is not None:
+            self.tracer.end(
+                run_span, cycles=stats.cycles, instructions=stats.instructions
+            )
         profile = RunProfile.measure(
             config.name, workload, wall, stats.cycles, stats.instructions
         )
@@ -367,7 +432,9 @@ class SimulationRunner:
                         f"cancelled with {len(results)}/{len(sim_jobs)} jobs done"
                     )
                 if job.key not in results:
-                    results[job.key] = self.run(job.config, job.workload)
+                    results[job.key] = self.run(
+                        job.config, job.workload, trace_parent=job.trace
+                    )
         self.flush()
         return results
 
@@ -380,16 +447,21 @@ class SimulationRunner:
     ) -> dict[tuple[str, str], SimStats]:
         """Fan uncached jobs out over a process pool and merge the results."""
         results: dict[tuple[str, str], SimStats] = {}
-        pending: dict[tuple[str, str], MachineConfig] = {}
+        pending: dict[tuple[str, str], SimJob] = {}
         for job in sim_jobs:
             key = job.key
             if key in results or key in pending:
                 continue  # deduplicate in-flight keys
             cached = self.cache.get(job.config.name, job.workload)
             if cached is not None:
+                if self.tracer is not None and job.trace is not None:
+                    self.tracer.end(self.tracer.start(
+                        "cache.hit", parent=job.trace,
+                        attributes={"machine": job.config.name, "workload": job.workload},
+                    ))
                 results[key] = cached
             else:
-                pending[key] = job.config
+                pending[key] = job
         if not pending:
             return results
         log.info(
@@ -406,8 +478,11 @@ class SimulationRunner:
         try:
             with ProcessPoolExecutor(max_workers=min(jobs, len(pending))) as pool:
                 futures = {
-                    pool.submit(_simulate_for_pool, config, key[1]): key
-                    for key, config in pending.items()
+                    pool.submit(
+                        _simulate_for_pool, job.config, key[1],
+                        job.trace if self.tracer is not None else None,
+                    ): key
+                    for key, job in pending.items()
                 }
                 try:
                     for future in as_completed(futures, timeout=timeout):
@@ -416,13 +491,15 @@ class SimulationRunner:
                             cancelled = True
                             break
                         try:
-                            stats_entry, profile_entry = future.result()
+                            stats_entry, profile_entry, span_entries = future.result()
                         except Exception as exc:
                             log.error(
                                 "worker failed on %s / %s: %r", key[0], key[1], exc
                             )
                             failures.append((key, exc))
                             continue
+                        if self.tracer is not None and span_entries:
+                            self.tracer.adopt(span_entries)
                         stats = SimStats.from_dict(stats_entry)
                         self.bench.record(RunProfile(**profile_entry))
                         self.cache.put(stats)

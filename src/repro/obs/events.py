@@ -45,6 +45,12 @@ class EventKind(enum.Enum):
     #: tick and ``seq`` the request/batch id, so the same bus, sinks,
     #: and sort order work unchanged for the serving layer.
     SERVICE = "service"
+    #: Distributed-tracing spans (repro.obs.trace): one finished span
+    #: per event.  ``cycle`` carries microseconds since the tracer's
+    #: origin, ``dur`` the span duration in microseconds, ``text`` the
+    #: span name, and ``args`` the serialized span (trace_id, span_id,
+    #: parent_id, timestamps, attributes).
+    SPAN = "span"
 
 
 _KIND_ORDER = {kind: index for index, kind in enumerate(EventKind)}

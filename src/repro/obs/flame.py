@@ -1,0 +1,272 @@
+"""Hot-loop profiling: stack samplers, stage attribution, flamegraphs.
+
+The planned structure-of-arrays core rewrite needs to know where the
+simulator's wall-clock actually goes — which pipeline stage's Python
+code burns the cycles — before deciding what to attack first.  This
+module provides two opt-in, stdlib-only stack samplers:
+
+:class:`SamplingProfiler`
+    Signal-based (``signal.setitimer``): the OS interrupts the process
+    every ``interval`` seconds of CPU (or wall) time and the handler
+    records the current Python stack.  Negligible overhead, honest
+    time attribution, but main-thread only (POSIX signal rules).
+:class:`CallStackSampler`
+    ``sys.setprofile``-based: records the stack on every ``stride``-th
+    function call.  Works on any thread and is deterministic for a
+    deterministic workload, at the price of attributing by call count
+    rather than by time.  The fallback when signals are unavailable.
+
+Both classes are idempotent to enable/disable, usable as context
+managers, and share the reporting surface: :meth:`~StackProfiler.collapsed`
+writes Brendan-Gregg-style collapsed stacks (one ``frame;frame;... N``
+line per unique stack — feed it to ``flamegraph.pl`` or
+https://www.speedscope.app), and :meth:`~StackProfiler.stage_report`
+folds every sample onto the pipeline stage taxonomy below for the
+``repro profile`` CLI table.
+
+Stage attribution walks each sampled stack innermost-out and assigns
+the first frame that matches a known stage (scheduler wakeup code is
+"schedule" even when it was called from the core loop); samples that
+only ever touch ``core/machine.py`` are the un-factored cycle loop
+itself ("core-loop"), and everything outside the simulator is "host".
+"""
+
+from __future__ import annotations
+
+import signal
+import sys
+import threading
+from collections import Counter
+from pathlib import Path
+
+#: Stage taxonomy: (stage, filename fragment, function-name prefixes).
+#: Scanned in order against each frame; first frame with a match wins.
+_STAGE_RULES: tuple[tuple[str, str, tuple[str, ...]], ...] = (
+    ("fetch", "/frontend/", ()),
+    ("schedule", "/backend/scheduler", ()),
+    ("schedule", "/core/machine", ("is_ready",)),
+    ("bypass", "/backend/bypass", ()),
+    ("execute", "/isa/semantics", ()),
+    ("execute", "/backend/fu", ()),
+    ("execute", "/backend/latency", ()),
+    ("execute", "/rb/", ()),
+    ("execute", "/circuits/", ()),
+    ("memory", "/mem/", ()),
+    ("retire", "/core/window", ()),
+    ("frontend-decode", "/isa/", ()),
+)
+
+#: Stages in presentation order for reports (others appended as seen).
+STAGES = (
+    "fetch", "schedule", "execute", "bypass", "memory", "retire",
+    "frontend-decode", "core-loop", "host",
+)
+
+_MAX_DEPTH = 64
+
+
+def classify_frame(filename: str, funcname: str) -> str | None:
+    """The pipeline stage a single frame belongs to, if any."""
+    normalized = filename.replace("\\", "/")
+    for stage, fragment, prefixes in _STAGE_RULES:
+        if fragment in normalized:
+            if not prefixes or funcname.startswith(prefixes):
+                return stage
+    return None
+
+
+def classify_stack(frames: tuple[tuple[str, str], ...]) -> str:
+    """The stage of one sampled stack (frames innermost-first)."""
+    in_core = False
+    for filename, funcname in frames:
+        stage = classify_frame(filename, funcname)
+        if stage is not None:
+            return stage
+        if "/core/machine" in filename.replace("\\", "/"):
+            in_core = True
+    return "core-loop" if in_core else "host"
+
+
+def _capture(frame) -> tuple[tuple[str, str], ...]:
+    """The stack at ``frame``, innermost-first, as (filename, funcname)."""
+    frames: list[tuple[str, str]] = []
+    depth = 0
+    while frame is not None and depth < _MAX_DEPTH:
+        code = frame.f_code
+        frames.append((code.co_filename, code.co_name))
+        frame = frame.f_back
+        depth += 1
+    return tuple(frames)
+
+
+class StackProfiler:
+    """Shared sample store and reporting for both sampler flavors."""
+
+    def __init__(self) -> None:
+        #: stack tuple (innermost-first) -> observation count
+        self.samples: Counter = Counter()
+        self._enabled = False
+
+    @property
+    def enabled(self) -> bool:
+        return self._enabled
+
+    @property
+    def total_samples(self) -> int:
+        return sum(self.samples.values())
+
+    def reset(self) -> None:
+        self.samples.clear()
+
+    def record(self, frame) -> None:
+        self.samples[_capture(frame)] += 1
+
+    # -- lifecycle (subclasses implement _install/_uninstall) --------------
+
+    def enable(self) -> None:
+        """Start sampling; a second enable is a no-op."""
+        if self._enabled:
+            return
+        self._install()
+        self._enabled = True
+
+    def disable(self) -> None:
+        """Stop sampling; disabling an idle profiler is a no-op."""
+        if not self._enabled:
+            return
+        self._uninstall()
+        self._enabled = False
+
+    def _install(self) -> None:  # pragma: no cover - abstract
+        raise NotImplementedError
+
+    def _uninstall(self) -> None:  # pragma: no cover - abstract
+        raise NotImplementedError
+
+    def __enter__(self) -> "StackProfiler":
+        self.enable()
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.disable()
+
+    # -- reporting ---------------------------------------------------------
+
+    def collapsed(self) -> str:
+        """Collapsed-stack flamegraph lines: ``root;...;leaf count``."""
+        lines = []
+        for frames, count in self.samples.items():
+            names = [
+                f"{Path(filename).stem}:{funcname}"
+                for filename, funcname in reversed(frames)
+            ]
+            lines.append(f"{';'.join(names)} {count}")
+        return "\n".join(sorted(lines)) + ("\n" if lines else "")
+
+    def write_collapsed(self, path: Path | str) -> Path:
+        path = Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(self.collapsed())
+        return path
+
+    def stage_report(self) -> list[dict]:
+        """Per-stage sample attribution, heaviest first.
+
+        Every known stage appears (zero-count stages included) so the
+        ``repro profile`` table always shows the full taxonomy.
+        """
+        by_stage: Counter = Counter({stage: 0 for stage in STAGES})
+        for frames, count in self.samples.items():
+            by_stage[classify_stack(frames)] += count
+        total = sum(by_stage.values())
+        return [
+            {
+                "stage": stage,
+                "samples": count,
+                "fraction": round(count / total, 4) if total else 0.0,
+            }
+            for stage, count in sorted(
+                by_stage.items(), key=lambda item: (-item[1], item[0])
+            )
+        ]
+
+
+class SamplingProfiler(StackProfiler):
+    """Signal-driven stack sampler (main thread only).
+
+    ``timer="cpu"`` samples every ``interval`` seconds of process CPU
+    time (``ITIMER_PROF``/``SIGPROF``) — the right default for a
+    CPU-bound simulator; ``timer="wall"`` uses ``ITIMER_REAL``/
+    ``SIGALRM`` for workloads that block.
+    """
+
+    def __init__(self, interval: float = 0.005, timer: str = "cpu") -> None:
+        super().__init__()
+        if interval <= 0:
+            raise ValueError(f"interval must be positive, got {interval}")
+        if timer not in ("cpu", "wall"):
+            raise ValueError(f"timer must be 'cpu' or 'wall', got {timer!r}")
+        self.interval = interval
+        self.timer = timer
+        self._itimer = signal.ITIMER_PROF if timer == "cpu" else signal.ITIMER_REAL
+        self._signal = signal.SIGPROF if timer == "cpu" else signal.SIGALRM
+        self._previous_handler = None
+
+    def _handle(self, signum, frame) -> None:
+        if frame is not None:
+            self.record(frame)
+
+    def _install(self) -> None:
+        if threading.current_thread() is not threading.main_thread():
+            raise RuntimeError(
+                "SamplingProfiler needs the main thread (POSIX signal "
+                "delivery); use CallStackSampler on worker threads"
+            )
+        self._previous_handler = signal.signal(self._signal, self._handle)
+        signal.setitimer(self._itimer, self.interval, self.interval)
+
+    def _uninstall(self) -> None:
+        signal.setitimer(self._itimer, 0.0)
+        signal.signal(self._signal, self._previous_handler or signal.SIG_DFL)
+        self._previous_handler = None
+
+
+class CallStackSampler(StackProfiler):
+    """``sys.setprofile``-based sampler: every ``stride``-th call event.
+
+    Attribution is by call frequency, not elapsed time — a long-running
+    leaf call is under-weighted relative to the signal sampler — but it
+    needs no signals, works on any thread, and is deterministic, which
+    is what the tests and the pool-worker path want.
+    """
+
+    def __init__(self, stride: int = 512) -> None:
+        super().__init__()
+        if stride <= 0:
+            raise ValueError(f"stride must be positive, got {stride}")
+        self.stride = stride
+        self._calls = 0
+        self._previous = None
+
+    def _hook(self, frame, event, arg) -> None:
+        if event not in ("call", "c_call"):
+            return
+        self._calls += 1
+        if self._calls % self.stride == 0:
+            self.record(frame)
+
+    def _install(self) -> None:
+        self._previous = sys.getprofile()
+        sys.setprofile(self._hook)
+
+    def _uninstall(self) -> None:
+        sys.setprofile(self._previous)
+        self._previous = None
+
+
+def open_profiler(interval: float = 0.005, stride: int = 512) -> StackProfiler:
+    """The best available profiler: signal-based on the main thread,
+    ``sys.setprofile``-based anywhere else."""
+    if threading.current_thread() is threading.main_thread():
+        return SamplingProfiler(interval=interval)
+    return CallStackSampler(stride=stride)

@@ -4,16 +4,37 @@ The whole package logs under the ``repro`` namespace; by default nothing
 below WARNING is shown.  ``repro <command> -v`` turns on INFO (per-phase
 progress: which simulation is running, cache hits, timings) and ``-vv``
 DEBUG (per-run internals).
+
+``repro <command> --log-json`` (or ``setup_logging(json_lines=True)``)
+switches the handler to :class:`JSONFormatter` — one JSON object per
+line, machine-parseable, so service logs can be shipped to a collector
+without a regex in sight.
 """
 
 from __future__ import annotations
 
+import json
 import logging
 import sys
 
 ROOT_LOGGER = "repro"
 
 _LEVELS = {0: logging.WARNING, 1: logging.INFO, 2: logging.DEBUG}
+
+
+class JSONFormatter(logging.Formatter):
+    """One JSON object per record: ts, level, logger, message (+exc)."""
+
+    def format(self, record: logging.LogRecord) -> str:
+        entry = {
+            "ts": round(record.created, 3),
+            "level": record.levelname,
+            "logger": record.name,
+            "message": record.getMessage(),
+        }
+        if record.exc_info:
+            entry["exc"] = self.formatException(record.exc_info)
+        return json.dumps(entry, sort_keys=True)
 
 
 def get_logger(name: str = ROOT_LOGGER) -> logging.Logger:
@@ -27,12 +48,15 @@ def get_logger(name: str = ROOT_LOGGER) -> logging.Logger:
     return logging.getLogger(name)
 
 
-def setup_logging(verbosity: int = 0, stream=None) -> logging.Logger:
+def setup_logging(
+    verbosity: int = 0, stream=None, json_lines: bool = False
+) -> logging.Logger:
     """Configure the ``repro`` logger for ``verbosity`` -v flags.
 
-    Idempotent: repeated calls reconfigure the level and reuse the
-    existing handler rather than stacking duplicates.  Returns the root
-    package logger.
+    Idempotent: repeated calls reconfigure the level, stream, and
+    formatter (``json_lines`` switches to :class:`JSONFormatter`) and
+    reuse the existing handler rather than stacking duplicates.  Returns
+    the root package logger.
     """
     logger = logging.getLogger(ROOT_LOGGER)
     level = _LEVELS.get(min(verbosity, 2), logging.DEBUG)
@@ -45,11 +69,14 @@ def setup_logging(verbosity: int = 0, stream=None) -> logging.Logger:
     if handler is None:
         handler = logging.StreamHandler(stream or sys.stderr)
         handler._repro_handler = True
-        handler.setFormatter(logging.Formatter(
-            "%(asctime)s %(levelname)-7s %(name)s: %(message)s", datefmt="%H:%M:%S"
-        ))
         logger.addHandler(handler)
     elif stream is not None:
         handler.setStream(stream)
+    if json_lines:
+        handler.setFormatter(JSONFormatter())
+    else:
+        handler.setFormatter(logging.Formatter(
+            "%(asctime)s %(levelname)-7s %(name)s: %(message)s", datefmt="%H:%M:%S"
+        ))
     handler.setLevel(level)
     return logger

@@ -16,6 +16,7 @@ load.
 from __future__ import annotations
 
 import enum
+import re
 from collections.abc import Mapping
 
 from repro.utils.stats import Distribution
@@ -363,3 +364,60 @@ class MetricsRegistry:
             f"timeseries={len(self._timeseries)}, "
             f"distributions={len(self._distributions)})"
         )
+
+
+_PROM_UNSAFE = re.compile(r"[^a-zA-Z0-9_]")
+
+
+def prometheus_name(name: str, suffix: str = "") -> str:
+    """A registry metric name as a Prometheus metric name.
+
+    Dots (and anything else outside ``[a-zA-Z0-9_]``) become underscores
+    and every metric is namespaced under ``repro_``, so
+    ``serve.jobs.submitted`` scrapes as ``repro_serve_jobs_submitted``.
+    """
+    return "repro_" + _PROM_UNSAFE.sub("_", name) + suffix
+
+
+def prometheus_text(registries: Mapping[str, MetricsRegistry]) -> str:
+    """Registries in Prometheus text exposition format 0.0.4.
+
+    ``registries`` maps a label value to a registry (e.g. ``service`` and
+    ``runner`` on the serve endpoint); each sample carries its source as
+    a ``registry="..."`` label so one scrape distinguishes them.
+    Counters gain the conventional ``_total`` suffix, gauges export
+    as-is, histograms export as summaries (``_sum``/``_count``), and
+    distributions become counters labelled by category key.  Time-series
+    are plot data, not scrape data, and are omitted.
+    """
+    by_metric: dict[str, tuple[str, list[str]]] = {}
+
+    def add(metric: str, mtype: str, sample: str) -> None:
+        entry = by_metric.setdefault(metric, (mtype, []))
+        entry[1].append(sample)
+
+    for label, registry in registries.items():
+        tag = f'registry="{label}"'
+        for name, counter in registry._counters.items():
+            metric = prometheus_name(name, "_total")
+            add(metric, "counter", f"{metric}{{{tag}}} {counter.value}")
+        for name, gauge in registry._gauges.items():
+            metric = prometheus_name(name)
+            add(metric, "gauge", f"{metric}{{{tag}}} {gauge.value}")
+        for name, hist in registry._histograms.items():
+            metric = prometheus_name(name)
+            add(metric, "summary", f"{metric}_sum{{{tag}}} {hist.sum}")
+            add(metric, "summary", f"{metric}_count{{{tag}}} {hist.total}")
+        for name, dist in registry._distributions.items():
+            metric = prometheus_name(name, "_total")
+            for key, count in sorted(dist.as_dict().items(), key=lambda kv: str(kv[0])):
+                label_key = key.name if isinstance(key, enum.Enum) else str(key)
+                add(metric, "counter",
+                    f'{metric}{{{tag},key="{label_key}"}} {count}')
+
+    lines: list[str] = []
+    for metric in sorted(by_metric):
+        mtype, samples = by_metric[metric]
+        lines.append(f"# TYPE {metric} {mtype}")
+        lines.extend(samples)
+    return "\n".join(lines) + ("\n" if lines else "")

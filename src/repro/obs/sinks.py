@@ -137,6 +137,21 @@ class ChromeTraceSink(TraceSink):
         self.meta = meta
 
     def event(self, event: TraceEvent) -> None:
+        if event.kind is EventKind.SPAN:
+            # Spans carry their own name and microsecond duration; they
+            # render as slices on the "trace" category so a serve batch
+            # shows request/queue/worker spans next to pipeline events.
+            self._events.append({
+                "name": event.text or "span",
+                "cat": "trace",
+                "ph": "X",
+                "ts": event.cycle,
+                "dur": event.dur,
+                "pid": 0,
+                "tid": event.seq % self.lanes,
+                "args": dict(event.args or {}),
+            })
+            return
         args = {"seq": event.seq, "instr": event.text}
         if event.args:
             args.update(event.args)
@@ -187,7 +202,9 @@ def validate_chrome_trace(source: Path | str | dict) -> tuple[int, int]:
 
     Accepts a path or an already-parsed document.  Checks the envelope
     (``traceEvents`` list), every event's required fields per phase, and
-    that the pipeline slices are cycle-monotonic per lane.  Returns
+    that the pipeline slices are cycle-monotonic per lane.  A document
+    with pipeline-category events must contain retire events; span-only
+    documents (``repro.obs.trace.export_chrome``) are exempt.  Returns
     ``(total_events, retire_count)``; raises :class:`ValueError` listing
     every problem found.
     """
@@ -204,6 +221,7 @@ def validate_chrome_trace(source: Path | str | dict) -> tuple[int, int]:
         raise ValueError("chrome trace needs a non-empty 'traceEvents' list")
 
     retires = 0
+    pipeline_events = 0
     last_ts_per_lane: dict = {}
     for index, event in enumerate(events):
         where = f"traceEvents[{index}]"
@@ -236,10 +254,12 @@ def validate_chrome_trace(source: Path | str | dict) -> tuple[int, int]:
         if previous is not None and ts < previous:
             errors.append(f"{where}: ts {ts} goes backwards on lane {lane}")
         last_ts_per_lane[lane] = ts
+        if event.get("cat") == "pipeline":
+            pipeline_events += 1
         if event.get("name") == EventKind.RETIRE.value:
             retires += 1
 
-    if retires == 0:
+    if pipeline_events and retires == 0:
         errors.append("trace contains no retire events")
     if errors:
         preview = "; ".join(errors[:10])

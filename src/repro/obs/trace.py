@@ -1,0 +1,382 @@
+"""Request-scoped distributed tracing: spans, context propagation, export.
+
+The serving pipeline crosses an event loop, a dispatcher thread, and a
+process pool; wall-clock questions ("where did this request's 40 ms
+go?") need one identity that survives all three hops.  A
+:class:`Span` is one timed operation (``trace_id``/``span_id``/
+``parent_id``, epoch-anchored monotonic timestamps, free-form
+attributes); a :class:`TraceContext` is the two-id tuple that crosses
+boundaries — picklable, so it rides to pool workers next to the
+workload name exactly like the ``suite.build`` hook arguments do (see
+:mod:`repro.verify.faults` for the pattern), and workers hand their
+finished spans back for the parent's :class:`Tracer` to
+:meth:`~Tracer.adopt`.
+
+Finished spans are kept in a bounded buffer and — when the tracer has a
+bus — emitted as :data:`~repro.obs.events.EventKind.SPAN` events on the
+existing :class:`~repro.obs.events.EventBus`, so the PR 1 sinks (JSONL,
+Chrome ``trace_event``) render a whole batch as one timeline alongside
+service-plane events.  :func:`export_chrome` turns any span set into a
+standalone Perfetto-loadable document, and :func:`validate_span_tree`
+is the structural checker the property tests and the serve e2e test
+share.
+
+Timestamps are ``time.perf_counter()`` readings re-anchored to the
+epoch once per process (``_ANCHOR``): monotonic within a process, and
+comparable across the pool boundary to within wall-clock skew — which
+is why :func:`validate_span_tree` takes a small tolerance.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+import uuid
+from collections import deque
+from collections.abc import Iterable, Mapping
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import NamedTuple
+
+from repro.obs.events import EventBus, EventKind, TraceEvent
+
+#: Version stamped into span-export documents (schemas/trace.schema.json).
+TRACE_EXPORT_VERSION = 1
+
+#: Epoch-anchored monotonic clock: monotonic within a process, roughly
+#: comparable across processes on one host.
+_ANCHOR = time.time() - time.perf_counter()
+
+
+def now() -> float:
+    """Epoch-anchored monotonic seconds (see module docstring)."""
+    return _ANCHOR + time.perf_counter()
+
+
+def new_trace_id() -> str:
+    return uuid.uuid4().hex[:16]
+
+
+def new_span_id() -> str:
+    return uuid.uuid4().hex[:16]
+
+
+class TraceContext(NamedTuple):
+    """The (trace_id, span_id) pair that crosses async/process boundaries."""
+
+    trace_id: str
+    span_id: str
+
+    def to_dict(self) -> dict:
+        return {"trace_id": self.trace_id, "span_id": self.span_id}
+
+    @classmethod
+    def from_dict(cls, entry: Mapping) -> "TraceContext":
+        return cls(entry["trace_id"], entry["span_id"])
+
+
+@dataclass
+class Span:
+    """One timed operation within a trace."""
+
+    trace_id: str
+    span_id: str
+    name: str
+    start: float
+    parent_id: str | None = None
+    end: float | None = None
+    attributes: dict = field(default_factory=dict)
+
+    @property
+    def context(self) -> TraceContext:
+        return TraceContext(self.trace_id, self.span_id)
+
+    @property
+    def duration(self) -> float | None:
+        return None if self.end is None else self.end - self.start
+
+    def to_dict(self) -> dict:
+        entry: dict = {
+            "trace_id": self.trace_id,
+            "span_id": self.span_id,
+            "parent_id": self.parent_id,
+            "name": self.name,
+            "start": self.start,
+            "end": self.end,
+        }
+        if self.attributes:
+            entry["attributes"] = self.attributes
+        return entry
+
+    @classmethod
+    def from_dict(cls, entry: Mapping) -> "Span":
+        return cls(
+            trace_id=entry["trace_id"],
+            span_id=entry["span_id"],
+            name=entry["name"],
+            start=entry["start"],
+            parent_id=entry.get("parent_id"),
+            end=entry.get("end"),
+            attributes=dict(entry.get("attributes", {})),
+        )
+
+
+def _as_context(parent: "TraceContext | Span | tuple | None") -> TraceContext | None:
+    if parent is None:
+        return None
+    if isinstance(parent, Span):
+        return parent.context
+    if isinstance(parent, TraceContext):
+        return parent
+    return TraceContext(*parent)
+
+
+class Tracer:
+    """Creates, finishes, buffers, and (optionally) emits spans.
+
+    Thread-safe: the serve dispatcher finishes spans from a worker
+    thread while the event loop serves ``/trace`` reads.  ``max_spans``
+    bounds the finished-span buffer (oldest evicted first), mirroring
+    the bounded-by-default event bus.
+    """
+
+    def __init__(self, bus: EventBus | None = None, max_spans: int = 65536) -> None:
+        if max_spans <= 0:
+            raise ValueError(f"max_spans must be positive, got {max_spans}")
+        self.bus = bus
+        self._finished: deque[Span] = deque(maxlen=max_spans)
+        self._origin = now()
+        self._seq = 0
+        self._lock = threading.Lock()
+
+    # -- span lifecycle ----------------------------------------------------
+
+    def start(
+        self,
+        name: str,
+        parent: TraceContext | Span | None = None,
+        trace_id: str | None = None,
+        attributes: Mapping | None = None,
+    ) -> Span:
+        """Begin a span; a ``parent`` pins the trace, else one is minted."""
+        context = _as_context(parent)
+        if trace_id is None:
+            trace_id = context.trace_id if context is not None else new_trace_id()
+        return Span(
+            trace_id=trace_id,
+            span_id=new_span_id(),
+            parent_id=context.span_id if context is not None else None,
+            name=name,
+            start=now(),
+            attributes=dict(attributes or {}),
+        )
+
+    def end(self, span: Span, **attributes: object) -> Span:
+        """Finish a span, record it, and emit it on the bus (if any)."""
+        if span.end is None:
+            span.end = now()
+        if attributes:
+            span.attributes.update(attributes)
+        self._record(span)
+        return span
+
+    @contextmanager
+    def span(
+        self,
+        name: str,
+        parent: TraceContext | Span | None = None,
+        trace_id: str | None = None,
+        attributes: Mapping | None = None,
+    ):
+        """``with tracer.span("machine.run", parent=ctx) as s: ...``"""
+        started = self.start(name, parent=parent, trace_id=trace_id, attributes=attributes)
+        try:
+            yield started
+        except BaseException as exc:
+            started.attributes.setdefault("error", repr(exc))
+            raise
+        finally:
+            self.end(started)
+
+    def adopt(self, entries: Iterable[Mapping | Span]) -> int:
+        """Merge spans finished elsewhere (a pool worker, a JSON file)."""
+        count = 0
+        for entry in entries:
+            span = entry if isinstance(entry, Span) else Span.from_dict(entry)
+            self._record(span)
+            count += 1
+        return count
+
+    def _record(self, span: Span) -> None:
+        with self._lock:
+            self._seq += 1
+            seq = self._seq
+            self._finished.append(span)
+        if self.bus is not None:
+            end = span.end if span.end is not None else span.start
+            self.bus.emit(TraceEvent(
+                cycle=max(0, int((span.start - self._origin) * 1e6)),
+                kind=EventKind.SPAN,
+                seq=seq,
+                text=span.name,
+                dur=max(1, int((end - span.start) * 1e6)),
+                args=span.to_dict(),
+            ))
+
+    # -- introspection -----------------------------------------------------
+
+    def spans(self, trace_id: str | None = None) -> list[Span]:
+        """Finished spans, optionally restricted to one trace, in finish order."""
+        with self._lock:
+            snapshot = list(self._finished)
+        if trace_id is None:
+            return snapshot
+        return [span for span in snapshot if span.trace_id == trace_id]
+
+    def trace_ids(self) -> list[str]:
+        seen: dict[str, None] = {}
+        for span in self.spans():
+            seen.setdefault(span.trace_id, None)
+        return list(seen)
+
+
+# -- validation and export -------------------------------------------------
+
+
+def validate_span_tree(spans: Iterable[Span | Mapping], tolerance: float = 0.05) -> int:
+    """Structurally validate one or more span trees.
+
+    Checks, per trace: span ids are unique, every non-root span's parent
+    exists in the same trace, there are no parent cycles, and intervals
+    nest — a child starts no earlier than its parent (minus
+    ``tolerance`` seconds of cross-process clock skew) and, when both
+    have ended, ends no later.  Returns the span count; raises
+    :class:`ValueError` listing every problem found.
+    """
+    normalized = [s if isinstance(s, Span) else Span.from_dict(s) for s in spans]
+    errors: list[str] = []
+    by_trace: dict[str, dict[str, Span]] = {}
+    for span in normalized:
+        tree = by_trace.setdefault(span.trace_id, {})
+        if span.span_id in tree:
+            errors.append(f"{span.trace_id}: duplicate span id {span.span_id}")
+        tree[span.span_id] = span
+    for trace_id, tree in by_trace.items():
+        for span in tree.values():
+            if span.end is not None and span.end < span.start - 1e-9:
+                errors.append(
+                    f"{trace_id}/{span.name}: end {span.end} before start {span.start}"
+                )
+            if span.parent_id is None:
+                continue
+            parent = tree.get(span.parent_id)
+            if parent is None:
+                errors.append(
+                    f"{trace_id}/{span.name}: parent {span.parent_id} not in trace"
+                )
+                continue
+            if span.start < parent.start - tolerance:
+                errors.append(
+                    f"{trace_id}/{span.name}: starts {parent.start - span.start:.6f}s "
+                    f"before its parent {parent.name}"
+                )
+            if (
+                span.end is not None and parent.end is not None
+                and span.end > parent.end + tolerance
+            ):
+                errors.append(
+                    f"{trace_id}/{span.name}: ends {span.end - parent.end:.6f}s "
+                    f"after its parent {parent.name}"
+                )
+        # Cycle detection: walk each span's ancestor chain with a budget.
+        for span in tree.values():
+            seen = {span.span_id}
+            cursor = tree.get(span.parent_id) if span.parent_id else None
+            while cursor is not None:
+                if cursor.span_id in seen:
+                    errors.append(f"{trace_id}/{span.name}: parent chain cycles")
+                    break
+                seen.add(cursor.span_id)
+                cursor = tree.get(cursor.parent_id) if cursor.parent_id else None
+    if errors:
+        preview = "; ".join(errors[:10])
+        raise ValueError(f"invalid span tree ({len(errors)} problems): {preview}")
+    return len(normalized)
+
+
+def span_depths(spans: Iterable[Span]) -> dict[str, int]:
+    """Depth of every span below its trace's root (roots are 0)."""
+    by_id = {span.span_id: span for span in spans}
+    depths: dict[str, int] = {}
+
+    def depth(span: Span) -> int:
+        cached = depths.get(span.span_id)
+        if cached is not None:
+            return cached
+        parent = by_id.get(span.parent_id) if span.parent_id else None
+        value = 0 if parent is None else depth(parent) + 1
+        depths[span.span_id] = value
+        return value
+
+    for span in by_id.values():
+        depth(span)
+    return depths
+
+
+def export_spans(trace_id: str, spans: Iterable[Span]) -> dict:
+    """The span-export document (``schemas/trace.schema.json``)."""
+    return {
+        "version": TRACE_EXPORT_VERSION,
+        "trace_id": trace_id,
+        "spans": [span.to_dict() for span in spans],
+    }
+
+
+def export_chrome(spans: Iterable[Span], meta: Mapping | None = None) -> dict:
+    """Spans as a standalone Chrome ``trace_event`` document.
+
+    Spans become complete slices (``ph: "X"``) with microsecond
+    timestamps relative to the earliest span; tree depth maps to the
+    Perfetto row, so a request renders as a cascade:
+    request → queue → dispatch → worker → machine.run.
+    """
+    ordered = sorted(spans, key=lambda span: (span.start, span.span_id))
+    if not ordered:
+        raise ValueError("no spans to export")
+    depths = span_depths(ordered)
+    base = ordered[0].start
+    events: list[dict] = [{
+        "name": "process_name", "ph": "M", "pid": 0, "tid": 0,
+        "args": {"name": "repro trace"},
+    }]
+    max_depth = max(depths.values(), default=0)
+    events += [
+        {
+            "name": "thread_name", "ph": "M", "pid": 0, "tid": level,
+            "args": {"name": f"depth {level}"},
+        }
+        for level in range(max_depth + 1)
+    ]
+    for span in ordered:
+        end = span.end if span.end is not None else span.start
+        args = {
+            "trace_id": span.trace_id,
+            "span_id": span.span_id,
+            "parent_id": span.parent_id,
+        }
+        args.update(span.attributes)
+        events.append({
+            "name": span.name,
+            "cat": "trace",
+            "ph": "X",
+            "ts": int((span.start - base) * 1e6),
+            "dur": max(1, int((end - span.start) * 1e6)),
+            "pid": 0,
+            "tid": depths[span.span_id],
+            "args": args,
+        })
+    return {
+        "traceEvents": events,
+        "displayTimeUnit": "ms",
+        "otherData": dict(meta or {}),
+    }

@@ -30,6 +30,7 @@ from repro.harness.runner import MatrixCancelled, SimulationRunner
 from repro.obs.events import EventBus, EventKind, TraceEvent
 from repro.obs.log import get_logger
 from repro.obs.metrics import MetricsRegistry
+from repro.obs.trace import Span, Tracer
 from repro.serve.queue import JobQueue, QueuedJob
 
 log = get_logger(__name__)
@@ -78,6 +79,7 @@ class BatchDispatcher:
         queue: JobQueue,
         metrics: MetricsRegistry | None = None,
         events: ServiceEvents | None = None,
+        tracer: Tracer | None = None,
         *,
         pool_jobs: int = 2,
         max_batch: int = 8,
@@ -91,6 +93,7 @@ class BatchDispatcher:
         self.queue = queue
         self.metrics = metrics if metrics is not None else MetricsRegistry()
         self.events = events if events is not None else ServiceEvents()
+        self.tracer = tracer
         self.pool_jobs = pool_jobs
         self.max_batch = max_batch
         self.batch_window = batch_window
@@ -163,15 +166,32 @@ class BatchDispatcher:
                 self._degraded_batches.inc()
             for job in batch:
                 job.attempts = attempt
+            mode = "pool" if use_pool else "serial"
+            # One "serve.dispatch" span per job per attempt; its context
+            # rides the SimJob across the pool boundary so the worker's
+            # "pool.worker" span parents to this attempt specifically.
+            dispatch_spans: list[Span] = []
+            sim_jobs = []
+            for job in batch:
+                trace_ctx = None
+                if self.tracer is not None and job.job_span is not None:
+                    span = self.tracer.start(
+                        "serve.dispatch", parent=job.job_span.context,
+                        attributes={"batch": batch_id, "attempt": attempt,
+                                    "mode": mode},
+                    )
+                    dispatch_spans.append(span)
+                    trace_ctx = span.context
+                sim_jobs.append(job.sim_job(trace=trace_ctx))
             try:
-                results = await asyncio.to_thread(
-                    self._execute, [job.sim_job() for job in batch], use_pool
-                )
+                results = await asyncio.to_thread(self._execute, sim_jobs, use_pool)
             except MatrixCancelled as exc:
+                self._end_dispatch_spans(dispatch_spans, ok=False, error=repr(exc))
                 for job in batch:
                     self.queue.fail(job, exc)
                 return
             except Exception as exc:
+                self._end_dispatch_spans(dispatch_spans, ok=False, error=repr(exc))
                 last_error = exc
                 if use_pool:
                     self._record_health(False)
@@ -203,6 +223,7 @@ class BatchDispatcher:
                 await asyncio.sleep(delay)
                 continue
             # Success.
+            self._end_dispatch_spans(dispatch_spans, ok=True)
             if use_pool:
                 self._record_health(True)
                 self._probe_pool = False
@@ -210,12 +231,17 @@ class BatchDispatcher:
                 # A clean serial batch earns one probe of the pool.
                 self._probe_pool = True
             self.events.emit(
-                "batch:done", seq=batch_id, attempts=attempt,
-                mode="pool" if use_pool else "serial",
+                "batch:done", seq=batch_id, attempts=attempt, mode=mode,
             )
             for job in batch:
                 self.queue.resolve(job, results[job.key])
             return
+
+    def _end_dispatch_spans(self, spans: list[Span], **attributes: object) -> None:
+        if self.tracer is None:
+            return
+        for span in spans:
+            self.tracer.end(span, **attributes)
 
     def _execute(self, sim_jobs: Iterable, use_pool: bool):
         """Synchronous batch execution — runs on a worker thread."""

@@ -68,5 +68,21 @@ class ServeClient:
     def metrics(self) -> dict:
         return self._request("GET", "/metrics")
 
+    def metrics_prometheus(self) -> str:
+        """GET /metrics?format=prometheus: text exposition format."""
+        return self._request("GET", "/metrics?format=prometheus")
+
     def events(self) -> dict:
         return self._request("GET", "/events")
+
+    def traces(self) -> dict:
+        """GET /trace: ids of every trace the service has recorded."""
+        return self._request("GET", "/trace")
+
+    def trace(self, trace_id: str, format: str | None = None) -> dict:
+        """GET /trace/<id>: one request's span tree (``format="chrome"``
+        for a Chrome ``trace_event`` document)."""
+        path = f"/trace/{trace_id}"
+        if format is not None:
+            path += f"?format={format}"
+        return self._request("GET", path)

@@ -17,6 +17,7 @@ from dataclasses import dataclass, field
 from repro.core.config import MachineConfig
 from repro.harness.runner import SimJob
 from repro.obs.metrics import MetricsRegistry
+from repro.obs.trace import Span, TraceContext, Tracer
 
 
 @dataclass
@@ -30,20 +31,29 @@ class QueuedJob:
     waiters: int = 1
     #: dispatch attempts so far (filled in by the dispatcher)
     attempts: int = 0
+    #: "serve.job" span covering submit -> resolve (tracing enabled only)
+    job_span: Span | None = field(default=None, repr=False)
+    #: "serve.queue" span covering submit -> batch drain
+    queue_span: Span | None = field(default=None, repr=False)
 
     @property
     def key(self) -> tuple[str, str]:
         return (self.config.name, self.workload)
 
-    def sim_job(self) -> SimJob:
-        return SimJob(self.config, self.workload)
+    def sim_job(self, trace: TraceContext | None = None) -> SimJob:
+        return SimJob(self.config, self.workload, trace=trace)
 
 
 class JobQueue:
     """Asyncio job queue with duplicate coalescing and batch draining."""
 
-    def __init__(self, metrics: MetricsRegistry | None = None) -> None:
+    def __init__(
+        self,
+        metrics: MetricsRegistry | None = None,
+        tracer: Tracer | None = None,
+    ) -> None:
         self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self.tracer = tracer
         self._submitted = self.metrics.counter("serve.jobs.submitted")
         self._coalesced = self.metrics.counter("serve.jobs.coalesced")
         self._completed = self.metrics.counter("serve.jobs.completed")
@@ -62,19 +72,43 @@ class JobQueue:
         live = self._active.get(key)
         return live is not None and not live.future.done()
 
-    def submit(self, config: MachineConfig, workload: str) -> QueuedJob:
-        """Enqueue one job, coalescing onto a live duplicate if present."""
+    def submit(
+        self,
+        config: MachineConfig,
+        workload: str,
+        parent: TraceContext | None = None,
+    ) -> QueuedJob:
+        """Enqueue one job, coalescing onto a live duplicate if present.
+
+        ``parent`` is the submitting request's trace context; with a
+        tracer attached, a new job opens a ``serve.job`` span (ended at
+        resolve/fail) plus a ``serve.queue`` span (ended at batch drain),
+        while a coalesced duplicate records the second request's trace id
+        in the live job's ``linked_traces`` attribute instead.
+        """
         key = (config.name, workload)
         live = self._active.get(key)
         if live is not None and not live.future.done():
             live.waiters += 1
             self._coalesced.inc()
+            if parent is not None and live.job_span is not None:
+                linked = live.job_span.attributes.setdefault("linked_traces", [])
+                if parent.trace_id not in linked:
+                    linked.append(parent.trace_id)
             return live
         job = QueuedJob(
             config=config,
             workload=workload,
             future=asyncio.get_running_loop().create_future(),
         )
+        if self.tracer is not None:
+            job.job_span = self.tracer.start(
+                "serve.job", parent=parent,
+                attributes={"machine": config.name, "workload": workload},
+            )
+            job.queue_span = self.tracer.start(
+                "serve.queue", parent=job.job_span.context
+            )
         self._active[key] = job
         self._pending.append(job)
         self._submitted.inc()
@@ -95,6 +129,11 @@ class JobQueue:
             self._has_pending.clear()
         self._depth.set(len(self._pending))
         self._in_flight.set(len(batch))
+        if self.tracer is not None:
+            for job in batch:
+                if job.queue_span is not None:
+                    self.tracer.end(job.queue_span, batch_size=len(batch))
+                    job.queue_span = None
         return batch
 
     def resolve(self, job: QueuedJob, result: object) -> None:
@@ -102,6 +141,7 @@ class JobQueue:
         if not job.future.done():
             job.future.set_result(result)
         self._completed.inc()
+        self._end_job_span(job, ok=True)
         self._retire(job)
 
     def fail(self, job: QueuedJob, error: BaseException) -> None:
@@ -109,7 +149,18 @@ class JobQueue:
         if not job.future.done():
             job.future.set_exception(error)
         self._failed.inc()
+        self._end_job_span(job, ok=False, error=repr(error))
         self._retire(job)
+
+    def _end_job_span(self, job: QueuedJob, **attributes: object) -> None:
+        if self.tracer is None or job.job_span is None:
+            return
+        # A job failed before dispatch still has an open queue span.
+        if job.queue_span is not None:
+            self.tracer.end(job.queue_span)
+            job.queue_span = None
+        self.tracer.end(job.job_span, attempts=job.attempts, **attributes)
+        job.job_span = None
 
     def _retire(self, job: QueuedJob) -> None:
         if self._active.get(job.key) is job:

@@ -13,10 +13,16 @@ framework, and none is needed for a line-protocol this simple) exposing:
     history (so a probe can see *degraded-then-recovered*, not just the
     current state) and queue depth.
 ``GET /metrics``
-    The service and runner metrics registries (counters, gauges) as JSON.
+    The service and runner metrics registries (counters, gauges) as JSON,
+    or Prometheus text exposition with ``?format=prometheus``.
 ``GET /events``
     The newest service-plane events (requests, batches, retries, health
     transitions) from the event bus.
+``GET /trace`` / ``GET /trace/<trace_id>``
+    Distributed-tracing spans: every ``/jobs`` response carries a
+    ``trace_id`` whose span tree (request -> job -> queue/dispatch ->
+    pool worker -> machine run) is served here, as the span-list export
+    or as Chrome ``trace_event`` JSON with ``?format=chrome``.
 
 Results are served from — and new results persisted to — the sharded
 :class:`~repro.harness.runner.ResultCache`, so a restarted service
@@ -30,12 +36,15 @@ import json
 from dataclasses import dataclass, field
 from pathlib import Path
 
+from urllib.parse import parse_qs
+
 from repro.core.config import MachineConfig
 from repro.core.presets import resolve_machine
 from repro.harness.runner import SimulationRunner
 from repro.obs.events import EventBus
 from repro.obs.log import get_logger
-from repro.obs.metrics import MetricsRegistry
+from repro.obs.metrics import MetricsRegistry, prometheus_text
+from repro.obs.trace import Tracer, export_chrome, export_spans
 from repro.serve.batch import BatchDispatcher, ServiceEvents
 from repro.serve.queue import JobQueue, QueuedJob
 
@@ -115,15 +124,17 @@ class SimulationService:
         self.metrics = MetricsRegistry()
         self.bus = EventBus(capacity=self.config.event_buffer)
         self.events = ServiceEvents(self.bus)
+        self.tracer = Tracer(bus=self.bus)
         cache_dir = self.config.cache_dir
         if cache_dir is None:
             cache_dir = Path(__file__).resolve().parents[3] / ".repro_cache" / "serve"
         self.runner = SimulationRunner(
-            cache_path=cache_dir, shards=self.config.cache_shards
+            cache_path=cache_dir, shards=self.config.cache_shards,
+            tracer=self.tracer,
         )
-        self.queue = JobQueue(self.metrics)
+        self.queue = JobQueue(self.metrics, tracer=self.tracer)
         self.dispatcher = BatchDispatcher(
-            self.runner, self.queue, self.metrics, self.events,
+            self.runner, self.queue, self.metrics, self.events, self.tracer,
             pool_jobs=self.config.pool_jobs,
             max_batch=self.config.max_batch,
             batch_window=self.config.batch_window,
@@ -190,10 +201,16 @@ class SimulationService:
             log.error("request handling failed: %r", exc)
             status, payload = 500, {"error": repr(exc)}
         try:
-            body_bytes = json.dumps(payload, indent=2).encode() + b"\n"
+            if isinstance(payload, str):
+                # Text responses (Prometheus exposition format 0.0.4).
+                body_bytes = payload.encode()
+                content_type = "text/plain; version=0.0.4; charset=utf-8"
+            else:
+                body_bytes = json.dumps(payload, indent=2).encode() + b"\n"
+                content_type = "application/json"
             writer.write(
                 f"HTTP/1.1 {status} {_REASONS.get(status, 'OK')}\r\n"
-                f"Content-Type: application/json\r\n"
+                f"Content-Type: {content_type}\r\n"
                 f"Content-Length: {len(body_bytes)}\r\n"
                 f"Connection: close\r\n\r\n".encode() + body_bytes
             )
@@ -226,9 +243,12 @@ class SimulationService:
         body = await reader.readexactly(content_length) if content_length else b""
         return method, path, body
 
-    async def _route(self, method: str, path: str, body: bytes) -> tuple[int, dict]:
+    async def _route(
+        self, method: str, path: str, body: bytes
+    ) -> tuple[int, dict | str]:
         self._requests.inc()
-        path = path.split("?", 1)[0]
+        path, _, query = path.partition("?")
+        params = parse_qs(query)
         if path in ("/jobs", "/simulate"):
             if method != "POST":
                 return 405, {"error": f"{path} requires POST"}
@@ -238,10 +258,32 @@ class SimulationService:
         if path == "/healthz":
             return 200, self.healthz_payload()
         if path == "/metrics":
+            fmt = params.get("format", ["json"])[0]
+            if fmt == "prometheus":
+                return 200, self.metrics_prometheus()
+            if fmt != "json":
+                raise BadRequest(f"unknown metrics format {fmt!r}; try json or prometheus")
             return 200, self.metrics_payload()
         if path == "/events":
             return 200, {"events": self.events.snapshot(newest=256)}
-        return 404, {"error": f"no route {path!r}; try /jobs /healthz /metrics /events"}
+        if path == "/trace":
+            return 200, {"traces": self.tracer.trace_ids()}
+        if path.startswith("/trace/"):
+            return self._handle_trace(path[len("/trace/"):],
+                                      params.get("format", ["spans"])[0])
+        return 404, {
+            "error": f"no route {path!r}; try /jobs /healthz /metrics /events /trace"
+        }
+
+    def _handle_trace(self, trace_id: str, fmt: str) -> tuple[int, dict]:
+        spans = self.tracer.spans(trace_id)
+        if not spans:
+            return 404, {"error": f"unknown trace {trace_id!r}"}
+        if fmt == "chrome":
+            return 200, export_chrome(spans, meta={"trace_id": trace_id})
+        if fmt != "spans":
+            raise BadRequest(f"unknown trace format {fmt!r}; try spans or chrome")
+        return 200, export_spans(trace_id, spans)
 
     # -- endpoints ---------------------------------------------------------
 
@@ -266,48 +308,58 @@ class SimulationService:
         self._request_seq += 1
         request_id = self._request_seq
         self.events.emit("request", seq=request_id, jobs=len(parsed))
+        request_span = self.tracer.start(
+            "serve.request",
+            attributes={"request_id": request_id, "jobs": len(parsed)},
+        )
 
-        submitted: list[tuple[QueuedJob, bool]] = []
-        for config, workload in parsed:
-            coalesced = self.queue.is_live((config.name, workload))
-            job = self.queue.submit(config, workload)
-            submitted.append((job, coalesced))
-
-        futures = [asyncio.shield(job.future) for job, _ in submitted]
-        try:
-            outcomes = await asyncio.wait_for(
-                asyncio.gather(*futures, return_exceptions=True),
-                timeout=self.config.request_timeout,
-            )
-        except asyncio.TimeoutError:
-            outcomes = [
-                job.future.result() if job.future.done() and not job.future.exception()
-                else TimeoutError(
-                    f"request exceeded the {self.config.request_timeout}s timeout"
-                )
-                for job, _ in submitted
-            ]
-        results = []
         all_ok = True
-        for (job, coalesced), outcome in zip(submitted, outcomes):
-            entry: dict = {
-                "machine": job.config.name,
-                "workload": job.workload,
-                "attempts": job.attempts,
-                "coalesced": coalesced,
-            }
-            if isinstance(outcome, BaseException):
-                all_ok = False
-                entry["ok"] = False
-                entry["error"] = repr(outcome)
-            else:
-                entry["ok"] = True
-                entry["ipc"] = outcome.ipc
-                entry["stats"] = outcome.to_dict()
-            results.append(entry)
+        try:
+            submitted: list[tuple[QueuedJob, bool]] = []
+            for config, workload in parsed:
+                coalesced = self.queue.is_live((config.name, workload))
+                job = self.queue.submit(
+                    config, workload, parent=request_span.context
+                )
+                submitted.append((job, coalesced))
+
+            futures = [asyncio.shield(job.future) for job, _ in submitted]
+            try:
+                outcomes = await asyncio.wait_for(
+                    asyncio.gather(*futures, return_exceptions=True),
+                    timeout=self.config.request_timeout,
+                )
+            except asyncio.TimeoutError:
+                outcomes = [
+                    job.future.result() if job.future.done() and not job.future.exception()
+                    else TimeoutError(
+                        f"request exceeded the {self.config.request_timeout}s timeout"
+                    )
+                    for job, _ in submitted
+                ]
+            results = []
+            for (job, coalesced), outcome in zip(submitted, outcomes):
+                entry: dict = {
+                    "machine": job.config.name,
+                    "workload": job.workload,
+                    "attempts": job.attempts,
+                    "coalesced": coalesced,
+                }
+                if isinstance(outcome, BaseException):
+                    all_ok = False
+                    entry["ok"] = False
+                    entry["error"] = repr(outcome)
+                else:
+                    entry["ok"] = True
+                    entry["ipc"] = outcome.ipc
+                    entry["stats"] = outcome.to_dict()
+                results.append(entry)
+        finally:
+            self.tracer.end(request_span, ok=all_ok)
         response = {
             "version": SERVE_VERSION,
             "request_id": request_id,
+            "trace_id": request_span.trace_id,
             "ok": all_ok,
             "results": results,
         }
@@ -322,11 +374,25 @@ class SimulationService:
             "batches_dispatched": self.metrics.counter("serve.batches.dispatched").value,
         }
 
+    def _refresh_gauges(self) -> None:
+        """Point-in-time levels sampled at metrics render."""
+        self.metrics.gauge("serve.queue.depth").set(self.queue.depth)
+        self.metrics.gauge("events.buffered").set(len(self.bus.events))
+        self.metrics.gauge("events.dropped").set(self.bus.dropped)
+        self.metrics.gauge("trace.spans").set(len(self.tracer.spans()))
+
     def metrics_payload(self) -> dict:
+        self._refresh_gauges()
         return {
             "service": self.metrics.as_dict(),
             "runner": self.runner.metrics.as_dict(),
         }
+
+    def metrics_prometheus(self) -> str:
+        self._refresh_gauges()
+        return prometheus_text(
+            {"service": self.metrics, "runner": self.runner.metrics}
+        )
 
 
 async def run_service(config: ServeConfig, announce=print) -> None:

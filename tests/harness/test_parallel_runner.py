@@ -126,10 +126,22 @@ class TestPoolWorker:
     def test_worker_matches_in_process_run(self, tmp_path):
         """The pool worker function itself returns what run() would cache."""
         config = ideal(4)
-        stats_entry, profile_entry = _simulate_for_pool(config, "compress")
+        stats_entry, profile_entry, spans = _simulate_for_pool(config, "compress")
         runner = SimulationRunner(cache_path=tmp_path / "cache.json")
         direct = runner.run(config, "compress")
         assert stats_entry == direct.to_dict()
         assert profile_entry["machine"] == config.name
         assert profile_entry["workload"] == "compress"
         assert profile_entry["instructions"] == direct.instructions
+        assert spans == []  # no trace context -> no tracing overhead
+
+    def test_worker_returns_spans_with_context(self):
+        from repro.obs.trace import TraceContext
+
+        parent = TraceContext("feedfacefeedface", "cafecafecafecafe")
+        _, _, spans = _simulate_for_pool(ideal(4), "compress", parent)
+        names = {span["name"] for span in spans}
+        assert names == {"pool.worker", "machine.run"}
+        assert all(span["trace_id"] == parent.trace_id for span in spans)
+        worker = next(s for s in spans if s["name"] == "pool.worker")
+        assert worker["parent_id"] == parent.span_id

@@ -1,0 +1,221 @@
+"""Tests for the append-only perf history and the bench --compare gate."""
+
+import json
+import logging
+
+import pytest
+
+from repro.cli import main
+from repro.harness.perfhistory import (
+    HISTORY_FILENAME,
+    append_history,
+    compare,
+    fingerprint_key,
+    history_record,
+    host_fingerprint,
+    load_history,
+)
+
+
+@pytest.fixture(autouse=True)
+def _restore_repro_logging():
+    """``main()`` configures the ``repro`` logger (handler bound to the
+    captured stderr, ``propagate=False``); undo it so later caplog-based
+    tests see a pristine logger."""
+    logger = logging.getLogger("repro")
+    saved = logger.propagate
+    yield
+    for handler in [h for h in logger.handlers
+                    if getattr(h, "_repro_handler", False)]:
+        logger.removeHandler(handler)
+    logger.propagate = saved
+
+
+def run_payload(rate: float, host: dict | None = None) -> dict:
+    """A minimal BENCH_perf-shaped payload with one throughput pair."""
+    return {
+        "version": 1,
+        "timestamp": 1000.0,
+        "host": host if host is not None else host_fingerprint(),
+        "throughput": [{
+            "machine": "Ideal-8w", "workload": "ijpeg",
+            "skip": {"instr_per_sec": rate, "seconds": 1.0, "cycles_per_sec": rate},
+            "no_skip": {"instr_per_sec": rate / 2, "seconds": 2.0,
+                        "cycles_per_sec": rate / 2},
+            "instructions": 19050, "cycles": 9000, "skipped_cycles": 100,
+            "skip_speedup": 2.0,
+        }],
+        "sweep": {
+            "pairs": 2, "jobs": 1, "serial_seconds": 1.0,
+            "parallel_seconds": 1.0, "speedup": 1.5, "results_identical": True,
+        },
+        "reference": {
+            "machine": "Ideal-8w", "workload": "ijpeg", "instr_per_sec": 12800,
+        },
+    }
+
+
+class TestHistoryFile:
+    def test_append_and_load_round_trip(self, tmp_path):
+        path = tmp_path / HISTORY_FILENAME
+        for rate in (100.0, 110.0):
+            append_history(path, history_record(run_payload(rate)))
+        records = load_history(path)
+        assert [r["throughput"]["Ideal-8w::ijpeg"] for r in records] == [100.0, 110.0]
+        assert all(r["version"] == 1 for r in records)
+        assert records[0]["sweep_speedup"] == 1.5
+
+    def test_append_only(self, tmp_path):
+        path = tmp_path / HISTORY_FILENAME
+        append_history(path, history_record(run_payload(100.0)))
+        first = path.read_text()
+        append_history(path, history_record(run_payload(200.0)))
+        assert path.read_text().startswith(first)
+
+    def test_corrupt_lines_skipped(self, tmp_path):
+        path = tmp_path / HISTORY_FILENAME
+        append_history(path, history_record(run_payload(100.0)))
+        with path.open("a") as fh:
+            fh.write("{broken json\n")
+            fh.write('{"not": "a record"}\n')
+            fh.write("\n")
+        append_history(path, history_record(run_payload(120.0)))
+        assert len(load_history(path)) == 2
+
+    def test_missing_file_is_empty(self, tmp_path):
+        assert load_history(tmp_path / "nope.jsonl") == []
+
+
+class TestCompare:
+    def history(self, rates, host=None):
+        return [history_record(run_payload(rate, host)) for rate in rates]
+
+    def test_no_baseline_passes(self):
+        report = compare(history_record(run_payload(50.0)), [])
+        assert report.ok
+        assert report.comparisons[0].baseline is None
+        assert "no baseline" in report.summary()
+
+    def test_within_tolerance_passes(self):
+        report = compare(
+            history_record(run_payload(90.0)), self.history([100, 105, 95])
+        )
+        assert report.ok
+        assert report.comparisons[0].baseline == 100.0
+        assert "PASS" in report.summary()
+
+    def test_regression_fails(self):
+        report = compare(
+            history_record(run_payload(50.0)), self.history([100, 105, 95]),
+            tolerance=0.25,
+        )
+        assert not report.ok
+        assert "REGRESSED" in report.summary()
+        assert "FAIL" in report.summary()
+
+    def test_window_limits_baseline(self):
+        # Old fast runs age out of the window; only the recent slow ones gate.
+        history = self.history([1000, 1000, 1000, 100, 100, 100])
+        report = compare(history_record(run_payload(90.0)), history, window=3)
+        assert report.ok
+        assert report.comparisons[0].baseline == 100.0
+
+    def test_other_hosts_ignored(self):
+        other = {"python": "9.9.9", "platform": "elsewhere", "cpus": 1}
+        report = compare(
+            history_record(run_payload(50.0)), self.history([1000, 1000], other)
+        )
+        assert report.ok  # no same-fingerprint baseline
+        assert report.baseline_runs == 0
+
+    def test_fingerprint_key_distinguishes_hosts(self):
+        assert fingerprint_key(host_fingerprint()) != fingerprint_key(
+            {"python": "9.9.9", "platform": "elsewhere", "cpus": 1}
+        )
+
+    def test_parameter_validation(self):
+        record = history_record(run_payload(50.0))
+        with pytest.raises(ValueError):
+            compare(record, [], tolerance=0.0)
+        with pytest.raises(ValueError):
+            compare(record, [], window=0)
+
+    def test_as_dict_is_json_ready(self):
+        report = compare(
+            history_record(run_payload(90.0)), self.history([100.0])
+        )
+        entry = json.loads(json.dumps(report.as_dict()))
+        assert entry["ok"] is True
+        assert entry["comparisons"][0]["pair"] == "Ideal-8w::ijpeg"
+
+
+class TestBenchCompareCLI:
+    """Exit-code acceptance: nonzero on an injected synthetic regression,
+    zero on a healthy run — without running the real benchmarks."""
+
+    def _patch_bench(self, monkeypatch, rate):
+        from repro.harness import perfbench
+
+        def fake(path=None, jobs=2, kernels=None, history_path=None):
+            payload = run_payload(rate)
+            if history_path is not None:
+                append_history(history_path, history_record(payload))
+            return payload
+
+        monkeypatch.setattr(perfbench, "write_bench_perf", fake)
+
+    def test_healthy_run_exits_zero(self, tmp_path, monkeypatch, capsys):
+        history = tmp_path / HISTORY_FILENAME
+        for rate in (100.0, 102.0, 98.0):
+            append_history(history, history_record(run_payload(rate)))
+        self._patch_bench(monkeypatch, 97.0)
+        code = main(["bench", "--compare", "--history", str(history)])
+        assert code == 0
+        assert "PASS" in capsys.readouterr().out
+
+    def test_injected_regression_exits_nonzero(self, tmp_path, monkeypatch, capsys):
+        history = tmp_path / HISTORY_FILENAME
+        for rate in (100.0, 102.0, 98.0):
+            append_history(history, history_record(run_payload(rate)))
+        self._patch_bench(monkeypatch, 40.0)  # synthetic 60% regression
+        code = main(["bench", "--compare", "--history", str(history)])
+        assert code == 1
+        assert "REGRESSED" in capsys.readouterr().out
+
+    def test_compare_only_gates_newest_row(self, tmp_path, capsys):
+        history = tmp_path / HISTORY_FILENAME
+        for rate in (100.0, 101.0, 99.0, 30.0):  # newest row regressed
+            append_history(history, history_record(run_payload(rate)))
+        assert main(["bench", "--compare-only", "--history", str(history)]) == 1
+        capsys.readouterr()
+        append_history(history, history_record(run_payload(100.0)))
+        assert main(["bench", "--compare-only", "--history", str(history)]) == 0
+
+    def test_compare_only_without_history_exits_two(self, tmp_path, capsys):
+        missing = tmp_path / "absent.jsonl"
+        assert main(["bench", "--compare-only", "--history", str(missing)]) == 2
+
+
+class TestWriteBenchPerfHistory:
+    def test_snapshot_overwrites_but_history_appends(self, tmp_path, monkeypatch):
+        """The satellite fix: BENCH_perf.json stays a latest-run snapshot
+        while BENCH_history.jsonl accumulates one row per run."""
+        from repro.harness import perfbench
+
+        rates = iter([100.0, 200.0])
+
+        def fake_throughput(pairs=None, repeats=2):
+            return run_payload(next(rates))["throughput"]
+
+        monkeypatch.setattr(perfbench, "throughput_benchmark", fake_throughput)
+        monkeypatch.setattr(
+            perfbench, "sweep_benchmark",
+            lambda configs=None, workloads=None, jobs=2: {"speedup": 1.0},
+        )
+        snapshot = tmp_path / "BENCH_perf.json"
+        for _ in range(2):
+            perfbench.write_bench_perf(path=snapshot, jobs=1)
+        payload = json.loads(snapshot.read_text())
+        assert payload["throughput"][0]["skip"]["instr_per_sec"] == 200.0
+        history = load_history(tmp_path / HISTORY_FILENAME)
+        assert [r["throughput"]["Ideal-8w::ijpeg"] for r in history] == [100.0, 200.0]

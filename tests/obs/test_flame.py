@@ -1,0 +1,178 @@
+"""Tests for the stack samplers, stage attribution, and flamegraph output."""
+
+import re
+import time
+
+import pytest
+
+from repro.core.machine import Machine
+from repro.core.presets import rb_limited
+from repro.obs.flame import (
+    STAGES,
+    CallStackSampler,
+    SamplingProfiler,
+    classify_frame,
+    classify_stack,
+    open_profiler,
+)
+from repro.workloads.suite import build
+
+
+class TestClassification:
+    def test_frame_rules(self):
+        assert classify_frame("src/repro/backend/scheduler.py", "wakeup") == "schedule"
+        assert classify_frame("src/repro/backend/bypass.py", "probe") == "bypass"
+        assert classify_frame("src/repro/rb/adder.py", "add") == "execute"
+        assert classify_frame("src/repro/mem/dcache.py", "access") == "memory"
+        assert classify_frame("src/repro/core/window.py", "retire") == "retire"
+        assert classify_frame("/usr/lib/python3/json/decoder.py", "decode") is None
+
+    def test_function_prefix_rule(self):
+        assert classify_frame("src/repro/core/machine.py", "is_ready_x") == "schedule"
+        assert classify_frame("src/repro/core/machine.py", "run") is None
+
+    def test_stack_uses_innermost_match(self):
+        stack = (
+            ("src/repro/backend/scheduler.py", "select"),
+            ("src/repro/core/machine.py", "run"),
+        )
+        assert classify_stack(stack) == "schedule"
+
+    def test_core_loop_and_host_fallbacks(self):
+        assert classify_stack((("src/repro/core/machine.py", "run"),)) == "core-loop"
+        assert classify_stack((("/usr/lib/runpy.py", "_run_code"),)) == "host"
+
+    def test_windows_paths_normalize(self):
+        assert classify_frame(r"src\repro\backend\bypass.py", "probe") == "bypass"
+
+
+def burn(deadline: float) -> int:
+    total = 0
+    while time.perf_counter() < deadline:
+        total += sum(range(200))
+    return total
+
+
+class TestSamplingProfiler:
+    def test_captures_samples_and_collapses(self):
+        profiler = SamplingProfiler(interval=0.001, timer="cpu")
+        with profiler:
+            burn(time.perf_counter() + 0.2)
+        assert profiler.total_samples > 0
+        collapsed = profiler.collapsed()
+        assert re.search(r"test_flame:burn \d+", collapsed)
+        for line in collapsed.strip().splitlines():
+            stack, _, count = line.rpartition(" ")
+            assert stack and count.isdigit(), line
+
+    def test_enable_disable_idempotent(self):
+        profiler = SamplingProfiler(interval=0.01)
+        profiler.enable()
+        profiler.enable()   # second enable is a no-op
+        assert profiler.enabled
+        profiler.disable()
+        profiler.disable()  # disabling an idle profiler is a no-op
+        assert not profiler.enabled
+        # the itimer is genuinely off: no samples accrue afterwards
+        profiler.reset()
+        burn(time.perf_counter() + 0.05)
+        assert profiler.total_samples == 0
+
+    def test_bad_parameters(self):
+        with pytest.raises(ValueError):
+            SamplingProfiler(interval=0)
+        with pytest.raises(ValueError):
+            SamplingProfiler(timer="sundial")
+
+    def test_wall_timer_variant(self):
+        profiler = SamplingProfiler(interval=0.001, timer="wall")
+        with profiler:
+            burn(time.perf_counter() + 0.1)
+        assert profiler.total_samples > 0
+
+    def test_refuses_worker_threads(self):
+        import threading
+
+        failures = []
+
+        def attempt():
+            try:
+                SamplingProfiler(interval=0.01).enable()
+            except RuntimeError as exc:
+                failures.append(exc)
+
+        thread = threading.Thread(target=attempt)
+        thread.start()
+        thread.join()
+        assert len(failures) == 1
+
+
+class TestCallStackSampler:
+    def test_deterministic_for_deterministic_work(self):
+        def workload():
+            sampler = CallStackSampler(stride=16)
+            with sampler:
+                for _ in range(500):
+                    classify_frame("src/repro/mem/dcache.py", "access")
+            return sorted(sampler.collapsed().splitlines())
+
+        assert workload() == workload()
+
+    def test_enable_disable_idempotent(self):
+        sampler = CallStackSampler(stride=4)
+        sampler.enable()
+        sampler.enable()
+        sampler.disable()
+        sampler.disable()
+        assert not sampler.enabled
+        before = sampler.total_samples
+        for _ in range(100):
+            classify_frame("x.py", "f")
+        assert sampler.total_samples == before
+
+    def test_bad_stride(self):
+        with pytest.raises(ValueError):
+            CallStackSampler(stride=0)
+
+    def test_open_profiler_picks_by_thread(self):
+        import threading
+
+        assert isinstance(open_profiler(), SamplingProfiler)
+        picked = []
+        thread = threading.Thread(target=lambda: picked.append(open_profiler()))
+        thread.start()
+        thread.join()
+        assert isinstance(picked[0], CallStackSampler)
+
+
+class TestStageReport:
+    def test_simulator_run_attributes_to_stages(self):
+        """A real simulation's samples land overwhelmingly inside the
+        simulator's stage taxonomy, not in 'host'."""
+        program = build("ijpeg")
+        machine = Machine(rb_limited(4))
+        sampler = CallStackSampler(stride=64)
+        with sampler:
+            machine.run(program)
+        assert sampler.total_samples > 50
+        report = sampler.stage_report()
+        assert [entry["stage"] for entry in report[:1]] != ["host"]
+        fractions = {entry["stage"]: entry["fraction"] for entry in report}
+        assert set(fractions) >= set(STAGES)
+        assert sum(fractions.values()) == pytest.approx(1.0, abs=0.01)
+        assert fractions["host"] < 0.2
+
+    def test_report_includes_zero_count_stages(self):
+        sampler = CallStackSampler()
+        report = sampler.stage_report()
+        assert {entry["stage"] for entry in report} == set(STAGES)
+        assert all(entry["samples"] == 0 for entry in report)
+
+    def test_write_collapsed(self, tmp_path):
+        sampler = CallStackSampler(stride=8)
+        with sampler:
+            for _ in range(200):
+                classify_frame("src/repro/rb/adder.py", "add")
+        path = sampler.write_collapsed(tmp_path / "deep" / "stacks.txt")
+        assert path.read_text() == sampler.collapsed()
+        assert path.read_text().endswith("\n")

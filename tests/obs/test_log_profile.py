@@ -35,6 +35,50 @@ class TestLogging:
         assert "hello from the harness" in stream.getvalue()
         setup_logging(0)  # restore default level for other tests
 
+    def test_json_lines_round_trip(self):
+        stream = io.StringIO()
+        setup_logging(1, stream=stream, json_lines=True)
+        get_logger("harness.runner").info("simulated %d pairs", 8)
+        get_logger("serve").warning("health -> %s", "degraded")
+        lines = stream.getvalue().strip().splitlines()
+        entries = [json.loads(line) for line in lines]  # every line parses
+        assert entries[0]["message"] == "simulated 8 pairs"
+        assert entries[0]["logger"] == "repro.harness.runner"
+        assert entries[0]["level"] == "INFO"
+        assert isinstance(entries[0]["ts"], float)
+        assert entries[1] == {
+            "ts": entries[1]["ts"], "level": "WARNING",
+            "logger": "repro.serve", "message": "health -> degraded",
+        }
+        setup_logging(0)
+
+    def test_json_exceptions_embedded(self):
+        stream = io.StringIO()
+        setup_logging(1, stream=stream, json_lines=True)
+        try:
+            raise ValueError("bad span")
+        except ValueError:
+            get_logger("test").exception("span validation failed")
+        entry = json.loads(stream.getvalue().strip().splitlines()[-1])
+        assert entry["level"] == "ERROR"
+        assert "ValueError: bad span" in entry["exc"]
+        setup_logging(0)
+
+    def test_json_toggle_is_reversible(self):
+        stream = io.StringIO()
+        setup_logging(1, stream=stream, json_lines=True)
+        setup_logging(1, stream=stream, json_lines=False)
+        get_logger("test").info("plain again")
+        tail = stream.getvalue().strip().splitlines()[-1]
+        assert "plain again" in tail
+        with io.StringIO(tail) as check:
+            import pytest
+            with pytest.raises(json.JSONDecodeError):
+                json.loads(check.read())
+        logger = setup_logging(0)
+        ours = [h for h in logger.handlers if getattr(h, "_repro_handler", False)]
+        assert len(ours) == 1  # toggling reused the one handler
+
 
 class TestRunProfile:
     def test_measure_rates(self):

@@ -136,11 +136,19 @@ class TestChromeValidation:
                 {"name": "execute", "ph": "X", "ts": 1, "pid": 0, "tid": 0},
             ]})
 
-    def test_rejects_no_retires(self):
+    def test_rejects_pipeline_trace_without_retires(self):
         with pytest.raises(ValueError, match="retire"):
             validate_chrome_trace({"traceEvents": [
-                {"name": "execute", "ph": "X", "ts": 0, "dur": 1, "pid": 0, "tid": 0},
+                {"name": "execute", "cat": "pipeline", "ph": "X",
+                 "ts": 0, "dur": 1, "pid": 0, "tid": 0},
             ]})
+
+    def test_accepts_span_only_trace(self):
+        total, retires = validate_chrome_trace({"traceEvents": [
+            {"name": "serve.request", "cat": "trace", "ph": "X",
+             "ts": 0, "dur": 10, "pid": 0, "tid": 0},
+        ]})
+        assert (total, retires) == (1, 0)
 
 
 class TestTraceDrivenPipeview:

@@ -1,0 +1,234 @@
+"""Tests for the distributed-tracing span model, tracer, and exports."""
+
+import json
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.obs.events import EventBus, EventKind
+from repro.obs.sinks import validate_chrome_trace
+from repro.obs.trace import (
+    Span,
+    TraceContext,
+    Tracer,
+    export_chrome,
+    export_spans,
+    now,
+    span_depths,
+    validate_span_tree,
+)
+
+
+class TestSpanModel:
+    def test_round_trip(self):
+        span = Span("t" * 16, "s" * 16, "machine.run", 1.0,
+                    parent_id="p" * 16, end=2.5, attributes={"cycles": 7})
+        reloaded = Span.from_dict(json.loads(json.dumps(span.to_dict())))
+        assert reloaded == span
+
+    def test_context_and_duration(self):
+        span = Span("t" * 16, "s" * 16, "x", 1.0, end=1.5)
+        assert span.context == TraceContext("t" * 16, "s" * 16)
+        assert span.duration == pytest.approx(0.5)
+        assert Span("t" * 16, "a" * 16, "open", 1.0).duration is None
+
+    def test_context_round_trip(self):
+        ctx = TraceContext("feedfacefeedface", "cafecafecafecafe")
+        assert TraceContext.from_dict(ctx.to_dict()) == ctx
+
+    def test_monotonic_clock(self):
+        readings = [now() for _ in range(100)]
+        assert readings == sorted(readings)
+
+
+class TestTracer:
+    def test_parenting_pins_trace(self):
+        tracer = Tracer()
+        root = tracer.start("serve.request")
+        child = tracer.start("serve.job", parent=root)
+        grandchild = tracer.start("pool.worker", parent=child.context)
+        assert child.trace_id == root.trace_id
+        assert child.parent_id == root.span_id
+        assert grandchild.parent_id == child.span_id
+        for span in (grandchild, child, root):
+            tracer.end(span)
+        assert validate_span_tree(tracer.spans(root.trace_id)) == 3
+
+    def test_span_context_manager_records_errors(self):
+        tracer = Tracer()
+        with pytest.raises(RuntimeError):
+            with tracer.span("boom") as span:
+                raise RuntimeError("worker died")
+        finished = tracer.spans()[-1]
+        assert finished is span
+        assert finished.end is not None
+        assert "worker died" in finished.attributes["error"]
+
+    def test_adopt_merges_serialized_spans(self):
+        worker = Tracer()
+        parent_ctx = TraceContext("a" * 16, "b" * 16)
+        with worker.span("pool.worker", parent=parent_ctx):
+            pass
+        entries = [s.to_dict() for s in worker.spans()]
+
+        tracer = Tracer()
+        assert tracer.adopt(entries) == 1
+        adopted = tracer.spans("a" * 16)
+        assert adopted[0].parent_id == "b" * 16
+
+    def test_bounded_buffer(self):
+        tracer = Tracer(max_spans=4)
+        for index in range(10):
+            tracer.end(tracer.start(f"span-{index}"))
+        names = [s.name for s in tracer.spans()]
+        assert names == ["span-6", "span-7", "span-8", "span-9"]
+
+    def test_bad_max_spans(self):
+        with pytest.raises(ValueError):
+            Tracer(max_spans=0)
+
+    def test_emits_span_events_on_bus(self):
+        bus = EventBus()
+        tracer = Tracer(bus=bus)
+        with tracer.span("serve.request"):
+            pass
+        span_events = [e for e in bus.events if e.kind is EventKind.SPAN]
+        assert len(span_events) == 1
+        event = span_events[0]
+        assert event.text == "serve.request"
+        assert event.dur >= 1
+        assert event.args["span_id"] == tracer.spans()[0].span_id
+
+    def test_trace_ids_in_first_seen_order(self):
+        tracer = Tracer()
+        first = tracer.end(tracer.start("a"))
+        second = tracer.end(tracer.start("b"))
+        tracer.end(tracer.start("c", parent=first))
+        assert tracer.trace_ids() == [first.trace_id, second.trace_id]
+
+
+class TestValidateSpanTree:
+    def _tree(self):
+        root = Span("t" * 16, "r" * 16, "root", 1.0, end=5.0)
+        child = Span("t" * 16, "c" * 16, "child", 2.0,
+                     parent_id="r" * 16, end=4.0)
+        return [root, child]
+
+    def test_valid_tree_counts(self):
+        assert validate_span_tree(self._tree()) == 2
+
+    def test_accepts_dict_entries(self):
+        assert validate_span_tree([s.to_dict() for s in self._tree()]) == 2
+
+    def test_rejects_orphan_parent(self):
+        spans = self._tree()
+        spans[1].parent_id = "x" * 16
+        with pytest.raises(ValueError, match="not in trace"):
+            validate_span_tree(spans)
+
+    def test_rejects_duplicate_span_id(self):
+        spans = self._tree()
+        spans[1].span_id = spans[0].span_id
+        with pytest.raises(ValueError, match="duplicate"):
+            validate_span_tree(spans)
+
+    def test_rejects_end_before_start(self):
+        spans = self._tree()
+        spans[1].end = 0.5
+        spans[1].start = 3.0
+        with pytest.raises(ValueError, match="before start"):
+            validate_span_tree(spans)
+
+    def test_rejects_child_outside_parent(self):
+        spans = self._tree()
+        spans[1].end = 9.0  # far past the parent's end and any tolerance
+        with pytest.raises(ValueError, match="after its parent"):
+            validate_span_tree(spans)
+
+    def test_tolerance_allows_cross_process_skew(self):
+        spans = self._tree()
+        spans[1].start = 0.99  # 10ms before the parent: within tolerance
+        validate_span_tree(spans, tolerance=0.05)
+        with pytest.raises(ValueError, match="before its parent"):
+            validate_span_tree(spans, tolerance=0.001)
+
+    def test_rejects_parent_cycle(self):
+        a = Span("t" * 16, "a" * 16, "a", 1.0, parent_id="b" * 16, end=2.0)
+        b = Span("t" * 16, "b" * 16, "b", 1.0, parent_id="a" * 16, end=2.0)
+        with pytest.raises(ValueError, match="cycle"):
+            validate_span_tree([a, b])
+
+
+class TestExports:
+    def _tree(self):
+        tracer = Tracer()
+        root = tracer.start("serve.request")
+        job = tracer.start("serve.job", parent=root)
+        worker = tracer.start("pool.worker", parent=job)
+        for span in (worker, job, root):
+            tracer.end(span)
+        return root.trace_id, tracer.spans(root.trace_id)
+
+    def test_export_spans_document(self):
+        trace_id, spans = self._tree()
+        document = export_spans(trace_id, spans)
+        assert document["version"] == 1
+        assert document["trace_id"] == trace_id
+        assert len(document["spans"]) == 3
+        json.dumps(document)  # must be JSON-serializable as-is
+
+    def test_export_chrome_is_valid_and_depth_laned(self):
+        trace_id, spans = self._tree()
+        document = export_chrome(spans, meta={"trace_id": trace_id})
+        total, retires = validate_chrome_trace(document)
+        assert retires == 0
+        slices = [e for e in document["traceEvents"] if e.get("cat") == "trace"]
+        by_name = {e["name"]: e["tid"] for e in slices}
+        assert by_name == {"serve.request": 0, "serve.job": 1, "pool.worker": 2}
+
+    def test_export_chrome_rejects_empty(self):
+        with pytest.raises(ValueError):
+            export_chrome([])
+
+    def test_span_depths(self):
+        _, spans = self._tree()
+        depths = sorted(span_depths(spans).values())
+        assert depths == [0, 1, 2]
+
+
+@st.composite
+def span_forests(draw):
+    """Random well-formed span trees driven through a real Tracer."""
+    tracer = Tracer()
+    open_spans: list[Span] = []
+    finished = 0
+    for _ in range(draw(st.integers(min_value=1, max_value=24))):
+        if open_spans and draw(st.booleans()):
+            tracer.end(open_spans.pop())
+            finished += 1
+            continue
+        parent = None
+        if open_spans and draw(st.booleans()):
+            parent = draw(st.sampled_from(open_spans))
+        open_spans.append(tracer.start(draw(st.sampled_from(
+            ["request", "job", "queue", "dispatch", "worker", "run"]
+        )), parent=parent))
+    while open_spans:
+        tracer.end(open_spans.pop())
+        finished += 1
+    return tracer, finished
+
+
+class TestSpanTreeProperty:
+    @settings(max_examples=50, deadline=None)
+    @given(span_forests())
+    def test_tracer_output_always_validates(self, forest):
+        """Any interleaving of starts/ends (LIFO per stack) yields spans
+        that pass structural validation and export cleanly."""
+        tracer, finished = forest
+        spans = tracer.spans()
+        assert validate_span_tree(spans) == finished
+        if spans:
+            document = export_chrome(spans)
+            validate_chrome_trace(document)

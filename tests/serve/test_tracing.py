@@ -1,0 +1,181 @@
+"""End-to-end tracing through the live service (the acceptance test).
+
+One multi-job batch submitted over a real socket must come back with a
+``trace_id`` whose span tree covers the full pipeline — request → job →
+queue/dispatch → pool worker → ``Machine.run`` — retrievable from
+``GET /trace/<id>`` as a structurally valid tree and as Chrome
+``trace_event`` JSON.  The Prometheus exposition endpoint rides along.
+"""
+
+import json
+
+import pytest
+
+from repro.obs.sinks import validate_chrome_trace
+from repro.obs.trace import Span, span_depths, validate_span_tree
+
+JOBS = [
+    {"machine": "ideal", "workload": "ijpeg", "width": 4},
+    {"machine": "baseline", "workload": "li", "width": 4},
+    {"machine": "rb-limited", "workload": "compress", "width": 4},
+]
+
+
+@pytest.fixture(scope="module")
+def traced_batch(tmp_path_factory):
+    """One live service, one multi-job batch, and its exported trace."""
+    import asyncio
+    import threading
+
+    from repro.serve import ServeClient, ServeConfig, SimulationService
+
+    tmp = tmp_path_factory.mktemp("serve-tracing")
+    service = SimulationService(ServeConfig(
+        cache_dir=tmp / "cache", cache_shards=8, pool_jobs=2,
+        max_batch=8, batch_window=0.02, job_timeout=120.0,
+        backoff_base=0.01, backoff_cap=0.05, request_timeout=240.0,
+    ))
+    loop = asyncio.new_event_loop()
+    thread = threading.Thread(target=loop.run_forever, daemon=True)
+    thread.start()
+    asyncio.run_coroutine_threadsafe(service.start(), loop).result(30)
+    client = ServeClient("127.0.0.1", service.port, timeout=300)
+    try:
+        reply = client.submit(JOBS)
+        trace_doc = client.trace(reply["trace_id"])
+        chrome_doc = client.trace(reply["trace_id"], format="chrome")
+        prometheus = client.metrics_prometheus()
+        yield service, reply, trace_doc, chrome_doc, prometheus
+    finally:
+        asyncio.run_coroutine_threadsafe(service.stop(), loop).result(30)
+        loop.call_soon_threadsafe(loop.stop)
+        thread.join(10)
+        loop.close()
+
+
+class TestEndToEndTrace:
+    def test_reply_carries_trace_id(self, traced_batch):
+        _, reply, trace_doc, _, _ = traced_batch
+        assert reply["ok"]
+        assert len(reply["results"]) == len(JOBS)
+        assert trace_doc["trace_id"] == reply["trace_id"]
+        assert trace_doc["version"] == 1
+
+    def test_span_tree_is_well_formed(self, traced_batch):
+        _, _, trace_doc, _, _ = traced_batch
+        assert validate_span_tree(trace_doc["spans"]) == len(trace_doc["spans"])
+
+    def test_tree_covers_request_to_machine_run(self, traced_batch):
+        """The acceptance criterion: one trace_id covers request →
+        queue → pool worker → Machine.run for every job in the batch."""
+        _, _, trace_doc, _, _ = traced_batch
+        spans = [Span.from_dict(entry) for entry in trace_doc["spans"]]
+        by_name: dict[str, list[Span]] = {}
+        for span in spans:
+            by_name.setdefault(span.name, []).append(span)
+
+        assert len(by_name["serve.request"]) == 1
+        root = by_name["serve.request"][0]
+        assert root.parent_id is None
+        assert len(by_name["serve.job"]) == len(JOBS)
+        assert len(by_name["serve.queue"]) == len(JOBS)
+        assert len(by_name["serve.dispatch"]) >= len(JOBS)
+        assert len(by_name["pool.worker"]) == len(JOBS)
+        assert len(by_name["machine.run"]) == len(JOBS)
+
+        by_id = {span.span_id: span for span in spans}
+        for job in by_name["serve.job"]:
+            assert by_id[job.parent_id].name == "serve.request"
+        for queued in by_name["serve.queue"]:
+            assert by_id[queued.parent_id].name == "serve.job"
+        for dispatch in by_name["serve.dispatch"]:
+            assert by_id[dispatch.parent_id].name == "serve.job"
+        for worker in by_name["pool.worker"]:
+            assert by_id[worker.parent_id].name == "serve.dispatch"
+        for run in by_name["machine.run"]:
+            assert by_id[run.parent_id].name == "pool.worker"
+            assert run.attributes["instructions"] > 0
+
+        depths = span_depths(spans)
+        assert max(depths.values()) == 4  # request→job→dispatch→worker→run
+
+    def test_worker_spans_crossed_the_pool_boundary(self, traced_batch):
+        _, _, trace_doc, _, _ = traced_batch
+        import os
+
+        pids = {
+            entry["attributes"]["pid"]
+            for entry in trace_doc["spans"]
+            if entry["name"] == "pool.worker"
+        }
+        assert pids and os.getpid() not in pids
+
+    def test_chrome_export_is_valid(self, traced_batch):
+        _, _, trace_doc, chrome_doc, _ = traced_batch
+        total, retires = validate_chrome_trace(chrome_doc)
+        assert retires == 0
+        slices = [e for e in chrome_doc["traceEvents"] if e.get("cat") == "trace"]
+        assert len(slices) == len(trace_doc["spans"])
+        json.dumps(chrome_doc)  # round-trips as standalone JSON
+
+    def test_matches_checked_in_schema(self, traced_batch):
+        from pathlib import Path
+
+        from repro.obs.validate import validate_json_schema
+
+        _, _, trace_doc, _, _ = traced_batch
+        schema = json.loads(
+            (Path(__file__).resolve().parents[2] / "schemas" / "trace.schema.json")
+            .read_text()
+        )
+        validate_json_schema(trace_doc, schema)
+
+    def test_trace_listing_and_unknown_id(self, traced_batch):
+        from repro.serve.client import ServeError
+
+        service, reply, _, _, _ = traced_batch
+        client = __import__("repro.serve.client", fromlist=["ServeClient"]).ServeClient(
+            "127.0.0.1", service.port, timeout=60
+        )
+        assert reply["trace_id"] in client.traces()["traces"]
+        with pytest.raises(ServeError) as excinfo:
+            client.trace("0" * 16)
+        assert excinfo.value.status == 404
+
+    def test_span_events_reach_the_service_bus(self, traced_batch):
+        from repro.obs.events import EventKind
+
+        service, reply, _, _, _ = traced_batch
+        span_events = [
+            e for e in service.bus.events if e.kind is EventKind.SPAN
+        ]
+        assert any(
+            e.args.get("trace_id") == reply["trace_id"] for e in span_events
+        )
+
+
+class TestPrometheusEndpoint:
+    def test_text_exposition(self, traced_batch):
+        _, _, _, _, prometheus = traced_batch
+        assert isinstance(prometheus, str)
+        lines = prometheus.strip().splitlines()
+        assert "# TYPE repro_serve_jobs_submitted_total counter" in lines
+        assert any(
+            line.startswith('repro_serve_jobs_submitted_total{registry="service"} ')
+            for line in lines
+        )
+        # the satellite gauges: queue depth and event-bus health
+        assert "# TYPE repro_serve_queue_depth gauge" in lines
+        assert "# TYPE repro_events_dropped gauge" in lines
+        assert "# TYPE repro_events_buffered gauge" in lines
+        # every sample parses as "<name>{labels} <value>"
+        for line in lines:
+            if line.startswith("#"):
+                continue
+            name_part, _, value = line.rpartition(" ")
+            float(value)
+            assert "{" in name_part and name_part.endswith("}")
+
+    def test_runner_registry_labelled(self, traced_batch):
+        _, _, _, _, prometheus = traced_batch
+        assert 'registry="runner"' in prometheus
