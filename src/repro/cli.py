@@ -50,6 +50,19 @@ serve
     serial degradation, and serves repeats from the sharded result
     cache.  ``GET /healthz``, ``/metrics``, and ``/events`` expose the
     service state.
+timeline
+    Per-interval microarchitectural time-series of one run: IPC,
+    window/fetch occupancy, stall-cause mix, bypass-level hits, and
+    RB->TC conversions per sampling window, plus change-point phase
+    segmentation.  ``--json`` writes the versioned export
+    (schemas/timeline.schema.json); ``--diff MACHINE`` aligns a second
+    machine's run by retired-instruction count and reports where the
+    two diverge.
+watch
+    Submit one job to a running ``repro serve`` instance with
+    ``"wait": false`` and follow its Server-Sent-Events stream live:
+    dispatch lifecycle, timeline rows as the simulation produces them,
+    and the terminal summary.
 
 Every command accepts ``-v``/``-vv`` for INFO/DEBUG progress logging and
 ``--log-json`` for machine-parseable one-object-per-line log output.
@@ -346,6 +359,10 @@ def cmd_bench(args: argparse.Namespace) -> int:
           f"parallel({sweep['jobs']}) {sweep['parallel_seconds']}s, "
           f"speedup {sweep['speedup']}x, "
           f"results identical: {sweep['results_identical']}")
+    overhead = payload["sampler_overhead"]
+    print(f"sampler overhead: {overhead['overhead_fraction']:+.2%} "
+          f"({overhead['machine']} on {overhead['workload']}, "
+          f"{overhead['rows']} rows at stride {overhead['stride']})")
     reference = payload["reference"]
     print(f"seed reference: {reference['instr_per_sec']} instr/s "
           f"({reference['machine']} on {reference['workload']})")
@@ -431,6 +448,98 @@ def cmd_serve(args: argparse.Namespace) -> int:
     except KeyboardInterrupt:
         print("\nrepro serve: shutting down")
     return 0
+
+
+def cmd_timeline(args: argparse.Namespace) -> int:
+    from repro.core.machine import Machine
+    from repro.obs.timeline import (
+        export_timeline,
+        render_timeline_text,
+        timeline_diff,
+    )
+
+    config = _machine_config(args)
+    program = _load_program(args.workload)
+    log.info("sampling %s on %s (stride %d) ...",
+             config.name, program.name, args.stride)
+    stats = Machine(config).run(
+        program, cycle_skip=not args.no_skip, timeline_stride=args.stride
+    )
+    timeline = stats.timeline
+
+    if args.diff is not None:
+        other_args = argparse.Namespace(
+            machine=args.diff, width=args.width, steering=None
+        )
+        other_config = _machine_config(other_args)
+        log.info("sampling diff target %s ...", other_config.name)
+        other = Machine(other_config).run(
+            program, cycle_skip=not args.no_skip, timeline_stride=args.stride
+        )
+        diff = timeline_diff(timeline, other.timeline)
+        rendered = (
+            json.dumps(diff.to_dict(), indent=2) if args.json
+            else diff.describe()
+        )
+    elif args.json:
+        rendered = json.dumps(export_timeline(timeline), indent=2)
+    else:
+        rendered = render_timeline_text(timeline, max_rows=args.max_rows)
+
+    if args.output is not None:
+        path = Path(args.output)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(rendered + ("" if rendered.endswith("\n") else "\n"))
+        print(f"wrote {path}")
+    else:
+        print(rendered)
+    return 0
+
+
+def cmd_watch(args: argparse.Namespace) -> int:
+    from repro.serve.client import ServeClient, ServeError
+
+    client = ServeClient(args.host, args.port, timeout=args.timeout)
+    spec = {"machine": args.machine, "workload": args.workload,
+            "width": args.width}
+    try:
+        reply = client.submit_async([spec])
+    except (ServeError, OSError) as exc:
+        print(f"repro watch: cannot submit to "
+              f"{args.host}:{args.port}: {exc}", file=sys.stderr)
+        return 2
+    job = reply["jobs"][0]
+    print(f"job {job['job_id']}: {job['machine']} on {job['workload']}"
+          f"{' (coalesced onto a live run)' if job['coalesced'] else ''}"
+          f" -> {job['stream']}")
+    ok = False
+    rows = 0
+    for event in client.stream(job["job_id"]):
+        kind = event["event"]
+        if kind == "row":
+            rows += 1
+            if not args.once:
+                row = event["row"]
+                start = row["cycle_end"] - row["cycles"] + 1
+                print(f"  [{start:>8} .. {row['cycle_end']:>8}] "
+                      f"ipc {row['ipc']:6.3f}  rob {row['rob_occupancy']:>3}  "
+                      f"fetch {row['fetch_occupancy']:>3}  "
+                      f"retired {row['retired_total']}")
+        elif kind == "dispatch":
+            print(f"  dispatched: batch {event.get('batch')} "
+                  f"attempt {event.get('attempt')} ({event.get('mode')})")
+        elif kind == "retry":
+            print(f"  retrying (attempt {event.get('attempt')}, "
+                  f"{event.get('delay')}s backoff): {event.get('error')}")
+        elif kind == "done":
+            ok = True
+            print(f"done: {event['machine']} on {event['workload']}: "
+                  f"{event['instructions']} instructions, "
+                  f"{event['cycles']} cycles, IPC {event['ipc']:.3f} "
+                  f"({rows} timeline rows)")
+        elif kind == "failed":
+            print(f"failed: {event.get('error')}", file=sys.stderr)
+    return 0 if ok else 1
 
 
 def cmd_check(args: argparse.Namespace) -> int:
@@ -648,6 +757,49 @@ def main(argv: list[str] | None = None) -> int:
     serve.add_argument("--retries", type=int, default=3, metavar="N",
                        help="max retry attempts per batch (default 3)")
     serve.set_defaults(fn=cmd_serve)
+
+    timeline = sub.add_parser(
+        "timeline", help="per-interval time-series + phase segmentation",
+        parents=[common],
+    )
+    timeline.add_argument("workload", help="suite kernel name or assembly file path")
+    timeline.add_argument("--machine", default="rb-limited")
+    timeline.add_argument("--width", type=int, default=4, choices=(4, 8))
+    timeline.add_argument("--steering", choices=("round_robin", "dependence"))
+    timeline.add_argument("--stride", type=int, default=256, metavar="CYCLES",
+                          help="cycles per sampling interval (default 256; "
+                               "doubles automatically on very long runs)")
+    timeline.add_argument("--max-rows", type=int, default=40, metavar="N",
+                          help="interval rows shown in the text table "
+                               "(default 40; JSON always carries all rows)")
+    timeline.add_argument("--diff", default=None, metavar="MACHINE",
+                          help="also run MACHINE and report the two runs "
+                               "aligned by retired-instruction count")
+    timeline.add_argument("--no-skip", action="store_true",
+                          help="disable the cycle-skipping fast-forward "
+                               "(the timeline is bit-identical either way)")
+    timeline.add_argument("--json", action="store_true",
+                          help="versioned export (schemas/timeline.schema.json), "
+                               "or the diff document with --diff")
+    timeline.add_argument("-o", "--output", default=None,
+                          help="write the report to a file instead of stdout")
+    timeline.set_defaults(fn=cmd_timeline)
+
+    watch = sub.add_parser(
+        "watch", help="follow one job live on a running `repro serve`",
+        parents=[common],
+    )
+    watch.add_argument("workload", help="suite kernel name")
+    watch.add_argument("--machine", default="rb-limited")
+    watch.add_argument("--width", type=int, default=4, choices=(4, 8))
+    watch.add_argument("--host", default="127.0.0.1")
+    watch.add_argument("--port", type=int, default=8321)
+    watch.add_argument("--timeout", type=float, default=600.0, metavar="SECONDS",
+                       help="client socket timeout (default 600)")
+    watch.add_argument("--once", action="store_true",
+                       help="suppress per-row output; print only lifecycle "
+                            "events and the terminal summary (CI smoke mode)")
+    watch.set_defaults(fn=cmd_watch)
 
     check = sub.add_parser(
         "check", help="differential tests + paper-invariant audit",

@@ -39,6 +39,7 @@ from repro.mem.hierarchy import MemoryHierarchy
 from repro.obs.events import EventBus, EventKind, TraceEvent, lifecycle_events
 from repro.obs.explain import StallCause, classify_stall_cycle
 from repro.obs.log import get_logger
+from repro.obs.timeline import DEFAULT_STRIDE, IntervalSampler
 
 log = get_logger(__name__)
 
@@ -79,6 +80,7 @@ def _replay_stall_range(
     start: int,
     stop: int,
     dispatch_blocked: bool,
+    sampler: IntervalSampler | None = None,
 ) -> None:
     """Record the per-cycle stall attribution for skipped cycles [start, stop).
 
@@ -90,6 +92,12 @@ def _replay_stall_range(
     per segment reproduces the per-cycle loop's distribution exactly.
     With a bus attached the per-cycle STALL events must be emitted
     anyway, so the range is simply walked cycle by cycle.
+
+    An attached interval ``sampler`` is driven at exactly the cycles the
+    per-cycle loop would have driven it: every other sampled input is
+    frozen across the range, and each capture due at cycle ``c`` fires
+    after the stall attribution for cycles ``<= c`` has been recorded —
+    so the replayed timeline rows are bit-identical to a no-skip run's.
     """
     stall_causes = stats.stall_causes
     if bus is not None:
@@ -102,6 +110,8 @@ def _replay_stall_range(
             bus.emit(TraceEvent(
                 c, EventKind.STALL, head_seq, args={"cause": cause.value},
             ))
+            if sampler is not None and c == sampler.next_capture:
+                sampler.capture(c)
         return
     marks = {start, stop}
     if head is not None:
@@ -118,7 +128,21 @@ def _replay_stall_range(
         cause = classify_stall_cycle(
             head, frontier, segment_start, SELECT_TO_EXEC, dispatch_blocked
         )
-        stall_causes.record(cause, segment_stop - segment_start)
+        if sampler is None:
+            stall_causes.record(cause, segment_stop - segment_start)
+            continue
+        # Chunk the segment at capture boundaries so each capture sees
+        # the attribution for every cycle up to and including its own.
+        position = segment_start
+        while position < segment_stop:
+            boundary = sampler.next_capture
+            if position <= boundary < segment_stop:
+                stall_causes.record(cause, boundary + 1 - position)
+                sampler.capture(boundary)
+                position = boundary + 1
+            else:
+                stall_causes.record(cause, segment_stop - position)
+                position = segment_stop
 
 
 class Machine:
@@ -155,6 +179,9 @@ class Machine:
         record_trace: bool = False,
         bus: EventBus | None = None,
         cycle_skip: bool = True,
+        timeline: bool = True,
+        timeline_stride: int = DEFAULT_STRIDE,
+        timeline_sink=None,
     ) -> SimStats:
         """Simulate ``program`` to completion and return its statistics.
 
@@ -175,6 +202,16 @@ class Machine:
         ahead.  Statistics (cycles, CPI stacks, occupancy series, event
         streams) are bit-identical either way; ``cycle_skip=False`` is
         the escape hatch that forces the plain per-cycle loop.
+
+        With ``timeline`` (the default) an
+        :class:`~repro.obs.timeline.IntervalSampler` captures a
+        microarchitectural time-series row every ``timeline_stride``
+        cycles, attached to the returned stats as a ``timeline``
+        attribute (like ``trace``, not part of the serialized SimStats
+        schema).  Rows are bit-identical with and without ``cycle_skip``.
+        ``timeline_sink`` (a callable taking a
+        :class:`~repro.obs.timeline.TimelineRow`) observes each row as it
+        is captured — the live-streaming hook.
         """
         config = self.config
         stats = SimStats(machine=config.name, workload=program.name)
@@ -208,6 +245,15 @@ class Machine:
         occupancy_series = stats.metrics.timeseries(
             "scheduler.occupancy", stride=OCCUPANCY_STRIDE
         )
+
+        sampler: IntervalSampler | None = None
+        sampler_next = _NEVER
+        if timeline:
+            sampler = IntervalSampler(
+                stats, rob, fetch_queue, schedulers,
+                stride=timeline_stride, on_row=timeline_sink,
+            )
+            sampler_next = sampler.next_capture
 
         seq = 0
         cycle = 0
@@ -406,6 +452,14 @@ class Machine:
                         args={"cause": cause.value},
                     ))
 
+            # ---- interval sampling -------------------------------------------------------
+            # After stall attribution, so the row at a boundary covers
+            # every cycle <= the boundary (the skip replay preserves
+            # exactly this ordering).
+            if cycle == sampler_next:
+                sampler.capture(cycle)
+                sampler_next = sampler.next_capture
+
             # ---- termination --------------------------------------------------------------
             if (
                 fetch.halted
@@ -518,8 +572,11 @@ class Machine:
                     if frontier is None or front.seq < frontier.seq:
                         frontier = front
             _replay_stall_range(
-                stats, bus, head, frontier, cycle, stop, dispatch_wait_blocked
+                stats, bus, head, frontier, cycle, stop, dispatch_wait_blocked,
+                sampler,
             )
+            if sampler is not None:
+                sampler_next = sampler.next_capture
             self.skipped_cycles += span
             cycle = stop
             if cycle - last_progress_cycle > progress_window:
@@ -540,6 +597,11 @@ class Machine:
         stats.scheduler_occupancy_sum = occupancy_series.total
         if trace is not None:
             stats.trace = trace  # dynamic attribute: not part of the cached schema
+        if sampler is not None:
+            # Dynamic attribute like trace — kept out of SimStats.to_dict
+            # so serialized stats (goldens, differentials) are unchanged;
+            # the ResultCache persists it as a sibling entry key.
+            stats.timeline = sampler.finalize(cycle)
         if bus is not None:
             bus.close(meta={
                 "machine": config.name,

@@ -164,6 +164,14 @@ class SimStats:
             if spec.name in entry:
                 setattr(stats, spec.name, entry[spec.name])
         stats.metrics.load(entry.get("metrics", {}))
+        if "timeline" in entry:
+            # The interval time-series travels as a sibling key next to
+            # the SimStats fields (the cache and the pool boundary embed
+            # it there); reattach it as the same dynamic attribute
+            # Machine.run uses, keeping it out of the dataclass schema.
+            from repro.obs.timeline import Timeline
+
+            stats.timeline = Timeline.from_dict(entry["timeline"])
         return stats
 
     def summary(self) -> str:

@@ -62,7 +62,9 @@ from repro.workloads.suite import build
 
 log = get_logger(__name__)
 
-RESULTS_VERSION = 7
+# 8: cache entries carry an interval-timeline sibling key next to the
+# SimStats fields (repro.obs.timeline).
+RESULTS_VERSION = 8
 
 
 class MatrixWorkerError(RuntimeError):
@@ -107,6 +109,11 @@ class SimJob:
     #: parent trace context for request-scoped tracing (picklable; rides
     #: to pool workers next to the workload name).
     trace: TraceContext | None = None
+    #: live observer for interval-timeline rows (serial path only: a
+    #: callable cannot cross the process-pool boundary, so pooled jobs
+    #: deliver their timeline with the completed result instead).  Not
+    #: part of ``key``, so observation never perturbs caching.
+    row_sink: object | None = None
 
     @property
     def key(self) -> tuple[str, str]:
@@ -197,7 +204,14 @@ class ResultCache:
 
     def put(self, stats: SimStats) -> None:
         key = self.key(stats.machine, stats.workload)
-        self._data[key] = stats.to_dict()
+        entry = stats.to_dict()
+        # The interval timeline is a dynamic attribute (like stats.trace)
+        # kept out of the SimStats schema; persist it as a sibling key so
+        # cached results replay it (SimStats.from_dict reattaches it).
+        timeline = getattr(stats, "timeline", None)
+        if timeline is not None:
+            entry["timeline"] = timeline.to_dict()
+        self._data[key] = entry
         if self.shards is not None:
             self._dirty_shards.add(self.shard_of(key))
 
@@ -263,7 +277,13 @@ def _simulate_for_pool(
         tracer.end(run_span, cycles=stats.cycles, instructions=stats.instructions)
         tracer.end(worker_span)
         spans = [span.to_dict() for span in tracer.spans()]
-    return stats.to_dict(), asdict(profile), spans
+    stats_entry = stats.to_dict()
+    timeline = getattr(stats, "timeline", None)
+    if timeline is not None:
+        # Ride the pool boundary inside the stats entry; the parent's
+        # SimStats.from_dict reattaches it before cache.put re-embeds it.
+        stats_entry["timeline"] = timeline.to_dict()
+    return stats_entry, asdict(profile), spans
 
 
 class SimulationRunner:
@@ -324,6 +344,7 @@ class SimulationRunner:
         config: MachineConfig,
         workload: str,
         trace_parent: TraceContext | None = None,
+        row_sink=None,
     ) -> SimStats:
         """One simulation, served from cache when available.
 
@@ -359,7 +380,7 @@ class SimulationRunner:
             )
         try:
             started = time.perf_counter()
-            stats = machine.run(build(workload))
+            stats = machine.run(build(workload), timeline_sink=row_sink)
             wall = time.perf_counter() - started
         except BaseException as exc:
             if run_span is not None:
@@ -433,7 +454,8 @@ class SimulationRunner:
                     )
                 if job.key not in results:
                     results[job.key] = self.run(
-                        job.config, job.workload, trace_parent=job.trace
+                        job.config, job.workload, trace_parent=job.trace,
+                        row_sink=job.row_sink,
                     )
         self.flush()
         return results

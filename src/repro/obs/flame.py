@@ -131,11 +131,16 @@ class StackProfiler:
         self._enabled = True
 
     def disable(self) -> None:
-        """Stop sampling; disabling an idle profiler is a no-op."""
+        """Stop sampling; disabling an idle profiler is a no-op.
+
+        The flag is cleared *before* :meth:`_uninstall` runs: a partial
+        uninstall must not leave the profiler claiming to be enabled
+        (which would make a retry no-op and strand the hook installed).
+        """
         if not self._enabled:
             return
-        self._uninstall()
         self._enabled = False
+        self._uninstall()
 
     def _install(self) -> None:  # pragma: no cover - abstract
         raise NotImplementedError
@@ -223,12 +228,25 @@ class SamplingProfiler(StackProfiler):
                 "delivery); use CallStackSampler on worker threads"
             )
         self._previous_handler = signal.signal(self._signal, self._handle)
-        signal.setitimer(self._itimer, self.interval, self.interval)
+        try:
+            signal.setitimer(self._itimer, self.interval, self.interval)
+        except BaseException:
+            # Roll the handler back: a half-installed profiler would keep
+            # our handler active while enable() reports failure (and
+            # disable(), seeing _enabled False, would never restore it).
+            signal.signal(self._signal, self._previous_handler or signal.SIG_DFL)
+            self._previous_handler = None
+            raise
 
     def _uninstall(self) -> None:
-        signal.setitimer(self._itimer, 0.0)
-        signal.signal(self._signal, self._previous_handler or signal.SIG_DFL)
-        self._previous_handler = None
+        try:
+            signal.setitimer(self._itimer, 0.0)
+        finally:
+            # Restore the previous handler even if disarming raised, so
+            # an exception out of the profiled callable (context-manager
+            # __exit__ path) can never strand our handler installed.
+            signal.signal(self._signal, self._previous_handler or signal.SIG_DFL)
+            self._previous_handler = None
 
 
 class CallStackSampler(StackProfiler):

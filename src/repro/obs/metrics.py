@@ -16,6 +16,7 @@ load.
 from __future__ import annotations
 
 import enum
+import math
 import re
 from collections.abc import Mapping
 
@@ -132,6 +133,25 @@ class Histogram:
 
     def fraction(self, value: int) -> float:
         return self.counts.get(value, 0) / self.total if self.total else 0.0
+
+    def quantile(self, q: float) -> int | None:
+        """The q-quantile of the observed values, or ``None`` when empty.
+
+        Exact (nearest-rank over the full discrete ``counts`` map), not
+        an estimate: the smallest observed value whose cumulative count
+        reaches ``ceil(q * total)``.
+        """
+        if not 0.0 <= q <= 1.0:
+            raise ValueError(f"quantile must be in [0, 1], got {q}")
+        if not self.total:
+            return None
+        rank = max(1, math.ceil(q * self.total))
+        seen = 0
+        for value in sorted(self.counts):
+            seen += self.counts[value]
+            if seen >= rank:
+                return value
+        return self.max
 
     def as_dict(self) -> dict:
         return {
@@ -265,6 +285,16 @@ class MetricsRegistry:
         if metric is None:
             metric = self._histograms[name] = Histogram(name)
         return metric
+
+    def peek_histogram(self, name: str) -> Histogram | None:
+        """The named histogram if it exists, without creating it.
+
+        Observers (e.g. the interval sampler) must read through this:
+        :meth:`histogram` would register an empty metric, changing the
+        serialized snapshot of a registry the observer only meant to
+        watch.
+        """
+        return self._histograms.get(name)
 
     def timeseries(self, name: str, stride: int = 64, max_samples: int = 4096) -> TimeSeries:
         metric = self._timeseries.get(name)
@@ -406,6 +436,11 @@ def prometheus_text(registries: Mapping[str, MetricsRegistry]) -> str:
             add(metric, "gauge", f"{metric}{{{tag}}} {gauge.value}")
         for name, hist in registry._histograms.items():
             metric = prometheus_name(name)
+            for q in (0.5, 0.95, 0.99):
+                value = hist.quantile(q)
+                if value is not None:
+                    add(metric, "summary",
+                        f'{metric}{{{tag},quantile="{q}"}} {value}')
             add(metric, "summary", f"{metric}_sum{{{tag}}} {hist.sum}")
             add(metric, "summary", f"{metric}_count{{{tag}}} {hist.total}")
         for name, dist in registry._distributions.items():

@@ -1,0 +1,728 @@
+"""Interval telemetry: per-window microarchitectural time-series.
+
+The paper's figures are end-of-run aggregates; this module captures the
+*dynamics* behind them.  An :class:`IntervalSampler` hooks into
+:meth:`Machine.run <repro.core.machine.Machine.run>` and, every
+``stride`` cycles, snapshots the run's cumulative counters into a
+:class:`TimelineRow` — retired instructions (so per-interval IPC),
+window/fetch-queue/scheduler occupancy at the boundary, and the
+interval's *deltas* of the CPI-stack stall attribution, the per-level
+bypass-hit histogram, the Fig. 13 RB->TC conversion count, and scheduler
+contention.
+
+Everything is a snapshot of counters the simulator maintains anyway, so
+correctness does not depend on *when* within an interval events landed —
+which is what makes the sampler compatible with the event-driven cycle
+skip: a skipped range replays its boundary captures in closed form (see
+``_replay_stall_range`` in :mod:`repro.core.machine`) and produces a
+timeline bit-identical to the per-cycle loop's
+(``repro.verify.differential.diff_timeline_skip`` audits that claim).
+
+On top of the sampled rows:
+
+* :func:`segment_phases` — change-point phase segmentation by recursive
+  binary splitting of the per-interval IPC series (each split is the
+  variance-reduction-maximizing cut point);
+* :func:`timeline_diff` — alignment of two runs of the same workload on
+  the retired-instruction axis, reporting per-interval and per-phase
+  divergence for regression triage between adders/machines/widths;
+* :func:`export_timeline` — the versioned export document pinned by
+  ``schemas/timeline.schema.json`` and served by ``repro timeline --json``.
+"""
+
+from __future__ import annotations
+
+import enum
+from collections.abc import Callable, Sequence
+from dataclasses import dataclass, field
+
+#: Version stamped into export documents (schemas/timeline.schema.json).
+TIMELINE_VERSION = 1
+
+#: Default sampling stride in cycles.  Suite kernels run ~10-25k cycles,
+#: so this yields 40-100 rows — fine-grained enough for phase detection,
+#: coarse enough that the per-cycle hook is one integer compare.
+DEFAULT_STRIDE = 256
+
+#: Row-count bound: past this the sampler merges adjacent row pairs and
+#: doubles its stride (deterministically — skip and no-skip runs decimate
+#: at the same captured-row counts), bounding memory on long runs.
+#: Must be even so pairwise merging is exact.
+DEFAULT_MAX_ROWS = 2048
+
+
+@dataclass
+class TimelineRow:
+    """One sampled interval: point-in-time levels + cumulative deltas.
+
+    The interval covers cycles ``(cycle_end - cycles, cycle_end]``.
+    ``stalls`` / ``bypass_levels`` hold only nonzero entries, keyed by
+    stall-cause name and bypass level (as strings, for JSON stability).
+    """
+
+    cycle_end: int
+    cycles: int
+    #: instructions retired within the interval
+    instructions: int
+    #: cumulative retires at ``cycle_end`` (the diff alignment axis)
+    retired_total: int
+    #: reorder-buffer occupancy at the boundary cycle
+    rob_occupancy: int
+    #: fetch-queue depth at the boundary cycle
+    fetch_occupancy: int
+    #: summed scheduler occupancy at the boundary cycle
+    sched_occupancy: int
+    #: interval delta of the per-cycle stall attribution (CPI stack)
+    stalls: dict[str, int] = field(default_factory=dict)
+    #: interval delta of bypass-level hit counts (level -> hits)
+    bypass_levels: dict[str, int] = field(default_factory=dict)
+    #: bypassed sources delivered within the interval
+    bypassed_sources: int = 0
+    #: RB->TC conversion bypasses (Fig. 13's format-conversion case)
+    conversions: int = 0
+    #: scheduler contended-cycles delta
+    contended: int = 0
+
+    @property
+    def ipc(self) -> float:
+        return self.instructions / self.cycles if self.cycles else 0.0
+
+    def to_dict(self) -> dict:
+        return {
+            "cycle_end": self.cycle_end,
+            "cycles": self.cycles,
+            "instructions": self.instructions,
+            "retired_total": self.retired_total,
+            "ipc": round(self.ipc, 6),
+            "rob_occupancy": self.rob_occupancy,
+            "fetch_occupancy": self.fetch_occupancy,
+            "sched_occupancy": self.sched_occupancy,
+            "stalls": dict(sorted(self.stalls.items())),
+            "bypass_levels": dict(sorted(self.bypass_levels.items())),
+            "bypassed_sources": self.bypassed_sources,
+            "conversions": self.conversions,
+            "contended": self.contended,
+        }
+
+    @classmethod
+    def from_dict(cls, entry: dict) -> "TimelineRow":
+        return cls(
+            cycle_end=entry["cycle_end"],
+            cycles=entry["cycles"],
+            instructions=entry["instructions"],
+            retired_total=entry["retired_total"],
+            rob_occupancy=entry["rob_occupancy"],
+            fetch_occupancy=entry["fetch_occupancy"],
+            sched_occupancy=entry["sched_occupancy"],
+            stalls=dict(entry.get("stalls", {})),
+            bypass_levels=dict(entry.get("bypass_levels", {})),
+            bypassed_sources=entry.get("bypassed_sources", 0),
+            conversions=entry.get("conversions", 0),
+            contended=entry.get("contended", 0),
+        )
+
+    def merge(self, other: "TimelineRow") -> "TimelineRow":
+        """This interval fused with the (adjacent, later) ``other``.
+
+        Deltas add; point-in-time levels and the cumulative total come
+        from the later boundary — exactly the row a sampler with double
+        the stride would have captured.
+        """
+        stalls = dict(self.stalls)
+        for key, count in other.stalls.items():
+            stalls[key] = stalls.get(key, 0) + count
+        levels = dict(self.bypass_levels)
+        for key, count in other.bypass_levels.items():
+            levels[key] = levels.get(key, 0) + count
+        return TimelineRow(
+            cycle_end=other.cycle_end,
+            cycles=self.cycles + other.cycles,
+            instructions=self.instructions + other.instructions,
+            retired_total=other.retired_total,
+            rob_occupancy=other.rob_occupancy,
+            fetch_occupancy=other.fetch_occupancy,
+            sched_occupancy=other.sched_occupancy,
+            stalls=stalls,
+            bypass_levels=levels,
+            bypassed_sources=self.bypassed_sources + other.bypassed_sources,
+            conversions=self.conversions + other.conversions,
+            contended=self.contended + other.contended,
+        )
+
+
+@dataclass
+class Timeline:
+    """The full sampled time-series of one run."""
+
+    machine: str
+    workload: str
+    stride: int
+    cycles: int
+    instructions: int
+    rows: list[TimelineRow] = field(default_factory=list)
+
+    @property
+    def ipc(self) -> float:
+        return self.instructions / self.cycles if self.cycles else 0.0
+
+    def to_dict(self) -> dict:
+        return {
+            "machine": self.machine,
+            "workload": self.workload,
+            "stride": self.stride,
+            "cycles": self.cycles,
+            "instructions": self.instructions,
+            "rows": [row.to_dict() for row in self.rows],
+        }
+
+    @classmethod
+    def from_dict(cls, entry: dict) -> "Timeline":
+        return cls(
+            machine=entry.get("machine", ""),
+            workload=entry.get("workload", ""),
+            stride=entry.get("stride", DEFAULT_STRIDE),
+            cycles=entry.get("cycles", 0),
+            instructions=entry.get("instructions", 0),
+            rows=[TimelineRow.from_dict(row) for row in entry.get("rows", [])],
+        )
+
+    def phases(self, **kwargs) -> list["Phase"]:
+        return segment_phases(self.rows, **kwargs)
+
+
+def _metric_key(key: object) -> str:
+    """A distribution/histogram key as a stable string (enum -> name)."""
+    if isinstance(key, enum.Enum):
+        return key.name
+    return str(key)
+
+
+class IntervalSampler:
+    """Captures a :class:`TimelineRow` every ``stride`` cycles of a run.
+
+    The sampler reads *cumulative* state the machine maintains anyway —
+    ``stats.instructions``, the CPI-stack distribution, the bypass-level
+    histogram, the Fig. 13 case distribution, scheduler counters — and
+    emits each interval as the delta between consecutive boundary
+    snapshots, plus the point-in-time occupancies at the boundary.
+
+    The machine drives it through two entry points:
+
+    * the per-cycle loop calls :meth:`capture` when
+      ``cycle == next_capture`` (after the stall-attribution block, so
+      the snapshot covers every cycle ``<= cycle``);
+    * the cycle-skip replay passes the sampler into
+      ``_replay_stall_range``, which chunks the skipped range at
+      ``next_capture`` boundaries and calls :meth:`capture` with the
+      same ordering guarantee — occupancies are frozen during a skip,
+      so both paths produce bit-identical rows.
+
+    ``on_row`` (if given) is invoked with each finished row — the live
+    streaming hook for ``repro serve``/``repro watch``.
+    """
+
+    def __init__(
+        self,
+        stats,
+        rob,
+        fetch_queue,
+        schedulers,
+        stride: int = DEFAULT_STRIDE,
+        max_rows: int = DEFAULT_MAX_ROWS,
+        on_row: Callable[[TimelineRow], None] | None = None,
+    ) -> None:
+        if stride <= 0:
+            raise ValueError(f"stride must be positive, got {stride}")
+        if max_rows < 2 or max_rows % 2:
+            raise ValueError(f"max_rows must be even and >= 2, got {max_rows}")
+        self._stats = stats
+        self._rob = rob
+        self._fetch_queue = fetch_queue
+        self._schedulers = schedulers
+        self.stride = stride
+        self.max_rows = max_rows
+        self.on_row = on_row
+        self.rows: list[TimelineRow] = []
+        #: the next cycle at which the machine should call capture()
+        self.next_capture = stride - 1
+        self._last_cycle_end = -1
+        self._prev_instructions = 0
+        self._prev_stalls: dict[str, int] = {}
+        self._prev_levels: dict[str, int] = {}
+        self._prev_bypassed = 0
+        self._prev_conversions = 0
+        self._prev_contended = 0
+        self._finalized = False
+
+    # -- snapshot helpers --------------------------------------------------
+
+    def _stall_counts(self) -> dict[str, int]:
+        return {
+            _metric_key(key): count
+            for key, count in self._stats.stall_causes.as_dict().items()
+        }
+
+    def _conversion_count(self) -> int:
+        for key, count in self._stats.bypass_cases.as_dict().items():
+            if _metric_key(key) == "RB_TO_TC":
+                return count
+        return 0
+
+    @staticmethod
+    def _delta(now: dict[str, int], prev: dict[str, int]) -> dict[str, int]:
+        out = {}
+        for key, count in now.items():
+            change = count - prev.get(key, 0)
+            if change:
+                out[key] = change
+        return out
+
+    # -- capture -----------------------------------------------------------
+
+    def capture(self, cycle: int) -> None:
+        """Close the interval ending at ``cycle`` (inclusive) as a row."""
+        if cycle <= self._last_cycle_end:
+            return
+        stats = self._stats
+        stalls = self._stall_counts()
+        # peek: get-or-create would register an empty histogram and
+        # perturb the stats' serialized (golden) form.
+        hist = stats.metrics.peek_histogram("bypass.source_level")
+        levels = (
+            {str(value): count for value, count in hist.counts.items()}
+            if hist is not None else {}
+        )
+        conversions = self._conversion_count()
+        contended = sum(s.contended_cycles for s in self._schedulers)
+        row = TimelineRow(
+            cycle_end=cycle,
+            cycles=cycle - self._last_cycle_end,
+            instructions=stats.instructions - self._prev_instructions,
+            retired_total=stats.instructions,
+            rob_occupancy=self._rob.occupancy,
+            fetch_occupancy=len(self._fetch_queue),
+            sched_occupancy=sum(s.occupancy for s in self._schedulers),
+            stalls=self._delta(stalls, self._prev_stalls),
+            bypass_levels=self._delta(levels, self._prev_levels),
+            bypassed_sources=stats.bypassed_sources - self._prev_bypassed,
+            conversions=conversions - self._prev_conversions,
+            contended=contended - self._prev_contended,
+        )
+        self._last_cycle_end = cycle
+        self._prev_instructions = stats.instructions
+        self._prev_stalls = stalls
+        self._prev_levels = levels
+        self._prev_bypassed = stats.bypassed_sources
+        self._prev_conversions = conversions
+        self._prev_contended = contended
+        self.rows.append(row)
+        if self.on_row is not None:
+            self.on_row(row)
+        self.next_capture = cycle + self.stride
+        if len(self.rows) >= self.max_rows:
+            self._decimate()
+
+    def _decimate(self) -> None:
+        """Merge adjacent row pairs and double the stride.
+
+        Triggered purely by the captured-row count, so skip and no-skip
+        runs decimate at the same points and stay bit-identical.
+        """
+        self.rows = [
+            self.rows[i].merge(self.rows[i + 1])
+            for i in range(0, len(self.rows) - 1, 2)
+        ]
+        self.stride *= 2
+        self.next_capture = self._last_cycle_end + self.stride
+
+    def finalize(self, final_cycle: int) -> Timeline:
+        """Capture the trailing partial interval and build the timeline."""
+        if not self._finalized:
+            self.capture(final_cycle)
+            self._finalized = True
+        stats = self._stats
+        return Timeline(
+            machine=stats.machine,
+            workload=stats.workload,
+            stride=self.stride,
+            cycles=final_cycle + 1,
+            instructions=stats.instructions,
+            rows=self.rows,
+        )
+
+
+# ---------------------------------------------------------------------------
+# Phase segmentation
+# ---------------------------------------------------------------------------
+
+@dataclass
+class Phase:
+    """One detected execution phase: a run of rows with similar IPC."""
+
+    #: row span [start_row, end_row)
+    start_row: int
+    end_row: int
+    start_cycle: int
+    end_cycle: int
+    cycles: int
+    instructions: int
+    ipc: float
+    mean_rob_occupancy: float
+    #: heaviest non-BASE stall cause over the phase ("" when none)
+    dominant_stall: str
+
+    def to_dict(self) -> dict:
+        return {
+            "start_row": self.start_row,
+            "end_row": self.end_row,
+            "start_cycle": self.start_cycle,
+            "end_cycle": self.end_cycle,
+            "cycles": self.cycles,
+            "instructions": self.instructions,
+            "ipc": round(self.ipc, 6),
+            "mean_rob_occupancy": round(self.mean_rob_occupancy, 3),
+            "dominant_stall": self.dominant_stall,
+        }
+
+
+def segment_phases(
+    rows: Sequence[TimelineRow],
+    max_phases: int = 8,
+    min_rows: int = 3,
+    min_gain: float = 0.1,
+) -> list[Phase]:
+    """Change-point detection on the per-interval IPC series.
+
+    Top-down binary segmentation: starting from one segment covering
+    every row, repeatedly apply the split that most reduces the summed
+    squared error (variance x length) of the IPC series, until
+    ``max_phases`` segments exist or the best available split's relative
+    SSE reduction falls below ``min_gain``.  Splits never create a
+    segment shorter than ``min_rows`` rows.  With prefix sums each sweep
+    is O(rows), so the whole segmentation is O(max_phases * rows) and
+    fully deterministic.
+    """
+    n = len(rows)
+    if n == 0:
+        return []
+    ipc = [row.ipc for row in rows]
+    prefix = [0.0] * (n + 1)
+    prefix_sq = [0.0] * (n + 1)
+    for i, value in enumerate(ipc):
+        prefix[i + 1] = prefix[i] + value
+        prefix_sq[i + 1] = prefix_sq[i] + value * value
+
+    def sse(i: int, j: int) -> float:
+        length = j - i
+        if length <= 0:
+            return 0.0
+        total = prefix[j] - prefix[i]
+        return max(0.0, (prefix_sq[j] - prefix_sq[i]) - total * total / length)
+
+    segments: list[tuple[int, int]] = [(0, n)]
+    while len(segments) < max_phases:
+        best_gain = 0.0
+        best: tuple[int, int, int] | None = None  # (segment index, i, split)
+        for index, (i, j) in enumerate(segments):
+            if j - i < 2 * min_rows:
+                continue
+            whole = sse(i, j)
+            if whole <= 0.0:
+                continue
+            for split in range(i + min_rows, j - min_rows + 1):
+                gain = (whole - sse(i, split) - sse(split, j)) / whole
+                if gain > best_gain:
+                    best_gain = gain
+                    best = (index, i, split)
+        if best is None or best_gain < min_gain:
+            break
+        index, i, split = best
+        j = segments[index][1]
+        segments[index:index + 1] = [(i, split), (split, j)]
+    return [_summarize_phase(rows, i, j) for i, j in segments]
+
+
+def _summarize_phase(rows: Sequence[TimelineRow], i: int, j: int) -> Phase:
+    span = rows[i:j]
+    cycles = sum(row.cycles for row in span)
+    instructions = sum(row.instructions for row in span)
+    stalls: dict[str, int] = {}
+    for row in span:
+        for key, count in row.stalls.items():
+            stalls[key] = stalls.get(key, 0) + count
+    dominant = ""
+    best = 0
+    for key in sorted(stalls):
+        if key != "BASE" and stalls[key] > best:
+            best = stalls[key]
+            dominant = key
+    start_cycle = rows[i].cycle_end - rows[i].cycles + 1
+    return Phase(
+        start_row=i,
+        end_row=j,
+        start_cycle=start_cycle,
+        end_cycle=rows[j - 1].cycle_end,
+        cycles=cycles,
+        instructions=instructions,
+        ipc=instructions / cycles if cycles else 0.0,
+        mean_rob_occupancy=(
+            sum(row.rob_occupancy for row in span) / len(span) if span else 0.0
+        ),
+        dominant_stall=dominant,
+    )
+
+
+# ---------------------------------------------------------------------------
+# Run diffing (alignment on the retired-instruction axis)
+# ---------------------------------------------------------------------------
+
+#: Relative per-bucket cycle gap beyond which two runs count as diverged.
+DIVERGENCE_TOLERANCE = 0.05
+
+#: Upper bound on alignment buckets in a diff.
+MAX_DIFF_BUCKETS = 64
+
+
+def _cycles_to_retire(rows: Sequence[TimelineRow], target: float) -> float:
+    """Interpolated cycle count by which ``target`` instructions retired.
+
+    Cycle space starts at -1 (the run's first interval covers cycles
+    ``[0, cycle_end]``), so a whole-run target returns ~``cycles - 1``.
+    """
+    if target <= 0:
+        return -1.0
+    prev_total = 0
+    prev_cycle = -1.0
+    for row in rows:
+        if row.retired_total >= target:
+            if row.instructions <= 0:
+                return float(row.cycle_end)
+            fraction = (target - prev_total) / row.instructions
+            return prev_cycle + fraction * row.cycles
+        prev_total = row.retired_total
+        prev_cycle = float(row.cycle_end)
+    return prev_cycle
+
+
+@dataclass
+class TimelineDiff:
+    """Two runs of one workload aligned by retired-instruction count."""
+
+    workload: str
+    a_machine: str
+    b_machine: str
+    #: instructions both runs retired (the aligned span)
+    aligned_instructions: int
+    #: per-bucket comparison over the aligned span
+    buckets: list[dict]
+    #: timeline A's phases, each mapped onto B's cycle cost
+    phases: list[dict]
+    summary: dict
+
+    def to_dict(self) -> dict:
+        return {
+            "workload": self.workload,
+            "a_machine": self.a_machine,
+            "b_machine": self.b_machine,
+            "aligned_instructions": self.aligned_instructions,
+            "buckets": self.buckets,
+            "phases": self.phases,
+            "summary": self.summary,
+        }
+
+    def describe(self) -> str:
+        lines = [
+            f"timeline diff on {self.workload}: "
+            f"{self.a_machine} (A) vs {self.b_machine} (B), "
+            f"{self.aligned_instructions} instructions aligned",
+            f"  total cycles A {self.summary['a_cycles']} "
+            f"B {self.summary['b_cycles']} "
+            f"(B/A {self.summary['cycle_ratio']:.3f})",
+        ]
+        first = self.summary.get("first_divergence_instruction")
+        if first is None:
+            lines.append(
+                f"  no bucket diverged beyond "
+                f"{DIVERGENCE_TOLERANCE:.0%} relative cycles"
+            )
+        else:
+            lines.append(
+                f"  first divergence (> {DIVERGENCE_TOLERANCE:.0%} cycles) "
+                f"at ~instruction {first}"
+            )
+        for phase in self.phases:
+            lines.append(
+                f"  phase rows {phase['start_row']}-{phase['end_row']}: "
+                f"{phase['instructions']} instr, "
+                f"IPC A {phase['a_ipc']:.3f} B {phase['b_ipc']:.3f} "
+                f"(B/A cycles {phase['cycle_ratio']:.3f})"
+            )
+        return "\n".join(lines)
+
+
+def timeline_diff(a: Timeline, b: Timeline) -> TimelineDiff:
+    """Compare two timelines of the *same workload* across machines/modes.
+
+    Cycle counts are not comparable directly (a slower machine's interval
+    k covers different work), so both runs are resampled onto a common
+    retired-instruction grid: bucket i compares the cycles each machine
+    needed to retire the same slice of the program.  Phases detected on
+    A's timeline are mapped onto B through the same alignment.
+    """
+    if a.workload != b.workload:
+        raise ValueError(
+            f"cannot diff timelines of different workloads: "
+            f"{a.workload!r} vs {b.workload!r}"
+        )
+    aligned = min(a.instructions, b.instructions)
+    buckets: list[dict] = []
+    count = min(MAX_DIFF_BUCKETS, max(1, min(len(a.rows), len(b.rows))))
+    first_divergence: int | None = None
+    max_ipc_gap = 0.0
+    if aligned > 0:
+        prev_a = prev_b = -1.0
+        for i in range(1, count + 1):
+            target = aligned * i / count
+            at_a = _cycles_to_retire(a.rows, target)
+            at_b = _cycles_to_retire(b.rows, target)
+            step = aligned / count
+            a_cycles = max(at_a - prev_a, 1e-9)
+            b_cycles = max(at_b - prev_b, 1e-9)
+            a_ipc = step / a_cycles
+            b_ipc = step / b_cycles
+            gap = abs(b_ipc - a_ipc)
+            max_ipc_gap = max(max_ipc_gap, gap)
+            diverged = abs(b_cycles - a_cycles) / max(a_cycles, 1.0) > DIVERGENCE_TOLERANCE
+            if diverged and first_divergence is None:
+                first_divergence = int(target)
+            buckets.append({
+                "instructions": int(target),
+                "a_cycles": round(at_a, 1),
+                "b_cycles": round(at_b, 1),
+                "a_ipc": round(a_ipc, 4),
+                "b_ipc": round(b_ipc, 4),
+                "ipc_delta": round(b_ipc - a_ipc, 4),
+                "diverged": diverged,
+            })
+            prev_a, prev_b = at_a, at_b
+    phases: list[dict] = []
+    for phase in segment_phases(a.rows):
+        first = a.rows[phase.start_row]
+        start_total = min(first.retired_total - first.instructions, aligned)
+        end_total = min(a.rows[phase.end_row - 1].retired_total, aligned)
+        span = end_total - start_total
+        if span <= 0:
+            continue
+        a_cost = max(
+            _cycles_to_retire(a.rows, end_total) - _cycles_to_retire(a.rows, start_total),
+            1e-9,
+        )
+        b_cost = max(
+            _cycles_to_retire(b.rows, end_total) - _cycles_to_retire(b.rows, start_total),
+            1e-9,
+        )
+        phases.append({
+            "start_row": phase.start_row,
+            "end_row": phase.end_row,
+            "instructions": span,
+            "dominant_stall": phase.dominant_stall,
+            "a_ipc": round(span / a_cost, 4),
+            "b_ipc": round(span / b_cost, 4),
+            "cycle_ratio": round(b_cost / a_cost, 4),
+        })
+    a_total = _cycles_to_retire(a.rows, aligned) + 1
+    b_total = _cycles_to_retire(b.rows, aligned) + 1
+    summary = {
+        "a_cycles": round(a_total, 1),
+        "b_cycles": round(b_total, 1),
+        "cycle_delta": round(b_total - a_total, 1),
+        "cycle_ratio": round(b_total / a_total, 4) if a_total else 0.0,
+        "max_ipc_gap": round(max_ipc_gap, 4),
+        "first_divergence_instruction": first_divergence,
+    }
+    return TimelineDiff(
+        workload=a.workload,
+        a_machine=a.machine,
+        b_machine=b.machine,
+        aligned_instructions=aligned,
+        buckets=buckets,
+        phases=phases,
+        summary=summary,
+    )
+
+
+# ---------------------------------------------------------------------------
+# Export + rendering
+# ---------------------------------------------------------------------------
+
+def export_timeline(timeline: Timeline) -> dict:
+    """The versioned export document (schemas/timeline.schema.json)."""
+    return {
+        "version": TIMELINE_VERSION,
+        "machine": timeline.machine,
+        "workload": timeline.workload,
+        "stride": timeline.stride,
+        "cycles": timeline.cycles,
+        "instructions": timeline.instructions,
+        "ipc": round(timeline.ipc, 6),
+        "rows": [row.to_dict() for row in timeline.rows],
+        "phases": [phase.to_dict() for phase in timeline.phases()],
+    }
+
+
+def render_timeline_text(timeline: Timeline, max_rows: int = 40) -> str:
+    """Human-readable phase + interval tables for ``repro timeline``."""
+    from repro.utils.tables import format_table
+
+    lines = [
+        f"{timeline.machine} on {timeline.workload}: "
+        f"{timeline.instructions} instructions, {timeline.cycles} cycles, "
+        f"IPC {timeline.ipc:.3f} "
+        f"({len(timeline.rows)} intervals, stride {timeline.stride})",
+    ]
+    phases = timeline.phases()
+    phase_rows = [
+        [
+            f"{phase.start_cycle}-{phase.end_cycle}",
+            phase.instructions,
+            f"{phase.ipc:.3f}",
+            f"{phase.mean_rob_occupancy:.1f}",
+            phase.dominant_stall or "-",
+        ]
+        for phase in phases
+    ]
+    lines.append(format_table(
+        ["cycles", "instr", "IPC", "mean ROB", "dominant stall"],
+        phase_rows, title=f"{len(phases)} phases",
+    ))
+    rows = timeline.rows
+    shown = rows
+    if len(rows) > max_rows:
+        step = -(-len(rows) // max_rows)
+        shown = rows[::step]
+    interval_rows = [
+        [
+            row.cycle_end,
+            row.instructions,
+            f"{row.ipc:.3f}",
+            row.rob_occupancy,
+            row.sched_occupancy,
+            row.conversions,
+            _bar(row.ipc, max((r.ipc for r in rows), default=0.0)),
+        ]
+        for row in shown
+    ]
+    title = "intervals" if shown is rows else (
+        f"intervals (every {step}th of {len(rows)})"
+    )
+    lines.append(format_table(
+        ["cycle", "instr", "IPC", "ROB", "sched", "conv", ""],
+        interval_rows, title=title,
+    ))
+    return "\n".join(lines)
+
+
+def _bar(value: float, peak: float, width: int = 24) -> str:
+    if peak <= 0:
+        return ""
+    return "#" * max(1, round(width * value / peak)) if value > 0 else ""

@@ -106,6 +106,11 @@ class BatchDispatcher:
         self._probe_pool = False
         #: health transition history, newest last (starts "ok")
         self.health_history: list[str] = [HEALTH_OK]
+        #: per-job lifecycle observer ``(job, event, **data)`` — the live
+        #: streaming hook (events: dispatch / retry / done / failed; plus
+        #: "row" with each timeline row, called from the worker thread).
+        #: Listener errors are logged, never allowed to kill a batch.
+        self.job_listener = None
 
         self._dispatched = self.metrics.counter("serve.batches.dispatched")
         self._batch_retries = self.metrics.counter("serve.batches.retried")
@@ -148,6 +153,34 @@ class BatchDispatcher:
         """Exponential backoff delay before retry ``attempt`` (1-based)."""
         return min(self.backoff_cap, self.backoff_base * (2 ** (attempt - 1)))
 
+    def _notify(self, job: QueuedJob, event: str, **data: object) -> None:
+        listener = self.job_listener
+        if listener is None:
+            return
+        try:
+            listener(job, event, **data)
+        except Exception as exc:
+            log.error("job listener failed on %s: %r", event, exc)
+
+    def _row_sink(self, job: QueuedJob):
+        """A per-job timeline-row callback, or None without a listener.
+
+        Only the runner's *serial* path invokes it (callables cannot
+        cross the process-pool boundary); it fires on the dispatcher's
+        worker thread, so listeners must be thread-safe.
+        """
+        listener = self.job_listener
+        if listener is None:
+            return None
+
+        def sink(row, _job=job):
+            try:
+                listener(_job, "row", row=row.to_dict())
+            except Exception as exc:  # never let streaming kill a run
+                log.error("row listener failed: %r", exc)
+
+        return sink
+
     async def dispatch(self, batch: list[QueuedJob]) -> None:
         """Execute one batch to completion (or exhaustion of retries)."""
         self._batch_seq += 1
@@ -182,12 +215,18 @@ class BatchDispatcher:
                     )
                     dispatch_spans.append(span)
                     trace_ctx = span.context
-                sim_jobs.append(job.sim_job(trace=trace_ctx))
+                self._notify(
+                    job, "dispatch", batch=batch_id, attempt=attempt, mode=mode
+                )
+                sim_jobs.append(
+                    job.sim_job(trace=trace_ctx, row_sink=self._row_sink(job))
+                )
             try:
                 results = await asyncio.to_thread(self._execute, sim_jobs, use_pool)
             except MatrixCancelled as exc:
                 self._end_dispatch_spans(dispatch_spans, ok=False, error=repr(exc))
                 for job in batch:
+                    self._notify(job, "failed", error=repr(exc))
                     self.queue.fail(job, exc)
                 return
             except Exception as exc:
@@ -205,11 +244,17 @@ class BatchDispatcher:
                     log.error("batch %d failed after %d attempts: %r",
                               batch_id, attempt, exc)
                     for job in batch:
+                        self._notify(job, "failed", error=repr(exc))
                         self.queue.fail(job, exc)
                     return
                 self._retries.inc()
                 self._batch_retries.inc()
                 delay = self.backoff(attempt)
+                for job in batch:
+                    self._notify(
+                        job, "retry", attempt=attempt, delay=delay,
+                        error=repr(exc),
+                    )
                 self.events.emit(
                     "batch:retry", seq=batch_id,
                     attempt=attempt, delay=delay, mode="pool" if use_pool else "serial",
@@ -234,6 +279,7 @@ class BatchDispatcher:
                 "batch:done", seq=batch_id, attempts=attempt, mode=mode,
             )
             for job in batch:
+                self._notify(job, "done", stats=results[job.key])
                 self.queue.resolve(job, results[job.key])
             return
 

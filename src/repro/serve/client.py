@@ -62,6 +62,57 @@ class ServeClient:
         """POST /jobs: simulate a batch; blocks until the reply arrives."""
         return self._request("POST", "/jobs", {"jobs": jobs})
 
+    def submit_async(self, jobs: list[dict]) -> dict:
+        """POST /jobs with ``"wait": false``: returns job ids immediately.
+
+        The reply's ``jobs`` array carries one ``job_id`` (and stream
+        URL) per submitted job; follow progress with :meth:`stream`.
+        """
+        return self._request("POST", "/jobs", {"jobs": jobs, "wait": False})
+
+    def job_status(self, job_id: int) -> dict:
+        """GET /jobs/<id>: one job's stream status."""
+        return self._request("GET", f"/jobs/{job_id}")
+
+    def stream(self, job_id: int):
+        """GET /jobs/<id>/stream: yield SSE events until the job ends.
+
+        A generator of event dicts (each carries ``event`` and ``seq``
+        plus the event's payload); heartbeat comments are skipped.  The
+        final yielded event is the terminal ``done``/``failed``.
+        """
+        connection = http.client.HTTPConnection(
+            self.host, self.port, timeout=self.timeout
+        )
+        try:
+            connection.request("GET", f"/jobs/{job_id}/stream")
+            response = connection.getresponse()
+            if response.status >= 300:
+                raw = response.read()
+                try:
+                    decoded = json.loads(raw.decode() or "null")
+                except (UnicodeDecodeError, json.JSONDecodeError):
+                    decoded = raw.decode("latin1")
+                raise ServeError(response.status, decoded)
+            data_lines: list[str] = []
+            while True:
+                line = response.readline()
+                if not line:  # server closed: stream over
+                    return
+                text = line.decode().rstrip("\r\n")
+                if not text:  # blank line terminates one SSE frame
+                    if data_lines:
+                        yield json.loads("\n".join(data_lines))
+                        data_lines = []
+                    continue
+                if text.startswith(":"):  # heartbeat comment
+                    continue
+                field_name, _, value = text.partition(":")
+                if field_name == "data":
+                    data_lines.append(value.lstrip(" "))
+        finally:
+            connection.close()
+
     def healthz(self) -> dict:
         return self._request("GET", "/healthz")
 

@@ -27,6 +27,9 @@ class QueuedJob:
     config: MachineConfig
     workload: str
     future: asyncio.Future = field(repr=False)
+    #: queue-assigned identity, unique per service instance — the handle
+    #: behind GET /jobs/<id> and /jobs/<id>/stream (0 = not yet assigned)
+    job_id: int = 0
     #: requests waiting on this job (1 + coalesced duplicates)
     waiters: int = 1
     #: dispatch attempts so far (filled in by the dispatcher)
@@ -40,8 +43,10 @@ class QueuedJob:
     def key(self) -> tuple[str, str]:
         return (self.config.name, self.workload)
 
-    def sim_job(self, trace: TraceContext | None = None) -> SimJob:
-        return SimJob(self.config, self.workload, trace=trace)
+    def sim_job(
+        self, trace: TraceContext | None = None, row_sink=None
+    ) -> SimJob:
+        return SimJob(self.config, self.workload, trace=trace, row_sink=row_sink)
 
 
 class JobQueue:
@@ -64,6 +69,7 @@ class JobQueue:
         #: every live job (queued or dispatched), by key — the coalescing map
         self._active: dict[tuple[str, str], QueuedJob] = {}
         self._has_pending = asyncio.Event()
+        self._job_seq = 0
 
     # -- submission --------------------------------------------------------
 
@@ -96,10 +102,12 @@ class JobQueue:
                 if parent.trace_id not in linked:
                     linked.append(parent.trace_id)
             return live
+        self._job_seq += 1
         job = QueuedJob(
             config=config,
             workload=workload,
             future=asyncio.get_running_loop().create_future(),
+            job_id=self._job_seq,
         )
         if self.tracer is not None:
             job.job_span = self.tracer.start(

@@ -23,6 +23,13 @@ framework, and none is needed for a line-protocol this simple) exposing:
     ``trace_id`` whose span tree (request -> job -> queue/dispatch ->
     pool worker -> machine run) is served here, as the span-list export
     or as Chrome ``trace_event`` JSON with ``?format=chrome``.
+``GET /jobs/<id>`` / ``GET /jobs/<id>/stream``
+    Per-job status and a live Server-Sent-Events stream.  A ``POST
+    /jobs`` with ``"wait": false`` returns immediately with one
+    ``job_id`` per job; the stream endpoint replays that job's buffered
+    events (dispatch lifecycle, interval-timeline rows) and follows new
+    ones until the terminal ``done``/``failed`` event.  ``repro watch``
+    is the reference client.
 
 Results are served from — and new results persisted to — the sharded
 :class:`~repro.harness.runner.ResultCache`, so a restarted service
@@ -47,6 +54,7 @@ from repro.obs.metrics import MetricsRegistry, prometheus_text
 from repro.obs.trace import Tracer, export_chrome, export_spans
 from repro.serve.batch import BatchDispatcher, ServiceEvents
 from repro.serve.queue import JobQueue, QueuedJob
+from repro.serve.stream import JobStream, JobStreams
 
 log = get_logger(__name__)
 
@@ -69,6 +77,19 @@ class BadRequest(ValueError):
 
 
 @dataclass
+class _EventStream:
+    """Sentinel payload: tells the connection handler to switch to SSE."""
+
+    stream: JobStream
+
+
+def _consume_exception(future: asyncio.Future) -> None:
+    """Observe a deferred job future's exception (the stream reports it)."""
+    if not future.cancelled():
+        future.exception()
+
+
+@dataclass
 class ServeConfig:
     """Everything tunable about one service instance."""
 
@@ -86,6 +107,7 @@ class ServeConfig:
     request_timeout: float = 600.0
     event_buffer: int = 4096
     default_width: int = 4
+    sse_heartbeat: float = 15.0
 
 
 def _parse_job(entry: object, index: int, default_width: int) -> tuple[MachineConfig, str]:
@@ -143,6 +165,8 @@ class SimulationService:
             backoff_base=self.config.backoff_base,
             backoff_cap=self.config.backoff_cap,
         )
+        self.streams = JobStreams()
+        self.dispatcher.job_listener = self._on_job_event
         self._requests = self.metrics.counter("serve.requests")
         self._bad_requests = self.metrics.counter("serve.requests.bad")
         self._request_seq = 0
@@ -152,6 +176,7 @@ class SimulationService:
     # -- lifecycle ---------------------------------------------------------
 
     async def start(self) -> None:
+        self.streams.bind_loop(asyncio.get_running_loop())
         self._dispatch_task = asyncio.create_task(
             self.dispatcher.run(), name="repro-serve-dispatch"
         )
@@ -183,6 +208,64 @@ class SimulationService:
         assert self._server is not None, "call start() first"
         await self._server.serve_forever()
 
+    # -- job streaming -----------------------------------------------------
+
+    def _on_job_event(self, job: QueuedJob, event: str, **data: object) -> None:
+        """The dispatcher's ``job_listener``: route lifecycle into streams.
+
+        ``dispatch``/``retry``/``done``/``failed`` arrive on the event
+        loop; ``row`` arrives on the runner's worker thread.  Both are
+        safe — :class:`JobStreams` marshals every mutation onto the loop.
+        """
+        if event == "done":
+            stats = data.pop("stats")
+            summary = {
+                "machine": job.config.name,
+                "workload": job.workload,
+                "cycles": stats.cycles,
+                "instructions": stats.instructions,
+                "ipc": round(stats.ipc, 6),
+                "attempts": job.attempts,
+            }
+            timeline = getattr(stats, "timeline", None)
+            rows = None
+            if timeline is not None:
+                rows = [row.to_dict() for row in timeline.rows]
+            self.streams.finish(job.job_id, True, summary, rows)
+        elif event == "failed":
+            self.streams.finish(job.job_id, False, {
+                "machine": job.config.name,
+                "workload": job.workload,
+                **data,
+            })
+        else:
+            self.streams.publish(job.job_id, event, **data)
+
+    async def _write_sse(
+        self, writer: asyncio.StreamWriter, stream: JobStream
+    ) -> None:
+        """Serve one SSE subscription: replay the buffer, follow to done."""
+        writer.write(
+            b"HTTP/1.1 200 OK\r\n"
+            b"Content-Type: text/event-stream\r\n"
+            b"Cache-Control: no-cache\r\n"
+            b"Connection: close\r\n\r\n"
+        )
+        try:
+            await writer.drain()
+            async for event in stream.follow(self.config.sse_heartbeat):
+                if event is None:
+                    writer.write(b": ping\r\n\r\n")
+                else:
+                    frame = (
+                        f"event: {event['event']}\n"
+                        f"data: {json.dumps(event)}\n\n"
+                    )
+                    writer.write(frame.encode())
+                await writer.drain()
+        except (ConnectionResetError, BrokenPipeError):
+            log.info("stream subscriber for job %d disconnected", stream.job_id)
+
     # -- HTTP plumbing -----------------------------------------------------
 
     async def _handle_connection(
@@ -201,6 +284,9 @@ class SimulationService:
             log.error("request handling failed: %r", exc)
             status, payload = 500, {"error": repr(exc)}
         try:
+            if isinstance(payload, _EventStream):
+                await self._write_sse(writer, payload.stream)
+                return
             if isinstance(payload, str):
                 # Text responses (Prometheus exposition format 0.0.4).
                 body_bytes = payload.encode()
@@ -271,9 +357,30 @@ class SimulationService:
         if path.startswith("/trace/"):
             return self._handle_trace(path[len("/trace/"):],
                                       params.get("format", ["spans"])[0])
+        if path.startswith("/jobs/"):
+            return self._handle_job_get(path[len("/jobs/"):])
         return 404, {
             "error": f"no route {path!r}; try /jobs /healthz /metrics /events /trace"
         }
+
+    def _handle_job_get(
+        self, rest: str
+    ) -> tuple[int, dict | _EventStream]:
+        streaming = rest.endswith("/stream")
+        if streaming:
+            rest = rest[: -len("/stream")]
+        try:
+            job_id = int(rest)
+        except ValueError:
+            raise BadRequest(
+                f"bad job id {rest!r}; expected an integer"
+            ) from None
+        stream = self.streams.get(job_id)
+        if stream is None:
+            return 404, {"error": f"unknown job {job_id}"}
+        if streaming:
+            return 200, _EventStream(stream)
+        return 200, stream.status()
 
     def _handle_trace(self, trace_id: str, fmt: str) -> tuple[int, dict]:
         spans = self.tracer.spans(trace_id)
@@ -305,6 +412,9 @@ class SimulationService:
             _parse_job(entry, index, self.config.default_width)
             for index, entry in enumerate(jobs_spec)
         ]
+        wait = payload.get("wait", True)
+        if not isinstance(wait, bool):
+            raise BadRequest(f'"wait" must be a boolean, got {wait!r}')
         self._request_seq += 1
         request_id = self._request_seq
         self.events.emit("request", seq=request_id, jobs=len(parsed))
@@ -321,7 +431,30 @@ class SimulationService:
                 job = self.queue.submit(
                     config, workload, parent=request_span.context
                 )
+                self.streams.ensure(job.job_id, config.name, workload)
                 submitted.append((job, coalesced))
+
+            if not wait:
+                # Async submit: hand back job ids + stream URLs now; the
+                # futures' outcomes are observed via the streams, so
+                # consume their exceptions to keep asyncio quiet.
+                jobs_out = []
+                for job, coalesced in submitted:
+                    job.future.add_done_callback(_consume_exception)
+                    jobs_out.append({
+                        "machine": job.config.name,
+                        "workload": job.workload,
+                        "job_id": job.job_id,
+                        "coalesced": coalesced,
+                        "stream": f"/jobs/{job.job_id}/stream",
+                    })
+                return 200, {
+                    "version": SERVE_VERSION,
+                    "request_id": request_id,
+                    "trace_id": request_span.trace_id,
+                    "ok": True,
+                    "jobs": jobs_out,
+                }
 
             futures = [asyncio.shield(job.future) for job, _ in submitted]
             try:
@@ -342,6 +475,7 @@ class SimulationService:
                 entry: dict = {
                     "machine": job.config.name,
                     "workload": job.workload,
+                    "job_id": job.job_id,
                     "attempts": job.attempts,
                     "coalesced": coalesced,
                 }

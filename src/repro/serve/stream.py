@@ -1,0 +1,194 @@
+"""Per-job live event streams behind ``GET /jobs/<id>/stream``.
+
+Each submitted job gets a :class:`JobStream`: a bounded, append-only
+buffer of JSON-ready events (timeline rows from the simulator, dispatch
+lifecycle from the batch dispatcher) plus an asyncio wakeup for
+subscribers.  A subscriber that connects mid-run replays the buffer and
+then follows live events until the job finishes; one that connects after
+completion replays the whole history and sees the terminal event
+immediately — the endpoint never blocks on a job that is already done.
+
+Publishing is thread-safe: simulator row callbacks fire on the
+dispatcher's worker thread, so every mutation is marshalled onto the
+service event loop with ``call_soon_threadsafe``.  Because the loop runs
+callbacks in FIFO order, rows enqueued during a batch are guaranteed to
+land in the buffer before the batch's completion callback resumes the
+dispatcher — the ``done`` event can therefore trust ``rows_streamed``
+and replay only the timeline rows that never streamed live (pool-mode
+and cache-hit jobs stream nothing until completion).
+"""
+
+from __future__ import annotations
+
+import asyncio
+from collections import deque
+
+#: Upper bound on buffered events per stream; further events are counted
+#: in ``JobStream.dropped`` instead of buffered (a default-stride run is
+#: well under a hundred rows, so this only guards pathological configs).
+MAX_EVENTS = 8192
+
+#: Finished streams kept for late subscribers before eviction.
+MAX_FINISHED = 128
+
+
+class JobStream:
+    """One job's buffered event history + live wakeup."""
+
+    __slots__ = (
+        "job_id", "machine", "workload", "events", "done", "ok",
+        "rows_streamed", "dropped", "wake",
+    )
+
+    def __init__(self, job_id: int, machine: str, workload: str) -> None:
+        self.job_id = job_id
+        self.machine = machine
+        self.workload = workload
+        self.events: list[dict] = []
+        self.done = False
+        #: terminal outcome; None until the job finishes
+        self.ok: bool | None = None
+        #: "row" events buffered so far (the replay-at-done watermark)
+        self.rows_streamed = 0
+        self.dropped = 0
+        self.wake = asyncio.Event()
+
+    def status(self) -> dict:
+        """The ``GET /jobs/<id>`` payload."""
+        return {
+            "job_id": self.job_id,
+            "machine": self.machine,
+            "workload": self.workload,
+            "done": self.done,
+            "ok": self.ok,
+            "events_buffered": len(self.events),
+            "rows_streamed": self.rows_streamed,
+            "events_dropped": self.dropped,
+        }
+
+    def _append(self, event: str, data: dict) -> None:
+        if len(self.events) >= MAX_EVENTS:
+            self.dropped += 1
+        else:
+            entry = {"event": event, "seq": len(self.events)}
+            entry.update(data)
+            self.events.append(entry)
+            if event == "row":
+                self.rows_streamed += 1
+        self.wake.set()
+
+    async def follow(self, heartbeat: float = 15.0):
+        """Replay buffered events, then yield live ones until the job ends.
+
+        Yields each buffered event dict in order; yields ``None`` as a
+        heartbeat marker when ``heartbeat`` seconds pass without a new
+        event (the SSE writer turns it into a comment line, keeping the
+        connection visibly alive).  Returns once every event up to and
+        including the terminal one has been yielded.
+        """
+        index = 0
+        while True:
+            while index < len(self.events):
+                yield self.events[index]
+                index += 1
+            if self.done:
+                return
+            self.wake.clear()
+            # Re-check after clearing: a publish between the drain above
+            # and the clear must not be slept through.
+            if index < len(self.events) or self.done:
+                continue
+            try:
+                await asyncio.wait_for(self.wake.wait(), heartbeat)
+            except asyncio.TimeoutError:
+                yield None
+
+
+class JobStreams:
+    """The service's stream table: open, publish, finish, evict."""
+
+    def __init__(self, max_finished: int = MAX_FINISHED) -> None:
+        self._streams: dict[int, JobStream] = {}
+        self._finished: deque[int] = deque()
+        self.max_finished = max_finished
+        self._loop: asyncio.AbstractEventLoop | None = None
+
+    def bind_loop(self, loop: asyncio.AbstractEventLoop) -> None:
+        """Remember the service loop; publishers may be on other threads."""
+        self._loop = loop
+
+    def ensure(self, job_id: int, machine: str, workload: str) -> JobStream:
+        """The stream for ``job_id``, created on first use.
+
+        Idempotent, so coalesced duplicate submissions share the live
+        job's stream.
+        """
+        stream = self._streams.get(job_id)
+        if stream is None:
+            stream = self._streams[job_id] = JobStream(job_id, machine, workload)
+        return stream
+
+    def get(self, job_id: int) -> JobStream | None:
+        return self._streams.get(job_id)
+
+    def __len__(self) -> int:
+        return len(self._streams)
+
+    # -- publishing (any thread) -------------------------------------------
+
+    def _submit(self, callback, *args) -> None:
+        # call_soon_threadsafe is safe from the loop thread too, and it
+        # serializes every mutation onto the loop in FIFO order — which
+        # is what lets finish() trust the rows_streamed watermark.
+        if self._loop is None or self._loop.is_closed():
+            callback(*args)
+            return
+        self._loop.call_soon_threadsafe(callback, *args)
+
+    def publish(self, job_id: int, event: str, **data: object) -> None:
+        """Append one event to a job's stream (no-op for unknown jobs)."""
+        self._submit(self._do_publish, job_id, event, data)
+
+    def _do_publish(self, job_id: int, event: str, data: dict) -> None:
+        stream = self._streams.get(job_id)
+        if stream is not None and not stream.done:
+            stream._append(event, data)
+
+    def finish(
+        self,
+        job_id: int,
+        ok: bool,
+        summary: dict,
+        rows: list[dict] | None = None,
+    ) -> None:
+        """Terminate a stream: replay unstreamed rows, emit the terminal event.
+
+        ``rows`` is the job's complete timeline (serialized rows); any
+        suffix beyond the live-streamed watermark is replayed so pool-mode
+        and cache-hit jobs still deliver their timeline.  If mid-run
+        decimation shrank the row list below the watermark, the live rows
+        the client already holds are *finer-grained* than the final list,
+        so nothing is replayed.
+        """
+        self._submit(self._do_finish, job_id, ok, summary, rows)
+
+    def _do_finish(
+        self, job_id: int, ok: bool, summary: dict, rows: list[dict] | None
+    ) -> None:
+        stream = self._streams.get(job_id)
+        if stream is None or stream.done:
+            return
+        if rows is not None and len(rows) >= stream.rows_streamed:
+            for row in rows[stream.rows_streamed:]:
+                stream._append("row", {"row": row})
+        data = dict(summary)
+        if stream.dropped:
+            data["events_dropped"] = stream.dropped
+        stream._append("done" if ok else "failed", data)
+        stream.done = True
+        stream.ok = ok
+        stream.wake.set()
+        self._finished.append(job_id)
+        while len(self._finished) > self.max_finished:
+            evicted = self._finished.popleft()
+            self._streams.pop(evicted, None)

@@ -4,10 +4,10 @@ One :func:`run_check` call produces a :class:`CheckReport` with one
 section per verification layer:
 
 * ``fuzz`` — every (profile, seed) program generated and assembled;
-* ``differential:cycle-skip`` / ``differential:machine-reuse`` /
-  ``differential:run-matrix`` / ``differential:rb-adder`` — the four
-  equivalence pairs over the fuzzed programs (first diverging SimStats
-  field reported per case);
+* ``differential:cycle-skip`` / ``differential:timeline-skip`` /
+  ``differential:machine-reuse`` / ``differential:run-matrix`` /
+  ``differential:rb-adder`` — the five equivalence pairs over the fuzzed
+  programs (first diverging SimStats/timeline field reported per case);
 * ``invariant:cpi-conservation`` — every statistics object produced
   anywhere in the check must have a CPI stack summing exactly to its
   cycles;
@@ -201,6 +201,17 @@ def run_check(
             for config in configs:
                 section.cases += 1
                 found = differential.diff_cycle_skip(config, program)
+                if found is not None:
+                    section.failures.append(found.as_dict())
+
+    # ---- differential: timeline skip-replay ------------------------------
+    section = Section("differential:timeline-skip")
+    report.sections.append(section)
+    with _Timer(section):
+        for program in programs:
+            for config in configs:
+                section.cases += 1
+                found = differential.diff_timeline_skip(config, program)
                 if found is not None:
                     section.failures.append(found.as_dict())
 

@@ -1,9 +1,11 @@
 """Paired-run differential harness over the "bit-identical" execution modes.
 
-Four equivalence pairs are claimed by the simulator:
+Five equivalence pairs are claimed by the simulator:
 
 * ``cycle-skip`` — :meth:`Machine.run` with the event-driven fast-forward
   on vs off;
+* ``timeline-skip`` — the interval timeline (:mod:`repro.obs.timeline`)
+  captured with the fast-forward on vs off, row by row;
 * ``machine-reuse`` — one :class:`Machine` reused across programs (the
   serial runner's behavior) vs a fresh machine per run (the pool
   worker's behavior);
@@ -114,6 +116,29 @@ def diff_cycle_skip(config: MachineConfig, program: Program) -> Divergence | Non
     skipped = Machine(config).run(program, cycle_skip=True)
     plain = Machine(config).run(program, cycle_skip=False)
     return _compare("cycle-skip", config.name, program.name, skipped, plain)
+
+
+def diff_timeline_skip(config: MachineConfig, program: Program) -> Divergence | None:
+    """Fast-forwarding must not change a single interval-timeline row.
+
+    The closed-form skip replay claims *bit-identical* timelines, not
+    just identical aggregates: every sampled row — occupancies, stall
+    deltas, bypass-level deltas, conversion counts — must match the
+    per-cycle loop's, including rows whose boundary lands inside a
+    skipped range.
+    """
+    skipped = Machine(config).run(program, cycle_skip=True)
+    plain = Machine(config).run(program, cycle_skip=False)
+    found = first_divergence(
+        skipped.timeline.to_dict(), plain.timeline.to_dict()
+    )
+    if found is None:
+        return None
+    field, left_value, right_value = found
+    return Divergence(
+        "timeline-skip", config.name, program.name,
+        f"timeline.{field}", left_value, right_value,
+    )
 
 
 def diff_machine_reuse(

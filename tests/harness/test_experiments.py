@@ -54,3 +54,28 @@ class TestDynamicMix:
         assert ours["MEMORY_RB_TC"] > 0.10
         assert ours["BRANCH_RB"] > 0.08
         assert ours["CMOV_SIGN_RB_RB"] < 0.05
+
+
+class TestTimelineExperiment:
+    @pytest.fixture(scope="class")
+    def result(self):
+        from repro.harness.experiments import timeline_experiment
+        return timeline_experiment(workload="li")
+
+    def test_rows_and_total(self, result):
+        text = result.text()
+        assert "TOTAL" in text
+        assert result.rows[-1][0] == "TOTAL"
+        # every non-total row names its aligned row span
+        assert all(str(row[0]).startswith("rows ") for row in result.rows[:-1])
+
+    def test_series_shape(self, result):
+        series = result.series
+        assert series["workload"] == "li"
+        assert series["a_machine"] == "Baseline-4w"
+        assert series["b_machine"] == "RB-limited-4w"
+        assert series["summary"]["cycle_ratio"] < 1.0
+        assert series["phases"]
+
+    def test_notes_point_at_the_cli(self, result):
+        assert any("repro timeline" in note for note in result.notes)

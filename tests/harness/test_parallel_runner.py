@@ -129,7 +129,11 @@ class TestPoolWorker:
         stats_entry, profile_entry, spans = _simulate_for_pool(config, "compress")
         runner = SimulationRunner(cache_path=tmp_path / "cache.json")
         direct = runner.run(config, "compress")
+        # the timeline rides the pool boundary inside the stats entry;
+        # everything else must match the in-process to_dict() exactly
+        timeline_entry = stats_entry.pop("timeline")
         assert stats_entry == direct.to_dict()
+        assert timeline_entry == direct.timeline.to_dict()
         assert profile_entry["machine"] == config.name
         assert profile_entry["workload"] == "compress"
         assert profile_entry["instructions"] == direct.instructions

@@ -49,6 +49,11 @@ def run_payload(rate: float, host: dict | None = None) -> dict:
             "pairs": 2, "jobs": 1, "serial_seconds": 1.0,
             "parallel_seconds": 1.0, "speedup": 1.5, "results_identical": True,
         },
+        "sampler_overhead": {
+            "machine": "RB-limited-4w", "workload": "ijpeg", "rows": 87,
+            "stride": 256, "pairs": 3, "timeline_seconds": 1.0,
+            "no_timeline_seconds": 1.0, "overhead_fraction": 0.005,
+        },
         "reference": {
             "machine": "Ideal-8w", "workload": "ijpeg", "instr_per_sec": 12800,
         },
@@ -211,6 +216,11 @@ class TestWriteBenchPerfHistory:
         monkeypatch.setattr(
             perfbench, "sweep_benchmark",
             lambda configs=None, workloads=None, jobs=2: {"speedup": 1.0},
+        )
+        monkeypatch.setattr(
+            perfbench, "sampler_overhead_benchmark",
+            lambda config=None, workload="ijpeg", repeats=3, bench_path=None:
+                run_payload(100.0)["sampler_overhead"],
         )
         snapshot = tmp_path / "BENCH_perf.json"
         for _ in range(2):

@@ -192,3 +192,41 @@ class TestRunner:
         reloaded = ResultCache(path)
         assert len(reloaded) == 0
         assert reloaded.metrics.counter("cache.invalidations").value == 1
+
+
+class TestTimelinePersistence:
+    def test_cache_round_trips_the_timeline(self, tmp_path):
+        path = tmp_path / "cache.json"
+        runner = SimulationRunner(cache_path=path)
+        config = ideal(4)
+        first = runner.run(config, "li")
+        assert first.timeline.rows
+        runner.cache.save()
+
+        reloaded = ResultCache(path).get(config.name, "li")
+        assert reloaded is not None
+        timeline = getattr(reloaded, "timeline", None)
+        assert timeline is not None
+        assert timeline.to_dict() == first.timeline.to_dict()
+
+    def test_timeline_stays_out_of_the_stats_document(self, tmp_path):
+        """The timeline rides next to the stats entry, never inside it —
+        SimStats.to_dict() (goldens, serve responses) must not change."""
+        runner = SimulationRunner(cache_path=tmp_path / "cache.json")
+        stats = runner.run(ideal(4), "li")
+        assert "timeline" not in stats.to_dict()
+
+    def test_parallel_results_carry_timelines(self, tmp_path):
+        runner = SimulationRunner(cache_path=tmp_path / "cache.json")
+        results = runner.run_matrix([ideal(4)], ["li", "fuzz:serial:7"], jobs=2)
+        for stats in results.values():
+            timeline = getattr(stats, "timeline", None)
+            assert timeline is not None and timeline.rows
+
+    def test_parallel_timelines_match_serial(self, tmp_path):
+        serial = SimulationRunner(cache_path=tmp_path / "serial.json")
+        parallel = SimulationRunner(cache_path=tmp_path / "parallel.json")
+        a = serial.run_matrix([ideal(4)], ["li"])
+        b = parallel.run_matrix([ideal(4)], ["li"], jobs=2)
+        key = ("Ideal-4w", "li")
+        assert a[key].timeline.to_dict() == b[key].timeline.to_dict()

@@ -176,3 +176,45 @@ class TestStageReport:
         path = sampler.write_collapsed(tmp_path / "deep" / "stacks.txt")
         assert path.read_text() == sampler.collapsed()
         assert path.read_text().endswith("\n")
+
+
+class TestProfilerExceptionSafety:
+    def test_raise_inside_context_restores_signal_state(self):
+        """An exception out of the profiled callable must leave no trace:
+        the itimer disarmed, the SIGPROF handler restored, and the
+        profiler re-enableable."""
+        import signal
+
+        before = signal.getsignal(signal.SIGPROF)
+        profiler = SamplingProfiler(interval=0.001, timer="cpu")
+        with pytest.raises(RuntimeError, match="boom"):
+            with profiler:
+                raise RuntimeError("boom")
+        assert not profiler.enabled
+        assert profiler._previous_handler is None
+        assert signal.getsignal(signal.SIGPROF) is before
+        assert signal.getitimer(signal.ITIMER_PROF) == (0.0, 0.0)
+        # the profiler is not wedged: a fresh session still samples
+        profiler.reset()
+        with profiler:
+            burn(time.perf_counter() + 0.05)
+        assert signal.getsignal(signal.SIGPROF) is before
+        assert profiler.total_samples > 0
+
+    def test_failed_enable_rolls_back_handler(self, monkeypatch):
+        """If arming the itimer fails, enable() must restore the previous
+        handler before re-raising — and disable() stays a no-op."""
+        import signal as signal_module
+
+        before = signal_module.getsignal(signal_module.SIGPROF)
+        profiler = SamplingProfiler(interval=0.001, timer="cpu")
+
+        def explode(which, seconds, interval=0.0):
+            raise OSError("no timers today")
+
+        monkeypatch.setattr("repro.obs.flame.signal.setitimer", explode)
+        with pytest.raises(OSError):
+            profiler.enable()
+        assert not profiler.enabled
+        assert profiler._previous_handler is None
+        assert signal_module.getsignal(signal_module.SIGPROF) is before

@@ -55,6 +55,37 @@ class TestHistogram:
         assert reloaded.total == h.total
         assert (reloaded.min, reloaded.max) == (h.min, h.max)
 
+    def test_quantile_nearest_rank(self):
+        h = Histogram("lat")
+        for value in (1, 1, 2, 3, 10):
+            h.record(value)
+        # nearest-rank over 5 observations: ranks 1-5 map to 1,1,2,3,10
+        assert h.quantile(0.0) == 1
+        assert h.quantile(0.5) == 2
+        assert h.quantile(0.6) == 2
+        assert h.quantile(0.8) == 3
+        assert h.quantile(0.95) == 10
+        assert h.quantile(1.0) == 10
+
+    def test_quantile_respects_counts(self):
+        h = Histogram("lv")
+        h.record(1, 99)
+        h.record(50)
+        assert h.quantile(0.5) == 1
+        assert h.quantile(0.99) == 1
+        assert h.quantile(1.0) == 50
+
+    def test_quantile_empty_is_none(self):
+        assert Histogram("e").quantile(0.5) is None
+
+    def test_quantile_out_of_range_rejected(self):
+        h = Histogram("lv")
+        h.record(1)
+        with pytest.raises(ValueError):
+            h.quantile(-0.1)
+        with pytest.raises(ValueError):
+            h.quantile(1.5)
+
 
 class TestTimeSeries:
     def test_exact_mean_with_sparse_samples(self):
@@ -192,3 +223,28 @@ class TestRegistry:
         a.merge(b)
         assert a.counter("n").value == 3
         assert a.distribution("cases").count(Color.RED) == 5
+
+
+class TestPrometheusQuantiles:
+    def test_histogram_exports_summary_quantiles(self):
+        from repro.obs.metrics import prometheus_text
+
+        reg = MetricsRegistry()
+        h = reg.histogram("bypass.source_level")
+        for value in (1, 1, 2, 3, 10):
+            h.record(value)
+        text = prometheus_text({"runner": reg})
+        assert "# TYPE repro_bypass_source_level summary" in text
+        assert 'repro_bypass_source_level{registry="runner",quantile="0.5"} 2' in text
+        assert 'repro_bypass_source_level{registry="runner",quantile="0.95"} 10' in text
+        assert 'repro_bypass_source_level{registry="runner",quantile="0.99"} 10' in text
+        assert 'repro_bypass_source_level_count{registry="runner"} 5' in text
+
+    def test_empty_histogram_omits_quantile_lines(self):
+        from repro.obs.metrics import prometheus_text
+
+        reg = MetricsRegistry()
+        reg.histogram("lv")  # registered but never recorded
+        text = prometheus_text({"runner": reg})
+        assert "quantile=" not in text
+        assert 'repro_lv_count{registry="runner"} 0' in text

@@ -1,0 +1,281 @@
+"""Interval-timeline tests: row algebra, sampler invariants, cycle-skip
+bit-identity, decimation, phase segmentation, run diffing, and the
+versioned export."""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.core.machine import Machine
+from repro.core.presets import baseline, ideal, rb_limited
+from repro.obs.timeline import (
+    DEFAULT_STRIDE,
+    TIMELINE_VERSION,
+    IntervalSampler,
+    Timeline,
+    TimelineRow,
+    export_timeline,
+    render_timeline_text,
+    segment_phases,
+    timeline_diff,
+)
+from repro.obs.validate import validate_json_schema
+from repro.verify.fuzz import fuzz_program
+from repro.workloads.suite import build
+
+SCHEMA = json.loads(
+    (Path(__file__).resolve().parents[2] / "schemas" / "timeline.schema.json")
+    .read_text()
+)
+
+
+def row(cycle_end, cycles, instructions, retired, **overrides) -> TimelineRow:
+    fields = dict(
+        cycle_end=cycle_end, cycles=cycles, instructions=instructions,
+        retired_total=retired, rob_occupancy=8, fetch_occupancy=4,
+        sched_occupancy=2,
+    )
+    fields.update(overrides)
+    return TimelineRow(**fields)
+
+
+class TestTimelineRow:
+    def test_round_trip(self):
+        original = row(255, 256, 100, 100,
+                       stalls={"BASE": 200, "ADDER_PIPELINE": 56},
+                       bypass_levels={"1": 30}, conversions=4, contended=7)
+        assert TimelineRow.from_dict(original.to_dict()) == original
+
+    def test_merge_adds_deltas_and_keeps_later_levels(self):
+        first = row(255, 256, 100, 100, stalls={"BASE": 200}, rob_occupancy=12)
+        second = row(511, 256, 50, 150, stalls={"BASE": 100, "MEM": 10},
+                     rob_occupancy=3, conversions=2)
+        merged = first.merge(second)
+        assert merged.cycle_end == 511
+        assert merged.cycles == 512
+        assert merged.instructions == 150
+        assert merged.retired_total == 150          # later boundary's total
+        assert merged.rob_occupancy == 3            # point-in-time from later
+        assert merged.stalls == {"BASE": 300, "MEM": 10}
+        assert merged.conversions == 2
+        assert merged.ipc == pytest.approx(150 / 512)
+
+
+def fake_sampler(stride=16, max_rows=4) -> IntervalSampler:
+    """A sampler over inert fake state: captures empty-delta rows."""
+    from types import SimpleNamespace
+
+    stats = SimpleNamespace(
+        machine="Fake", workload="fake",
+        instructions=0, bypassed_sources=0,
+        stall_causes=SimpleNamespace(as_dict=lambda: {}),
+        bypass_cases=SimpleNamespace(as_dict=lambda: {}),
+        metrics=SimpleNamespace(peek_histogram=lambda name: None),
+    )
+    return IntervalSampler(
+        stats, rob=SimpleNamespace(occupancy=0), fetch_queue=[],
+        schedulers=(), stride=stride, max_rows=max_rows,
+    )
+
+
+class TestSamplerValidation:
+    def test_bad_stride_rejected(self):
+        machine = Machine(rb_limited(4))
+        program = build("li")
+        with pytest.raises(ValueError, match="stride"):
+            machine.run(program, timeline_stride=0)
+
+    def test_odd_max_rows_rejected(self):
+        with pytest.raises(ValueError, match="even"):
+            fake_sampler(max_rows=7)
+
+    def test_capture_guard_ignores_stale_cycles(self):
+        sampler = fake_sampler(stride=16, max_rows=8)
+        sampler.capture(15)
+        sampler.capture(15)  # replay of the same boundary is a no-op
+        sampler.capture(10)  # and so is an earlier cycle
+        assert [r.cycle_end for r in sampler.rows] == [15]
+        assert sampler.next_capture == 31
+
+    def test_decimation_merges_pairs_and_doubles_stride(self):
+        sampler = fake_sampler(stride=16, max_rows=4)
+        for cycle in (15, 31, 47, 63):
+            sampler.capture(cycle)
+        # hitting max_rows halves the row list and doubles the stride
+        assert [r.cycle_end for r in sampler.rows] == [31, 63]
+        assert [r.cycles for r in sampler.rows] == [32, 32]
+        assert sampler.stride == 32
+        assert sampler.next_capture == 95
+
+
+class TestMachineIntegration:
+    def test_rows_partition_the_run(self):
+        stats = Machine(rb_limited(4)).run(build("ijpeg"))
+        timeline = stats.timeline
+        assert timeline.machine == "RB-limited-4w"
+        assert timeline.workload == "ijpeg"
+        assert timeline.stride == DEFAULT_STRIDE
+        # rows tile [0, cycles) exactly: cycle coverage and instruction
+        # deltas both sum to the run totals
+        assert sum(r.cycles for r in timeline.rows) == timeline.cycles == stats.cycles
+        assert timeline.rows[-1].retired_total == stats.instructions
+        assert sum(r.instructions for r in timeline.rows) == stats.instructions
+        previous_end = -1
+        for r in timeline.rows:
+            assert r.cycle_end - r.cycles == previous_end
+            previous_end = r.cycle_end
+        # stall deltas per row sum to the row's cycles (CPI conservation
+        # holds interval-by-interval, not just at the end)
+        for r in timeline.rows:
+            assert sum(r.stalls.values()) == r.cycles
+
+    def test_skip_and_no_skip_timelines_are_bit_identical(self):
+        program = build("ijpeg")
+        skipped = Machine(baseline(4)).run(program, cycle_skip=True)
+        walked = Machine(baseline(4)).run(program, cycle_skip=False)
+        assert skipped.timeline.to_dict() == walked.timeline.to_dict()
+
+    def test_timeline_off_leaves_no_attribute(self):
+        stats = Machine(rb_limited(4)).run(build("li"), timeline=False)
+        assert getattr(stats, "timeline", None) is None
+
+    def test_timeline_does_not_change_stats(self):
+        program = build("li")
+        with_timeline = Machine(rb_limited(4)).run(program, timeline=True)
+        without = Machine(rb_limited(4)).run(program, timeline=False)
+        assert with_timeline.to_dict() == without.to_dict()
+
+    def test_sink_sees_every_row_in_order(self):
+        seen = []
+        stats = Machine(rb_limited(4)).run(
+            build("li"), timeline_sink=seen.append
+        )
+        # finalize() captures the trailing partial after the loop ends,
+        # so the sink sees every full-stride row; the timeline may carry
+        # one more (the tail).
+        assert [r.cycle_end for r in seen] == [
+            r.cycle_end for r in stats.timeline.rows[:len(seen)]
+        ]
+        assert len(stats.timeline.rows) - len(seen) <= 1
+
+    def test_decimation_bounds_rows_and_stays_skip_identical(self):
+        program = build("ijpeg")
+        kwargs = dict(timeline_stride=16)
+        skipped = Machine(baseline(4)).run(program, cycle_skip=True, **kwargs)
+        walked = Machine(baseline(4)).run(program, cycle_skip=False, **kwargs)
+        assert skipped.timeline.to_dict() == walked.timeline.to_dict()
+
+
+
+class TestPhases:
+    def test_constant_series_is_one_phase(self):
+        rows = [row(i * 10 + 9, 10, 20, (i + 1) * 20) for i in range(20)]
+        phases = segment_phases(rows)
+        assert len(phases) == 1
+        assert phases[0].start_row == 0 and phases[0].end_row == 20
+        assert phases[0].ipc == pytest.approx(2.0)
+
+    def test_step_change_is_found_exactly(self):
+        low = [row(i * 10 + 9, 10, 5, (i + 1) * 5) for i in range(10)]
+        high = [
+            row(100 + i * 10 + 9, 10, 30, 50 + (i + 1) * 30) for i in range(10)
+        ]
+        phases = segment_phases(low + high)
+        assert [
+            (phase.start_row, phase.end_row) for phase in phases
+        ] == [(0, 10), (10, 20)]
+        assert phases[0].ipc == pytest.approx(0.5)
+        assert phases[1].ipc == pytest.approx(3.0)
+
+    def test_min_rows_respected(self):
+        rows = [row(i * 10 + 9, 10, (i % 2) * 10, 0) for i in range(4)]
+        for phase in segment_phases(rows, min_rows=3):
+            assert phase.end_row - phase.start_row >= 3
+
+    def test_dominant_stall(self):
+        rows = [
+            row(9, 10, 5, 5, stalls={"BASE": 4, "MEM": 6}),
+            row(19, 10, 5, 10, stalls={"BASE": 8, "ADDER_PIPELINE": 2}),
+        ]
+        (phase,) = segment_phases(rows)
+        assert phase.dominant_stall == "MEM"  # heaviest non-BASE
+
+    def test_empty(self):
+        assert segment_phases([]) == []
+
+
+class TestDiff:
+    def test_workload_mismatch_raises(self):
+        a = Timeline("A", "ijpeg", 256, 100, 100, [row(99, 100, 100, 100)])
+        b = Timeline("B", "li", 256, 100, 100, [row(99, 100, 100, 100)])
+        with pytest.raises(ValueError, match="different workloads"):
+            timeline_diff(a, b)
+
+    def test_identical_runs_do_not_diverge(self):
+        stats = Machine(rb_limited(4)).run(build("li"))
+        diff = timeline_diff(stats.timeline, stats.timeline)
+        assert diff.summary["first_divergence_instruction"] is None
+        assert diff.summary["cycle_ratio"] == pytest.approx(1.0)
+        assert all(not bucket["diverged"] for bucket in diff.buckets)
+
+    def test_faster_machine_shows_in_ratio(self):
+        program = build("ijpeg")
+        slow = Machine(baseline(4)).run(program)
+        fast = Machine(rb_limited(4)).run(program)
+        diff = timeline_diff(slow.timeline, fast.timeline)
+        assert diff.aligned_instructions == min(
+            slow.instructions, fast.instructions
+        )
+        assert diff.summary["cycle_ratio"] < 1.0
+        assert diff.summary["first_divergence_instruction"] is not None
+        text = diff.describe()
+        assert "Baseline-4w (A)" in text and "RB-limited-4w (B)" in text
+
+    def test_diff_document_shape(self):
+        stats = Machine(rb_limited(4)).run(build("li"))
+        payload = timeline_diff(stats.timeline, stats.timeline).to_dict()
+        assert set(payload) == {
+            "workload", "a_machine", "b_machine", "aligned_instructions",
+            "buckets", "phases", "summary",
+        }
+
+
+class TestExport:
+    def test_export_matches_schema(self):
+        stats = Machine(rb_limited(4)).run(build("ijpeg"))
+        document = export_timeline(stats.timeline)
+        validate_json_schema(document, SCHEMA)
+        assert document["version"] == TIMELINE_VERSION
+        assert document["phases"]
+
+    def test_timeline_round_trip(self):
+        stats = Machine(rb_limited(4)).run(build("li"))
+        timeline = stats.timeline
+        assert Timeline.from_dict(timeline.to_dict()).to_dict() == timeline.to_dict()
+
+    def test_render_text(self):
+        stats = Machine(rb_limited(4)).run(build("li"))
+        text = render_timeline_text(stats.timeline)
+        assert "RB-limited-4w on li" in text
+        assert "phase" in text or "phases" in text
+        assert "IPC" in text
+
+    def test_export_is_deterministic(self):
+        a = export_timeline(Machine(rb_limited(4)).run(build("li")).timeline)
+        b = export_timeline(Machine(rb_limited(4)).run(build("li")).timeline)
+        assert json.dumps(a, sort_keys=True) == json.dumps(b, sort_keys=True)
+
+
+class TestFuzzedSkipIdentity:
+    @pytest.mark.parametrize("profile,seed", [("mixed", 3), ("branchy", 5)])
+    def test_fuzzed_kernels_stay_identical(self, profile, seed):
+        program = fuzz_program(profile, seed)
+        for config in (rb_limited(4), ideal(4)):
+            skipped = Machine(config).run(
+                program, cycle_skip=True, timeline_stride=32
+            )
+            walked = Machine(config).run(
+                program, cycle_skip=False, timeline_stride=32
+            )
+            assert skipped.timeline.to_dict() == walked.timeline.to_dict()

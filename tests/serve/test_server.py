@@ -120,3 +120,105 @@ def test_repeat_request_is_served_from_the_sharded_cache(live_service):
     cache_dir = Path(handle.service.runner.cache.path)
     assert cache_dir.is_dir()
     assert list(cache_dir.glob("shard-*.json"))
+
+
+# -- GET /trace error paths --------------------------------------------------
+
+def test_trace_listing_is_empty_on_a_fresh_service(live_service):
+    handle = live_service()
+    assert handle.client.traces() == {"traces": []}
+
+
+def test_unknown_trace_id_is_404(live_service):
+    handle = live_service()
+    with pytest.raises(ServeError) as excinfo:
+        handle.client.trace("no-such-trace")
+    assert excinfo.value.status == 404
+    assert "unknown trace" in excinfo.value.payload["error"]
+
+
+def test_bad_trace_format_is_400(live_service):
+    handle = live_service()
+    handle.client.submit([{"machine": "ideal", "workload": "fuzz:serial:21"}])
+    (trace_id,) = handle.client.traces()["traces"]
+    with pytest.raises(ServeError) as excinfo:
+        handle.client.trace(trace_id, format="bogus")
+    assert excinfo.value.status == 400
+    assert "bogus" in excinfo.value.payload["error"]
+
+
+# -- async submit + live streaming -------------------------------------------
+
+def test_async_submit_streams_rows_then_done(live_service):
+    handle = live_service()
+    reply = handle.client.submit_async(
+        [{"machine": "rb-limited", "workload": "fuzz:serial:31", "width": 4}]
+    )
+    validate_json_schema(reply, SCHEMA)
+    assert reply["ok"] is True and "results" not in reply
+    (job,) = reply["jobs"]
+    assert job["machine"] == "RB-limited-4w"
+    assert job["coalesced"] is False
+    assert job["stream"] == f"/jobs/{job['job_id']}/stream"
+
+    events = list(handle.client.stream(job["job_id"]))
+    kinds = [event["event"] for event in events]
+    assert kinds[0] == "dispatch"
+    assert kinds[-1] == "done"
+    rows = [event["row"] for event in events if event["event"] == "row"]
+    assert rows, "expected timeline rows in the stream"
+    assert [r["cycle_end"] for r in rows] == sorted(r["cycle_end"] for r in rows)
+    done = events[-1]
+    assert done["cycles"] == rows[-1]["cycle_end"] + 1
+    assert done["instructions"] == rows[-1]["retired_total"]
+
+    # a late subscriber replays the identical history, no duplicates
+    replay = list(handle.client.stream(job["job_id"]))
+    assert replay == events
+
+    status = handle.client.job_status(job["job_id"])
+    assert status["done"] is True and status["ok"] is True
+    assert status["rows_streamed"] == len(rows)
+
+
+def test_coalesced_async_submissions_share_one_stream(live_service):
+    handle = live_service()
+    spec = {"machine": "ideal", "workload": "fuzz:serial:32", "width": 4}
+    reply = handle.client.submit_async([spec, spec])
+    first, dup = reply["jobs"]
+    assert dup["coalesced"] is True
+    assert dup["job_id"] == first["job_id"]
+    events = list(handle.client.stream(first["job_id"]))
+    assert events[-1]["event"] == "done"
+
+
+def test_sync_results_carry_job_ids(live_service):
+    handle = live_service()
+    reply = handle.client.submit(
+        [{"machine": "ideal", "workload": "fuzz:serial:33", "width": 4}]
+    )
+    validate_json_schema(reply, SCHEMA)
+    (result,) = reply["results"]
+    assert isinstance(result["job_id"], int)
+    # the sync job's stream exists and is finished
+    status = handle.client.job_status(result["job_id"])
+    assert status["done"] is True and status["ok"] is True
+
+
+def test_job_endpoint_error_paths(live_service):
+    handle = live_service()
+    with pytest.raises(ServeError) as excinfo:
+        handle.client.job_status(424242)
+    assert excinfo.value.status == 404
+    with pytest.raises(ServeError) as excinfo:
+        handle.client._request("GET", "/jobs/not-a-number")
+    assert excinfo.value.status == 400
+    with pytest.raises(ServeError) as excinfo:
+        handle.client._request("GET", "/jobs/424242/stream")
+    assert excinfo.value.status == 404
+    with pytest.raises(ServeError) as excinfo:
+        handle.client._request(
+            "POST", "/jobs",
+            {"jobs": [{"machine": "ideal", "workload": "li"}], "wait": "yes"},
+        )
+    assert excinfo.value.status == 400

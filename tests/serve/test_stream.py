@@ -1,0 +1,163 @@
+"""Unit tests for the per-job SSE stream buffers (serve/stream.py).
+
+These run the :class:`JobStreams` table *unbound* (no event loop), which
+exercises the direct-call path of ``_submit``; the loop-marshalled path
+is covered end-to-end by ``test_server.py``'s live streaming tests.
+"""
+
+from __future__ import annotations
+
+import asyncio
+
+from repro.serve.stream import MAX_EVENTS, JobStream, JobStreams
+
+
+def collect(stream: JobStream, heartbeat: float = 30.0, limit: int | None = None):
+    """Drive ``follow`` to completion (or ``limit`` yields) synchronously."""
+
+    async def drain():
+        out = []
+        async for event in stream.follow(heartbeat):
+            out.append(event)
+            if limit is not None and len(out) >= limit:
+                break
+        return out
+
+    return asyncio.run(drain())
+
+
+class TestJobStream:
+    def test_follow_replays_buffer_then_terminal(self):
+        streams = JobStreams()
+        streams.ensure(1, "Ideal-4w", "li")
+        streams.publish(1, "dispatch", batch=1, attempt=1, mode="serial")
+        streams.publish(1, "row", row={"cycle_end": 255})
+        streams.publish(1, "row", row={"cycle_end": 511})
+        streams.finish(1, True, {"cycles": 512})
+        events = collect(streams.get(1))
+        assert [e["event"] for e in events] == ["dispatch", "row", "row", "done"]
+        assert [e["seq"] for e in events] == [0, 1, 2, 3]
+        assert events[-1]["cycles"] == 512
+        # a second subscriber replays the identical history
+        assert collect(streams.get(1)) == events
+
+    def test_heartbeat_yields_none_while_idle(self):
+        stream = JobStream(1, "Ideal-4w", "li")
+        beats = collect(stream, heartbeat=0.01, limit=2)
+        assert beats == [None, None]
+
+    def test_finish_replays_rows_past_the_watermark(self):
+        streams = JobStreams()
+        streams.ensure(2, "Ideal-4w", "li")
+        streams.publish(2, "row", row={"cycle_end": 255})  # streamed live
+        rows = [{"cycle_end": 255}, {"cycle_end": 511}, {"cycle_end": 700}]
+        streams.finish(2, True, {"cycles": 701}, rows=rows)
+        events = collect(streams.get(2))
+        row_events = [e["row"] for e in events if e["event"] == "row"]
+        assert row_events == rows  # suffix replayed, no duplicates
+        assert events[-1]["event"] == "done"
+
+    def test_finish_skips_replay_when_decimation_shrank_rows(self):
+        streams = JobStreams()
+        streams.ensure(3, "Ideal-4w", "li")
+        for cycle in (63, 127, 191, 255):
+            streams.publish(3, "row", row={"cycle_end": cycle})
+        # decimated final timeline: coarser than what already streamed
+        streams.finish(3, True, {"cycles": 256}, rows=[{"cycle_end": 255}])
+        events = collect(streams.get(3))
+        assert sum(e["event"] == "row" for e in events) == 4
+        assert events[-1]["event"] == "done"
+
+    def test_failed_terminal_event(self):
+        streams = JobStreams()
+        streams.ensure(4, "Ideal-4w", "li")
+        streams.finish(4, False, {"error": "ValueError('boom')"})
+        events = collect(streams.get(4))
+        assert [e["event"] for e in events] == ["failed"]
+        stream = streams.get(4)
+        assert stream.done and stream.ok is False
+
+    def test_publish_after_done_is_ignored(self):
+        streams = JobStreams()
+        streams.ensure(5, "Ideal-4w", "li")
+        streams.finish(5, True, {"cycles": 1})
+        streams.publish(5, "row", row={"cycle_end": 9})
+        streams.finish(5, False, {"error": "late"})  # double finish: no-op
+        events = collect(streams.get(5))
+        assert [e["event"] for e in events] == ["done"]
+        assert streams.get(5).ok is True
+
+    def test_publish_unknown_job_is_noop(self):
+        streams = JobStreams()
+        streams.publish(99, "row", row={})
+        streams.finish(99, True, {})
+        assert streams.get(99) is None
+
+    def test_event_cap_counts_drops(self):
+        stream = JobStream(6, "Ideal-4w", "li")
+        for i in range(MAX_EVENTS + 10):
+            stream._append("row", {"row": {"cycle_end": i}})
+        assert len(stream.events) == MAX_EVENTS
+        assert stream.dropped == 10
+        assert stream.status()["events_dropped"] == 10
+
+    def test_status_payload(self):
+        streams = JobStreams()
+        streams.ensure(7, "RB-limited-4w", "ijpeg")
+        streams.publish(7, "row", row={"cycle_end": 255})
+        status = streams.get(7).status()
+        assert status == {
+            "job_id": 7,
+            "machine": "RB-limited-4w",
+            "workload": "ijpeg",
+            "done": False,
+            "ok": None,
+            "events_buffered": 1,
+            "rows_streamed": 1,
+            "events_dropped": 0,
+        }
+
+
+class TestJobStreamsTable:
+    def test_ensure_is_idempotent(self):
+        streams = JobStreams()
+        first = streams.ensure(1, "Ideal-4w", "li")
+        assert streams.ensure(1, "Ideal-4w", "li") is first
+        assert len(streams) == 1
+
+    def test_finished_streams_evict_oldest(self):
+        streams = JobStreams(max_finished=2)
+        for job_id in (1, 2, 3):
+            streams.ensure(job_id, "Ideal-4w", "li")
+            streams.finish(job_id, True, {"cycles": job_id})
+        assert streams.get(1) is None  # evicted
+        assert streams.get(2) is not None
+        assert streams.get(3) is not None
+
+    def test_live_streams_are_never_evicted(self):
+        streams = JobStreams(max_finished=1)
+        streams.ensure(1, "Ideal-4w", "li")  # stays live
+        for job_id in (2, 3, 4):
+            streams.ensure(job_id, "Ideal-4w", "li")
+            streams.finish(job_id, True, {})
+        assert streams.get(1) is not None
+
+    def test_bound_loop_marshals_publishes(self):
+        """With a bound loop, publishes land via call_soon_threadsafe in
+        FIFO order even from the loop thread itself."""
+
+        async def scenario():
+            streams = JobStreams()
+            streams.bind_loop(asyncio.get_running_loop())
+            streams.ensure(1, "Ideal-4w", "li")
+            streams.publish(1, "row", row={"cycle_end": 1})
+            streams.finish(1, True, {"cycles": 2})
+            # nothing lands until the loop runs its callbacks
+            assert streams.get(1).events == []
+            await asyncio.sleep(0)
+            stream = streams.get(1)
+            assert [e["event"] for e in stream.events] == ["row", "done"]
+            return [event async for event in stream.follow(30.0)]
+
+        events = asyncio.run(scenario())
+        assert [e["event"] for e in events] == ["row", "done"]

@@ -184,3 +184,59 @@ class TestOtherCommands:
     def test_requires_command(self):
         with pytest.raises(SystemExit):
             main([])
+
+
+class TestTimeline:
+    def test_text_report(self, capsys):
+        assert main(["timeline", "li", "--machine", "rb-limited",
+                     "--width", "4"]) == 0
+        out = capsys.readouterr().out
+        assert "RB-limited-4w on li" in out
+        assert "phases" in out
+        assert "intervals" in out
+
+    def test_json_matches_schema(self, tmp_path, capsys):
+        from repro.obs.validate import validate_json_schema
+        out_path = tmp_path / "timeline.json"
+        assert main(["timeline", "li", "--machine", "rb-limited", "--width", "4",
+                     "--json", "-o", str(out_path)]) == 0
+        document = json.loads(out_path.read_text())
+        schema = json.loads(
+            (Path(__file__).resolve().parents[1] / "schemas"
+             / "timeline.schema.json").read_text()
+        )
+        validate_json_schema(document, schema)
+        assert document["machine"] == "RB-limited-4w"
+        assert document["rows"]
+
+    def test_diff_mode(self, capsys):
+        assert main(["timeline", "li", "--machine", "baseline", "--width", "4",
+                     "--diff", "rb-limited"]) == 0
+        out = capsys.readouterr().out
+        assert "timeline diff on li" in out
+        assert "Baseline-4w (A) vs RB-limited-4w (B)" in out
+
+    def test_diff_json(self, capsys):
+        assert main(["timeline", "li", "--machine", "baseline", "--width", "4",
+                     "--diff", "rb-limited", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["a_machine"] == "Baseline-4w"
+        assert payload["b_machine"] == "RB-limited-4w"
+        assert payload["summary"]["cycle_ratio"] < 1.0
+
+    def test_no_skip_is_identical(self, capsys):
+        assert main(["timeline", "li", "--machine", "rb-limited", "--width", "4",
+                     "--json"]) == 0
+        skipping = json.loads(capsys.readouterr().out)
+        assert main(["timeline", "li", "--machine", "rb-limited", "--width", "4",
+                     "--json", "--no-skip"]) == 0
+        walking = json.loads(capsys.readouterr().out)
+        assert skipping == walking
+
+
+class TestWatch:
+    def test_unreachable_service_exits_2(self, capsys):
+        # TEST-NET-1 address / closed local port: connection must fail fast
+        assert main(["watch", "li", "--machine", "rb-limited", "--width", "4",
+                     "--host", "127.0.0.1", "--port", "9", "--timeout", "2"]) == 2
+        assert "cannot submit" in capsys.readouterr().err

@@ -26,6 +26,7 @@ class TestRunCheck:
         assert {
             "fuzz",
             "differential:cycle-skip",
+            "differential:timeline-skip",
             "differential:machine-reuse",
             "differential:run-matrix",
             "differential:rb-adder",

@@ -1,14 +1,18 @@
 """The differential harness: finds real divergences, stays quiet otherwise."""
 
-from repro.core.presets import ideal, rb_limited
+import pytest
+
+from repro.core.presets import ideal, rb_limited, resolve_machine
 from repro.verify.differential import (
     Divergence,
     diff_cycle_skip,
     diff_machine_reuse,
     diff_rb_adder,
+    diff_timeline_skip,
     first_divergence,
 )
 from repro.verify.fuzz import fuzz_program
+from repro.workloads.suite import build
 
 
 class TestFirstDivergence:
@@ -44,6 +48,11 @@ class TestPairs:
         for config in (rb_limited(4), ideal(4)):
             assert diff_cycle_skip(config, program) is None
 
+    def test_timeline_skip_pair_is_clean(self):
+        program = fuzz_program("mixed", 11)
+        for config in (rb_limited(4), ideal(4)):
+            assert diff_timeline_skip(config, program) is None
+
     def test_machine_reuse_pair_is_clean(self):
         warmup = fuzz_program("branchy", 11)
         program = fuzz_program("serial", 11)
@@ -62,3 +71,25 @@ class TestPairs:
         payload = divergence.as_dict()
         assert payload["field"] == "cycles"
         assert payload["left"] == "100"
+
+
+#: The golden corpus's machine x kernel x width grid (mirrors
+#: tests/integration/test_golden_results.py) — the issue's acceptance bar
+#: is that *every* corpus pair has a bit-identical skip/no-skip timeline.
+CORPUS = [
+    (machine, kernel, width)
+    for machine in ("baseline", "staggered", "rb-limited", "rb-full")
+    for kernel in ("ijpeg", "li", "compress")
+    for width in (4, 8)
+]
+
+
+@pytest.mark.slow
+@pytest.mark.parametrize(
+    "machine, kernel, width", CORPUS,
+    ids=[f"{m}-{w}w-{k}" for m, k, w in CORPUS],
+)
+def test_timeline_skip_clean_across_golden_corpus(machine, kernel, width):
+    config = resolve_machine(machine, width)
+    divergence = diff_timeline_skip(config, build(kernel))
+    assert divergence is None, divergence and divergence.describe()
