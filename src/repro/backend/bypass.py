@@ -84,6 +84,19 @@ class AvailabilityTemplate:
         """The earliest reachable offset."""
         return self.discrete[0] if self.discrete else self.permanent_from
 
+    def flatten(self) -> tuple[int, int, int]:
+        """``(mask, permanent_from, first_offset)`` as plain integers.
+
+        ``mask`` has bit *i* set iff offset *i* is a discrete reachable
+        offset, so the SoA engine's hole test and next-available search
+        become two bit operations (``(mask >> offset) & 1`` and the
+        lowest-set-bit of ``mask >> start``) instead of tuple walks.
+        """
+        mask = 0
+        for offset in self.discrete:
+            mask |= 1 << offset
+        return mask, self.permanent_from, self.first_offset
+
     def has_hole(self) -> bool:
         """True if there are unreachable offsets after the first reachable one."""
         reachable = list(self.discrete) + [self.permanent_from]

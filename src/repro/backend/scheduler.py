@@ -80,6 +80,11 @@ class Scheduler(Generic[T]):
         # scheduler.  Always <= the true minimum; tightened to exact by
         # every full select scan.
         self._min_next_try = 0
+        # Scratch buffer for grant indices, reused across select() calls.
+        # It never escapes the method, so reuse is safe — and it spares
+        # one list allocation per select cycle, which at one call per
+        # scheduler per simulated cycle is most of select's garbage.
+        self._grant_scratch: list[int] = []
         # A private registry is used when the caller does not supply one.
         self.metrics = metrics if metrics is not None else MetricsRegistry()
         # Touch every counter so it serializes even when it stays zero.
@@ -134,18 +139,22 @@ class Scheduler(Generic[T]):
         entries = self.entries
         if not entries or cycle < self._min_next_try:
             return _NO_GRANTS
-        granted: list[T] = []
-        grant_indices: list[int] = []
+        # The result list is allocated lazily on the first grant; idle and
+        # fruitless scans (the overwhelming majority of calls) allocate
+        # nothing at all.
+        granted: list[T] | None = None
+        grant_indices = self._grant_scratch
         select_width = self.select_width
         for index, entry in enumerate(entries):
-            if len(granted) == select_width:
+            if granted is not None and len(granted) == select_width:
                 # Select bandwidth ran out.  Count the cycle as contended
                 # only if a remaining entry actually lost a grant: being
                 # due (next_try <= cycle) is necessary but not sufficient
                 # — its operands must also be ready.  Probing also lets
                 # the entry sleep until its true candidate cycle, exactly
                 # as examining it in the main scan would.
-                for loser in entries[index:]:
+                for later in range(index, len(entries)):
+                    loser = entries[later]
                     if loser.next_try > cycle:
                         continue
                     ready, next_candidate = is_ready(loser.record, cycle)
@@ -163,7 +172,10 @@ class Scheduler(Generic[T]):
                 continue
             ready, next_candidate = is_ready(entry.record, cycle)
             if ready:
-                granted.append(entry.record)
+                if granted is None:
+                    granted = [entry.record]
+                else:
+                    granted.append(entry.record)
                 grant_indices.append(index)
             else:
                 if next_candidate <= cycle:
@@ -172,8 +184,10 @@ class Scheduler(Generic[T]):
                         f"next_candidate {next_candidate} at cycle {cycle}"
                     )
                 entry.next_try = next_candidate
-        for index in reversed(grant_indices):
-            del entries[index]
+        if grant_indices:
+            for index in reversed(grant_indices):
+                del entries[index]
+            del grant_indices[:]
         if granted:
             self.selected_total += len(granted)
             return granted

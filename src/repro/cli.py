@@ -124,7 +124,9 @@ def cmd_run(args: argparse.Namespace) -> int:
     program = _load_program(args.workload)
     log.info("simulating %s on %s ...", config.name, program.name)
     started = time.perf_counter()
-    stats = simulate(config, program, cycle_skip=not args.no_skip)
+    stats = simulate(
+        config, program, cycle_skip=not args.no_skip, engine=args.engine
+    )
     elapsed = time.perf_counter() - started
     log.info(
         "simulated %d instructions in %d cycles in %.2fs (%.0f instr/s)",
@@ -350,10 +352,19 @@ def cmd_bench(args: argparse.Namespace) -> int:
         history_path=history_path,
     )
     for entry in payload["throughput"]:
-        print(f"{entry['machine']:>14} / {entry['workload']:<8} "
-              f"{entry['skip']['instr_per_sec']:>9.0f} instr/s "
-              f"(no-skip {entry['no_skip']['instr_per_sec']:.0f}, "
-              f"skipped {entry['skipped_cycles']} cycles)")
+        # Older payload shapes (and the gate tests' stubs) have no
+        # per-engine breakdown; fall back to the headline row.
+        engines = entry.get("engines") or {"": entry}
+        for engine_name, row in engines.items():
+            tag = f"[{engine_name}] " if engine_name else ""
+            print(f"{entry['machine']:>14} / {entry['workload']:<8} "
+                  f"{tag}"
+                  f"{row['skip']['instr_per_sec']:>9.0f} instr/s "
+                  f"(no-skip {row['no_skip']['instr_per_sec']:.0f}, "
+                  f"skipped {row['skipped_cycles']} cycles)")
+        if "engine_speedup" in entry:
+            print(f"{'':>14}   {'':<8} soa vs objects: "
+                  f"{entry['engine_speedup']}x")
     sweep = payload["sweep"]
     print(f"sweep: {sweep['pairs']} pairs, serial {sweep['serial_seconds']}s, "
           f"parallel({sweep['jobs']}) {sweep['parallel_seconds']}s, "
@@ -595,6 +606,10 @@ def main(argv: list[str] | None = None) -> int:
     run.add_argument("--steering", choices=("round_robin", "dependence"))
     run.add_argument("--json", action="store_true",
                      help="print machine-readable statistics as JSON")
+    run.add_argument("--engine", choices=("soa", "objects"), default=None,
+                     help="cycle-loop implementation: the structure-of-arrays "
+                          "fast path (default) or the DynInstr object "
+                          "reference; unset, REPRO_ENGINE decides")
     run.add_argument("--no-skip", action="store_true",
                      help="disable the cycle-skipping fast-forward (slow; "
                           "results are identical either way)")

@@ -168,6 +168,13 @@ class Machine:
         #: interpreter down the correct path, so this must match a pure
         #: functional execution bit for bit — repro.verify audits that.
         self.last_state: ArchState | None = None
+        #: SoA-engine caches (repro.core.engine): per-static-Instruction
+        #: rename memo keyed by id(instr) — each entry pins the instr
+        #: object so the id stays valid — and flattened load templates
+        #: keyed by dynamic load latency.  Config-dependent, so they live
+        #: on the machine and survive across runs.
+        self._soa_memo: dict[int, tuple] = {}
+        self._soa_load_flats: dict[int, tuple[int, int, int]] = {}
 
     # -- public API --------------------------------------------------------------
 
@@ -182,6 +189,7 @@ class Machine:
         timeline: bool = True,
         timeline_stride: int = DEFAULT_STRIDE,
         timeline_sink=None,
+        engine: str | None = None,
     ) -> SimStats:
         """Simulate ``program`` to completion and return its statistics.
 
@@ -212,7 +220,32 @@ class Machine:
         ``timeline_sink`` (a callable taking a
         :class:`~repro.obs.timeline.TimelineRow`) observes each row as it
         is captured — the live-streaming hook.
+
+        ``engine`` selects the cycle-loop implementation: ``"soa"`` (the
+        flat structure-of-arrays fast path, the default) or ``"objects"``
+        (this method's DynInstr-graph loop, kept as the differential
+        reference).  Unset, the ``REPRO_ENGINE`` environment variable
+        decides.  Both engines produce bit-identical statistics, CPI
+        stacks, and timelines — ``repro check``'s ``differential:engine``
+        section audits that.  Runs that need the object graph (an event
+        ``bus`` or ``record_trace``) always use the object engine.
         """
+        from repro.core.engine import resolve_engine, run_soa
+
+        if (
+            resolve_engine(engine) == "soa"
+            and bus is None
+            and not record_trace
+        ):
+            return run_soa(
+                self, program,
+                max_cycles=max_cycles,
+                progress_window=progress_window,
+                cycle_skip=cycle_skip,
+                timeline=timeline,
+                timeline_stride=timeline_stride,
+                timeline_sink=timeline_sink,
+            )
         config = self.config
         stats = SimStats(machine=config.name, workload=program.name)
         trace: list[DynInstr] | None = [] if record_trace else None

@@ -27,11 +27,11 @@ from repro.frontend.ras import ReturnAddressStack
 from repro.isa.instruction import Instruction
 from repro.isa.opcodes import Opcode
 from repro.isa.program import INSTRUCTION_BYTES, Program
-from repro.isa.semantics import ArchState, ExecResult
+from repro.isa.semantics import ArchState, ExecResult, compile_fast
 from repro.mem.hierarchy import MemoryHierarchy
 
 
-@dataclass
+@dataclass(slots=True)
 class FetchedInstruction:
     """One correct-path instruction leaving the fetch stage."""
 
@@ -167,7 +167,9 @@ class FetchUnit:
                 break
 
             if instr.spec.is_branch:
-                mispredicted = self._predict_and_train(instr, result)
+                mispredicted = self._predict_and_train(
+                    instr, result.next_pc, bool(result.taken)
+                )
                 if mispredicted:
                     fetched.mispredicted = True
                     self.mispredictions += 1
@@ -179,13 +181,91 @@ class FetchUnit:
                         break
         return bundle
 
+    def fetch_into(self, cycle: int, out_instr: list, out_mem: list) -> tuple[int, bool]:
+        """:meth:`fetch_bundle` without the per-instruction wrappers.
+
+        The SoA engine keeps fetched state in parallel columns, so the
+        ``FetchedInstruction`` objects (and the bundle list) are pure
+        allocation overhead there.  This appends each fetched instruction
+        and its oracle memory address directly to the caller's columns and
+        returns ``(count, mispredicted)``, where ``mispredicted`` flags
+        the *last* appended instruction as a mispredicted branch.  All
+        fetched instructions share ``cycle`` as their fetch cycle.
+
+        Must mirror :meth:`fetch_bundle`'s control flow exactly — the two
+        engines are differentially compared on the resulting stats.
+        """
+        if self.halted or self._stalled_for_branch:
+            return 0, False
+        if self._resume_cycle is not None and cycle < self._resume_cycle:
+            self.fetch_stall_cycles += 1
+            return 0, False
+        self._resume_cycle = None
+
+        state = self.state
+        pc = state.pc
+        if self._icache_ready_pc == pc:
+            if cycle < self._icache_ready_cycle:
+                self.fetch_stall_cycles += 1
+                return 0, False
+            self._icache_ready_pc = None
+        else:
+            hit_latency = self.hierarchy.config.icache.hit_latency
+            ready = self.hierarchy.fetch_access(pc, cycle)
+            if ready > cycle + hit_latency:
+                self._icache_ready_pc = pc
+                self._icache_ready_cycle = ready - hit_latency
+                self.fetch_stall_cycles += 1
+                return 0, False
+
+        lookup = self.program._by_address.get
+        width = self.fetch_width
+        count = 0
+        blocks = 0
+        halt = Opcode.HALT
+        instr_append = out_instr.append
+        mem_append = out_mem.append
+        while count < width:
+            instr = lookup(state.pc)
+            if instr is None:
+                raise RuntimeError(
+                    f"fetch walked off the text section at {state.pc:#x}"
+                )
+            # The allocation-free compiled executor: None for plain ops,
+            # the effective address for loads/stores, (next_pc, taken)
+            # for control transfers.
+            fn = instr.__dict__.get("_exec_fast")
+            if fn is None:
+                fn = compile_fast(instr)
+            r = fn(state)
+            instr_append(instr)
+            count += 1
+            if type(r) is tuple:
+                mem_append(None)
+                next_pc, taken = r
+                if self._predict_and_train(instr, next_pc, taken):
+                    self.mispredictions += 1
+                    self._stalled_for_branch = True
+                    return count, True
+                if taken:
+                    blocks += 1
+                    if blocks >= self.max_blocks_per_cycle:
+                        break
+            else:
+                mem_append(r)
+                if r is None and instr.opcode is halt:
+                    self.halted = True
+                    break
+        return count, False
+
     # -- prediction ----------------------------------------------------------------------
 
-    def _predict_and_train(self, instr: Instruction, result: ExecResult) -> bool:
+    def _predict_and_train(
+        self, instr: Instruction, actual_target: int, taken: bool
+    ) -> bool:
         """Consult and train the predictors; True if this branch mispredicts."""
         opcode = instr.opcode
         pc = instr.address
-        actual_target = result.next_pc
         fall_through = pc + INSTRUCTION_BYTES
 
         if opcode is Opcode.BR or opcode is Opcode.JSR:
@@ -208,7 +288,6 @@ class FetchUnit:
         # Conditional branch: direction from the hybrid predictor, target
         # from the BTB when predicted taken.
         self.branches += 1
-        taken = bool(result.taken)
         predicted_taken = self.predictor.predict(pc)
         self.predictor.update(pc, taken)
         if predicted_taken:

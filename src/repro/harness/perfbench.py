@@ -4,8 +4,11 @@ Two measurements, written to a repo-root artifact by ``repro bench`` (and
 the CI perf-smoke job):
 
 * **throughput** — instructions simulated per host-second for a few
-  representative (machine, workload) pairs, with the cycle-skipping
-  fast-forward on and off.  The two modes are asserted to produce
+  representative (machine, workload) pairs, for both cycle engines
+  (SoA columns and object reference) with the cycle-skipping
+  fast-forward on and off.  Skip/no-skip run as alternating-order pairs
+  and ``skip_speedup`` is the median per-pair ratio (host drift
+  cancels); all engine × mode combinations are asserted to produce
   identical statistics, so this doubles as an equivalence smoke test.
 * **sweep** — a cold (uncached) ``run_matrix`` timed serially and through
   the process-pool path, with the result dictionaries compared for
@@ -67,54 +70,115 @@ def _default_pairs() -> list[tuple[MachineConfig, str]]:
 
 
 def throughput_benchmark(
-    pairs: list[tuple[MachineConfig, str]] | None = None, repeats: int = 2
+    pairs: list[tuple[MachineConfig, str]] | None = None,
+    repeats: int = 5,
+    engines: tuple[str, ...] = ("soa", "objects"),
 ) -> list[dict]:
-    """Per-pair instructions/second, cycle skipping on vs off.
+    """Per-pair instructions/second for both engines, skip on vs off.
 
-    Each mode reports the best of ``repeats`` runs; the two modes'
-    statistics must serialize identically (raises otherwise).
+    The skip/no-skip modes are timed as back-to-back *pairs* with
+    alternating order (the scheme :func:`sampler_overhead_benchmark`
+    already uses): slow host drift hits both sides of a pair and
+    cancels, where unpaired best-of-N reads ±5% of pure noise on
+    identical work.  ``skip_speedup`` is the **median** per-pair ratio;
+    per-mode ``instr_per_sec`` stays best-of-repeats (a throughput
+    headline wants the least-disturbed run).
+
+    Every (engine, mode) run of a pair must serialize to identical
+    statistics (raises otherwise), so this doubles as an equivalence
+    smoke test across all four combinations.  The top-level ``skip`` /
+    ``no_skip`` rows carry the first engine (the SoA fast path — the
+    headline ``repro bench --compare`` gates on); the per-engine rows
+    sit under ``engines`` with the SoA-vs-objects ``engine_speedup``
+    ratio alongside.
     """
     results = []
     for config, workload in pairs if pairs is not None else _default_pairs():
         program = build(workload)
-        machine = Machine(config)
-        modes: dict[str, dict] = {}
-        serialized: dict[str, str] = {}
+        per_engine: dict[str, dict] = {}
+        serialized: dict[tuple[str, str], str] = {}
         skipped_cycles = 0
-        for label, cycle_skip in (("skip", True), ("no_skip", False)):
-            best = float("inf")
-            for _ in range(max(1, repeats)):
-                started = time.perf_counter()
-                stats = machine.run(program, cycle_skip=cycle_skip)
-                best = min(best, time.perf_counter() - started)
-            if cycle_skip:
-                skipped_cycles = machine.skipped_cycles
-            serialized[label] = json.dumps(stats.to_dict(), sort_keys=True)
-            modes[label] = {
-                "seconds": round(best, 4),
-                "instr_per_sec": round(stats.instructions / best, 1),
-                "cycles_per_sec": round(stats.cycles / best, 1),
+        for engine in engines:
+            machine = Machine(config)
+            # Warm both modes once so one-time costs (semantics
+            # compilation, rename memos, caches) land outside the pairs.
+            stats = machine.run(program, cycle_skip=True, engine=engine)
+            skipped = machine.skipped_cycles
+            machine.run(program, cycle_skip=False, engine=engine)
+            best = {"skip": float("inf"), "no_skip": float("inf")}
+            ratios: list[float] = []
+            for index in range(max(1, repeats)):
+                order = (("skip", True), ("no_skip", False))
+                if index % 2:
+                    order = tuple(reversed(order))
+                pair_seconds: dict[str, float] = {}
+                for label, cycle_skip in order:
+                    started = time.perf_counter()
+                    stats = machine.run(
+                        program, cycle_skip=cycle_skip, engine=engine
+                    )
+                    pair_seconds[label] = time.perf_counter() - started
+                    best[label] = min(best[label], pair_seconds[label])
+                    serialized[(engine, label)] = json.dumps(
+                        stats.to_dict(), sort_keys=True
+                    )
+                ratios.append(pair_seconds["no_skip"] / pair_seconds["skip"])
+            ratios.sort()
+            per_engine[engine] = {
+                "skip": {
+                    "seconds": round(best["skip"], 4),
+                    "instr_per_sec": round(
+                        stats.instructions / best["skip"], 1
+                    ),
+                    "cycles_per_sec": round(stats.cycles / best["skip"], 1),
+                },
+                "no_skip": {
+                    "seconds": round(best["no_skip"], 4),
+                    "instr_per_sec": round(
+                        stats.instructions / best["no_skip"], 1
+                    ),
+                    "cycles_per_sec": round(
+                        stats.cycles / best["no_skip"], 1
+                    ),
+                },
+                "skip_speedup": round(ratios[len(ratios) // 2], 3),
+                "skipped_cycles": skipped,
             }
-        if serialized["skip"] != serialized["no_skip"]:
-            raise AssertionError(
-                f"cycle skipping changed results for {config.name} on {workload}"
-            )
-        results.append({
+        reference = serialized[(engines[0], "skip")]
+        for key, blob in serialized.items():
+            if blob != reference:
+                raise AssertionError(
+                    f"engine/mode {key} changed results for "
+                    f"{config.name} on {workload}"
+                )
+        headline = per_engine[engines[0]]
+        skipped_cycles = headline["skipped_cycles"]
+        entry = {
             "machine": config.name,
             "workload": workload,
             "instructions": stats.instructions,
             "cycles": stats.cycles,
             "skipped_cycles": skipped_cycles,
-            "skip": modes["skip"],
-            "no_skip": modes["no_skip"],
-            "skip_speedup": round(
-                modes["no_skip"]["seconds"] / modes["skip"]["seconds"], 3
-            ),
-        })
+            "engine": engines[0],
+            "skip": headline["skip"],
+            "no_skip": headline["no_skip"],
+            "skip_speedup": headline["skip_speedup"],
+            "engines": per_engine,
+        }
+        if "soa" in per_engine and "objects" in per_engine:
+            entry["engine_speedup"] = round(
+                per_engine["soa"]["skip"]["instr_per_sec"]
+                / per_engine["objects"]["skip"]["instr_per_sec"],
+                3,
+            )
+        results.append(entry)
         log.info(
-            "throughput %s/%s: %.0f instr/s (skip), %.0f (no-skip)",
+            "throughput %s/%s: %s",
             config.name, workload,
-            modes["skip"]["instr_per_sec"], modes["no_skip"]["instr_per_sec"],
+            ", ".join(
+                f"{name} {row['skip']['instr_per_sec']:.0f} instr/s"
+                for name, row in per_engine.items()
+            ),
         )
     return results
 

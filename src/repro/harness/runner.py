@@ -407,6 +407,7 @@ class SimulationRunner:
         configs: list[MachineConfig],
         workloads: list[str],
         jobs: int | None = None,
+        force_pool: bool = False,
     ) -> dict[tuple[str, str], SimStats]:
         """The full cross product, cached, flushed to disk once at the end.
 
@@ -414,13 +415,15 @@ class SimulationRunner:
         pairs are simulated concurrently in a process pool; results and
         profiles are merged into the shared cache/bench log by the
         parent, so the on-disk artifacts are identical to a serial sweep
-        (modulo wall-clock timings).
+        (modulo wall-clock timings).  On hosts with too few cores for
+        the pool to win, dispatch falls back to serial unless
+        ``force_pool`` insists (see :meth:`run_jobs`).
         """
         sim_jobs = [
             SimJob(config, workload)
             for config in configs for workload in workloads
         ]
-        return self.run_jobs(sim_jobs, jobs=jobs)
+        return self.run_jobs(sim_jobs, jobs=jobs, force_pool=force_pool)
 
     def run_jobs(
         self,
@@ -428,6 +431,7 @@ class SimulationRunner:
         jobs: int | None = None,
         timeout: float | None = None,
         cancel: threading.Event | None = None,
+        force_pool: bool = False,
     ) -> dict[tuple[str, str], SimStats]:
         """Run a heterogeneous batch of :class:`SimJob`, cached and flushed.
 
@@ -440,9 +444,28 @@ class SimulationRunner:
         ``cancel`` is checked between simulations/completions; once set,
         no new work starts, everything finished so far is flushed, and
         :class:`MatrixCancelled` is raised.
+
+        A process pool only wins with cores to spread over: on a host
+        with ``os.cpu_count() <= 2`` the workers time-slice against the
+        parent and the fork/pickle overhead is pure loss (BENCH_perf
+        measured 0.989x on a 1-cpu box), so the batch dispatches
+        serially and logs that decision.  ``force_pool=True`` overrides
+        the fallback — the serial-vs-parallel differential and the pool
+        tests exercise the pool machinery regardless of host width.
         """
         jobs = self.jobs if jobs is None else jobs
-        if jobs is not None and jobs > 1:
+        want_pool = jobs is not None and jobs > 1
+        if want_pool and not force_pool:
+            cpus = os.cpu_count() or 1
+            if cpus <= 2:
+                log.info(
+                    "run_jobs: %d-way pool requested on a %d-cpu host; "
+                    "dispatching serially (pool overhead loses below 3 "
+                    "cpus; pass force_pool=True to insist)",
+                    jobs, cpus,
+                )
+                want_pool = False
+        if want_pool:
             results = self._run_jobs_parallel(sim_jobs, jobs, timeout, cancel)
         else:
             results = {}

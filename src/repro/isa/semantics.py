@@ -35,9 +35,15 @@ from repro.utils.bitops import (
 )
 
 
-@dataclass(frozen=True)
+@dataclass(slots=True)
 class ExecResult:
-    """Outcome of executing one instruction."""
+    """Outcome of executing one instruction.
+
+    Treated as immutable by convention (results are cached on fetched
+    instructions and shared across pipeline stages); kept unfrozen with
+    slots because the interpreter builds one per executed instruction and
+    the frozen ``object.__setattr__`` constructor dominated its profile.
+    """
 
     next_pc: int
     dest_value: int | None = None       # unsigned 64-bit, None if no dest
@@ -84,7 +90,23 @@ class ArchState:
     # -- the interpreter -------------------------------------------------------
 
     def execute(self, instr: Instruction) -> ExecResult:
-        """Execute ``instr`` (which must be the instruction at the PC)."""
+        """Execute ``instr`` (which must be the instruction at the PC).
+
+        Each static instruction is compiled once, on first execution, into
+        a closure specialized to its opcode and operands (see
+        :func:`_compile`); :meth:`execute_reference` is the uncompiled
+        path the closures must reproduce exactly.
+        """
+        fn = instr.__dict__.get("_exec")
+        if fn is None:
+            fn = _compile(instr)
+            object.__setattr__(instr, "_exec", fn)
+        return fn(self)
+
+    def execute_reference(self, instr: Instruction) -> ExecResult:
+        """Reference interpretation: ``_dispatch`` + architectural side
+        effects.  Kept as the semantic ground truth the compiled closures
+        are pinned against (and the fallback for anything they skip)."""
         result = self._dispatch(instr)
         if result.dest_value is not None and instr.dest is not None:
             self.write_reg(instr.dest, result.dest_value)
@@ -283,6 +305,336 @@ _CMOV_CONDITIONS = {
     Opcode.CMOVLBS: lambda value: (value & 1) == 1,
     Opcode.CMOVLBC: lambda value: (value & 1) == 0,
 }
+
+
+# ---------------------------------------------------------------------------
+# Per-instruction compilation
+# ---------------------------------------------------------------------------
+# The timing simulator executes every correct-path instruction through
+# :meth:`ArchState.execute`, so the interpreter's opcode chain and operand
+# walks sit on the hottest loop of the whole repo.  ``_compile`` turns one
+# static :class:`Instruction` into a closure with the opcode behaviour,
+# operand registers/immediates, fall-through PC, and destination write
+# baked in as constants, leaving only the arithmetic, the architectural
+# side effects, and one ``ExecResult`` per execution.  Closures are cached
+# on the instruction (``_exec`` in its ``__dict__``, like the ``spec``
+# cached_property), so each static instruction compiles exactly once per
+# program no matter how many machines replay it.
+
+
+def _zap(value: int, zap_bits: int) -> int:
+    """ZAP semantics: clear the bytes selected by the low 8 mask bits."""
+    mask = 0
+    zap_bits &= 0xFF
+    for byte in range(8):
+        if not (zap_bits >> byte) & 1:
+            mask |= 0xFF << (byte * 8)
+    return value & mask
+
+
+#: Binary operations: expression templates over source values {a}, {b}.
+_BINARY_EXPR = {
+    Opcode.ADD: "({a} + {b}) & MASK64",
+    Opcode.SUB: "({a} - {b}) & MASK64",
+    Opcode.MUL: "({a} * {b}) & MASK64",
+    Opcode.S4ADD: "(({a} << 2) + {b}) & MASK64",
+    Opcode.S8ADD: "(({a} << 3) + {b}) & MASK64",
+    Opcode.S4SUB: "(({a} << 2) - {b}) & MASK64",
+    Opcode.S8SUB: "(({a} << 3) - {b}) & MASK64",
+    Opcode.AND: "{a} & {b}",
+    Opcode.BIS: "{a} | {b}",
+    Opcode.XOR: "{a} ^ {b}",
+    Opcode.BIC: "{a} & ~{b} & MASK64",
+    Opcode.ORNOT: "{a} | (~{b} & MASK64)",
+    Opcode.EQV: "(~({a} ^ {b})) & MASK64",
+    Opcode.SLL: "({a} << ({b} & 63)) & MASK64",
+    Opcode.SRL: "{a} >> ({b} & 63)",
+    Opcode.SRA: "(to_signed({a}) >> ({b} & 63)) & MASK64",
+    Opcode.CMPEQ: "int({a} == {b})",
+    Opcode.CMPLT: "int(to_signed({a}) < to_signed({b}))",
+    Opcode.CMPLE: "int(to_signed({a}) <= to_signed({b}))",
+    Opcode.CMPULT: "int({a} < {b})",
+    Opcode.CMPULE: "int({a} <= {b})",
+    Opcode.EXTB: "({a} >> (({b} & 7) * 8)) & 0xFF",
+    Opcode.INSB: "({a} & 0xFF) << (({b} & 7) * 8)",
+    Opcode.MSKB: "{a} & ~(0xFF << (({b} & 7) * 8)) & MASK64",
+    Opcode.ZAP: "_zap({a}, {b})",
+    Opcode.FADD: "({a} + {b}) & MASK64",
+    Opcode.FMUL: "({a} * {b}) & MASK64",
+}
+
+#: Unary operations over source value {a}.
+_UNARY_EXPR = {
+    Opcode.NOT: "(~{a}) & MASK64",
+    Opcode.CTLZ: "count_leading_zeros({a})",
+    Opcode.CTTZ: "count_trailing_zeros({a})",
+    Opcode.CTPOP: "popcount({a})",
+}
+
+#: Test-against-zero conditions over value {t}, shared by the conditional
+#: branches (B<cond>) and conditional moves (CMOV<cond>).
+_COND_EXPR = {
+    "EQ": "{t} == 0",
+    "NE": "{t} != 0",
+    "LT": "to_signed({t}) < 0",
+    "GE": "to_signed({t}) >= 0",
+    "LE": "to_signed({t}) <= 0",
+    "GT": "to_signed({t}) > 0",
+    "LBS": "({t} & 1) == 1",
+    "LBC": "({t} & 1) == 0",
+}
+
+_COMPILE_NS = {
+    "ExecResult": ExecResult,
+    "MASK64": MASK64,
+    "to_signed": to_signed,
+    "sign_extend": sign_extend,
+    "count_leading_zeros": count_leading_zeros,
+    "count_trailing_zeros": count_trailing_zeros,
+    "popcount": popcount,
+    "_zap": _zap,
+}
+
+
+def _codegen_body(instr: Instruction, ft: int) -> list[str] | None:
+    """Function-body lines for ``instr``, or None to use the reference."""
+    op = instr.opcode
+    srcs = instr.sources
+
+    def src(index: int) -> str:
+        operand = srcs[index]
+        if operand.reg is not None:
+            return "0" if operand.reg == ZERO_REG else f"R[{operand.reg}]"
+        return repr(wrap64(operand.imm))
+
+    def finish(value_expr: str) -> list[str]:
+        """Compute a destination value, store it, advance, return."""
+        lines = [f"value = {value_expr}"]
+        if instr.dest is not None and instr.dest != ZERO_REG:
+            lines.append(f"R[{instr.dest}] = value & MASK64")
+        lines += [
+            f"S.pc = {ft}",
+            "S.instructions_executed += 1",
+            f"return ExecResult({ft}, value)",
+        ]
+        return lines
+
+    if op in _BINARY_EXPR:
+        if len(srcs) != 2:
+            return None
+        return finish(_BINARY_EXPR[op].format(a=src(0), b=src(1)))
+    if op in _UNARY_EXPR:
+        if len(srcs) != 1:
+            return None
+        return finish(_UNARY_EXPR[op].format(a=src(0)))
+
+    name = op.name
+    if name.startswith("CMOV"):
+        condition = _COND_EXPR.get(name[4:])
+        if condition is None or len(srcs) != 3:
+            return None
+        return finish(
+            f"{src(1)} if {condition.format(t=src(0))} else {src(2)}"
+        )
+
+    if op is Opcode.LDA:
+        if len(srcs) != 1 or instr.imm is None:
+            return None
+        return finish(f"({src(0)} + {instr.imm}) & MASK64")
+    if op is Opcode.LDAH:
+        if len(srcs) != 1 or instr.imm is None:
+            return None
+        return finish(f"({src(0)} + {instr.imm << 16}) & MASK64")
+
+    if op is Opcode.LDQ or op is Opcode.LDL:
+        if len(srcs) != 1 or instr.imm is None:
+            return None
+        read = (
+            "S.memory.read(A, 8)"
+            if op is Opcode.LDQ
+            else "sign_extend(S.memory.read(A, 4), 32)"
+        )
+        lines = [
+            f"A = ({src(0)} + {instr.imm}) & MASK64",
+            f"value = {read}",
+        ]
+        if instr.dest is not None and instr.dest != ZERO_REG:
+            lines.append(f"R[{instr.dest}] = value & MASK64")
+        lines += [
+            f"S.pc = {ft}",
+            "S.instructions_executed += 1",
+            f"return ExecResult({ft}, value, mem_address=A)",
+        ]
+        return lines
+
+    if op is Opcode.STQ or op is Opcode.STL:
+        if len(srcs) != 2 or instr.imm is None:
+            return None
+        size = 8 if op is Opcode.STQ else 4
+        value_expr = src(0) if op is Opcode.STQ else f"{src(0)} & 0xFFFF_FFFF"
+        return [
+            f"A = ({src(1)} + {instr.imm}) & MASK64",
+            f"v = {value_expr}",
+            f"S.memory.write(A, v, {size})",
+            f"S.pc = {ft}",
+            "S.instructions_executed += 1",
+            f"return ExecResult({ft}, mem_address=A, store_value=v, "
+            f"store_size={size})",
+        ]
+
+    if op is Opcode.BR:
+        if instr.target is None:
+            return None
+        return [
+            f"S.pc = {instr.target}",
+            "S.instructions_executed += 1",
+            f"return ExecResult({instr.target}, taken=True)",
+        ]
+    if op is Opcode.JSR:
+        if instr.target is None:
+            return None
+        lines = []
+        if instr.dest is not None and instr.dest != ZERO_REG:
+            lines.append(f"R[{instr.dest}] = {ft}")
+        lines += [
+            f"S.pc = {instr.target}",
+            "S.instructions_executed += 1",
+            f"return ExecResult({instr.target}, dest_value={ft}, taken=True)",
+        ]
+        return lines
+    if op is Opcode.RET:
+        return [
+            f"npc = R[{RETURN_ADDRESS_REG}]",
+            "S.pc = npc",
+            "S.instructions_executed += 1",
+            "return ExecResult(npc, taken=True)",
+        ]
+    if op is Opcode.JMP:
+        if len(srcs) != 1:
+            return None
+        return [
+            f"npc = {src(0)}",
+            "S.pc = npc",
+            "S.instructions_executed += 1",
+            "return ExecResult(npc, taken=True)",
+        ]
+    if op in _BRANCH_CONDITIONS:
+        if len(srcs) != 1 or instr.target is None:
+            return None
+        condition = _COND_EXPR[name[1:]]
+        return [
+            f"t = {condition.format(t=src(0))}",
+            f"npc = {instr.target} if t else {ft}",
+            "S.pc = npc",
+            "S.instructions_executed += 1",
+            "return ExecResult(npc, taken=t)",
+        ]
+
+    if op is Opcode.FDIV:
+        if len(srcs) != 2:
+            return None
+        lines = [
+            f"d = to_signed({src(1)})",
+            "if d == 0:",
+            "    value = 0",
+            "else:",
+            f"    value = int(to_signed({src(0)}) / d) & MASK64",
+        ]
+        if instr.dest is not None and instr.dest != ZERO_REG:
+            lines.append(f"R[{instr.dest}] = value & MASK64")
+        lines += [
+            f"S.pc = {ft}",
+            "S.instructions_executed += 1",
+            f"return ExecResult({ft}, value)",
+        ]
+        return lines
+
+    if op is Opcode.NOP:
+        return [
+            f"S.pc = {ft}",
+            "S.instructions_executed += 1",
+            f"return ExecResult({ft})",
+        ]
+    if op is Opcode.HALT:
+        return [
+            "S.halted = True",
+            f"S.pc = {ft}",
+            "S.instructions_executed += 1",
+            f"return ExecResult({ft}, halted=True)",
+        ]
+    return None
+
+
+def _compile(instr: Instruction):
+    """Compile ``instr`` into ``fn(state) -> ExecResult``."""
+    ft = instr.address + INSTRUCTION_BYTES
+    body = _codegen_body(instr, ft)
+    if body is None:
+        return lambda state, _instr=instr: state.execute_reference(_instr)
+    source = "def _f(S):\n    R = S.regs\n" + "\n".join(
+        "    " + line for line in body
+    )
+    scope: dict = {}
+    exec(
+        compile(
+            source,
+            f"<semantics {instr.opcode.value} @{instr.address:#x}>",
+            "exec",
+        ),
+        _COMPILE_NS,
+        scope,
+    )
+    return scope["_f"]
+
+
+def compile_fast(instr: Instruction):
+    """Compile and cache the SoA fetch path's allocation-free executor.
+
+    The fast variant applies the same architectural side effects as the
+    ``_exec`` closure but skips the ``ExecResult`` construction — the SoA
+    engine discards everything except the oracle facts it stores in its
+    columns.  It returns ``None`` for plain operations, the effective
+    address (an int) for loads and stores, and ``(next_pc, taken)`` for
+    control transfers.  Cached on the instruction as ``_exec_fast``.
+    """
+    ft = instr.address + INSTRUCTION_BYTES
+    body = _codegen_body(instr, ft)
+    if body is None:
+        def fn(state, _instr=instr):
+            result = state.execute_reference(_instr)
+            if _instr.spec.is_branch:
+                return (result.next_pc, bool(result.taken))
+            return result.mem_address
+    else:
+        op = instr.opcode
+        if op is Opcode.LDQ or op is Opcode.LDL or op is Opcode.STQ or op is Opcode.STL:
+            tail = "return A"
+        elif op is Opcode.BR or op is Opcode.JSR:
+            tail = f"return ({instr.target}, True)"
+        elif op is Opcode.RET or op is Opcode.JMP:
+            tail = "return (npc, True)"
+        elif op in _BRANCH_CONDITIONS:
+            tail = "return (npc, t)"
+        else:
+            tail = "return None"
+        if not body[-1].startswith("return ExecResult"):
+            raise AssertionError(f"unexpected codegen tail: {body[-1]}")
+        source = "def _f(S):\n    R = S.regs\n" + "\n".join(
+            "    " + line for line in body[:-1] + [tail]
+        )
+        scope: dict = {}
+        exec(
+            compile(
+                source,
+                f"<semantics-fast {instr.opcode.value} @{instr.address:#x}>",
+                "exec",
+            ),
+            _COMPILE_NS,
+            scope,
+        )
+        fn = scope["_f"]
+    object.__setattr__(instr, "_exec_fast", fn)
+    return fn
 
 
 def run_program(

@@ -292,7 +292,11 @@ class BatchDispatcher:
     def _execute(self, sim_jobs: Iterable, use_pool: bool):
         """Synchronous batch execution — runs on a worker thread."""
         if use_pool:
+            # The dispatcher owns the pool-vs-serial decision (it has its
+            # own health degradation); don't let the runner second-guess
+            # it on narrow hosts.
             return self.runner.run_jobs(
-                list(sim_jobs), jobs=self.pool_jobs, timeout=self.job_timeout
+                list(sim_jobs), jobs=self.pool_jobs, timeout=self.job_timeout,
+                force_pool=True,
             )
         return self.runner.run_jobs(list(sim_jobs), jobs=None)

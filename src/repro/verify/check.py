@@ -4,10 +4,13 @@ One :func:`run_check` call produces a :class:`CheckReport` with one
 section per verification layer:
 
 * ``fuzz`` — every (profile, seed) program generated and assembled;
+* ``differential:engine`` — the SoA cycle engine vs the object reference
+  engine, bit for bit over the golden corpus (four machines × three
+  kernels × both widths) plus at least ten fuzzed kernels;
 * ``differential:cycle-skip`` / ``differential:timeline-skip`` /
   ``differential:machine-reuse`` / ``differential:run-matrix`` /
-  ``differential:rb-adder`` — the five equivalence pairs over the fuzzed
-  programs (first diverging SimStats/timeline field reported per case);
+  ``differential:rb-adder`` — the other equivalence pairs over the
+  fuzzed programs (first diverging SimStats/timeline field per case);
 * ``invariant:cpi-conservation`` — every statistics object produced
   anywhere in the check must have a CPI stack summing exactly to its
   cycles;
@@ -36,6 +39,7 @@ from repro.core.presets import (
     ideal,
     ideal_limited,
     rb_limited,
+    resolve_machine,
 )
 from repro.core.statistics import SimStats
 from repro.obs.log import get_logger
@@ -54,6 +58,15 @@ FULL_ORDERING_WORKLOADS = ["ijpeg", "li", "compress", "gzip", "mcf"]
 
 #: Workload for the Fig. 14 bypass-deletion lattice audit.
 MONOTONICITY_WORKLOAD = "li"
+
+#: The golden-corpus cross product (tests/golden/) over which the SoA and
+#: object engines must agree bit for bit, in quick and full mode alike.
+ENGINE_MACHINES = ["baseline", "staggered", "rb-limited", "rb-full"]
+ENGINE_KERNELS = ["ijpeg", "li", "compress"]
+ENGINE_WIDTHS = [4, 8]
+
+#: Minimum number of fuzzed kernels the engine differential must cover.
+ENGINE_FUZZ_MIN = 10
 
 
 @dataclass
@@ -192,6 +205,42 @@ def run_check(
                         "detail": f"generation/assembly failed: {exc!r}",
                     })
     log.info("fuzz: %d programs generated", len(programs))
+
+    # ---- differential: SoA engine vs object engine -----------------------
+    section = Section("differential:engine")
+    report.sections.append(section)
+    with _Timer(section):
+        # The full golden corpus — the paper's four machines, three
+        # kernels, both widths — always runs, quick mode included: this
+        # is the section that licenses every other layer to run on the
+        # fast engine.
+        for kernel in ENGINE_KERNELS:
+            program = build(kernel)
+            for machine_name in ENGINE_MACHINES:
+                for engine_width in ENGINE_WIDTHS:
+                    section.cases += 1
+                    found = differential.diff_engines(
+                        resolve_machine(machine_name, engine_width), program
+                    )
+                    if found is not None:
+                        section.failures.append(found.as_dict())
+        # At least ENGINE_FUZZ_MIN fuzzed kernels, cycling the check
+        # configs and alternating the cycle-skip flag so both loop modes
+        # of both engines face irregular programs.
+        engine_fuzz = list(programs)
+        extra_seed = 1000
+        while len(engine_fuzz) < ENGINE_FUZZ_MIN:
+            engine_fuzz.append(fuzz_program("mixed", extra_seed))
+            extra_seed += 1
+        for index, program in enumerate(engine_fuzz):
+            section.cases += 1
+            found = differential.diff_engines(
+                configs[index % len(configs)],
+                program,
+                cycle_skip=index % 2 == 0,
+            )
+            if found is not None:
+                section.failures.append(found.as_dict())
 
     # ---- differential: cycle-skip ----------------------------------------
     section = Section("differential:cycle-skip")

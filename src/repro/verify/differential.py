@@ -1,7 +1,10 @@
 """Paired-run differential harness over the "bit-identical" execution modes.
 
-Five equivalence pairs are claimed by the simulator:
+Six equivalence pairs are claimed by the simulator:
 
+* ``engine`` — the structure-of-arrays cycle engine
+  (:mod:`repro.core.engine`) vs the per-instruction object engine, over
+  the serialized statistics *and* every interval-timeline row;
 * ``cycle-skip`` — :meth:`Machine.run` with the event-driven fast-forward
   on vs off;
 * ``timeline-skip`` — the interval timeline (:mod:`repro.obs.timeline`)
@@ -108,8 +111,43 @@ def _compare(pair: str, machine: str, workload: str,
 
 
 # ---------------------------------------------------------------------------
-# The four pairs
+# The pairs
 # ---------------------------------------------------------------------------
+
+def diff_engines(
+    config: MachineConfig, program: Program, cycle_skip: bool = True
+) -> Divergence | None:
+    """SoA column engine vs the object reference engine, bit for bit.
+
+    Compares the full serialized :class:`SimStats` — every CPI-stack
+    bucket, distribution, histogram, and metric counter — and then every
+    interval-timeline row.  The SoA engine's contract is *bit-identical*
+    output, so any first divergence is a bug in one engine or the other.
+    """
+    soa = Machine(config).run(program, cycle_skip=cycle_skip, engine="soa")
+    objects = Machine(config).run(
+        program, cycle_skip=cycle_skip, engine="objects"
+    )
+    found = _compare("engine", config.name, program.name, soa, objects)
+    if found is not None:
+        return found
+    if (soa.timeline is None) != (objects.timeline is None):
+        return Divergence(
+            "engine", config.name, program.name, "timeline",
+            soa.timeline, objects.timeline,
+        )
+    if soa.timeline is not None:
+        diverged = first_divergence(
+            soa.timeline.to_dict(), objects.timeline.to_dict()
+        )
+        if diverged is not None:
+            field, left_value, right_value = diverged
+            return Divergence(
+                "engine", config.name, program.name,
+                f"timeline.{field}", left_value, right_value,
+            )
+    return None
+
 
 def diff_cycle_skip(config: MachineConfig, program: Program) -> Divergence | None:
     """Fast-forwarding must not change a single statistic."""
@@ -172,7 +210,10 @@ def diff_run_matrix(
             cache_path=workdir / f"{label}.json",
             bench_path=workdir / f"{label}-bench.json",
         )
-        results[label] = runner.run_matrix(configs, workloads, jobs=pool_jobs)
+        results[label] = runner.run_matrix(
+            configs, workloads, jobs=pool_jobs,
+            force_pool=pool_jobs is not None,
+        )
     divergences = []
     for key in results["serial"]:
         machine, workload = key

@@ -31,7 +31,9 @@ def sweeps(tmp_path_factory):
             cache_path=tmp / f"{label}.json",
             bench_path=tmp / f"{label}-bench.json",
         )
-        results = runner.run_matrix(MACHINES, KERNELS, jobs=jobs)
+        results = runner.run_matrix(
+            MACHINES, KERNELS, jobs=jobs, force_pool=jobs is not None
+        )
         out[label] = (runner, results)
     return out
 
@@ -74,7 +76,7 @@ class TestParallelEquivalence:
     def test_parallel_warm_rerun_hits_cache(self, sweeps):
         parallel_runner, first = sweeps["parallel"]
         rerun = SimulationRunner(cache_path=parallel_runner.cache.path)
-        results = rerun.run_matrix(MACHINES, KERNELS, jobs=2)
+        results = rerun.run_matrix(MACHINES, KERNELS, jobs=2, force_pool=True)
         assert rerun.metrics.counter("cache.misses").value == 0
         assert rerun.metrics.counter("cache.hits").value == len(results)
         for key in results:
@@ -97,7 +99,8 @@ class TestWorkerFaultHandling:
         )
         with pytest.raises(MatrixWorkerError) as excinfo:
             runner.run_matrix(
-                [config], ["no-such-kernel", "fuzz:mixed:0"], jobs=2
+                [config], ["no-such-kernel", "fuzz:mixed:0"], jobs=2,
+                force_pool=True,
             )
         assert excinfo.value.machine == config.name
         assert excinfo.value.workload == "no-such-kernel"
@@ -115,7 +118,9 @@ class TestWorkerFaultHandling:
             cache_path=tmp_path / "cache.json",
             bench_path=tmp_path / "bench.json",
         )
-        parallel = runner.run_matrix([config], ["fuzz:serial:0"], jobs=2)
+        parallel = runner.run_matrix(
+            [config], ["fuzz:serial:0"], jobs=2, force_pool=True
+        )
         fresh = SimulationRunner(cache_path=tmp_path / "serial.json")
         serial = fresh.run_matrix([config], ["fuzz:serial:0"])
         key = (config.name, "fuzz:serial:0")

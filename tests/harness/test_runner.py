@@ -218,7 +218,9 @@ class TestTimelinePersistence:
 
     def test_parallel_results_carry_timelines(self, tmp_path):
         runner = SimulationRunner(cache_path=tmp_path / "cache.json")
-        results = runner.run_matrix([ideal(4)], ["li", "fuzz:serial:7"], jobs=2)
+        results = runner.run_matrix(
+            [ideal(4)], ["li", "fuzz:serial:7"], jobs=2, force_pool=True
+        )
         for stats in results.values():
             timeline = getattr(stats, "timeline", None)
             assert timeline is not None and timeline.rows
@@ -227,6 +229,6 @@ class TestTimelinePersistence:
         serial = SimulationRunner(cache_path=tmp_path / "serial.json")
         parallel = SimulationRunner(cache_path=tmp_path / "parallel.json")
         a = serial.run_matrix([ideal(4)], ["li"])
-        b = parallel.run_matrix([ideal(4)], ["li"], jobs=2)
+        b = parallel.run_matrix([ideal(4)], ["li"], jobs=2, force_pool=True)
         key = ("Ideal-4w", "li")
         assert a[key].timeline.to_dict() == b[key].timeline.to_dict()

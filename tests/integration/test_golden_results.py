@@ -24,6 +24,7 @@ from pathlib import Path
 
 import pytest
 
+from repro.core.engine import ENGINE_ENV, ENGINES
 from repro.core.presets import resolve_machine
 from repro.harness.runner import SimulationRunner
 from repro.verify.differential import first_divergence
@@ -59,14 +60,22 @@ def simulate(machine: str, kernel: str, width: int) -> dict:
 
 
 @pytest.mark.slow
+@pytest.mark.parametrize("engine", ENGINES)
 @pytest.mark.parametrize(
     "machine, kernel, width", CASES,
     ids=[f"{m}-{w}w-{k}" for m, k, w in CASES],
 )
-def test_simulation_matches_golden(machine, kernel, width, request):
+def test_simulation_matches_golden(machine, kernel, width, engine, request,
+                                   monkeypatch):
+    # Both engines are pinned against the same corpus — goldens double as
+    # an engine-parity audit.  Selection rides the environment variable so
+    # the runner → Machine.run plumbing is exercised end to end.
+    monkeypatch.setenv(ENGINE_ENV, engine)
     path = golden_path(machine, kernel, width)
     actual = simulate(machine, kernel, width)
     if request.config.getoption("--update-golden"):
+        if engine != ENGINES[0]:
+            pytest.skip("goldens are written once, from the first engine")
         path.parent.mkdir(parents=True, exist_ok=True)
         path.write_text(json.dumps(actual, indent=2, sort_keys=True) + "\n")
         return
@@ -79,9 +88,10 @@ def test_simulation_matches_golden(machine, kernel, width, request):
     if divergence is not None:
         where, want, got = divergence
         pytest.fail(
-            f"{machine}/{kernel}/{width}w diverges from {path.name} at "
-            f"{where}: golden={want!r} actual={got!r}. If this change is "
-            f"intentional, bump RESULTS_VERSION and rerun with --update-golden."
+            f"{machine}/{kernel}/{width}w ({engine} engine) diverges from "
+            f"{path.name} at {where}: golden={want!r} actual={got!r}. If "
+            f"this change is intentional, bump RESULTS_VERSION and rerun "
+            f"with --update-golden."
         )
 
 

@@ -28,7 +28,7 @@ class ScriptedRunner:
         self.script = list(script)
         self.calls = []  # (keys, mode) per invocation
 
-    def run_jobs(self, sim_jobs, jobs=None, timeout=None):
+    def run_jobs(self, sim_jobs, jobs=None, timeout=None, force_pool=False):
         self.calls.append((
             [job.key for job in sim_jobs],
             "pool" if jobs is not None else "serial",
