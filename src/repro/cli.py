@@ -349,7 +349,7 @@ def cmd_bench(args: argparse.Namespace) -> int:
     prior = load_history(history_path)
     payload = perfbench.write_bench_perf(
         path=args.output, jobs=args.jobs, kernels=args.kernels,
-        history_path=history_path,
+        history_path=history_path, batched_workload=args.batched_workload,
     )
     for entry in payload["throughput"]:
         # Older payload shapes (and the gate tests' stubs) have no
@@ -366,10 +366,22 @@ def cmd_bench(args: argparse.Namespace) -> int:
             print(f"{'':>14}   {'':<8} soa vs objects: "
                   f"{entry['engine_speedup']}x")
     sweep = payload["sweep"]
+    ratio = (
+        f"speedup {sweep['speedup']}x"
+        if sweep.get("speedup") is not None
+        else f"speedup skipped ({sweep.get('speedup_note', 'pool unavailable')})"
+    )
     print(f"sweep: {sweep['pairs']} pairs, serial {sweep['serial_seconds']}s, "
           f"parallel({sweep['jobs']}) {sweep['parallel_seconds']}s, "
-          f"speedup {sweep['speedup']}x, "
+          f"{ratio}, "
           f"results identical: {sweep['results_identical']}")
+    batched = payload.get("batched_sweep")
+    if batched:
+        print(f"batched sweep: {batched['configs']} configs on "
+              f"{batched['workload']}, serial {batched['serial_seconds']}s vs "
+              f"batched {batched['batch_seconds']}s "
+              f"({batched['speedup']}x, {batched['instr_per_sec']:.0f} instr/s "
+              f"batched)")
     overhead = payload["sampler_overhead"]
     print(f"sampler overhead: {overhead['overhead_fraction']:+.2%} "
           f"({overhead['machine']} on {overhead['workload']}, "
@@ -555,7 +567,7 @@ def cmd_watch(args: argparse.Namespace) -> int:
 
 def cmd_check(args: argparse.Namespace) -> int:
     from repro.utils.files import atomic_write_text
-    from repro.verify.check import run_check
+    from repro.verify.check import persist_failing_fuzz_sources, run_check
 
     seeds = range(args.seeds) if args.seeds is not None else None
     profiles = args.profiles.split(",") if args.profiles else None
@@ -572,6 +584,12 @@ def cmd_check(args: argparse.Namespace) -> int:
         path.parent.mkdir(parents=True, exist_ok=True)
         atomic_write_text(path, json.dumps(report.as_dict(), indent=2) + "\n")
         print(f"wrote {path}")
+        if not report.ok:
+            # A failure on a fuzzed kernel is only replayable with the
+            # suite's build hook; keep the assembled source next to the
+            # report so the divergence stands alone.
+            for written in persist_failing_fuzz_sources(report, path.parent):
+                print(f"persisted failing fuzz program: {written}")
     return 0 if report.ok else 1
 
 
@@ -703,6 +721,9 @@ def main(argv: list[str] | None = None) -> int:
     bench.add_argument("--kernels", nargs="+", default=None, metavar="KERNEL",
                        help="workloads for the sweep benchmark "
                             "(default ijpeg li compress)")
+    bench.add_argument("--batched-workload", default="vortex", metavar="KERNEL",
+                       help="workload for the batched Fig. 9 matrix "
+                            "benchmark (default vortex)")
     bench.add_argument("--history", default=None, metavar="PATH",
                        help="perf-history JSONL file "
                             "(default BENCH_history.jsonl next to the snapshot)")

@@ -1,0 +1,1757 @@
+"""Batched SoA simulation: N machine configs over one decoded program.
+
+The paper's figures sweep the *same workload* through many machine
+configurations (Fig. 9: 4 machines x 2 widths), yet each solo
+:func:`~repro.core.engine.run_soa` call re-executes the program
+functionally at fetch, re-trains the branch predictors, and re-renames
+every instruction.  All of that work is *timing-independent*: the
+correct-path dynamic instruction stream, branch outcomes, predictor/BTB/
+RAS evolution, memory addresses, fetch-bundle partition, and register
+dataflow depend only on the instruction sequence — never on when cycles
+happen.  This module factors it out and shares it:
+
+* **Fetch trace** (one per ``(fetch_width, max_blocks_per_cycle)``) — a
+  probe :class:`~repro.frontend.fetch.FetchUnit` run once over the whole
+  program records the instruction stream, oracle memory addresses,
+  bundle boundaries, per-bundle start PCs, and misprediction points.
+  Per-config fetch becomes a *replay*: the early-out structure of
+  ``fetch_into`` (resume wait, I-cache state machine) is reproduced
+  against each config's own :class:`~repro.mem.hierarchy.MemoryHierarchy`
+  — the I-cache shares the L2 with the D-cache, so hit/miss results are
+  config- and timing-dependent and the real ``fetch_access`` calls
+  happen at exactly the cycles the solo engine would make them.
+
+* **Rename plan** (one per rename signature: adder style, bypass style,
+  removed levels, conversion depth) — the full static column set of the
+  SoA engine (kinds, result formats, latencies, flattened availability
+  templates, renamed source pairs, store-ordering dependences) computed
+  once over the stream.  4-wide and 8-wide variants of one machine share
+  a plan; the Fig. 9 matrix needs 4 plans for its 8 configs.  Template
+  and latency columns are copied per config (loads overwrite them with
+  their dynamic cache latency at issue); the rest is shared read-only.
+
+* **Steering columns** (one per scheduler count) — the paper's
+  round-robin policy assigns scheduler ``(seq // 2) % num_schedulers``
+  regardless of timing, so the dispatch target is a precomputed column.
+  Dependence steering consults live scheduler occupancy and cannot be
+  precomputed; such configs fall back to solo ``run_soa``.
+
+Everything timing-dependent stays per config: the scheduler sweeps,
+wakeup/select, stall attribution, occupancy series, interval sampler,
+and the memory hierarchy.  The per-config loop is the solo engine's
+cycle loop with the fetch and rename stages collapsed to bookkeeping —
+``verify.differential.diff_batch`` and the ``differential:batch``
+section of ``repro check`` pin every statistic and timeline row
+bit-identical to the solo run.
+
+Shared artifacts are cached on the :class:`~repro.isa.program.Program`
+object itself (``program._soa_batch_cache``), so their lifetime is tied
+to the program's and repeated sweeps (the runner, ``repro serve``) pay
+the probe and plan construction once.
+"""
+
+from __future__ import annotations
+
+import time
+from bisect import bisect_left, insort
+
+from repro.isa.instruction import NUM_REGS
+from repro.isa.semantics import ArchState
+from repro.mem.hierarchy import MemoryHierarchy
+from repro.obs.log import get_logger
+from repro.obs.timeline import DEFAULT_STRIDE, IntervalSampler
+
+log = get_logger(__name__)
+
+#: Attribute on Program holding this module's shared-artifact cache.
+_CACHE_ATTR = "_soa_batch_cache"
+
+
+class FetchTrace:
+    """The timing-independent fetch record of one program.
+
+    ``bstart`` has one entry per bundle plus a final sentinel equal to
+    the stream length, so bundle ``i`` covers seqs
+    ``[bstart[i], bstart[i+1])``.  ``bpc[i]`` is the PC the fetch unit
+    presents to the I-cache when delivering bundle ``i``; ``bmisp[i]``
+    marks a bundle ended by a mispredicted branch.  The final bundle
+    always ends with HALT (the probe runs to completion).
+    """
+
+    __slots__ = (
+        "instr_col", "mem_col", "misp_col", "bstart", "bpc", "bmisp",
+        "n", "branches", "mispredictions", "final_state",
+    )
+
+    def __init__(self, instr_col, mem_col, misp_col, bstart, bpc, bmisp,
+                 branches, mispredictions, final_state):
+        self.instr_col = instr_col
+        self.mem_col = mem_col
+        self.misp_col = misp_col
+        self.bstart = bstart
+        self.bpc = bpc
+        self.bmisp = bmisp
+        self.n = len(instr_col)
+        self.branches = branches
+        self.mispredictions = mispredictions
+        self.final_state = final_state
+
+
+class RenamePlan:
+    """The SoA engine's static columns, precomputed over a fetch trace."""
+
+    __slots__ = (
+        "kind", "prb", "lrb", "ltc", "isload",
+        "trbm", "trbp", "trbf", "ttcm", "ttcp", "ttcf",
+        "s0p", "s0t", "s1p", "s1t", "sx", "sdep",
+    )
+
+
+def rename_signature(config) -> tuple:
+    """The config fields that determine an instruction's rename record.
+
+    Everything :func:`~repro.core.engine._static_entry` reads comes from
+    the machine's :class:`~repro.backend.bypass.BypassModel` and latency
+    model, which :class:`~repro.core.machine.Machine` builds from exactly
+    these four fields — width never enters, so 4w/8w variants share.
+    """
+    return (
+        config.adder_style, config.bypass_style,
+        config.removed_levels, config.conversion_cycles,
+    )
+
+
+def _probe_fetch(program, fetch_width, max_blocks, memory_config,
+                 max_cycles) -> FetchTrace:
+    """Run a probe fetch unit over the whole program, recording bundles.
+
+    The probe's memory hierarchy is a throwaway — I-cache misses only
+    delay the probe's private clock, never the bundle *contents* — but
+    the predictors are the real ones, trained in stream order exactly as
+    every per-config run would train them.
+    """
+    from repro.core.machine import SimulationError
+    from repro.frontend.fetch import FetchUnit
+
+    state = ArchState(program)
+    fetch = FetchUnit(
+        program, state, MemoryHierarchy(memory_config),
+        fetch_width=fetch_width, max_blocks_per_cycle=max_blocks,
+    )
+    instr_col: list = []
+    mem_col: list = []
+    bstart: list[int] = []
+    bpc: list[int] = []
+    bmisp: list[bool] = []
+    cycle = 0
+    while not fetch.halted:
+        start = len(instr_col)
+        pc = state.pc
+        n, misp = fetch.fetch_into(cycle, instr_col, mem_col)
+        if n:
+            bstart.append(start)
+            bpc.append(pc)
+            bmisp.append(misp)
+            if misp:
+                fetch.resolve_branch(cycle + 1)
+        cycle += 1
+        if cycle > max_cycles:
+            raise SimulationError(
+                f"batch probe on {program.name}: exceeded {max_cycles} "
+                f"cycles without reaching HALT"
+            )
+    n_total = len(instr_col)
+    bstart.append(n_total)  # sentinel
+    misp_col = [False] * n_total
+    for i, flag in enumerate(bmisp):
+        if flag:
+            misp_col[bstart[i + 1] - 1] = True
+    return FetchTrace(
+        instr_col, mem_col, misp_col, bstart, bpc, bmisp,
+        fetch.branches, fetch.mispredictions, state,
+    )
+
+
+def _build_rename_plan(machine, trace: FetchTrace) -> RenamePlan:
+    """The solo engine's inline rename, run once over the whole stream.
+
+    Dispatch (and therefore rename) is strictly sequential in seq order
+    on every config, so ``last_writer`` / ``reg_is_rb`` / ``last_store``
+    evolve identically regardless of timing — the renamed source pairs
+    and store-ordering dependences are stream facts.
+    """
+    from repro.core.engine import _K_LOAD, _K_STORE, _static_entry
+
+    memo = machine._soa_memo
+    n = trace.n
+    plan = RenamePlan()
+    kind_col = [0] * n
+    prb_col = [False] * n
+    lrb_col = [0] * n
+    ltc_col = [0] * n
+    isload_col = [False] * n
+    trbm = [0] * n
+    trbp = [0] * n
+    trbf = [0] * n
+    ttcm = [0] * n
+    ttcp = [0] * n
+    ttcf = [0] * n
+    # Renamed sources, flattened to scalar columns: almost every
+    # instruction has at most two register sources, so the hot loops
+    # unroll over (s0, s1) instead of iterating a per-instruction list
+    # of pairs.  -1 means "no source" (absent, or the producer predates
+    # the window).  Conditional moves read three registers (condition,
+    # value, old destination); the overflow pairs land in the sparse
+    # ``sx`` column, which stays None on the fast path.
+    s0p_col = [-1] * n
+    s0t_col = [False] * n
+    s1p_col = [-1] * n
+    s1t_col = [False] * n
+    sx_col: list = [None] * n
+    sdep_col = [-1] * n
+    last_writer = [-1] * NUM_REGS
+    reg_is_rb = [False] * NUM_REGS
+    last_store: dict[int, int] = {}
+    mem_col = trace.mem_col
+    for e, instr in enumerate(trace.instr_col):
+        entry = memo.get(id(instr))
+        if entry is None:
+            entry = _static_entry(machine, instr)
+            memo[id(instr)] = entry
+        _, kind, _, move_reg, variants = entry
+        if move_reg >= 0:
+            variant = variants[1] if reg_is_rb[move_reg] else variants[0]
+        else:
+            variant = variants
+        (
+            produces_rb, lat_rb, lat_tc,
+            rbm, rbp, rbf, tcm, tcp, tcf,
+            src_pairs, dest,
+        ) = variant
+        kind_col[e] = kind
+        prb_col[e] = produces_rb
+        lrb_col[e] = lat_rb
+        ltc_col[e] = lat_tc
+        isload_col[e] = kind == _K_LOAD
+        trbm[e] = rbm
+        trbp[e] = rbp
+        trbf[e] = rbf
+        ttcm[e] = tcm
+        ttcp[e] = tcp
+        ttcf[e] = tcf
+        if src_pairs:
+            slot = 0
+            for reg, wants_tc in src_pairs:
+                producer = last_writer[reg]
+                if producer >= 0:
+                    if slot == 0:
+                        s0p_col[e] = producer
+                        s0t_col[e] = wants_tc
+                    elif slot == 1:
+                        s1p_col[e] = producer
+                        s1t_col[e] = wants_tc
+                    elif sx_col[e] is None:
+                        sx_col[e] = [(producer, wants_tc)]
+                    else:
+                        sx_col[e].append((producer, wants_tc))
+                    slot += 1
+        address = mem_col[e]
+        if kind == _K_LOAD:
+            if address is not None:
+                sdep_col[e] = last_store.get(address >> 3, -1)
+        elif kind == _K_STORE and address is not None:
+            last_store[address >> 3] = e
+        if dest >= 0:
+            last_writer[dest] = e
+            reg_is_rb[dest] = produces_rb
+    plan.kind = kind_col
+    plan.prb = prb_col
+    plan.lrb = lrb_col
+    plan.ltc = ltc_col
+    plan.isload = isload_col
+    plan.trbm = trbm
+    plan.trbp = trbp
+    plan.trbf = trbf
+    plan.ttcm = ttcm
+    plan.ttcp = ttcp
+    plan.ttcf = ttcf
+    plan.s0p = s0p_col
+    plan.s0t = s0t_col
+    plan.s1p = s1p_col
+    plan.s1t = s1t_col
+    plan.sx = sx_col
+    plan.sdep = sdep_col
+    return plan
+
+
+def _steer_columns(ns: int, cluster_of: list[int], n: int) -> tuple[list[int], list[int]]:
+    """Round-robin steering targets (groups of two) for every seq."""
+    sched_col = [0] * n
+    clus_col = [0] * n
+    for e in range(n):
+        s = (e >> 1) % ns
+        sched_col[e] = s
+        clus_col[e] = cluster_of[s]
+    return sched_col, clus_col
+
+
+def batchable(config) -> bool:
+    """Can the SoA batch engine simulate this config exactly?
+
+    Dependence steering consults live scheduler occupancy at dispatch,
+    which cannot be precomputed; everything else the engine models is
+    replayable from the shared trace.
+    """
+    return config.steering_policy == "round_robin"
+
+
+def run_soa_batch(
+    machines,
+    program,
+    max_cycles: int = 20_000_000,
+    progress_window: int = 100_000,
+    cycle_skip=True,
+    timeline: bool = True,
+    timeline_stride: int = DEFAULT_STRIDE,
+    timeline_sinks=None,
+):
+    """Simulate ``program`` on every machine in one process, sharing work.
+
+    Returns one :class:`~repro.core.statistics.SimStats` per machine, in
+    order, each bit-identical to the machine's solo
+    :func:`~repro.core.engine.run_soa` run (statistics *and* timeline
+    rows) — ``repro check``'s ``differential:batch`` section audits that.
+
+    ``cycle_skip`` is a bool applied to every config or a per-machine
+    sequence; ``timeline_sinks`` an optional per-machine sequence of
+    row observers.  Machines whose config the batch engine cannot share
+    (see :func:`batchable`) transparently fall back to solo ``run_soa``.
+
+    Each returned stats object carries a ``batch_seconds`` attribute —
+    this config's wall time including its amortized share of the shared
+    probe/plan construction (diagnostic only, not serialized).
+    """
+    from repro.core.engine import run_soa
+
+    machines = list(machines)
+    count = len(machines)
+    if isinstance(cycle_skip, (bool, int)):
+        skips = [bool(cycle_skip)] * count
+    else:
+        skips = [bool(v) for v in cycle_skip]
+        if len(skips) != count:
+            raise ValueError(
+                f"cycle_skip sequence has {len(skips)} entries "
+                f"for {count} machines"
+            )
+    if timeline_sinks is None:
+        sinks = [None] * count
+    else:
+        sinks = list(timeline_sinks)
+        if len(sinks) != count:
+            raise ValueError(
+                f"timeline_sinks has {len(sinks)} entries for {count} machines"
+            )
+    results: list = [None] * count
+
+    shared = program.__dict__.setdefault(_CACHE_ATTR, {})
+    prep_started = time.perf_counter()
+    batch_indices: list[int] = []
+    traces: dict[int, FetchTrace] = {}
+    plans: dict[int, RenamePlan] = {}
+    steers: dict[int, tuple[list[int], list[int]]] = {}
+    for index, machine in enumerate(machines):
+        config = machine.config
+        if not batchable(config):
+            continue
+        batch_indices.append(index)
+        fetch_key = ("trace", config.fetch_width, config.max_blocks_per_cycle)
+        trace = shared.get(fetch_key)
+        if trace is None:
+            trace = _probe_fetch(
+                program, config.fetch_width, config.max_blocks_per_cycle,
+                config.memory, max_cycles,
+            )
+            shared[fetch_key] = trace
+        traces[index] = trace
+        plan_key = ("plan",) + rename_signature(config)
+        plan = shared.get(plan_key)
+        if plan is None:
+            plan = _build_rename_plan(machine, trace)
+            shared[plan_key] = plan
+        plans[index] = plan
+        ns = config.num_schedulers
+        clusters = tuple(config.cluster_of_scheduler(i) for i in range(ns))
+        steer_key = ("steer", ns, clusters)
+        steer = shared.get(steer_key)
+        if steer is None or len(steer[0]) < trace.n:
+            steer = _steer_columns(ns, list(clusters), trace.n)
+            shared[steer_key] = steer
+        steers[index] = steer
+    prep_each = (
+        (time.perf_counter() - prep_started) / len(batch_indices)
+        if batch_indices else 0.0
+    )
+
+    for index, machine in enumerate(machines):
+        started = time.perf_counter()
+        if index in traces:
+            stats = _run_config(
+                machine, program, traces[index], plans[index], steers[index],
+                max_cycles, progress_window, skips[index],
+                timeline, timeline_stride, sinks[index],
+            )
+            stats.batch_seconds = (
+                time.perf_counter() - started + prep_each
+            )
+        else:
+            log.debug(
+                "run_soa_batch: %s is not batchable (steering=%s); "
+                "running solo", machine.config.name,
+                machine.config.steering_policy,
+            )
+            stats = run_soa(
+                machine, program,
+                max_cycles=max_cycles, progress_window=progress_window,
+                cycle_skip=skips[index], timeline=timeline,
+                timeline_stride=timeline_stride, timeline_sink=sinks[index],
+            )
+            stats.batch_seconds = time.perf_counter() - started
+        results[index] = stats
+    return results
+
+
+def _run_config(
+    machine,
+    program,
+    trace: FetchTrace,
+    plan: RenamePlan,
+    steer,
+    max_cycles: int,
+    progress_window: int,
+    cycle_skip: bool,
+    timeline: bool,
+    timeline_stride: int,
+    timeline_sink,
+):
+    """One config's cycle loop over the shared trace and plan.
+
+    This is :func:`~repro.core.engine.run_soa` with the fetch stage
+    replaced by the bundle replay and the rename stage collapsed to
+    dispatch bookkeeping; every other stage — the merged select sweeps,
+    wakeup evaluation, issue, stall attribution, occupancy and interval
+    sampling, cycle skipping — is kept line-for-line so the two paths
+    stay bit-identical.
+    """
+    from repro.core.engine import (
+        _NEVER,
+        _K_BRANCH,
+        _K_LOAD,
+        _K_SIMPLE,
+        _K_STORE,
+        _QueueView,
+        _RobView,
+        _SchedView,
+    )
+    from repro.core.machine import SELECT_TO_EXEC, SimulationError
+    from repro.core.statistics import (
+        OCCUPANCY_STRIDE,
+        BypassCase,
+        BypassLevelUse,
+        SimStats,
+    )
+    from repro.obs.explain import StallCause
+
+    config = machine.config
+    stats = SimStats(machine=config.name, workload=program.name)
+    log.debug("running %s on %s (soa batch)", config.name, program.name)
+
+    machine.last_state = trace.final_state
+    hierarchy = MemoryHierarchy(config.memory)
+
+    ns = config.num_schedulers
+    metrics = stats.metrics
+    sel_counters = []
+    full_counters = []
+    cont_counters = []
+    for i in range(ns):
+        # Same names, creation order, and zero-touch as Scheduler.__init__.
+        selected = metrics.counter(f"scheduler.sched{i}.selected")
+        full = metrics.counter(f"scheduler.sched{i}.full_stall_cycles")
+        contended = metrics.counter(f"scheduler.sched{i}.contended_cycles")
+        selected.value = 0
+        full.value = 0
+        contended.value = 0
+        sel_counters.append(selected)
+        full_counters.append(full)
+        cont_counters.append(contended)
+    # Hot-loop shadows: counter objects cost an attribute store per
+    # update, so the loop accumulates into plain ints and the flush
+    # points (every sampler capture, end of run) publish them.
+    sel_loc = [0] * ns
+    full_loc = [0] * ns
+    cont_loc = [0] * ns
+    instr_done = 0
+
+    occupancy_series = metrics.timeseries(
+        "scheduler.occupancy", stride=OCCUPANCY_STRIDE
+    )
+
+    # -- columns -----------------------------------------------------------
+    # Shared read-only (trace/plan/steering) and per-config, preallocated
+    # to the full stream length (solo grows them bundle by bundle; here
+    # the length is known up front).
+    n = trace.n
+    mem_col = trace.mem_col
+    misp_col = trace.misp_col
+    bstart = trace.bstart
+    bpc = trace.bpc
+    bmisp = trace.bmisp
+    last_bundle = len(bpc) - 1
+    kind_col = plan.kind
+    prb_col = plan.prb
+    isload_col = plan.isload
+    s0p_col = plan.s0p
+    s0t_col = plan.s0t
+    s1p_col = plan.s1p
+    s1t_col = plan.s1t
+    sx_col = plan.sx
+    sdep_col = plan.sdep
+    sched_col, clus_col = steer
+    # Loads overwrite their latency/template entries at issue.
+    lrb_col = plan.lrb.copy()
+    ltc_col = plan.ltc.copy()
+    trbm_col = plan.trbm.copy()
+    trbp_col = plan.trbp.copy()
+    trbf_col = plan.trbf.copy()
+    ttcm_col = plan.ttcm.copy()
+    ttcp_col = plan.ttcp.copy()
+    ttcf_col = plan.ttcf.copy()
+    sel_col = [-1] * n
+    comp_col = [-1] * n
+    cause_col: list = [None] * n
+    wait_col = [-1] * n
+    wstore_col = [False] * n
+    ntry_col = [0] * n
+    haswait_col = [False] * n
+
+    #: waiters per producer seq: consumers in inherit mode on that seq.
+    cons: dict[int, list[int]] = {}
+
+    act: list[list[int]] = [[] for _ in range(ns)]
+    wtr: list[list[int]] = [[] for _ in range(ns)]
+    finite_min = [0] * ns
+    dirty_cur: list[list[int]] = [[] for _ in range(ns)]
+    dirty_nxt: list[list[int]] = [[] for _ in range(ns)]
+    any_dirty_nxt = False
+    cur_s = -1
+
+    rob_head = 0
+    rob_tail = 0
+    fq_head = 0
+    seq_count = 0
+    occ_total = 0
+
+    rob_size = config.rob_size
+    sched_capacity = config.scheduler_capacity
+    select_width = 2
+    rename_width = config.rename_width
+    retire_width = config.retire_width
+    frontend_depth = config.frontend_depth
+    rename_latency = config.rename_latency
+    fetch_queue_capacity = config.fetch_queue_capacity
+    cluster_delay = config.cluster_delay
+    from repro.isa.opcodes import LatencyClass
+
+    branch_latency = machine.latency.exec_latency(LatencyClass.BRANCH)
+    load_flats = machine._soa_load_flats
+
+    # -- L1 fast paths -----------------------------------------------------
+    # lookup()/fill() inlined for the two per-access L1s (sets, LRU
+    # reorder, hit/miss counts); misses still go through _l2_ready so
+    # bank scheduling and L2 state evolve exactly as the method calls
+    # would.  Hit/miss tallies live in locals and are folded back into
+    # the Cache objects at the end of the run.
+    dcache = hierarchy.dcache
+    d_sets = dcache._sets
+    d_mask = dcache._set_mask
+    d_shift = dcache._line_shift
+    d_assoc = dcache.config.associativity
+    d_lat = hierarchy.config.dcache.hit_latency
+    icache = hierarchy.icache
+    i_sets = icache._sets
+    i_mask = icache._set_mask
+    i_shift = icache._line_shift
+    i_assoc = icache.config.associativity
+    l2_ready = hierarchy._l2_ready
+    d_hits = 0
+    d_misses = 0
+    i_hits = 0
+    i_misses = 0
+
+    # -- replay-fetch state (mirrors FetchUnit's early-out machinery) -----
+    icache_hit_latency = hierarchy.config.icache.hit_latency
+    bidx = 0                  # next bundle to deliver
+    bfetchc: list[int] = []   # fetch cycle per delivered bundle
+    db = 0                    # bundle containing fq_head (dispatch cursor)
+    db_end = 0                # bstart[db + 1], hoisted
+    db_ready = 0              # bfetchc[db] + frontend_depth, hoisted
+    fetch_halted = False
+    fetch_misp_stalled = False
+    fetch_resume = None       # _resume_cycle
+    icache_pc = None          # _icache_ready_pc
+    icache_ready = 0          # _icache_ready_cycle
+    fetch_stalls = 0          # fetch_stall_cycles
+
+    _LOAD = StallCause.LOAD_LATENCY
+    _ADDER = StallCause.ADDER_PIPELINE
+    _BASE = StallCause.BASE
+    _FRONTEND = StallCause.FRONTEND_EMPTY
+    _RETIRE = StallCause.RETIRE_BOUND
+    _WINDOW = StallCause.WINDOW_FULL
+    _HOLE = StallCause.BYPASS_HOLE
+    _CONV = StallCause.CONVERSION_LATENCY
+    _RB_RB = BypassCase.RB_TO_RB
+    _RB_TC = BypassCase.RB_TO_TC
+    _TC_RB = BypassCase.TC_TO_RB
+    _TC_TC = BypassCase.TC_TO_TC
+    _LVL_NONE = BypassLevelUse.NONE
+    _LVL_FIRST = BypassLevelUse.FIRST_LEVEL
+    _LVL_OTHER = BypassLevelUse.OTHER_LEVEL
+
+    stall_record = stats.stall_causes.record
+    stall_keys: list = []
+    stall_vals: list[int] = []
+    # Occupancy is recorded as constant-value runs instead of per-cycle
+    # accumulation: TimeSeries.record_run is state-identical to one
+    # record() per cycle (including mid-run decimation), so buffering
+    # [occ_run_start, cycle) while the sampled value is unchanged costs
+    # one compare per cycle instead of two adds and a boundary check.
+    occ_record_run = occupancy_series.record_run
+    occ_max = occupancy_series.max_samples
+    occ_run_start = 0
+    occ_run_value = 0
+    occ_boundary = 0  # next sample point (smallest unsampled stride multiple)
+    occ_count = 0     # flushed-run cycles not yet pushed to the series
+    occ_sum = 0
+    level_histogram = None
+
+    hist_buf: dict[int, int] = {}
+    cases_buf: dict[int, int] = {}
+    levels_buf: dict[int, int] = {}
+    hist_get = hist_buf.get
+    cases_get = cases_buf.get
+    levels_get = levels_buf.get
+    case_keys = (_RB_RB, _RB_TC, _TC_RB, _TC_TC)
+    level_keys = (_LVL_NONE, _LVL_FIRST, _LVL_OTHER)
+    bypassed_n = 0
+    cross_n = 0
+    withbyp_n = 0
+
+    def _flush_bypass() -> None:
+        nonlocal bypassed_n, cross_n, withbyp_n
+        if stats.instructions != instr_done:
+            stats.instructions = instr_done
+        if stall_keys:
+            for k, v in zip(stall_keys, stall_vals):
+                stall_record(k, v)
+            del stall_keys[:]
+            del stall_vals[:]
+        if bypassed_n:
+            stats.bypassed_sources += bypassed_n
+            bypassed_n = 0
+        if cross_n:
+            stats.cross_cluster_bypasses += cross_n
+            cross_n = 0
+        if withbyp_n:
+            stats.instructions_with_bypass += withbyp_n
+            withbyp_n = 0
+        if hist_buf:
+            record = level_histogram.record
+            for value, count in hist_buf.items():
+                record(value, count)
+            hist_buf.clear()
+        if cases_buf:
+            record = stats.bypass_cases.record
+            for index, count in cases_buf.items():
+                record(case_keys[index], count)
+            cases_buf.clear()
+        if levels_buf:
+            record = stats.bypass_levels.record
+            for index, count in levels_buf.items():
+                record(level_keys[index], count)
+            levels_buf.clear()
+
+    # -- sampler views -----------------------------------------------------
+    sampler: IntervalSampler | None = None
+    sampler_next = _NEVER
+    rob_view = _RobView()
+    fq_view = _QueueView()
+    sched_views = [_SchedView() for _ in range(ns)]
+    if timeline:
+        sampler = IntervalSampler(
+            stats, rob_view, fq_view, sched_views,
+            stride=timeline_stride, on_row=timeline_sink,
+        )
+        sampler_next = sampler.next_capture
+
+    def _sync_views() -> None:
+        rob_view.occupancy = rob_tail - rob_head
+        fq_view.count = seq_count - fq_head
+        for i in range(ns):
+            view = sched_views[i]
+            view.occupancy = len(act[i]) + len(wtr[i])
+            view.contended_cycles = cont_loc[i]
+
+    cycle = 0
+    last_progress_cycle = 0
+    # The no-progress and cycle-budget checks share one compare per
+    # cycle; the raise path re-derives which limit was crossed.
+    deadline = progress_window if progress_window < max_cycles else max_cycles
+    machine.skipped_cycles = 0
+    skipped_cycles = 0
+    pending_cause = None
+    pending_count = 0
+
+    def _mark_waiters(
+        e: int,
+        cons=cons, wait_col=wait_col, wstore_col=wstore_col,
+        sched_col=sched_col, dirty_cur=dirty_cur, dirty_nxt=dirty_nxt,
+        insort=insort,
+    ) -> None:
+        nonlocal any_dirty_nxt
+        for f in cons[e]:
+            if wait_col[f] == e and not wstore_col[f]:
+                sf = sched_col[f]
+                if sf > cur_s:
+                    dirty_cur[sf].append(f)
+                elif sf == cur_s:
+                    insort(dirty_cur[sf], f)
+                else:
+                    dirty_nxt[sf].append(f)
+                    any_dirty_nxt = True
+
+    def _classify(
+        hseq: int, fseq: int, at: int, blocked: bool,
+        cause_col=cause_col, comp_col=comp_col, sel_col=sel_col,
+        isload_col=isload_col, prb_col=prb_col, ltc_col=ltc_col,
+        lrb_col=lrb_col, SELECT_TO_EXEC=SELECT_TO_EXEC,
+        _FRONTEND=_FRONTEND, _RETIRE=_RETIRE, _WINDOW=_WINDOW,
+        _LOAD=_LOAD, _CONV=_CONV, _ADDER=_ADDER,
+    ):
+        if hseq < 0:
+            return _FRONTEND
+        if fseq >= 0:
+            frontier_cause = cause_col[fseq]
+            if frontier_cause is not None:
+                return frontier_cause
+        head_complete = comp_col[hseq]
+        if 0 <= head_complete <= at:
+            return _RETIRE
+        if blocked:
+            return _WINDOW
+        if fseq >= 0:
+            return _FRONTEND
+        head_select = sel_col[hseq]
+        if head_select < 0:
+            return _FRONTEND
+        if isload_col[hseq]:
+            return _LOAD
+        if (
+            prb_col[hseq]
+            and ltc_col[hseq] > lrb_col[hseq]
+            and at >= head_select + SELECT_TO_EXEC + lrb_col[hseq]
+        ):
+            return _CONV
+        return _ADDER
+
+    fr_ptr = 0
+
+    def _frontier_seq() -> int:
+        nonlocal fr_ptr
+        p = fr_ptr
+        fq = fq_head
+        while p < fq and sel_col[p] >= 0:
+            p += 1
+        fr_ptr = p
+        return p if p < fq else -1
+
+    def _replay_stall_range(
+        hseq: int, fseq: int, start: int, stop: int, blocked: bool
+    ) -> None:
+        marks = {start, stop}
+        if hseq >= 0:
+            complete = comp_col[hseq]
+            if complete >= 0 and start < complete < stop:
+                marks.add(complete)
+            select = sel_col[hseq]
+            if select >= 0:
+                conversion_edge = select + SELECT_TO_EXEC + lrb_col[hseq]
+                if start < conversion_edge < stop:
+                    marks.add(conversion_edge)
+        points = sorted(marks)
+        for segment_start, segment_stop in zip(points, points[1:]):
+            cause = _classify(hseq, fseq, segment_start, blocked)
+            if sampler is None:
+                stall_record(cause, segment_stop - segment_start)
+                continue
+            position = segment_start
+            while position < segment_stop:
+                boundary = sampler.next_capture
+                if position <= boundary < segment_stop:
+                    stall_record(cause, boundary + 1 - position)
+                    sampler.capture(boundary)
+                    position = boundary + 1
+                else:
+                    stall_record(cause, segment_stop - position)
+                    position = segment_stop
+
+    def no_progress_error() -> "SimulationError":
+        return SimulationError(
+            f"{config.name} on {program.name}: no retirement progress for "
+            f"{progress_window} cycles at cycle {cycle} "
+            f"(ROB {rob_tail - rob_head}, schedulers "
+            f"{[len(act[i]) + len(wtr[i]) for i in range(ns)]})"
+        )
+
+    def budget_error() -> "SimulationError":
+        return SimulationError(
+            f"{config.name} on {program.name}: exceeded {max_cycles} cycles"
+        )
+
+    # ---------------------------------------------------------------------
+    # The cycle loop (stage order mirrors run_soa exactly).
+    # ---------------------------------------------------------------------
+    while True:
+        # ---- retire ------------------------------------------------------
+        retired = 0
+        while retired < retire_width and rob_head < rob_tail:
+            complete = comp_col[rob_head]
+            if complete < 0 or complete >= cycle:
+                break
+            rob_head += 1
+            retired += 1
+        if retired:
+            instr_done += retired
+            last_progress_cycle = cycle
+            deadline = cycle + progress_window
+            if deadline > max_cycles:
+                deadline = max_cycles
+
+        # ---- select + issue (merged sweep per scheduler) -----------------
+        selected_any = False
+        for s in range(ns):
+            acts = act[s]
+            wtrs = wtr[s]
+            pend = dirty_cur[s]
+            if not acts and not wtrs:
+                if pend:
+                    del pend[:]
+                continue
+            if finite_min[s] > cycle and not pend:
+                continue
+            if pend:
+                pend.sort()
+            cur_s = s
+            grants = None
+            grant_indices = None
+            wait_seqs = None
+            wait_indices = None
+            newmin = _NEVER
+            exhausted = False
+            na = len(acts)
+            ai = 0
+            pi = 0
+            while True:
+                if pend and pi < len(pend) and (ai >= na or pend[pi] < acts[ai]):
+                    e = pend[pi]
+                    pi += 1
+                    producer = wait_col[e]
+                    if producer >= 0 and not wstore_col[e]:
+                        inherited = cause_col[producer]
+                        if inherited is None:
+                            inherited = _LOAD if isload_col[producer] else _ADDER
+                        if cause_col[e] is not inherited:
+                            cause_col[e] = inherited
+                            if haswait_col[e]:
+                                _mark_waiters(e)
+                    continue
+                if ai >= na:
+                    break
+                e = acts[ai]
+                ai += 1
+                verdict = ntry_col[e]
+                if verdict > cycle:
+                    if not exhausted and verdict < newmin:
+                        newmin = verdict
+                    continue
+                # ---- _eval inlined: wakeup evaluation of e at `cycle`.
+                # Identical to the solo engine's _eval closure; inlined
+                # because the ~2.5 evaluations per issued instruction make
+                # the call overhead itself a measurable cost.
+                worst = cycle
+                wcause = None
+                waiting = False
+                cluster = clus_col[e]
+                # The two renamed sources are unrolled (the plan packs at
+                # most s0 and s1); each body is the solo engine's per-
+                # source evaluation verbatim, with `waiting` standing in
+                # for the loop's early `break`.
+                pseq = s0p_col[e]
+                if pseq >= 0:
+                    psel = sel_col[pseq]
+                    if psel < 0:
+                        inherited = cause_col[pseq]
+                        if inherited is None:
+                            inherited = _LOAD if isload_col[pseq] else _ADDER
+                        if cause_col[e] is not inherited:
+                            cause_col[e] = inherited
+                            if haswait_col[e]:
+                                _mark_waiters(e)
+                        wait_col[e] = pseq
+                        wstore_col[e] = False
+                        ntry_col[e] = _NEVER
+                        lst = cons.get(pseq)
+                        if lst is None:
+                            cons[pseq] = [e]
+                            haswait_col[pseq] = True
+                        else:
+                            lst.append(e)
+                        waiting = True
+                    else:
+                        wants_tc = s0t_col[e]
+                        adjust = (
+                            cluster_delay if clus_col[pseq] != cluster else 0
+                        )
+                        offset = cycle - psel - adjust
+                        if wants_tc:
+                            permanent = ttcp_col[pseq]
+                            mask = ttcm_col[pseq]
+                        else:
+                            permanent = trbp_col[pseq]
+                            mask = trbm_col[pseq]
+                        if offset < permanent and not (
+                            offset >= 0 and (mask >> offset) & 1
+                        ):
+                            start = offset + 1 if offset >= 0 else 1
+                            if start >= permanent:
+                                next_offset = start
+                            else:
+                                rest = mask >> start
+                                if rest:
+                                    next_offset = start + (
+                                        (rest & -rest).bit_length() - 1
+                                    )
+                                else:
+                                    next_offset = permanent
+                            candidate = psel + adjust + next_offset
+                            if candidate > worst:
+                                worst = candidate
+                                blocked = next_offset - 1
+                                computed_at = (
+                                    ltc_col[pseq] if wants_tc
+                                    else lrb_col[pseq]
+                                )
+                                if blocked >= computed_at:
+                                    wcause = _HOLE
+                                elif isload_col[pseq]:
+                                    wcause = _LOAD
+                                elif (
+                                    wants_tc
+                                    and prb_col[pseq]
+                                    and blocked >= lrb_col[pseq]
+                                ):
+                                    wcause = _CONV
+                                else:
+                                    wcause = _ADDER
+                if not waiting:
+                    pseq = s1p_col[e]
+                    if pseq >= 0:
+                        psel = sel_col[pseq]
+                        if psel < 0:
+                            inherited = cause_col[pseq]
+                            if inherited is None:
+                                inherited = (
+                                    _LOAD if isload_col[pseq] else _ADDER
+                                )
+                            if cause_col[e] is not inherited:
+                                cause_col[e] = inherited
+                                if haswait_col[e]:
+                                    _mark_waiters(e)
+                            wait_col[e] = pseq
+                            wstore_col[e] = False
+                            ntry_col[e] = _NEVER
+                            lst = cons.get(pseq)
+                            if lst is None:
+                                cons[pseq] = [e]
+                                haswait_col[pseq] = True
+                            else:
+                                lst.append(e)
+                            waiting = True
+                        else:
+                            wants_tc = s1t_col[e]
+                            adjust = (
+                                cluster_delay if clus_col[pseq] != cluster
+                                else 0
+                            )
+                            offset = cycle - psel - adjust
+                            if wants_tc:
+                                permanent = ttcp_col[pseq]
+                                mask = ttcm_col[pseq]
+                            else:
+                                permanent = trbp_col[pseq]
+                                mask = trbm_col[pseq]
+                            if offset < permanent and not (
+                                offset >= 0 and (mask >> offset) & 1
+                            ):
+                                start = offset + 1 if offset >= 0 else 1
+                                if start >= permanent:
+                                    next_offset = start
+                                else:
+                                    rest = mask >> start
+                                    if rest:
+                                        next_offset = start + (
+                                            (rest & -rest).bit_length() - 1
+                                        )
+                                    else:
+                                        next_offset = permanent
+                                candidate = psel + adjust + next_offset
+                                if candidate > worst:
+                                    worst = candidate
+                                    blocked = next_offset - 1
+                                    computed_at = (
+                                        ltc_col[pseq] if wants_tc
+                                        else lrb_col[pseq]
+                                    )
+                                    if blocked >= computed_at:
+                                        wcause = _HOLE
+                                    elif isload_col[pseq]:
+                                        wcause = _LOAD
+                                    elif (
+                                        wants_tc
+                                        and prb_col[pseq]
+                                        and blocked >= lrb_col[pseq]
+                                    ):
+                                        wcause = _CONV
+                                    else:
+                                        wcause = _ADDER
+                if not waiting and sx_col[e] is not None:
+                    # Overflow sources beyond the unrolled pair (CMOVs
+                    # read three registers): the same body as s1's, with
+                    # the solo engine's early break restored as a real
+                    # break.
+                    for pseq, wants_tc in sx_col[e]:
+                        psel = sel_col[pseq]
+                        if psel < 0:
+                            inherited = cause_col[pseq]
+                            if inherited is None:
+                                inherited = (
+                                    _LOAD if isload_col[pseq] else _ADDER
+                                )
+                            if cause_col[e] is not inherited:
+                                cause_col[e] = inherited
+                                if haswait_col[e]:
+                                    _mark_waiters(e)
+                            wait_col[e] = pseq
+                            wstore_col[e] = False
+                            ntry_col[e] = _NEVER
+                            lst = cons.get(pseq)
+                            if lst is None:
+                                cons[pseq] = [e]
+                                haswait_col[pseq] = True
+                            else:
+                                lst.append(e)
+                            waiting = True
+                            break
+                        adjust = (
+                            cluster_delay if clus_col[pseq] != cluster
+                            else 0
+                        )
+                        offset = cycle - psel - adjust
+                        if wants_tc:
+                            permanent = ttcp_col[pseq]
+                            mask = ttcm_col[pseq]
+                        else:
+                            permanent = trbp_col[pseq]
+                            mask = trbm_col[pseq]
+                        if offset < permanent and not (
+                            offset >= 0 and (mask >> offset) & 1
+                        ):
+                            start = offset + 1 if offset >= 0 else 1
+                            if start >= permanent:
+                                next_offset = start
+                            else:
+                                rest = mask >> start
+                                if rest:
+                                    next_offset = start + (
+                                        (rest & -rest).bit_length() - 1
+                                    )
+                                else:
+                                    next_offset = permanent
+                            candidate = psel + adjust + next_offset
+                            if candidate > worst:
+                                worst = candidate
+                                blocked = next_offset - 1
+                                computed_at = (
+                                    ltc_col[pseq] if wants_tc
+                                    else lrb_col[pseq]
+                                )
+                                if blocked >= computed_at:
+                                    wcause = _HOLE
+                                elif isload_col[pseq]:
+                                    wcause = _LOAD
+                                elif (
+                                    wants_tc
+                                    and prb_col[pseq]
+                                    and blocked >= lrb_col[pseq]
+                                ):
+                                    wcause = _CONV
+                                else:
+                                    wcause = _ADDER
+                if not waiting:
+                    dep = sdep_col[e]
+                    if dep >= 0:
+                        dep_select = sel_col[dep]
+                        if dep_select < 0:
+                            if cause_col[e] is not _LOAD:
+                                cause_col[e] = _LOAD
+                                if haswait_col[e]:
+                                    _mark_waiters(e)
+                            wait_col[e] = dep
+                            wstore_col[e] = True
+                            ntry_col[e] = _NEVER
+                            lst = cons.get(dep)
+                            if lst is None:
+                                cons[dep] = [e]
+                                haswait_col[dep] = True
+                            else:
+                                lst.append(e)
+                            waiting = True
+                        elif cycle - dep_select < 1:
+                            candidate = dep_select + 1
+                            if candidate > worst:
+                                worst = candidate
+                                wcause = _LOAD
+                if waiting:
+                    verdict = -1
+                elif worst > cycle:
+                    if cause_col[e] is not wcause:
+                        cause_col[e] = wcause
+                        if haswait_col[e]:
+                            _mark_waiters(e)
+                    verdict = worst
+                else:
+                    if cause_col[e] is not None:
+                        cause_col[e] = None
+                        if haswait_col[e]:
+                            _mark_waiters(e)
+                    verdict = cycle
+                # ---- verdict handling (probe mode after select_width) ----
+                if exhausted:
+                    if verdict == cycle:
+                        cont_loc[s] += 1
+                        break
+                    if verdict >= 0:
+                        ntry_col[e] = verdict
+                    elif wait_seqs is None:
+                        wait_seqs = [e]
+                        wait_indices = [ai - 1]
+                    else:
+                        wait_seqs.append(e)
+                        wait_indices.append(ai - 1)
+                    continue
+                if verdict == cycle:
+                    if grants is None:
+                        grants = [e]
+                        grant_indices = [ai - 1]
+                    else:
+                        grants.append(e)
+                        grant_indices.append(ai - 1)
+                        if len(grants) == select_width:
+                            exhausted = True
+                elif verdict >= 0:
+                    ntry_col[e] = verdict
+                    if verdict < newmin:
+                        newmin = verdict
+                elif wait_seqs is None:
+                    wait_seqs = [e]
+                    wait_indices = [ai - 1]
+                else:
+                    wait_seqs.append(e)
+                    wait_indices.append(ai - 1)
+            if pi < len(pend):
+                dirty_nxt[s].extend(pend[pi:])
+                any_dirty_nxt = True
+            del pend[:]
+            if wait_seqs is not None:
+                if grant_indices is None:
+                    removals = wait_indices
+                else:
+                    removals = sorted(grant_indices + wait_indices)
+                for index in reversed(removals):
+                    del acts[index]
+                for e in wait_seqs:
+                    insort(wtrs, e)
+            elif grants is not None:
+                for index in reversed(grant_indices):
+                    del acts[index]
+            if grants is not None:
+                g = len(grants)
+                occ_total -= g
+                sel_loc[s] += g
+                selected_any = True
+                if level_histogram is None:
+                    # Lazily created at the first grant, like the solo
+                    # engine (a program that never issues must not add
+                    # the histogram to the registry).
+                    level_histogram = metrics.histogram(
+                        "bypass.source_level"
+                    )
+                # ---- _issue inlined (one call per retired instruction
+                # otherwise; same body as the solo engine's closure) ----
+                for e in grants:
+                    sel_col[e] = cycle
+                    kind = kind_col[e]
+                    if kind == _K_SIMPLE:
+                        comp_col[e] = cycle + SELECT_TO_EXEC + ltc_col[e]
+                    elif kind == _K_LOAD:
+                        addr = mem_col[e]
+                        line = addr >> d_shift
+                        ways = d_sets[line & d_mask]
+                        try:
+                            ways.remove(line)
+                        except ValueError:
+                            d_misses += 1
+                            ready = l2_ready(
+                                addr, cycle + SELECT_TO_EXEC + 1 + d_lat
+                            )
+                            ways.insert(0, line)
+                            if len(ways) > d_assoc:
+                                ways.pop()
+                        else:
+                            ways.insert(0, line)
+                            d_hits += 1
+                            ready = cycle + SELECT_TO_EXEC + 1 + d_lat
+                        load_latency = ready - (cycle + SELECT_TO_EXEC)
+                        flat = load_flats.get(load_latency)
+                        if flat is None:
+                            flat = machine.bypass.load_template(
+                                load_latency
+                            ).flatten()
+                            load_flats[load_latency] = flat
+                        mask, permanent, first = flat
+                        trbm_col[e] = ttcm_col[e] = mask
+                        trbp_col[e] = ttcp_col[e] = permanent
+                        trbf_col[e] = ttcf_col[e] = first
+                        lrb_col[e] = ltc_col[e] = load_latency
+                        comp_col[e] = cycle + SELECT_TO_EXEC + load_latency
+                    elif kind == _K_STORE:
+                        addr = mem_col[e]
+                        line = addr >> d_shift
+                        ways = d_sets[line & d_mask]
+                        try:
+                            ways.remove(line)
+                        except ValueError:
+                            d_misses += 1
+                            l2_ready(
+                                addr, cycle + SELECT_TO_EXEC + 1 + d_lat
+                            )
+                            ways.insert(0, line)
+                            if len(ways) > d_assoc:
+                                ways.pop()
+                        else:
+                            ways.insert(0, line)
+                            d_hits += 1
+                        lrb_col[e] = ltc_col[e] = 1
+                        comp_col[e] = cycle + SELECT_TO_EXEC + 1
+                    else:  # _K_BRANCH
+                        resolve = cycle + SELECT_TO_EXEC + branch_latency
+                        comp_col[e] = resolve
+                        if misp_col[e]:
+                            # FetchUnit.resolve_branch on the replay state.
+                            fetch_resume = resolve
+                            fetch_misp_stalled = False
+
+                    if haswait_col[e]:
+                        haswait_col[e] = False
+                        for f in cons.pop(e):
+                            if wait_col[f] != e:
+                                continue
+                            wait_col[f] = -1
+                            sf = sched_col[f]
+                            wl = wtr[sf]
+                            del wl[bisect_left(wl, f)]
+                            insort(act[sf], f)
+                            due = cycle if sf > s else cycle + 1
+                            ntry_col[f] = due
+                            if due < finite_min[sf]:
+                                finite_min[sf] = due
+
+                    pseq = s0p_col[e]
+                    if pseq < 0:
+                        levels_buf[0] = levels_get(0, 0) + 1
+                        continue
+                    any_bypassed = False
+                    best_level = _NEVER
+                    last_arrival = -1
+                    last_case = -1
+                    cluster = clus_col[e]
+                    # Source loop unrolled over (s0, s1), like _eval's.
+                    wants_tc = s0t_col[e]
+                    adjust = (
+                        cluster_delay if clus_col[pseq] != cluster else 0
+                    )
+                    psel = sel_col[pseq]
+                    offset = cycle - psel - adjust
+                    producer_rb = prb_col[pseq]
+                    if (
+                        producer_rb
+                        and not wants_tc
+                        and offset < ltc_col[pseq]
+                    ):
+                        exec_latency = lrb_col[pseq]
+                    else:
+                        exec_latency = ltc_col[pseq]
+                    level = offset - exec_latency
+                    bypassed = level < 3  # RF_LEVELS
+                    arrival = psel + adjust + (
+                        ttcf_col[pseq] if wants_tc else trbf_col[pseq]
+                    )
+                    if bypassed:
+                        any_bypassed = True
+                        bypassed_n += 1
+                        value = level + 1  # 1 == BYP-1
+                        hist_buf[value] = hist_get(value, 0) + 1
+                        if adjust:
+                            cross_n += 1
+                        if level < best_level:
+                            best_level = level
+                    if arrival > last_arrival:
+                        last_arrival = arrival
+                        if bypassed:
+                            if producer_rb:
+                                last_case = 1 if wants_tc else 0
+                            else:
+                                last_case = 3 if wants_tc else 2
+                        else:
+                            last_case = -1
+                    pseq = s1p_col[e]
+                    if pseq >= 0:
+                        wants_tc = s1t_col[e]
+                        adjust = (
+                            cluster_delay if clus_col[pseq] != cluster else 0
+                        )
+                        psel = sel_col[pseq]
+                        offset = cycle - psel - adjust
+                        producer_rb = prb_col[pseq]
+                        if (
+                            producer_rb
+                            and not wants_tc
+                            and offset < ltc_col[pseq]
+                        ):
+                            exec_latency = lrb_col[pseq]
+                        else:
+                            exec_latency = ltc_col[pseq]
+                        level = offset - exec_latency
+                        bypassed = level < 3  # RF_LEVELS
+                        arrival = psel + adjust + (
+                            ttcf_col[pseq] if wants_tc else trbf_col[pseq]
+                        )
+                        if bypassed:
+                            any_bypassed = True
+                            bypassed_n += 1
+                            value = level + 1  # 1 == BYP-1
+                            hist_buf[value] = hist_get(value, 0) + 1
+                            if adjust:
+                                cross_n += 1
+                            if level < best_level:
+                                best_level = level
+                        if arrival > last_arrival:
+                            last_arrival = arrival
+                            if bypassed:
+                                if producer_rb:
+                                    last_case = 1 if wants_tc else 0
+                                else:
+                                    last_case = 3 if wants_tc else 2
+                            else:
+                                last_case = -1
+                    if sx_col[e] is not None:
+                        # Overflow sources (CMOVs): same accounting body
+                        # as the unrolled pair.
+                        for pseq, wants_tc in sx_col[e]:
+                            adjust = (
+                                cluster_delay if clus_col[pseq] != cluster
+                                else 0
+                            )
+                            psel = sel_col[pseq]
+                            offset = cycle - psel - adjust
+                            producer_rb = prb_col[pseq]
+                            if (
+                                producer_rb
+                                and not wants_tc
+                                and offset < ltc_col[pseq]
+                            ):
+                                exec_latency = lrb_col[pseq]
+                            else:
+                                exec_latency = ltc_col[pseq]
+                            level = offset - exec_latency
+                            bypassed = level < 3  # RF_LEVELS
+                            arrival = psel + adjust + (
+                                ttcf_col[pseq] if wants_tc
+                                else trbf_col[pseq]
+                            )
+                            if bypassed:
+                                any_bypassed = True
+                                bypassed_n += 1
+                                value = level + 1  # 1 == BYP-1
+                                hist_buf[value] = hist_get(value, 0) + 1
+                                if adjust:
+                                    cross_n += 1
+                                if level < best_level:
+                                    best_level = level
+                            if arrival > last_arrival:
+                                last_arrival = arrival
+                                if bypassed:
+                                    if producer_rb:
+                                        last_case = 1 if wants_tc else 0
+                                    else:
+                                        last_case = 3 if wants_tc else 2
+                                else:
+                                    last_case = -1
+                    if any_bypassed:
+                        withbyp_n += 1
+                        if last_case >= 0:
+                            cases_buf[last_case] = cases_get(last_case, 0) + 1
+                        use = 1 if best_level == 0 else 2
+                    else:
+                        use = 0
+                    levels_buf[use] = levels_get(use, 0) + 1
+            elif acts or wtrs:
+                finite_min[s] = newmin
+
+        # ---- dispatch (rename folded into the plan) ----------------------
+        dispatched = 0
+        dispatch_blocked = False
+        while dispatched < rename_width and fq_head < seq_count:
+            e = fq_head
+            if e >= db_end:
+                while e >= bstart[db + 1]:
+                    db += 1
+                db_end = bstart[db + 1]
+                db_ready = bfetchc[db] + frontend_depth
+            if db_ready > cycle:
+                break
+            if rob_tail - rob_head >= rob_size:
+                dispatch_blocked = True
+                break
+            target = sched_col[e]
+            acts = act[target]
+            if len(acts) + len(wtr[target]) >= sched_capacity:
+                full_loc[target] += 1
+                dispatch_blocked = True
+                break
+            fq_head += 1
+            earliest = cycle + rename_latency
+            if (not acts and not wtr[target]) or earliest < finite_min[target]:
+                finite_min[target] = earliest
+            ntry_col[e] = earliest
+            acts.append(e)
+            occ_total += 1
+            rob_tail += 1
+            dispatched += 1
+
+        # ---- fetch (bundle replay) ---------------------------------------
+        if (
+            not fetch_halted
+            and not fetch_misp_stalled
+            and seq_count - fq_head < fetch_queue_capacity
+        ):
+            # Mirrors FetchUnit.fetch_into's early-out structure; the
+            # bundle contents themselves come from the shared trace.
+            if fetch_resume is not None and cycle < fetch_resume:
+                fetch_stalls += 1
+            else:
+                fetch_resume = None
+                deliver = False
+                pc = bpc[bidx]
+                if icache_pc == pc:
+                    if cycle < icache_ready:
+                        fetch_stalls += 1
+                    else:
+                        icache_pc = None
+                        deliver = True
+                else:
+                    line = pc >> i_shift
+                    ways = i_sets[line & i_mask]
+                    try:
+                        ways.remove(line)
+                    except ValueError:
+                        i_misses += 1
+                        ready = l2_ready(pc, cycle + icache_hit_latency)
+                        ways.insert(0, line)
+                        if len(ways) > i_assoc:
+                            ways.pop()
+                        icache_pc = pc
+                        icache_ready = ready - icache_hit_latency
+                        fetch_stalls += 1
+                    else:
+                        ways.insert(0, line)
+                        i_hits += 1
+                        deliver = True
+                if deliver:
+                    bfetchc.append(cycle)
+                    if bmisp[bidx]:
+                        fetch_misp_stalled = True
+                    elif bidx == last_bundle:
+                        fetch_halted = True
+                    bidx += 1
+                    seq_count = bstart[bidx]
+
+        # ---- occupancy sampling (run-length, inlined) --------------------
+        if occ_total != occ_run_value:
+            span = cycle - occ_run_start
+            if span:
+                occ_count += span
+                occ_sum += occ_run_value * span
+                if occ_boundary < cycle:
+                    samples = occupancy_series.samples
+                    stride = occupancy_series.stride
+                    b = occ_boundary
+                    while b < cycle:
+                        samples.append(occ_run_value)
+                        if len(samples) > occ_max:
+                            samples = occupancy_series.samples = samples[::2]
+                            stride = occupancy_series.stride = stride * 2
+                        b += stride
+                        b -= b % stride
+                    occ_boundary = b
+                occ_run_start = cycle
+            occ_run_value = occ_total
+
+        # ---- stall attribution (_classify inlined) -----------------------
+        if retired:
+            cause = _BASE
+        else:
+            p = fr_ptr
+            while p < fq_head and sel_col[p] >= 0:
+                p += 1
+            fr_ptr = p
+            if rob_head >= rob_tail:
+                cause = _FRONTEND
+            else:
+                cause = cause_col[p] if p < fq_head else None
+                if cause is None:
+                    hseq = rob_head
+                    head_complete = comp_col[hseq]
+                    if 0 <= head_complete <= cycle:
+                        cause = _RETIRE
+                    elif dispatch_blocked:
+                        cause = _WINDOW
+                    elif p < fq_head:
+                        cause = _FRONTEND
+                    else:
+                        head_select = sel_col[hseq]
+                        if head_select < 0:
+                            cause = _FRONTEND
+                        elif isload_col[hseq]:
+                            cause = _LOAD
+                        elif (
+                            prb_col[hseq]
+                            and ltc_col[hseq] > lrb_col[hseq]
+                            and cycle >= head_select + SELECT_TO_EXEC + lrb_col[hseq]
+                        ):
+                            cause = _CONV
+                        else:
+                            cause = _ADDER
+        if cause is pending_cause:
+            pending_count += 1
+        else:
+            if pending_count:
+                try:
+                    ki = stall_keys.index(pending_cause)
+                except ValueError:
+                    stall_keys.append(pending_cause)
+                    stall_vals.append(pending_count)
+                else:
+                    stall_vals[ki] += pending_count
+            pending_cause = cause
+            pending_count = 1
+
+        # ---- interval sampling -------------------------------------------
+        if cycle == sampler_next:
+            try:
+                ki = stall_keys.index(pending_cause)
+            except ValueError:
+                stall_keys.append(pending_cause)
+                stall_vals.append(pending_count)
+            else:
+                stall_vals[ki] += pending_count
+            pending_cause = None
+            pending_count = 0
+            _flush_bypass()
+            _sync_views()
+            sampler.capture(cycle)
+            sampler_next = sampler.next_capture
+
+        # ---- termination -------------------------------------------------
+        if (
+            fetch_halted
+            and fq_head == seq_count
+            and rob_head == rob_tail
+            and occ_total == 0
+        ):
+            if pending_count:
+                try:
+                    ki = stall_keys.index(pending_cause)
+                except ValueError:
+                    stall_keys.append(pending_cause)
+                    stall_vals.append(pending_count)
+                else:
+                    stall_vals[ki] += pending_count
+                pending_count = 0
+            break
+        cycle += 1
+        if any_dirty_nxt:
+            any_dirty_nxt = False
+            for dn, dc in zip(dirty_nxt, dirty_cur):
+                if dn:
+                    dc.extend(dn)
+                    del dn[:]
+        if cycle > deadline:
+            if cycle - last_progress_cycle > progress_window:
+                raise no_progress_error()
+            raise budget_error()
+        if retired or selected_any or dispatched or not cycle_skip:
+            continue
+
+        # ---- cycle skipping (event-driven fast-forward) ------------------
+        wake = _NEVER
+        if rob_head < rob_tail:
+            head_complete = comp_col[rob_head]
+            if head_complete >= 0:
+                wake = head_complete + 1
+        for s in range(ns):
+            if wtr[s]:
+                wake = cycle
+                break
+            if act[s] and finite_min[s] < wake:
+                wake = finite_min[s]
+        if wake <= cycle:
+            continue
+
+        dispatch_wait_blocked = False
+        blocked_full_index = -1
+        if fq_head < seq_count:
+            if fq_head >= db_end:
+                while fq_head >= bstart[db + 1]:
+                    db += 1
+                db_end = bstart[db + 1]
+                db_ready = bfetchc[db] + frontend_depth
+            eligible = db_ready
+            if eligible > cycle:
+                if eligible < wake:
+                    wake = eligible
+            elif rob_tail - rob_head >= rob_size:
+                dispatch_wait_blocked = True
+            else:
+                target = sched_col[e]
+                if len(act[target]) + len(wtr[target]) < sched_capacity:
+                    continue  # dispatch can act this cycle
+                dispatch_wait_blocked = True
+                blocked_full_index = target
+
+        fetch_counts = False
+        if seq_count - fq_head < fetch_queue_capacity:
+            # FetchUnit.next_event_cycle on the replay state.
+            if fetch_halted or fetch_misp_stalled:
+                fetch_wake = None
+            elif fetch_resume is not None and cycle < fetch_resume:
+                fetch_wake = fetch_resume
+                fetch_counts = True
+            elif icache_pc == bpc[bidx] and cycle < icache_ready:
+                fetch_wake = icache_ready
+                fetch_counts = True
+            else:
+                fetch_wake = cycle
+            if fetch_wake is not None:
+                if fetch_wake <= cycle:
+                    continue  # fetch can act this cycle
+                if fetch_wake < wake:
+                    wake = fetch_wake
+
+        if wake <= cycle:
+            continue
+        stop = min(wake, last_progress_cycle + progress_window + 1, max_cycles + 1)
+        span = stop - cycle
+
+        if blocked_full_index >= 0:
+            full_loc[blocked_full_index] += span
+        if fetch_counts:
+            fetch_stalls += span
+        # Occupancy needs no skip handling: the skip gate implies nothing
+        # dispatched or issued this cycle, so occ_run_value == occ_total
+        # and the pending run simply extends across the skipped span.
+        if pending_count:
+            try:
+                ki = stall_keys.index(pending_cause)
+            except ValueError:
+                stall_keys.append(pending_cause)
+                stall_vals.append(pending_count)
+            else:
+                stall_vals[ki] += pending_count
+            pending_cause = None
+            pending_count = 0
+        _flush_bypass()
+        if sampler is not None:
+            _sync_views()
+        _replay_stall_range(
+            rob_head if rob_head < rob_tail else -1,
+            _frontier_seq(), cycle, stop, dispatch_wait_blocked,
+        )
+        if sampler is not None:
+            sampler_next = sampler.next_capture
+        skipped_cycles += span
+        cycle = stop
+        if any_dirty_nxt:
+            any_dirty_nxt = False
+            for dn, dc in zip(dirty_nxt, dirty_cur):
+                if dn:
+                    dc.extend(dn)
+                    del dn[:]
+        if cycle > deadline:
+            if cycle - last_progress_cycle > progress_window:
+                raise no_progress_error()
+            raise budget_error()
+
+    # ---- end of run ------------------------------------------------------
+    _flush_bypass()
+    for i in range(ns):
+        sel_counters[i].value = sel_loc[i]
+        full_counters[i].value = full_loc[i]
+        cont_counters[i].value = cont_loc[i]
+    dcache.hits += d_hits
+    dcache.misses += d_misses
+    icache.hits += i_hits
+    icache.misses += i_misses
+    machine.skipped_cycles = skipped_cycles
+    stats.cycles = cycle + 1
+    stats.branches = trace.branches
+    stats.mispredictions = trace.mispredictions
+    stats.fetch_stall_cycles = fetch_stalls
+    stats.dcache_hits = dcache.hits
+    stats.dcache_misses = dcache.misses
+    stats.icache_misses = icache.misses
+    stats.l2_misses = hierarchy.l2.misses
+    occ_record_run(occ_run_start, cycle + 1, occ_run_value)
+    occupancy_series.count += occ_count
+    occupancy_series.total += occ_sum
+    stats.scheduler_occupancy_samples = occupancy_series.count
+    stats.scheduler_occupancy_sum = occupancy_series.total
+    if sampler is not None:
+        _sync_views()
+        stats.timeline = sampler.finalize(cycle)
+    log.debug(
+        "finished %s on %s (soa batch): %d instructions in %d cycles (IPC %.3f)",
+        config.name, program.name, stats.instructions, stats.cycles, stats.ipc,
+    )
+    return stats

@@ -1412,3 +1412,10 @@ def run_soa(
         config.name, program.name, stats.instructions, stats.cycles, stats.ipc,
     )
     return stats
+
+
+# Batched lockstep simulation: N configs over one decoded program, sharing
+# the fetch probe, rename plans, and steering columns (repro.core.batch).
+# Imported at the bottom because batch.py reuses this module's kind codes
+# and static-entry memoization at call time.
+from repro.core.batch import batchable, run_soa_batch  # noqa: E402,F401

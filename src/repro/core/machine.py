@@ -43,6 +43,9 @@ from repro.obs.timeline import DEFAULT_STRIDE, IntervalSampler
 
 log = get_logger(__name__)
 
+#: One-shot guard for the explicit-SoA-request downgrade warning.
+_DOWNGRADE_WARNED = False
+
 #: Select-cycle distance from select to the start of execution: one
 #: schedule cycle is the select itself, then the 2-cycle register read.
 SELECT_TO_EXEC = 3
@@ -228,26 +231,45 @@ class Machine:
         decides.  Both engines produce bit-identical statistics, CPI
         stacks, and timelines — ``repro check``'s ``differential:engine``
         section audits that.  Runs that need the object graph (an event
-        ``bus`` or ``record_trace``) always use the object engine.
+        ``bus`` or ``record_trace``) always use the object engine; when
+        that overrides an *explicit* ``engine="soa"`` request the
+        downgrade is surfaced rather than silent — a one-shot warning
+        plus a ``core.engine.downgraded`` counter on the run's metrics
+        (so ``repro serve`` operators see it in serialized stats).
         """
         from repro.core.engine import resolve_engine, run_soa
 
-        if (
-            resolve_engine(engine) == "soa"
-            and bus is None
-            and not record_trace
-        ):
-            return run_soa(
-                self, program,
-                max_cycles=max_cycles,
-                progress_window=progress_window,
-                cycle_skip=cycle_skip,
-                timeline=timeline,
-                timeline_stride=timeline_stride,
-                timeline_sink=timeline_sink,
-            )
+        downgraded_by = None
+        if resolve_engine(engine) == "soa":
+            if bus is None and not record_trace:
+                return run_soa(
+                    self, program,
+                    max_cycles=max_cycles,
+                    progress_window=progress_window,
+                    cycle_skip=cycle_skip,
+                    timeline=timeline,
+                    timeline_stride=timeline_stride,
+                    timeline_sink=timeline_sink,
+                )
+            if engine is not None:
+                # The caller explicitly asked for the SoA engine but also
+                # requested an object-graph feature the SoA loop cannot
+                # serve.  Honour the feature, not silently.
+                downgraded_by = "bus" if bus is not None else "record_trace"
+                global _DOWNGRADE_WARNED
+                if not _DOWNGRADE_WARNED:
+                    _DOWNGRADE_WARNED = True
+                    log.warning(
+                        "engine='soa' requested but %s needs the object "
+                        "graph; running the object engine instead "
+                        "(counted in core.engine.downgraded; this "
+                        "warning is logged once per process)",
+                        downgraded_by,
+                    )
         config = self.config
         stats = SimStats(machine=config.name, workload=program.name)
+        if downgraded_by is not None:
+            stats.metrics.counter("core.engine.downgraded").inc()
         trace: list[DynInstr] | None = [] if record_trace else None
         log.debug("running %s on %s", config.name, program.name)
 
@@ -893,3 +915,27 @@ class Machine:
 def simulate(config: MachineConfig, program: Program, **kwargs) -> SimStats:
     """Convenience: build a machine and run one program."""
     return Machine(config).run(program, **kwargs)
+
+
+def run_batch(
+    configs: list[MachineConfig],
+    workload: Program | str,
+    **kwargs,
+) -> list[SimStats]:
+    """Simulate one workload on many configs in one batched process.
+
+    ``workload`` is a :class:`Program` or a suite workload name; every
+    config is advanced over the same decoded program by
+    :func:`repro.core.engine.run_soa_batch`, sharing the fetch probe,
+    rename plans, and steering columns across configs (non-batchable
+    configs transparently fall back to solo runs).  Returns one
+    bit-identical-to-solo :class:`SimStats` per config, in order.
+    ``kwargs`` are forwarded to ``run_soa_batch`` (``cycle_skip``,
+    ``timeline``, ``timeline_sinks``, ...).
+    """
+    from repro.core.engine import run_soa_batch
+    from repro.workloads.suite import build
+
+    program = build(workload) if isinstance(workload, str) else workload
+    machines = [Machine(config) for config in configs]
+    return run_soa_batch(machines, program, **kwargs)

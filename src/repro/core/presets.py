@@ -89,6 +89,16 @@ def all_paper_machines(width: int) -> list[MachineConfig]:
     return [baseline(width), rb_limited(width), rb_full(width), ideal(width)]
 
 
+def paper_matrix() -> list[MachineConfig]:
+    """The full Fig. 9 sweep matrix: the four paper machines at both widths.
+
+    This is the 8-config grid the batched engine amortizes (one decoded
+    program, one fetch probe per width, four rename plans) — the unit of
+    work ``run_batch`` and the batched-sweep benchmark operate on.
+    """
+    return all_paper_machines(4) + all_paper_machines(8)
+
+
 #: User-facing machine names -> preset factory, shared by the CLI and the
 #: batch-simulation service so both resolve request strings identically.
 MACHINE_FACTORIES = {

@@ -64,12 +64,20 @@ def history_record(payload: Mapping) -> dict:
         f"{entry['machine']}::{entry['workload']}": entry["skip"]["instr_per_sec"]
         for entry in payload.get("throughput", ())
     }
+    batched = payload.get("batched_sweep") or {}
+    if isinstance(batched.get("instr_per_sec"), (int, float)):
+        # The batched Fig. 9 matrix gates like any other pair: its
+        # batched throughput against the trailing median on this host.
+        throughput[f"batched-sweep::{batched.get('workload', '?')}"] = (
+            batched["instr_per_sec"]
+        )
     return {
         "version": HISTORY_VERSION,
         "timestamp": payload.get("timestamp", time.time()),
         "host": dict(payload.get("host") or host_fingerprint()),
         "throughput": throughput,
         "sweep_speedup": payload.get("sweep", {}).get("speedup"),
+        "batched_sweep_speedup": batched.get("speedup"),
     }
 
 

@@ -286,6 +286,35 @@ def _simulate_for_pool(
     return stats_entry, asdict(profile), spans
 
 
+def _simulate_batch_for_pool(
+    configs: list[MachineConfig],
+    workload: str,
+) -> list[tuple[dict, dict]]:
+    """Process-pool worker: one batched simulation of many configs.
+
+    The batch engine amortizes the workload's decode/probe/rename work
+    across the whole group inside this worker; each config comes back as
+    its own serialized ``(stats, profile)`` pair, timed as its slice of
+    the batch, so the parent merges them exactly like solo results.
+    """
+    from repro.core.engine import run_soa_batch
+
+    machines = [Machine(config) for config in configs]
+    stats_list = run_soa_batch(machines, build(workload))
+    entries: list[tuple[dict, dict]] = []
+    for config, stats in zip(configs, stats_list):
+        profile = RunProfile.measure(
+            config.name, workload, stats.batch_seconds,
+            stats.cycles, stats.instructions,
+        )
+        stats_entry = stats.to_dict()
+        timeline = getattr(stats, "timeline", None)
+        if timeline is not None:
+            stats_entry["timeline"] = timeline.to_dict()
+        entries.append((stats_entry, asdict(profile)))
+    return entries
+
+
 class SimulationRunner:
     """Runs (machine config, workload name) pairs through the cache.
 
@@ -317,6 +346,11 @@ class SimulationRunner:
         self.bench = BenchLog(bench_path)
         self._machines: dict[str, Machine] = {}
         self._dirty = False
+        #: How the most recent :meth:`run_jobs` dispatched: policy
+        #: (``serial``/``pool``), host width, and how much of the batch
+        #: the lockstep engine coalesced — recorded so benchmarks can
+        #: report the policy actually used instead of the one requested.
+        self.last_dispatch: dict | None = None
 
     # -- persistence -----------------------------------------------------------
 
@@ -452,11 +486,18 @@ class SimulationRunner:
         serially and logs that decision.  ``force_pool=True`` overrides
         the fallback — the serial-vs-parallel differential and the pool
         tests exercise the pool machinery regardless of host width.
+
+        Orthogonally to pooling, jobs sharing one workload are grouped
+        and driven through the batched SoA engine
+        (:func:`~repro.core.engine.run_soa_batch`) — serially in-process,
+        or as one pool task per group — so the shared decode/probe/rename
+        work is paid once per workload instead of once per config.  The
+        dispatch actually used is recorded on :attr:`last_dispatch`.
         """
         jobs = self.jobs if jobs is None else jobs
+        cpus = os.cpu_count() or 1
         want_pool = jobs is not None and jobs > 1
         if want_pool and not force_pool:
-            cpus = os.cpu_count() or 1
             if cpus <= 2:
                 log.info(
                     "run_jobs: %d-way pool requested on a %d-cpu host; "
@@ -465,23 +506,151 @@ class SimulationRunner:
                     jobs, cpus,
                 )
                 want_pool = False
+        groups = self._batch_groups(sim_jobs)
+        self.last_dispatch = {
+            "policy": "pool" if want_pool else "serial",
+            "requested_jobs": jobs,
+            "cpus": cpus,
+            "forced": bool(force_pool and want_pool),
+            "batched_groups": len(groups),
+            "batched_jobs": sum(len(g) for g in groups.values()),
+        }
         if want_pool:
-            results = self._run_jobs_parallel(sim_jobs, jobs, timeout, cancel)
+            results = self._run_jobs_parallel(
+                sim_jobs, jobs, timeout, cancel, groups=groups,
+            )
         else:
-            results = {}
-            for job in sim_jobs:
-                if cancel is not None and cancel.is_set():
-                    self.flush()
-                    raise MatrixCancelled(
-                        f"cancelled with {len(results)}/{len(sim_jobs)} jobs done"
-                    )
-                if job.key not in results:
-                    results[job.key] = self.run(
-                        job.config, job.workload, trace_parent=job.trace,
-                        row_sink=job.row_sink,
-                    )
+            results = self._run_jobs_serial(sim_jobs, cancel, groups)
         self.flush()
         return results
+
+    def _batch_groups(
+        self, sim_jobs: Sequence[SimJob]
+    ) -> dict[str, list[SimJob]]:
+        """Jobs that can share one batched simulation, keyed by workload.
+
+        A job joins its workload's batch when the SoA engine is in
+        effect, its config is :func:`~repro.core.engine.batchable`, and
+        it carries no trace context (traced jobs keep their solo
+        ``machine.run`` span structure).  Only groups of two or more
+        remain — a singleton has nothing to share.  Duplicate keys keep
+        their first occurrence, mirroring solo deduplication.
+        """
+        from repro.core.engine import batchable, resolve_engine
+
+        if resolve_engine(None) != "soa":
+            return {}
+        groups: dict[str, list[SimJob]] = {}
+        seen: set[tuple[str, str]] = set()
+        for job in sim_jobs:
+            if job.key in seen:
+                continue
+            seen.add(job.key)
+            if job.trace is None and batchable(job.config):
+                groups.setdefault(job.workload, []).append(job)
+        return {
+            workload: group
+            for workload, group in groups.items() if len(group) >= 2
+        }
+
+    def _run_jobs_serial(
+        self,
+        sim_jobs: Sequence[SimJob],
+        cancel: threading.Event | None,
+        groups: dict[str, list[SimJob]],
+    ) -> dict[tuple[str, str], SimStats]:
+        """In-process dispatch: batched groups first, solo for the rest."""
+        results: dict[tuple[str, str], SimStats] = {}
+        batched_keys = {
+            job.key for group in groups.values() for job in group
+        }
+        done = 0
+        total = len({job.key for job in sim_jobs})
+
+        def _check_cancel() -> None:
+            if cancel is not None and cancel.is_set():
+                self.flush()
+                raise MatrixCancelled(
+                    f"cancelled with {done}/{total} jobs done"
+                )
+
+        for workload, group in groups.items():
+            _check_cancel()
+            self._run_batch_group(workload, group, results)
+            done += len(group)
+        for job in sim_jobs:
+            if job.key in results or job.key in batched_keys:
+                continue
+            _check_cancel()
+            results[job.key] = self.run(
+                job.config, job.workload, trace_parent=job.trace,
+                row_sink=job.row_sink,
+            )
+            done += 1
+        return results
+
+    def _run_batch_group(
+        self,
+        workload: str,
+        group: list[SimJob],
+        results: dict[tuple[str, str], SimStats],
+    ) -> None:
+        """One workload's batchable jobs through ``run_soa_batch``.
+
+        Cached members are served from the cache; if fewer than two
+        misses remain the leftover runs solo (nothing left to share).
+        Each batched result is recorded with its own
+        :class:`RunProfile`, timed as the config's slice of the batch
+        (``stats.batch_seconds``: its cycle loop plus an amortized share
+        of the shared probe/plan construction).
+        """
+        from repro.core.engine import run_soa_batch
+
+        uncached: list[SimJob] = []
+        for job in group:
+            cached = self.cache.get(job.config.name, job.workload)
+            if cached is not None:
+                log.debug("cache hit: %s on %s", job.config.name, workload)
+                results[job.key] = cached
+            else:
+                uncached.append(job)
+        if not uncached:
+            return
+        if len(uncached) == 1:
+            job = uncached[0]
+            results[job.key] = self.run(
+                job.config, job.workload, row_sink=job.row_sink,
+            )
+            return
+        log.info(
+            "simulating %d configs on %s in one batch ...",
+            len(uncached), workload,
+        )
+        machines = []
+        for job in uncached:
+            machine = self._machines.get(job.config.name)
+            if machine is None:
+                machine = Machine(job.config)
+                self._machines[job.config.name] = machine
+            machines.append(machine)
+        stats_list = run_soa_batch(
+            machines, build(workload),
+            timeline_sinks=[job.row_sink for job in uncached],
+        )
+        for job, stats in zip(uncached, stats_list):
+            profile = RunProfile.measure(
+                job.config.name, workload, stats.batch_seconds,
+                stats.cycles, stats.instructions,
+            )
+            log.info(
+                "simulated %s on %s in %.2fs batched (%.0f instr/s, IPC %.3f)",
+                job.config.name, workload, stats.batch_seconds,
+                profile.sim_instr_per_sec, stats.ipc,
+            )
+            self.bench.record(profile)
+            self.cache.put(stats)
+            self._dirty = True
+            results[job.key] = stats
 
     def _run_jobs_parallel(
         self,
@@ -489,13 +658,44 @@ class SimulationRunner:
         jobs: int,
         timeout: float | None = None,
         cancel: threading.Event | None = None,
+        groups: dict[str, list[SimJob]] | None = None,
     ) -> dict[tuple[str, str], SimStats]:
-        """Fan uncached jobs out over a process pool and merge the results."""
+        """Fan uncached jobs out over a process pool and merge the results.
+
+        Batchable groups (``groups``, from :meth:`_batch_groups`) are
+        submitted as one worker task each — the batch engine amortizes
+        the shared decode inside the worker while distinct workloads
+        still spread across the pool; everything else rides the solo
+        worker as before.
+        """
         results: dict[tuple[str, str], SimStats] = {}
         pending: dict[tuple[str, str], SimJob] = {}
+        handled: set[tuple[str, str]] = set()
+        batch_tasks: list[tuple[str, list[SimJob]]] = []
+        for workload, group in (groups or {}).items():
+            uncached = []
+            for job in group:
+                cached = self.cache.get(job.config.name, job.workload)
+                if cached is not None:
+                    if self.tracer is not None and job.trace is not None:
+                        self.tracer.end(self.tracer.start(
+                            "cache.hit", parent=job.trace,
+                            attributes={
+                                "machine": job.config.name,
+                                "workload": job.workload,
+                            },
+                        ))
+                    results[job.key] = cached
+                else:
+                    uncached.append(job)
+                handled.add(job.key)
+            if len(uncached) >= 2:
+                batch_tasks.append((workload, uncached))
+            elif uncached:
+                pending[uncached[0].key] = uncached[0]
         for job in sim_jobs:
             key = job.key
-            if key in results or key in pending:
+            if key in results or key in pending or key in handled:
                 continue  # deduplicate in-flight keys
             cached = self.cache.get(job.config.name, job.workload)
             if cached is not None:
@@ -507,11 +707,16 @@ class SimulationRunner:
                 results[key] = cached
             else:
                 pending[key] = job
-        if not pending:
+        task_count = len(pending) + len(batch_tasks)
+        if not task_count:
             return results
+        uncached_total = len(pending) + sum(
+            len(group) for _, group in batch_tasks
+        )
         log.info(
-            "simulating %d uncached pairs across %d worker processes ...",
-            len(pending), min(jobs, len(pending)),
+            "simulating %d uncached pairs (%d batched groups) across "
+            "%d worker processes ...",
+            uncached_total, len(batch_tasks), min(jobs, task_count),
         )
         started = time.perf_counter()
         # Futures drain in completion order, and every completed sibling's
@@ -521,28 +726,53 @@ class SimulationRunner:
         failures: list[tuple[tuple[str, str], BaseException]] = []
         cancelled = False
         try:
-            with ProcessPoolExecutor(max_workers=min(jobs, len(pending))) as pool:
-                futures = {
-                    pool.submit(
+            with ProcessPoolExecutor(max_workers=min(jobs, task_count)) as pool:
+                futures: dict = {}
+                for workload, group in batch_tasks:
+                    future = pool.submit(
+                        _simulate_batch_for_pool,
+                        [job.config for job in group], workload,
+                    )
+                    futures[future] = (
+                        "batch", [job.key for job in group],
+                    )
+                for key, job in pending.items():
+                    future = pool.submit(
                         _simulate_for_pool, job.config, key[1],
                         job.trace if self.tracer is not None else None,
-                    ): key
-                    for key, job in pending.items()
-                }
+                    )
+                    futures[future] = ("solo", key)
                 try:
                     for future in as_completed(futures, timeout=timeout):
-                        key = futures[future]
+                        tag, payload_key = futures[future]
                         if cancel is not None and cancel.is_set():
                             cancelled = True
                             break
                         try:
-                            stats_entry, profile_entry, span_entries = future.result()
+                            payload = future.result()
                         except Exception as exc:
-                            log.error(
-                                "worker failed on %s / %s: %r", key[0], key[1], exc
+                            first = (
+                                payload_key[0] if tag == "batch"
+                                else payload_key
                             )
-                            failures.append((key, exc))
+                            log.error(
+                                "worker failed on %s / %s: %r",
+                                first[0], first[1], exc,
+                            )
+                            failures.append((first, exc))
                             continue
+                        if tag == "batch":
+                            for key, (stats_entry, profile_entry) in zip(
+                                payload_key, payload
+                            ):
+                                stats = SimStats.from_dict(stats_entry)
+                                self.bench.record(RunProfile(**profile_entry))
+                                self.cache.put(stats)
+                                self._dirty = True
+                                results[key] = stats
+                            continue
+                        key = payload_key
+                        stats_entry, profile_entry, span_entries = payload
                         if self.tracer is not None and span_entries:
                             self.tracer.adopt(span_entries)
                         stats = SimStats.from_dict(stats_entry)
@@ -551,15 +781,19 @@ class SimulationRunner:
                         self._dirty = True
                         results[key] = stats
                 except FuturesTimeoutError:
-                    for future, key in futures.items():
+                    for future, (tag, payload_key) in futures.items():
                         if not future.done():
                             future.cancel()
+                            first = (
+                                payload_key[0] if tag == "batch"
+                                else payload_key
+                            )
                             failures.append((
-                                key,
+                                first,
                                 TimeoutError(f"job exceeded the {timeout}s batch timeout"),
                             ))
                     log.error(
-                        "batch timeout (%.1fs): %d jobs unfinished",
+                        "batch timeout (%.1fs): %d tasks unfinished",
                         timeout, len(failures),
                     )
                     # A worker stuck mid-simulation would otherwise hang the
@@ -573,14 +807,14 @@ class SimulationRunner:
             self.flush()
         if cancelled:
             raise MatrixCancelled(
-                f"cancelled with {len(results)}/{len(pending)} uncached jobs done"
+                f"cancelled with {len(results)}/{uncached_total} uncached jobs done"
             )
         if failures:
             (machine, workload), cause = failures[0]
             raise MatrixWorkerError(machine, workload, cause) from cause
         log.info(
             "parallel sweep of %d pairs finished in %.2fs",
-            len(pending), time.perf_counter() - started,
+            uncached_total, time.perf_counter() - started,
         )
         return results
 

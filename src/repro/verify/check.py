@@ -7,6 +7,10 @@ section per verification layer:
 * ``differential:engine`` — the SoA cycle engine vs the object reference
   engine, bit for bit over the golden corpus (four machines × three
   kernels × both widths) plus at least ten fuzzed kernels;
+* ``differential:batch`` — the batched lockstep engine
+  (:func:`~repro.core.engine.run_soa_batch`) vs solo runs: the golden
+  grid batched per kernel (mixed widths, alternating cycle-skip) and the
+  fuzzed kernels on the check configs;
 * ``differential:cycle-skip`` / ``differential:timeline-skip`` /
   ``differential:machine-reuse`` / ``differential:run-matrix`` /
   ``differential:rb-adder`` — the other equivalence pairs over the
@@ -137,6 +141,49 @@ class CheckReport:
         return "\n".join(lines)
 
 
+def persist_failing_fuzz_sources(
+    report: "CheckReport", directory: Path | str
+) -> list[Path]:
+    """Write the assembly of every fuzz program a section failed on.
+
+    A ``fuzz:<profile>:<seed>`` name in a failure is only replayable by
+    whoever knows the suite's fuzz build hook; the divergence artifact
+    should stand alone.  For each distinct fuzz workload appearing in
+    any failure, the deterministic :func:`~repro.verify.fuzz.fuzz_source`
+    text is written next to the report as
+    ``fuzz-<profile>-<seed>.asm`` (assemblable by ``repro run <path>``).
+    Returns the written paths; generation problems are logged, never
+    raised — persistence must not mask the original failure.
+    """
+    from repro.verify.fuzz import fuzz_source, is_fuzz_name, parse_fuzz_name
+
+    directory = Path(directory)
+    names: list[str] = []
+    for section in report.sections:
+        for failure in section.failures:
+            for key in ("workload", "program"):
+                name = failure.get(key)
+                if (
+                    isinstance(name, str) and is_fuzz_name(name)
+                    and name not in names
+                ):
+                    names.append(name)
+    written: list[Path] = []
+    for name in names:
+        try:
+            profile, seed = parse_fuzz_name(name)
+            source = fuzz_source(profile, seed)
+        except Exception as exc:
+            log.error("could not re-derive %s for persistence: %r", name, exc)
+            continue
+        directory.mkdir(parents=True, exist_ok=True)
+        path = directory / f"fuzz-{profile}-{seed}.asm"
+        path.write_text(source, encoding="utf-8")
+        written.append(path)
+        log.info("persisted failing fuzz program %s -> %s", name, path)
+    return written
+
+
 class _Timer:
     """Times a section and absorbs an audit crash as a section failure.
 
@@ -241,6 +288,41 @@ def run_check(
             )
             if found is not None:
                 section.failures.append(found.as_dict())
+
+    # ---- differential: batched vs solo simulation ------------------------
+    section = Section("differential:batch")
+    report.sections.append(section)
+    with _Timer(section):
+        # The full golden grid per kernel in ONE mixed-width batch: all
+        # four paper machines at both widths share the kernel's decode,
+        # with cycle-skip alternating across batch members so both loop
+        # modes are exercised inside one call.
+        grid = [
+            resolve_machine(machine_name, engine_width)
+            for engine_width in ENGINE_WIDTHS
+            for machine_name in ENGINE_MACHINES
+        ]
+        for kernel in ENGINE_KERNELS:
+            program = build(kernel)
+            section.cases += len(grid)
+            section.failures.extend(d.as_dict() for d in (
+                differential.diff_batch(
+                    grid, program,
+                    cycle_skip=[i % 2 == 0 for i in range(len(grid))],
+                )
+            ))
+        # Fuzzed kernels stress irregular programs through the shared
+        # plan construction, on the smaller check-config batch.
+        for index, program in enumerate(programs):
+            section.cases += len(configs)
+            section.failures.extend(d.as_dict() for d in (
+                differential.diff_batch(
+                    configs, program,
+                    cycle_skip=[
+                        (index + i) % 2 == 0 for i in range(len(configs))
+                    ],
+                )
+            ))
 
     # ---- differential: cycle-skip ----------------------------------------
     section = Section("differential:cycle-skip")

@@ -1,10 +1,13 @@
 """Paired-run differential harness over the "bit-identical" execution modes.
 
-Six equivalence pairs are claimed by the simulator:
+Seven equivalence pairs are claimed by the simulator:
 
 * ``engine`` — the structure-of-arrays cycle engine
   (:mod:`repro.core.engine`) vs the per-instruction object engine, over
   the serialized statistics *and* every interval-timeline row;
+* ``batch`` — N configs advanced by one :func:`run_soa_batch` call
+  (shared fetch probe, rename plans, steering columns) vs each config's
+  solo run, statistics and timelines alike;
 * ``cycle-skip`` — :meth:`Machine.run` with the event-driven fast-forward
   on vs off;
 * ``timeline-skip`` — the interval timeline (:mod:`repro.obs.timeline`)
@@ -221,6 +224,56 @@ def diff_run_matrix(
             "run-matrix", machine, workload,
             results["serial"][key], results["parallel"][key],
         )
+        if found is not None:
+            divergences.append(found)
+    return divergences
+
+
+def diff_batch(
+    configs: list[MachineConfig],
+    program: Program,
+    cycle_skip=True,
+) -> list[Divergence]:
+    """Batched lockstep simulation vs each config's solo run, bit for bit.
+
+    Runs all ``configs`` through one
+    :func:`~repro.core.engine.run_soa_batch` call and every config
+    through its own solo :meth:`Machine.run`, then compares each pair's
+    full serialized :class:`SimStats` and every interval-timeline row —
+    the batch engine's contract is that sharing fetch/rename/steering
+    work across configs changes *nothing*.  ``cycle_skip`` may be a
+    per-config sequence (the check alternates it so both loop modes of
+    the batch engine face every program).
+    """
+    from repro.core.engine import run_soa_batch
+
+    if isinstance(cycle_skip, (bool, int)):
+        skips = [bool(cycle_skip)] * len(configs)
+    else:
+        skips = [bool(value) for value in cycle_skip]
+    batch_stats = run_soa_batch(
+        [Machine(config) for config in configs], program, cycle_skip=skips,
+    )
+    divergences: list[Divergence] = []
+    for config, skip, batched in zip(configs, skips, batch_stats):
+        solo = Machine(config).run(program, cycle_skip=skip)
+        found = _compare("batch", config.name, program.name, solo, batched)
+        if found is None:
+            if (solo.timeline is None) != (batched.timeline is None):
+                found = Divergence(
+                    "batch", config.name, program.name, "timeline",
+                    solo.timeline, batched.timeline,
+                )
+            elif solo.timeline is not None:
+                diverged = first_divergence(
+                    solo.timeline.to_dict(), batched.timeline.to_dict()
+                )
+                if diverged is not None:
+                    field, left_value, right_value = diverged
+                    found = Divergence(
+                        "batch", config.name, program.name,
+                        f"timeline.{field}", left_value, right_value,
+                    )
         if found is not None:
             divergences.append(found)
     return divergences

@@ -86,11 +86,21 @@ class TestObjectGraphFallbacks:
         assert bus.events, "bus runs must still emit events"
 
     def test_fallback_matches_soa_stats(self):
-        """The traced (object-engine) run agrees with the SoA run."""
+        """The traced (object-engine) run agrees with the SoA run.
+
+        Modulo the one deliberate marker: downgrading an *explicit*
+        ``engine="soa"`` request is counted in
+        ``core.engine.downgraded`` (see ``tests/core/test_batch_parity``
+        for the counter's own contract).
+        """
         program = build("li")
         traced = _run(ideal(4), program, "soa", record_trace=True)
         plain = _run(ideal(4), program, "soa")
-        assert traced.to_dict() == plain.to_dict()
+        traced_entry = traced.to_dict()
+        assert traced_entry["metrics"]["counters"].pop(
+            "core.engine.downgraded"
+        ) == 1
+        assert traced_entry == plain.to_dict()
 
 
 @pytest.mark.parametrize("cycle_skip", [True, False], ids=["skip", "no-skip"])

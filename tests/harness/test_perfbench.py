@@ -1,0 +1,77 @@
+"""Benchmark plumbing: honest sweep ratios and the batched history row.
+
+The sweep benchmark once published a pool-vs-serial "speedup" of 0.868
+measured on a host where the pool arm had silently fallen back to
+serial dispatch — two timings of the same code path.  These tests pin
+the fix (the ratio is only computed when the pool arm actually pooled,
+otherwise ``None`` plus a note), the dispatch record that makes the
+policy auditable, and the batched-sweep row's entry into the
+``BENCH_history.jsonl`` regression gate.
+"""
+
+import json
+
+from repro.core.machine import Machine
+from repro.core.presets import baseline, ideal
+from repro.harness.perfbench import sweep_benchmark
+from repro.harness.perfhistory import history_record
+from repro.harness.runner import SimulationRunner
+from repro.workloads.suite import build
+
+
+class TestSweepDispatchPolicy:
+    def test_speedup_none_on_narrow_host(self, monkeypatch):
+        monkeypatch.setattr("os.cpu_count", lambda: 2)
+        entry = sweep_benchmark(
+            configs=[baseline(4), ideal(4)], workloads=["compress"], jobs=2
+        )
+        assert entry["speedup"] is None
+        assert "2-cpu host" in entry["speedup_note"]
+        assert entry["dispatch"]["parallel"]["policy"] == "serial"
+        assert entry["dispatch"]["serial"]["policy"] == "serial"
+        assert entry["results_identical"] is True
+
+
+class TestRunnerDispatchRecord:
+    def test_serial_matrix_records_batch_groups(self, tmp_path):
+        runner = SimulationRunner(
+            cache_path=tmp_path / "cache.json",
+            bench_path=tmp_path / "bench.json",
+        )
+        configs = [baseline(4), ideal(4)]
+        results = runner.run_matrix(configs, ["compress"])
+        dispatch = runner.last_dispatch
+        assert dispatch["policy"] == "serial"
+        # Both configs are batchable and share the workload: one group.
+        assert dispatch["batched_groups"] == 1
+        assert dispatch["batched_jobs"] == 2
+        program = build("compress")
+        for config in configs:
+            solo = Machine(config).run(program)
+            batched = results[(config.name, "compress")]
+            assert json.dumps(solo.to_dict(), sort_keys=True) == json.dumps(
+                batched.to_dict(), sort_keys=True
+            )
+
+
+class TestBatchedHistoryRow:
+    def test_history_record_includes_batched_pair(self):
+        payload = {
+            "throughput": [],
+            "batched_sweep": {
+                "workload": "vortex",
+                "instr_per_sec": 123456.0,
+                "speedup": 1.71,
+            },
+        }
+        row = history_record(payload)
+        assert row["throughput"]["batched-sweep::vortex"] == 123456.0
+        assert row["batched_sweep_speedup"] == 1.71
+
+    def test_history_record_without_batched_sweep(self):
+        row = history_record({"throughput": []})
+        assert "batched_sweep_speedup" in row
+        assert row["batched_sweep_speedup"] is None
+        assert not any(
+            pair.startswith("batched-sweep") for pair in row["throughput"]
+        )

@@ -161,7 +161,8 @@ class TestBenchCompareCLI:
     def _patch_bench(self, monkeypatch, rate):
         from repro.harness import perfbench
 
-        def fake(path=None, jobs=2, kernels=None, history_path=None):
+        def fake(path=None, jobs=2, kernels=None, history_path=None,
+                 batched_workload="vortex"):
             payload = run_payload(rate)
             if history_path is not None:
                 append_history(history_path, history_record(payload))

@@ -1,0 +1,58 @@
+"""Failing fuzz programs are persisted as standalone assembly.
+
+A ``fuzz:<profile>:<seed>`` name in a check failure is only replayable
+by whoever knows the suite's build hook; ``repro check`` therefore
+writes the deterministic assembly next to the report so the divergence
+artifact stands alone.  These tests pin the selection (fuzz names only,
+deduplicated across sections and key spellings), the file contents
+(exactly :func:`~repro.verify.fuzz.fuzz_source`), and the
+never-raises contract.
+"""
+
+from repro.verify.check import CheckReport, Section, persist_failing_fuzz_sources
+from repro.verify.fuzz import fuzz_source
+
+
+def _report(*sections):
+    return CheckReport(quick=True, sections=list(sections))
+
+
+class TestPersistFailingFuzzSources:
+    def test_writes_each_distinct_fuzz_program_once(self, tmp_path):
+        report = _report(
+            Section(name="differential:batch", cases=4, failures=[
+                {"pair": "batch", "workload": "fuzz:mixed:0", "field": "ipc"},
+                {"pair": "batch", "workload": "fuzz:mixed:0", "field": "cycles"},
+                {"pair": "fuzz", "program": "fuzz:serial:2", "field": "x"},
+            ]),
+            Section(name="differential:engine", cases=1, failures=[
+                {"pair": "engine", "workload": "fuzz:serial:2", "field": "y"},
+            ]),
+        )
+        written = persist_failing_fuzz_sources(report, tmp_path)
+        assert sorted(path.name for path in written) == [
+            "fuzz-mixed-0.asm", "fuzz-serial-2.asm",
+        ]
+        assert (tmp_path / "fuzz-mixed-0.asm").read_text(
+            encoding="utf-8"
+        ) == fuzz_source("mixed", 0)
+
+    def test_non_fuzz_workloads_skipped(self, tmp_path):
+        report = _report(Section(name="differential:batch", cases=1, failures=[
+            {"pair": "batch", "workload": "ijpeg", "field": "ipc"},
+        ]))
+        assert persist_failing_fuzz_sources(report, tmp_path) == []
+        assert list(tmp_path.iterdir()) == []
+
+    def test_passing_report_writes_nothing(self, tmp_path):
+        report = _report(Section(name="differential:batch", cases=8))
+        assert persist_failing_fuzz_sources(report, tmp_path) == []
+
+    def test_underivable_name_logged_not_raised(self, tmp_path, caplog):
+        report = _report(Section(name="differential:batch", cases=2, failures=[
+            {"pair": "batch", "workload": "fuzz:nosuchprofile:9", "field": "x"},
+            {"pair": "batch", "workload": "fuzz:mixed:1", "field": "y"},
+        ]))
+        written = persist_failing_fuzz_sources(report, tmp_path)
+        # The bad name must not mask the good one.
+        assert [path.name for path in written] == ["fuzz-mixed-1.asm"]
