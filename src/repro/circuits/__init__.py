@@ -19,17 +19,37 @@ in a small gate framework so the delay comparison can be regenerated:
   subtraction, hence the 2-cycle conversion latency).
 * :mod:`repro.circuits.sam` — sum-addressed-memory decoder: per-word-line
   carry-free equality test (§3.6).
+* :mod:`repro.circuits.dual_bit` — dual-bit full-adder ripple chain
+  (halved carry chain; arXiv:1704.07619 family).
+* :mod:`repro.circuits.early_output` — mux-select (Manchester) carry chain
+  (arXiv:1807.09762 / 1706.04487 family).
+* :mod:`repro.circuits.hybrid` — hybrid carry-select/CLA adder
+  (arXiv:1810.01115 family).
 * :mod:`repro.circuits.analysis` — delay sweeps used by the §3.4 benchmark.
+* :mod:`repro.circuits.verify` — BDD-based formal equivalence gate: every
+  netlist above is *proven* equal to its arithmetic specification.
 """
 
 from repro.circuits.analysis import adder_delay_table, critical_path_delay
 from repro.circuits.carry_select import build_carry_select_adder
 from repro.circuits.cla import build_cla_adder
 from repro.circuits.converter import build_rb_to_tc_converter
+from repro.circuits.dual_bit import build_dual_bit_adder
+from repro.circuits.early_output import build_early_output_adder
 from repro.circuits.gates import Circuit, GateKind, Net
+from repro.circuits.hybrid import build_hybrid_select_cla_adder
 from repro.circuits.rb_adder import build_rb_adder, build_rb_digit_slice
 from repro.circuits.ripple import build_ripple_adder
 from repro.circuits.sam import build_sam_decoder, sam_match
+from repro.circuits.verify import (
+    EquivalenceResult,
+    NETLIST_SPECS,
+    assert_verified,
+    build_mutant_ripple_adder,
+    check_circuit,
+    check_netlist,
+    verify_library,
+)
 
 __all__ = [
     "Circuit",
@@ -38,11 +58,21 @@ __all__ = [
     "build_ripple_adder",
     "build_cla_adder",
     "build_carry_select_adder",
+    "build_dual_bit_adder",
+    "build_early_output_adder",
+    "build_hybrid_select_cla_adder",
     "build_rb_adder",
     "build_rb_digit_slice",
     "build_rb_to_tc_converter",
     "build_sam_decoder",
+    "build_mutant_ripple_adder",
     "sam_match",
     "critical_path_delay",
     "adder_delay_table",
+    "EquivalenceResult",
+    "NETLIST_SPECS",
+    "assert_verified",
+    "check_circuit",
+    "check_netlist",
+    "verify_library",
 ]

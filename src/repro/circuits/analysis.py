@@ -14,14 +14,23 @@ from collections.abc import Callable, Sequence
 from repro.circuits.carry_select import build_carry_select_adder
 from repro.circuits.cla import build_cla_adder
 from repro.circuits.converter import build_rb_to_tc_converter
+from repro.circuits.dual_bit import build_dual_bit_adder
+from repro.circuits.early_output import build_early_output_adder
 from repro.circuits.gates import Circuit
+from repro.circuits.hybrid import build_hybrid_select_cla_adder
 from repro.circuits.rb_adder import build_rb_adder
 from repro.circuits.ripple import build_ripple_adder
 
 #: The adder families swept by the §3.4 experiment, in presentation order.
+#: Every family here is also registered under the same name in
+#: :mod:`repro.circuits.verify`'s ``NETLIST_SPECS``, so each delay number
+#: comes from a formally proven netlist.
 ADDER_FAMILIES: dict[str, Callable[[int], Circuit]] = {
     "ripple": build_ripple_adder,
+    "dual_bit": build_dual_bit_adder,
+    "early_output": build_early_output_adder,
     "carry_select": build_carry_select_adder,
+    "hybrid_select_cla": build_hybrid_select_cla_adder,
     "cla": build_cla_adder,
     "rb": build_rb_adder,
     "rb_to_tc_converter": build_rb_to_tc_converter,

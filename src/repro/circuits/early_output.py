@@ -1,0 +1,43 @@
+"""Early-output carry chain (arXiv:1807.09762 / 1706.04487 family).
+
+The asynchronous early-output RCAs route the carry through a Manchester-
+style select chain instead of the full-adder's AND-OR majority: with
+per-bit ``p = a ^ b`` and ``g = a & b``,
+
+    c_i = g_i         when p_i == 0   (carry killed or generated locally)
+    c_i = c_{i-1}     when p_i == 1   (carry propagates)
+
+i.e. ``c_i = mux(p_i, g_i, c_{i-1})`` — one mux per position on the
+chain.  In the asynchronous originals a non-propagating position lets the
+stage complete *early*; in this synchronous worst-case gate model that
+average-case win is invisible, but the chain itself is still cheaper per
+position than the ripple full-adder's carry (one 2-level mux vs an
+AND-OR pair), which is the delay difference the sweep measures.
+"""
+
+from __future__ import annotations
+
+from repro.circuits.gates import Circuit
+
+
+def build_early_output_adder(width: int) -> Circuit:
+    """An N-bit adder with a mux-select (Manchester) carry chain.
+
+    Same interface as the reference ripple adder: inputs ``a``, ``b``,
+    ``cin``; outputs ``sum[0..N-1]`` and ``cout``.
+    """
+    if width <= 0:
+        raise ValueError(f"width must be positive, got {width}")
+    circuit = Circuit(f"early_output{width}")
+    a = circuit.input_bus("a", width)
+    b = circuit.input_bus("b", width)
+    carry = circuit.input("cin")
+    sums = []
+    for i in range(width):
+        propagate = circuit.xor_(a[i], b[i])
+        generate = circuit.and_(a[i], b[i])
+        sums.append(circuit.xor_(propagate, carry))
+        carry = circuit.mux(propagate, generate, carry)
+    circuit.output_bus("sum", sums)
+    circuit.output("cout", carry)
+    return circuit

@@ -1,0 +1,100 @@
+"""Hybrid carry-select / carry-lookahead adder (arXiv:1810.01115 family).
+
+The synchronous adder-architecture comparisons evaluate hybrids that
+combine a fast intra-block structure with a select chain between blocks:
+each block computes its sums with a Kogge-Stone parallel-prefix network
+*twice* — once assuming carry-in 0, once assuming carry-in 1 — and the
+real block carry, rippling through one mux per block, selects between
+the two precomputed results.  Depth is one block-sized CLA plus
+(blocks - 1) muxes: between the pure log-depth CLA and the sqrt-depth
+carry-select adder, at lower prefix-network cost than a full-width CLA.
+"""
+
+from __future__ import annotations
+
+from repro.circuits.gates import Circuit, Net
+
+
+def _kogge_stone_block(
+    circuit: Circuit, a: list[Net], b: list[Net], cin: Net
+) -> tuple[list[Net], Net]:
+    """An in-circuit Kogge-Stone prefix block: returns (sums, carry-out).
+
+    Same structure as :func:`repro.circuits.cla.build_cla_adder`, but over
+    a slice of an enclosing circuit so blocks can be composed.
+    """
+    width = len(a)
+    propagate = [circuit.xor_(a[i], b[i]) for i in range(width)]
+    generate = [circuit.and_(a[i], b[i]) for i in range(width)]
+    generate[0] = circuit.or_(generate[0], circuit.and_(propagate[0], cin))
+
+    group_p = list(propagate)
+    group_g = list(generate)
+    distance = 1
+    while distance < width:
+        new_p = list(group_p)
+        new_g = list(group_g)
+        for i in range(distance, width):
+            new_g[i] = circuit.or_(
+                group_g[i], circuit.and_(group_p[i], group_g[i - distance])
+            )
+            new_p[i] = circuit.and_(group_p[i], group_p[i - distance])
+        group_p, group_g = new_p, new_g
+        distance *= 2
+
+    sums = [circuit.xor_(propagate[0], cin)]
+    for i in range(1, width):
+        sums.append(circuit.xor_(propagate[i], group_g[i - 1]))
+    return sums, group_g[width - 1]
+
+
+def build_hybrid_select_cla_adder(width: int, block: int | None = None) -> Circuit:
+    """An N-bit hybrid carry-select/CLA adder with cin.
+
+    ``block`` is the per-block prefix width; the default is one eighth of
+    the operand (minimum 4), which keeps the prefix networks narrow enough
+    that the design lands *between* the pure carry-select and full-width
+    CLA points instead of collapsing onto either.  Same interface as the
+    reference ripple adder: inputs ``a``, ``b``, ``cin``; outputs
+    ``sum[0..N-1]`` and ``cout``.
+    """
+    if width <= 0:
+        raise ValueError(f"width must be positive, got {width}")
+    if block is None:
+        block = max(4, width // 8)
+    if block <= 0:
+        raise ValueError(f"block size must be positive, got {block}")
+
+    circuit = Circuit(f"hybrid{width}x{block}")
+    a = circuit.input_bus("a", width)
+    b = circuit.input_bus("b", width)
+    carry = circuit.input("cin")
+
+    sums: list[Net] = []
+    low = 0
+    first = True
+    while low < width:
+        high = min(low + block, width)
+        a_slice, b_slice = a[low:high], b[low:high]
+        if first:
+            # The first block's carry-in is the primary cin: one CLA pass.
+            block_sums, carry = _kogge_stone_block(circuit, a_slice, b_slice, carry)
+            sums.extend(block_sums)
+            first = False
+        else:
+            # Speculative block: prefix networks for both carry-in values,
+            # selected by the real block carry as it arrives.
+            sums0, cout0 = _kogge_stone_block(
+                circuit, a_slice, b_slice, circuit.const(0)
+            )
+            sums1, cout1 = _kogge_stone_block(
+                circuit, a_slice, b_slice, circuit.const(1)
+            )
+            for s0, s1 in zip(sums0, sums1):
+                sums.append(circuit.mux(carry, s0, s1))
+            carry = circuit.mux(carry, cout0, cout1)
+        low = high
+
+    circuit.output_bus("sum", sums)
+    circuit.output("cout", carry)
+    return circuit

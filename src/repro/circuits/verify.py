@@ -1,0 +1,753 @@
+"""Formal equivalence checking for the adder netlist library.
+
+Every netlist in :mod:`repro.circuits` is *proven* — not sampled — to
+compute its arithmetic specification, in the style of the BDD/word-level
+adder verifiers (PolyAdd, arXiv:2009.03242): each output of a candidate
+circuit is compiled to a reduced ordered binary decision diagram under an
+interleaved bus ordering, and compared against the specification's BDD.
+ROBDDs are canonical for a fixed variable order, so two functions are
+equal iff their node ids are equal — equality over **all** 2^k input
+assignments in one structural comparison.
+
+Soundness chain
+---------------
+* The reference ripple adder is checked against a *symbolic textbook
+  adder* (a full-adder chain built directly over the input variables,
+  independent of any netlist code) — the arithmetic anchor.
+* Every two's-complement adder netlist is compared output-by-output
+  against the reference ripple adder's BDDs (the ISSUE's contract).
+* Word-level netlists whose interface is not (a, b, cin) — the RB adder,
+  the RB->TC converter, the CLA subtractor, the SAM decoder — are checked
+  against symbolic word arithmetic built from the same full-adder chain
+  primitive, under the encoding-validity constraint where one exists
+  (RB digits never encode (1, 1)).
+* Any claimed counterexample is re-executed *concretely* through
+  :meth:`Circuit.evaluate` and an integer-arithmetic model before being
+  reported, so the checker cross-validates its own refutations.
+
+The deliberately broken :func:`build_mutant_ripple_adder` is the negative
+control: the checker (and the brute-force tests) must reject it.
+"""
+
+from __future__ import annotations
+
+import time
+from collections.abc import Callable, Mapping, Sequence
+from dataclasses import dataclass, field
+
+from repro.circuits.carry_select import build_carry_select_adder
+from repro.circuits.cla import build_cla_adder, build_cla_subtractor
+from repro.circuits.converter import build_rb_to_tc_converter
+from repro.circuits.dual_bit import build_dual_bit_adder
+from repro.circuits.early_output import build_early_output_adder
+from repro.circuits.gates import Circuit, GateKind
+from repro.circuits.hybrid import build_hybrid_select_cla_adder
+from repro.circuits.rb_adder import build_rb_adder
+from repro.circuits.ripple import build_ripple_adder, full_adder
+from repro.circuits.sam import build_sam_decoder
+
+# ---------------------------------------------------------------------------
+# A minimal ROBDD manager
+# ---------------------------------------------------------------------------
+
+_TERMINAL_VAR = 1 << 30  # orders after every real variable
+
+
+class BDD:
+    """Reduced ordered BDDs over integer-indexed variables.
+
+    Nodes are integers: 0 and 1 are the terminals; every other id names a
+    ``(var, low, high)`` triple interned in a unique table, so semantic
+    equality of two functions is id equality.
+    """
+
+    FALSE = 0
+    TRUE = 1
+
+    def __init__(self) -> None:
+        self._var = [_TERMINAL_VAR, _TERMINAL_VAR]
+        self._low = [0, 1]
+        self._high = [0, 1]
+        self._unique: dict[tuple[int, int, int], int] = {}
+        self._memo: dict[tuple[str, int, int], int] = {}
+
+    def _mk(self, var: int, low: int, high: int) -> int:
+        if low == high:
+            return low
+        key = (var, low, high)
+        node = self._unique.get(key)
+        if node is None:
+            node = len(self._var)
+            self._var.append(var)
+            self._low.append(low)
+            self._high.append(high)
+            self._unique[key] = node
+        return node
+
+    def var(self, index: int) -> int:
+        """The BDD of the single variable ``index``."""
+        if index < 0 or index >= _TERMINAL_VAR:
+            raise ValueError(f"variable index out of range: {index}")
+        return self._mk(index, 0, 1)
+
+    @property
+    def node_count(self) -> int:
+        return len(self._var)
+
+    def apply(self, op: str, f: int, g: int) -> int:
+        """``f op g`` for op in {'and', 'or', 'xor'}."""
+        if op == "and":
+            if f == 0 or g == 0:
+                return 0
+            if f == 1:
+                return g
+            if g == 1:
+                return f
+            if f == g:
+                return f
+        elif op == "or":
+            if f == 1 or g == 1:
+                return 1
+            if f == 0:
+                return g
+            if g == 0:
+                return f
+            if f == g:
+                return f
+        elif op == "xor":
+            if f == g:
+                return 0
+            if f == 0:
+                return g
+            if g == 0:
+                return f
+        else:
+            raise ValueError(f"unknown BDD operation {op!r}")
+        if f > g:  # all three ops are commutative
+            f, g = g, f
+        key = (op, f, g)
+        node = self._memo.get(key)
+        if node is not None:
+            return node
+        var_f, var_g = self._var[f], self._var[g]
+        top = min(var_f, var_g)
+        f_low, f_high = (self._low[f], self._high[f]) if var_f == top else (f, f)
+        g_low, g_high = (self._low[g], self._high[g]) if var_g == top else (g, g)
+        node = self._mk(
+            top, self.apply(op, f_low, g_low), self.apply(op, f_high, g_high)
+        )
+        self._memo[key] = node
+        return node
+
+    def not_(self, f: int) -> int:
+        return self.apply("xor", f, 1)
+
+    def mux(self, select: int, if0: int, if1: int) -> int:
+        return self.apply(
+            "or",
+            self.apply("and", select, if1),
+            self.apply("and", self.not_(select), if0),
+        )
+
+    def any_sat(self, f: int) -> dict[int, int]:
+        """One satisfying assignment (var index -> bit) of a nonzero BDD.
+
+        In a reduced BDD every node other than the 0 terminal reaches 1,
+        so a greedy walk preferring any non-zero branch terminates at 1.
+        Variables not on the chosen path are unconstrained.
+        """
+        if f == 0:
+            raise ValueError("the constant-false BDD has no satisfying assignment")
+        assignment: dict[int, int] = {}
+        while f > 1:
+            if self._low[f] != 0:
+                assignment[self._var[f]] = 0
+                f = self._low[f]
+            else:
+                assignment[self._var[f]] = 1
+                f = self._high[f]
+        return assignment
+
+
+# ---------------------------------------------------------------------------
+# Circuit -> BDD compilation
+# ---------------------------------------------------------------------------
+
+def input_order(circuit: Circuit) -> dict[str, int]:
+    """Interleaved variable order: all buses' bit 0, then bit 1, ...
+
+    Interleaving the operand buses keeps every adder-class function (carry
+    chains, group generates, word comparisons) polynomial-size; ordering
+    bus-by-bus instead would make the carry BDDs exponential.  Scalar
+    inputs (``cin``) come first.
+    """
+    def key(name: str) -> tuple[int, str]:
+        if name.endswith("]") and "[" in name:
+            base, _, index = name[:-1].rpartition("[")
+            return (int(index), base)
+        return (-1, name)
+
+    return {name: i for i, name in enumerate(sorted(circuit.inputs, key=key))}
+
+
+def circuit_bdds(
+    circuit: Circuit, bdd: BDD, order: Mapping[str, int]
+) -> dict[str, int]:
+    """Compile every primary output of ``circuit`` to a BDD node."""
+    values: list[int] = [0] * len(circuit.nets)
+    for net in circuit.nets:  # nets are created in topological order
+        kind = net.kind
+        if kind is GateKind.INPUT:
+            node = bdd.var(order[net.name])
+        elif kind is GateKind.CONST0:
+            node = BDD.FALSE
+        elif kind is GateKind.CONST1:
+            node = BDD.TRUE
+        elif kind is GateKind.BUF:
+            node = values[net.operands[0].index]
+        elif kind is GateKind.NOT:
+            node = bdd.not_(values[net.operands[0].index])
+        elif kind is GateKind.MUX:
+            select, if0, if1 = (values[op.index] for op in net.operands)
+            node = bdd.mux(select, if0, if1)
+        else:
+            a, b = (values[op.index] for op in net.operands)
+            if kind is GateKind.AND:
+                node = bdd.apply("and", a, b)
+            elif kind is GateKind.OR:
+                node = bdd.apply("or", a, b)
+            elif kind is GateKind.XOR:
+                node = bdd.apply("xor", a, b)
+            elif kind is GateKind.NAND:
+                node = bdd.not_(bdd.apply("and", a, b))
+            elif kind is GateKind.NOR:
+                node = bdd.not_(bdd.apply("or", a, b))
+            elif kind is GateKind.XNOR:
+                node = bdd.not_(bdd.apply("xor", a, b))
+            else:
+                raise AssertionError(f"unhandled gate kind {kind}")
+        values[net.index] = node
+    return {name: values[net.index] for name, net in circuit.outputs.items()}
+
+
+# ---------------------------------------------------------------------------
+# Symbolic word arithmetic (the specification side)
+# ---------------------------------------------------------------------------
+
+def sym_add(
+    bdd: BDD, xs: Sequence[int], ys: Sequence[int], cin: int = BDD.FALSE
+) -> tuple[list[int], int]:
+    """Textbook full-adder chain over BDD bit vectors: (sum bits, cout).
+
+    This is the arithmetic primitive every specification reduces to; it
+    is built directly over variables/words, independent of any netlist
+    builder, so it anchors the whole soundness chain.
+    """
+    sums: list[int] = []
+    carry = cin
+    for x, y in zip(xs, ys):
+        axb = bdd.apply("xor", x, y)
+        sums.append(bdd.apply("xor", axb, carry))
+        carry = bdd.apply(
+            "or", bdd.apply("and", x, y), bdd.apply("and", axb, carry)
+        )
+    return sums, carry
+
+
+def sym_sub(bdd: BDD, xs: Sequence[int], ys: Sequence[int]) -> tuple[list[int], int]:
+    """``xs - ys`` mod 2**n as ``xs + ~ys + 1``: (difference bits, carry)."""
+    complemented = [bdd.not_(y) for y in ys]
+    return sym_add(bdd, xs, complemented, cin=BDD.TRUE)
+
+
+def _input_word(
+    bdd: BDD, order: Mapping[str, int], bus: str, width: int
+) -> list[int]:
+    return [bdd.var(order[f"{bus}[{i}]"]) for i in range(width)]
+
+
+def _extend(bits: Sequence[int], width: int) -> list[int]:
+    """Zero-extend an unsigned BDD word to ``width`` bits."""
+    return list(bits) + [BDD.FALSE] * (width - len(bits))
+
+
+# ---------------------------------------------------------------------------
+# Specifications
+# ---------------------------------------------------------------------------
+
+def _spec_tc_adder(bdd: BDD, order: Mapping[str, int], width: int) -> dict[str, int]:
+    a = _input_word(bdd, order, "a", width)
+    b = _input_word(bdd, order, "b", width)
+    sums, cout = sym_add(bdd, a, b, cin=bdd.var(order["cin"]))
+    spec = {f"sum[{i}]": bit for i, bit in enumerate(sums)}
+    spec["cout"] = cout
+    return spec
+
+
+def _spec_tc_subtractor(
+    bdd: BDD, order: Mapping[str, int], width: int
+) -> dict[str, int]:
+    a = _input_word(bdd, order, "a", width)
+    b = _input_word(bdd, order, "b", width)
+    sums, cout = sym_sub(bdd, a, b)
+    spec = {f"sum[{i}]": bit for i, bit in enumerate(sums)}
+    spec["cout"] = cout
+    return spec
+
+
+def _spec_sam_decoder(
+    bdd: BDD, order: Mapping[str, int], width: int, lines: int
+) -> dict[str, int]:
+    a = _input_word(bdd, order, "a", width)
+    b = _input_word(bdd, order, "b", width)
+    sums, _ = sym_add(bdd, a, b)
+    spec: dict[str, int] = {}
+    for k in range(lines):
+        match = BDD.TRUE
+        for i in range(width):
+            bit = sums[i] if (k >> i) & 1 else bdd.not_(sums[i])
+            match = bdd.apply("and", match, bit)
+        spec[f"line[{k}]"] = match
+    return spec
+
+
+def _rb_validity(bdd: BDD, order: Mapping[str, int], width: int) -> int:
+    """No digit of either RB operand may encode (plus=1, minus=1)."""
+    valid = BDD.TRUE
+    for bus_pair in (("xp", "xn"), ("yp", "yn")):
+        plus = _input_word(bdd, order, bus_pair[0], width)
+        minus = _input_word(bdd, order, bus_pair[1], width)
+        for p, n in zip(plus, minus):
+            valid = bdd.apply("and", valid, bdd.not_(bdd.apply("and", p, n)))
+    return valid
+
+
+def _rb_words(
+    bdd: BDD, outputs: Mapping[str, int], order: Mapping[str, int], width: int
+) -> tuple[list[int], list[int]]:
+    """(decoded output word, decoded input-sum word), both width+2 bits.
+
+    The RB adder's contract is *integer* equality: the decoded output
+    (sum digits plus the carry-out digit at position ``width``) must equal
+    the decoded sum of the inputs.  Both sides fit in ``width + 2``-bit
+    two's complement, so equality mod 2**(width+2) is true equality.
+    """
+    total = width + 2
+    zp = _extend([outputs[f"zp[{i}]"] for i in range(width)], total)
+    zn = _extend([outputs[f"zn[{i}]"] for i in range(width)], total)
+    lhs, _ = sym_sub(bdd, zp, zn)
+    cout_plus = [BDD.FALSE] * width + [outputs["cout_plus"], BDD.FALSE]
+    cout_minus = [BDD.FALSE] * width + [outputs["cout_minus"], BDD.FALSE]
+    lhs, _ = sym_add(bdd, lhs, cout_plus)
+    lhs, _ = sym_sub(bdd, lhs, cout_minus)
+
+    xp = _extend(_input_word(bdd, order, "xp", width), total)
+    xn = _extend(_input_word(bdd, order, "xn", width), total)
+    yp = _extend(_input_word(bdd, order, "yp", width), total)
+    yn = _extend(_input_word(bdd, order, "yn", width), total)
+    x_value, _ = sym_sub(bdd, xp, xn)
+    y_value, _ = sym_sub(bdd, yp, yn)
+    rhs, _ = sym_add(bdd, x_value, y_value)
+    return lhs, rhs
+
+
+# ---------------------------------------------------------------------------
+# Concrete (integer) reference models, used to confirm counterexamples
+# ---------------------------------------------------------------------------
+
+def _bus_int(assignment: Mapping[str, int], bus: str, width: int) -> int:
+    value = 0
+    for i in range(width):
+        value |= (assignment.get(f"{bus}[{i}]", 0) & 1) << i
+    return value
+
+
+def _concrete_ok(
+    kind: str, width: int, lines: int, assignment: Mapping[str, int],
+    outputs: Mapping[str, int],
+) -> bool:
+    """Does the circuit's concrete output violate the integer model?"""
+    mask = (1 << width) - 1
+    a = _bus_int(assignment, "a", width)
+    b = _bus_int(assignment, "b", width)
+    if kind == "tc_adder":
+        total = a + b + assignment.get("cin", 0)
+        got = _bus_int(outputs, "sum", width) | (outputs["cout"] << width)
+        return got == total
+    if kind in ("tc_subtractor", "rb_to_tc"):
+        total = a + ((~b) & mask) + 1
+        got = _bus_int(outputs, "sum", width) | (outputs["cout"] << width)
+        return got == total
+    if kind == "sam_decoder":
+        total = (a + b) & mask
+        return all(
+            outputs[f"line[{k}]"] == (1 if total == k else 0)
+            for k in range(lines)
+        )
+    if kind == "rb_adder":
+        def decode(plus_bus: str, minus_bus: str) -> int:
+            return _bus_int(assignment, plus_bus, width) - _bus_int(
+                assignment, minus_bus, width
+            )
+        expected = decode("xp", "xn") + decode("yp", "yn")
+        got = (
+            _bus_int(outputs, "zp", width) - _bus_int(outputs, "zn", width)
+            + (outputs["cout_plus"] - outputs["cout_minus"]) * (1 << width)
+        )
+        return got == expected
+    raise ValueError(f"unknown specification kind {kind!r}")
+
+
+# ---------------------------------------------------------------------------
+# The checker
+# ---------------------------------------------------------------------------
+
+#: Specification kinds understood by :func:`check_circuit`.
+KINDS = ("tc_adder", "tc_subtractor", "rb_to_tc", "rb_adder", "sam_decoder")
+
+
+@dataclass
+class EquivalenceResult:
+    """Outcome of proving one netlist against its specification."""
+
+    name: str
+    kind: str
+    width: int
+    equivalent: bool
+    outputs_checked: int
+    bdd_nodes: int
+    seconds: float
+    mismatched_output: str | None = None
+    counterexample: dict[str, int] | None = None
+    detail: str = ""
+
+    def as_dict(self) -> dict:
+        payload = {
+            "name": self.name,
+            "kind": self.kind,
+            "width": self.width,
+            "equivalent": self.equivalent,
+            "outputs_checked": self.outputs_checked,
+            "bdd_nodes": self.bdd_nodes,
+            "seconds": round(self.seconds, 3),
+        }
+        if not self.equivalent:
+            payload["mismatched_output"] = self.mismatched_output
+            payload["counterexample"] = self.counterexample
+            payload["detail"] = self.detail
+        return payload
+
+    def describe(self) -> str:
+        verdict = "EQUIVALENT" if self.equivalent else "NOT EQUIVALENT"
+        line = (
+            f"{self.name} ({self.kind}, width {self.width}): {verdict} "
+            f"[{self.outputs_checked} outputs, {self.bdd_nodes} BDD nodes, "
+            f"{self.seconds:.2f}s]"
+        )
+        if not self.equivalent:
+            line += f" first bad output {self.mismatched_output!r}: {self.detail}"
+        return line
+
+
+def _counterexample(
+    bdd: BDD,
+    diff: int,
+    circuit: Circuit,
+    order: Mapping[str, int],
+    kind: str,
+    width: int,
+    lines: int,
+) -> tuple[dict[str, int], str]:
+    """Extract, concretize, and cross-validate one refuting assignment."""
+    by_index = {index: name for name, index in order.items()}
+    assignment = {name: 0 for name in circuit.inputs}
+    for var, bit in bdd.any_sat(diff).items():
+        assignment[by_index[var]] = bit
+    outputs = circuit.evaluate(assignment)
+    confirmed = not _concrete_ok(kind, width, lines, assignment, outputs)
+    detail = (
+        "counterexample confirmed by concrete evaluation"
+        if confirmed
+        else "INTERNAL: BDD refutation not confirmed concretely — checker bug"
+    )
+    return assignment, detail
+
+
+def check_circuit(circuit: Circuit, kind: str, width: int) -> EquivalenceResult:
+    """Prove ``circuit`` equal to the ``kind`` specification at ``width``.
+
+    For two's-complement adders the specification is the reference ripple
+    adder (whose own BDDs are first asserted equal to the symbolic
+    textbook adder — the anchor); for the word-level netlists it is
+    symbolic word arithmetic, under the RB encoding-validity constraint
+    where applicable.
+    """
+    if kind not in KINDS:
+        raise ValueError(f"unknown specification kind {kind!r}; choices: {KINDS}")
+    started = time.perf_counter()
+    buses = {
+        "tc_adder": ("a", "b"),
+        "tc_subtractor": ("a", "b"),
+        "rb_to_tc": ("a", "b"),
+        "sam_decoder": ("a", "b"),
+        "rb_adder": ("xp", "xn", "yp", "yn"),
+    }[kind]
+    required = {f"{bus}[{i}]" for bus in buses for i in range(width)}
+    if kind == "tc_adder":
+        required.add("cin")
+    if set(circuit.inputs) != required:
+        missing = sorted(required - set(circuit.inputs))
+        extra = sorted(set(circuit.inputs) - required)
+        return EquivalenceResult(
+            name=circuit.name, kind=kind, width=width, equivalent=False,
+            outputs_checked=0, bdd_nodes=0, seconds=time.perf_counter() - started,
+            mismatched_output="<inputs>",
+            detail=f"input interface mismatch: missing {missing}, unexpected {extra}",
+        )
+    bdd = BDD()
+    order = input_order(circuit)
+    outputs = circuit_bdds(circuit, bdd, order)
+    lines = len(outputs) if kind == "sam_decoder" else 0
+
+    constraint = BDD.TRUE
+    if kind == "tc_adder":
+        spec = _spec_tc_adder(bdd, order, width)
+        # The anchor: the reference ripple netlist must equal the symbolic
+        # textbook adder before it is allowed to judge anyone else.
+        reference = circuit_bdds(build_ripple_adder(width), bdd, order)
+        if reference != spec:
+            raise AssertionError(
+                "reference ripple adder disagrees with the symbolic "
+                f"textbook adder at width {width} — checker is unsound"
+            )
+        spec = reference
+    elif kind == "tc_subtractor" or kind == "rb_to_tc":
+        spec = _spec_tc_subtractor(bdd, order, width)
+    elif kind == "sam_decoder":
+        spec = _spec_sam_decoder(bdd, order, width, lines)
+    else:  # rb_adder: word-level comparison under the validity constraint
+        constraint = _rb_validity(bdd, order, width)
+        lhs, rhs = _rb_words(bdd, outputs, order, width)
+        spec = {f"value[{i}]": bit for i, bit in enumerate(rhs)}
+        outputs = dict(outputs)  # also require valid (non-(1,1)) output digits
+        checked = {f"value[{i}]": bit for i, bit in enumerate(lhs)}
+        for i in range(width):
+            checked[f"digit_valid[{i}]"] = bdd.not_(
+                bdd.apply("and", outputs[f"zp[{i}]"], outputs[f"zn[{i}]"])
+            )
+            spec[f"digit_valid[{i}]"] = BDD.TRUE
+        checked["cout_valid"] = bdd.not_(
+            bdd.apply("and", outputs["cout_plus"], outputs["cout_minus"])
+        )
+        spec["cout_valid"] = BDD.TRUE
+        outputs = checked
+
+    if kind != "rb_adder" and set(outputs) != set(spec):
+        missing = sorted(set(spec) - set(outputs))
+        extra = sorted(set(outputs) - set(spec))
+        return EquivalenceResult(
+            name=circuit.name, kind=kind, width=width, equivalent=False,
+            outputs_checked=0, bdd_nodes=bdd.node_count,
+            seconds=time.perf_counter() - started,
+            mismatched_output=(missing + extra or ["<interface>"])[0],
+            detail=f"interface mismatch: missing {missing}, unexpected {extra}",
+        )
+
+    for name in sorted(spec):
+        diff = bdd.apply("xor", outputs[name], spec[name])
+        diff = bdd.apply("and", diff, constraint)
+        if diff != BDD.FALSE:
+            assignment, detail = _counterexample(
+                bdd, diff, circuit, order, kind, width, lines
+            )
+            return EquivalenceResult(
+                name=circuit.name, kind=kind, width=width, equivalent=False,
+                outputs_checked=len(spec), bdd_nodes=bdd.node_count,
+                seconds=time.perf_counter() - started,
+                mismatched_output=name,
+                counterexample=assignment,
+                detail=detail,
+            )
+    return EquivalenceResult(
+        name=circuit.name, kind=kind, width=width, equivalent=True,
+        outputs_checked=len(spec), bdd_nodes=bdd.node_count,
+        seconds=time.perf_counter() - started,
+    )
+
+
+# ---------------------------------------------------------------------------
+# The library registry and gate
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class NetlistSpec:
+    """One library netlist bound to its specification kind."""
+
+    name: str
+    build: Callable[[int], Circuit]
+    kind: str
+    description: str
+    #: Widths with exponentially many outputs (the SAM decoder's one-hot
+    #: word lines) are capped; adders are checked at the full datapath.
+    max_width: int | None = None
+
+    def check_width(self, width: int) -> int:
+        if self.max_width is not None:
+            return min(width, self.max_width)
+        return width
+
+
+#: Every netlist in the library, bound to the specification it must prove.
+NETLIST_SPECS: dict[str, NetlistSpec] = {
+    spec.name: spec
+    for spec in (
+        NetlistSpec("ripple", build_ripple_adder, "tc_adder",
+                    "ripple-carry reference (anchored to the symbolic adder)"),
+        NetlistSpec("carry_select", build_carry_select_adder, "tc_adder",
+                    "carry-select adder"),
+        NetlistSpec("cla", build_cla_adder, "tc_adder",
+                    "Kogge-Stone carry-lookahead adder"),
+        NetlistSpec("dual_bit", build_dual_bit_adder, "tc_adder",
+                    "dual-bit full-adder ripple chain"),
+        NetlistSpec("early_output", build_early_output_adder, "tc_adder",
+                    "early-output (mux-select carry) adder"),
+        NetlistSpec("hybrid_select_cla", build_hybrid_select_cla_adder,
+                    "tc_adder", "hybrid carry-select/CLA adder"),
+        NetlistSpec("rb", build_rb_adder, "rb_adder",
+                    "redundant binary adder (word-level, valid encodings)"),
+        NetlistSpec("rb_to_tc_converter", build_rb_to_tc_converter, "rb_to_tc",
+                    "RB -> two's-complement format converter"),
+        NetlistSpec("cla_subtractor", build_cla_subtractor, "tc_subtractor",
+                    "CLA subtractor (the converter's substrate)"),
+        NetlistSpec("sam_decoder", build_sam_decoder, "sam_decoder",
+                    "sum-addressed-memory decoder", max_width=6),
+    )
+}
+
+
+def check_netlist(name: str, width: int) -> EquivalenceResult:
+    """Prove one registered library netlist at (up to) ``width``."""
+    spec = NETLIST_SPECS.get(name)
+    if spec is None:
+        raise ValueError(
+            f"unknown netlist {name!r}; choices: {sorted(NETLIST_SPECS)}"
+        )
+    checked = spec.check_width(width)
+    return check_circuit(spec.build(checked), spec.kind, checked)
+
+
+def verify_library(
+    width: int = 64, names: Sequence[str] | None = None
+) -> dict[str, EquivalenceResult]:
+    """Prove every (or the named) library netlist; returns per-name results."""
+    if names is None:
+        names = sorted(NETLIST_SPECS)
+    unknown = set(names) - set(NETLIST_SPECS)
+    if unknown:
+        raise ValueError(f"unknown netlists: {sorted(unknown)}")
+    return {name: check_netlist(name, width) for name in names}
+
+
+def assert_verified(width: int = 64, names: Sequence[str] | None = None) -> dict[str, EquivalenceResult]:
+    """The gate: raise unless every requested netlist proves equivalent.
+
+    Consumers that turn netlist delays into machine presets (the Pareto
+    sweep) call this first, so no unproven circuit ever reaches the
+    timing model.
+    """
+    results = verify_library(width, names)
+    failures = [r.describe() for r in results.values() if not r.equivalent]
+    if failures:
+        raise ValueError(
+            "formal equivalence gate failed:\n  " + "\n  ".join(failures)
+        )
+    return results
+
+
+# ---------------------------------------------------------------------------
+# Negative control
+# ---------------------------------------------------------------------------
+
+def build_mutant_ripple_adder(width: int, broken_bit: int | None = None) -> Circuit:
+    """A deliberately broken ripple adder: one bit drops carry propagation.
+
+    At ``broken_bit`` (default: the middle bit) the carry out is just the
+    generate term ``a & b`` — the ``(a ^ b) & cin`` propagate term is
+    dropped, so a carry arriving at that bit never crosses it.  The
+    checker (and any honest brute force) must reject this netlist; it is
+    the library's negative control and is deliberately NOT registered in
+    :data:`NETLIST_SPECS`.
+    """
+    if width <= 0:
+        raise ValueError(f"width must be positive, got {width}")
+    if broken_bit is None:
+        broken_bit = width // 2
+    if not 0 <= broken_bit < width:
+        raise ValueError(f"broken bit {broken_bit} out of range for width {width}")
+    circuit = Circuit(f"mutant_ripple{width}@{broken_bit}")
+    a = circuit.input_bus("a", width)
+    b = circuit.input_bus("b", width)
+    carry = circuit.input("cin")
+    sums = []
+    for i in range(width):
+        if i == broken_bit:
+            axb = circuit.xor_(a[i], b[i])
+            sums.append(circuit.xor_(axb, carry))
+            carry = circuit.and_(a[i], b[i])  # propagate term dropped
+        else:
+            total, carry = full_adder(circuit, a[i], b[i], carry)
+            sums.append(total)
+    circuit.output_bus("sum", sums)
+    circuit.output("cout", carry)
+    return circuit
+
+
+# ---------------------------------------------------------------------------
+# Packed brute force (the checker's independent cross-validation)
+# ---------------------------------------------------------------------------
+
+def evaluate_packed(circuit: Circuit, assignments: Mapping[str, int], mask: int) -> dict[str, int]:
+    """Evaluate many input vectors at once, one per bit of a Python int.
+
+    ``assignments`` maps each input name to a packed word whose bit *t* is
+    that input's value in test vector *t*; ``mask`` covers the vector
+    count.  All gate kinds are bitwise, so the whole circuit evaluates
+    word-parallel — this is what makes *exhaustive* 8-bit brute force
+    cheap enough for the test suite, giving the BDD checker an
+    independent ground truth to agree with.
+    """
+    values: list[int] = [0] * len(circuit.nets)
+    for net in circuit.nets:
+        kind = net.kind
+        ops = net.operands
+        if kind is GateKind.INPUT:
+            value = assignments[net.name] & mask
+        elif kind is GateKind.CONST0:
+            value = 0
+        elif kind is GateKind.CONST1:
+            value = mask
+        elif kind is GateKind.BUF:
+            value = values[ops[0].index]
+        elif kind is GateKind.NOT:
+            value = values[ops[0].index] ^ mask
+        elif kind is GateKind.MUX:
+            select = values[ops[0].index]
+            value = (select & values[ops[2].index]) | (
+                (select ^ mask) & values[ops[1].index]
+            )
+        else:
+            a, b = values[ops[0].index], values[ops[1].index]
+            if kind is GateKind.AND:
+                value = a & b
+            elif kind is GateKind.OR:
+                value = a | b
+            elif kind is GateKind.NAND:
+                value = (a & b) ^ mask
+            elif kind is GateKind.NOR:
+                value = (a | b) ^ mask
+            elif kind is GateKind.XOR:
+                value = a ^ b
+            else:  # XNOR
+                value = (a ^ b) ^ mask
+        values[net.index] = value
+    return {name: values[net.index] for name, net in circuit.outputs.items()}

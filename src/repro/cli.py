@@ -43,6 +43,11 @@ check
     invariants (CPI conservation, Fig. 14 monotonicity, machine
     ordering, shadow-state fidelity).  ``--quick`` bounds it for CI;
     ``-o report.json`` writes the machine-readable report.
+pareto
+    Adder design-space sweep: every netlist through the BDD equivalence
+    gate, then adder choice × machine width × workload through the
+    batched simulator, emitting the delay × IPC Pareto frontier
+    (``--json`` / ``-o``; schemas/pareto.schema.json).
 serve
     Long-lived batch-simulation HTTP/JSON service: accepts (machine,
     workload, config-override) jobs at ``POST /jobs``, coalesces
@@ -565,6 +570,56 @@ def cmd_watch(args: argparse.Namespace) -> int:
     return 0 if ok else 1
 
 
+#: Version stamp of the ``repro pareto`` JSON export
+#: (``schemas/pareto.schema.json`` pins the shape).
+PARETO_VERSION = 1
+
+
+def cmd_pareto(args: argparse.Namespace) -> int:
+    from repro.harness.experiments import pareto_experiment
+    from repro.harness.runner import default_runner
+    from repro.utils.files import atomic_write_text
+
+    widths = tuple(int(w) for w in args.widths.split(","))
+    workloads = tuple(args.workloads.split(","))
+    families = tuple(args.adders.split(",")) if args.adders else None
+    try:
+        result = pareto_experiment(
+            runner=default_runner(),
+            widths=widths,
+            workloads=workloads,
+            families=families,
+            data_width=args.data_width,
+            verify_width=args.verify_width,
+            jobs=args.jobs,
+        )
+    except ValueError as exc:
+        raise SystemExit(str(exc))
+    document = {
+        "version": PARETO_VERSION,
+        "workloads": result.series["workloads"],
+        "widths": result.series["widths"],
+        "data_width": args.data_width,
+        "verify_width": (
+            args.verify_width if args.verify_width is not None else args.data_width
+        ),
+        "points": result.series["points"],
+        "frontier": result.series["frontier"],
+        "verified": result.series["verified"],
+    }
+    if args.json:
+        print(json.dumps(document, indent=2))
+    else:
+        print(result.text())
+        print("frontier: " + ", ".join(result.series["frontier"]))
+    if args.output is not None:
+        path = Path(args.output)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        atomic_write_text(path, json.dumps(document, indent=2) + "\n")
+        print(f"wrote {path}")
+    return 0
+
+
 def cmd_check(args: argparse.Namespace) -> int:
     from repro.utils.files import atomic_write_text
     from repro.verify.check import persist_failing_fuzz_sources, run_check
@@ -856,6 +911,35 @@ def main(argv: list[str] | None = None) -> int:
     check.add_argument("-o", "--output", default=None,
                        help="write the JSON report to this path")
     check.set_defaults(fn=cmd_check)
+
+    pareto = sub.add_parser(
+        "pareto",
+        help="adder design-space sweep: formal gate, then delay x IPC frontier",
+        parents=[common],
+    )
+    pareto.add_argument("--widths", default="4,8", metavar="W,W",
+                        help="comma-separated execution widths (default 4,8)")
+    pareto.add_argument("--workloads", default="compress,ijpeg,li",
+                        metavar="NAMES",
+                        help="comma-separated workload names "
+                             "(default compress,ijpeg,li)")
+    pareto.add_argument("--adders", default=None, metavar="FAMILIES",
+                        help="comma-separated adder families (default: all of "
+                             "repro.core.presets.PARETO_ADDER_FAMILIES)")
+    pareto.add_argument("--data-width", type=int, default=64, metavar="BITS",
+                        help="datapath width the netlists are built and "
+                             "timed at (default 64)")
+    pareto.add_argument("--verify-width", type=int, default=None, metavar="BITS",
+                        help="width for the formal equivalence gate "
+                             "(default: the data width)")
+    pareto.add_argument("--jobs", type=int, default=None, metavar="N",
+                        help="worker processes for the sweep matrix")
+    pareto.add_argument("--json", action="store_true",
+                        help="print the machine-readable document instead "
+                             "of the table")
+    pareto.add_argument("-o", "--output", default=None,
+                        help="also write the JSON document to this path")
+    pareto.set_defaults(fn=cmd_pareto)
 
     args = parser.parse_args(argv)
     setup_logging(args.verbose, json_lines=args.log_json)

@@ -29,6 +29,12 @@ class MachineConfig:
     #: "round_robin" (the paper's policy: groups of 2, rotating) or
     #: "dependence" (the §4.2 future-work extension: follow your producer).
     steering_policy: str = "round_robin"
+    #: Clock period in normalized inverter-delay units (τ).  Pure metadata
+    #: for the cycle engines — IPC is still per *cycle* — but it is what
+    #: lets the Pareto sweep compare machines whose adders force different
+    #: clocks: performance = IPC / cycle_time.  1.0 means "unspecified /
+    #: paper-normalized", which every pre-existing preset uses.
+    cycle_time: float = 1.0
     #: RB -> TC format converter depth (Table 3's parenthesised latencies
     #: are exec + this); only meaningful with the RB adder style.
     conversion_cycles: int = 2
@@ -53,6 +59,8 @@ class MachineConfig:
             raise ValueError(f"unknown steering policy {self.steering_policy!r}")
         if self.conversion_cycles < 0:
             raise ValueError(f"conversion cycles must be >= 0, got {self.conversion_cycles}")
+        if self.cycle_time <= 0:
+            raise ValueError(f"cycle time must be positive, got {self.cycle_time}")
         if self.width % 2:
             raise ValueError(f"execution width must be even (select-2), got {self.width}")
         if self.width <= 0 or self.window_size <= 0:
@@ -86,8 +94,11 @@ class MachineConfig:
         bypass = self.bypass_style.value
         if self.removed_levels:
             bypass += f" (no levels {sorted(self.removed_levels)})"
-        return (
+        text = (
             f"{self.name}: {self.width}-wide, {self.adder_style.value} adders, "
             f"{bypass} bypass, {self.num_schedulers}x{self.scheduler_capacity} "
             f"schedulers, {self.num_clusters} cluster(s)"
         )
+        if self.cycle_time != 1.0:
+            text += f", {self.cycle_time:g}τ clock"
+        return text

@@ -13,7 +13,8 @@
 
 from __future__ import annotations
 
-from dataclasses import replace
+import math
+from dataclasses import dataclass, replace
 
 from repro.backend.bypass import BypassStyle
 from repro.backend.latency import AdderStyle
@@ -97,6 +98,136 @@ def paper_matrix() -> list[MachineConfig]:
     work ``run_batch`` and the batched-sweep benchmark operate on.
     """
     return all_paper_machines(4) + all_paper_machines(8)
+
+
+# ---------------------------------------------------------------------------
+# Adder-derived presets: proven netlist -> clock -> machine (the Pareto axis)
+# ---------------------------------------------------------------------------
+
+#: The adder families that can drive a machine's ALU (the converter is
+#: RB-machine plumbing, not a standalone design point).
+PARETO_ADDER_FAMILIES = (
+    "ripple",
+    "dual_bit",
+    "early_output",
+    "carry_select",
+    "hybrid_select_cla",
+    "cla",
+    "rb",
+)
+
+
+@dataclass(frozen=True)
+class AdderDesign:
+    """One adder netlist mapped onto the pipeline's timing contract.
+
+    The paper's baseline stage time τ0 is half the 64-bit CLA's critical
+    path (a 2-cycle pipelined CLA *is* the Baseline machine).  A candidate
+    adder with critical path d either fits that clock in
+    ``ceil(d / τ0)`` stages, or — since the timing model only knows
+    1- and 2-cycle adders — runs as a 2-stage pipeline with the clock
+    stretched to ``d / 2``.  Either way the pair (adder_style,
+    cycle_time) hands the cycle engines an IPC question and the frontier
+    a wall-clock denominator.
+    """
+
+    family: str
+    data_width: int      # datapath bits the netlist was built (and proven) at
+    delay: float         # critical path in inverter units
+    stage_time: float    # τ0: the baseline clock the design was slotted into
+    cycles: int          # adder pipeline depth the timing model simulates
+    cycle_time: float    # resulting clock period in inverter units
+    adder_style: AdderStyle
+
+    @property
+    def slowdown(self) -> float:
+        """Clock stretch relative to the baseline stage time (1.0 = none)."""
+        return self.cycle_time / self.stage_time
+
+
+def adder_designs(
+    data_width: int = 64, families: tuple[str, ...] | None = None
+) -> dict[str, AdderDesign]:
+    """Map each (formally proven) adder family to an :class:`AdderDesign`.
+
+    Delays come from :func:`repro.circuits.analysis.adder_delay_table` on
+    the same netlists the equivalence gate proves; callers that want the
+    guarantee chain call :func:`repro.circuits.verify.assert_verified`
+    first (the Pareto experiment does).
+    """
+    from repro.circuits.analysis import adder_delay_table
+
+    if families is None:
+        families = PARETO_ADDER_FAMILIES
+    unknown = set(families) - set(PARETO_ADDER_FAMILIES)
+    if unknown:
+        raise ValueError(
+            f"unknown adder families: {sorted(unknown)}; "
+            f"choices: {list(PARETO_ADDER_FAMILIES)}"
+        )
+    table = adder_delay_table(
+        widths=(data_width,), families=sorted(set(families) | {"cla"})
+    )
+    stage_time = table["cla"][data_width] / 2  # 2-cycle pipelined CLA = Baseline
+    designs: dict[str, AdderDesign] = {}
+    for family in families:
+        delay = table[family][data_width]
+        if family == "rb":
+            # The paper's RB design point: 1-cycle adds at the baseline
+            # clock (its constant-depth chain fits with slack).
+            cycles, style = 1, AdderStyle.RB
+        else:
+            cycles = min(2, math.ceil(delay / stage_time - 1e-9))
+            style = AdderStyle.IDEAL if cycles == 1 else AdderStyle.BASELINE
+        cycle_time = max(stage_time, delay / cycles)
+        designs[family] = AdderDesign(
+            family=family,
+            data_width=data_width,
+            delay=delay,
+            stage_time=stage_time,
+            cycles=cycles,
+            cycle_time=cycle_time,
+            adder_style=style,
+        )
+    return designs
+
+
+def adder_machine(design: AdderDesign, width: int) -> MachineConfig:
+    """A machine preset whose ALU is ``design``'s netlist.
+
+    RB designs carry the paper's full cost model (TC register files, §4.2
+    limited bypass, 2-cycle format conversion); everything else differs
+    from the Baseline/Ideal machines only in adder depth and clock.
+    """
+    name = f"Pareto-{design.family}-{width}w"
+    if design.adder_style is AdderStyle.RB:
+        return MachineConfig(
+            name=name,
+            width=width,
+            adder_style=AdderStyle.RB,
+            bypass_style=BypassStyle.RB_LIMITED,
+            cycle_time=design.cycle_time,
+        )
+    return MachineConfig(
+        name=name,
+        width=width,
+        adder_style=design.adder_style,
+        cycle_time=design.cycle_time,
+    )
+
+
+def pareto_machines(
+    widths: tuple[int, ...] = (4, 8),
+    data_width: int = 64,
+    families: tuple[str, ...] | None = None,
+) -> list[MachineConfig]:
+    """The full adder × execution-width preset grid for the Pareto sweep."""
+    designs = adder_designs(data_width, families)
+    return [
+        adder_machine(design, width)
+        for design in designs.values()
+        for width in widths
+    ]
 
 
 #: User-facing machine names -> preset factory, shared by the CLI and the

@@ -486,6 +486,134 @@ def headline_ratios(runner: SimulationRunner | None = None) -> ExperimentResult:
     )
 
 
+# ---------------------------------------------------------------------------
+# Beyond the paper: the adder design-space Pareto frontier
+# ---------------------------------------------------------------------------
+
+def pareto_frontier(points: list[dict]) -> list[dict]:
+    """The non-dominated subset of sweep points.
+
+    A point is dominated if some other point clocks no slower *and*
+    retires no fewer instructions per cycle, strictly better in at least
+    one.  Returned sorted fastest-clock-first.
+    """
+    frontier = [
+        p for p in points
+        if not any(
+            (q["cycle_time"] <= p["cycle_time"] and q["ipc_hmean"] >= p["ipc_hmean"])
+            and (q["cycle_time"] < p["cycle_time"] or q["ipc_hmean"] > p["ipc_hmean"])
+            for q in points
+        )
+    ]
+    return sorted(frontier, key=lambda p: (p["cycle_time"], -p["ipc_hmean"]))
+
+
+def pareto_experiment(
+    runner: SimulationRunner | None = None,
+    widths: tuple[int, ...] = (4, 8),
+    workloads: tuple[str, ...] = ("compress", "ijpeg", "li"),
+    families: tuple[str, ...] | None = None,
+    data_width: int = 64,
+    verify_width: int | None = None,
+    jobs: int | None = None,
+) -> ExperimentResult:
+    """Beyond Fig. 9: the adder-choice × machine × workload Pareto sweep.
+
+    Every adder family is first put through the formal equivalence gate
+    (:func:`repro.circuits.verify.assert_verified`) at ``verify_width``
+    (default: ``data_width``) — no unproven netlist reaches the timing
+    model.  Each proven design then becomes a machine preset
+    (:func:`repro.core.presets.adder_machine`: netlist delay -> adder
+    pipeline depth + clock period) and the whole grid runs through the
+    batched simulation machinery.  Per (family, width) point the result
+    carries the netlist delay, the clock, the harmonic-mean IPC, and
+    normalized performance ``ipc_hmean / cycle_time``; the frontier is
+    the non-dominated set in (cycle_time, IPC).
+    """
+    from repro.circuits.verify import assert_verified
+    from repro.core.presets import (
+        PARETO_ADDER_FAMILIES,
+        adder_designs,
+        adder_machine,
+    )
+
+    runner = runner or default_runner()
+    if families is None:
+        families = PARETO_ADDER_FAMILIES
+    if len(workloads) == 0:
+        raise ValueError("pareto sweep needs at least one workload")
+
+    # The formal gate.  RB machines also lean on the format converter, so
+    # it is proven alongside whenever the RB family is swept.
+    gate_names = list(families)
+    if "rb" in gate_names and "rb_to_tc_converter" not in gate_names:
+        gate_names.append("rb_to_tc_converter")
+    verified = assert_verified(
+        verify_width if verify_width is not None else data_width,
+        names=gate_names,
+    )
+
+    designs = adder_designs(data_width, tuple(families))
+    grid = [
+        (family, width, adder_machine(design, width))
+        for family, design in designs.items()
+        for width in widths
+    ]
+    runner.run_matrix([config for _, _, config in grid], list(workloads), jobs=jobs)
+
+    rows: list[list[object]] = []
+    points: list[dict] = []
+    for family, width, config in grid:
+        design = designs[family]
+        ipcs = {w: runner.run(config, w).ipc for w in workloads}
+        ipc_hmean = harmonic_mean(list(ipcs.values()))
+        point = {
+            "machine": config.name,
+            "family": family,
+            "width": width,
+            "data_width": design.data_width,
+            "delay": design.delay,
+            "adder_cycles": design.cycles,
+            "cycle_time": design.cycle_time,
+            "ipc": ipcs,
+            "ipc_hmean": ipc_hmean,
+            "performance": ipc_hmean / design.cycle_time,
+        }
+        points.append(point)
+        rows.append([
+            config.name, design.delay, design.cycles, design.cycle_time,
+            ipc_hmean, point["performance"],
+        ])
+    frontier = pareto_frontier(points)
+    frontier_names = [p["machine"] for p in frontier]
+    for point in points:
+        point["frontier"] = point["machine"] in frontier_names
+    for row in rows:
+        row.append("*" if row[0] in frontier_names else "")
+    return ExperimentResult(
+        experiment="pareto",
+        title="Adder design space: delay x IPC Pareto sweep (proven netlists)",
+        headers=["machine", "delay (inv)", "adder cycles", "cycle time (inv)",
+                 "hmean IPC", "perf (IPC/inv)", "frontier"],
+        rows=rows,
+        series={
+            "workloads": list(workloads),
+            "widths": list(widths),
+            "points": points,
+            "frontier": frontier_names,
+            "verified": {
+                name: result.as_dict() for name, result in verified.items()
+            },
+        },
+        notes=[
+            "performance = hmean IPC / cycle time, in retired instructions "
+            "per normalized inverter delay",
+            "every swept netlist passed BDD equivalence against its "
+            "arithmetic spec before simulation",
+        ],
+    )
+
+
 def all_experiments(runner: SimulationRunner | None = None) -> list[ExperimentResult]:
     """Every paper artifact, in presentation order."""
     runner = runner or default_runner()

@@ -4,6 +4,10 @@ One :func:`run_check` call produces a :class:`CheckReport` with one
 section per verification layer:
 
 * ``fuzz`` — every (profile, seed) program generated and assembled;
+* ``formal:adders`` — every gate-level netlist in
+  :mod:`repro.circuits` proven equal to its arithmetic specification by
+  the BDD checker (:mod:`repro.circuits.verify`), plus the deliberately
+  broken mutant adder which the checker must *reject*;
 * ``differential:engine`` — the SoA cycle engine vs the object reference
   engine, bit for bit over the golden corpus (four machines × three
   kernels × both widths) plus at least ten fuzzed kernels;
@@ -13,8 +17,9 @@ section per verification layer:
   fuzzed kernels on the check configs;
 * ``differential:cycle-skip`` / ``differential:timeline-skip`` /
   ``differential:machine-reuse`` / ``differential:run-matrix`` /
-  ``differential:rb-adder`` — the other equivalence pairs over the
-  fuzzed programs (first diverging SimStats/timeline field per case);
+  ``differential:rb-adder`` / ``differential:gate-adders`` — the other
+  equivalence pairs over the fuzzed programs (first diverging
+  SimStats/timeline field per case);
 * ``invariant:cpi-conservation`` — every statistics object produced
   anywhere in the check must have a CPI stack summing exactly to its
   cycles;
@@ -38,6 +43,8 @@ from pathlib import Path
 
 from repro.core.presets import (
     FIG14_VARIANTS,
+    adder_designs,
+    adder_machine,
     all_paper_machines,
     baseline,
     ideal,
@@ -230,9 +237,17 @@ def run_check(
         profiles = sorted(PROFILES)
     if adder_trials is None:
         adder_trials = 2_000 if quick else 20_000
-    configs = [rb_limited(width), ideal(width)]
+    # The Pareto adder presets (proven-netlist machines) ride the fuzz
+    # grids alongside the paper machines so `repro check` exercises the
+    # adder design space end to end, not just the paper's two adders.
+    designs = adder_designs()
+    configs = [
+        rb_limited(width), ideal(width),
+        adder_machine(designs["hybrid_select_cla"], width),
+    ]
     if not quick:
         configs.insert(0, baseline(width))
+        configs.append(adder_machine(designs["rb"], width))
     report = CheckReport(quick=quick)
     all_stats: list[SimStats] = []
 
@@ -252,6 +267,37 @@ def run_check(
                         "detail": f"generation/assembly failed: {exc!r}",
                     })
     log.info("fuzz: %d programs generated", len(programs))
+
+    # ---- formal: BDD equivalence gate over the netlist library -----------
+    section = Section("formal:adders")
+    report.sections.append(section)
+    with _Timer(section):
+        from repro.circuits.verify import (
+            build_mutant_ripple_adder,
+            check_circuit,
+            verify_library,
+        )
+
+        formal_width = 32 if quick else 64
+        for name, result in verify_library(width=formal_width).items():
+            section.cases += 1
+            if not result.equivalent:
+                section.failures.append({
+                    "netlist": name,
+                    "detail": result.describe(),
+                })
+        # Negative control: the checker must reject the broken adder.
+        section.cases += 1
+        mutant = check_circuit(
+            build_mutant_ripple_adder(formal_width), "tc_adder", formal_width
+        )
+        if mutant.equivalent:
+            section.failures.append({
+                "netlist": "mutant_ripple",
+                "detail": "checker accepted the deliberately broken adder "
+                          "(dropped carry-propagate term) — the gate is "
+                          "vacuous",
+            })
 
     # ---- differential: SoA engine vs object engine -----------------------
     section = Section("differential:engine")
@@ -302,6 +348,10 @@ def run_check(
             for engine_width in ENGINE_WIDTHS
             for machine_name in ENGINE_MACHINES
         ]
+        # Two Pareto presets join the golden batch: the batch engine must
+        # share work correctly across adder-derived configs too.
+        grid.append(adder_machine(designs["early_output"], 4))
+        grid.append(adder_machine(designs["rb"], 8))
         for kernel in ENGINE_KERNELS:
             program = build(kernel)
             section.cases += len(grid)
@@ -382,6 +432,16 @@ def run_check(
         section.cases = adder_trials * 2  # one add + one sub per trial
         for seed in seeds:
             found = differential.diff_rb_adder(seed, trials=adder_trials)
+            section.failures.extend(d.as_dict() for d in found)
+
+    # ---- differential: gate-level TC adder netlists vs integer add -------
+    section = Section("differential:gate-adders")
+    report.sections.append(section)
+    with _Timer(section):
+        gate_trials = 256 if quick else 1024
+        for seed in seeds:
+            section.cases += gate_trials
+            found = differential.diff_gate_adders(seed, trials=gate_trials)
             section.failures.extend(d.as_dict() for d in found)
 
     # ---- invariant: machine ordering on real workloads -------------------

@@ -1,6 +1,6 @@
 """Paired-run differential harness over the "bit-identical" execution modes.
 
-Seven equivalence pairs are claimed by the simulator:
+Eight equivalence pairs are claimed by the simulator:
 
 * ``engine`` — the structure-of-arrays cycle engine
   (:mod:`repro.core.engine`) vs the per-instruction object engine, over
@@ -18,7 +18,10 @@ Seven equivalence pairs are claimed by the simulator:
 * ``run-matrix`` — :meth:`SimulationRunner.run_matrix` serial vs fanned
   over a process pool;
 * ``rb-adder`` — the word-parallel bitwise carry-free adder vs the
-  per-digit :func:`~repro.rb.adder.interim_digit` reference.
+  per-digit :func:`~repro.rb.adder.interim_digit` reference;
+* ``gate-adders`` — every gate-level two's-complement adder netlist
+  (including the Pareto-sweep designs) vs plain integer addition, via
+  packed word-parallel evaluation.
 
 Each differential runs both sides and reports the **first diverging
 field** of the serialized :class:`~repro.core.statistics.SimStats` —
@@ -276,6 +279,72 @@ def diff_batch(
                     )
         if found is not None:
             divergences.append(found)
+    return divergences
+
+
+def diff_gate_adders(seed: int, trials: int = 512) -> list[Divergence]:
+    """Every gate-level TC adder netlist vs plain integer addition.
+
+    The sampled complement of the BDD equivalence gate
+    (:mod:`repro.circuits.verify`): where the gate proves the netlist's
+    *function*, this exercises the evaluator path the proofs don't cover,
+    word-parallel (64 random operand triples per packed evaluation).
+    Operands are biased toward carry-hostile shapes (all-ones, long
+    propagate runs) exactly like the RB property tests.
+    """
+    from repro.circuits.analysis import ADDER_FAMILIES
+    from repro.circuits.verify import evaluate_packed
+
+    rng = random.Random(f"gate-adders:{seed}")
+    lanes = 64  # packed test vectors per evaluation
+    divergences: list[Divergence] = []
+    families = [
+        name for name in ADDER_FAMILIES
+        if name not in ("rb", "rb_to_tc_converter")  # non-(a, b, cin) interface
+    ]
+    for width in (8, 64):
+        circuits = {name: ADDER_FAMILIES[name](width) for name in families}
+        mask = (1 << width) - 1
+        for batch in range((trials + lanes - 1) // lanes):
+            operands = []
+            for _ in range(lanes):
+                shape = rng.random()
+                if shape < 0.15:
+                    a = mask  # all-ones: any carry-in ripples the full width
+                elif shape < 0.3:
+                    a = mask >> rng.randrange(width)  # long propagate run
+                else:
+                    a = rng.getrandbits(width)
+                operands.append((a, rng.getrandbits(width), rng.getrandbits(1)))
+            packed = {f"a[{i}]": 0 for i in range(width)}
+            packed.update({f"b[{i}]": 0 for i in range(width)})
+            packed["cin"] = 0
+            for lane, (a, b, cin) in enumerate(operands):
+                for i in range(width):
+                    packed[f"a[{i}]"] |= ((a >> i) & 1) << lane
+                    packed[f"b[{i}]"] |= ((b >> i) & 1) << lane
+                packed["cin"] |= cin << lane
+            lane_mask = (1 << lanes) - 1
+            for name, circuit in circuits.items():
+                outputs = evaluate_packed(circuit, packed, lane_mask)
+                for lane, (a, b, cin) in enumerate(operands):
+                    total = a + b + cin
+                    got = sum(
+                        ((outputs[f"sum[{i}]"] >> lane) & 1) << i
+                        for i in range(width)
+                    ) | ((outputs["cout"] >> lane) & 1) << width
+                    if got != total:
+                        divergences.append(Divergence(
+                            pair="gate-adders",
+                            machine=f"{name} width={width}",
+                            workload=(
+                                f"seed={seed} batch={batch} lane={lane} "
+                                f"a={a:#x} b={b:#x} cin={cin}"
+                            ),
+                            field="sum|cout<<width",
+                            left=got,
+                            right=total,
+                        ))
     return divergences
 
 

@@ -28,9 +28,23 @@ class TestDelayShapes:
         inc3 = d[64] - d[32]
         assert inc1 == inc2 == inc3
 
+    def test_dual_bit_halves_the_ripple_slope(self, table):
+        d = table["dual_bit"]
+        # one 2-bit cell per doubling step: linear, but at half the stages
+        assert (d[64] - d[32]) == pytest.approx((d[32] - d[16]) * 2, rel=0.05)
+        assert d[64] < table["ripple"][64] * 0.6
+
+    def test_hybrid_between_select_and_cla(self, table):
+        assert table["cla"][64] < table["hybrid_select_cla"][64] \
+            < table["carry_select"][64]
+
     def test_family_ordering_at_64(self, table):
         assert (table["rb"][64] < table["cla"][64]
-                < table["carry_select"][64] < table["ripple"][64])
+                < table["hybrid_select_cla"][64]
+                < table["carry_select"][64]
+                < table["dual_bit"][64]
+                < table["early_output"][64]
+                < table["ripple"][64])
 
     def test_rb_beats_cla_substantially(self, table):
         """Paper: ~3x (SPICE).  The gate-normalized model must show at
@@ -51,3 +65,30 @@ class TestDelayShapes:
     def test_unknown_family_rejected(self):
         with pytest.raises(ValueError):
             adder_delay_table(widths=(8,), families=["nonsense"])
+
+
+#: Inverter-normalized critical-path delays for every library family.
+#: These are *pinned*, not shaped: any gate-level edit that moves a
+#: critical path shows up here as an exact-number diff to re-derive.
+PINNED_DELAYS = {
+    "ripple":            {8: 26.0, 16: 50.0, 32: 98.0, 64: 194.0},
+    "dual_bit":          {8: 17.5, 16: 29.5, 32: 53.5, 64: 101.5},
+    "early_output":      {8: 18.0, 16: 34.0, 32: 66.0, 64: 130.0},
+    "carry_select":      {8: 15.0, 16: 20.0, 32: 30.0, 64: 40.0},
+    "hybrid_select_cla": {8: 13.0, 16: 17.0, 32: 25.0, 64: 28.0},
+    "cla":               {8: 14.0, 16: 17.0, 32: 20.0, 64: 23.0},
+    "rb":                {8: 9.5,  16: 9.5,  32: 9.5,  64: 9.5},
+    "rb_to_tc_converter": {8: 15.0, 16: 18.0, 32: 21.0, 64: 24.0},
+}
+
+
+class TestPinnedDelays:
+    """Exact critical-path numbers for the whole library (no gaps)."""
+
+    def test_every_family_is_pinned(self):
+        assert set(PINNED_DELAYS) == set(ADDER_FAMILIES)
+
+    @pytest.mark.parametrize("family", sorted(PINNED_DELAYS))
+    def test_pinned_values(self, family):
+        table = adder_delay_table(widths=(8, 16, 32, 64), families=[family])
+        assert table[family] == PINNED_DELAYS[family]

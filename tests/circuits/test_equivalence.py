@@ -1,0 +1,296 @@
+"""Brute force and the formal checker agree on every library netlist.
+
+Two independent oracles cross-validate each other here:
+
+* **Brute force** — exhaustive concrete evaluation (plain at 4 bits,
+  word-packed at 8 bits via :func:`evaluate_packed`) against integer
+  arithmetic and against the reference ripple adder.
+* **The BDD checker** — :func:`check_circuit` proves the same equalities
+  symbolically over *all* assignments.
+
+Both must accept every registered netlist and both must reject the
+deliberately broken mutant; a disagreement between them would expose a
+bug in whichever oracle is wrong.
+"""
+
+import itertools
+
+import pytest
+
+from repro.circuits.gates import assign_bus, bus_value
+from repro.circuits.rb_adder import build_rb_adder
+from repro.circuits.ripple import build_ripple_adder
+from repro.circuits.sam import build_sam_decoder
+from repro.circuits.verify import (
+    BDD,
+    NETLIST_SPECS,
+    NetlistSpec,
+    assert_verified,
+    build_mutant_ripple_adder,
+    check_circuit,
+    check_netlist,
+    evaluate_packed,
+    verify_library,
+)
+
+TC_ADDERS = [name for name, spec in NETLIST_SPECS.items() if spec.kind == "tc_adder"]
+
+_CACHE: dict = {}
+
+
+def _add(circuit, a, b, cin, width):
+    asg = {}
+    assign_bus(asg, "a", a, width)
+    assign_bus(asg, "b", b, width)
+    asg["cin"] = cin
+    out = circuit.evaluate(asg)
+    return bus_value(out, "sum", width) | (out["cout"] << width)
+
+
+# ---------------------------------------------------------------------------
+# Brute force: every two's-complement adder equals ripple (and the integers)
+# ---------------------------------------------------------------------------
+
+class TestBruteForce:
+    @pytest.mark.parametrize("name", TC_ADDERS)
+    def test_exhaustive_4bit_vs_integers(self, name):
+        circuit = NETLIST_SPECS[name].build(4)
+        for a, b, cin in itertools.product(range(16), range(16), range(2)):
+            assert _add(circuit, a, b, cin, 4) == a + b + cin
+
+    @staticmethod
+    def _packed_8bit_inputs():
+        """All 2**17 (a, b, cin) combinations as 2048 packed assignments.
+
+        Lane t of each 64-bit packed word carries the low six bits of
+        ``b``; the outer product enumerates ``a``, the top two bits of
+        ``b``, and ``cin``.
+        """
+        mask = (1 << 64) - 1
+        lane = [0] * 6
+        for t in range(64):
+            for i in range(6):
+                lane[i] |= ((t >> i) & 1) << t
+        batch = []
+        for a, b_high, cin in itertools.product(range(256), range(4), range(2)):
+            asg = {"cin": mask if cin else 0}
+            for i in range(8):
+                asg[f"a[{i}]"] = mask if (a >> i) & 1 else 0
+                asg[f"b[{i}]"] = (
+                    lane[i] if i < 6 else (mask if (b_high >> (i - 6)) & 1 else 0)
+                )
+            batch.append((a, b_high, cin, asg))
+        return mask, batch
+
+    def test_packed_8bit_exhaustive_vs_ripple(self):
+        """Every TC adder == ripple on all 131072 8-bit vectors."""
+        mask, batch = self._packed_8bit_inputs()
+        ripple = build_ripple_adder(8)
+        reference = [evaluate_packed(ripple, asg, mask) for *_, asg in batch]
+        for name in TC_ADDERS:
+            if name == "ripple":
+                continue
+            circuit = NETLIST_SPECS[name].build(8)
+            for expected, (a, b_high, cin, asg) in zip(reference, batch):
+                got = evaluate_packed(circuit, asg, mask)
+                assert got == expected, (
+                    f"{name} != ripple at a={a} b_high={b_high} cin={cin}"
+                )
+
+    def test_packed_8bit_ripple_vs_integers(self):
+        """The packed reference itself matches integer addition everywhere."""
+        mask, batch = self._packed_8bit_inputs()
+        ripple = build_ripple_adder(8)
+        for a, b_high, cin, asg in batch:
+            out = evaluate_packed(ripple, asg, mask)
+            for t in range(64):
+                got = sum(((out[f"sum[{i}]"] >> t) & 1) << i for i in range(8))
+                got |= ((out["cout"] >> t) & 1) << 8
+                assert got == a + (b_high << 6 | t) + cin
+
+
+# ---------------------------------------------------------------------------
+# The checker accepts what brute force accepts
+# ---------------------------------------------------------------------------
+
+class TestChecker:
+    @pytest.mark.parametrize("name", sorted(NETLIST_SPECS))
+    @pytest.mark.parametrize("width", [4, 8])
+    def test_library_proves_at_small_widths(self, name, width):
+        result = check_netlist(name, width)
+        assert result.equivalent, result.describe()
+        assert result.outputs_checked > 0
+        assert result.bdd_nodes > 0
+        assert "EQUIVALENT" in result.describe()
+
+    def test_full_library_proves_at_64(self):
+        """The acceptance gate: every netlist formally verified at 64 bits."""
+        results = assert_verified(width=64)
+        assert set(results) == set(NETLIST_SPECS)
+        for name, result in results.items():
+            assert result.equivalent
+            # SAM decoder output count is exponential in width, so its
+            # proof width is capped; everything else runs the full 64.
+            expected = NETLIST_SPECS[name].check_width(64)
+            assert result.width == expected
+
+    def test_as_dict_shape(self):
+        payload = check_netlist("cla", 8).as_dict()
+        assert payload["equivalent"] is True
+        assert set(payload) == {
+            "name", "kind", "width", "equivalent", "outputs_checked",
+            "bdd_nodes", "seconds",
+        }
+
+    def test_verify_library_subset(self):
+        results = verify_library(width=8, names=["ripple", "rb"])
+        assert set(results) == {"ripple", "rb"}
+        assert all(r.equivalent for r in results.values())
+
+
+# ---------------------------------------------------------------------------
+# Word-level netlists against concrete integer models
+# ---------------------------------------------------------------------------
+
+class TestWordLevelBruteForce:
+    def test_rb_adder_exhaustive_4digit(self):
+        """All 3**4 x 3**4 valid RB operand pairs decode to the true sum."""
+        width = 4
+        circuit = build_rb_adder(width)
+        digit_states = [(0, 0), (1, 0), (0, 1)]  # 0, +1, -1
+        operands = list(itertools.product(digit_states, repeat=width))
+        for x_digits, y_digits in itertools.product(operands, operands):
+            asg = {}
+            for i, (p, n) in enumerate(x_digits):
+                asg[f"xp[{i}]"], asg[f"xn[{i}]"] = p, n
+            for i, (p, n) in enumerate(y_digits):
+                asg[f"yp[{i}]"], asg[f"yn[{i}]"] = p, n
+            out = circuit.evaluate(asg)
+            got = (
+                bus_value(out, "zp", width) - bus_value(out, "zn", width)
+                + (out["cout_plus"] - out["cout_minus"]) * (1 << width)
+            )
+            expected = sum((p - n) << i for i, (p, n) in enumerate(x_digits))
+            expected += sum((p - n) << i for i, (p, n) in enumerate(y_digits))
+            assert got == expected
+            # Output digits must stay inside the valid RB encoding.
+            for i in range(width):
+                assert not (out[f"zp[{i}]"] and out[f"zn[{i}]"])
+            assert not (out["cout_plus"] and out["cout_minus"])
+
+    @pytest.mark.parametrize("name", ["cla_subtractor", "rb_to_tc_converter"])
+    def test_subtractor_interface_exhaustive_4bit(self, name):
+        circuit = NETLIST_SPECS[name].build(4)
+        for a, b in itertools.product(range(16), range(16)):
+            asg = {}
+            assign_bus(asg, "a", a, 4)
+            assign_bus(asg, "b", b, 4)
+            out = circuit.evaluate(asg)
+            got = bus_value(out, "sum", 4) | (out["cout"] << 4)
+            assert got == a + ((~b) & 15) + 1
+
+    def test_sam_decoder_exhaustive_3bit(self):
+        circuit = build_sam_decoder(3)
+        for a, b in itertools.product(range(8), range(8)):
+            asg = {}
+            assign_bus(asg, "a", a, 3)
+            assign_bus(asg, "b", b, 3)
+            out = circuit.evaluate(asg)
+            for k in range(8):
+                assert out[f"line[{k}]"] == (1 if (a + b) % 8 == k else 0)
+
+
+# ---------------------------------------------------------------------------
+# The negative control: both oracles must reject the mutant
+# ---------------------------------------------------------------------------
+
+class TestMutant:
+    def test_brute_force_rejects(self):
+        mutant = build_mutant_ripple_adder(4)
+        mismatches = [
+            (a, b, cin)
+            for a, b, cin in itertools.product(range(16), range(16), range(2))
+            if _add(mutant, a, b, cin, 4) != a + b + cin
+        ]
+        assert mismatches  # a carry into bit 2 is silently dropped
+        # ... and only cases that actually carry into the broken bit fail.
+        for a, b, cin in mismatches:
+            assert ((a & 3) + (b & 3) + cin) >> 2
+
+    @pytest.mark.parametrize("width", [4, 8, 64])
+    def test_checker_rejects(self, width):
+        result = check_circuit(build_mutant_ripple_adder(width), "tc_adder", width)
+        assert not result.equivalent
+        assert result.mismatched_output is not None
+        assert result.counterexample is not None
+        assert "confirmed by concrete evaluation" in result.detail
+
+    def test_counterexample_is_concrete(self):
+        """The checker's refutation re-fails when executed for real."""
+        width = 8
+        mutant = build_mutant_ripple_adder(width)
+        result = check_circuit(mutant, "tc_adder", width)
+        asg = result.counterexample
+        a = bus_value(asg, "a", width)
+        b = bus_value(asg, "b", width)
+        cin = asg.get("cin", 0)
+        assert _add(mutant, a, b, cin, width) != a + b + cin
+
+    def test_mutant_fails_the_gate(self, monkeypatch):
+        monkeypatch.setitem(
+            NETLIST_SPECS,
+            "mutant",
+            NetlistSpec("mutant", build_mutant_ripple_adder, "tc_adder",
+                        "negative control"),
+        )
+        with pytest.raises(ValueError, match="formal equivalence gate failed"):
+            assert_verified(width=8, names=["mutant"])
+
+    def test_mutant_not_registered(self):
+        assert "mutant" not in NETLIST_SPECS
+
+    def test_broken_bit_validation(self):
+        with pytest.raises(ValueError):
+            build_mutant_ripple_adder(0)
+        with pytest.raises(ValueError):
+            build_mutant_ripple_adder(4, broken_bit=4)
+
+
+# ---------------------------------------------------------------------------
+# Error paths
+# ---------------------------------------------------------------------------
+
+class TestErrorPaths:
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError, match="unknown specification kind"):
+            check_circuit(build_ripple_adder(4), "carry_free", 4)
+
+    def test_unknown_netlist_rejected(self):
+        with pytest.raises(ValueError, match="unknown netlist"):
+            check_netlist("pentium_fdiv", 4)
+        with pytest.raises(ValueError, match="unknown netlists"):
+            verify_library(width=4, names=["ripple", "pentium_fdiv"])
+
+    def test_interface_mismatch_reported_not_raised(self):
+        """Wrong input interface yields a structured failure, not a crash."""
+        result = check_circuit(build_rb_adder(4), "tc_adder", 4)
+        assert not result.equivalent
+        assert result.mismatched_output == "<inputs>"
+        assert "input interface mismatch" in result.detail
+        payload = result.as_dict()
+        assert payload["mismatched_output"] == "<inputs>"
+
+    def test_bdd_primitives(self):
+        bdd = BDD()
+        x, y = bdd.var(0), bdd.var(1)
+        assert bdd.apply("xor", x, x) == BDD.FALSE
+        assert bdd.apply("or", x, bdd.not_(x)) == BDD.TRUE
+        assert bdd.mux(x, y, y) == y
+        with pytest.raises(ValueError):
+            bdd.any_sat(BDD.FALSE)
+        with pytest.raises(ValueError):
+            bdd.apply("nand", x, y)
+        with pytest.raises(ValueError):
+            bdd.var(-1)
+        sat = bdd.any_sat(bdd.apply("and", x, y))
+        assert sat == {0: 1, 1: 1}

@@ -1,0 +1,169 @@
+"""Property tests for the newer adder netlists at the full 64-bit width.
+
+Mirrors ``tests/rb/test_properties.py``: seeded ``random.Random`` case
+generation biased toward carry-hostile operand shapes (long ones-runs,
+boundary values, small magnitudes), plus Hypothesis sweeps and pinned
+overflow edges.  Wide random batches go through the word-packed
+evaluator — 64 test vectors per circuit pass — so thousands of 64-bit
+cases stay cheap.
+"""
+
+from __future__ import annotations
+
+import itertools
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.circuits.dual_bit import build_dual_bit_adder
+from repro.circuits.early_output import build_early_output_adder
+from repro.circuits.gates import assign_bus, bus_value
+from repro.circuits.hybrid import build_hybrid_select_cla_adder
+from repro.circuits.verify import evaluate_packed
+
+WIDTH = 64
+MASK = (1 << WIDTH) - 1
+SEEDS = [0, 1, 2, 3]
+BATCHES_PER_SEED = 8  # 8 packed batches x 64 lanes = 512 cases per seed
+
+NEW_ADDERS = {
+    "dual_bit": build_dual_bit_adder,
+    "early_output": build_early_output_adder,
+    "hybrid_select_cla": build_hybrid_select_cla_adder,
+}
+
+_CACHE: dict = {}
+
+
+def _circuit(name):
+    return _CACHE.setdefault(name, NEW_ADDERS[name](WIDTH))
+
+
+def _add(circuit, a, b, cin, width):
+    asg = {}
+    assign_bus(asg, "a", a, width)
+    assign_bus(asg, "b", b, width)
+    asg["cin"] = cin
+    out = circuit.evaluate(asg)
+    return bus_value(out, "sum", width) | (out["cout"] << width)
+
+
+def random_operand(rng: random.Random) -> int:
+    """A 64-bit pattern biased toward carry-hostile shapes."""
+    choice = rng.randrange(4)
+    if choice == 0:
+        return rng.getrandbits(WIDTH)
+    if choice == 1:  # long runs of ones: maximal carry chains
+        start = rng.randrange(WIDTH)
+        length = rng.randrange(1, WIDTH - start + 1)
+        return (((1 << length) - 1) << start) & MASK
+    if choice == 2:  # boundary values
+        return rng.choice([0, 1, MASK, 1 << (WIDTH - 1), (1 << (WIDTH - 1)) - 1])
+    return rng.getrandbits(8)  # small magnitudes
+
+
+def _packed_batch(cases):
+    """Bit-transpose 64 (a, b, cin) cases into one packed assignment."""
+    asg = {f"{bus}[{i}]": 0 for bus in ("a", "b") for i in range(WIDTH)}
+    asg["cin"] = 0
+    for t, (a, b, cin) in enumerate(cases):
+        for i in range(WIDTH):
+            asg[f"a[{i}]"] |= ((a >> i) & 1) << t
+            asg[f"b[{i}]"] |= ((b >> i) & 1) << t
+        asg["cin"] |= cin << t
+    return asg
+
+
+class TestSeededRandomWide:
+    @pytest.mark.parametrize("name", sorted(NEW_ADDERS))
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_512_carry_hostile_cases(self, name, seed):
+        circuit = _circuit(name)
+        rng = random.Random(seed)
+        lane_mask = (1 << 64) - 1
+        for _ in range(BATCHES_PER_SEED):
+            cases = [
+                (random_operand(rng), random_operand(rng), rng.randrange(2))
+                for _ in range(64)
+            ]
+            out = evaluate_packed(circuit, _packed_batch(cases), lane_mask)
+            for t, (a, b, cin) in enumerate(cases):
+                got = sum(
+                    ((out[f"sum[{i}]"] >> t) & 1) << i for i in range(WIDTH)
+                ) | (((out["cout"] >> t) & 1) << WIDTH)
+                assert got == a + b + cin, (name, a, b, cin)
+
+
+class TestHypothesisWide:
+    @pytest.mark.parametrize("name", sorted(NEW_ADDERS))
+    @given(data=st.data())
+    @settings(max_examples=60, deadline=None)
+    def test_64bit(self, name, data):
+        circuit = _circuit(name)
+        operand = st.one_of(
+            st.integers(min_value=0, max_value=MASK),
+            st.sampled_from([0, 1, MASK, 1 << (WIDTH - 1), (1 << (WIDTH - 1)) - 1]),
+            st.builds(
+                lambda start, length: (((1 << length) - 1) << start) & MASK,
+                st.integers(min_value=0, max_value=WIDTH - 1),
+                st.integers(min_value=1, max_value=WIDTH),
+            ),
+        )
+        a = data.draw(operand)
+        b = data.draw(operand)
+        cin = data.draw(st.integers(min_value=0, max_value=1))
+        assert _add(circuit, a, b, cin, WIDTH) == a + b + cin
+
+
+class TestOverflowEdges:
+    """The exact shapes that break carry logic, pinned deterministically."""
+
+    EDGES = [
+        (MASK, MASK, 1),                    # every bit generates, cin set
+        (MASK, 0, 1),                       # full-width propagate chain
+        (MASK, 1, 0),                       # carry injected at bit 0
+        ((1 << (WIDTH - 1)), (1 << (WIDTH - 1)), 0),  # top-bit generate only
+        ((1 << (WIDTH - 1)) - 1, 1, 0),     # propagate into the sign bit
+        (0xAAAAAAAAAAAAAAAA, 0x5555555555555555, 1),  # alternating, full chain
+        (0, 0, 0),
+    ]
+
+    @pytest.mark.parametrize("name", sorted(NEW_ADDERS))
+    @pytest.mark.parametrize("a,b,cin", EDGES)
+    def test_edge(self, name, a, b, cin):
+        assert _add(_circuit(name), a, b, cin, WIDTH) == a + b + cin
+
+
+class TestAwkwardWidths:
+    def test_dual_bit_odd_width_exhaustive(self):
+        """Width 5 exercises the odd-top-bit single full adder."""
+        circuit = build_dual_bit_adder(5)
+        for a, b, cin in itertools.product(range(32), range(32), range(2)):
+            assert _add(circuit, a, b, cin, 5) == a + b + cin
+
+    def test_hybrid_tiny_blocks_exhaustive(self):
+        """Width 6 with 2-bit blocks: three blocks, two select muxes."""
+        circuit = build_hybrid_select_cla_adder(6, block=2)
+        for a, b, cin in itertools.product(range(64), range(64), range(2)):
+            assert _add(circuit, a, b, cin, 6) == a + b + cin
+
+    def test_hybrid_block_wider_than_word(self):
+        """A block covering the whole word degenerates to one CLA pass."""
+        circuit = build_hybrid_select_cla_adder(4, block=16)
+        for a, b, cin in itertools.product(range(16), range(16), range(2)):
+            assert _add(circuit, a, b, cin, 4) == a + b + cin
+
+
+class TestValidation:
+    @pytest.mark.parametrize("builder", sorted(NEW_ADDERS))
+    def test_nonpositive_width_rejected(self, builder):
+        with pytest.raises(ValueError):
+            NEW_ADDERS[builder](0)
+        with pytest.raises(ValueError):
+            NEW_ADDERS[builder](-8)
+
+    def test_hybrid_block_validation(self):
+        with pytest.raises(ValueError):
+            build_hybrid_select_cla_adder(8, block=0)

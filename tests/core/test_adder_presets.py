@@ -1,0 +1,107 @@
+"""Tests for the adder-derived machine presets (the Pareto axis).
+
+The mapping under test: a formally proven netlist's critical path → a
+pipeline depth the timing model understands (1 or 2 adder cycles) → a
+clock period, packaged as a :class:`MachineConfig`.  The numbers here
+are derived from the pinned delay table in
+``tests/circuits/test_delays.py`` with τ0 = delay(cla, 64) / 2 = 11.5.
+"""
+
+import pytest
+
+from repro.backend.bypass import BypassStyle
+from repro.backend.latency import AdderStyle
+from repro.core.config import MachineConfig
+from repro.core.presets import (
+    PARETO_ADDER_FAMILIES,
+    adder_designs,
+    adder_machine,
+    pareto_machines,
+)
+
+
+class TestAdderDesigns:
+    @pytest.fixture(scope="class")
+    def designs(self):
+        return adder_designs(data_width=64)
+
+    def test_covers_every_family(self, designs):
+        assert set(designs) == set(PARETO_ADDER_FAMILIES)
+
+    def test_stage_time_is_half_the_cla(self, designs):
+        assert all(d.stage_time == 11.5 for d in designs.values())
+
+    def test_cla_is_the_baseline_point(self, designs):
+        cla = designs["cla"]
+        assert cla.cycles == 2
+        assert cla.adder_style is AdderStyle.BASELINE
+        assert cla.cycle_time == 11.5
+        assert cla.slowdown == 1.0
+
+    def test_rb_is_single_cycle_at_the_baseline_clock(self, designs):
+        rb = designs["rb"]
+        assert rb.cycles == 1
+        assert rb.adder_style is AdderStyle.RB
+        # Its 9.5-unit chain fits the 11.5-unit clock with slack; the
+        # clock never runs faster than τ0.
+        assert rb.cycle_time == 11.5
+        assert rb.slowdown == 1.0
+
+    @pytest.mark.parametrize("family,cycle_time", [
+        ("ripple", 97.0),
+        ("dual_bit", 50.75),
+        ("early_output", 65.0),
+        ("carry_select", 20.0),
+        ("hybrid_select_cla", 14.0),
+    ])
+    def test_two_cycle_designs_stretch_the_clock(self, designs, family, cycle_time):
+        design = designs[family]
+        assert design.cycles == 2
+        assert design.adder_style is AdderStyle.BASELINE
+        assert design.cycle_time == cycle_time
+        assert design.slowdown == cycle_time / 11.5
+
+    def test_family_subset_and_validation(self):
+        subset = adder_designs(64, families=("cla", "rb"))
+        assert set(subset) == {"cla", "rb"}
+        with pytest.raises(ValueError, match="unknown adder families"):
+            adder_designs(64, families=("cla", "booth"))
+
+
+class TestAdderMachines:
+    def test_tc_machine_inherits_only_clock_and_style(self):
+        design = adder_designs(64)["hybrid_select_cla"]
+        machine = adder_machine(design, 4)
+        assert machine.name == "Pareto-hybrid_select_cla-4w"
+        assert machine.adder_style is AdderStyle.BASELINE
+        assert machine.bypass_style is BypassStyle.FULL
+        assert machine.cycle_time == 14.0
+
+    def test_rb_machine_carries_the_paper_cost_model(self):
+        machine = adder_machine(adder_designs(64)["rb"], 8)
+        assert machine.adder_style is AdderStyle.RB
+        assert machine.bypass_style is BypassStyle.RB_LIMITED
+        assert machine.cycle_time == 11.5
+
+    def test_grid_size(self):
+        machines = pareto_machines(widths=(4, 8))
+        assert len(machines) == 2 * len(PARETO_ADDER_FAMILIES)
+        assert len({m.name for m in machines}) == len(machines)
+
+
+class TestCycleTime:
+    def test_default_is_unit_and_silent(self):
+        config = MachineConfig("x", width=4, adder_style=AdderStyle.IDEAL)
+        assert config.cycle_time == 1.0
+        assert "clock" not in config.describe()
+
+    def test_nonpositive_rejected(self):
+        for bad in (0.0, -11.5):
+            with pytest.raises(ValueError, match="cycle time"):
+                MachineConfig("x", width=4, adder_style=AdderStyle.IDEAL,
+                              cycle_time=bad)
+
+    def test_describe_mentions_stretched_clock(self):
+        config = MachineConfig("x", width=4, adder_style=AdderStyle.BASELINE,
+                               cycle_time=14.0)
+        assert "14τ clock" in config.describe()

@@ -1,0 +1,86 @@
+"""Tests for the Pareto sweep: frontier math and the gated experiment."""
+
+import pytest
+
+from repro.harness.experiments import pareto_experiment, pareto_frontier
+
+
+def _point(name, cycle_time, ipc):
+    return {"machine": name, "cycle_time": cycle_time, "ipc_hmean": ipc}
+
+
+class TestParetoFrontier:
+    def test_dominated_points_removed(self):
+        points = [
+            _point("fast-low", 10.0, 1.0),
+            _point("slow-high", 20.0, 2.0),
+            _point("dominated", 20.0, 0.9),   # slower AND lower IPC
+            _point("also-dominated", 25.0, 2.0),  # same IPC, slower clock
+        ]
+        frontier = pareto_frontier(points)
+        assert [p["machine"] for p in frontier] == ["fast-low", "slow-high"]
+
+    def test_duplicate_points_both_survive(self):
+        points = [_point("a", 10.0, 1.0), _point("b", 10.0, 1.0)]
+        assert len(pareto_frontier(points)) == 2
+
+    def test_sorted_fastest_clock_first(self):
+        points = [_point("b", 20.0, 2.0), _point("a", 10.0, 1.0)]
+        assert [p["machine"] for p in pareto_frontier(points)] == ["a", "b"]
+
+    def test_single_point_is_its_own_frontier(self):
+        assert pareto_frontier([_point("only", 1.0, 1.0)]) == [
+            _point("only", 1.0, 1.0)
+        ]
+
+    def test_empty(self):
+        assert pareto_frontier([]) == []
+
+
+class TestParetoExperiment:
+    @pytest.fixture(scope="class")
+    def result(self):
+        # Smallest grid that still exercises both machine branches (a TC
+        # design and the RB design) and the formal gate.
+        return pareto_experiment(
+            widths=(4,), workloads=("compress",),
+            families=("cla", "rb"), verify_width=8,
+        )
+
+    def test_points_cover_the_grid(self, result):
+        points = result.series["points"]
+        assert {p["machine"] for p in points} == {
+            "Pareto-cla-4w", "Pareto-rb-4w"
+        }
+        for point in points:
+            assert point["ipc"]["compress"] > 0
+            assert point["ipc_hmean"] == point["ipc"]["compress"]
+            assert point["performance"] == pytest.approx(
+                point["ipc_hmean"] / point["cycle_time"]
+            )
+            assert isinstance(point["frontier"], bool)
+
+    def test_frontier_consistency(self, result):
+        names = result.series["frontier"]
+        assert names  # at least one non-dominated point
+        flagged = {
+            p["machine"] for p in result.series["points"] if p["frontier"]
+        }
+        assert set(names) == flagged
+
+    def test_gate_ran_and_proved_the_converter_too(self, result):
+        verified = result.series["verified"]
+        # RB in the sweep drags its format converter through the gate.
+        assert set(verified) == {"cla", "rb", "rb_to_tc_converter"}
+        for record in verified.values():
+            assert record["equivalent"] is True
+            assert record["width"] == 8
+
+    def test_text_renders(self, result):
+        text = result.text()
+        assert "Pareto" in text
+        assert "frontier" in text
+
+    def test_needs_a_workload(self):
+        with pytest.raises(ValueError, match="at least one workload"):
+            pareto_experiment(widths=(4,), workloads=(), families=("cla",))

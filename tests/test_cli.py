@@ -160,6 +160,35 @@ class TestExplain:
         assert "OK" in capsys.readouterr().out
 
 
+class TestPareto:
+    def test_table_and_schema_valid_export(self, tmp_path, capsys):
+        out = tmp_path / "pareto.json"
+        assert main(["pareto", "--widths", "4", "--workloads", "compress",
+                     "--adders", "cla,rb", "--verify-width", "8",
+                     "-o", str(out)]) == 0
+        printed = capsys.readouterr().out
+        assert "Pareto-cla-4w" in printed
+        assert "frontier:" in printed
+        document = json.loads(out.read_text())
+        from repro.obs.validate import validate_json_schema
+        schema = json.loads(
+            Path(__file__).resolve().parents[1].joinpath(
+                "schemas", "pareto.schema.json").read_text())
+        validate_json_schema(document, schema)
+        assert document["version"] == 1
+        assert document["verify_width"] == 8
+        assert {p["machine"] for p in document["points"]} == {
+            "Pareto-cla-4w", "Pareto-rb-4w"
+        }
+        assert set(document["verified"]) == {"cla", "rb", "rb_to_tc_converter"}
+
+    def test_unknown_family_exits(self):
+        # The formal gate rejects the name before the preset table does.
+        with pytest.raises(SystemExit, match="unknown netlists"):
+            main(["pareto", "--widths", "4", "--workloads", "compress",
+                  "--adders", "booth"])
+
+
 class TestOtherCommands:
     def test_mix(self, capsys):
         assert main(["mix", "crafty"]) == 0
